@@ -1,0 +1,68 @@
+"""Ablation: early-discovery share vs early-timeline predictability.
+
+Table 7's flat error profile depends on RCC churn being informative soon
+after work starts.  In the synthetic NMD that early information comes
+from the "inspection phase" share of RCC creations (open-and-inspect
+findings).  This ablation regenerates the dataset with the inspection
+share scaled {0, 0.5x, 1x, 2x} and measures validation MAE at early
+t* — quantifying exactly how much of the paper's early accuracy requires
+early discovery in the underlying process.
+"""
+
+import numpy as np
+
+from repro.bench import emit_report, format_table
+from repro.core import PipelineConfig, PipelineOptimizer
+from repro.data import SyntheticNmdConfig, generate_dataset, split_dataset
+from repro.ml import GbmParams
+
+MULTIPLIERS = (0.0, 0.5, 1.0, 2.0)
+
+
+def test_ablation_early_signal(benchmark):
+    def run():
+        rows = []
+        for multiplier in MULTIPLIERS:
+            config = SyntheticNmdConfig(
+                inspection_base=0.22 * multiplier,
+                inspection_slope=0.18 * multiplier,
+            )
+            dataset = generate_dataset(config)
+            splits = split_dataset(dataset)
+            optimizer = PipelineOptimizer(
+                dataset,
+                splits,
+                base_config=PipelineConfig(
+                    selection_method="pearson", k=60, loss="pseudo_huber",
+                    huber_delta=18.0, fusion="none",
+                    gbm=GbmParams(n_estimators=80),
+                ),
+            )
+            result = optimizer.evaluate(optimizer.config)
+            by_t = result["val_mae_by_t"]
+            rows.append(
+                [
+                    f"{multiplier:g}x",
+                    f"{by_t[0]:.1f}",
+                    f"{by_t[1]:.1f}",
+                    f"{by_t[2]:.1f}",
+                    f"{by_t[-1]:.1f}",
+                    f"{result['val_mae']:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["inspection share", "MAE@0%", "MAE@10%", "MAE@20%", "MAE@100%", "mean"],
+        rows,
+    )
+    emit_report(
+        "ablation_early_signal",
+        "Ablation: early-discovery share vs early-timeline MAE",
+        table,
+    )
+    by_mult = {row[0]: row for row in rows}
+    # Early windows benefit from early discovery; late windows see all
+    # RCCs either way (weak dependence).
+    assert float(by_mult["2x"][2]) <= float(by_mult["0x"][2])

@@ -1,0 +1,52 @@
+"""Ablation: extended fusion methods (the paper's future work).
+
+The paper evaluates none/min/average and explicitly leaves "many other
+possible ensembling methods" to future work.  This ablation adds two:
+
+* **median** fusion — robust to a single bad window model;
+* **ewma** fusion — exponentially weights recent windows (recency bias),
+  interpolating between "none" (alpha -> 0) and "average" (alpha -> 1).
+"""
+
+import numpy as np
+
+from repro.bench import emit_report, format_table
+from repro.core.fusion import FUSION_METHODS, fuse_progressive
+from repro.ml import mae
+
+
+def test_ablation_fusion_extended(benchmark, optimizer):
+    def run():
+        optimizer.config = optimizer.config.evolve(
+            selection_method="pearson", k=60, model_family="gbm",
+            architecture="flat", loss="pseudo_huber", huber_delta=18.0,
+            fusion="none",
+        )
+        model_set = optimizer.fit_model_set(optimizer.config)
+        raw = model_set.predict_matrix(optimizer.Xs_val, optimizer.dyn_val)
+        out = {}
+        for method in FUSION_METHODS:
+            fused = fuse_progressive(raw, method)
+            by_t = np.array(
+                [mae(optimizer.y_val, fused[:, ti]) for ti in range(fused.shape[1])]
+            )
+            out[method] = by_t
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [method, f"{by_t.mean():.2f}", f"{by_t[-1]:.2f}"]
+        for method, by_t in sorted(results.items(), key=lambda kv: kv[1].mean())
+    ]
+    table = format_table(["fusion", "val MAE (timeline mean)", "val MAE @100%"], rows)
+    emit_report(
+        "ablation_fusion_extended",
+        "Ablation: extended fusion methods (median / ewma vs paper trio)",
+        table,
+    )
+    # ewma interpolates: never worse than both extremes simultaneously.
+    assert results["ewma"].mean() <= max(
+        results["none"].mean(), results["average"].mean()
+    ) + 1e-9
+    # min fusion is the clear loser (systematic underestimation).
+    assert results["min"].mean() >= min(r.mean() for r in results.values())

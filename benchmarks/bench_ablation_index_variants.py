@@ -1,0 +1,98 @@
+"""Ablation: incremental computation and index maintenance costs.
+
+DESIGN.md calls out two design choices worth ablating beyond Figure 5:
+
+1. **Incremental vs from-scratch sweeps at finer window widths** — the
+   incremental advantage grows with the number of timeline queries
+   (x = 20% -> 6 queries, x = 2% -> 51 queries) because delta work stays
+   constant while from-scratch work scales with query count.
+2. **Dynamic maintenance** — the AVL design supports O(log n)
+   insert/delete after construction (the Navy deployment refreshes
+   nightly); the naive design must rematerialize.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import emit_report, format_table, logical_rcc_arrays
+from repro.index import DualAvlIndex, StatusQueryEngine
+
+WINDOW_WIDTHS = (20.0, 10.0, 5.0, 2.0)
+
+_sweeps: dict[tuple[float, bool], float] = {}
+
+
+@pytest.mark.parametrize("width", WINDOW_WIDTHS)
+@pytest.mark.parametrize("incremental", [True, False], ids=["incr", "scratch"])
+def test_ablation_window_width(benchmark, dataset, width, incremental):
+    engine_table = logical_rcc_arrays(dataset, 5)[3]
+    engine = StatusQueryEngine(engine_table, design="avl")
+    t_stars = [float(t) for t in np.arange(0.0, 100.0 + width, width)]
+
+    def run():
+        return engine.execute_sweep(t_stars, incremental=incremental)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == len(t_stars)
+    _sweeps[(width, incremental)] = benchmark.stats.stats.mean
+
+
+def test_ablation_window_width_report(benchmark, dataset):
+    def collect():
+        engine_table = logical_rcc_arrays(dataset, 5)[3]
+        for width in WINDOW_WIDTHS:
+            for incremental in (True, False):
+                if (width, incremental) in _sweeps:
+                    continue
+                engine = StatusQueryEngine(engine_table, design="avl")
+                t_stars = [float(t) for t in np.arange(0.0, 100.0 + width, width)]
+                tic = time.perf_counter()
+                engine.execute_sweep(t_stars, incremental=incremental)
+                _sweeps[(width, incremental)] = time.perf_counter() - tic
+        return _sweeps
+
+    sweeps = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for width in WINDOW_WIDTHS:
+        n_queries = len(np.arange(0.0, 100.0 + width, width))
+        inc = sweeps[(width, True)]
+        scr = sweeps[(width, False)]
+        rows.append(
+            [f"{width:g}%", n_queries, f"{inc:.3f}s", f"{scr:.3f}s", f"{scr / max(inc, 1e-9):.1f}x"]
+        )
+    table = format_table(
+        ["window x", "# queries", "incremental", "from scratch", "speedup"], rows
+    )
+    emit_report(
+        "ablation_window_width",
+        "Ablation: incremental advantage vs timeline resolution (5x RCCs)",
+        table,
+    )
+    # Finer timelines widen the incremental advantage.
+    speedup_coarse = sweeps[(20.0, False)] / max(sweeps[(20.0, True)], 1e-9)
+    speedup_fine = sweeps[(2.0, False)] / max(sweeps[(2.0, True)], 1e-9)
+    assert speedup_fine > speedup_coarse
+
+
+def test_ablation_dynamic_maintenance(benchmark, dataset):
+    """O(log n) AVL maintenance: 1000 inserts+deletes on the 5x index."""
+    starts, ends, ids = logical_rcc_arrays(dataset, 5)[:3]
+    index = DualAvlIndex(starts, ends, ids)
+    rng = np.random.default_rng(0)
+    new_starts = rng.uniform(0, 100, 1000)
+    new_ends = new_starts + rng.gamma(2.0, 12.0, 1000)
+    new_ids = np.arange(10_000_000, 10_001_000)
+
+    def churn():
+        for s, e, i in zip(new_starts, new_ends, new_ids):
+            index._start_tree.insert(float(s), int(i))
+            index._end_tree.insert(float(e), int(i))
+        for s, e, i in zip(new_starts, new_ends, new_ids):
+            index._start_tree.delete(float(s), int(i))
+            index._end_tree.delete(float(e), int(i))
+
+    benchmark.pedantic(churn, rounds=1, iterations=1)
+    index._start_tree.validate()
+    index._end_tree.validate()

@@ -1,0 +1,80 @@
+"""Ablation: the vectorised sorted-array index vs the paper's trio.
+
+The paper attributes the interval tree's poor showing to implementation
+stack (pure Python vs C-optimised competitors).  This ablation completes
+the picture with a fourth design built on numpy sorted arrays +
+``searchsorted``: same asymptotics as the dual-AVL design for threshold
+queries, but C-vectorised — at the cost of O(n) maintenance.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import emit_report, format_table, logical_rcc_arrays
+from repro.index import DualAvlIndex, IntervalTreeIndex, NaiveJoinIndex, SortedArrayIndex
+
+DESIGNS = {
+    "naive": NaiveJoinIndex,
+    "avl": DualAvlIndex,
+    "interval": IntervalTreeIndex,
+    "sorted": SortedArrayIndex,
+}
+
+_rows: dict[str, tuple[float, float, float]] = {}
+
+
+@pytest.mark.parametrize("design", list(DESIGNS))
+def test_ablation_sorted_index(benchmark, dataset, design):
+    starts, ends, ids = logical_rcc_arrays(dataset, 10)[:3]
+    cls = DESIGNS[design]
+
+    def build_and_query():
+        index = cls(starts, ends, ids)
+        tic = time.perf_counter()
+        for t in (10.0, 30.0, 50.0, 70.0, 90.0):
+            index.settled_ids(t)
+            index.active_ids(t)
+        query_s = time.perf_counter() - tic
+        return index, query_s
+
+    index, query_s = benchmark.pedantic(build_and_query, rounds=1, iterations=1)
+    _rows[design] = (
+        benchmark.stats.stats.mean - query_s,
+        query_s,
+        index.approx_nbytes() / 1e6,
+    )
+
+
+def test_ablation_sorted_index_report(benchmark, dataset):
+    def collect():
+        starts, ends, ids = logical_rcc_arrays(dataset, 10)[:3]
+        for design, cls in DESIGNS.items():
+            if design in _rows:
+                continue
+            tic = time.perf_counter()
+            index = cls(starts, ends, ids)
+            build_s = time.perf_counter() - tic
+            tic = time.perf_counter()
+            for t in (10.0, 30.0, 50.0, 70.0, 90.0):
+                index.settled_ids(t)
+                index.active_ids(t)
+            _rows[design] = (build_s, time.perf_counter() - tic, index.approx_nbytes() / 1e6)
+        return _rows
+
+    rows_data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [design, f"{b:.3f}s", f"{q:.3f}s", f"{m:.1f}"]
+        for design, (b, q, m) in rows_data.items()
+    ]
+    table = format_table(["design", "build (10x)", "10 queries", "memory MB"], rows)
+    emit_report(
+        "ablation_sorted_index",
+        "Ablation: numpy sorted-array index vs the paper's three designs",
+        table,
+    )
+    # The vectorised design beats its pure-Python asymptotic twin (the
+    # dual-AVL) on both build and query — the paper's "implementation
+    # stack" observation, pushed to its numpy conclusion.
+    assert rows_data["sorted"][0] < rows_data["avl"][0]
+    assert rows_data["sorted"][1] < rows_data["avl"][1]

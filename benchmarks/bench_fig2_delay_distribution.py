@@ -1,0 +1,42 @@
+"""Figure 2: delay distribution over all availabilities.
+
+The paper's histogram spans on-time (and early) completions through
+multi-year delays, with most mass within a few months of plan.  The
+bench reports a text histogram plus summary quantiles and checks the
+qualitative shape.
+"""
+
+import numpy as np
+
+from repro.bench import emit_report, format_table
+
+
+def test_fig2_delay_distribution_report(benchmark, dataset):
+    delays = benchmark.pedantic(dataset.delays, rounds=1, iterations=1)
+    edges = [-60, 0, 30, 60, 90, 120, 180, 240, 360, 480, 720, 1200]
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        count = int(((delays >= lo) & (delays < hi)).sum())
+        bar = "#" * int(round(60 * count / len(delays)))
+        rows.append([f"[{lo:5d}, {hi:5d})", count, bar])
+    quantiles = np.percentile(delays, [10, 50, 90, 99])
+    summary = (
+        f"n={len(delays)}  mean={delays.mean():.1f}  sd={delays.std():.1f}  "
+        f"p10={quantiles[0]:.0f}  median={quantiles[1]:.0f}  "
+        f"p90={quantiles[2]:.0f}  p99={quantiles[3]:.0f}  max={delays.max():.0f}"
+    )
+    table = format_table(["delay bin (days)", "avails", "histogram"], rows)
+    emit_report(
+        "fig2_delay_distribution",
+        "Figure 2: delay distribution for all availabilities",
+        table + "\n" + summary,
+    )
+    # Qualitative shape checks from the paper's description.
+    assert delays.min() < 0, "some avails finish early"
+    assert delays.max() > 365, "tail reaches multi-year delays"
+    median = float(np.median(delays))
+    assert median < delays.mean(), "right-skewed distribution"
+
+
+def test_fig2_delay_computation_speed(benchmark, dataset):
+    benchmark(dataset.delays)

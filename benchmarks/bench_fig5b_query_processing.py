@@ -1,0 +1,92 @@
+"""Figure 5b: Status Query processing time over the logical timeline.
+
+For each scale factor, a full DoMD-style sweep (Status Queries at every
+10% of planned duration, grouped by RCC type x SWLIN level 1) is run in
+four modes:
+
+* ``merge``     — the pandas-style baseline: re-join avails x RCCs and
+  full-scan the dates on *every* timestamp (no reuse).
+* ``avl``       — AVL index, each timestamp answered from scratch.
+* ``interval``  — interval-tree index, each timestamp from scratch.
+* ``avl+incr``  — AVL design with Section 4.3's incremental computation
+  (the paper's winner, ~5x faster than the merge baseline).
+"""
+
+import time
+
+import pytest
+
+from repro.bench import (
+    SCALING_FACTORS,
+    TIMELINE_10PCT,
+    emit_report,
+    format_table,
+    logical_rcc_arrays,
+    scaled_dataset,
+)
+from repro.index import StatusQuery, StatusQueryEngine
+
+MODES = ("merge", "avl", "interval", "avl+incr")
+
+_engines: dict[tuple[str, int], StatusQueryEngine] = {}
+_times: dict[tuple[str, int], float] = {}
+
+
+def engine_for(dataset, mode: str, factor: int) -> StatusQueryEngine:
+    key = (mode, factor)
+    if key not in _engines:
+        engine_table = logical_rcc_arrays(dataset, factor)[3]
+        design = {"merge": "naive", "avl": "avl", "interval": "interval", "avl+incr": "avl"}[mode]
+        avails = scaled_dataset(dataset, factor).avails if mode == "merge" else None
+        engine = StatusQueryEngine(engine_table, design=design, avails=avails)
+        # Warm the group-assignment cache so every mode pays the
+        # (identical, vectorised) grouping cost outside the timing.
+        engine._group_assignment(StatusQuery(0.0))
+        _engines[key] = engine
+    return _engines[key]
+
+
+def run_sweep(engine: StatusQueryEngine, mode: str):
+    return engine.execute_sweep(TIMELINE_10PCT, incremental=(mode == "avl+incr"))
+
+
+@pytest.mark.parametrize("factor", SCALING_FACTORS)
+@pytest.mark.parametrize("mode", MODES)
+def test_fig5b_query_sweep(benchmark, dataset, mode, factor):
+    engine = engine_for(dataset, mode, factor)
+    results = benchmark.pedantic(run_sweep, args=(engine, mode), rounds=1, iterations=1)
+    assert len(results) == len(TIMELINE_10PCT)
+    _times[(mode, factor)] = benchmark.stats.stats.mean
+
+
+def test_fig5b_report(benchmark, dataset):
+    def collect():
+        for factor in SCALING_FACTORS:
+            for mode in MODES:
+                if (mode, factor) in _times:
+                    continue
+                engine = engine_for(dataset, mode, factor)
+                tic = time.perf_counter()
+                run_sweep(engine, mode)
+                _times[(mode, factor)] = time.perf_counter() - tic
+        return _times
+
+    times = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for factor in SCALING_FACTORS:
+        speedup = times[("merge", factor)] / max(times[("avl+incr", factor)], 1e-9)
+        rows.append(
+            [f"{factor}x"]
+            + [f"{times[(mode, factor)]:.3f}s" for mode in MODES]
+            + [f"{speedup:.1f}x"]
+        )
+    table = format_table(
+        ["scale"] + list(MODES) + ["incr speedup vs merge"], rows
+    )
+    emit_report("fig5b_query_processing", "Figure 5b: query processing time", table)
+    # Paper shape: incremental AVL beats the merge baseline severalfold at
+    # scale (the paper reports 5x; uncontended runs here show 7-13x — the
+    # 3x floor absorbs machine noise).
+    assert times[("avl+incr", 20)] * 3 <= times[("merge", 20)]
+    # And from-scratch tree retrieval also loses to incremental reuse.
+    assert times[("avl+incr", 20)] < times[("avl", 20)]

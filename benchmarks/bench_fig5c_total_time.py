@@ -1,0 +1,66 @@
+"""Figure 5c: index creation + query processing (total pipeline latency).
+
+Combines the Figure 5a build cost with the Figure 5b sweep cost per
+design, the way the paper's Figure 5c stacks them.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import (
+    SCALING_FACTORS,
+    TIMELINE_10PCT,
+    emit_report,
+    format_table,
+    logical_rcc_arrays,
+    scaled_dataset,
+)
+from repro.index import StatusQuery, StatusQueryEngine
+
+MODES = ("merge", "avl+incr", "interval+incr")
+
+_totals: dict[tuple[str, int], float] = {}
+
+
+def build_and_sweep(dataset, mode: str, factor: int):
+    engine_table = logical_rcc_arrays(dataset, factor)[3]
+    design = {"merge": "naive", "avl+incr": "avl", "interval+incr": "interval"}[mode]
+    avails = scaled_dataset(dataset, factor).avails if mode == "merge" else None
+    engine = StatusQueryEngine(engine_table, design=design, avails=avails)
+    engine._group_assignment(StatusQuery(0.0))
+    return engine.execute_sweep(
+        TIMELINE_10PCT, incremental=mode.endswith("incr")
+    )
+
+
+@pytest.mark.parametrize("factor", SCALING_FACTORS)
+@pytest.mark.parametrize("mode", MODES)
+def test_fig5c_total(benchmark, dataset, mode, factor):
+    results = benchmark.pedantic(
+        build_and_sweep, args=(dataset, mode, factor), rounds=1, iterations=1
+    )
+    assert len(results) == len(TIMELINE_10PCT)
+    _totals[(mode, factor)] = benchmark.stats.stats.mean
+
+
+def test_fig5c_report(benchmark, dataset):
+    def collect():
+        for factor in SCALING_FACTORS:
+            for mode in MODES:
+                if (mode, factor) in _totals:
+                    continue
+                tic = time.perf_counter()
+                build_and_sweep(dataset, mode, factor)
+                _totals[(mode, factor)] = time.perf_counter() - tic
+        return _totals
+
+    totals = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [f"{factor}x"] + [f"{totals[(mode, factor)]:.3f}s" for mode in MODES]
+        for factor in SCALING_FACTORS
+    ]
+    table = format_table(["scale"] + list(MODES), rows)
+    emit_report("fig5c_total_time", "Figure 5c: index creation + query time", table)
+    # AVL total stays below the interval tree's at scale (paper shape).
+    assert totals[("avl+incr", 20)] < totals[("interval+incr", 20)]

@@ -1,0 +1,50 @@
+"""Figure 6b: base model family — GBM (XGBoost-style) vs Elastic-Net.
+
+With Pearson k=60 features fixed (the Task 2 winner), compares the two
+model families over the whole logical timeline.  Paper result: XGBoost
+wins thanks to non-linear interactions.
+"""
+
+from repro.bench import emit_report, format_table
+
+_stage = {}
+
+
+def test_fig6b_model_family(benchmark, optimizer):
+    def run():
+        optimizer.config = optimizer.config.evolve(
+            selection_method="pearson", k=60, model_family="gbm",
+            architecture="flat", loss="l2", fusion="none",
+        )
+        return optimizer.optimize_model_family()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _stage["model"] = result
+    assert {r["family"] for r in result.records} == {"gbm", "linear"}
+
+
+def test_fig6b_report(benchmark, optimizer):
+    def run():
+        return _stage.get("model") or optimizer.optimize_model_family()
+
+    stage = benchmark.pedantic(run, rounds=1, iterations=1)
+    records = {r["family"]: r for r in stage.records}
+    rows = []
+    for ti, t_star in enumerate(optimizer.timeline.t_stars):
+        rows.append(
+            [
+                f"{t_star:g}%",
+                f"{records['gbm']['val_mae_by_t'][ti]:.2f}",
+                f"{records['linear']['val_mae_by_t'][ti]:.2f}",
+            ]
+        )
+    rows.append(
+        ["mean", f"{records['gbm']['val_mae']:.2f}", f"{records['linear']['val_mae']:.2f}"]
+    )
+    table = format_table(["t*", "GBM (XGBoost-style)", "Elastic-Net"], rows)
+    emit_report(
+        "fig6b_base_model",
+        "Figure 6b: validation MAE by base model family over the timeline",
+        table + f"\nchosen: {stage.chosen['model_family']} (paper: XGBoost)",
+    )
+    assert records["gbm"]["val_mae"] < records["linear"]["val_mae"]

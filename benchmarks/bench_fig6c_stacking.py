@@ -1,0 +1,50 @@
+"""Figure 6c: stacked vs non-stacked architecture (Task 3b).
+
+With GBM + Pearson k=60 fixed, compares the flat ("non-stacked") design
+against the stacked design (static base model feeding a prediction into
+each timeline model).  Paper result: non-stacked wins.
+"""
+
+from repro.bench import emit_report, format_table
+
+_stage = {}
+
+
+def test_fig6c_architecture(benchmark, optimizer):
+    def run():
+        optimizer.config = optimizer.config.evolve(
+            selection_method="pearson", k=60, model_family="gbm",
+            architecture="flat", loss="l2", fusion="none",
+        )
+        return optimizer.optimize_architecture()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _stage["architecture"] = result
+    assert {r["architecture"] for r in result.records} == {"flat", "stacked"}
+
+
+def test_fig6c_report(benchmark, optimizer):
+    def run():
+        return _stage.get("architecture") or optimizer.optimize_architecture()
+
+    stage = benchmark.pedantic(run, rounds=1, iterations=1)
+    records = {r["architecture"]: r for r in stage.records}
+    rows = []
+    for ti, t_star in enumerate(optimizer.timeline.t_stars):
+        rows.append(
+            [
+                f"{t_star:g}%",
+                f"{records['flat']['val_mae_by_t'][ti]:.2f}",
+                f"{records['stacked']['val_mae_by_t'][ti]:.2f}",
+            ]
+        )
+    rows.append(
+        ["mean", f"{records['flat']['val_mae']:.2f}", f"{records['stacked']['val_mae']:.2f}"]
+    )
+    table = format_table(["t*", "non-stacked (flat)", "stacked"], rows)
+    emit_report(
+        "fig6c_stacking",
+        "Figure 6c: stacked vs non-stacked validation MAE",
+        table + f"\nchosen: {stage.chosen['architecture']} (paper: non-stacked)",
+    )
+    assert records["flat"]["val_mae"] <= records["stacked"]["val_mae"] * 1.05

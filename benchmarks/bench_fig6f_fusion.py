@@ -1,0 +1,52 @@
+"""Figure 6f: fusion of per-window estimates (Task 6).
+
+With the full upstream pipeline fixed (Pearson k=60, GBM, pseudo-Huber
+delta=18), compares no fusion vs min fusion vs average fusion of all
+predictions up to each t*.  Paper result: average fusion wins.
+"""
+
+from repro.bench import emit_report, format_table
+
+_stage = {}
+
+
+def test_fig6f_fusion(benchmark, optimizer):
+    def run():
+        optimizer.config = optimizer.config.evolve(
+            selection_method="pearson", k=60, model_family="gbm",
+            architecture="flat", loss="pseudo_huber", huber_delta=18.0,
+            fusion="none",
+        )
+        return optimizer.optimize_fusion()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _stage["fusion"] = result
+    assert {r["fusion"] for r in result.records} == {"none", "min", "average"}
+
+
+def test_fig6f_report(benchmark, optimizer):
+    def run():
+        return _stage.get("fusion") or optimizer.optimize_fusion()
+
+    stage = benchmark.pedantic(run, rounds=1, iterations=1)
+    records = {r["fusion"]: r for r in stage.records}
+    rows = []
+    for ti, t_star in enumerate(optimizer.timeline.t_stars):
+        rows.append(
+            [f"{t_star:g}%"]
+            + [f"{records[m]['val_mae_by_t'][ti]:.2f}" for m in ("none", "min", "average")]
+        )
+    rows.append(
+        ["mean"] + [f"{records[m]['val_mae']:.2f}" for m in ("none", "min", "average")]
+    )
+    table = format_table(["t*", "no fusion", "min fusion", "average fusion"], rows)
+    emit_report(
+        "fig6f_fusion",
+        "Figure 6f: fusion technique sweep",
+        table + f"\nchosen: {stage.chosen['fusion']} (paper: average)",
+    )
+    # Shape: some fusion of the timeline history beats using only the
+    # newest model.
+    assert min(records["average"]["val_mae"], records["min"]["val_mae"]) <= records[
+        "none"
+    ]["val_mae"] * 1.02

@@ -1,0 +1,28 @@
+"""Table 5: statistics of the (synthetic) NMD dataset.
+
+Paper reference: 73 ships, 187 closed avails, 52,959 RCCs.  The bench
+times full dataset generation and reports the statistics table.
+"""
+
+from repro.bench import emit_report, format_table
+from repro.data import SyntheticNmdConfig, generate_dataset
+
+
+def test_table5_generation_speed(benchmark):
+    config = SyntheticNmdConfig()
+    result = benchmark.pedantic(generate_dataset, args=(config,), rounds=3, iterations=1)
+    assert result.n_rccs == 52_959
+
+
+def test_table5_report(benchmark, dataset):
+    stats = benchmark.pedantic(dataset.statistics, rounds=1, iterations=1)
+    rows = [
+        ["# ships", 73, stats["n_ships"]],
+        ["# closed avails", 187, stats["n_closed_avails"]],
+        ["# RCC records", 52_959, stats["n_rccs"]],
+    ]
+    table = format_table(["statistic", "paper", "reproduced"], rows)
+    emit_report("table5_dataset_stats", "Table 5: dataset statistics", table)
+    assert stats["n_ships"] == 73
+    assert stats["n_closed_avails"] == 187
+    assert stats["n_rccs"] == 52_959

@@ -1,0 +1,73 @@
+"""Table 6: index construction cost considering space (MB).
+
+Paper numbers (MB): naive/pandas-merge 57-1090, AVL 28-556, interval
+30-578 across 1x..20x — the tree indexes halve the materialized join's
+footprint.  The reproduction measures deep sizes of each design's
+structures; the expected shape is AVL < naive with roughly a 1.5-2x gap.
+"""
+
+import pytest
+
+from repro.bench import SCALING_FACTORS, emit_report, format_table, logical_rcc_arrays
+from repro.index import index_designs
+
+_memory: dict[tuple[str, int], float] = {}
+
+PAPER_MB = {
+    ("naive", 1): 57.3, ("avl", 1): 28.1, ("interval", 1): 29.6,
+    ("naive", 5): 274.7, ("avl", 5): 137.6, ("interval", 5): 146.4,
+    ("naive", 10): 547.8, ("avl", 10): 273.8, ("interval", 10): 285.3,
+    ("naive", 15): 820.8, ("avl", 15): 410.0, ("interval", 15): 427.0,
+    ("naive", 20): 1090.0, ("avl", 20): 556.1, ("interval", 20): 578.5,
+}
+
+
+@pytest.mark.parametrize("factor", SCALING_FACTORS)
+def test_table6_index_memory(benchmark, dataset, factor):
+    starts, ends, ids = logical_rcc_arrays(dataset, factor)[:3]
+
+    def measure():
+        out = {}
+        for name, cls in index_designs().items():
+            index = cls(starts, ends, ids)
+            out[name] = index.approx_nbytes() / 1e6
+        return out
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, mb in sizes.items():
+        _memory[(name, factor)] = mb
+    # The AVL design undercuts the materialized join once the table is
+    # scaled (paper shape).  At 1x, pure-Python node overhead dominates —
+    # the mirror image of the paper's C-backed AVL, where the tree wins
+    # everywhere; x-fold replication also folds duplicate dates into
+    # shared AVL nodes, which amplifies the tree's advantage with scale.
+    if factor >= 10:
+        assert sizes["avl"] < sizes["naive"]
+
+
+def test_table6_report(benchmark, dataset):
+    def collect():
+        for factor in SCALING_FACTORS:
+            if ("avl", factor) in _memory:
+                continue
+            starts, ends, ids = logical_rcc_arrays(dataset, factor)[:3]
+            for name, cls in index_designs().items():
+                _memory[(name, factor)] = cls(starts, ends, ids).approx_nbytes() / 1e6
+        return _memory
+
+    memory = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = ["scale"]
+    for name in index_designs():
+        headers += [f"{name} MB", f"paper {name}"]
+    rows = []
+    for factor in SCALING_FACTORS:
+        row = [f"{factor}x"]
+        for name in index_designs():
+            row += [f"{memory[(name, factor)]:.1f}", PAPER_MB[(name, factor)]]
+        rows.append(row)
+    table = format_table(headers, rows)
+    emit_report("table6_index_memory", "Table 6: index memory footprint", table)
+    # Memory grows with the scaling factor (sublinearly for the AVL tree:
+    # exact x-fold replication folds duplicate dates into shared nodes).
+    assert memory[("avl", 20)] > 4 * memory[("avl", 1)]
+    assert memory[("naive", 20)] > 15 * memory[("naive", 1)]

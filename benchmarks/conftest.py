@@ -1,0 +1,37 @@
+"""Shared state for the benchmark suite.
+
+The paper-scale dataset, its splits and a shared pipeline optimizer are
+built once per session; modeling benches reuse the optimizer's cached
+feature tensor and selection rankings the way the paper's greedy stages
+do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig, PipelineOptimizer
+from repro.data import generate_dataset, split_dataset
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """Paper-scale synthetic NMD (73 / 187 / 52,959)."""
+    return generate_dataset()
+
+
+@pytest.fixture(scope="session")
+def splits(dataset):
+    return split_dataset(dataset)
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    """Pre-optimization defaults used by the Figure 6 sweeps."""
+    return PipelineConfig(gbm=GbmParams(n_estimators=100))
+
+
+@pytest.fixture(scope="session")
+def optimizer(dataset, splits, base_config):
+    return PipelineOptimizer(dataset, splits, base_config=base_config)

@@ -1,0 +1,92 @@
+"""Domain transfer: the pipeline on (simulated) manufacturing data.
+
+The paper's conclusion: "the research challenges investigated in the
+work are likely to adapt to other application domains as well, including
+... manufacturing applications, such as maintaining pumps, motors,
+conveyor belts".  This example simulates that ongoing work: a plant
+maintenance dataset with the same *relational shape* as the NMD —
+maintenance campaigns on production lines ("avails"), engineering change
+orders ("RCCs") with a hierarchical location code ("SWLIN") — fed through
+the identical pipeline with zero code changes.
+
+Because the framework only ever sees the schema, nothing is
+Navy-specific: generate, split, optimize, estimate, explain.
+
+Run with::
+
+    python examples/manufacturing_transfer.py
+"""
+
+from repro.core import DomdEstimator, PipelineConfig, PipelineOptimizer
+from repro.data import SyntheticNmdConfig, generate_dataset, split_dataset
+from repro.ml import GbmParams
+
+#: Re-interpretation of the schema's Navy vocabulary for a plant.
+DOMAIN_GLOSSARY = {
+    "ship": "production line",
+    "avail": "maintenance campaign",
+    "RCC": "engineering change order (ECO)",
+    "SWLIN digit": "plant area (1=intake .. 9=packaging)",
+    "ship_class": "line type (pumps / motors / conveyors ...)",
+    "rmc_id": "maintenance crew",
+    "delay": "days of campaign overrun",
+}
+
+
+def main() -> None:
+    print("schema glossary for the manufacturing domain:")
+    for navy, plant in DOMAIN_GLOSSARY.items():
+        print(f"  {navy:12s} -> {plant}")
+
+    # A mid-size plant: 40 lines, 120 closed campaigns, ~20k ECOs, and a
+    # different randomness regime (more volatile latent trouble).
+    config = SyntheticNmdConfig(
+        n_ships=40,
+        n_closed_avails=120,
+        n_ongoing_avails=3,
+        target_n_rccs=20_000,
+        seed=99,
+        trouble_shape=16.0,
+        trouble_scale=1.0 / 16.0,
+        delay_per_trouble=60.0,
+        early_shift_days=20.0,
+    )
+    dataset = generate_dataset(config)
+    print("\nplant dataset:", dataset.statistics())
+
+    splits = split_dataset(dataset)
+    optimizer = PipelineOptimizer(
+        dataset,
+        splits,
+        base_config=PipelineConfig(gbm=GbmParams(n_estimators=80)),
+    )
+    print("\nre-running the greedy pipeline design on the plant data...")
+    report = optimizer.run(
+        stages=("selection", "model", "loss", "fusion"),
+        selection_methods=("pearson", "spearman", "mutual_info"),
+        k_grid=(20, 40, 60),
+    )
+    print("chosen configuration:", report.config.describe())
+
+    out = optimizer.test_evaluation(report.config)
+    avg = out["average"]
+    print(
+        "\ncampaign-overrun estimation quality (test, timeline avg): "
+        f"MAE80 {avg['mae_80']:.1f}  MAE100 {avg['mae_100']:.1f}  R^2 {avg['r2']:.2f}"
+    )
+
+    estimator = DomdEstimator(report.config).fit(dataset, splits.train_ids)
+    ongoing = dataset.avails.filter(dataset.avails["status"] == "ongoing")
+    campaign = int(ongoing["avail_id"][0])
+    estimate = estimator.query([campaign], t_star=40.0)[0]
+    print(
+        f"\nongoing campaign {campaign} at 40% of plan: "
+        f"projected overrun {estimate.current_estimate:.1f} days"
+    )
+    print("top drivers:")
+    for item in estimator.explain(campaign, 40.0, top=5):
+        print(f"  {item.name:32s} {item.contribution:+8.2f} d")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of the EDBT 2025 DoMD estimation framework.
+
+The package is organised bottom-up:
+
+- :mod:`repro.table` — columnar table engine (pandas stand-in).
+- :mod:`repro.index` — logical-time index structures and Status Query
+  processing (paper Section 4).
+- :mod:`repro.data` — NMD data model and synthetic dataset generator.
+- :mod:`repro.features` — feature engineering and selection (Section 3.1).
+- :mod:`repro.ml` — gradient boosting, linear models, losses, metrics,
+  and TPE hyperparameter tuning (the sklearn/XGBoost/Optuna stand-ins).
+- :mod:`repro.core` — the DoMD estimation framework itself: logical
+  timeline models, architectures, fusion, the greedy pipeline optimizer,
+  and the DoMD query API (Sections 2 and 3.2).
+- :mod:`repro.bench` — experiment harness utilities shared by the
+  benchmark scripts.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,20 @@
+"""Experiment-harness utilities shared by the benchmark scripts."""
+
+from repro.bench.reporting import emit_report, format_table
+from repro.bench.workloads import (
+    SCALING_FACTORS,
+    TIMELINE_10PCT,
+    logical_rcc_arrays,
+    scaled_dataset,
+    sweep_status_queries,
+)
+
+__all__ = [
+    "emit_report",
+    "format_table",
+    "SCALING_FACTORS",
+    "TIMELINE_10PCT",
+    "logical_rcc_arrays",
+    "scaled_dataset",
+    "sweep_status_queries",
+]

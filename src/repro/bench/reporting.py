@@ -1,0 +1,46 @@
+"""Plain-text reporting for benchmark outputs.
+
+Every benchmark regenerating a paper table/figure writes its rows both to
+stdout and to ``benchmarks/results/<experiment>.txt`` so the artefacts
+survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+#: Default directory for benchmark artefacts (created on demand).
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table (markdown-ish, survives any pager)."""
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)
+
+
+def emit_report(name: str, title: str, text: str, directory: Path | None = None) -> Path:
+    """Print a report block and persist it under benchmarks/results/."""
+    directory = directory or RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    block = f"== {title} ==\n{text}\n"
+    print("\n" + block)
+    path = directory / f"{name}.txt"
+    path.write_text(block, encoding="utf-8")
+    return path

@@ -1,0 +1,59 @@
+"""Workload builders for the scalability benchmarks (Section 5.1)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.scaling import scale_rccs
+from repro.data.schema import NavyMaintenanceDataset
+from repro.index.status_query import StatusQueryEngine
+from repro.table.table import ColumnTable
+
+#: The paper's RCC scaling factors (Figure 5 / Table 6).
+SCALING_FACTORS = (1, 5, 10, 15, 20)
+
+#: The paper's 10%-window logical timeline.
+TIMELINE_10PCT = [float(t) for t in range(0, 101, 10)]
+
+_scaled_cache: dict[tuple[int, int], NavyMaintenanceDataset] = {}
+_array_cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray, ColumnTable]] = {}
+
+
+def scaled_dataset(dataset: NavyMaintenanceDataset, factor: int) -> NavyMaintenanceDataset:
+    """x-fold scaled dataset, cached per (seed, factor)."""
+    key = (dataset.seed or 0, factor)
+    if key not in _scaled_cache:
+        _scaled_cache[key] = scale_rccs(dataset, factor)
+    return _scaled_cache[key]
+
+
+def logical_rcc_arrays(
+    dataset: NavyMaintenanceDataset, factor: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, ColumnTable]:
+    """(t_start, t_end, row ids, engine-ready RCC table) at a scale factor."""
+    key = (dataset.seed or 0, factor)
+    if key not in _array_cache:
+        scaled = scaled_dataset(dataset, factor)
+        rccs = scaled.rccs_with_logical_times()
+        starts = np.asarray(rccs["t_start"], dtype=np.float64)
+        ends = np.asarray(rccs["t_end"], dtype=np.float64)
+        ids = np.arange(len(starts), dtype=np.int64)
+        engine_table = rccs.select(
+            ["rcc_type", "swlin", "t_start", "t_end", "amount", "avail_id"]
+        )
+        _array_cache[key] = (starts, ends, ids, engine_table)
+    return _array_cache[key]
+
+
+def sweep_status_queries(
+    engine: StatusQueryEngine,
+    t_stars: list[float] | None = None,
+    incremental: bool = True,
+) -> float:
+    """Run a full timeline sweep; returns elapsed seconds."""
+    t_stars = t_stars or TIMELINE_10PCT
+    start = time.perf_counter()
+    engine.execute_sweep(t_stars, incremental=incremental)
+    return time.perf_counter() - start

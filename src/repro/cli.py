@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the deployment life cycle:
+
+* ``generate`` — write a synthetic NMD snapshot to a directory of CSVs.
+* ``fit``      — fit the final pipeline (or greedily optimize one) on a
+  dataset and save the model artefact.
+* ``query``    — DoMD query against a saved model (optionally explained).
+* ``evaluate`` — Table-7-style metrics on the chronological test split.
+* ``serve``    — JSON-lines request loop over stdin/stdout
+  (the SMDII back-end contract, see :mod:`repro.core.service`).
+
+Every command is a thin shell over the library API; ``main`` returns an
+exit code and never raises for user errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO
+
+from repro.core.config import PipelineConfig, paper_final_config
+from repro.core.estimator import DomdEstimator
+from repro.core.pipeline import PipelineOptimizer
+from repro.core.service import DomdService
+from repro.data.generator import SyntheticNmdConfig, generate_dataset
+from repro.data.loader import load_dataset, save_dataset
+from repro.data.scaling import scale_rccs
+from repro.data.splits import split_dataset
+from repro.errors import ReproError
+from repro.persistence import load_estimator, save_estimator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DoMD estimation framework (EDBT 2025 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic NMD snapshot")
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--scale", type=int, default=1, help="x-fold RCC scaling")
+
+    fit = sub.add_parser("fit", help="fit the pipeline and save the model")
+    fit.add_argument("--data", required=True, help="dataset directory")
+    fit.add_argument("--out", required=True, help="model artefact path (.json)")
+    fit.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the greedy pipeline optimization instead of the paper's final config",
+    )
+    fit.add_argument("--window", type=float, default=10.0, help="window width %%")
+    fit.add_argument("--split-seed", type=int, default=42)
+
+    query = sub.add_parser("query", help="DoMD query against a saved model")
+    query.add_argument("--model", required=True)
+    query.add_argument("--data", required=True)
+    query.add_argument("--avail", type=int, required=True, action="append")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--t-star", type=float)
+    group.add_argument("--date", type=str)
+    query.add_argument("--explain", action="store_true", help="include top-5 drivers")
+
+    evaluate = sub.add_parser("evaluate", help="test-split metrics for a saved model")
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--split-seed", type=int, default=42)
+
+    serve = sub.add_parser("serve", help="answer JSON-lines requests on stdin")
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--data", required=True)
+    return parser
+
+
+def _cmd_generate(args, out: IO[str]) -> int:
+    dataset = generate_dataset(SyntheticNmdConfig(seed=args.seed))
+    if args.scale > 1:
+        dataset = scale_rccs(dataset, args.scale)
+    save_dataset(dataset, args.out)
+    print(json.dumps(dataset.statistics()), file=out)
+    return 0
+
+
+def _cmd_fit(args, out: IO[str]) -> int:
+    dataset = load_dataset(args.data)
+    splits = split_dataset(dataset, seed=args.split_seed)
+    if args.optimize:
+        optimizer = PipelineOptimizer(
+            dataset, splits, base_config=PipelineConfig(window_pct=args.window)
+        )
+        report = optimizer.run()
+        config = report.config
+        print(json.dumps({"optimized": config.describe()}), file=out)
+    else:
+        config = paper_final_config(window_pct=args.window)
+    estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+    save_estimator(estimator, args.out)
+    metrics = estimator.evaluate(splits.test_ids)["average"]
+    print(json.dumps({"saved": args.out, "test_metrics": metrics}), file=out)
+    return 0
+
+
+def _cmd_query(args, out: IO[str]) -> int:
+    dataset = load_dataset(args.data)
+    estimator = load_estimator(args.model, dataset)
+    service = DomdService(estimator)
+    request = {"type": "domd_query", "avail_ids": args.avail}
+    if args.t_star is not None:
+        request["t_star"] = args.t_star
+    else:
+        request["date"] = args.date
+    response = service.handle(request)
+    print(json.dumps(response), file=out)
+    if response["ok"] and args.explain:
+        for item in response["result"]:
+            explain = service.handle(
+                {
+                    "type": "explain",
+                    "avail_id": item["avail_id"],
+                    "t_star": item["t_star"],
+                }
+            )
+            print(json.dumps(explain), file=out)
+    return 0 if response["ok"] else 1
+
+
+def _cmd_evaluate(args, out: IO[str]) -> int:
+    dataset = load_dataset(args.data)
+    estimator = load_estimator(args.model, dataset)
+    splits = split_dataset(dataset, seed=args.split_seed)
+    metrics = estimator.evaluate(splits.test_ids)
+    print(json.dumps(metrics), file=out)
+    return 0
+
+
+def _cmd_serve(args, out: IO[str], stdin: IO[str]) -> int:
+    dataset = load_dataset(args.data)
+    estimator = load_estimator(args.model, dataset)
+    service = DomdService(estimator)
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(
+                json.dumps(
+                    {"ok": False, "error": {"code": "bad_json", "message": str(exc)}}
+                ),
+                file=out,
+                flush=True,
+            )
+            continue
+        print(json.dumps(service.handle(request)), file=out, flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[str] | None = None) -> int:
+    """CLI entrypoint; returns an exit code."""
+    out = out or sys.stdout
+    stdin = stdin or sys.stdin
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args, out)
+        if args.command == "fit":
+            return _cmd_fit(args, out)
+        if args.command == "query":
+            return _cmd_query(args, out)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out, stdin)
+    except ReproError as exc:
+        print(json.dumps({"ok": False, "error": {"code": "domain_error", "message": str(exc)}}), file=out)
+        return 1
+    except FileNotFoundError as exc:
+        print(json.dumps({"ok": False, "error": {"code": "not_found", "message": str(exc)}}), file=out)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

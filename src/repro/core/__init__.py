@@ -1,0 +1,83 @@
+"""The DoMD estimation framework (paper Sections 2, 3.2, 5.2).
+
+Public API::
+
+    from repro.core import (
+        PipelineConfig, paper_final_config,
+        PipelineOptimizer, OptimizationReport, StageResult,
+        TimelineModelSet, LogicalTimeline,
+        DomdEstimator, DomdEstimate, FeatureContribution,
+        fuse, fuse_progressive, FUSION_METHODS,
+        make_model, MODEL_FAMILIES, ARCHITECTURES,
+    )
+"""
+
+from repro.core.config import ARCHITECTURES, PipelineConfig, paper_final_config
+from repro.core.estimator import DomdEstimate, DomdEstimator, FeatureContribution
+from repro.core.fusion import FUSION_METHODS, fuse, fuse_progressive
+from repro.core.models import (
+    MODEL_FAMILIES,
+    BaseModelAdapter,
+    GbmAdapter,
+    LinearAdapter,
+    make_model,
+)
+from repro.core.conformal import ConformalDomdEstimator, DomdInterval
+from repro.core.interpret import (
+    GlobalFeatureReport,
+    format_sme_report,
+    global_feature_report,
+    window_importances,
+)
+from repro.core.retrain import RetrainDecision, RetrainManager
+from repro.core.service import DomdService
+from repro.core.pipeline import (
+    DEFAULT_K_GRID,
+    DEFAULT_TRIAL_COUNTS,
+    STAGES,
+    OptimizationReport,
+    PipelineOptimizer,
+    StageResult,
+)
+from repro.core.timeline import LogicalTimeline
+from repro.core.whatif import WhatIfResult, inject_rccs, surge_analysis
+from repro.core.timeline_models import STATIC_BASE_PRED, TimelineModelSet, WindowModel
+
+__all__ = [
+    "PipelineConfig",
+    "paper_final_config",
+    "ARCHITECTURES",
+    "PipelineOptimizer",
+    "OptimizationReport",
+    "StageResult",
+    "STAGES",
+    "DEFAULT_K_GRID",
+    "DEFAULT_TRIAL_COUNTS",
+    "TimelineModelSet",
+    "WindowModel",
+    "STATIC_BASE_PRED",
+    "LogicalTimeline",
+    "DomdEstimator",
+    "DomdService",
+    "RetrainManager",
+    "ConformalDomdEstimator",
+    "DomdInterval",
+    "GlobalFeatureReport",
+    "global_feature_report",
+    "window_importances",
+    "format_sme_report",
+    "WhatIfResult",
+    "inject_rccs",
+    "surge_analysis",
+    "RetrainDecision",
+    "DomdEstimate",
+    "FeatureContribution",
+    "fuse",
+    "fuse_progressive",
+    "FUSION_METHODS",
+    "make_model",
+    "MODEL_FAMILIES",
+    "BaseModelAdapter",
+    "GbmAdapter",
+    "LinearAdapter",
+]

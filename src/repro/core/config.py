@@ -1,0 +1,105 @@
+"""Pipeline configuration (the parameter vector x of Problem 2).
+
+A :class:`PipelineConfig` fixes every choice the greedy optimizer makes:
+feature-selection method and feature count ``k`` (Task 2), base model
+family and architecture (Task 3), loss function (Task 4), hyperparameter
+budget (Task 5), and fusion technique (Task 6) — plus the timeline window
+width ``x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.fusion import FUSION_METHODS
+from repro.core.models import MODEL_FAMILIES
+from repro.errors import ConfigurationError
+from repro.features.selection import FEATURE_SELECTION_METHODS
+from repro.ml.gbm import GbmParams
+from repro.ml.losses import LOSS_NAMES
+
+ARCHITECTURES = ("flat", "stacked")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All tunable parameters of the DoMD modeling pipeline.
+
+    The defaults are the paper's *pre-optimization* defaults (l2 loss,
+    no fusion, flat architecture); :func:`paper_final_config` returns the
+    configuration the paper ultimately selects.
+    """
+
+    selection_method: str = "pearson"
+    k: int = 60
+    model_family: str = "gbm"
+    architecture: str = "flat"
+    loss: str = "l2"
+    huber_delta: float = 18.0
+    n_trials: int = 0  # 0 = defaults, no AutoHPT
+    fusion: str = "none"
+    window_pct: float = 10.0
+    gbm: GbmParams = field(default_factory=lambda: GbmParams(n_estimators=120))
+    linear_alpha: float = 1.0
+    linear_l1_ratio: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.selection_method not in FEATURE_SELECTION_METHODS:
+            raise ConfigurationError(
+                f"selection_method must be one of {FEATURE_SELECTION_METHODS}"
+            )
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.model_family not in MODEL_FAMILIES:
+            raise ConfigurationError(f"model_family must be one of {MODEL_FAMILIES}")
+        if self.architecture not in ARCHITECTURES:
+            raise ConfigurationError(f"architecture must be one of {ARCHITECTURES}")
+        if self.loss not in LOSS_NAMES:
+            raise ConfigurationError(f"loss must be one of {LOSS_NAMES}")
+        if self.fusion not in FUSION_METHODS:
+            raise ConfigurationError(f"fusion must be one of {FUSION_METHODS}")
+        if not 0 < self.window_pct <= 100:
+            raise ConfigurationError(f"window_pct must be in (0, 100], got {self.window_pct}")
+        if self.n_trials < 0:
+            raise ConfigurationError(f"n_trials must be >= 0, got {self.n_trials}")
+
+    def evolve(self, **overrides: Any) -> "PipelineConfig":
+        """Copy with some fields replaced."""
+        return replace(self, **overrides)
+
+    def describe(self) -> dict[str, Any]:
+        """Flat description (used in reports and benchmark headers)."""
+        return {
+            "selection_method": self.selection_method,
+            "k": self.k,
+            "model_family": self.model_family,
+            "architecture": self.architecture,
+            "loss": self.loss,
+            "huber_delta": self.huber_delta,
+            "n_trials": self.n_trials,
+            "fusion": self.fusion,
+            "window_pct": self.window_pct,
+        }
+
+
+def paper_final_config(**overrides: Any) -> PipelineConfig:
+    """The configuration selected by the paper's greedy optimization.
+
+    Pearson correlation with k = 60, XGBoost-style GBM, non-stacked
+    architecture, pseudo-Huber loss with delta = 18, 30 AutoHPT trials,
+    average fusion, 10% windows.
+    """
+    config = PipelineConfig(
+        selection_method="pearson",
+        k=60,
+        model_family="gbm",
+        architecture="flat",
+        loss="pseudo_huber",
+        huber_delta=18.0,
+        n_trials=30,
+        fusion="average",
+        window_pct=10.0,
+    )
+    return config.evolve(**overrides) if overrides else config

@@ -1,0 +1,276 @@
+"""DoMD query answering (Problem 1) and per-avail explanations.
+
+:class:`DomdEstimator` is the deployable surface of the framework: fit it
+on a dataset (optionally restricted to a training population), then ask
+for delay estimates of any avail at any physical date or logical time.
+A query at logical time ``t*`` returns the per-window estimates
+``d_hat(0), d_hat(x), ..., d_hat(t*)`` plus the fused estimate at each
+step — exactly the output shape Problem 1 specifies.
+
+For interpretability (a hard requirement of the Navy deployment), the
+estimator surfaces the top-k contributing features of any estimate via
+the base model's additive per-sample attributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PipelineConfig, paper_final_config
+from repro.core.timeline import LogicalTimeline
+from repro.core.timeline_models import TimelineModelSet
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.features.static import static_features_for
+from repro.features.transform import StatusFeatureExtractor
+from repro.ml.metrics import metric_suite
+
+
+@dataclass(frozen=True)
+class DomdEstimate:
+    """DoMD query answer for one avail."""
+
+    avail_id: int
+    t_star: float
+    window_t_stars: np.ndarray  # boundaries 0, x, ..., <= t*
+    window_estimates: np.ndarray  # raw per-window model outputs
+    fused_estimates: np.ndarray  # progressively fused estimates
+    current_estimate: float  # fused estimate at the last window
+
+    def as_dict(self) -> dict:
+        return {
+            "avail_id": self.avail_id,
+            "t_star": self.t_star,
+            "windows": [float(t) for t in self.window_t_stars],
+            "estimates": [float(v) for v in self.window_estimates],
+            "fused": [float(v) for v in self.fused_estimates],
+            "current": self.current_estimate,
+        }
+
+
+@dataclass(frozen=True)
+class FeatureContribution:
+    """One feature's additive contribution to an estimate."""
+
+    name: str
+    contribution: float
+    value: float
+
+
+@dataclass
+class DomdEstimator:
+    """Fit-once, query-anytime DoMD estimation service."""
+
+    config: PipelineConfig = field(default_factory=paper_final_config)
+
+    def __post_init__(self) -> None:
+        self.timeline = LogicalTimeline(self.config.window_pct)
+        self._model_set: TimelineModelSet | None = None
+        self._tensor = None
+        self._X_static = None
+        self._avail_ids: np.ndarray | None = None
+        self._dataset: NavyMaintenanceDataset | None = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: NavyMaintenanceDataset,
+        train_ids: np.ndarray | None = None,
+    ) -> "DomdEstimator":
+        """Extract features for the whole dataset and fit window models.
+
+        Parameters
+        ----------
+        dataset:
+            NMD snapshot; features are computed for *every* avail so any
+            of them can be queried afterwards.
+        train_ids:
+            Avail ids used for model fitting (default: all closed
+            avails).  Ongoing avails can never be trained on (no label).
+        """
+        self._dataset = dataset
+        self._tensor = StatusFeatureExtractor(dataset, self.timeline.t_stars).extract()
+        X_static, self._static_names, static_ids = static_features_for(dataset)
+        self._X_static = X_static
+        self._avail_ids = static_ids
+
+        closed = dataset.closed_avails()
+        closed_ids = set(int(a) for a in closed["avail_id"])
+        if train_ids is None:
+            train_ids = np.array(sorted(closed_ids), dtype=np.int64)
+        else:
+            train_ids = np.asarray(train_ids, dtype=np.int64)
+            not_closed = [int(a) for a in train_ids if int(a) not in closed_ids]
+            if not_closed:
+                raise ConfigurationError(
+                    f"cannot train on ongoing/unknown avails: {not_closed[:5]}"
+                )
+        delay_by_id = {
+            int(a): float(d)
+            for a, d in zip(dataset.avails["avail_id"], dataset.avails["delay"])
+        }
+        rows = self._tensor.rows_for(train_ids)
+        y = np.array([delay_by_id[int(a)] for a in train_ids])
+        self._model_set = TimelineModelSet(
+            config=self.config,
+            dyn_feature_names=list(self._tensor.feature_names),
+            static_feature_names=self._static_names,
+        ).fit(X_static[rows], self._tensor.values[rows], y)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._model_set is None:
+            raise NotFittedError("DomdEstimator is not fitted")
+
+    def serve(self, dataset: NavyMaintenanceDataset) -> "DomdEstimator":
+        """Bind the fitted models to a *new* dataset snapshot.
+
+        Returns a fresh estimator sharing this one's fitted window models
+        (no retraining) with features re-extracted from ``dataset`` —
+        the nightly-refresh path of the deployed engine, and the basis of
+        counterfactual what-if queries on modified snapshots.
+        """
+        self._check_fitted()
+        served = DomdEstimator(self.config)
+        served._dataset = dataset
+        served._tensor = StatusFeatureExtractor(
+            dataset, served.timeline.t_stars
+        ).extract()
+        X_static, served._static_names, served._avail_ids = static_features_for(dataset)
+        served._X_static = X_static
+        served._model_set = self._model_set
+        return served
+
+    # ------------------------------------------------------------------
+    def logical_time_of(self, avail_id: int, physical_day: float) -> float:
+        """Convert a physical day to an avail's logical time."""
+        self._check_fitted()
+        assert self._dataset is not None
+        avail = self._dataset.avail(int(avail_id))
+        return avail.logical_time_of(physical_day)
+
+    def query(
+        self,
+        avail_ids: np.ndarray | list[int],
+        t_star: float | None = None,
+        physical_day: float | None = None,
+    ) -> list[DomdEstimate]:
+        """Answer a DoMD query (Problem 1).
+
+        Exactly one of ``t_star`` (shared logical time) or
+        ``physical_day`` (converted per avail) must be given.
+        """
+        self._check_fitted()
+        if (t_star is None) == (physical_day is None):
+            raise ConfigurationError("provide exactly one of t_star / physical_day")
+        estimates = []
+        for avail_id in avail_ids:
+            avail_t = (
+                float(t_star)
+                if t_star is not None
+                else self.logical_time_of(int(avail_id), float(physical_day))
+            )
+            if avail_t < 0:
+                raise ConfigurationError(
+                    f"avail {avail_id}: queried before its actual start (t*={avail_t:.1f})"
+                )
+            estimates.append(self._estimate_one(int(avail_id), avail_t))
+        return estimates
+
+    def _estimate_one(self, avail_id: int, t_star: float) -> DomdEstimate:
+        assert self._model_set is not None and self._tensor is not None
+        assert self._X_static is not None
+        row = self._tensor.rows_for(np.array([avail_id]))
+        X_static = self._X_static[row]
+        last_window = self.timeline.window_index(t_star)
+        raw = np.empty(last_window + 1)
+        for ti in range(last_window + 1):
+            X_dyn = self._tensor.values[row, ti, :]
+            raw[ti] = self._model_set.predict_window(X_static, X_dyn, ti)[0]
+        from repro.core.fusion import fuse_progressive
+
+        fused = fuse_progressive(raw[None, :], self.config.fusion)[0]
+        return DomdEstimate(
+            avail_id=avail_id,
+            t_star=t_star,
+            window_t_stars=self.timeline.t_stars[: last_window + 1].copy(),
+            window_estimates=raw,
+            fused_estimates=fused,
+            current_estimate=float(fused[-1]),
+        )
+
+    # ------------------------------------------------------------------
+    def explain(
+        self, avail_id: int, t_star: float, top: int = 5
+    ) -> list[FeatureContribution]:
+        """Top contributing features for one avail's estimate at ``t*``.
+
+        Contributions come from the window model at ``t*``'s boundary
+        (additive Saabas attributions for GBM, centered linear terms for
+        Elastic-Net); the bias term is excluded from the ranking.
+        """
+        self._check_fitted()
+        assert self._model_set is not None and self._tensor is not None
+        assert self._X_static is not None
+        if top < 1:
+            raise ConfigurationError(f"top must be >= 1, got {top}")
+        row = self._tensor.rows_for(np.array([int(avail_id)]))
+        window_index = self.timeline.window_index(t_star)
+        X_static = self._X_static[row]
+        X_dyn = self._tensor.values[row, window_index, :]
+        contributions, names = self._model_set.contributions_at(
+            X_static, X_dyn, window_index
+        )
+        window = self._model_set.windows[window_index]
+        design, _ = self._model_set._design(
+            X_static,
+            X_dyn,
+            window.selected,
+            self._model_set._base_model.predict(X_static)
+            if self._model_set._base_model is not None
+            else None,
+        )
+        per_feature = contributions[0, :-1]
+        order = np.argsort(np.abs(per_feature))[::-1][:top]
+        return [
+            FeatureContribution(
+                name=names[i],
+                contribution=float(per_feature[i]),
+                value=float(design[0, i]),
+            )
+            for i in order
+        ]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, avail_ids: np.ndarray) -> dict[str, dict[str, float]]:
+        """Table-7-style metrics of the fused estimate on closed avails.
+
+        Returns ``{"t=<boundary>": suite, ..., "average": suite}``.
+        """
+        self._check_fitted()
+        assert self._dataset is not None and self._tensor is not None
+        assert self._X_static is not None and self._model_set is not None
+        avail_ids = np.asarray(avail_ids, dtype=np.int64)
+        delay_by_id = {
+            int(a): float(d)
+            for a, d in zip(
+                self._dataset.avails["avail_id"], self._dataset.avails["delay"]
+            )
+        }
+        y = np.array([delay_by_id[int(a)] for a in avail_ids])
+        if np.any(np.isnan(y)):
+            raise ConfigurationError("evaluate() requires closed avails only")
+        rows = self._tensor.rows_for(avail_ids)
+        fused = self._model_set.predict_fused(
+            self._X_static[rows], self._tensor.values[rows]
+        )
+        out: dict[str, dict[str, float]] = {}
+        for ti, boundary in enumerate(self.timeline.t_stars):
+            out[f"t={boundary:g}"] = metric_suite(y, fused[:, ti])
+        keys = next(iter(out.values())).keys()
+        out["average"] = {
+            key: float(np.mean([suite[key] for suite in out.values()])) for key in keys
+        }
+        return out

@@ -1,0 +1,156 @@
+"""Base-model adapters: one interface over GBM and Elastic-Net.
+
+Task 3 of the paper compares model families (XGBoost vs linear
+regression with Elastic-Net regularisation).  The adapters normalise
+fit / predict / importances / per-sample contributions so the rest of
+the pipeline is family-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.gbm import GbmParams, GradientBoostedTrees
+from repro.ml.linear import ElasticNet
+
+MODEL_FAMILIES = ("gbm", "linear")
+
+
+class BaseModelAdapter(abc.ABC):
+    """Common interface over the base-model families."""
+
+    family: str = "abstract"
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseModelAdapter":
+        """Fit on a design matrix."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Point predictions."""
+
+    @abc.abstractmethod
+    def feature_importances(self) -> np.ndarray:
+        """Non-negative importances, normalised to sum to 1 when possible."""
+
+    @abc.abstractmethod
+    def contributions(self, X: np.ndarray) -> np.ndarray:
+        """(n, p + 1) per-sample additive contributions; last column bias.
+
+        Rows sum to :meth:`predict`.
+        """
+
+    @abc.abstractmethod
+    def clone(self) -> "BaseModelAdapter":
+        """Fresh unfitted copy with identical hyperparameters."""
+
+
+class GbmAdapter(BaseModelAdapter):
+    """Gradient-boosted trees with a configurable robust loss."""
+
+    family = "gbm"
+
+    def __init__(self, params: GbmParams | None = None):
+        self.params = params or GbmParams()
+        self._model: GradientBoostedTrees | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GbmAdapter":
+        self._model = GradientBoostedTrees(self.params).fit(X, y)
+        return self
+
+    def _fitted(self) -> GradientBoostedTrees:
+        if self._model is None:
+            raise NotFittedError("GbmAdapter is not fitted")
+        return self._model
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._fitted().predict(X)
+
+    def feature_importances(self) -> np.ndarray:
+        return self._fitted().feature_importances()
+
+    def contributions(self, X: np.ndarray) -> np.ndarray:
+        return self._fitted().contributions(X)
+
+    def clone(self) -> "GbmAdapter":
+        return GbmAdapter(self.params)
+
+    def with_loss(self, loss: str, delta: float = 18.0) -> "GbmAdapter":
+        """Copy with a different training loss."""
+        return GbmAdapter(replace(self.params, loss=loss, huber_delta=delta))
+
+
+class LinearAdapter(BaseModelAdapter):
+    """Elastic-Net linear regression."""
+
+    family = "linear"
+
+    def __init__(self, alpha: float = 1.0, l1_ratio: float = 0.5):
+        self.alpha = alpha
+        self.l1_ratio = l1_ratio
+        self._model: ElasticNet | None = None
+        self._train_mean: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearAdapter":
+        self._model = ElasticNet(alpha=self.alpha, l1_ratio=self.l1_ratio).fit(X, y)
+        self._train_mean = np.asarray(X, dtype=np.float64).mean(axis=0)
+        return self
+
+    def _fitted(self) -> ElasticNet:
+        if self._model is None:
+            raise NotFittedError("LinearAdapter is not fitted")
+        return self._model
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._fitted().predict(X)
+
+    def feature_importances(self) -> np.ndarray:
+        coef = np.abs(self._fitted().coef_)
+        total = coef.sum()
+        return coef / total if total > 0 else coef
+
+    def contributions(self, X: np.ndarray) -> np.ndarray:
+        """Centered linear attributions: ``(x_j - mean_j) * coef_j``."""
+        model = self._fitted()
+        assert self._train_mean is not None
+        X = np.asarray(X, dtype=np.float64)
+        centered = X - self._train_mean
+        contrib = centered * model.coef_
+        bias = model.intercept_ + float(self._train_mean @ model.coef_)
+        out = np.empty((len(X), X.shape[1] + 1))
+        out[:, :-1] = contrib
+        out[:, -1] = bias
+        return out
+
+    def clone(self) -> "LinearAdapter":
+        return LinearAdapter(self.alpha, self.l1_ratio)
+
+
+def make_model(
+    family: str,
+    loss: str = "l2",
+    huber_delta: float = 18.0,
+    gbm_params: GbmParams | None = None,
+    alpha: float = 1.0,
+    l1_ratio: float = 0.5,
+) -> BaseModelAdapter:
+    """Build a base-model adapter.
+
+    For the GBM family, ``loss``/``huber_delta`` override the params'
+    loss; the linear family always trains with squared loss (its
+    regularisation — not its loss — is the tunable part, as in the
+    paper's Elastic-Net setup).
+    """
+    if family == "gbm":
+        params = gbm_params or GbmParams()
+        params = replace(params, loss=loss, huber_delta=huber_delta)
+        return GbmAdapter(params)
+    if family == "linear":
+        return LinearAdapter(alpha=alpha, l1_ratio=l1_ratio)
+    raise ConfigurationError(
+        f"unknown model family {family!r}; expected one of {MODEL_FAMILIES}"
+    )

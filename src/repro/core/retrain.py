@@ -1,0 +1,163 @@
+"""Automated retraining (the paper's hands-off deployment loop).
+
+"The solution is a predictive maintenance pipeline that uses obfuscated
+data for training and then retrains on raw data in the Navy environment
+**without human intervention**."  Inside the enclave, new avails close
+every month; this module is the guardrail around unattended refits:
+
+1. fit a *candidate* estimator on the current training population,
+2. score champion and candidate on the same held-out population,
+3. promote the candidate only if it does not regress beyond a tolerance
+   (champion/challenger with a one-way ratchet),
+4. keep an audit log of every decision.
+
+No scheduling machinery — callers decide *when*; this decides *whether*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.estimator import DomdEstimator
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetrainDecision:
+    """Audit record of one champion/challenger evaluation."""
+
+    promoted: bool
+    reason: str
+    champion_mae: float
+    candidate_mae: float
+    n_train: int
+    n_eval: int
+
+    def as_dict(self) -> dict:
+        return {
+            "promoted": self.promoted,
+            "reason": self.reason,
+            "champion_mae": self.champion_mae,
+            "candidate_mae": self.candidate_mae,
+            "n_train": self.n_train,
+            "n_eval": self.n_eval,
+        }
+
+
+@dataclass
+class RetrainManager:
+    """Champion/challenger loop over :class:`DomdEstimator` fits.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration used for every candidate fit (the design
+        is fixed outside the enclave; only the fit refreshes inside).
+    tolerance:
+        Maximum allowed relative MAE regression for promotion; 0.0 means
+        "promote only on improvement-or-tie".
+    min_new_avails:
+        Candidates are only considered once at least this many new
+        closed avails have appeared since the champion was fitted.
+    """
+
+    config: PipelineConfig
+    tolerance: float = 0.02
+    min_new_avails: int = 1
+    history: list[RetrainDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        if self.min_new_avails < 0:
+            raise ConfigurationError("min_new_avails must be non-negative")
+        self._champion: DomdEstimator | None = None
+        self._champion_train_ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def champion(self) -> DomdEstimator:
+        if self._champion is None:
+            raise ConfigurationError("no champion yet — call bootstrap() first")
+        return self._champion
+
+    def bootstrap(
+        self, dataset: NavyMaintenanceDataset, train_ids: np.ndarray
+    ) -> DomdEstimator:
+        """Fit and install the first champion unconditionally."""
+        self._champion = DomdEstimator(self.config).fit(dataset, train_ids)
+        self._champion_train_ids = np.asarray(train_ids, dtype=np.int64)
+        return self._champion
+
+    def consider(
+        self,
+        dataset: NavyMaintenanceDataset,
+        train_ids: np.ndarray,
+        eval_ids: np.ndarray,
+    ) -> RetrainDecision:
+        """Fit a candidate on ``train_ids`` and maybe promote it.
+
+        Both champion and candidate are scored (timeline-average MAE of
+        the fused estimate) on ``eval_ids`` avails of ``dataset``.
+        """
+        if self._champion is None or self._champion_train_ids is None:
+            raise ConfigurationError("bootstrap() a champion before consider()")
+        train_ids = np.asarray(train_ids, dtype=np.int64)
+        eval_ids = np.asarray(eval_ids, dtype=np.int64)
+        n_new = len(np.setdiff1d(train_ids, self._champion_train_ids))
+        if n_new < self.min_new_avails:
+            decision = RetrainDecision(
+                promoted=False,
+                reason=f"only {n_new} new training avails (< {self.min_new_avails})",
+                champion_mae=float("nan"),
+                candidate_mae=float("nan"),
+                n_train=len(train_ids),
+                n_eval=len(eval_ids),
+            )
+            self.history.append(decision)
+            return decision
+
+        candidate = DomdEstimator(self.config).fit(dataset, train_ids)
+        candidate_mae = candidate.evaluate(eval_ids)["average"]["mae_100"]
+        # The champion may have been fitted against an older snapshot; it
+        # is re-served against the current dataset for a fair read.
+        champion_mae = self._evaluate_champion(dataset, eval_ids)
+
+        if candidate_mae <= champion_mae * (1.0 + self.tolerance):
+            self._champion = candidate
+            self._champion_train_ids = train_ids
+            decision = RetrainDecision(
+                promoted=True,
+                reason="candidate within tolerance of champion",
+                champion_mae=champion_mae,
+                candidate_mae=candidate_mae,
+                n_train=len(train_ids),
+                n_eval=len(eval_ids),
+            )
+        else:
+            decision = RetrainDecision(
+                promoted=False,
+                reason=(
+                    f"candidate regressed {candidate_mae / champion_mae - 1.0:+.1%} "
+                    f"(tolerance {self.tolerance:.1%})"
+                ),
+                champion_mae=champion_mae,
+                candidate_mae=candidate_mae,
+                n_train=len(train_ids),
+                n_eval=len(eval_ids),
+            )
+        self.history.append(decision)
+        return decision
+
+    def _evaluate_champion(
+        self, dataset: NavyMaintenanceDataset, eval_ids: np.ndarray
+    ) -> float:
+        champion = self.champion
+        if champion._dataset is not dataset:
+            # Serve the champion's fitted models over the new snapshot.
+            champion = champion.serve(dataset)
+        return champion.evaluate(eval_ids)["average"]["mae_100"]

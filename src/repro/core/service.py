@@ -1,0 +1,129 @@
+"""SMDII back-end service layer.
+
+The paper deploys the framework "as a back-end engine for a
+fleet-readiness application within the Navy's Ship Maintenance Data
+Improvement Initiative (SMDII)": an end user logged into SMDII can query
+the estimated delay of any ongoing or future avail at any time.
+
+:class:`DomdService` is that engine's request surface: JSON-dict in,
+JSON-dict out, with structured error envelopes instead of exceptions —
+the contract a UI layer needs.  Supported request types:
+
+* ``{"type": "domd_query", "avail_ids": [...], "t_star": 55.0}`` (or
+  ``"date": "2024-04-12"``) — Problem 1 estimates.
+* ``{"type": "explain", "avail_id": 7, "t_star": 55.0, "top": 5}`` —
+  the top contributing features behind an estimate.
+* ``{"type": "fleet_status", "date": "..."}`` — every avail in
+  execution on a date, with its current estimate.
+* ``{"type": "metrics", "avail_ids": [...]}`` — Table-7-style metrics
+  for a closed-avail population.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.estimator import DomdEstimator
+from repro.data.dates import iso_to_day
+from repro.errors import ReproError
+
+
+def _error(code: str, message: str) -> dict[str, Any]:
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+class DomdService:
+    """JSON request handler over a fitted :class:`DomdEstimator`."""
+
+    def __init__(self, estimator: DomdEstimator):
+        if estimator._model_set is None:
+            raise ReproError("DomdService requires a fitted estimator")
+        self._estimator = estimator
+
+    # ------------------------------------------------------------------
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one request; never raises for bad input."""
+        if not isinstance(request, dict):
+            return _error("bad_request", "request must be a JSON object")
+        request_type = request.get("type")
+        handlers = {
+            "domd_query": self._handle_query,
+            "explain": self._handle_explain,
+            "fleet_status": self._handle_fleet_status,
+            "metrics": self._handle_metrics,
+        }
+        handler = handlers.get(request_type)
+        if handler is None:
+            return _error(
+                "unknown_type",
+                f"unknown request type {request_type!r}; expected one of {sorted(handlers)}",
+            )
+        try:
+            return {"ok": True, "result": handler(request)}
+        except ReproError as exc:
+            return _error("domain_error", str(exc))
+        except (KeyError, TypeError, ValueError) as exc:
+            return _error("bad_request", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def _resolve_time(self, request: dict[str, Any]) -> dict[str, Any]:
+        t_star = request.get("t_star")
+        date = request.get("date")
+        if (t_star is None) == (date is None):
+            raise ValueError("provide exactly one of 't_star' / 'date'")
+        if t_star is not None:
+            return {"t_star": float(t_star)}
+        return {"physical_day": float(iso_to_day(str(date)))}
+
+    def _handle_query(self, request: dict[str, Any]) -> list[dict[str, Any]]:
+        avail_ids = [int(a) for a in request["avail_ids"]]
+        estimates = self._estimator.query(avail_ids, **self._resolve_time(request))
+        return [estimate.as_dict() for estimate in estimates]
+
+    def _handle_explain(self, request: dict[str, Any]) -> dict[str, Any]:
+        avail_id = int(request["avail_id"])
+        t_star = float(request["t_star"])
+        top = int(request.get("top", 5))
+        contributions = self._estimator.explain(avail_id, t_star, top=top)
+        return {
+            "avail_id": avail_id,
+            "t_star": t_star,
+            "contributions": [
+                {"feature": c.name, "days": c.contribution, "value": c.value}
+                for c in contributions
+            ],
+        }
+
+    def _handle_fleet_status(self, request: dict[str, Any]) -> list[dict[str, Any]]:
+        date = request.get("date")
+        if date is None:
+            raise ValueError("'date' is required for fleet_status")
+        day = iso_to_day(str(date))
+        dataset = self._estimator._dataset
+        assert dataset is not None
+        avails = dataset.avails
+        act_start = np.asarray(avails["act_start"])
+        planned = np.asarray(avails["planned_duration"])
+        progress = (day - act_start) / planned * 100.0
+        executing = (progress >= 0.0) & (progress <= 100.0)
+        out = []
+        for row in np.flatnonzero(executing):
+            avail_id = int(avails["avail_id"][row])
+            t_star = float(progress[row])
+            estimate = self._estimator.query([avail_id], t_star=t_star)[0]
+            out.append(
+                {
+                    "avail_id": avail_id,
+                    "ship_id": int(avails["ship_id"][row]),
+                    "progress_pct": round(t_star, 1),
+                    "estimated_delay_days": estimate.current_estimate,
+                }
+            )
+        out.sort(key=lambda item: -item["estimated_delay_days"])
+        return out
+
+    def _handle_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
+        avail_ids = np.asarray([int(a) for a in request["avail_ids"]], dtype=np.int64)
+        return self._estimator.evaluate(avail_ids)

@@ -1,0 +1,65 @@
+"""Logical timeline discretisation (paper Section 2).
+
+The planned maintenance duration is discretised into windows of width
+``x``%; one model is trained per window boundary, giving
+``1 + ceil(100 / x)`` models over 0..100%.  A DoMD query at logical time
+``t*`` is answered by every model whose boundary does not exceed ``t*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dates import logical_time
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogicalTimeline:
+    """The model grid over logical time.
+
+    Attributes
+    ----------
+    window_pct:
+        Window width ``x`` in percent of planned duration.
+    """
+
+    window_pct: float = 10.0
+    t_stars: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.window_pct <= 100:
+            raise ConfigurationError(
+                f"window_pct must be in (0, 100], got {self.window_pct}"
+            )
+        n_steps = int(np.ceil(100.0 / self.window_pct))
+        object.__setattr__(
+            self, "t_stars", np.round(np.linspace(0.0, 100.0, n_steps + 1), 6)
+        )
+
+    @property
+    def n_models(self) -> int:
+        """``1 + ceil(100 / x)`` — one model per window boundary."""
+        return len(self.t_stars)
+
+    def window_index(self, t_star: float) -> int:
+        """Index of the last model boundary not exceeding ``t_star``.
+
+        Values beyond 100% clamp to the final model (the paper's models
+        stop at 100% of planned duration).
+        """
+        if t_star < 0:
+            raise ConfigurationError(f"t* must be non-negative, got {t_star}")
+        return int(np.searchsorted(self.t_stars, min(t_star, 100.0), side="right") - 1)
+
+    def boundaries_upto(self, t_star: float) -> np.ndarray:
+        """All model boundaries at or before ``t_star``."""
+        return self.t_stars[: self.window_index(t_star) + 1]
+
+    def logical_of(self, physical_day: float, act_start: float, planned_duration: float) -> float:
+        """Physical day -> logical time for one avail (Equation 1)."""
+        if planned_duration <= 0:
+            raise ConfigurationError("planned duration must be positive")
+        return float(logical_time(physical_day, act_start, planned_duration))

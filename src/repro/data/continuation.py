@@ -1,0 +1,179 @@
+"""Dataset continuation: new avails arriving after a snapshot.
+
+The deployed pipeline retrains as the database grows — every month new
+availabilities close inside the enclave.  :func:`generate_continuation`
+extends an existing (synthetic) dataset with freshly closed avails on
+the *same ships*, drawn from the same delay process, starting after the
+snapshot's latest planned start:
+
+* ship references, per-ship maintenance history (``n_prior_avails``)
+  and id spaces continue seamlessly;
+* the same severity/latent/trouble mechanics drive delays and RCC
+  volume, so the new avails are exchangeable with the old ones — the
+  honest setting for testing unattended retraining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dates import MISSING_DATE
+from repro.data.generator import (
+    SHIP_CLASSES,
+    SyntheticNmdConfig,
+    _RMC_EFFICIENCY,
+    _generate_rccs,
+)
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import ConfigurationError, DataGenerationError
+from repro.table.table import ColumnTable
+
+
+def generate_continuation(
+    dataset: NavyMaintenanceDataset,
+    n_new_closed: int = 12,
+    seed: int = 101,
+    horizon_days: int = 540,
+) -> NavyMaintenanceDataset:
+    """Extend a dataset with newly closed avails (and their RCCs).
+
+    Parameters
+    ----------
+    dataset:
+        Source snapshot (unchanged); must contain at least one ship.
+    n_new_closed:
+        Number of new *closed* avails to append.
+    seed:
+        RNG seed for the continuation draw.
+    horizon_days:
+        New planned starts fall in
+        ``(latest plan_start, latest plan_start + horizon_days]``.
+
+    Returns
+    -------
+    A new :class:`NavyMaintenanceDataset` containing the original rows
+    plus the continuation.
+    """
+    if n_new_closed < 1:
+        raise ConfigurationError("n_new_closed must be >= 1")
+    if dataset.ships.n_rows == 0:
+        raise DataGenerationError("dataset has no ships to continue from")
+    config = dataset.notes.get("config") if dataset.notes else None
+    if not isinstance(config, SyntheticNmdConfig):
+        config = SyntheticNmdConfig()
+    rng = np.random.default_rng(seed)
+    ships = dataset.ships
+    n_total = n_new_closed
+
+    ship_rows = rng.integers(0, ships.n_rows, n_total)
+    ship_ids = np.asarray(ships["ship_id"], dtype=np.int64)[ship_rows]
+    ship_class = ships["ship_class"][ship_rows]
+    displacement = ships["displacement"][ship_rows]
+    rmc_id = np.asarray(ships["rmc_id"], dtype=np.int64)[ship_rows]
+    commission_year = np.asarray(ships["commission_year"], dtype=np.int64)[ship_rows]
+
+    last_start = int(np.max(dataset.avails["plan_start"]))
+    plan_start = np.sort(
+        rng.integers(last_start + 1, last_start + horizon_days + 1, n_total)
+    )
+    avail_type = rng.choice(["docking", "pierside"], size=n_total, p=[0.55, 0.45])
+    planned_duration = np.where(
+        avail_type == "docking",
+        rng.integers(300, 651, n_total),
+        rng.integers(100, 301, n_total),
+    ).astype(np.int64)
+    plan_end = plan_start + planned_duration
+
+    # Approximate calendar years relative to the original epoch.
+    first_day = int(np.min(dataset.avails["plan_start"]))
+    start_year = (plan_start - first_day) // 365
+    ship_age = np.maximum((2015 + start_year) - commission_year, 1)
+    start_quarter = ((plan_start - first_day) // 91) % 4 + 1
+
+    # Continue each ship's maintenance history.
+    existing_counts: dict[int, int] = {}
+    for ship in np.asarray(dataset.avails["ship_id"], dtype=np.int64):
+        existing_counts[int(ship)] = existing_counts.get(int(ship), 0) + 1
+    n_prior = np.zeros(n_total, dtype=np.int64)
+    for i, ship in enumerate(ship_ids):
+        n_prior[i] = existing_counts.get(int(ship), 0)
+        existing_counts[int(ship)] = n_prior[i] + 1
+
+    # ---- same trouble / delay process as the base generator -------------
+    class_risk = np.array([SHIP_CLASSES[c][2] for c in ship_class])
+    age_factor = np.clip(1.0 + 0.03 * (ship_age - 15), 0.55, 2.4)
+    duration_factor = 0.45 + planned_duration / 420.0
+    severity = (class_risk * age_factor * duration_factor * _RMC_EFFICIENCY[rmc_id]) ** 1.7 / 1.55
+    latent = rng.gamma(config.trouble_shape, config.trouble_scale, n_total)
+    trouble = severity * latent
+    noise = rng.normal(0.0, config.delay_noise_sd, n_total)
+    saturation = trouble + 0.6 * np.maximum(trouble - 1.2, 0.0)
+    type_amplifier = np.where(avail_type == "docking", 1.2, 0.85)
+    delay = (
+        config.delay_per_trouble * saturation * type_amplifier
+        - config.early_shift_days
+        + 6.0 * (n_prior - 1)
+        + noise
+    )
+    delay = np.clip(np.round(delay), -45, 1100).astype(np.int64)
+
+    late_start = (rng.random(n_total) < 0.12) * rng.integers(3, 30, n_total)
+    act_start = plan_start + late_start
+    act_end = act_start + planned_duration + delay
+
+    next_avail_id = int(np.max(dataset.avails["avail_id"])) + 1
+    new_avails = ColumnTable(
+        {
+            "avail_id": np.arange(next_avail_id, next_avail_id + n_total, dtype=np.int64),
+            "ship_id": ship_ids,
+            "status": np.array(["closed"] * n_total, dtype=object),
+            "plan_start": plan_start.astype(np.int64),
+            "plan_end": plan_end.astype(np.int64),
+            "act_start": act_start.astype(np.int64),
+            "act_end": act_end.astype(np.int64),
+            "delay": delay.astype(np.float64),
+            "ship_class": np.asarray(ship_class, dtype=object),
+            "rmc_id": rmc_id,
+            "ship_age": ship_age.astype(np.int64),
+            "planned_duration": planned_duration,
+            "n_prior_avails": n_prior,
+            "avail_type": np.asarray(avail_type, dtype=object),
+            "start_quarter": start_quarter.astype(np.int64),
+            "displacement": np.asarray(displacement, dtype=np.float64),
+        }
+    )
+
+    # ---- RCCs for the new avails, at the original volume per avail ------
+    rccs_per_avail = max(int(round(dataset.n_rccs / max(dataset.n_avails, 1))), 2)
+    rcc_config = SyntheticNmdConfig(
+        n_ships=dataset.n_ships,
+        n_closed_avails=n_total,
+        n_ongoing_avails=0,
+        target_n_rccs=max(rccs_per_avail * n_total, n_total),
+        seed=seed,
+        trouble_shape=config.trouble_shape,
+        trouble_scale=config.trouble_scale,
+        delay_per_trouble=config.delay_per_trouble,
+        delay_noise_sd=config.delay_noise_sd,
+        early_shift_days=config.early_shift_days,
+    )
+    new_rccs = _generate_rccs(rcc_config, rng, new_avails, trouble)
+    # Re-key into the continued id spaces.
+    next_rcc_id = int(np.max(dataset.rccs["rcc_id"])) + 1
+    local_avail_ids = np.asarray(new_rccs["avail_id"], dtype=np.int64)
+    new_rccs = new_rccs.with_column(
+        "rcc_id", np.arange(next_rcc_id, next_rcc_id + new_rccs.n_rows, dtype=np.int64)
+    ).with_column(
+        "avail_id", np.asarray(new_avails["avail_id"], dtype=np.int64)[local_avail_ids]
+    )
+
+    # Keep ongoing avails (missing act_end) intact through concat.
+    assert MISSING_DATE < 0  # documented sentinel survives int concat
+    return NavyMaintenanceDataset(
+        ships=dataset.ships,
+        avails=ColumnTable.concat([dataset.avails, new_avails]),
+        rccs=ColumnTable.concat([dataset.rccs, new_rccs]),
+        seed=dataset.seed,
+        scaling_factor=dataset.scaling_factor,
+        notes={"continuation_of": dataset.seed, "config": config},
+    )

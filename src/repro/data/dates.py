@@ -1,0 +1,57 @@
+"""Date handling.
+
+All tables store dates as **integer day ordinals** (``datetime.date.toordinal``)
+so date arithmetic stays vectorised in numpy; these helpers convert to and
+from ISO strings at the edges (CSV io, examples, display).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+#: Sentinel ordinal for "not yet" dates (ongoing avails have no actual end).
+MISSING_DATE = -1
+
+
+def iso_to_day(iso: str) -> int:
+    """ISO date string -> day ordinal. Empty string maps to MISSING_DATE."""
+    if not iso:
+        return MISSING_DATE
+    return _dt.date.fromisoformat(iso).toordinal()
+
+
+def day_to_iso(day: int) -> str:
+    """Day ordinal -> ISO date string. MISSING_DATE maps to empty string."""
+    if day == MISSING_DATE:
+        return ""
+    return _dt.date.fromordinal(int(day)).isoformat()
+
+
+def days_between(later: np.ndarray | int, earlier: np.ndarray | int) -> np.ndarray | int:
+    """Difference in days (simply subtraction, kept for readability)."""
+    return later - earlier
+
+
+def logical_time(
+    physical_day: np.ndarray | float,
+    actual_start: np.ndarray | float,
+    planned_duration: np.ndarray | float,
+) -> np.ndarray | float:
+    """Logical time ``t*`` (Equation 1): percent of planned duration elapsed.
+
+    ``t* = (t - t_actS) / s_plan * 100``.  May exceed 100 for events that
+    occur after the planned end of an overrunning avail, and be negative
+    for events predating the actual start.
+    """
+    return (physical_day - actual_start) / planned_duration * 100.0
+
+
+def physical_time(
+    t_star: np.ndarray | float,
+    actual_start: np.ndarray | float,
+    planned_duration: np.ndarray | float,
+) -> np.ndarray | float:
+    """Inverse of :func:`logical_time` (returns fractional days)."""
+    return actual_start + t_star / 100.0 * planned_duration

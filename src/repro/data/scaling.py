@@ -1,0 +1,62 @@
+"""x-fold RCC scaling for the scalability study (Section 5.1).
+
+Following the paper: "a synthetic dataset is created for the RCC table,
+where the temporal distribution of the RCCs is kept intact — only the
+number of RCCs of each type and SWLIN is increased by x folds".
+
+Scaling replicates every RCC row ``factor`` times with fresh ids; dates,
+types and SWLINs are preserved exactly (temporal and categorical
+distributions are therefore *identical*, not merely similar), while
+settled amounts receive a small multiplicative jitter so the copies are
+not byte-identical rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import ConfigurationError
+from repro.table.table import ColumnTable
+
+
+def scale_rccs(
+    dataset: NavyMaintenanceDataset, factor: int, jitter_amounts: bool = True
+) -> NavyMaintenanceDataset:
+    """Return a dataset whose RCC table is ``factor`` times larger.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset (unchanged).
+    factor:
+        Positive integer replication factor; ``1`` returns a cheap copy.
+    jitter_amounts:
+        Apply ±2% multiplicative jitter to the replicated amounts
+        (deterministic from the dataset seed).
+    """
+    if factor < 1:
+        raise ConfigurationError(f"scaling factor must be >= 1, got {factor}")
+    rccs = dataset.rccs
+    if factor == 1:
+        scaled = rccs
+    else:
+        n = rccs.n_rows
+        tiled: dict[str, np.ndarray] = {}
+        for name in rccs.column_names:
+            tiled[name] = np.tile(rccs[name], factor)
+        tiled["rcc_id"] = np.arange(n * factor, dtype=np.int64)
+        if jitter_amounts:
+            rng = np.random.default_rng(dataset.seed if dataset.seed is not None else 0)
+            jitter = rng.uniform(0.98, 1.02, n * factor)
+            jitter[:n] = 1.0  # originals stay exact
+            tiled["amount"] = (tiled["amount"] * jitter).round(2)
+        scaled = ColumnTable(tiled)
+    return NavyMaintenanceDataset(
+        ships=dataset.ships,
+        avails=dataset.avails,
+        rccs=scaled,
+        seed=dataset.seed,
+        scaling_factor=dataset.scaling_factor * factor,
+        notes=dict(dataset.notes),
+    )

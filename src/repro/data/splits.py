@@ -1,0 +1,91 @@
+"""Train / validation / test splitting (paper Section 5.2.1).
+
+"We first carve out a test set of 30% recent avails as test set.  From
+the rest of the 70% of avails, we take a random sample with 25% of the
+avails used for validation and 75% used for training."
+
+Only *closed* avails participate (delay is undefined while ongoing).
+Recency is measured by planned start date.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DataSplits:
+    """Avail-id membership of each split."""
+
+    train_ids: np.ndarray
+    validation_ids: np.ndarray
+    test_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        sets = [set(map(int, ids)) for ids in (self.train_ids, self.validation_ids, self.test_ids)]
+        if sets[0] & sets[1] or sets[0] & sets[2] or sets[1] & sets[2]:
+            raise ConfigurationError("splits overlap")
+
+    @property
+    def n_total(self) -> int:
+        return len(self.train_ids) + len(self.validation_ids) + len(self.test_ids)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "train": len(self.train_ids),
+            "validation": len(self.validation_ids),
+            "test": len(self.test_ids),
+        }
+
+
+def split_dataset(
+    dataset: NavyMaintenanceDataset,
+    test_fraction: float = 0.30,
+    validation_fraction: float = 0.25,
+    seed: int = 42,
+) -> DataSplits:
+    """Chronological test carve-out + random train/validation split.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset; only closed avails are used.
+    test_fraction:
+        Share of the *most recent* closed avails (by planned start) held
+        out as the test set.
+    validation_fraction:
+        Share of the remaining avails sampled (uniformly) for validation.
+    seed:
+        Seed for the random train/validation draw.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if not 0.0 < validation_fraction < 1.0:
+        raise ConfigurationError(
+            f"validation_fraction must be in (0, 1), got {validation_fraction}"
+        )
+    closed = dataset.closed_avails()
+    if closed.n_rows < 10:
+        raise ConfigurationError("need at least 10 closed avails to split")
+    order = np.argsort(closed["plan_start"], kind="stable")
+    ids_sorted = np.asarray(closed["avail_id"], dtype=np.int64)[order]
+
+    n_test = max(int(round(len(ids_sorted) * test_fraction)), 1)
+    test_ids = ids_sorted[-n_test:]
+    remainder = ids_sorted[:-n_test]
+
+    rng = np.random.default_rng(seed)
+    shuffled = rng.permutation(remainder)
+    n_val = max(int(round(len(remainder) * validation_fraction)), 1)
+    validation_ids = np.sort(shuffled[:n_val])
+    train_ids = np.sort(shuffled[n_val:])
+    return DataSplits(
+        train_ids=train_ids,
+        validation_ids=validation_ids,
+        test_ids=np.sort(test_ids),
+    )

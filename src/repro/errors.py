@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or dataset violates an expected schema."""
+
+
+class ColumnNotFoundError(SchemaError, KeyError):
+    """A requested column does not exist in a table."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = available
+        message = f"column {name!r} not found"
+        if available:
+            message += f"; available columns: {', '.join(available)}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message otherwise
+        return self.args[0]
+
+
+class LengthMismatchError(SchemaError):
+    """Columns of a single table have inconsistent lengths."""
+
+
+class IndexCorruptionError(ReproError):
+    """An index structure failed an internal invariant check."""
+
+
+class NotFittedError(ReproError):
+    """A model or transformer was used before ``fit`` was called."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter value or combination was supplied."""
+
+
+class DataGenerationError(ReproError):
+    """The synthetic data generator was asked for an impossible dataset."""

@@ -1,0 +1,72 @@
+"""Feature engineering & selection (paper Section 3.1 / Task 2).
+
+Public API::
+
+    from repro.features import (
+        StatusFeatureExtractor, FeatureTensor, default_timeline,
+        static_feature_matrix, STATIC_FEATURES,
+        select_features, FEATURE_SELECTION_METHODS,
+        build_registry, feature_names, N_GENERATED_FEATURES,
+    )
+"""
+
+from repro.data.schema import STATIC_FEATURES
+from repro.features.registry import (
+    N_GENERATED_FEATURES,
+    N_GRID_FEATURES,
+    SPECIAL_FEATURES,
+    STAT_AXIS,
+    SWLIN_AXIS,
+    TYPE_AXIS,
+    FeatureGridSpec,
+    FeatureSpec,
+    STAT_LOOKUP,
+    build_registry,
+    feature_names,
+    grid_feature_name,
+)
+from repro.features.selection import (
+    FEATURE_SELECTION_METHODS,
+    mutual_info_scores,
+    pearson_scores,
+    random_scores,
+    rfe_ranking,
+    rfe_select,
+    score_ranking,
+    select_features,
+    spearman_scores,
+)
+from repro.features.static import encode_categorical, static_feature_matrix, static_features_for
+from repro.features.tensor import FeatureTensor
+from repro.features.transform import StatusFeatureExtractor, default_timeline
+
+__all__ = [
+    "StatusFeatureExtractor",
+    "FeatureTensor",
+    "default_timeline",
+    "static_feature_matrix",
+    "static_features_for",
+    "encode_categorical",
+    "STATIC_FEATURES",
+    "select_features",
+    "FEATURE_SELECTION_METHODS",
+    "pearson_scores",
+    "spearman_scores",
+    "mutual_info_scores",
+    "random_scores",
+    "rfe_select",
+    "rfe_ranking",
+    "score_ranking",
+    "build_registry",
+    "feature_names",
+    "grid_feature_name",
+    "FeatureSpec",
+    "FeatureGridSpec",
+    "STAT_LOOKUP",
+    "N_GENERATED_FEATURES",
+    "N_GRID_FEATURES",
+    "SPECIAL_FEATURES",
+    "TYPE_AXIS",
+    "SWLIN_AXIS",
+    "STAT_AXIS",
+]

@@ -1,0 +1,262 @@
+"""Feature selection methods (Task 2 of the paper).
+
+Five scoring strategies, matching Section 5.2.1's implemented algorithms:
+
+* **pearson** — |Pearson correlation coefficient| with the target.
+* **spearman** — |Spearman rank correlation| (Pearson on ranks).
+* **mutual_info** — binned mutual information estimate.
+* **rfe** — Recursive Feature Elimination driven by the importances of a
+  gradient-boosted model (the only model-*dependent* method).
+* **random** — uniform random scores (the sanity-check baseline).
+
+All methods expose the same interface: score every feature, sort, return
+the indices of the top-``k``.  Constant features always score zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.gbm import GbmParams, GradientBoostedTrees
+
+FEATURE_SELECTION_METHODS = ("pearson", "spearman", "mutual_info", "rfe", "random")
+
+
+def _validate(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2:
+        raise ConfigurationError(f"X must be 2-D, got shape {X.shape}")
+    if len(X) != len(y):
+        raise ConfigurationError("X and y must have equal length")
+    if len(y) < 3:
+        raise ConfigurationError("feature scoring needs at least 3 samples")
+    return X, y
+
+
+def pearson_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """|Pearson r| per feature; 0 for constant columns."""
+    X, y = _validate(X, y)
+    Xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    x_norm = np.sqrt((Xc**2).sum(axis=0))
+    y_norm = float(np.sqrt((yc**2).sum()))
+    scores = np.zeros(X.shape[1])
+    valid = (x_norm > 0) & (y_norm > 0)
+    if y_norm > 0:
+        scores[valid] = np.abs(Xc[:, valid].T @ yc) / (x_norm[valid] * y_norm)
+    return scores
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean rank), axis 0."""
+    order = np.argsort(values, axis=0, kind="stable")
+    ranks = np.empty_like(values, dtype=np.float64)
+    n = values.shape[0]
+    base = np.arange(n, dtype=np.float64)
+    if values.ndim == 1:
+        ranks[order] = base
+        sorted_vals = values[order]
+        ranks = _average_ties(sorted_vals, ranks, values, order)
+        return ranks
+    for j in range(values.shape[1]):
+        column_order = order[:, j]
+        column_ranks = np.empty(n)
+        column_ranks[column_order] = base
+        ranks[:, j] = _average_ties(
+            values[column_order, j], column_ranks, values[:, j], column_order
+        )
+    return ranks
+
+
+def _average_ties(
+    sorted_vals: np.ndarray,
+    provisional: np.ndarray,
+    original: np.ndarray,
+    order: np.ndarray,
+) -> np.ndarray:
+    """Replace provisional ranks with tie-averaged ranks."""
+    n = len(sorted_vals)
+    boundaries = np.flatnonzero(np.diff(sorted_vals)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [n]])
+    out = np.empty(n)
+    for start, end in zip(starts, ends):
+        out[order[start:end]] = (start + end - 1) / 2.0
+    _ = original, provisional
+    return out
+
+
+def spearman_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """|Spearman rho| per feature (Pearson on tie-averaged ranks)."""
+    X, y = _validate(X, y)
+    return pearson_scores(_rank(X), _rank(y))
+
+
+def mutual_info_scores(X: np.ndarray, y: np.ndarray, n_bins: int = 8) -> np.ndarray:
+    """Binned mutual information between each feature and the target.
+
+    Both variables are quantile-binned into ``n_bins`` buckets and the
+    plug-in MI estimate is computed from the joint histogram.  Constant
+    features score 0.
+    """
+    X, y = _validate(X, y)
+    if n_bins < 2:
+        raise ConfigurationError(f"n_bins must be >= 2, got {n_bins}")
+    y_binned = _quantile_bin(y, n_bins)
+    n = len(y)
+    scores = np.zeros(X.shape[1])
+    y_counts = np.bincount(y_binned, minlength=n_bins).astype(np.float64)
+    p_y = y_counts / n
+    for j in range(X.shape[1]):
+        column = X[:, j]
+        if np.all(column == column[0]):
+            continue
+        x_binned = _quantile_bin(column, n_bins)
+        joint = np.zeros((n_bins, n_bins))
+        np.add.at(joint, (x_binned, y_binned), 1.0)
+        joint /= n
+        p_x = joint.sum(axis=1)
+        outer = np.outer(p_x, p_y)
+        nz = joint > 0
+        scores[j] = float(np.sum(joint[nz] * np.log(joint[nz] / outer[nz])))
+    return np.maximum(scores, 0.0)
+
+
+def _quantile_bin(values: np.ndarray, n_bins: int) -> np.ndarray:
+    edges = np.quantile(values, np.linspace(0, 1, n_bins + 1)[1:-1])
+    return np.searchsorted(edges, values, side="right").astype(np.int64)
+
+
+def random_scores(X: np.ndarray, y: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Uniform random scores — the paper's sanity baseline."""
+    X, y = _validate(X, y)
+    rng = np.random.default_rng(seed)
+    return rng.random(X.shape[1])
+
+
+def rfe_select(
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int,
+    model_factory: Callable[[], GradientBoostedTrees] | None = None,
+    step_fraction: float = 0.25,
+) -> np.ndarray:
+    """Recursive Feature Elimination down to ``k`` features.
+
+    Repeatedly fits the model on the surviving features and drops the
+    lowest-importance ``step_fraction`` until ``k`` remain.  Returns the
+    surviving original column indices ordered by final importance
+    (descending).
+    """
+    X, y = _validate(X, y)
+    if not 1 <= k <= X.shape[1]:
+        raise ConfigurationError(f"k must be in [1, {X.shape[1]}], got {k}")
+    if model_factory is None:
+        model_factory = lambda: GradientBoostedTrees(  # noqa: E731
+            GbmParams(n_estimators=60, max_depth=3, random_state=0)
+        )
+    surviving = np.arange(X.shape[1])
+    while len(surviving) > k:
+        model = model_factory().fit(X[:, surviving], y)
+        importances = model.feature_importances()
+        n_drop = min(
+            max(int(len(surviving) * step_fraction), 1),
+            len(surviving) - k,
+        )
+        order = np.argsort(importances, kind="stable")  # ascending
+        surviving = np.sort(surviving[order[n_drop:]])
+    final_model = model_factory().fit(X[:, surviving], y)
+    final_importances = final_model.feature_importances()
+    return surviving[np.argsort(final_importances, kind="stable")[::-1]]
+
+
+def rfe_ranking(
+    X: np.ndarray,
+    y: np.ndarray,
+    model_factory: Callable[[], GradientBoostedTrees] | None = None,
+    step_fraction: float = 0.25,
+) -> np.ndarray:
+    """Full RFE ranking: all column indices, best first.
+
+    Runs recursive elimination down to a single feature and ranks
+    features by how long they survive (sklearn's ``RFE.ranking_``
+    convention, flattened to an ordering).  ``ranking[:k]`` is then the
+    RFE top-``k`` for *any* k, which lets a k-sweep reuse one
+    elimination run.
+    """
+    X, y = _validate(X, y)
+    if model_factory is None:
+        model_factory = lambda: GradientBoostedTrees(  # noqa: E731
+            GbmParams(n_estimators=60, max_depth=3, random_state=0)
+        )
+    surviving = np.arange(X.shape[1])
+    eliminated: list[np.ndarray] = []
+    while len(surviving) > 1:
+        model = model_factory().fit(X[:, surviving], y)
+        importances = model.feature_importances()
+        n_drop = min(max(int(len(surviving) * step_fraction), 1), len(surviving) - 1)
+        order = np.argsort(importances, kind="stable")  # ascending importance
+        dropped = surviving[order[:n_drop]]
+        eliminated.append(dropped)
+        surviving = np.sort(surviving[order[n_drop:]])
+    ranking = [surviving]
+    for batch in reversed(eliminated):
+        ranking.append(batch)
+    return np.concatenate(ranking)
+
+
+def score_ranking(method: str, X: np.ndarray, y: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Full feature ranking (best first) under a score-based method."""
+    X, y = _validate(X, y)
+    if method == "rfe":
+        return rfe_ranking(X, y)
+    if method == "pearson":
+        scores = pearson_scores(X, y)
+    elif method == "spearman":
+        scores = spearman_scores(X, y)
+    elif method == "mutual_info":
+        scores = mutual_info_scores(X, y)
+    elif method == "random":
+        scores = random_scores(X, y, seed=seed)
+    else:
+        raise ConfigurationError(
+            f"unknown selection method {method!r}; expected one of {FEATURE_SELECTION_METHODS}"
+        )
+    return np.argsort(scores, kind="stable")[::-1]
+
+
+def select_features(
+    method: str,
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Top-``k`` feature indices under the given method (paper Task 2).
+
+    Score-based methods return indices sorted by score descending; RFE
+    returns its surviving set ordered by final importance.
+    """
+    X, y = _validate(X, y)
+    if not 1 <= k <= X.shape[1]:
+        raise ConfigurationError(f"k must be in [1, {X.shape[1]}], got {k}")
+    if method == "rfe":
+        return rfe_select(X, y, k)
+    if method == "pearson":
+        scores = pearson_scores(X, y)
+    elif method == "spearman":
+        scores = spearman_scores(X, y)
+    elif method == "mutual_info":
+        scores = mutual_info_scores(X, y)
+    elif method == "random":
+        scores = random_scores(X, y, seed=seed)
+    else:
+        raise ConfigurationError(
+            f"unknown selection method {method!r}; expected one of {FEATURE_SELECTION_METHODS}"
+        )
+    order = np.argsort(scores, kind="stable")[::-1]
+    return order[:k]

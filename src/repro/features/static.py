@@ -1,0 +1,56 @@
+"""Static (time-invariant) feature extraction.
+
+The paper uses 8 static features — ship class, RMC id, ship age, planned
+duration, etc. — available before the avail begins; they power the
+"base prediction" at logical time 0 and are always included in modeling
+(feature selection only applies to generated features).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import NavyMaintenanceDataset, STATIC_FEATURES
+from repro.table.table import ColumnTable
+
+
+def encode_categorical(values: np.ndarray) -> tuple[np.ndarray, dict[str, int]]:
+    """Stable integer encoding of a string column (sorted label order)."""
+    labels = sorted(set(values))
+    mapping = {label: i for i, label in enumerate(labels)}
+    codes = np.array([mapping[v] for v in values], dtype=np.float64)
+    return codes, mapping
+
+
+def static_feature_matrix(
+    avails: ColumnTable,
+) -> tuple[np.ndarray, list[str], np.ndarray]:
+    """Static design matrix for a set of avails.
+
+    Returns
+    -------
+    (X, names, avail_ids):
+        ``X`` is (n_avails, 8) float64 in :data:`STATIC_FEATURES` order;
+        categorical attributes are label-encoded.
+    """
+    class_codes, _ = encode_categorical(avails["ship_class"])
+    type_codes, _ = encode_categorical(avails["avail_type"])
+    columns = {
+        "ship_class_code": class_codes,
+        "rmc_id": np.asarray(avails["rmc_id"], dtype=np.float64),
+        "ship_age": np.asarray(avails["ship_age"], dtype=np.float64),
+        "planned_duration": np.asarray(avails["planned_duration"], dtype=np.float64),
+        "n_prior_avails": np.asarray(avails["n_prior_avails"], dtype=np.float64),
+        "avail_type_code": type_codes,
+        "start_quarter": np.asarray(avails["start_quarter"], dtype=np.float64),
+        "displacement": np.asarray(avails["displacement"], dtype=np.float64),
+    }
+    names = list(STATIC_FEATURES)
+    X = np.column_stack([columns[name] for name in names])
+    avail_ids = np.asarray(avails["avail_id"], dtype=np.int64)
+    return X, names, avail_ids
+
+
+def static_features_for(dataset: NavyMaintenanceDataset) -> tuple[np.ndarray, list[str], np.ndarray]:
+    """Static design matrix for every avail in a dataset."""
+    return static_feature_matrix(dataset.avails)

@@ -1,0 +1,122 @@
+"""The avail x logical-time x feature tensor (Task 1 of the paper).
+
+"Across the entire avail set, the resulting features can be thought of
+as a tensor across the avail, feature set, and logical time dimensions.
+Each model is trained on a slice of that tensor generated at discrete
+logical times t*."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class FeatureTensor:
+    """Dense feature tensor with labelled axes.
+
+    Attributes
+    ----------
+    values:
+        float64 array of shape ``(n_avails, n_timestamps, n_features)``.
+    avail_ids:
+        Avail ids along axis 0.
+    t_stars:
+        Logical timestamps along axis 1 (ascending).
+    feature_names:
+        Feature names along axis 2.
+    """
+
+    values: np.ndarray
+    avail_ids: np.ndarray
+    t_stars: np.ndarray
+    feature_names: list[str]
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.avail_ids = np.asarray(self.avail_ids, dtype=np.int64)
+        self.t_stars = np.asarray(self.t_stars, dtype=np.float64)
+        expected = (len(self.avail_ids), len(self.t_stars), len(self.feature_names))
+        if self.values.shape != expected:
+            raise ConfigurationError(
+                f"tensor shape {self.values.shape} != labelled axes {expected}"
+            )
+        self._avail_pos = {int(a): i for i, a in enumerate(self.avail_ids)}
+        self._t_pos = {float(t): i for i, t in enumerate(self.t_stars)}
+        self._feature_pos = {name: i for i, name in enumerate(self.feature_names)}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_avails(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_timestamps(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def n_features(self) -> int:
+        return self.values.shape[2]
+
+    # ------------------------------------------------------------------
+    def t_index(self, t_star: float) -> int:
+        """Axis-1 index of a logical timestamp."""
+        key = float(t_star)
+        if key not in self._t_pos:
+            raise ConfigurationError(
+                f"t*={t_star} not in tensor timeline {list(self.t_stars)}"
+            )
+        return self._t_pos[key]
+
+    def at(self, t_star: float) -> np.ndarray:
+        """Feature matrix slice (n_avails, n_features) at one timestamp."""
+        return self.values[:, self.t_index(t_star), :]
+
+    def matrix(self, t_star: float, avail_ids: np.ndarray | None = None) -> np.ndarray:
+        """Slice at ``t_star``, optionally restricted/ordered by avail ids."""
+        slice_ = self.at(t_star)
+        if avail_ids is None:
+            return slice_
+        rows = self.rows_for(avail_ids)
+        return slice_[rows]
+
+    def rows_for(self, avail_ids: np.ndarray) -> np.ndarray:
+        """Axis-0 positions of the given avail ids (order-preserving)."""
+        try:
+            return np.array([self._avail_pos[int(a)] for a in avail_ids], dtype=np.int64)
+        except KeyError as exc:
+            raise ConfigurationError(f"avail id {exc.args[0]} not in tensor") from None
+
+    def feature_index(self, name: str) -> int:
+        """Axis-2 index of a named feature."""
+        if name not in self._feature_pos:
+            raise ConfigurationError(f"feature {name!r} not in tensor")
+        return self._feature_pos[name]
+
+    def select_features(self, indices: np.ndarray) -> "FeatureTensor":
+        """Sub-tensor restricted to the given feature indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return FeatureTensor(
+            values=self.values[:, :, indices],
+            avail_ids=self.avail_ids,
+            t_stars=self.t_stars,
+            feature_names=[self.feature_names[i] for i in indices],
+        )
+
+    def for_avails(self, avail_ids: np.ndarray) -> "FeatureTensor":
+        """Sub-tensor restricted to the given avails (in the given order)."""
+        rows = self.rows_for(avail_ids)
+        return FeatureTensor(
+            values=self.values[rows],
+            avail_ids=np.asarray(avail_ids, dtype=np.int64),
+            t_stars=self.t_stars,
+            feature_names=list(self.feature_names),
+        )
+
+    def nbytes(self) -> int:
+        """Memory footprint of the dense tensor."""
+        return int(self.values.nbytes)

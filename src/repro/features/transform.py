@@ -1,0 +1,276 @@
+"""Feature extraction: the transformation function T over RCCs.
+
+For every logical timestamp ``t*`` the extractor produces a generated-
+feature grid (default: the paper's grid of
+:data:`~repro.features.registry.N_GENERATED_FEATURES` features; any
+:class:`~repro.features.registry.FeatureGridSpec` is accepted) for every
+avail.  Internally it drives the **incremental Status Query machinery**
+of Section 4.3: a single
+:class:`~repro.index.status_query.StatStructure` keyed by
+``(avail, RCC type, SWLIN code)`` sweeps the logical timeline once, and
+each timestamp's base accumulators are marginalised over the
+type / SWLIN-scope axes and turned into the derived statistics.
+
+This is exactly the pipeline layering the paper argues for: feature
+engineering is "abstracted through a generic retrieval task (Status
+Query)" and its cost is dominated by that retrieval, which incremental
+computation makes linear in the number of RCC events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import ConfigurationError
+from repro.features.registry import (
+    SPECIAL_FEATURES,
+    FeatureGridSpec,
+)
+from repro.features.tensor import FeatureTensor
+from repro.index.status_query import StatStructure
+
+_TYPE_CODE = {"G": 0, "N": 1, "NG": 2}
+_N_TYPES = 3
+_RATE_FLOOR = 5.0  # logical-time floor for rate features (avoid blowups near 0)
+
+
+def default_timeline(window_pct: float) -> np.ndarray:
+    """Logical timestamps 0, x, 2x, ..., 100 for window width ``x``%."""
+    if not 0 < window_pct <= 100:
+        raise ConfigurationError(f"window width must be in (0, 100], got {window_pct}")
+    n_steps = int(np.ceil(100.0 / window_pct))
+    return np.round(np.linspace(0.0, 100.0, n_steps + 1), 6)
+
+
+def _membership_matrices(grid: FeatureGridSpec) -> tuple[np.ndarray, np.ndarray]:
+    """(type marginalisation, scope marginalisation) matrices."""
+    type_m = np.zeros((len(grid.type_axis), _N_TYPES))
+    for i, (_, members) in enumerate(grid.type_axis):
+        for member in members:
+            type_m[i, _TYPE_CODE[member]] = 1.0
+    lo, _ = grid.digit_code_range
+    scope_m = np.zeros((len(grid.swlin_axis), grid.n_digit_codes))
+    for i, (_, codes) in enumerate(grid.swlin_axis):
+        for code in codes:
+            scope_m[i, code - lo] = 1.0
+    return type_m, scope_m
+
+
+def _safe_div(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(numerator, dtype=np.float64)
+    nz = denominator > 0
+    out[nz] = numerator[nz] / denominator[nz]
+    return out
+
+
+class StatusFeatureExtractor:
+    """Compute the feature tensor for a dataset over a logical timeline.
+
+    Parameters
+    ----------
+    dataset:
+        Source NMD snapshot.
+    t_stars:
+        Ascending logical timestamps (default: every 10% from 0 to 100).
+    grid:
+        Feature grid to generate (default: the paper's grid).
+
+    Examples
+    --------
+    >>> from repro.data import generate_dataset, SyntheticNmdConfig
+    >>> ds = generate_dataset(SyntheticNmdConfig(n_ships=5, n_closed_avails=8,
+    ...                                          n_ongoing_avails=0,
+    ...                                          target_n_rccs=400))
+    >>> tensor = StatusFeatureExtractor(ds).extract()
+    >>> tensor.n_features
+    1460
+    """
+
+    def __init__(
+        self,
+        dataset: NavyMaintenanceDataset,
+        t_stars: np.ndarray | None = None,
+        grid: FeatureGridSpec | None = None,
+    ):
+        self.dataset = dataset
+        self.t_stars = (
+            np.asarray(t_stars, dtype=np.float64)
+            if t_stars is not None
+            else default_timeline(10.0)
+        )
+        if np.any(np.diff(self.t_stars) <= 0):
+            raise ConfigurationError("t_stars must be strictly ascending")
+        self.grid = grid or FeatureGridSpec.default()
+        self.registry = self.grid.build_registry()
+        self._names = self.grid.feature_names()
+
+    # ------------------------------------------------------------------
+    def _digit_codes(self, swlin_codes) -> np.ndarray:
+        """Depth-dependent digit code of each SWLIN (offset to 0-based)."""
+        lo, hi = self.grid.digit_code_range
+        if self.grid.swlin_depth == 1:
+            codes = np.array([int(code[0]) for code in swlin_codes], dtype=np.int64)
+        else:
+            codes = np.array(
+                [int(code[0]) * 10 + int(code[1]) for code in swlin_codes],
+                dtype=np.int64,
+            )
+        if len(codes) and (codes.min() < lo or codes.max() > hi):
+            raise ConfigurationError("SWLIN code outside the grid's digit range")
+        return codes - lo
+
+    def extract(self) -> FeatureTensor:
+        """Sweep the timeline once and return the full feature tensor."""
+        avails = self.dataset.avails
+        n_avails = avails.n_rows
+        avail_ids = np.asarray(avails["avail_id"], dtype=np.int64)
+        avail_pos = {int(a): i for i, a in enumerate(avail_ids)}
+
+        rccs = self.dataset.rccs_with_logical_times()
+        rcc_avail_rows = np.array(
+            [avail_pos[int(a)] for a in rccs["avail_id"]], dtype=np.int64
+        )
+        type_codes = np.array([_TYPE_CODE[t] for t in rccs["rcc_type"]], dtype=np.int64)
+        digit_codes = self._digit_codes(rccs["swlin"])
+        n_codes = self.grid.n_digit_codes
+        group_ids = (
+            rcc_avail_rows * (_N_TYPES * n_codes) + type_codes * n_codes + digit_codes
+        )
+        n_groups = n_avails * _N_TYPES * n_codes
+
+        stat = StatStructure(
+            group_ids=group_ids,
+            n_groups=n_groups,
+            starts=np.asarray(rccs["t_start"], dtype=np.float64),
+            ends=np.asarray(rccs["t_end"], dtype=np.float64),
+            amounts=np.asarray(rccs["amount"], dtype=np.float64),
+        )
+
+        type_m, scope_m = _membership_matrices(self.grid)
+        n_features = len(self.registry)
+        out = np.zeros((n_avails, len(self.t_stars), n_features))
+        previous: dict[str, np.ndarray] | None = None
+        for ti, t_star in enumerate(self.t_stars):
+            stat.advance(float(t_star))
+            base = self._marginalise(stat, n_avails, n_codes, type_m, scope_m)
+            out[:, ti, :] = self._derive(base, previous, float(t_star))
+            previous = base
+        return FeatureTensor(
+            values=out,
+            avail_ids=avail_ids,
+            t_stars=self.t_stars,
+            feature_names=list(self._names),
+        )
+
+    # ------------------------------------------------------------------
+    def _marginalise(
+        self,
+        stat: StatStructure,
+        n_avails: int,
+        n_codes: int,
+        type_m: np.ndarray,
+        scope_m: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Reduce per-(avail, type, code) accumulators to the grid axes.
+
+        Output arrays have shape (n_avails, n_type_labels, n_scope_labels).
+        """
+        def reduce(accumulator: np.ndarray) -> np.ndarray:
+            cube = accumulator.reshape(n_avails, _N_TYPES, n_codes).astype(np.float64)
+            by_type = np.einsum("atd,xt->axd", cube, type_m)
+            return np.einsum("axd,sd->axs", by_type, scope_m)
+
+        return {
+            "created_count": reduce(stat.created_count),
+            "created_amount": reduce(stat.created_amount),
+            "created_start_sum": reduce(stat.created_start_sum),
+            "settled_count": reduce(stat.settled_count),
+            "settled_amount": reduce(stat.settled_amount),
+            "settled_duration": reduce(stat.settled_duration),
+            "settled_start_sum": reduce(stat.settled_start_sum),
+            # raw per-code created stats for the special features
+            "_digit_created_count": stat.created_count.reshape(
+                n_avails, _N_TYPES, n_codes
+            ).sum(axis=1),
+            "_digit_created_amount": stat.created_amount.reshape(
+                n_avails, _N_TYPES, n_codes
+            ).sum(axis=1),
+        }
+
+    def _derive(
+        self,
+        base: dict[str, np.ndarray],
+        previous: dict[str, np.ndarray] | None,
+        t_star: float,
+    ) -> np.ndarray:
+        """Turn base accumulators into the flat feature vector grid."""
+        created_count = base["created_count"]
+        created_amount = base["created_amount"]
+        settled_count = base["settled_count"]
+        settled_amount = base["settled_amount"]
+        settled_duration = base["settled_duration"]
+        active_count = created_count - settled_count
+        active_amount = created_amount - settled_amount
+        active_age_sum = t_star * active_count - (
+            base["created_start_sum"] - base["settled_start_sum"]
+        )
+        rate_div = max(t_star, _RATE_FLOOR)
+        if previous is None:
+            prev_created_count = np.zeros_like(created_count)
+            prev_created_amount = np.zeros_like(created_amount)
+            prev_settled_count = np.zeros_like(settled_count)
+            prev_settled_amount = np.zeros_like(settled_amount)
+        else:
+            prev_created_count = previous["created_count"]
+            prev_created_amount = previous["created_amount"]
+            prev_settled_count = previous["settled_count"]
+            prev_settled_amount = previous["settled_amount"]
+        prev_active_count = prev_created_count - prev_settled_count
+        prev_active_amount = prev_created_amount - prev_settled_amount
+
+        stats: dict[str, np.ndarray] = {
+            "CNT_CREATED": created_count,
+            "SUM_CREATED_AMT": created_amount,
+            "AVG_CREATED_AMT": _safe_div(created_amount, created_count),
+            "RATE_CREATED_CNT": created_count / rate_div,
+            "RATE_CREATED_AMT": created_amount / rate_div,
+            "DLT_CREATED_CNT": created_count - prev_created_count,
+            "DLT_CREATED_AMT": created_amount - prev_created_amount,
+            "CNT_SETTLED": settled_count,
+            "SUM_SETTLED_AMT": settled_amount,
+            "AVG_SETTLED_AMT": _safe_div(settled_amount, settled_count),
+            "SUM_SETTLED_DUR": settled_duration,
+            "AVG_SETTLED_DUR": _safe_div(settled_duration, settled_count),
+            "RATE_SETTLED_CNT": settled_count / rate_div,
+            "RATE_SETTLED_AMT": settled_amount / rate_div,
+            "DLT_SETTLED_CNT": settled_count - prev_settled_count,
+            "DLT_SETTLED_AMT": settled_amount - prev_settled_amount,
+            "RATIO_SETTLED_CNT": _safe_div(settled_count, created_count),
+            "RATIO_SETTLED_AMT": _safe_div(settled_amount, created_amount),
+            "CNT_ACTIVE": active_count,
+            "SUM_ACTIVE_AMT": active_amount,
+            "AVG_ACTIVE_AMT": _safe_div(active_amount, active_count),
+            "PCT_ACTIVE": _safe_div(active_count, created_count),
+            "SUM_ACTIVE_AGE": active_age_sum,
+            "AVG_ACTIVE_AGE": _safe_div(active_age_sum, active_count),
+            "DLT_ACTIVE_CNT": active_count - prev_active_count,
+            "DLT_ACTIVE_AMT": active_amount - prev_active_amount,
+        }
+        n_avails = created_count.shape[0]
+        n_grid = len(self.grid.type_axis) * len(self.grid.swlin_axis) * len(self.grid.stats)
+        n_total = n_grid + (len(SPECIAL_FEATURES) if self.grid.include_specials else 0)
+        flat = np.empty((n_avails, n_total))
+        # Grid block: (type, scope, stat) row-major — matches the registry.
+        stacked = np.stack([stats[name] for name in self.grid.stats], axis=-1)
+        flat[:, :n_grid] = stacked.reshape(n_avails, n_grid)
+        if self.grid.include_specials:
+            digit_counts = base["_digit_created_count"]
+            digit_amounts = base["_digit_created_amount"]
+            total_amount = digit_amounts.sum(axis=1)
+            shares = digit_amounts / np.maximum(total_amount[:, None], 1e-12)
+            flat[:, n_grid + 0] = t_star
+            flat[:, n_grid + 1] = np.log1p(total_amount)
+            flat[:, n_grid + 2] = (digit_counts > 0).sum(axis=1)
+            flat[:, n_grid + 3] = (shares**2).sum(axis=1)
+        return flat

@@ -1,0 +1,53 @@
+"""Logical-time index structures and Status Query processing (Section 4).
+
+Public API::
+
+    from repro.index import (
+        AvlTree, IntervalTree, DualAvlIndex, IntervalTreeIndex,
+        NaiveJoinIndex, SwlinTree, RccTypeTree,
+        StatusQuery, StatusQueryEngine, StatStructure,
+    )
+"""
+
+from repro.index.avl import AvlTree
+from repro.index.avl_index import DualAvlIndex
+from repro.index.base import LogicalTimeIndex
+from repro.index.hierarchy import (
+    RCC_TYPES,
+    RccTypeTree,
+    SwlinTree,
+    format_swlin,
+    normalize_swlin,
+    swlin_prefix,
+)
+from repro.index.interval_index import IntervalTreeIndex, index_designs
+from repro.index.interval_tree import IntervalTree
+from repro.index.naive import NaiveJoinIndex
+from repro.index.sorted_array import SortedArrayIndex
+from repro.index.status_query import (
+    AGGREGATE_COLUMNS,
+    StatStructure,
+    StatusQuery,
+    StatusQueryEngine,
+)
+
+__all__ = [
+    "AvlTree",
+    "IntervalTree",
+    "LogicalTimeIndex",
+    "DualAvlIndex",
+    "IntervalTreeIndex",
+    "NaiveJoinIndex",
+    "SortedArrayIndex",
+    "index_designs",
+    "SwlinTree",
+    "RccTypeTree",
+    "RCC_TYPES",
+    "normalize_swlin",
+    "format_swlin",
+    "swlin_prefix",
+    "StatusQuery",
+    "StatusQueryEngine",
+    "StatStructure",
+    "AGGREGATE_COLUMNS",
+]

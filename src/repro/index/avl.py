@@ -1,0 +1,368 @@
+"""Self-balancing AVL tree keyed by float with multi-value payloads.
+
+The paper's preferred logical-time index (Section 4.1) uses *two* AVL
+trees — one over RCC creation times and one over settled times.  This
+module provides the underlying tree: standard AVL rotations, duplicate
+keys folded into a per-node value list, and pruned range traversals that
+power the ``<= t*`` predicates of the Status Query.
+
+The tree intentionally stores python floats and small lists per node —
+the point of the paper's comparison is the asymptotics of index reuse
+across the logical timeline, not constant factors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.errors import IndexCorruptionError
+
+
+class _Node:
+    __slots__ = ("key", "values", "left", "right", "height", "size")
+
+    def __init__(self, key: float, value: Any):
+        self.key = key
+        self.values: list[Any] = [value]
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.height = 1
+        self.size = 1  # number of values (not nodes) in this subtree
+
+
+def _height(node: _Node | None) -> int:
+    return node.height if node else 0
+
+
+def _size(node: _Node | None) -> int:
+    return node.size if node else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+    node.size = len(node.values) + _size(node.left) + _size(node.right)
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    pivot = node.left
+    assert pivot is not None
+    node.left = pivot.right
+    pivot.right = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rotate_left(node: _Node) -> _Node:
+    pivot = node.right
+    assert pivot is not None
+    node.right = pivot.left
+    pivot.left = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AvlTree:
+    """AVL tree mapping float keys to lists of values.
+
+    Supports ``O(log n)`` insert/delete/contains plus pruned range
+    queries used by the logical-time index:
+
+    * :meth:`values_leq` — all values with ``key <= bound``
+    * :meth:`values_gt` — all values with ``key > bound``
+    * :meth:`count_leq` — size-augmented rank query in ``O(log n)``
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+
+    @classmethod
+    def from_sorted(cls, keys: list[float], values: list[Any]) -> "AvlTree":
+        """Bulk-build a perfectly balanced tree from pre-sorted keys.
+
+        ``keys`` must be ascending (duplicates allowed — they fold into
+        one node).  O(n) after the caller's sort, which is how the index
+        layer achieves its O(n log n) construction bound without paying
+        per-insert rebalancing costs.
+        """
+        if len(keys) != len(values):
+            raise ValueError("keys and values must align")
+        tree = cls()
+        if not keys:
+            return tree
+        # Fold duplicates: one node per distinct key.
+        unique_keys: list[float] = []
+        grouped: list[list[Any]] = []
+        previous = object()
+        for key, value in zip(keys, values):
+            key = float(key)
+            if key != previous:
+                unique_keys.append(key)
+                grouped.append([value])
+                previous = key
+            else:
+                grouped[-1].append(value)
+        tree._root = cls._build_balanced(unique_keys, grouped, 0, len(unique_keys))
+        return tree
+
+    @staticmethod
+    def _build_balanced(
+        keys: list[float], grouped: list[list[Any]], lo: int, hi: int
+    ) -> _Node | None:
+        if lo >= hi:
+            return None
+        mid = (lo + hi) // 2
+        node = _Node(keys[mid], None)
+        node.values = grouped[mid]
+        node.left = AvlTree._build_balanced(keys, grouped, lo, mid)
+        node.right = AvlTree._build_balanced(keys, grouped, mid + 1, hi)
+        _update(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value: Any) -> None:
+        """Insert ``value`` under ``key`` (duplicates allowed)."""
+        self._root = self._insert(self._root, float(key), value)
+
+    def _insert(self, node: _Node | None, key: float, value: Any) -> _Node:
+        if node is None:
+            return _Node(key, value)
+        if key == node.key:
+            node.values.append(value)
+            _update(node)
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key, value)
+        else:
+            node.right = self._insert(node.right, key, value)
+        return _rebalance(node)
+
+    def delete(self, key: float, value: Any) -> bool:
+        """Remove one occurrence of ``value`` under ``key``.
+
+        Returns True when something was removed.
+        """
+        self._root, removed = self._delete(self._root, float(key), value)
+        return removed
+
+    def _delete(self, node: _Node | None, key: float, value: Any) -> tuple[_Node | None, bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._delete(node.left, key, value)
+        elif key > node.key:
+            node.right, removed = self._delete(node.right, key, value)
+        else:
+            if value not in node.values:
+                return node, False
+            node.values.remove(value)
+            removed = True
+            if not node.values:
+                return self._remove_node(node), True
+        return _rebalance(node), removed
+
+    def _remove_node(self, node: _Node) -> _Node | None:
+        if node.left is None:
+            return node.right
+        if node.right is None:
+            return node.left
+        successor = node.right
+        while successor.left is not None:
+            successor = successor.left
+        node.key = successor.key
+        node.values = successor.values
+        successor.values = []
+        node.right, _ = self._delete_empty(node.right, successor.key)
+        return _rebalance(node)
+
+    def _delete_empty(self, node: _Node | None, key: float) -> tuple[_Node | None, bool]:
+        """Remove the (now value-less) node that held ``key``."""
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._delete_empty(node.left, key)
+        elif key > node.key:
+            node.right, removed = self._delete_empty(node.right, key)
+        else:
+            if node.values:
+                return node, False
+            return self._remove_node(node), True
+        return _rebalance(node), removed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (0 when empty)."""
+        return _height(self._root)
+
+    def __contains__(self, key: float) -> bool:
+        node = self._root
+        key = float(key)
+        while node is not None:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def get(self, key: float) -> list[Any]:
+        """Values stored under ``key`` (empty list when absent)."""
+        node = self._root
+        key = float(key)
+        while node is not None:
+            if key == node.key:
+                return list(node.values)
+            node = node.left if key < node.key else node.right
+        return []
+
+    def values_leq(self, bound: float) -> list[Any]:
+        """All values with key <= bound, ascending by key."""
+        out: list[Any] = []
+        self._collect_leq(self._root, float(bound), out)
+        return out
+
+    def _collect_leq(self, node: _Node | None, bound: float, out: list[Any]) -> None:
+        if node is None:
+            return
+        if node.key <= bound:
+            self._collect_all(node.left, out)
+            out.extend(node.values)
+            self._collect_leq(node.right, bound, out)
+        else:
+            self._collect_leq(node.left, bound, out)
+
+    def values_gt(self, bound: float) -> list[Any]:
+        """All values with key > bound, ascending by key."""
+        out: list[Any] = []
+        self._collect_gt(self._root, float(bound), out)
+        return out
+
+    def _collect_gt(self, node: _Node | None, bound: float, out: list[Any]) -> None:
+        if node is None:
+            return
+        if node.key > bound:
+            self._collect_gt(node.left, bound, out)
+            out.extend(node.values)
+            self._collect_all(node.right, out)
+        else:
+            self._collect_gt(node.right, bound, out)
+
+    def values_in(self, low: float, high: float) -> list[Any]:
+        """All values with low < key <= high, ascending by key."""
+        out: list[Any] = []
+        self._collect_in(self._root, float(low), float(high), out)
+        return out
+
+    def _collect_in(self, node: _Node | None, low: float, high: float, out: list[Any]) -> None:
+        if node is None:
+            return
+        if node.key > low:
+            self._collect_in(node.left, low, high, out)
+            if node.key <= high:
+                out.extend(node.values)
+        if node.key <= high:
+            self._collect_in(node.right, low, high, out)
+
+    def _collect_all(self, node: _Node | None, out: list[Any]) -> None:
+        if node is None:
+            return
+        self._collect_all(node.left, out)
+        out.extend(node.values)
+        self._collect_all(node.right, out)
+
+    def count_leq(self, bound: float) -> int:
+        """Number of values with key <= bound, in O(log n)."""
+        count = 0
+        node = self._root
+        bound = float(bound)
+        while node is not None:
+            if node.key <= bound:
+                count += len(node.values) + _size(node.left)
+                node = node.right
+            else:
+                node = node.left
+        return count
+
+    def min_key(self) -> float | None:
+        """Smallest key, or None when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> float | None:
+        """Largest key, or None when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[tuple[float, Any]]:
+        """In-order (key, value) pairs."""
+        yield from self._iter(self._root)
+
+    def _iter(self, node: _Node | None) -> Iterator[tuple[float, Any]]:
+        if node is None:
+            return
+        yield from self._iter(node.left)
+        for value in node.values:
+            yield node.key, value
+        yield from self._iter(node.right)
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`IndexCorruptionError` when AVL invariants fail."""
+        self._validate(self._root, float("-inf"), float("inf"))
+
+    def _validate(self, node: _Node | None, low: float, high: float) -> tuple[int, int]:
+        if node is None:
+            return 0, 0
+        if not low < node.key < high:
+            raise IndexCorruptionError(f"BST order violated at key {node.key}")
+        if not node.values:
+            raise IndexCorruptionError(f"empty value list at key {node.key}")
+        left_height, left_size = self._validate(node.left, low, node.key)
+        right_height, right_size = self._validate(node.right, node.key, high)
+        if abs(left_height - right_height) > 1:
+            raise IndexCorruptionError(f"AVL balance violated at key {node.key}")
+        height = 1 + max(left_height, right_height)
+        if node.height != height:
+            raise IndexCorruptionError(f"stale height at key {node.key}")
+        size = len(node.values) + left_size + right_size
+        if node.size != size:
+            raise IndexCorruptionError(f"stale size at key {node.key}")
+        return height, size

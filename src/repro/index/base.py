@@ -1,0 +1,107 @@
+"""Common interface for logical-time RCC indexes (paper Section 4.1).
+
+Every index design stores ``(t_start, t_end, id)`` triples — the logical
+creation time, logical settled time, and row id of each RCC — and answers
+the four Status Query retrieval sets at any logical timestamp ``t*``:
+
+===========  =====================================  ==================
+set          definition                             paper equation
+===========  =====================================  ==================
+active       ``t_start <= t* < t_end``              (3) point query
+settled      ``t_end <= t*``                        (4) overlap query
+created      ``active ∪ settled`` = start <= t*     (5) union
+pending      everything else (start > t*)           (6) difference
+===========  =====================================  ==================
+
+All methods return sorted ``int64`` arrays of RCC ids so results are
+directly comparable across designs.
+"""
+
+from __future__ import annotations
+
+import abc
+import sys
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError, LengthMismatchError
+
+
+class LogicalTimeIndex(abc.ABC):
+    """Abstract base for the three index designs of Section 4.1."""
+
+    #: short name used in benchmark tables ("avl", "interval", "naive").
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, starts: np.ndarray, ends: np.ndarray, ids: np.ndarray):
+        starts = np.asarray(starts, dtype=np.float64)
+        ends = np.asarray(ends, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if not (len(starts) == len(ends) == len(ids)):
+            raise LengthMismatchError(
+                f"starts/ends/ids lengths differ: {len(starts)}/{len(ends)}/{len(ids)}"
+            )
+        if np.any(ends < starts):
+            bad = int(np.argmax(ends < starts))
+            raise ConfigurationError(
+                f"RCC id {ids[bad]} settles before it is created "
+                f"({ends[bad]} < {starts[bad]})"
+            )
+        self._starts = starts
+        self._ends = ends
+        self._ids = ids
+        self._build()
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Construct the index from the stored triples."""
+
+    @abc.abstractmethod
+    def active_ids(self, t: float) -> np.ndarray:
+        """Ids of RCCs active at ``t`` (created, not yet settled)."""
+
+    @abc.abstractmethod
+    def settled_ids(self, t: float) -> np.ndarray:
+        """Ids of RCCs settled by ``t``."""
+
+    def created_ids(self, t: float) -> np.ndarray:
+        """Ids of RCCs created by ``t`` (active ∪ settled)."""
+        return np.union1d(self.active_ids(t), self.settled_ids(t))
+
+    def pending_ids(self, t: float) -> np.ndarray:
+        """Ids of RCCs not yet created at ``t``."""
+        return np.setdiff1d(self._ids, self.created_ids(t))
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def approx_nbytes(self) -> int:
+        """Approximate memory footprint of the index payload in bytes.
+
+        Includes the base triple arrays plus whatever structure the
+        concrete design allocates (reported via :meth:`_structure_nbytes`).
+        """
+        base = int(self._starts.nbytes + self._ends.nbytes + self._ids.nbytes)
+        return base + self._structure_nbytes()
+
+    @abc.abstractmethod
+    def _structure_nbytes(self) -> int:
+        """Bytes used by the design-specific structure."""
+
+
+def deep_node_nbytes(root: object, child_attrs: tuple[str, ...]) -> int:
+    """Sum ``sys.getsizeof`` over a linked node structure iteratively."""
+    total = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        total += sys.getsizeof(node)
+        values = getattr(node, "values", None)
+        if values is not None:
+            total += sys.getsizeof(values)
+        for attr in child_attrs:
+            stack.append(getattr(node, attr))
+    return total

@@ -1,0 +1,171 @@
+"""Group-by hierarchies for Status Queries: SWLIN tree and RCC-type tree.
+
+A SWLIN ("Ship Work List Number") is an 8-digit hierarchical code written
+``DDD-DD-DDD`` (e.g. ``434-11-001``).  The first digit names the general
+ship subsystem; each further digit narrows to a specific module.  The
+:class:`SwlinTree` is a digit trie over these codes; a Status Query's
+``GROUP BY SWLIN_Level_no`` resolves to the set of tree nodes at that
+level (Algorithm StatusQ retrieves the subtree satisfying the group-by
+predicates before touching the logical-time index).
+
+The :class:`RccTypeTree` is the companion two-level hierarchy over RCC
+types: ALL -> {G (Growth), N (New Work), NG (New Growth)}.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Number of leading digits that define each SWLIN level (level 0 = root).
+SWLIN_LEVEL_PREFIX_LENGTHS = (0, 1, 3, 5, 8)
+
+#: Valid RCC type codes, paper Section 2.
+RCC_TYPES = ("G", "N", "NG")
+
+
+def normalize_swlin(code: str) -> str:
+    """Strip separators and validate an 8-digit SWLIN code.
+
+    >>> normalize_swlin("434-11-001")
+    '43411001'
+    """
+    digits = code.replace("-", "").replace(" ", "")
+    if len(digits) != 8 or not digits.isdigit():
+        raise ConfigurationError(f"SWLIN code {code!r} is not 8 digits")
+    return digits
+
+
+def format_swlin(digits: str) -> str:
+    """Render an 8-digit SWLIN in canonical ``DDD-DD-DDD`` form."""
+    if len(digits) != 8 or not digits.isdigit():
+        raise ConfigurationError(f"SWLIN digits {digits!r} are not 8 digits")
+    return f"{digits[:3]}-{digits[3:5]}-{digits[5:]}"
+
+
+def swlin_prefix(code: str, level: int) -> str:
+    """Prefix of a SWLIN code at a hierarchy level (1..4).
+
+    Level 1 is the leading subsystem digit; level 4 the full code.
+    """
+    if not 1 <= level < len(SWLIN_LEVEL_PREFIX_LENGTHS):
+        raise ConfigurationError(
+            f"SWLIN level must be 1..{len(SWLIN_LEVEL_PREFIX_LENGTHS) - 1}, got {level}"
+        )
+    digits = normalize_swlin(code)
+    return digits[: SWLIN_LEVEL_PREFIX_LENGTHS[level]]
+
+
+class _TrieNode:
+    __slots__ = ("prefix", "children", "rcc_rows")
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.children: dict[str, _TrieNode] = {}
+        self.rcc_rows: list[int] = []
+
+
+class SwlinTree:
+    """Digit trie over SWLIN codes with per-node RCC row lists."""
+
+    def __init__(self, codes: Iterable[str] | None = None):
+        self._root = _TrieNode("")
+        self._n = 0
+        if codes is not None:
+            for row, code in enumerate(codes):
+                self.insert(code, row)
+
+    def insert(self, code: str, rcc_row: int) -> None:
+        """Add an RCC row under its SWLIN code (O(8))."""
+        digits = normalize_swlin(code)
+        node = self._root
+        node.rcc_rows.append(rcc_row)
+        for length in SWLIN_LEVEL_PREFIX_LENGTHS[1:]:
+            prefix = digits[:length]
+            child = node.children.get(prefix)
+            if child is None:
+                child = _TrieNode(prefix)
+                node.children[prefix] = child
+            child.rcc_rows.append(rcc_row)
+            node = child
+        self._n += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def nodes_at_level(self, level: int) -> list["_TrieNode"]:
+        """All trie nodes at a hierarchy level (1..4), sorted by prefix."""
+        if not 1 <= level < len(SWLIN_LEVEL_PREFIX_LENGTHS):
+            raise ConfigurationError(f"invalid SWLIN level {level}")
+        nodes = [self._root]
+        for _ in range(level):
+            nodes = [child for node in nodes for child in node.children.values()]
+        return sorted(nodes, key=lambda n: n.prefix)
+
+    def rows_for_prefix(self, prefix: str) -> list[int]:
+        """RCC rows whose code starts with ``prefix`` (must be a level
+        boundary: 1, 3, 5 or 8 digits)."""
+        if len(prefix) not in SWLIN_LEVEL_PREFIX_LENGTHS:
+            raise ConfigurationError(
+                f"prefix {prefix!r} does not end on a SWLIN level boundary"
+            )
+        node: _TrieNode | None = self._root
+        for length in SWLIN_LEVEL_PREFIX_LENGTHS[1:]:
+            if length > len(prefix):
+                break
+            assert node is not None
+            node = node.children.get(prefix[:length])
+            if node is None:
+                return []
+        assert node is not None
+        return list(node.rcc_rows)
+
+    def prefixes_at_level(self, level: int) -> list[str]:
+        """Distinct prefixes present at a level, sorted."""
+        return [node.prefix for node in self.nodes_at_level(level)]
+
+    def walk(self) -> Iterator[tuple[str, int]]:
+        """Yield (prefix, row_count) for every node, pre-order."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node.prefix, len(node.rcc_rows)
+            stack.extend(node.children.values())
+
+
+class RccTypeTree:
+    """Two-level hierarchy over RCC types: ALL -> {G, N, NG}."""
+
+    def __init__(self, types: Iterable[str] | None = None):
+        self._rows_by_type: dict[str, list[int]] = {t: [] for t in RCC_TYPES}
+        self._all_rows: list[int] = []
+        if types is not None:
+            for row, rcc_type in enumerate(types):
+                self.insert(rcc_type, row)
+
+    def insert(self, rcc_type: str, rcc_row: int) -> None:
+        """Add an RCC row under its type."""
+        if rcc_type not in self._rows_by_type:
+            raise ConfigurationError(
+                f"unknown RCC type {rcc_type!r}; expected one of {RCC_TYPES}"
+            )
+        self._rows_by_type[rcc_type].append(rcc_row)
+        self._all_rows.append(rcc_row)
+
+    def __len__(self) -> int:
+        return len(self._all_rows)
+
+    def rows_for_type(self, rcc_type: str | None) -> list[int]:
+        """Rows for one type, or all rows when ``rcc_type`` is None."""
+        if rcc_type is None:
+            return list(self._all_rows)
+        if rcc_type not in self._rows_by_type:
+            raise ConfigurationError(
+                f"unknown RCC type {rcc_type!r}; expected one of {RCC_TYPES}"
+            )
+        return list(self._rows_by_type[rcc_type])
+
+    def types_present(self) -> list[str]:
+        """Types that have at least one row, in canonical order."""
+        return [t for t in RCC_TYPES if self._rows_by_type[t]]

@@ -1,0 +1,318 @@
+"""Augmented interval tree over RCC [creation, settled) intervals.
+
+Implements the first index design of Section 4.1: a balanced BST keyed by
+interval start with a ``max_end`` subtree augmentation, giving
+
+* ``O(n log n)`` construction,
+* ``O(log n)`` insert / delete,
+* output-sensitive stabbing (``active at t*``) and overlap queries.
+
+Intervals are half-open ``[start, end)``: an RCC is *active* at its
+creation time and no longer active at its settled time, matching the
+status taxonomy of the Status Query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import IndexCorruptionError
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+class _INode:
+    __slots__ = ("start", "end", "payload", "left", "right", "height", "max_end")
+
+    def __init__(self, start: float, end: float, payload: object):
+        self.start = start
+        self.end = end
+        self.payload = payload
+        self.left: _INode | None = None
+        self.right: _INode | None = None
+        self.height = 1
+        self.max_end = end
+
+
+def _height(node: _INode | None) -> int:
+    return node.height if node else 0
+
+
+def _max_end(node: _INode | None) -> float:
+    return node.max_end if node else _NEG_INF
+
+
+def _update(node: _INode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+    node.max_end = max(node.end, _max_end(node.left), _max_end(node.right))
+
+
+def _rotate_right(node: _INode) -> _INode:
+    pivot = node.left
+    assert pivot is not None
+    node.left = pivot.right
+    pivot.right = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rotate_left(node: _INode) -> _INode:
+    pivot = node.right
+    assert pivot is not None
+    node.right = pivot.left
+    pivot.left = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rebalance(node: _INode) -> _INode:
+    _update(node)
+    balance = _height(node.left) - _height(node.right)
+    if balance > 1:
+        assert node.left is not None
+        if _height(node.left.left) < _height(node.left.right):
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _height(node.right.right) < _height(node.right.left):
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class IntervalTree:
+    """Balanced interval tree with stabbing and overlap queries.
+
+    Examples
+    --------
+    >>> tree = IntervalTree()
+    >>> tree.insert(0.0, 10.0, "a")
+    >>> tree.insert(5.0, 20.0, "b")
+    >>> sorted(tree.stab(7.0))
+    ['a', 'b']
+    >>> tree.stab(15.0)
+    ['b']
+    """
+
+    def __init__(self, intervals: Iterable[tuple[float, float, object]] | None = None):
+        self._root: _INode | None = None
+        self._n = 0
+        if intervals is not None:
+            self.extend(intervals)
+
+    def extend(self, intervals: Iterable[tuple[float, float, object]]) -> None:
+        """Bulk-insert ``(start, end, payload)`` triples."""
+        for start, end, payload in intervals:
+            self.insert(start, end, payload)
+
+    @classmethod
+    def from_sorted(
+        cls, intervals: list[tuple[float, float, object]]
+    ) -> "IntervalTree":
+        """Bulk-build a balanced tree from intervals sorted by (start, end).
+
+        O(n) after the caller's sort; ``max_end`` augmentation is
+        computed bottom-up during construction.
+        """
+        tree = cls()
+        tree._root = cls._build_balanced(intervals, 0, len(intervals))
+        tree._n = len(intervals)
+        return tree
+
+    @staticmethod
+    def _build_balanced(
+        intervals: list[tuple[float, float, object]], lo: int, hi: int
+    ) -> _INode | None:
+        if lo >= hi:
+            return None
+        mid = (lo + hi) // 2
+        start, end, payload = intervals[mid]
+        node = _INode(float(start), float(end), payload)
+        node.left = IntervalTree._build_balanced(intervals, lo, mid)
+        node.right = IntervalTree._build_balanced(intervals, mid + 1, hi)
+        _update(node)
+        return node
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def height(self) -> int:
+        """Tree height (0 when empty)."""
+        return _height(self._root)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, start: float, end: float, payload: object) -> None:
+        """Insert the half-open interval ``[start, end)``."""
+        start, end = float(start), float(end)
+        if end < start:
+            raise ValueError(f"interval end {end} precedes start {start}")
+        self._root = self._insert(self._root, start, end, payload)
+        self._n += 1
+
+    def _insert(self, node: _INode | None, start: float, end: float, payload: object) -> _INode:
+        if node is None:
+            return _INode(start, end, payload)
+        if (start, end) < (node.start, node.end):
+            node.left = self._insert(node.left, start, end, payload)
+        else:
+            node.right = self._insert(node.right, start, end, payload)
+        return _rebalance(node)
+
+    def delete(self, start: float, end: float, payload: object) -> bool:
+        """Remove one interval matching exactly; returns True on success."""
+        self._root, removed = self._delete(self._root, float(start), float(end), payload)
+        if removed:
+            self._n -= 1
+        return removed
+
+    def _delete(
+        self, node: _INode | None, start: float, end: float, payload: object
+    ) -> tuple[_INode | None, bool]:
+        if node is None:
+            return None, False
+        key = (start, end)
+        node_key = (node.start, node.end)
+        if key < node_key:
+            node.left, removed = self._delete(node.left, start, end, payload)
+        elif key > node_key:
+            node.right, removed = self._delete(node.right, start, end, payload)
+        else:
+            if node.payload == payload:
+                return self._splice(node), True
+            # Duplicates with the same key live in the right subtree.
+            node.right, removed = self._delete(node.right, start, end, payload)
+        if not removed:
+            return node, False
+        return _rebalance(node), True
+
+    def _splice(self, node: _INode) -> _INode | None:
+        if node.left is None:
+            return node.right
+        if node.right is None:
+            return node.left
+        successor = node.right
+        while successor.left is not None:
+            successor = successor.left
+        node.start, node.end, node.payload = successor.start, successor.end, successor.payload
+        node.right, _ = self._delete(node.right, successor.start, successor.end, successor.payload)
+        return _rebalance(node)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def stab(self, point: float) -> list[object]:
+        """Payloads of all intervals with ``start <= point < end``."""
+        out: list[object] = []
+        self._stab(self._root, float(point), out)
+        return out
+
+    def _stab(self, node: _INode | None, point: float, out: list[object]) -> None:
+        if node is None or _max_end(node) <= point:
+            return
+        self._stab(node.left, point, out)
+        if node.start <= point < node.end:
+            out.append(node.payload)
+        if node.start <= point:
+            self._stab(node.right, point, out)
+
+    def overlap(self, low: float, high: float) -> list[object]:
+        """Payloads of intervals intersecting the half-open ``[low, high)``."""
+        out: list[object] = []
+        self._overlap(self._root, float(low), float(high), out)
+        return out
+
+    def _overlap(self, node: _INode | None, low: float, high: float, out: list[object]) -> None:
+        if node is None or _max_end(node) <= low:
+            return
+        self._overlap(node.left, low, high, out)
+        if node.start < high and node.end > low:
+            out.append(node.payload)
+        if node.start < high:
+            self._overlap(node.right, low, high, out)
+
+    def ended_by(self, point: float) -> list[object]:
+        """Payloads of intervals fully settled by ``point`` (end <= point)."""
+        out: list[object] = []
+        self._ended_by(self._root, float(point), out)
+        return out
+
+    def _ended_by(self, node: _INode | None, point: float, out: list[object]) -> None:
+        # No max_end-style pruning exists for this predicate on a
+        # start-keyed tree; prune only on start <= end <= point.
+        if node is None:
+            return
+        self._ended_by(node.left, point, out)
+        if node.end <= point:
+            out.append(node.payload)
+        if node.start <= point:
+            self._ended_by(node.right, point, out)
+
+    def started_by(self, point: float) -> list[object]:
+        """Payloads of intervals created by ``point`` (start <= point)."""
+        out: list[object] = []
+        self._started_by(self._root, float(point), out)
+        return out
+
+    def _started_by(self, node: _INode | None, point: float, out: list[object]) -> None:
+        if node is None:
+            return
+        if node.start <= point:
+            self._collect_all(node.left, out)
+            out.append(node.payload)
+            self._started_by(node.right, point, out)
+        else:
+            self._started_by(node.left, point, out)
+
+    def _collect_all(self, node: _INode | None, out: list[object]) -> None:
+        if node is None:
+            return
+        self._collect_all(node.left, out)
+        out.append(node.payload)
+        self._collect_all(node.right, out)
+
+    def items(self) -> Iterator[tuple[float, float, object]]:
+        """In-order (start, end, payload) triples."""
+        yield from self._items(self._root)
+
+    def _items(self, node: _INode | None) -> Iterator[tuple[float, float, object]]:
+        if node is None:
+            return
+        yield from self._items(node.left)
+        yield node.start, node.end, node.payload
+        yield from self._items(node.right)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`IndexCorruptionError` on any broken invariant."""
+        count = self._validate(self._root, (_NEG_INF, _NEG_INF), (_POS_INF, _POS_INF))[2]
+        if count != self._n:
+            raise IndexCorruptionError(f"size mismatch: counted {count}, recorded {self._n}")
+
+    def _validate(
+        self,
+        node: _INode | None,
+        low: tuple[float, float],
+        high: tuple[float, float],
+    ) -> tuple[int, float, int]:
+        if node is None:
+            return 0, _NEG_INF, 0
+        key = (node.start, node.end)
+        if not low <= key <= high:
+            raise IndexCorruptionError(f"BST order violated at interval {key}")
+        lh, lmax, lcount = self._validate(node.left, low, key)
+        rh, rmax, rcount = self._validate(node.right, key, high)
+        if abs(lh - rh) > 1:
+            raise IndexCorruptionError(f"AVL balance violated at interval {key}")
+        expected_max = max(node.end, lmax, rmax)
+        if node.max_end != expected_max:
+            raise IndexCorruptionError(f"stale max_end at interval {key}")
+        return 1 + max(lh, rh), expected_max, 1 + lcount + rcount

@@ -1,0 +1,57 @@
+"""Naive logical-time index: materialized join + full scans.
+
+This is the paper's baseline ("offered by Pandas merge"): the avail table
+is joined with the RCC table once, the result is materialized (hence the
+~2x memory footprint in Table 6), and every Status Query predicate is
+answered by a full boolean scan of the date columns with no reuse across
+logical timestamps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.base import LogicalTimeIndex
+from repro.table.table import ColumnTable
+
+
+class NaiveJoinIndex(LogicalTimeIndex):
+    """Materialized-join baseline (O(|RCC|) per query, O(|RCC|) space)."""
+
+    name = "naive"
+
+    def _build(self) -> None:
+        # Materialize a wide result table the way an ad-hoc pandas
+        # pipeline would: the join output carries the date columns twice
+        # (once as join payload, once as working columns) plus the id.
+        self._materialized = ColumnTable(
+            {
+                "rcc_id": self._ids,
+                "t_start": self._starts,
+                "t_end": self._ends,
+                "t_start_joined": self._starts.copy(),
+                "t_end_joined": self._ends.copy(),
+                "rcc_id_joined": self._ids.copy(),
+            }
+        )
+
+    def active_ids(self, t: float) -> np.ndarray:
+        starts = self._materialized["t_start"]
+        ends = self._materialized["t_end"]
+        mask = (starts <= t) & (t < ends)
+        return np.sort(self._materialized["rcc_id"][mask])
+
+    def settled_ids(self, t: float) -> np.ndarray:
+        ends = self._materialized["t_end"]
+        return np.sort(self._materialized["rcc_id"][ends <= t])
+
+    def created_ids(self, t: float) -> np.ndarray:
+        starts = self._materialized["t_start"]
+        return np.sort(self._materialized["rcc_id"][starts <= t])
+
+    def pending_ids(self, t: float) -> np.ndarray:
+        starts = self._materialized["t_start"]
+        return np.sort(self._materialized["rcc_id"][starts > t])
+
+    def _structure_nbytes(self) -> int:
+        return self._materialized.nbytes()

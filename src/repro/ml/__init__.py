@@ -1,0 +1,72 @@
+"""ML substrate: boosted trees, linear models, losses, metrics, tuning.
+
+Public API::
+
+    from repro.ml import (
+        GradientBoostedTrees, GbmParams, RegressionTree, TreeParams,
+        LinearRegression, ElasticNet,
+        make_loss, LOSS_NAMES,
+        mae, mse, rmse, r2, mae_at_percentile, metric_suite,
+        TpeTuner, UniformParam, IntParam, ChoiceParam, default_gbm_space,
+    )
+"""
+
+from repro.ml.gbm import GbmParams, GradientBoostedTrees
+from repro.ml.linear import ElasticNet, LinearRegression
+from repro.ml.losses import (
+    LOSS_NAMES,
+    AbsoluteLoss,
+    HuberLoss,
+    Loss,
+    PinballLoss,
+    PseudoHuberLoss,
+    SquaredLoss,
+    make_loss,
+)
+from repro.ml.metrics import mae, mae_at_percentile, metric_suite, mse, r2, rmse
+from repro.ml.tree import RegressionTree, TreeParams
+from repro.ml.validation import PairedComparison, paired_comparison, repeated_split_scores
+from repro.ml.tuning import (
+    ChoiceParam,
+    IntParam,
+    Param,
+    TpeTuner,
+    Trial,
+    TuningResult,
+    UniformParam,
+    default_gbm_space,
+)
+
+__all__ = [
+    "GradientBoostedTrees",
+    "GbmParams",
+    "RegressionTree",
+    "TreeParams",
+    "LinearRegression",
+    "ElasticNet",
+    "Loss",
+    "SquaredLoss",
+    "AbsoluteLoss",
+    "HuberLoss",
+    "PseudoHuberLoss",
+    "PinballLoss",
+    "make_loss",
+    "LOSS_NAMES",
+    "mae",
+    "mse",
+    "rmse",
+    "r2",
+    "mae_at_percentile",
+    "metric_suite",
+    "PairedComparison",
+    "paired_comparison",
+    "repeated_split_scores",
+    "TpeTuner",
+    "Trial",
+    "TuningResult",
+    "Param",
+    "UniformParam",
+    "IntParam",
+    "ChoiceParam",
+    "default_gbm_space",
+]

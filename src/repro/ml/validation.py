@@ -1,0 +1,103 @@
+"""Small-n evaluation utilities: repeated splits and paired comparison.
+
+With only 187 closed avails, a single train/validation split carries
+substantial verdict noise — the fusion stage of the paper's pipeline,
+for example, flips between "none" and "average" across split seeds (see
+EXPERIMENTS.md).  These helpers quantify that:
+
+* :func:`repeated_split_scores` — re-run an evaluation function over many
+  split seeds, collecting a score distribution per candidate.
+* :func:`paired_comparison` — per-seed paired differences between two
+  candidates with a sign-flip summary (how often does A beat B?).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import NavyMaintenanceDataset
+from repro.data.splits import DataSplits, split_dataset
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired A-vs-B comparison over split seeds."""
+
+    name_a: str
+    name_b: str
+    scores_a: np.ndarray
+    scores_b: np.ndarray
+
+    @property
+    def mean_difference(self) -> float:
+        """Mean (a - b); negative means A scores lower (better for MAE)."""
+        return float(np.mean(self.scores_a - self.scores_b))
+
+    @property
+    def win_rate_a(self) -> float:
+        """Fraction of seeds where A strictly beats B (lower score)."""
+        return float(np.mean(self.scores_a < self.scores_b))
+
+    def summary(self) -> str:
+        return (
+            f"{self.name_a} vs {self.name_b}: mean diff {self.mean_difference:+.2f}, "
+            f"{self.name_a} wins on {self.win_rate_a:.0%} of "
+            f"{len(self.scores_a)} splits"
+        )
+
+
+def repeated_split_scores(
+    dataset: NavyMaintenanceDataset,
+    evaluate: Callable[[DataSplits], dict[str, float]],
+    seeds: Sequence[int] = tuple(range(5)),
+) -> dict[str, np.ndarray]:
+    """Evaluate candidates over several train/validation re-draws.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset; the chronological test carve-out is identical
+        across seeds (only train/validation membership re-draws).
+    evaluate:
+        Callback receiving a :class:`DataSplits` and returning
+        ``{candidate_name: score}``.
+    seeds:
+        Split seeds to sweep.
+
+    Returns
+    -------
+    dict mapping candidate name -> array of per-seed scores.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one split seed")
+    collected: dict[str, list[float]] = {}
+    expected_names: set[str] | None = None
+    for seed in seeds:
+        splits = split_dataset(dataset, seed=int(seed))
+        scores = evaluate(splits)
+        if expected_names is None:
+            expected_names = set(scores)
+        elif set(scores) != expected_names:
+            raise ConfigurationError("evaluate() must return the same candidates each seed")
+        for name, value in scores.items():
+            collected.setdefault(name, []).append(float(value))
+    return {name: np.array(values) for name, values in collected.items()}
+
+
+def paired_comparison(
+    scores: dict[str, np.ndarray], name_a: str, name_b: str
+) -> PairedComparison:
+    """Build a paired comparison from :func:`repeated_split_scores` output."""
+    for name in (name_a, name_b):
+        if name not in scores:
+            raise ConfigurationError(f"candidate {name!r} not in scores")
+    return PairedComparison(
+        name_a=name_a,
+        name_b=name_b,
+        scores_a=scores[name_a],
+        scores_b=scores[name_b],
+    )

@@ -1,0 +1,22 @@
+"""Columnar table engine (the repo's pandas stand-in).
+
+Public API::
+
+    from repro.table import ColumnTable, merge, read_csv, write_csv
+"""
+
+from repro.table.column import as_column, factorize, is_numeric
+from repro.table.io import read_csv, write_csv
+from repro.table.join import merge
+from repro.table.table import ColumnTable, GroupedTable
+
+__all__ = [
+    "ColumnTable",
+    "GroupedTable",
+    "merge",
+    "read_csv",
+    "write_csv",
+    "as_column",
+    "factorize",
+    "is_numeric",
+]

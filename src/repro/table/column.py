@@ -1,0 +1,113 @@
+"""Typed column handling for the columnar table engine.
+
+A column is stored as a 1-D numpy array.  This module centralises the
+coercion rules so every :class:`~repro.table.table.ColumnTable` constructor
+produces predictable dtypes:
+
+* numeric input -> ``float64`` or ``int64``
+* booleans      -> ``bool``
+* everything else (strings, mixed, ``None``) -> ``object``
+
+``None`` inside a numeric column is converted to ``nan`` (forcing float).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+#: dtype kinds considered numeric for aggregation purposes.
+NUMERIC_KINDS = frozenset("iuf")
+
+
+def as_column(values: Any, name: str = "<column>") -> np.ndarray:
+    """Coerce ``values`` into a 1-D numpy array suitable for a column.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of scalars, or an existing numpy array.
+    name:
+        Used only for error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A 1-D array.  Scalars are rejected.
+    """
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise ValueError(f"column {name!r} must be 1-D, got shape {values.shape}")
+        return values
+    if isinstance(values, (str, bytes)):
+        raise TypeError(f"column {name!r} must be an iterable of scalars, got a string")
+    if not isinstance(values, Iterable):
+        raise TypeError(f"column {name!r} must be an iterable, got {type(values).__name__}")
+    items = list(values)
+    return _coerce_list(items, name)
+
+
+def _coerce_list(items: Sequence[Any], name: str) -> np.ndarray:
+    """Infer the best dtype for a python list and build the array."""
+    if not items:
+        return np.empty(0, dtype=np.float64)
+    has_none = any(item is None for item in items)
+    non_null = [item for item in items if item is not None]
+    if not non_null:
+        return np.full(len(items), np.nan, dtype=np.float64)
+    if all(isinstance(item, bool) for item in non_null):
+        if has_none:
+            return np.array(items, dtype=object)
+        return np.array(items, dtype=bool)
+    if all(isinstance(item, (int, np.integer)) and not isinstance(item, bool) for item in non_null):
+        if has_none:
+            return np.array(
+                [np.nan if item is None else float(item) for item in items], dtype=np.float64
+            )
+        return np.array(items, dtype=np.int64)
+    if all(
+        isinstance(item, (int, float, np.integer, np.floating)) and not isinstance(item, bool)
+        for item in non_null
+    ):
+        return np.array(
+            [np.nan if item is None else float(item) for item in items], dtype=np.float64
+        )
+    return np.array(items, dtype=object)
+
+
+def is_numeric(array: np.ndarray) -> bool:
+    """Return True when the array participates in numeric aggregation."""
+    return array.dtype.kind in NUMERIC_KINDS
+
+
+def column_nbytes(array: np.ndarray) -> int:
+    """Approximate the memory footprint of a column in bytes.
+
+    Object columns report the array of pointers plus the payload of each
+    distinct python object (strings dominate in practice).
+    """
+    if array.dtype.kind != "O":
+        return int(array.nbytes)
+    import sys
+
+    seen: set[int] = set()
+    payload = 0
+    for item in array:
+        if id(item) in seen:
+            continue
+        seen.add(id(item))
+        payload += sys.getsizeof(item)
+    return int(array.nbytes) + payload
+
+
+def factorize(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a column as integer codes plus the array of unique values.
+
+    Returns ``(codes, uniques)`` with ``uniques[codes] == array`` and
+    ``uniques`` sorted ascending.  Works for object columns too because
+    numpy falls back to python comparison.
+    """
+    uniques, codes = np.unique(array, return_inverse=True)
+    return codes.astype(np.int64, copy=False), uniques

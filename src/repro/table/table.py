@@ -1,0 +1,344 @@
+"""A small columnar table engine.
+
+:class:`ColumnTable` is the in-memory relational substrate used throughout
+the reproduction.  It stands in for the pandas ``DataFrame``/``merge``
+machinery the paper uses as its naive baseline: typed numpy columns,
+row-filtering, sorting, hash joins and grouped aggregation.
+
+The engine is deliberately simple — no null bitmap (numeric nulls are
+``nan``), no categorical dtype — but the operations used by the paper's
+Status Query (filter by date predicates, group by RCC type and SWLIN
+level, aggregate settled amounts/durations) are fully supported and
+vectorised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ColumnNotFoundError, LengthMismatchError, SchemaError
+from repro.table.aggregate import apply_aggregation
+from repro.table.column import as_column, column_nbytes, factorize
+
+
+class ColumnTable:
+    """An immutable-by-convention columnar table.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to iterable of values.  All columns must
+        have identical length.  Arrays are coerced via
+        :func:`repro.table.column.as_column`.
+
+    Examples
+    --------
+    >>> t = ColumnTable({"id": [1, 2, 3], "amount": [10.0, 20.0, 30.0]})
+    >>> t.n_rows
+    3
+    >>> t.filter(t["amount"] > 15.0).n_rows
+    2
+    """
+
+    __slots__ = ("_columns", "_n_rows")
+
+    def __init__(self, columns: Mapping[str, Any] | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        self._n_rows = 0
+        if columns:
+            first = True
+            for name, values in columns.items():
+                array = as_column(values, name)
+                if first:
+                    self._n_rows = len(array)
+                    first = False
+                elif len(array) != self._n_rows:
+                    raise LengthMismatchError(
+                        f"column {name!r} has length {len(array)}, expected {self._n_rows}"
+                    )
+                self._columns[str(name)] = array
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, Any]]) -> "ColumnTable":
+        """Build a table from a sequence of row dicts.
+
+        Missing keys become ``None`` (so numeric columns turn into float
+        with ``nan``).  Column order follows first appearance.
+        """
+        names: list[str] = []
+        seen: set[str] = set()
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    names.append(key)
+        data = {name: [row.get(name) for row in rows] for name in names}
+        return cls(data)
+
+    @classmethod
+    def _from_arrays(cls, columns: dict[str, np.ndarray], n_rows: int) -> "ColumnTable":
+        """Internal fast-path constructor that skips coercion."""
+        table = cls.__new__(cls)
+        table._columns = columns
+        table._n_rows = n_rows
+        return table
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in insertion order."""
+        return tuple(self._columns)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the backing array of a column (no copy)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ColumnNotFoundError(name, self.column_names) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Alias of ``table[name]``."""
+        return self[name]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Materialise a single row as a dict of python scalars."""
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(f"row {index} out of range for table of {self._n_rows} rows")
+        return {name: array[index].item() if array.dtype.kind != "O" else array[index]
+                for name, array in self._columns.items()}
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Materialise the whole table as a list of row dicts."""
+        return [self.row(i) for i in range(self._n_rows)]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of all columns in bytes."""
+        return sum(column_nbytes(array) for array in self._columns.values())
+
+    # ------------------------------------------------------------------
+    # row/column operations
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "ColumnTable":
+        """Project onto the given columns, in the given order."""
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise ColumnNotFoundError(missing[0], self.column_names)
+        return ColumnTable._from_arrays({n: self._columns[n] for n in names}, self._n_rows)
+
+    def drop(self, names: Sequence[str]) -> "ColumnTable":
+        """Return the table without the given columns."""
+        drop_set = set(names)
+        missing = drop_set - set(self._columns)
+        if missing:
+            raise ColumnNotFoundError(sorted(missing)[0], self.column_names)
+        kept = {n: a for n, a in self._columns.items() if n not in drop_set}
+        return ColumnTable._from_arrays(kept, self._n_rows)
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColumnTable":
+        """Rename columns according to ``mapping`` (old -> new)."""
+        missing = set(mapping) - set(self._columns)
+        if missing:
+            raise ColumnNotFoundError(sorted(missing)[0], self.column_names)
+        renamed = {mapping.get(n, n): a for n, a in self._columns.items()}
+        if len(renamed) != len(self._columns):
+            raise SchemaError("rename would produce duplicate column names")
+        return ColumnTable._from_arrays(renamed, self._n_rows)
+
+    def with_column(self, name: str, values: Any) -> "ColumnTable":
+        """Return a new table with ``name`` added or replaced."""
+        array = as_column(values, name)
+        if len(array) != self._n_rows:
+            raise LengthMismatchError(
+                f"column {name!r} has length {len(array)}, expected {self._n_rows}"
+            )
+        columns = dict(self._columns)
+        columns[str(name)] = array
+        return ColumnTable._from_arrays(columns, self._n_rows)
+
+    def filter(self, mask: np.ndarray) -> "ColumnTable":
+        """Keep rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            raise TypeError(f"filter mask must be boolean, got dtype {mask.dtype}")
+        if len(mask) != self._n_rows:
+            raise LengthMismatchError(
+                f"mask has length {len(mask)}, expected {self._n_rows}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: np.ndarray) -> "ColumnTable":
+        """Gather rows by integer position."""
+        indices = np.asarray(indices, dtype=np.int64)
+        taken = {n: a[indices] for n, a in self._columns.items()}
+        return ColumnTable._from_arrays(taken, len(indices))
+
+    def head(self, n: int = 5) -> "ColumnTable":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def sort_by(self, names: Sequence[str] | str, ascending: bool = True) -> "ColumnTable":
+        """Stable sort by one or more columns (last name is primary for
+        ``numpy.lexsort``, so we reverse internally to match SQL order)."""
+        if isinstance(names, str):
+            names = [names]
+        keys = [self[n] for n in reversed(list(names))]
+        order = np.lexsort(keys)
+        if not ascending:
+            order = order[::-1]
+        return self.take(order)
+
+    def unique(self, name: str) -> np.ndarray:
+        """Sorted unique values of a column."""
+        return np.unique(self[name])
+
+    # ------------------------------------------------------------------
+    # group-by / aggregation
+    # ------------------------------------------------------------------
+    def group_by(self, keys: Sequence[str] | str) -> "GroupedTable":
+        """Start a grouped aggregation; see :class:`GroupedTable`."""
+        if isinstance(keys, str):
+            keys = [keys]
+        if not keys:
+            raise SchemaError("group_by requires at least one key column")
+        return GroupedTable(self, tuple(keys))
+
+    def _group_codes(self, keys: Sequence[str]) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Dense group id per row plus unique key values per key column."""
+        codes = np.zeros(self._n_rows, dtype=np.int64)
+        uniques_per_key: dict[str, np.ndarray] = {}
+        multiplier = 1
+        per_key_codes: list[tuple[str, np.ndarray, np.ndarray]] = []
+        for key in keys:
+            key_codes, uniques = factorize(self[key])
+            per_key_codes.append((key, key_codes, uniques))
+            codes = codes * len(uniques) + key_codes if multiplier > 1 else key_codes
+            multiplier *= max(len(uniques), 1)
+        # Re-densify combined codes (cartesian space may be sparse).
+        dense, inverse = np.unique(codes, return_inverse=True)
+        # Recover representative key values for each dense group.
+        first_row_of_group = np.zeros(len(dense), dtype=np.int64)
+        order = np.argsort(inverse, kind="stable")
+        sorted_groups = inverse[order]
+        starts = np.flatnonzero(np.diff(sorted_groups, prepend=-1))
+        first_row_of_group = order[starts]
+        for key, _codes, _uniques in per_key_codes:
+            uniques_per_key[key] = self[key][first_row_of_group]
+        return inverse.astype(np.int64), uniques_per_key
+
+    # ------------------------------------------------------------------
+    # joins / concat
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        other: "ColumnTable",
+        on: Sequence[str] | str,
+        how: str = "inner",
+        suffixes: tuple[str, str] = ("_x", "_y"),
+    ) -> "ColumnTable":
+        """Hash join with another table; see :func:`repro.table.join.merge`."""
+        from repro.table.join import merge as _merge
+
+        return _merge(self, other, on=on, how=how, suffixes=suffixes)
+
+    @staticmethod
+    def concat(tables: Iterable["ColumnTable"]) -> "ColumnTable":
+        """Vertically stack tables with identical column sets."""
+        tables = list(tables)
+        if not tables:
+            return ColumnTable()
+        names = tables[0].column_names
+        for t in tables[1:]:
+            if set(t.column_names) != set(names):
+                raise SchemaError("concat requires identical column sets")
+        stacked = {
+            name: np.concatenate([t[name] for t in tables]) for name in names
+        }
+        return ColumnTable._from_arrays(stacked, sum(t.n_rows for t in tables))
+
+    # ------------------------------------------------------------------
+    # comparison / display
+    # ------------------------------------------------------------------
+    def equals(self, other: "ColumnTable") -> bool:
+        """Exact equality of schema and values (nan == nan)."""
+        if not isinstance(other, ColumnTable):
+            return False
+        if self.column_names != other.column_names or self._n_rows != other._n_rows:
+            return False
+        for name in self.column_names:
+            a, b = self[name], other[name]
+            if a.dtype.kind == "f" and b.dtype.kind == "f":
+                if not np.array_equal(a, b, equal_nan=True):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self.column_names[:6])
+        if self.n_columns > 6:
+            preview += ", ..."
+        return f"ColumnTable({self._n_rows} rows x {self.n_columns} cols: [{preview}])"
+
+
+class GroupedTable:
+    """Lazy handle returned by :meth:`ColumnTable.group_by`.
+
+    Call :meth:`aggregate` with an output-column specification::
+
+        table.group_by(["rcc_type"]).aggregate({
+            "total_amount": ("amount", "sum"),
+            "n": ("amount", "count"),
+        })
+    """
+
+    def __init__(self, table: ColumnTable, keys: tuple[str, ...]):
+        self._table = table
+        self._keys = keys
+
+    def aggregate(self, spec: Mapping[str, tuple[str, str]]) -> ColumnTable:
+        """Compute one output column per ``(source_column, agg_name)`` pair."""
+        table = self._table
+        if table.n_rows == 0:
+            columns: dict[str, np.ndarray] = {k: table[k] for k in self._keys}
+            for out_name, (source, agg) in spec.items():
+                columns[out_name] = apply_aggregation(agg, table[source], np.empty(0, np.int64))
+            return ColumnTable._from_arrays(columns, 0)
+        group_ids, key_values = table._group_codes(self._keys)
+        order = np.argsort(group_ids, kind="stable")
+        sorted_ids = group_ids[order]
+        starts = np.flatnonzero(np.diff(sorted_ids, prepend=-1))
+        columns = dict(key_values)
+        for out_name, (source, agg) in spec.items():
+            values = table[source][order]
+            columns[out_name] = apply_aggregation(agg, values, starts)
+        n_groups = len(starts)
+        return ColumnTable._from_arrays(columns, n_groups)
+
+    def sizes(self) -> ColumnTable:
+        """Group sizes as a table with a ``count`` column."""
+        first_key = self._keys[0]
+        return self.aggregate({"count": (first_key, "count")})

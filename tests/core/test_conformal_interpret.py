@@ -1,0 +1,123 @@
+"""Tests for conformal intervals and global interpretability."""
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.conformal import ConformalDomdEstimator
+from repro.core.interpret import (
+    format_sme_report,
+    global_feature_report,
+    window_importances,
+)
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(
+        window_pct=25.0, k=8, fusion="average", gbm=GbmParams(n_estimators=25)
+    )
+    estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+    return dataset, splits, estimator
+
+
+class TestConformal:
+    def test_requires_fitted(self):
+        with pytest.raises(NotFittedError):
+            ConformalDomdEstimator(DomdEstimator(PipelineConfig()))
+
+    def test_calibrate_then_interval(self, fitted):
+        _, splits, estimator = fitted
+        conformal = ConformalDomdEstimator(estimator).calibrate(splits.validation_ids)
+        interval = conformal.query_interval(0, t_star=50.0, alpha=0.2)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.width > 0
+
+    def test_uncalibrated_rejected(self, fitted):
+        _, _, estimator = fitted
+        conformal = ConformalDomdEstimator(estimator)
+        with pytest.raises(NotFittedError):
+            conformal.query_interval(0, t_star=50.0)
+
+    def test_width_shrinks_with_higher_alpha(self, fitted):
+        _, splits, estimator = fitted
+        conformal = ConformalDomdEstimator(estimator).calibrate(splits.validation_ids)
+        wide = conformal.query_interval(0, 50.0, alpha=0.1)
+        narrow = conformal.query_interval(0, 50.0, alpha=0.5)
+        assert narrow.width <= wide.width
+
+    def test_tiny_alpha_gives_infinite_width(self, fitted):
+        _, splits, estimator = fitted
+        conformal = ConformalDomdEstimator(estimator).calibrate(splits.validation_ids)
+        # With ~8 calibration points, alpha=0.01 needs rank > n.
+        interval = conformal.query_interval(0, 50.0, alpha=0.01)
+        assert np.isinf(interval.width)
+
+    def test_invalid_alpha(self, fitted):
+        _, splits, estimator = fitted
+        conformal = ConformalDomdEstimator(estimator).calibrate(splits.validation_ids)
+        with pytest.raises(ConfigurationError):
+            conformal.query_interval(0, 50.0, alpha=1.5)
+
+    def test_too_few_calibration_points(self, fitted):
+        _, splits, estimator = fitted
+        with pytest.raises(ConfigurationError):
+            ConformalDomdEstimator(estimator).calibrate(splits.validation_ids[:3])
+
+    def test_empirical_coverage_reasonable(self, fitted):
+        _, splits, estimator = fitted
+        conformal = ConformalDomdEstimator(estimator).calibrate(splits.validation_ids)
+        coverage = conformal.empirical_coverage(splits.test_ids, t_star=100.0, alpha=0.2)
+        # Marginal validity under exchangeability; chronological drift and
+        # tiny n allow slack.
+        assert coverage >= 0.5
+
+
+class TestInterpret:
+    def test_window_importances_sum_to_one(self, fitted):
+        _, _, estimator = fitted
+        importances = window_importances(estimator, 2)
+        assert sum(importances.values()) == pytest.approx(1.0)
+
+    def test_global_report_ranked(self, fitted):
+        _, _, estimator = fitted
+        reports = global_feature_report(estimator, top=10)
+        assert len(reports) == 10
+        values = [r.mean_importance for r in reports]
+        assert values == sorted(values, reverse=True)
+
+    def test_static_features_present_every_window(self, fitted):
+        _, _, estimator = fitted
+        reports = global_feature_report(estimator, top=200)
+        by_name = {r.name: r for r in reports}
+        # Flat architecture includes statics in every window design.
+        assert by_name["planned_duration"].n_windows_selected == 5
+
+    def test_contributions_nonnegative(self, fitted):
+        _, _, estimator = fitted
+        for report in global_feature_report(estimator, top=10):
+            assert report.mean_abs_contribution >= 0
+
+    def test_population_subset(self, fitted):
+        _, splits, estimator = fitted
+        reports = global_feature_report(estimator, avail_ids=splits.test_ids, top=5)
+        assert len(reports) == 5
+
+    def test_format_report(self, fitted):
+        _, _, estimator = fitted
+        text = format_sme_report(global_feature_report(estimator, top=5))
+        assert "feature" in text
+        assert len(text.splitlines()) == 7
+
+    def test_invalid_top(self, fitted):
+        _, _, estimator = fitted
+        with pytest.raises(ConfigurationError):
+            global_feature_report(estimator, top=0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            global_feature_report(DomdEstimator(PipelineConfig()))

@@ -1,0 +1,135 @@
+"""Tests for the DoMD query API (Problem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="module")
+def estimator(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(
+        window_pct=25.0,
+        k=10,
+        loss="pseudo_huber",
+        fusion="average",
+        gbm=GbmParams(n_estimators=40),
+    )
+    return DomdEstimator(config).fit(dataset, splits.train_ids)
+
+
+class TestQuery:
+    def test_returns_estimates_up_to_t_star(self, estimator, small_dataset):
+        aid = int(small_dataset.avails["avail_id"][0])
+        result = estimator.query([aid], t_star=60.0)[0]
+        # 25% windows: boundaries 0, 25, 50 are <= 60.
+        assert result.window_t_stars.tolist() == [0.0, 25.0, 50.0]
+        assert len(result.window_estimates) == 3
+        assert len(result.fused_estimates) == 3
+        assert result.current_estimate == pytest.approx(result.fused_estimates[-1])
+
+    def test_average_fusion_applied(self, estimator, small_dataset):
+        aid = int(small_dataset.avails["avail_id"][0])
+        result = estimator.query([aid], t_star=100.0)[0]
+        np.testing.assert_allclose(
+            result.fused_estimates,
+            np.cumsum(result.window_estimates) / np.arange(1, 6),
+        )
+
+    def test_query_by_physical_day(self, estimator, small_dataset):
+        avail = small_dataset.avail(0)
+        mid = avail.act_start + avail.planned_duration // 2
+        by_day = estimator.query([0], physical_day=mid)[0]
+        assert 40.0 <= by_day.t_star <= 60.0
+
+    def test_query_multiple_avails(self, estimator, small_dataset):
+        ids = [int(a) for a in small_dataset.avails["avail_id"][:3]]
+        results = estimator.query(ids, t_star=50.0)
+        assert [r.avail_id for r in results] == ids
+
+    def test_ongoing_avail_queryable(self, estimator, small_dataset):
+        ongoing = small_dataset.avails.filter(
+            small_dataset.avails["status"] == "ongoing"
+        )
+        aid = int(ongoing["avail_id"][0])
+        result = estimator.query([aid], t_star=30.0)[0]
+        assert np.isfinite(result.current_estimate)
+
+    def test_t_star_beyond_100_clamps(self, estimator):
+        result = estimator.query([0], t_star=250.0)[0]
+        assert result.window_t_stars[-1] == 100.0
+
+    def test_requires_exactly_one_time(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.query([0])
+        with pytest.raises(ConfigurationError):
+            estimator.query([0], t_star=10.0, physical_day=100.0)
+
+    def test_negative_logical_time_rejected(self, estimator, small_dataset):
+        avail = small_dataset.avail(0)
+        with pytest.raises(ConfigurationError, match="before its actual start"):
+            estimator.query([0], physical_day=avail.act_start - 100)
+
+    def test_as_dict(self, estimator):
+        result = estimator.query([0], t_star=25.0)[0]
+        payload = result.as_dict()
+        assert payload["avail_id"] == 0
+        assert payload["windows"] == [0.0, 25.0]
+
+
+class TestExplain:
+    def test_top_k_contributions(self, estimator):
+        contributions = estimator.explain(0, 50.0, top=5)
+        assert len(contributions) == 5
+        magnitudes = [abs(c.contribution) for c in contributions]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_names_come_from_design(self, estimator):
+        contributions = estimator.explain(0, 50.0, top=3)
+        for item in contributions:
+            assert isinstance(item.name, str) and item.name
+
+    def test_invalid_top(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.explain(0, 50.0, top=0)
+
+
+class TestEvaluateAndFit:
+    def test_evaluate_on_test_ids(self, estimator, small_splits):
+        out = estimator.evaluate(small_splits.test_ids)
+        assert "average" in out
+        assert out["average"]["mae_100"] > 0
+
+    def test_evaluate_rejects_ongoing(self, estimator, small_dataset):
+        ongoing = small_dataset.avails.filter(
+            small_dataset.avails["status"] == "ongoing"
+        )
+        with pytest.raises(ConfigurationError):
+            estimator.evaluate(np.asarray(ongoing["avail_id"]))
+
+    def test_not_fitted(self):
+        fresh = DomdEstimator(PipelineConfig())
+        with pytest.raises(NotFittedError):
+            fresh.query([0], t_star=10.0)
+
+    def test_fit_rejects_ongoing_train_ids(self, small_dataset):
+        ongoing_id = int(
+            small_dataset.avails.filter(small_dataset.avails["status"] == "ongoing")[
+                "avail_id"
+            ][0]
+        )
+        fresh = DomdEstimator(
+            PipelineConfig(window_pct=50.0, gbm=GbmParams(n_estimators=5))
+        )
+        with pytest.raises(ConfigurationError, match="ongoing"):
+            fresh.fit(small_dataset, np.array([ongoing_id]))
+
+    def test_default_trains_on_all_closed(self, small_dataset):
+        config = PipelineConfig(window_pct=50.0, k=5, gbm=GbmParams(n_estimators=10))
+        estimator = DomdEstimator(config).fit(small_dataset)
+        result = estimator.query([0], t_star=50.0)
+        assert len(result) == 1

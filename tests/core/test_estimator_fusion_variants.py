@@ -1,0 +1,42 @@
+"""Estimator behaviour under the extended fusion methods and odd windows."""
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.ml import GbmParams
+
+
+def fast_config(**overrides):
+    defaults = dict(window_pct=25.0, k=8, gbm=GbmParams(n_estimators=15))
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@pytest.mark.parametrize("fusion", ["median", "ewma"])
+def test_extended_fusion_through_estimator(small_dataset, small_splits, fusion):
+    estimator = DomdEstimator(fast_config(fusion=fusion)).fit(
+        small_dataset, small_splits.train_ids
+    )
+    result = estimator.query([0], t_star=100.0)[0]
+    assert np.isfinite(result.fused_estimates).all()
+    # Fused estimates aggregate raw windows: stay within their hull.
+    assert result.fused_estimates.min() >= result.window_estimates.min() - 1e-9
+    assert result.fused_estimates.max() <= result.window_estimates.max() + 1e-9
+
+
+def test_non_divisor_window_width(small_dataset, small_splits):
+    """x = 30% -> ceil(100/30) = 4 windows plus t*=0 boundary."""
+    estimator = DomdEstimator(fast_config(window_pct=30.0)).fit(
+        small_dataset, small_splits.train_ids
+    )
+    assert estimator.timeline.n_models == 5
+    result = estimator.query([0], t_star=100.0)[0]
+    assert len(result.window_estimates) == 5
+
+
+def test_query_at_exact_zero(small_dataset, small_splits):
+    estimator = DomdEstimator(fast_config()).fit(small_dataset, small_splits.train_ids)
+    result = estimator.query([0], t_star=0.0)[0]
+    assert len(result.window_estimates) == 1
+    assert result.window_t_stars.tolist() == [0.0]

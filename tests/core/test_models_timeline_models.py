@@ -1,0 +1,216 @@
+"""Tests for base-model adapters and the timeline model set."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GbmAdapter,
+    LinearAdapter,
+    PipelineConfig,
+    STATIC_BASE_PRED,
+    TimelineModelSet,
+    make_model,
+)
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import GbmParams
+
+
+@pytest.fixture()
+def problem(rng):
+    X = rng.normal(size=(60, 6))
+    y = 2 * X[:, 0] - X[:, 1] + rng.normal(0, 0.1, 60)
+    return X, y
+
+
+class TestAdapters:
+    @pytest.mark.parametrize("family", ["gbm", "linear"])
+    def test_fit_predict(self, problem, family):
+        X, y = problem
+        model = make_model(family).fit(X, y)
+        pred = model.predict(X)
+        assert np.abs(pred - y).mean() < np.abs(y - y.mean()).mean()
+
+    @pytest.mark.parametrize("family", ["gbm", "linear"])
+    def test_contributions_sum_to_prediction(self, problem, family):
+        X, y = problem
+        model = make_model(family).fit(X, y)
+        contribs = model.contributions(X)
+        assert contribs.shape == (60, 7)
+        np.testing.assert_allclose(contribs.sum(axis=1), model.predict(X), atol=1e-6)
+
+    @pytest.mark.parametrize("family", ["gbm", "linear"])
+    def test_importances_normalised(self, problem, family):
+        X, y = problem
+        model = make_model(family).fit(X, y)
+        importances = model.feature_importances()
+        assert importances.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("family", ["gbm", "linear"])
+    def test_clone_unfitted(self, problem, family):
+        X, y = problem
+        model = make_model(family).fit(X, y)
+        with pytest.raises(NotFittedError):
+            model.clone().predict(X)
+
+    def test_gbm_loss_override(self):
+        adapter = make_model("gbm", loss="pseudo_huber", huber_delta=9.0)
+        assert adapter.params.loss == "pseudo_huber"
+        assert adapter.params.huber_delta == 9.0
+
+    def test_gbm_with_loss(self):
+        adapter = GbmAdapter(GbmParams(n_estimators=10))
+        other = adapter.with_loss("l1")
+        assert other.params.loss == "l1"
+        assert adapter.params.loss == "l2"
+
+    def test_linear_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinearAdapter().predict(np.zeros((1, 1)))
+        with pytest.raises(NotFittedError):
+            LinearAdapter().feature_importances()
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            make_model("transformer")
+
+
+@pytest.fixture()
+def timeline_data(rng):
+    n, n_windows, p_dyn, p_static = 50, 5, 30, 4
+    X_static = rng.normal(size=(n, p_static))
+    dyn = rng.normal(size=(n, n_windows, p_dyn))
+    # Signal grows over the timeline (dyn feature 3 drives the target).
+    y = 3 * dyn[:, -1, 3] + X_static[:, 0]
+    return X_static, dyn, y
+
+
+def small_config(**overrides):
+    defaults = dict(
+        window_pct=25.0,
+        k=8,
+        gbm=GbmParams(n_estimators=25),
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+class TestTimelineModelSet:
+    def test_fit_creates_one_model_per_window(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        ).fit(X_static, dyn, y)
+        assert len(model_set.windows) == 5
+
+    def test_flat_design_includes_statics(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(architecture="flat"),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        ).fit(X_static, dyn, y)
+        names = model_set.windows[0].design_names
+        assert names[:4] == ["s0", "s1", "s2", "s3"]
+        assert len(names) == 4 + 8
+
+    def test_stacked_design_has_base_pred(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(architecture="stacked"),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        ).fit(X_static, dyn, y)
+        names = model_set.windows[0].design_names
+        assert names[-1] == STATIC_BASE_PRED
+        assert not any(name.startswith("s") for name in names[:-1])
+
+    def test_predict_matrix_shape(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        ).fit(X_static, dyn, y)
+        matrix = model_set.predict_matrix(X_static, dyn)
+        assert matrix.shape == (50, 5)
+        assert np.isfinite(matrix).all()
+
+    def test_predict_fused_none_equals_raw(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(fusion="none"),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        ).fit(X_static, dyn, y)
+        np.testing.assert_array_equal(
+            model_set.predict_fused(X_static, dyn),
+            model_set.predict_matrix(X_static, dyn),
+        )
+
+    def test_selection_rankings_injected(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        forced = [np.arange(30)[::-1] for _ in range(5)]
+        model_set = TimelineModelSet(
+            config=small_config(),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+            selection_rankings=forced,
+        ).fit(X_static, dyn, y)
+        np.testing.assert_array_equal(
+            model_set.windows[0].selected, np.arange(30)[::-1][:8]
+        )
+
+    def test_wrong_rankings_length_rejected(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        with pytest.raises(ConfigurationError):
+            TimelineModelSet(
+                config=small_config(),
+                dyn_feature_names=[f"d{i}" for i in range(30)],
+                static_feature_names=[f"s{i}" for i in range(4)],
+                selection_rankings=[np.arange(30)],
+            ).fit(X_static, dyn, y)
+
+    def test_wrong_tensor_shape_rejected(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        with pytest.raises(ConfigurationError):
+            TimelineModelSet(
+                config=small_config(),
+                dyn_feature_names=[f"d{i}" for i in range(30)],
+                static_feature_names=[f"s{i}" for i in range(4)],
+            ).fit(X_static, dyn[:, :3, :], y)
+
+    def test_not_fitted(self, timeline_data):
+        X_static, dyn, _ = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        )
+        with pytest.raises(NotFittedError):
+            model_set.predict_matrix(X_static, dyn)
+
+    def test_later_windows_learn_growing_signal(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(gbm=GbmParams(n_estimators=60)),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        ).fit(X_static, dyn, y)
+        matrix = model_set.predict_matrix(X_static, dyn)
+        err_first = np.abs(matrix[:, 0] - y).mean()
+        err_last = np.abs(matrix[:, -1] - y).mean()
+        assert err_last < err_first
+
+    def test_contributions_at(self, timeline_data):
+        X_static, dyn, y = timeline_data
+        model_set = TimelineModelSet(
+            config=small_config(),
+            dyn_feature_names=[f"d{i}" for i in range(30)],
+            static_feature_names=[f"s{i}" for i in range(4)],
+        ).fit(X_static, dyn, y)
+        contribs, names = model_set.contributions_at(X_static, dyn[:, 2, :], 2)
+        assert contribs.shape == (50, len(names) + 1)
+        pred = model_set.predict_window(X_static, dyn[:, 2, :], 2)
+        np.testing.assert_allclose(contribs.sum(axis=1), pred, atol=1e-8)

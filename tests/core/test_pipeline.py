@@ -1,0 +1,129 @@
+"""Tests for the greedy pipeline optimizer (Problem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, PipelineOptimizer
+from repro.errors import ConfigurationError
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="module")
+def optimizer(request):
+    small_dataset = request.getfixturevalue("small_dataset")
+    small_splits = request.getfixturevalue("small_splits")
+    base = PipelineConfig(window_pct=25.0, k=10, gbm=GbmParams(n_estimators=30))
+    return PipelineOptimizer(small_dataset, small_splits, base_config=base)
+
+
+class TestEvaluate:
+    def test_keys_and_shapes(self, optimizer):
+        result = optimizer.evaluate(optimizer.config)
+        assert result["val_mae"] > 0
+        assert len(result["val_mae_by_t"]) == optimizer.timeline.n_models
+
+    def test_selection_rankings_cached(self, optimizer):
+        first = optimizer.rankings_for("pearson")
+        second = optimizer.rankings_for("pearson")
+        assert first is second
+        assert len(first) == optimizer.timeline.n_models
+
+    def test_rankings_cover_all_features(self, optimizer):
+        rankings = optimizer.rankings_for("pearson")
+        n_features = optimizer.dyn_train.shape[2]
+        assert sorted(rankings[0].tolist()) == list(range(n_features))
+
+
+class TestStages:
+    def test_selection_stage(self, optimizer):
+        result = optimizer.optimize_selection(
+            methods=("pearson", "random"), k_grid=(5, 10)
+        )
+        assert len(result.records) == 4
+        assert result.chosen["selection_method"] in ("pearson", "random")
+        assert optimizer.config.selection_method == result.chosen["selection_method"]
+
+    def test_model_stage(self, optimizer):
+        result = optimizer.optimize_model_family()
+        assert {r["family"] for r in result.records} == {"gbm", "linear"}
+        assert optimizer.config.model_family == result.chosen["model_family"]
+
+    def test_architecture_stage(self, optimizer):
+        result = optimizer.optimize_architecture()
+        assert {r["architecture"] for r in result.records} == {"flat", "stacked"}
+
+    def test_loss_stage(self, optimizer):
+        result = optimizer.optimize_loss(
+            losses=("l2", "pseudo_huber"), huber_deltas=(18.0,)
+        )
+        assert len(result.records) == 2
+        assert optimizer.config.loss == result.chosen["loss"]
+
+    def test_hpt_stage_small(self, optimizer):
+        optimizer.config = optimizer.config.evolve(model_family="gbm")
+        result = optimizer.optimize_trials(trial_counts=(3, 6))
+        assert [r["n_trials"] for r in result.records] == [3, 6]
+        assert optimizer.config.n_trials in (3, 6)
+        # Tuned hyperparameters adopted into the config.
+        assert optimizer.config.gbm.loss == optimizer.config.loss
+
+    def test_hpt_prefers_smallest_within_tolerance(self, optimizer):
+        optimizer.config = optimizer.config.evolve(model_family="gbm")
+        result = optimizer.optimize_trials(trial_counts=(3, 6), tolerance=100.0)
+        assert result.chosen["n_trials"] == 3
+
+    def test_fusion_stage(self, optimizer):
+        result = optimizer.optimize_fusion()
+        assert {r["fusion"] for r in result.records} == {"none", "min", "average"}
+        assert optimizer.config.fusion == result.chosen["fusion"]
+
+    def test_stage_records_have_timeline_breakdown(self, optimizer):
+        result = optimizer.optimize_fusion()
+        for record in result.records:
+            assert len(record["val_mae_by_t"]) == optimizer.timeline.n_models
+
+
+class TestRun:
+    def test_unknown_stage_rejected(self, small_dataset, small_splits):
+        optimizer = PipelineOptimizer(
+            small_dataset,
+            small_splits,
+            base_config=PipelineConfig(window_pct=50.0, gbm=GbmParams(n_estimators=10)),
+        )
+        with pytest.raises(ConfigurationError):
+            optimizer.run(stages=("selection", "magic"))
+
+    def test_run_subset_of_stages(self, small_dataset, small_splits):
+        optimizer = PipelineOptimizer(
+            small_dataset,
+            small_splits,
+            base_config=PipelineConfig(
+                window_pct=50.0, k=5, gbm=GbmParams(n_estimators=15)
+            ),
+        )
+        report = optimizer.run(
+            stages=("selection", "fusion"),
+            selection_methods=("pearson",),
+            k_grid=(5,),
+        )
+        assert set(report.stages) == {"selection", "fusion"}
+        assert report.config.fusion == optimizer.config.fusion
+        summary = report.summary()
+        assert "final" in summary and "fusion" in summary
+
+
+class TestTestEvaluation:
+    def test_rows_and_average(self, optimizer):
+        out = optimizer.test_evaluation()
+        assert len(out["rows"]) == optimizer.timeline.n_models
+        assert set(out["average"]) == {"mae_80", "mae_90", "mae_100", "mse", "rmse", "r2"}
+        for row in out["rows"]:
+            assert row["mae_80"] <= row["mae_100"]
+
+    def test_hpt_requires_gbm(self, optimizer):
+        optimizer.config = optimizer.config.evolve(model_family="linear")
+        try:
+            with pytest.raises(ConfigurationError, match="GBM"):
+                optimizer.optimize_trials(trial_counts=(2,))
+        finally:
+            optimizer.config = optimizer.config.evolve(model_family="gbm")

@@ -1,0 +1,53 @@
+"""Tests for DomdEstimator.serve() — rebinding models to new snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.data import generate_continuation, scale_rccs
+from repro.errors import NotFittedError
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(window_pct=25.0, k=8, gbm=GbmParams(n_estimators=15))
+    return dataset, splits, DomdEstimator(config).fit(dataset, splits.train_ids)
+
+
+class TestServe:
+    def test_same_snapshot_same_answers(self, fitted):
+        dataset, _, estimator = fitted
+        served = estimator.serve(dataset)
+        a = estimator.query([0], t_star=75.0)[0]
+        b = served.query([0], t_star=75.0)[0]
+        np.testing.assert_allclose(b.window_estimates, a.window_estimates)
+
+    def test_shares_models_no_refit(self, fitted):
+        dataset, _, estimator = fitted
+        served = estimator.serve(dataset)
+        assert served._model_set is estimator._model_set
+
+    def test_new_avails_become_queryable(self, fitted):
+        dataset, _, estimator = fitted
+        extended = generate_continuation(dataset, n_new_closed=4, seed=3)
+        new_id = int(np.max(extended.avails["avail_id"]))
+        with pytest.raises(Exception):
+            estimator.query([new_id], t_star=50.0)  # unknown to old snapshot
+        served = estimator.serve(extended)
+        result = served.query([new_id], t_star=50.0)[0]
+        assert np.isfinite(result.current_estimate)
+
+    def test_original_estimator_unchanged(self, fitted):
+        dataset, _, estimator = fitted
+        before = estimator.query([0], t_star=50.0)[0].current_estimate
+        estimator.serve(scale_rccs(dataset, 2))
+        after = estimator.query([0], t_star=50.0)[0].current_estimate
+        assert before == after
+        assert estimator._dataset is dataset
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            DomdEstimator(PipelineConfig()).serve(None)

@@ -1,0 +1,111 @@
+"""Tests for the SMDII JSON service layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.service import DomdService
+from repro.data.dates import day_to_iso
+from repro.errors import ReproError
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="module")
+def service(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(window_pct=25.0, k=8, fusion="average", gbm=GbmParams(n_estimators=20))
+    estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+    return DomdService(estimator)
+
+
+class TestQuery:
+    def test_happy_path(self, service):
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0, 1], "t_star": 60.0}
+        )
+        assert response["ok"]
+        assert len(response["result"]) == 2
+        assert response["result"][0]["windows"] == [0.0, 25.0, 50.0]
+        json.dumps(response)  # fully serialisable
+
+    def test_query_by_date(self, service, small_dataset):
+        avail = small_dataset.avail(0)
+        mid = avail.act_start + avail.planned_duration // 2
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0], "date": day_to_iso(mid)}
+        )
+        assert response["ok"]
+
+    def test_both_times_rejected(self, service):
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0], "t_star": 1.0, "date": "2020-01-01"}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad_request"
+
+    def test_unknown_avail_is_domain_error(self, service):
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [424242], "t_star": 10.0}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "domain_error"
+
+
+class TestExplain:
+    def test_contributions_shape(self, service):
+        response = service.handle({"type": "explain", "avail_id": 0, "t_star": 50.0})
+        assert response["ok"]
+        contributions = response["result"]["contributions"]
+        assert len(contributions) == 5
+        assert {"feature", "days", "value"} <= set(contributions[0])
+
+    def test_top_parameter(self, service):
+        response = service.handle(
+            {"type": "explain", "avail_id": 0, "t_star": 50.0, "top": 3}
+        )
+        assert len(response["result"]["contributions"]) == 3
+
+
+class TestFleetStatus:
+    def test_lists_executing_avails(self, service, small_dataset):
+        day = int(np.percentile(small_dataset.avails["act_start"], 70))
+        response = service.handle({"type": "fleet_status", "date": day_to_iso(day)})
+        assert response["ok"]
+        rows = response["result"]
+        assert rows, "some avails should be executing"
+        delays = [r["estimated_delay_days"] for r in rows]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_missing_date(self, service):
+        response = service.handle({"type": "fleet_status"})
+        assert not response["ok"]
+
+
+class TestMetricsAndEnvelope:
+    def test_metrics(self, service, small_splits):
+        response = service.handle(
+            {"type": "metrics", "avail_ids": [int(a) for a in small_splits.test_ids]}
+        )
+        assert response["ok"]
+        assert "average" in response["result"]
+
+    def test_unknown_type(self, service):
+        response = service.handle({"type": "teleport"})
+        assert not response["ok"]
+        assert response["error"]["code"] == "unknown_type"
+
+    def test_non_dict_request(self, service):
+        response = service.handle("not a dict")
+        assert not response["ok"]
+
+    def test_missing_field(self, service):
+        response = service.handle({"type": "domd_query", "t_star": 5.0})
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad_request"
+
+    def test_requires_fitted_estimator(self):
+        with pytest.raises(ReproError):
+            DomdService(DomdEstimator(PipelineConfig()))

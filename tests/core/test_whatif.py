@@ -1,0 +1,92 @@
+"""Tests for the counterfactual what-if API."""
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.whatif import WhatIfResult, inject_rccs, surge_analysis
+from repro.errors import ConfigurationError
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(window_pct=25.0, k=8, gbm=GbmParams(n_estimators=20))
+    return dataset, DomdEstimator(config).fit(dataset, splits.train_ids)
+
+
+class TestInjectRccs:
+    def test_adds_rows_on_target_avail(self, fitted):
+        dataset, _ = fitted
+        surged = inject_rccs(dataset, 0, n_new=7, amount_each=5000.0, at_t_star=40.0)
+        assert surged.n_rccs == dataset.n_rccs + 7
+        new = surged.rccs.filter(
+            surged.rccs["rcc_id"] > int(dataset.rccs["rcc_id"].max())
+        )
+        assert (new["avail_id"] == 0).all()
+
+    def test_creation_at_requested_logical_time(self, fitted):
+        dataset, _ = fitted
+        avail = dataset.avail(0)
+        surged = inject_rccs(dataset, 0, n_new=1, amount_each=1000.0, at_t_star=50.0)
+        new = surged.rccs.row(surged.n_rccs - 1)
+        assert avail.logical_time_of(new["create_date"]) == pytest.approx(50.0, abs=1.0)
+
+    def test_type_respected(self, fitted):
+        dataset, _ = fitted
+        surged = inject_rccs(
+            dataset, 0, n_new=3, amount_each=1000.0, at_t_star=10.0, rcc_type="NG"
+        )
+        new = surged.rccs.filter(
+            surged.rccs["rcc_id"] > int(dataset.rccs["rcc_id"].max())
+        )
+        assert (new["rcc_type"] == "NG").all()
+
+    def test_original_untouched(self, fitted):
+        dataset, _ = fitted
+        before = dataset.n_rccs
+        inject_rccs(dataset, 0, n_new=5, amount_each=1000.0, at_t_star=10.0)
+        assert dataset.n_rccs == before
+
+    def test_validation(self, fitted):
+        dataset, _ = fitted
+        with pytest.raises(ConfigurationError):
+            inject_rccs(dataset, 0, n_new=0, amount_each=1.0, at_t_star=10.0)
+        with pytest.raises(ConfigurationError):
+            inject_rccs(dataset, 0, n_new=1, amount_each=-1.0, at_t_star=10.0)
+        with pytest.raises(ConfigurationError):
+            inject_rccs(dataset, 0, n_new=1, amount_each=1.0, at_t_star=10.0, rcc_type="X")
+
+
+class TestSurgeAnalysis:
+    def test_scenarios_evaluated(self, fitted):
+        _, estimator = fitted
+        results = surge_analysis(
+            estimator, 0, t_star=75.0, scenarios=[(10, 5_000.0), (200, 50_000.0)]
+        )
+        assert len(results) == 2
+        assert all(isinstance(r, WhatIfResult) for r in results)
+        assert results[0].baseline == results[1].baseline
+
+    def test_bigger_surge_bigger_estimate(self, fitted):
+        _, estimator = fitted
+        small, large = surge_analysis(
+            estimator, 0, t_star=75.0, scenarios=[(5, 2_000.0), (400, 80_000.0)]
+        )
+        assert large.counterfactual >= small.counterfactual
+
+    def test_delta_cost_pricing(self):
+        result = WhatIfResult(
+            avail_id=0, t_star=50.0, baseline=10.0, counterfactual=14.0,
+            n_new=10, amount_each=1000.0, rcc_type="G",
+        )
+        assert result.delta_days == pytest.approx(4.0)
+        assert result.delta_cost == pytest.approx(1_000_000.0)
+
+    def test_requires_fitted(self):
+        with pytest.raises(Exception):
+            surge_analysis(
+                DomdEstimator(PipelineConfig()), 0, 50.0, scenarios=[(1, 1.0)]
+            )

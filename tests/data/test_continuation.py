@@ -1,0 +1,93 @@
+"""Tests for dataset continuation (new avails after a snapshot)."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_continuation
+from repro.errors import ConfigurationError
+
+
+class TestContinuation:
+    def test_counts_grow(self, small_dataset):
+        extended = generate_continuation(small_dataset, n_new_closed=6, seed=9)
+        assert extended.n_avails == small_dataset.n_avails + 6
+        assert extended.n_rccs > small_dataset.n_rccs
+        assert extended.n_ships == small_dataset.n_ships
+
+    def test_original_rows_untouched(self, small_dataset):
+        extended = generate_continuation(small_dataset, n_new_closed=4, seed=9)
+        original_part = extended.avails.take(np.arange(small_dataset.n_avails))
+        assert original_part.equals(small_dataset.avails)
+
+    def test_new_avails_are_later(self, small_dataset):
+        extended = generate_continuation(small_dataset, n_new_closed=5, seed=9)
+        cutoff = int(np.max(small_dataset.avails["plan_start"]))
+        new = extended.avails.filter(
+            ~np.isin(extended.avails["avail_id"], small_dataset.avails["avail_id"])
+        )
+        assert (new["plan_start"] > cutoff).all()
+        assert (new["status"] == "closed").all()
+
+    def test_ids_unique_and_continued(self, small_dataset):
+        extended = generate_continuation(small_dataset, n_new_closed=5, seed=9)
+        avail_ids = np.asarray(extended.avails["avail_id"])
+        rcc_ids = np.asarray(extended.rccs["rcc_id"])
+        assert len(np.unique(avail_ids)) == len(avail_ids)
+        assert len(np.unique(rcc_ids)) == len(rcc_ids)
+
+    def test_prior_counts_continue_per_ship(self, small_dataset):
+        extended = generate_continuation(small_dataset, n_new_closed=8, seed=9)
+        ships = np.asarray(extended.avails["ship_id"])
+        priors = np.asarray(extended.avails["n_prior_avails"])
+        starts = np.asarray(extended.avails["plan_start"])
+        for ship in np.unique(ships):
+            mask = ships == ship
+            order = np.argsort(starts[mask], kind="stable")
+            assert priors[mask][order].tolist() == list(range(mask.sum()))
+
+    def test_delay_process_consistent(self, small_dataset):
+        extended = generate_continuation(small_dataset, n_new_closed=20, seed=9)
+        new = extended.avails.filter(
+            ~np.isin(extended.avails["avail_id"], small_dataset.avails["avail_id"])
+        )
+        delays = np.asarray(new["delay"], dtype=float)
+        assert np.isfinite(delays).all()
+        assert (delays >= -45).all() and (delays <= 1100).all()
+
+    def test_new_rccs_within_execution(self, small_dataset):
+        extended = generate_continuation(small_dataset, n_new_closed=5, seed=9)
+        joined = extended.rccs.merge(
+            extended.avails.select(["avail_id", "act_start"]), on="avail_id"
+        )
+        assert (joined["create_date"] >= joined["act_start"]).all()
+
+    def test_deterministic(self, small_dataset):
+        a = generate_continuation(small_dataset, n_new_closed=5, seed=9)
+        b = generate_continuation(small_dataset, n_new_closed=5, seed=9)
+        assert a.avails.equals(b.avails)
+        assert a.rccs.equals(b.rccs)
+
+    def test_invalid_count(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            generate_continuation(small_dataset, n_new_closed=0)
+
+    def test_retrain_workflow_end_to_end(self, small_dataset, small_splits):
+        """The continuation is what makes unattended retraining testable:
+        more (exchangeable) data should be promotable."""
+        from repro.core import PipelineConfig, RetrainManager
+        from repro.ml import GbmParams
+
+        manager = RetrainManager(
+            config=PipelineConfig(window_pct=50.0, k=6, gbm=GbmParams(n_estimators=10)),
+            tolerance=0.10,
+        )
+        manager.bootstrap(small_dataset, small_splits.train_ids)
+        extended = generate_continuation(small_dataset, n_new_closed=10, seed=7)
+        new_ids = np.setdiff1d(
+            np.asarray(extended.closed_avails()["avail_id"], dtype=np.int64),
+            np.asarray(small_dataset.avails["avail_id"], dtype=np.int64),
+        )
+        bigger_train = np.sort(np.concatenate([small_splits.train_ids, new_ids]))
+        decision = manager.consider(extended, bigger_train, small_splits.test_ids)
+        assert np.isfinite(decision.candidate_mae)
+        assert decision.n_train == len(bigger_train)

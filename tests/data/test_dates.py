@@ -1,0 +1,61 @@
+"""Tests for date handling and logical time (Equation 1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dates import (
+    MISSING_DATE,
+    day_to_iso,
+    days_between,
+    iso_to_day,
+    logical_time,
+    physical_time,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        day = iso_to_day("2020-06-15")
+        assert day_to_iso(day) == "2020-06-15"
+
+    def test_missing_roundtrip(self):
+        assert iso_to_day("") == MISSING_DATE
+        assert day_to_iso(MISSING_DATE) == ""
+
+    def test_ordering(self):
+        assert iso_to_day("2020-01-01") < iso_to_day("2021-01-01")
+
+    def test_days_between(self):
+        assert days_between(iso_to_day("2020-01-11"), iso_to_day("2020-01-01")) == 10
+
+
+class TestLogicalTime:
+    def test_paper_example(self):
+        # Avail 2: actual start 5/7/2019, planned duration 340 days;
+        # t = 7/06/2019 is 60 days in -> t* = 60/340*100 = 17.6 ~ 18%.
+        act_start = iso_to_day("2019-05-07")
+        plan_duration = iso_to_day("2020-04-11") - iso_to_day("2019-05-07")
+        t = iso_to_day("2019-07-06")
+        t_star = logical_time(t, act_start, plan_duration)
+        assert round(t_star) == 18
+
+    def test_zero_at_start(self):
+        assert logical_time(100.0, 100.0, 50.0) == 0.0
+
+    def test_hundred_at_planned_end(self):
+        assert logical_time(150.0, 100.0, 50.0) == 100.0
+
+    def test_beyond_planned_end(self):
+        assert logical_time(200.0, 100.0, 50.0) == 200.0
+
+    def test_negative_before_start(self):
+        assert logical_time(90.0, 100.0, 50.0) < 0
+
+    def test_vectorised(self):
+        out = logical_time(np.array([100.0, 125.0]), 100.0, 50.0)
+        assert out.tolist() == [0.0, 50.0]
+
+    def test_physical_inverse(self):
+        for t_star in [0.0, 33.3, 100.0, 180.0]:
+            physical = physical_time(t_star, 1000.0, 200.0)
+            assert logical_time(physical, 1000.0, 200.0) == pytest.approx(t_star)

@@ -1,0 +1,70 @@
+"""Fuzz the generator + pipeline against odd-but-legal configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticNmdConfig, generate_dataset, split_dataset
+from repro.features import StatusFeatureExtractor
+
+
+@st.composite
+def odd_configs(draw):
+    n_ships = draw(st.integers(2, 15))
+    n_closed = draw(st.integers(12, 40))
+    n_ongoing = draw(st.integers(0, 3))
+    n_rccs = draw(st.integers(n_closed + n_ongoing, 2000))
+    seed = draw(st.integers(0, 2**16))
+    return SyntheticNmdConfig(
+        n_ships=n_ships,
+        n_closed_avails=n_closed,
+        n_ongoing_avails=n_ongoing,
+        target_n_rccs=n_rccs,
+        seed=seed,
+        trouble_shape=draw(st.floats(2.0, 60.0)),
+        trouble_scale=draw(st.floats(0.01, 0.5)),
+        delay_per_trouble=draw(st.floats(10.0, 200.0)),
+        delay_noise_sd=draw(st.floats(1.0, 40.0)),
+        early_shift_days=draw(st.floats(0.0, 60.0)),
+    )
+
+
+class TestGeneratorFuzz:
+    @given(odd_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_dataset_always_valid(self, config):
+        dataset = generate_dataset(config)
+        assert dataset.n_ships == config.n_ships
+        assert dataset.n_rccs == config.target_n_rccs
+        rccs = dataset.rccs
+        assert (rccs["settle_date"] > rccs["create_date"]).all()
+        assert (rccs["amount"] > 0).all()
+        delays = dataset.delays()
+        assert np.isfinite(delays).all()
+        assert (delays >= -45).all() and (delays <= 1100).all()
+
+    @given(odd_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_feature_extraction_never_breaks(self, config):
+        dataset = generate_dataset(config)
+        tensor = StatusFeatureExtractor(
+            dataset, t_stars=np.array([0.0, 50.0, 100.0])
+        ).extract()
+        assert np.isfinite(tensor.values).all()
+
+    @given(odd_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_splits_always_partition(self, config):
+        dataset = generate_dataset(config)
+        splits = split_dataset(dataset)
+        closed = set(int(a) for a in dataset.closed_avails()["avail_id"])
+        combined = set(
+            map(
+                int,
+                np.concatenate(
+                    [splits.train_ids, splits.validation_ids, splits.test_ids]
+                ),
+            )
+        )
+        assert combined == closed

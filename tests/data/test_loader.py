@@ -1,0 +1,36 @@
+"""Tests for dataset persistence."""
+
+import pytest
+
+from repro.data import load_dataset, save_dataset
+from repro.errors import SchemaError
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "nmd")
+        back = load_dataset(tmp_path / "nmd")
+        assert back.avails.equals(small_dataset.avails)
+        assert back.rccs.equals(small_dataset.rccs)
+        assert back.ships.equals(small_dataset.ships)
+
+    def test_metadata_preserved(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "nmd")
+        back = load_dataset(tmp_path / "nmd")
+        assert back.seed == small_dataset.seed
+        assert back.scaling_factor == small_dataset.scaling_factor
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_dataset(tmp_path / "nowhere")
+
+    def test_partial_directory(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "nmd")
+        (tmp_path / "nmd" / "rccs.csv").unlink()
+        with pytest.raises(SchemaError, match="rccs"):
+            load_dataset(tmp_path / "nmd")
+
+    def test_statistics_survive(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "nmd")
+        back = load_dataset(tmp_path / "nmd")
+        assert back.statistics()["n_rccs"] == small_dataset.statistics()["n_rccs"]

@@ -1,0 +1,177 @@
+"""Tests for x-fold scaling, obfuscation and data splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    deobfuscate_dataset,
+    obfuscate_dataset,
+    scale_rccs,
+    split_dataset,
+)
+from repro.data.splits import DataSplits
+from repro.errors import ConfigurationError
+from repro.index.hierarchy import swlin_prefix
+
+
+class TestScaling:
+    def test_row_count_multiplied(self, small_dataset):
+        scaled = scale_rccs(small_dataset, 4)
+        assert scaled.n_rccs == small_dataset.n_rccs * 4
+        assert scaled.scaling_factor == 4
+
+    def test_factor_one_is_identity(self, small_dataset):
+        scaled = scale_rccs(small_dataset, 1)
+        assert scaled.rccs.equals(small_dataset.rccs)
+
+    def test_temporal_distribution_intact(self, small_dataset):
+        scaled = scale_rccs(small_dataset, 3)
+        original_dates = np.sort(np.unique(small_dataset.rccs["create_date"]))
+        scaled_dates = np.sort(np.unique(scaled.rccs["create_date"]))
+        np.testing.assert_array_equal(original_dates, scaled_dates)
+
+    def test_type_mix_intact(self, small_dataset):
+        scaled = scale_rccs(small_dataset, 3)
+        for rcc_type in ("G", "N", "NG"):
+            original = (small_dataset.rccs["rcc_type"] == rcc_type).sum()
+            assert (scaled.rccs["rcc_type"] == rcc_type).sum() == original * 3
+
+    def test_fresh_unique_ids(self, small_dataset):
+        scaled = scale_rccs(small_dataset, 2)
+        ids = scaled.rccs["rcc_id"]
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_amount_jitter_bounded(self, small_dataset):
+        scaled = scale_rccs(small_dataset, 2)
+        n = small_dataset.n_rccs
+        original = np.asarray(small_dataset.rccs["amount"])
+        replicas = np.asarray(scaled.rccs["amount"])[n:]
+        ratio = replicas / original
+        assert (ratio > 0.97).all() and (ratio < 1.03).all()
+
+    def test_invalid_factor(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            scale_rccs(small_dataset, 0)
+
+    def test_avails_untouched(self, small_dataset):
+        scaled = scale_rccs(small_dataset, 2)
+        assert scaled.avails.equals(small_dataset.avails)
+
+
+class TestObfuscation:
+    def test_roundtrip_exact(self, small_dataset):
+        obfuscated, key = obfuscate_dataset(small_dataset, seed=11)
+        restored = deobfuscate_dataset(obfuscated, key)
+        assert restored.ships.equals(small_dataset.ships)
+        assert restored.avails.equals(small_dataset.avails)
+        assert restored.rccs.equals(small_dataset.rccs)
+
+    def test_delay_invariant(self, small_dataset):
+        obfuscated, _ = obfuscate_dataset(small_dataset)
+        np.testing.assert_array_equal(
+            np.sort(obfuscated.delays()), np.sort(small_dataset.delays())
+        )
+
+    def test_dates_shifted(self, small_dataset):
+        obfuscated, key = obfuscate_dataset(small_dataset)
+        assert key.date_shift >= 3000
+        diff = obfuscated.avails["plan_start"] - small_dataset.avails["plan_start"]
+        assert (diff == key.date_shift).all()
+
+    def test_amounts_scaled_uniformly(self, small_dataset):
+        obfuscated, key = obfuscate_dataset(small_dataset)
+        ratio = np.asarray(obfuscated.rccs["amount"]) / np.asarray(
+            small_dataset.rccs["amount"]
+        )
+        np.testing.assert_allclose(ratio, key.amount_scale, rtol=1e-3)
+
+    def test_ship_classes_anonymised(self, small_dataset):
+        obfuscated, _ = obfuscate_dataset(small_dataset)
+        for label in np.unique(obfuscated.ships["ship_class"]):
+            assert label.startswith("CLASS_")
+
+    def test_swlin_hierarchy_preserved(self, small_dataset):
+        """Digit substitution must preserve prefix-equality relations."""
+        obfuscated, _ = obfuscate_dataset(small_dataset)
+        original = small_dataset.rccs["swlin"][:300]
+        transformed = obfuscated.rccs["swlin"][:300]
+        for level in (1, 2):
+            orig_groups = [swlin_prefix(c, level) for c in original]
+            new_groups = [swlin_prefix(c, level) for c in transformed]
+            mapping: dict[str, str] = {}
+            for a, b in zip(orig_groups, new_groups):
+                assert mapping.setdefault(a, b) == b
+
+    def test_ids_are_permutations(self, small_dataset):
+        obfuscated, _ = obfuscate_dataset(small_dataset)
+        assert sorted(obfuscated.avails["avail_id"]) == sorted(
+            small_dataset.avails["avail_id"]
+        )
+        assert sorted(obfuscated.ships["ship_id"]) == sorted(
+            small_dataset.ships["ship_id"]
+        )
+
+
+class TestSplits:
+    def test_proportions(self, full_dataset):
+        splits = split_dataset(full_dataset)
+        assert splits.n_total == 187
+        assert len(splits.test_ids) == round(187 * 0.30)
+        remainder = 187 - len(splits.test_ids)
+        assert len(splits.validation_ids) == round(remainder * 0.25)
+
+    def test_test_set_is_most_recent(self, full_dataset):
+        splits = split_dataset(full_dataset)
+        avails = full_dataset.closed_avails()
+        starts = {
+            int(a): int(s)
+            for a, s in zip(avails["avail_id"], avails["plan_start"])
+        }
+        max_trainval = max(
+            starts[int(a)]
+            for a in np.concatenate([splits.train_ids, splits.validation_ids])
+        )
+        min_test = min(starts[int(a)] for a in splits.test_ids)
+        assert min_test >= max_trainval
+
+    def test_no_ongoing_in_any_split(self, full_dataset):
+        splits = split_dataset(full_dataset)
+        ongoing = set(
+            int(a)
+            for a in full_dataset.avails.filter(
+                full_dataset.avails["status"] == "ongoing"
+            )["avail_id"]
+        )
+        all_ids = set(map(int, np.concatenate([
+            splits.train_ids, splits.validation_ids, splits.test_ids
+        ])))
+        assert not (all_ids & ongoing)
+
+    def test_deterministic(self, full_dataset):
+        a = split_dataset(full_dataset, seed=9)
+        b = split_dataset(full_dataset, seed=9)
+        np.testing.assert_array_equal(a.train_ids, b.train_ids)
+
+    def test_seed_changes_train_val_but_not_test(self, full_dataset):
+        a = split_dataset(full_dataset, seed=1)
+        b = split_dataset(full_dataset, seed=2)
+        np.testing.assert_array_equal(a.test_ids, b.test_ids)
+        assert not np.array_equal(a.train_ids, b.train_ids)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            DataSplits(
+                train_ids=np.array([1, 2]),
+                validation_ids=np.array([2, 3]),
+                test_ids=np.array([4]),
+            )
+
+    def test_invalid_fractions(self, full_dataset):
+        with pytest.raises(ConfigurationError):
+            split_dataset(full_dataset, test_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            split_dataset(full_dataset, validation_fraction=0.0)
+
+    def test_summary(self, full_dataset):
+        summary = split_dataset(full_dataset).summary()
+        assert set(summary) == {"train", "validation", "test"}

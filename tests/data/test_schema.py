@@ -1,0 +1,122 @@
+"""Tests for the NMD data model (Section 2 definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Avail, NavyMaintenanceDataset, Rcc
+from repro.data.dates import MISSING_DATE, iso_to_day
+from repro.errors import SchemaError
+from repro.table import ColumnTable
+
+
+class TestAvailRecord:
+    def test_paper_delay_example(self):
+        # Avail id 2 from Table 1: planned 5/7/19 - 4/11/20,
+        # actual 5/7/19 - 5/21/21 -> delay 405.
+        avail = Avail(
+            avail_id=2,
+            ship_id=246,
+            status="closed",
+            plan_start=iso_to_day("2019-05-07"),
+            plan_end=iso_to_day("2020-04-11"),
+            act_start=iso_to_day("2019-05-07"),
+            act_end=iso_to_day("2021-05-21"),
+        )
+        assert avail.planned_duration == 340
+        assert avail.actual_duration == 745
+        assert avail.delay == 405
+
+    def test_negative_delay_early_finish(self):
+        # Avail id 5 from Table 1: late start but early finish -> -27.
+        avail = Avail(
+            avail_id=5,
+            ship_id=1547,
+            status="closed",
+            plan_start=iso_to_day("2020-01-31"),
+            plan_end=iso_to_day("2020-08-19"),
+            act_start=iso_to_day("2020-02-27"),
+            act_end=iso_to_day("2020-08-19"),
+        )
+        assert avail.delay == -27
+
+    def test_delay_agnostic_of_late_start(self):
+        # Late start with same duration -> zero delay by definition.
+        avail = Avail(1, 1, "closed", 100, 200, 150, 250)
+        assert avail.delay == 0
+
+    def test_ongoing_has_no_delay(self):
+        avail = Avail(1, 1, "ongoing", 100, 200, 100, MISSING_DATE)
+        assert avail.delay is None
+        assert avail.actual_duration is None
+
+    def test_logical_time_of(self):
+        avail = Avail(1, 1, "closed", 0, 100, 0, 150)
+        assert avail.logical_time_of(50.0) == 50.0
+        assert avail.logical_time_of(150.0) == 150.0
+
+
+class TestRccRecord:
+    def test_duration(self):
+        rcc = Rcc(1, 5, "G", "434-11-001", 100, 150, 8000.0)
+        assert rcc.duration == 50
+
+
+class TestDataset:
+    def test_statistics_shape(self, small_dataset):
+        stats = small_dataset.statistics()
+        assert stats["n_ships"] == 10
+        assert stats["n_closed_avails"] == 28
+        assert stats["n_rccs"] == 2500
+
+    def test_avail_lookup(self, small_dataset):
+        avail = small_dataset.avail(0)
+        assert avail.avail_id == 0
+        assert avail.planned_duration > 0
+
+    def test_avail_lookup_missing(self, small_dataset):
+        with pytest.raises(SchemaError):
+            small_dataset.avail(10_000)
+
+    def test_rccs_of(self, small_dataset):
+        rccs = small_dataset.rccs_of(0)
+        assert rccs.n_rows > 0
+        assert (rccs["avail_id"] == 0).all()
+
+    def test_closed_avails_excludes_ongoing(self, small_dataset):
+        closed = small_dataset.closed_avails()
+        assert closed.n_rows == 28
+        assert (closed["status"] == "closed").all()
+
+    def test_delays_align_with_closed(self, small_dataset):
+        delays = small_dataset.delays()
+        assert len(delays) == 28
+        assert not np.isnan(delays).any()
+
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError, match="missing columns"):
+            NavyMaintenanceDataset(
+                ships=ColumnTable({"ship_id": [1]}),
+                avails=ColumnTable({"avail_id": [1]}),
+                rccs=ColumnTable({"rcc_id": [1]}),
+            )
+
+    def test_logical_times_added(self, toy_dataset):
+        rccs = toy_dataset.rccs_with_logical_times()
+        assert "t_start" in rccs and "t_end" in rccs
+        # rcc 0 of avail 0: created day 1010 over 100-day plan -> t*=10.
+        row = rccs.filter(rccs["rcc_id"] == 0).row(0)
+        assert row["t_start"] == pytest.approx(10.0)
+        assert row["t_end"] == pytest.approx(50.0)
+
+    def test_logical_times_scale_with_duration(self, toy_dataset):
+        rccs = toy_dataset.rccs_with_logical_times()
+        # rcc 3 of avail 1: created day 2050, actual start 2010,
+        # planned 200 days -> t* = 40/200*100 = 20.
+        row = rccs.filter(rccs["rcc_id"] == 3).row(0)
+        assert row["t_start"] == pytest.approx(20.0)
+        assert row["t_end"] == pytest.approx(50.0)
+
+    def test_logical_times_can_exceed_100(self, toy_dataset):
+        rccs = toy_dataset.rccs_with_logical_times()
+        row = rccs.filter(rccs["rcc_id"] == 1).row(0)
+        assert row["t_end"] == pytest.approx(120.0)

@@ -1,0 +1,68 @@
+"""Tests for the generated-feature registry."""
+
+from repro.features import (
+    N_GENERATED_FEATURES,
+    N_GRID_FEATURES,
+    SPECIAL_FEATURES,
+    STAT_AXIS,
+    SWLIN_AXIS,
+    TYPE_AXIS,
+    build_registry,
+    feature_names,
+    grid_feature_name,
+)
+
+
+class TestGridShape:
+    def test_grid_size(self):
+        assert N_GRID_FEATURES == len(TYPE_AXIS) * len(SWLIN_AXIS) * len(STAT_AXIS)
+
+    def test_total_near_paper_count(self):
+        # The paper reports 1490 RCC-dependent features; the default grid
+        # lands within a few percent of that.
+        assert 1300 <= N_GENERATED_FEATURES <= 1600
+
+    def test_registry_length(self):
+        assert len(build_registry()) == N_GENERATED_FEATURES
+
+    def test_axis_contents(self):
+        type_labels = [label for label, _ in TYPE_AXIS]
+        assert type_labels == ["G", "N", "NG", "ALL"]
+        scope_labels = [label for label, _ in SWLIN_AXIS]
+        assert scope_labels[:9] == [str(d) for d in range(1, 10)]
+        assert "ALL" in scope_labels
+
+
+class TestNames:
+    def test_paper_style_name(self):
+        assert grid_feature_name("G", "1", "AVG_SETTLED_AMT") == "G1-AVG_SETTLED_AMT"
+
+    def test_paper_example_feature_exists(self):
+        assert "G1-AVG_SETTLED_AMT" in feature_names()
+
+    def test_names_unique(self):
+        names = feature_names()
+        assert len(set(names)) == len(names)
+
+    def test_specials_at_end(self):
+        names = feature_names()
+        assert tuple(names[-len(SPECIAL_FEATURES):]) == SPECIAL_FEATURES
+
+
+class TestSpecs:
+    def test_indices_sequential(self):
+        specs = build_registry()
+        assert [s.index for s in specs] == list(range(len(specs)))
+
+    def test_spec_coordinates_consistent(self):
+        for spec in build_registry():
+            if spec.kind == "special":
+                continue
+            assert spec.name == grid_feature_name(
+                spec.type_label, spec.swlin_label, spec.stat_name
+            )
+            assert spec.status in ("created", "settled", "active")
+
+    def test_every_status_covered(self):
+        statuses = {s.status for s in build_registry()}
+        assert {"created", "settled", "active", "special"} <= statuses

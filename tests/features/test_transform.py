@@ -1,0 +1,133 @@
+"""Tests for the feature extractor (transformation T) with exact values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features import N_GENERATED_FEATURES, StatusFeatureExtractor, default_timeline
+
+
+@pytest.fixture()
+def toy_tensor(toy_dataset):
+    return StatusFeatureExtractor(
+        toy_dataset, t_stars=np.array([0.0, 25.0, 50.0, 75.0, 100.0])
+    ).extract()
+
+
+def feature(tensor, t_star, avail_id, name):
+    return tensor.matrix(t_star, np.array([avail_id]))[0, tensor.feature_index(name)]
+
+
+class TestExactValues:
+    """Toy avail 0 RCCs: G@t10-50 ($1000, swlin 1), N@t30-120 ($2000,
+    swlin 2), G@t60-80 ($4000, swlin 1)."""
+
+    def test_count_created_over_time(self, toy_tensor):
+        counts = [
+            feature(toy_tensor, t, 0, "ALLALL-CNT_CREATED")
+            for t in (0.0, 25.0, 50.0, 75.0, 100.0)
+        ]
+        assert counts == [0.0, 1.0, 2.0, 3.0, 3.0]
+
+    def test_count_settled_over_time(self, toy_tensor):
+        counts = [
+            feature(toy_tensor, t, 0, "ALLALL-CNT_SETTLED")
+            for t in (25.0, 50.0, 75.0, 100.0)
+        ]
+        assert counts == [0.0, 1.0, 1.0, 2.0]
+
+    def test_type_marginal(self, toy_tensor):
+        assert feature(toy_tensor, 75.0, 0, "GALL-CNT_CREATED") == 2.0
+        assert feature(toy_tensor, 75.0, 0, "NALL-CNT_CREATED") == 1.0
+        assert feature(toy_tensor, 75.0, 0, "NGALL-CNT_CREATED") == 0.0
+
+    def test_swlin_scope_marginal(self, toy_tensor):
+        assert feature(toy_tensor, 75.0, 0, "ALL1-CNT_CREATED") == 2.0
+        assert feature(toy_tensor, 75.0, 0, "ALL2-CNT_CREATED") == 1.0
+        # Platform supergroup = digits 1-3.
+        assert feature(toy_tensor, 75.0, 0, "ALLPLT-CNT_CREATED") == 3.0
+
+    def test_amount_sums(self, toy_tensor):
+        assert feature(toy_tensor, 50.0, 0, "ALLALL-SUM_CREATED_AMT") == 3000.0
+        assert feature(toy_tensor, 50.0, 0, "ALLALL-SUM_SETTLED_AMT") == 1000.0
+        assert feature(toy_tensor, 50.0, 0, "ALLALL-SUM_ACTIVE_AMT") == 2000.0
+
+    def test_avg_settled_amount(self, toy_tensor):
+        assert feature(toy_tensor, 100.0, 0, "GALL-AVG_SETTLED_AMT") == 2500.0
+
+    def test_settled_duration(self, toy_tensor):
+        # At t*=100: G rccs settled with durations 40 and 20 logical pts.
+        assert feature(toy_tensor, 100.0, 0, "GALL-SUM_SETTLED_DUR") == 60.0
+        assert feature(toy_tensor, 100.0, 0, "GALL-AVG_SETTLED_DUR") == 30.0
+
+    def test_pct_active(self, toy_tensor):
+        # t*=50: created 2, settled 1 -> 50% active.
+        assert feature(toy_tensor, 50.0, 0, "ALLALL-PCT_ACTIVE") == 0.5
+
+    def test_active_age(self, toy_tensor):
+        # t*=50: active = N rcc created at 30 -> age 20.
+        assert feature(toy_tensor, 50.0, 0, "ALLALL-AVG_ACTIVE_AGE") == 20.0
+
+    def test_deltas(self, toy_tensor):
+        # Between 25 and 50 one RCC (N@30) was created.
+        assert feature(toy_tensor, 50.0, 0, "ALLALL-DLT_CREATED_CNT") == 1.0
+        assert feature(toy_tensor, 50.0, 0, "ALLALL-DLT_CREATED_AMT") == 2000.0
+
+    def test_first_window_delta_equals_value(self, toy_tensor):
+        assert feature(toy_tensor, 0.0, 0, "ALLALL-DLT_CREATED_CNT") == feature(
+            toy_tensor, 0.0, 0, "ALLALL-CNT_CREATED"
+        )
+
+    def test_avails_isolated(self, toy_tensor):
+        # Avail 1 only has the NG rcc (created t*=20, $8000).
+        assert feature(toy_tensor, 50.0, 1, "ALLALL-CNT_CREATED") == 1.0
+        assert feature(toy_tensor, 50.0, 1, "NGALL-SUM_CREATED_AMT") == 8000.0
+        assert feature(toy_tensor, 50.0, 1, "GALL-CNT_CREATED") == 0.0
+
+    def test_specials(self, toy_tensor):
+        assert feature(toy_tensor, 50.0, 0, "T_STAR") == 50.0
+        assert feature(toy_tensor, 75.0, 0, "SWLIN_DIGITS_TOUCHED") == 2.0
+        hhi = feature(toy_tensor, 50.0, 0, "AMT_CONCENTRATION_HHI")
+        assert hhi == pytest.approx((1000 / 3000) ** 2 + (2000 / 3000) ** 2)
+
+
+class TestStructure:
+    def test_shape_and_finiteness(self, small_dataset):
+        tensor = StatusFeatureExtractor(small_dataset).extract()
+        assert tensor.values.shape == (30, 11, N_GENERATED_FEATURES)
+        assert np.isfinite(tensor.values).all()
+
+    def test_marginals_consistent(self, small_dataset):
+        tensor = StatusFeatureExtractor(small_dataset).extract()
+        total = tensor.at(100.0)[:, tensor.feature_index("ALLALL-CNT_CREATED")]
+        by_type = sum(
+            tensor.at(100.0)[:, tensor.feature_index(f"{t}ALL-CNT_CREATED")]
+            for t in ("G", "N", "NG")
+        )
+        np.testing.assert_allclose(total, by_type)
+        by_digit = sum(
+            tensor.at(100.0)[:, tensor.feature_index(f"ALL{d}-CNT_CREATED")]
+            for d in range(1, 10)
+        )
+        np.testing.assert_allclose(total, by_digit)
+
+    def test_counts_monotone_over_time(self, small_dataset):
+        tensor = StatusFeatureExtractor(small_dataset).extract()
+        j = tensor.feature_index("ALLALL-CNT_CREATED")
+        counts = tensor.values[:, :, j]
+        assert (np.diff(counts, axis=1) >= 0).all()
+
+    def test_default_timeline(self):
+        timeline = default_timeline(10.0)
+        assert len(timeline) == 11
+        assert timeline[0] == 0.0 and timeline[-1] == 100.0
+
+    def test_default_timeline_non_divisor(self):
+        timeline = default_timeline(30.0)
+        assert len(timeline) == 1 + int(np.ceil(100 / 30))
+
+    def test_invalid_timeline_rejected(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            StatusFeatureExtractor(small_dataset, t_stars=np.array([10.0, 5.0]))
+        with pytest.raises(ConfigurationError):
+            default_timeline(0.0)

@@ -1,0 +1,155 @@
+"""Unit + property tests for the AVL tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexCorruptionError
+from repro.index import AvlTree
+
+
+@pytest.fixture()
+def tree():
+    t = AvlTree()
+    for key, value in [(5.0, "a"), (3.0, "b"), (8.0, "c"), (3.0, "d"), (1.0, "e")]:
+        t.insert(key, value)
+    return t
+
+
+class TestBasics:
+    def test_len_counts_values(self, tree):
+        assert len(tree) == 5
+
+    def test_contains(self, tree):
+        assert 3.0 in tree
+        assert 4.0 not in tree
+
+    def test_get_duplicates(self, tree):
+        assert sorted(tree.get(3.0)) == ["b", "d"]
+
+    def test_get_missing(self, tree):
+        assert tree.get(99.0) == []
+
+    def test_min_max(self, tree):
+        assert tree.min_key() == 1.0
+        assert tree.max_key() == 8.0
+
+    def test_min_max_empty(self):
+        t = AvlTree()
+        assert t.min_key() is None
+        assert t.max_key() is None
+
+    def test_items_in_order(self, tree):
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+
+    def test_validate_passes(self, tree):
+        tree.validate()
+
+
+class TestRangeQueries:
+    def test_values_leq(self, tree):
+        assert sorted(tree.values_leq(3.0)) == ["b", "d", "e"]
+
+    def test_values_leq_all(self, tree):
+        assert len(tree.values_leq(100.0)) == 5
+
+    def test_values_leq_none(self, tree):
+        assert tree.values_leq(0.5) == []
+
+    def test_values_gt(self, tree):
+        assert sorted(tree.values_gt(3.0)) == ["a", "c"]
+
+    def test_values_in(self, tree):
+        assert sorted(tree.values_in(1.0, 5.0)) == ["a", "b", "d"]
+
+    def test_values_in_empty_range(self, tree):
+        assert tree.values_in(5.0, 5.0) == []
+
+    def test_count_leq(self, tree):
+        assert tree.count_leq(3.0) == 3
+        assert tree.count_leq(0.0) == 0
+        assert tree.count_leq(10.0) == 5
+
+
+class TestDelete:
+    def test_delete_existing(self, tree):
+        assert tree.delete(3.0, "b")
+        assert sorted(tree.get(3.0)) == ["d"]
+        assert len(tree) == 4
+        tree.validate()
+
+    def test_delete_last_value_removes_node(self, tree):
+        tree.delete(3.0, "b")
+        tree.delete(3.0, "d")
+        assert 3.0 not in tree
+        tree.validate()
+
+    def test_delete_missing_value(self, tree):
+        assert not tree.delete(3.0, "zzz")
+        assert len(tree) == 5
+
+    def test_delete_missing_key(self, tree):
+        assert not tree.delete(42.0, "a")
+
+    def test_delete_root_repeatedly(self):
+        t = AvlTree()
+        for i in range(20):
+            t.insert(float(i), i)
+        for i in range(20):
+            assert t.delete(float(i), i)
+            t.validate()
+        assert len(t) == 0
+
+
+class TestBalance:
+    def test_sequential_insert_stays_logarithmic(self):
+        t = AvlTree()
+        for i in range(1000):
+            t.insert(float(i), i)
+        assert t.height <= 1.45 * np.log2(1001) + 2
+        t.validate()
+
+    def test_reverse_insert_stays_logarithmic(self):
+        t = AvlTree()
+        for i in reversed(range(1000)):
+            t.insert(float(i), i)
+        assert t.height <= 1.45 * np.log2(1001) + 2
+        t.validate()
+
+
+class TestProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e6, max_value=1e6), max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_list_reference(self, values):
+        tree = AvlTree()
+        for i, v in enumerate(values):
+            tree.insert(v, i)
+        tree.validate()
+        assert len(tree) == len(values)
+        if values:
+            pivot = values[len(values) // 2]
+            expected = sorted(i for i, v in enumerate(values) if v <= pivot)
+            assert sorted(tree.values_leq(pivot)) == expected
+            assert tree.count_leq(pivot) == len(expected)
+
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=60),
+        st.lists(st.integers(0, 59), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_insert_delete_interleaved(self, values, delete_positions):
+        tree = AvlTree()
+        alive: list[tuple[float, int]] = []
+        for i, v in enumerate(values):
+            tree.insert(float(v), i)
+            alive.append((float(v), i))
+        for pos in delete_positions:
+            if not alive:
+                break
+            key, payload = alive.pop(pos % len(alive))
+            assert tree.delete(key, payload)
+            tree.validate()
+        assert len(tree) == len(alive)

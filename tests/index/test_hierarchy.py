@@ -1,0 +1,129 @@
+"""Tests for the SWLIN trie and RCC-type tree."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index import (
+    RCC_TYPES,
+    RccTypeTree,
+    SwlinTree,
+    format_swlin,
+    normalize_swlin,
+    swlin_prefix,
+)
+
+CODES = ["111-11-001", "112-22-002", "433-00-003", "434-11-001", "911-90-001"]
+
+
+class TestSwlinHelpers:
+    def test_normalize(self):
+        assert normalize_swlin("434-11-001") == "43411001"
+
+    def test_normalize_spaces(self):
+        assert normalize_swlin("434 11 001") == "43411001"
+
+    def test_normalize_rejects_short(self):
+        with pytest.raises(ConfigurationError):
+            normalize_swlin("123")
+
+    def test_normalize_rejects_letters(self):
+        with pytest.raises(ConfigurationError):
+            normalize_swlin("4341100A")
+
+    def test_format_roundtrip(self):
+        assert format_swlin("43411001") == "434-11-001"
+        assert normalize_swlin(format_swlin("43411001")) == "43411001"
+
+    def test_format_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            format_swlin("12")
+
+    def test_prefix_levels(self):
+        assert swlin_prefix("434-11-001", 1) == "4"
+        assert swlin_prefix("434-11-001", 2) == "434"
+        assert swlin_prefix("434-11-001", 3) == "43411"
+        assert swlin_prefix("434-11-001", 4) == "43411001"
+
+    def test_prefix_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            swlin_prefix("434-11-001", 0)
+        with pytest.raises(ConfigurationError):
+            swlin_prefix("434-11-001", 5)
+
+
+class TestSwlinTree:
+    def test_len(self):
+        tree = SwlinTree(CODES)
+        assert len(tree) == 5
+
+    def test_level_1_nodes(self):
+        tree = SwlinTree(CODES)
+        prefixes = tree.prefixes_at_level(1)
+        assert prefixes == ["1", "4", "9"]
+
+    def test_level_2_nodes(self):
+        tree = SwlinTree(CODES)
+        assert tree.prefixes_at_level(2) == ["111", "112", "433", "434", "911"]
+
+    def test_rows_for_prefix_level1(self):
+        tree = SwlinTree(CODES)
+        assert tree.rows_for_prefix("4") == [2, 3]
+
+    def test_rows_for_prefix_full_code(self):
+        tree = SwlinTree(CODES)
+        assert tree.rows_for_prefix("43411001") == [3]
+
+    def test_rows_for_missing_prefix(self):
+        tree = SwlinTree(CODES)
+        assert tree.rows_for_prefix("7") == []
+
+    def test_rows_for_root(self):
+        tree = SwlinTree(CODES)
+        assert tree.rows_for_prefix("") == [0, 1, 2, 3, 4]
+
+    def test_rows_for_non_boundary_prefix(self):
+        tree = SwlinTree(CODES)
+        with pytest.raises(ConfigurationError):
+            tree.rows_for_prefix("43")
+
+    def test_invalid_level(self):
+        tree = SwlinTree(CODES)
+        with pytest.raises(ConfigurationError):
+            tree.nodes_at_level(9)
+
+    def test_walk_includes_root(self):
+        tree = SwlinTree(CODES)
+        nodes = dict(tree.walk())
+        assert nodes[""] == 5
+        assert nodes["4"] == 2
+
+
+class TestRccTypeTree:
+    def test_insert_and_rows(self):
+        tree = RccTypeTree(["G", "N", "G", "NG"])
+        assert tree.rows_for_type("G") == [0, 2]
+        assert tree.rows_for_type("NG") == [3]
+
+    def test_rows_for_all(self):
+        tree = RccTypeTree(["G", "N"])
+        assert tree.rows_for_type(None) == [0, 1]
+
+    def test_unknown_type_insert(self):
+        tree = RccTypeTree()
+        with pytest.raises(ConfigurationError):
+            tree.insert("X", 0)
+
+    def test_unknown_type_query(self):
+        tree = RccTypeTree(["G"])
+        with pytest.raises(ConfigurationError):
+            tree.rows_for_type("Z")
+
+    def test_types_present(self):
+        tree = RccTypeTree(["NG", "NG", "G"])
+        assert tree.types_present() == ["G", "NG"]
+
+    def test_canonical_type_order(self):
+        assert RCC_TYPES == ("G", "N", "NG")
+
+    def test_len(self):
+        assert len(RccTypeTree(["G", "N", "NG"])) == 3

@@ -1,0 +1,170 @@
+"""Tests for the three logical-time index designs (Section 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, LengthMismatchError
+from repro.index import (
+    DualAvlIndex,
+    IntervalTreeIndex,
+    NaiveJoinIndex,
+    SortedArrayIndex,
+    index_designs,
+)
+
+
+@pytest.fixture()
+def triples(rng):
+    n = 300
+    starts = rng.uniform(0, 100, n).round(2)
+    ends = starts + rng.gamma(2.0, 10.0, n).round(2)
+    ids = np.arange(n)
+    return starts, ends, ids
+
+
+ALL_DESIGNS = [NaiveJoinIndex, DualAvlIndex, IntervalTreeIndex, SortedArrayIndex]
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS)
+class TestEachDesign:
+    def test_status_sets_partition(self, design, triples):
+        starts, ends, ids = triples
+        index = design(starts, ends, ids)
+        for t in [0.0, 25.0, 50.0, 75.0, 100.0, 150.0]:
+            active = index.active_ids(t)
+            settled = index.settled_ids(t)
+            created = index.created_ids(t)
+            pending = index.pending_ids(t)
+            assert np.array_equal(np.union1d(active, settled), created)
+            assert len(np.intersect1d(active, settled)) == 0
+            assert np.array_equal(np.union1d(created, pending), np.sort(ids))
+
+    def test_matches_brute_force(self, design, triples):
+        starts, ends, ids = triples
+        index = design(starts, ends, ids)
+        for t in [10.0, 42.5, 90.0]:
+            assert np.array_equal(
+                index.active_ids(t), np.sort(ids[(starts <= t) & (t < ends)])
+            )
+            assert np.array_equal(index.settled_ids(t), np.sort(ids[ends <= t]))
+            assert np.array_equal(index.created_ids(t), np.sort(ids[starts <= t]))
+
+    def test_len(self, design, triples):
+        starts, ends, ids = triples
+        assert len(design(starts, ends, ids)) == len(ids)
+
+    def test_memory_positive(self, design, triples):
+        starts, ends, ids = triples
+        assert design(starts, ends, ids).approx_nbytes() > 0
+
+    def test_rejects_misaligned_arrays(self, design):
+        with pytest.raises(LengthMismatchError):
+            design(np.array([1.0]), np.array([2.0, 3.0]), np.array([0, 1]))
+
+    def test_rejects_inverted_intervals(self, design):
+        with pytest.raises(ConfigurationError, match="settles before"):
+            design(np.array([5.0]), np.array([1.0]), np.array([0]))
+
+    def test_empty_index(self, design):
+        empty = design(np.array([]), np.array([]), np.array([], dtype=np.int64))
+        assert len(empty) == 0
+        assert len(empty.active_ids(10.0)) == 0
+
+
+class TestDesignAgreement:
+    def test_all_designs_identical(self, triples):
+        starts, ends, ids = triples
+        indexes = {name: cls(starts, ends, ids) for name, cls in index_designs().items()}
+        reference = indexes["naive"]
+        for t in np.linspace(0, 160, 9):
+            for name, index in indexes.items():
+                assert np.array_equal(index.active_ids(t), reference.active_ids(t)), name
+                assert np.array_equal(index.settled_ids(t), reference.settled_ids(t)), name
+
+    def test_registry_order_matches_paper(self):
+        assert list(index_designs()) == ["naive", "avl", "interval"]
+
+
+class TestDualAvlMaintenance:
+    def test_insert_visible_in_queries(self, triples):
+        starts, ends, ids = triples
+        index = DualAvlIndex(starts, ends, ids)
+        index.insert(5.0, 500.0, 9999)
+        assert 9999 in index.active_ids(50.0)
+        assert 9999 in index.created_ids(50.0)
+        assert 9999 not in index.settled_ids(50.0)
+
+    def test_delete_removes_from_queries(self, triples):
+        starts, ends, ids = triples
+        index = DualAvlIndex(starts, ends, ids)
+        assert index.delete(float(starts[0]), float(ends[0]), int(ids[0]))
+        assert ids[0] not in index.created_ids(1000.0)
+        assert len(index) == len(ids) - 1
+
+    def test_delete_missing_returns_false(self, triples):
+        starts, ends, ids = triples
+        index = DualAvlIndex(starts, ends, ids)
+        assert not index.delete(0.123456, 999.0, 424242)
+
+    def test_counts_at_matches_set_sizes(self, triples):
+        starts, ends, ids = triples
+        index = DualAvlIndex(starts, ends, ids)
+        for t in [10.0, 60.0, 120.0]:
+            created, settled, active = index.counts_at(t)
+            assert created == len(index.created_ids(t))
+            assert settled == len(index.settled_ids(t))
+            assert active == len(index.active_ids(t))
+
+
+class TestIntervalIndexMaintenance:
+    def test_insert(self, triples):
+        starts, ends, ids = triples
+        index = IntervalTreeIndex(starts, ends, ids)
+        index.insert(1.0, 200.0, 7777)
+        assert 7777 in index.active_ids(100.0)
+
+
+class TestSortedArrayMaintenance:
+    def test_insert_rebuilds(self, triples):
+        starts, ends, ids = triples
+        index = SortedArrayIndex(starts, ends, ids)
+        index.insert(5.0, 400.0, 8888)
+        assert 8888 in index.active_ids(50.0)
+        assert len(index) == len(ids) + 1
+
+
+@st.composite
+def random_events(draw):
+    n = draw(st.integers(1, 50))
+    starts = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    widths = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=60, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.array(starts), np.array(starts) + np.array(widths)
+
+
+class TestPropertyAgreement:
+    @given(random_events(), st.floats(min_value=-5, max_value=170, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_designs_agree_on_random_data(self, events, t):
+        starts, ends = events
+        ids = np.arange(len(starts))
+        results = [
+            (cls(starts, ends, ids).active_ids(t), cls(starts, ends, ids).settled_ids(t))
+            for cls in ALL_DESIGNS
+        ]
+        for active, settled in results[1:]:
+            assert np.array_equal(active, results[0][0])
+            assert np.array_equal(settled, results[0][1])

@@ -1,0 +1,143 @@
+"""Unit + property tests for the augmented interval tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import IntervalTree
+
+
+@pytest.fixture()
+def tree():
+    t = IntervalTree()
+    t.insert(0.0, 10.0, "a")
+    t.insert(5.0, 20.0, "b")
+    t.insert(15.0, 25.0, "c")
+    t.insert(2.0, 3.0, "d")
+    return t
+
+
+class TestStab:
+    def test_point_inside_multiple(self, tree):
+        assert sorted(tree.stab(7.0)) == ["a", "b"]
+
+    def test_half_open_start_inclusive(self, tree):
+        assert "c" in tree.stab(15.0)
+
+    def test_half_open_end_exclusive(self, tree):
+        assert "a" not in tree.stab(10.0)
+
+    def test_no_hits(self, tree):
+        assert tree.stab(100.0) == []
+
+    def test_before_everything(self, tree):
+        assert tree.stab(-1.0) == []
+
+
+class TestOverlapAndThresholds:
+    def test_overlap(self, tree):
+        assert sorted(tree.overlap(4.0, 16.0)) == ["a", "b", "c"]
+
+    def test_overlap_excludes_touching_end(self, tree):
+        # [0,10) does not overlap [10, 12)
+        assert "a" not in tree.overlap(10.0, 12.0)
+
+    def test_ended_by(self, tree):
+        assert sorted(tree.ended_by(10.0)) == ["a", "d"]
+
+    def test_ended_by_everything(self, tree):
+        assert len(tree.ended_by(1000.0)) == 4
+
+    def test_started_by(self, tree):
+        assert sorted(tree.started_by(5.0)) == ["a", "b", "d"]
+
+    def test_started_by_is_union_of_stab_and_ended(self, tree):
+        for point in [0.0, 2.5, 9.0, 14.0, 22.0, 30.0]:
+            expected = set(tree.stab(point)) | set(tree.ended_by(point))
+            assert set(tree.started_by(point)) == expected
+
+
+class TestMutation:
+    def test_insert_invalid_interval(self):
+        t = IntervalTree()
+        with pytest.raises(ValueError):
+            t.insert(5.0, 3.0, "x")
+
+    def test_zero_length_interval_never_stabbed(self):
+        t = IntervalTree()
+        t.insert(5.0, 5.0, "x")
+        assert t.stab(5.0) == []
+        assert t.ended_by(5.0) == ["x"]
+
+    def test_delete(self, tree):
+        assert tree.delete(5.0, 20.0, "b")
+        assert "b" not in tree.stab(7.0)
+        assert len(tree) == 3
+        tree.validate()
+
+    def test_delete_missing(self, tree):
+        assert not tree.delete(5.0, 20.0, "nope")
+        assert not tree.delete(99.0, 100.0, "b")
+
+    def test_delete_duplicate_keys(self):
+        t = IntervalTree()
+        t.insert(1.0, 2.0, "p")
+        t.insert(1.0, 2.0, "q")
+        assert t.delete(1.0, 2.0, "q")
+        assert t.stab(1.5) == ["p"]
+        t.validate()
+
+    def test_bulk_constructor(self):
+        t = IntervalTree([(0.0, 1.0, 1), (2.0, 3.0, 2)])
+        assert len(t) == 2
+
+    def test_items_sorted_by_start(self, tree):
+        starts = [s for s, _, _ in tree.items()]
+        assert starts == sorted(starts)
+
+
+class TestBalance:
+    def test_sequential_inserts_balanced(self):
+        t = IntervalTree()
+        for i in range(800):
+            t.insert(float(i), float(i + 1), i)
+        assert t.height <= 1.45 * 10 + 2  # ~log2(800) = 9.6
+        t.validate()
+
+
+intervals = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+    ),
+    max_size=80,
+)
+
+
+class TestProperties:
+    @given(intervals, st.floats(min_value=-10, max_value=160, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_stab_matches_brute_force(self, raw, point):
+        tree = IntervalTree()
+        spans = []
+        for i, (start, width) in enumerate(raw):
+            tree.insert(start, start + width, i)
+            spans.append((start, start + width, i))
+        tree.validate()
+        expected = sorted(i for s, e, i in spans if s <= point < e)
+        assert sorted(tree.stab(point)) == expected
+
+    @given(intervals, st.floats(min_value=-10, max_value=160, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_threshold_queries_match_brute_force(self, raw, point):
+        tree = IntervalTree()
+        spans = []
+        for i, (start, width) in enumerate(raw):
+            tree.insert(start, start + width, i)
+            spans.append((start, start + width, i))
+        assert sorted(tree.ended_by(point)) == sorted(
+            i for s, e, i in spans if e <= point
+        )
+        assert sorted(tree.started_by(point)) == sorted(
+            i for s, e, i in spans if s <= point
+        )

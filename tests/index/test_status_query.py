@@ -1,0 +1,199 @@
+"""Tests for Status Query processing (Algorithm StatusQ + incremental)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SchemaError
+from repro.index import StatStructure, StatusQuery, StatusQueryEngine
+from repro.table import ColumnTable
+
+
+@pytest.fixture()
+def rcc_table(rng):
+    n = 400
+    starts = rng.uniform(0, 100, n).round(1)
+    ends = starts + rng.gamma(2.0, 12.0, n).round(1)
+    return ColumnTable(
+        {
+            "rcc_type": rng.choice(["G", "N", "NG"], n),
+            "swlin": [
+                f"{d}{m:02d}-{s:02d}-{i:03d}"
+                for d, m, s, i in zip(
+                    rng.integers(1, 10, n),
+                    rng.integers(0, 100, n),
+                    rng.integers(0, 100, n),
+                    rng.integers(0, 1000, n),
+                )
+            ],
+            "t_start": starts,
+            "t_end": ends,
+            "amount": rng.uniform(1e3, 1e5, n).round(2),
+        }
+    )
+
+
+class TestStatusQuerySpec:
+    def test_valid(self):
+        q = StatusQuery(50.0, group_by_type=True, swlin_level=2)
+        assert q.t_star == 50.0
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            StatusQuery(50.0, swlin_level=7)
+
+    def test_no_swlin_grouping_allowed(self):
+        StatusQuery(10.0, swlin_level=None)
+
+
+class TestEngineValidation:
+    def test_missing_columns(self):
+        with pytest.raises(SchemaError, match="missing columns"):
+            StatusQueryEngine(ColumnTable({"rcc_type": ["G"]}))
+
+    def test_unknown_design(self, rcc_table):
+        with pytest.raises(ConfigurationError, match="unknown index design"):
+            StatusQueryEngine(rcc_table, design="btree")
+
+    def test_designs_registry(self):
+        assert StatusQueryEngine.designs() == ("naive", "avl", "interval")
+
+
+class TestExecute:
+    def test_group_rows_cover_all_types_and_digits(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        result = engine.execute(StatusQuery(50.0))
+        types = set(result["rcc_type"].tolist())
+        assert types <= {"G", "N", "NG"}
+        assert result.n_rows <= 27
+
+    def test_counts_sum_to_created_total(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        result = engine.execute(StatusQuery(60.0))
+        starts = np.asarray(rcc_table["t_start"])
+        assert result["n_created"].sum() == (starts <= 60.0).sum()
+
+    def test_amounts_match_manual_computation(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        result = engine.execute(StatusQuery(45.0, group_by_type=True, swlin_level=None))
+        starts = np.asarray(rcc_table["t_start"])
+        ends = np.asarray(rcc_table["t_end"])
+        amounts = np.asarray(rcc_table["amount"])
+        types = np.asarray(rcc_table["rcc_type"])
+        for row in result.to_rows():
+            mask = (types == row["rcc_type"]) & (ends <= 45.0)
+            assert row["amt_settled_sum"] == pytest.approx(amounts[mask].sum())
+            mask_created = (types == row["rcc_type"]) & (starts <= 45.0)
+            assert row["n_created"] == mask_created.sum()
+
+    def test_pct_active_in_unit_range(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="interval")
+        result = engine.execute(StatusQuery(30.0))
+        assert (result["pct_active"] >= 0).all()
+        assert (result["pct_active"] <= 1).all()
+
+    def test_all_designs_agree(self, rcc_table):
+        results = [
+            StatusQueryEngine(rcc_table, design=d).execute(StatusQuery(55.0))
+            for d in ("naive", "avl", "interval")
+        ]
+        for other in results[1:]:
+            for column in results[0].column_names:
+                a, b = results[0][column], other[column]
+                if a.dtype.kind == "O":
+                    assert (a == b).all()
+                else:
+                    np.testing.assert_allclose(a.astype(float), b.astype(float))
+
+
+class TestSweep:
+    def test_incremental_equals_scratch(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        ts = [0.0, 20.0, 40.0, 60.0, 80.0, 100.0]
+        incremental = engine.execute_sweep(ts, incremental=True)
+        scratch = engine.execute_sweep(ts, incremental=False)
+        for inc, scr in zip(incremental, scratch):
+            for column in scr.column_names:
+                a = inc[column]
+                b = scr[column]
+                if a.dtype.kind == "O":
+                    assert (a == b).all()
+                else:
+                    np.testing.assert_allclose(
+                        a.astype(float), b.astype(float), atol=1e-9
+                    )
+
+    def test_sweep_requires_ascending(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        with pytest.raises(ConfigurationError, match="ascending"):
+            engine.execute_sweep([50.0, 10.0])
+
+    def test_sweep_resumes_from_cache(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        first = engine.execute_sweep([0.0, 30.0])
+        resumed = engine.execute_sweep([60.0, 90.0])  # continues incrementally
+        scratch = engine.execute_sweep([60.0, 90.0], incremental=False)
+        for a, b in zip(resumed, scratch):
+            np.testing.assert_allclose(
+                a["n_created"].astype(float), b["n_created"].astype(float)
+            )
+        assert first[0]["t_star"][0] == 0.0
+
+    def test_empty_sweep(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        assert engine.execute_sweep([]) == []
+
+
+class TestStatStructure:
+    def make(self, rng, n=100, n_groups=5):
+        starts = rng.uniform(0, 100, n)
+        ends = starts + rng.uniform(1, 40, n)
+        groups = rng.integers(0, n_groups, n)
+        amounts = rng.uniform(1, 10, n)
+        return StatStructure(groups, n_groups, starts, ends, amounts), starts, ends
+
+    def test_advance_returns_delta_count(self, rng):
+        stat, starts, ends = self.make(rng)
+        applied = stat.advance(1000.0)
+        assert applied == len(starts) * 2  # every start and end event
+
+    def test_monotone_enforced(self, rng):
+        stat, *_ = self.make(rng)
+        stat.advance(50.0)
+        with pytest.raises(ConfigurationError, match="forward"):
+            stat.advance(10.0)
+
+    def test_reset_rewinds(self, rng):
+        stat, *_ = self.make(rng)
+        stat.advance(50.0)
+        stat.reset()
+        assert stat.created_count.sum() == 0
+        stat.advance(10.0)  # works again after reset
+
+    def test_aggregates_keys(self, rng):
+        stat, *_ = self.make(rng)
+        stat.advance(30.0)
+        aggs = stat.aggregates()
+        assert set(aggs) >= {"n_created", "n_settled", "n_active", "pct_active"}
+
+    def test_active_never_negative(self, rng):
+        stat, *_ = self.make(rng)
+        for t in np.linspace(0, 150, 16):
+            stat.advance(float(t))
+            assert (stat.aggregates()["n_active"] >= 0).all()
+
+    def test_start_sums_accumulate(self, rng):
+        stat, starts, ends = self.make(rng)
+        stat.advance(60.0)
+        assert stat.created_start_sum.sum() == pytest.approx(starts[starts <= 60.0].sum())
+        assert stat.settled_start_sum.sum() == pytest.approx(starts[ends <= 60.0].sum())
+
+
+class TestNaiveBaselineJoinCost:
+    def test_naive_engine_with_avails_table(self, rcc_table):
+        rccs = rcc_table.with_column(
+            "avail_id", np.arange(rcc_table.n_rows) % 3
+        )
+        avails = ColumnTable({"avail_id": [0, 1, 2], "ship": ["a", "b", "c"]})
+        engine = StatusQueryEngine(rccs, design="naive", avails=avails)
+        result = engine.execute(StatusQuery(50.0))
+        assert result.n_rows > 0

@@ -1,0 +1,122 @@
+"""Status Query grouping at deeper SWLIN levels and stress shapes."""
+
+import numpy as np
+import pytest
+
+from repro.index import AvlTree, DualAvlIndex, StatusQuery, StatusQueryEngine
+from repro.table import ColumnTable
+
+
+@pytest.fixture()
+def rcc_table(rng):
+    n = 300
+    starts = rng.uniform(0, 100, n).round(1)
+    ends = starts + rng.gamma(2.0, 12.0, n).round(1)
+    return ColumnTable(
+        {
+            "rcc_type": rng.choice(["G", "N", "NG"], n),
+            "swlin": [
+                f"{d}{m:02d}-{s:02d}-{i:03d}"
+                for d, m, s, i in zip(
+                    rng.integers(1, 4, n),  # few first digits -> dense level 2
+                    rng.integers(0, 5, n),
+                    rng.integers(0, 100, n),
+                    rng.integers(0, 1000, n),
+                )
+            ],
+            "t_start": starts,
+            "t_end": ends,
+            "amount": rng.uniform(1e3, 1e5, n).round(2),
+        }
+    )
+
+
+class TestDeeperGroupLevels:
+    @pytest.mark.parametrize("level", [2, 3, 4])
+    def test_counts_partition_at_every_level(self, rcc_table, level):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        result = engine.execute(
+            StatusQuery(60.0, group_by_type=False, swlin_level=level)
+        )
+        starts = np.asarray(rcc_table["t_start"])
+        assert result["n_created"].sum() == (starts <= 60.0).sum()
+
+    def test_level2_groups_refine_level1(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        level1 = engine.execute(StatusQuery(50.0, group_by_type=False, swlin_level=1))
+        level2 = engine.execute(StatusQuery(50.0, group_by_type=False, swlin_level=2))
+        assert level2.n_rows >= level1.n_rows
+        # Level-2 counts aggregate to level-1 counts by prefix.
+        by_l1: dict[str, int] = {}
+        for row in level2.to_rows():
+            by_l1[row["swlin_l2"][0]] = by_l1.get(row["swlin_l2"][0], 0) + row["n_created"]
+        for row in level1.to_rows():
+            assert by_l1.get(row["swlin_l1"], 0) == row["n_created"]
+
+    def test_level4_full_code_groups(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        result = engine.execute(StatusQuery(100.0, group_by_type=False, swlin_level=4))
+        # Full-code groups are (almost) per-RCC.
+        assert result.n_rows == len(np.unique([c.replace("-", "") for c in rcc_table["swlin"]]))
+
+    def test_incremental_matches_scratch_at_level2(self, rcc_table):
+        engine = StatusQueryEngine(rcc_table, design="avl")
+        ts = [0.0, 33.0, 66.0, 100.0]
+        inc = engine.execute_sweep(ts, group_by_type=True, swlin_level=2)
+        scr = engine.execute_sweep(ts, group_by_type=True, swlin_level=2, incremental=False)
+        for a, b in zip(inc, scr):
+            np.testing.assert_allclose(
+                np.asarray(a["amt_settled_sum"], float),
+                np.asarray(b["amt_settled_sum"], float),
+            )
+
+
+class TestDegenerateShapes:
+    def test_all_rccs_same_dates(self):
+        """Massive key duplication: the AVL folds everything into 2 nodes."""
+        n = 500
+        table = ColumnTable(
+            {
+                "rcc_type": np.array(["G"] * n, dtype=object),
+                "swlin": np.array(["111-11-001"] * n, dtype=object),
+                "t_start": np.full(n, 10.0),
+                "t_end": np.full(n, 20.0),
+                "amount": np.ones(n),
+            }
+        )
+        engine = StatusQueryEngine(table, design="avl")
+        result = engine.execute(StatusQuery(15.0))
+        assert result["n_active"].sum() == n
+        result = engine.execute(StatusQuery(25.0))
+        assert result["n_settled"].sum() == n
+
+    def test_avl_duplicate_key_stress(self):
+        tree = AvlTree()
+        for i in range(2000):
+            tree.insert(5.0, i)
+        tree.validate()
+        assert tree.height == 1  # one node holds all duplicates
+        assert len(tree.values_leq(5.0)) == 2000
+
+    def test_index_with_all_identical_intervals(self):
+        n = 400
+        index = DualAvlIndex(np.full(n, 1.0), np.full(n, 2.0), np.arange(n))
+        assert len(index.active_ids(1.5)) == n
+        assert len(index.settled_ids(3.0)) == n
+
+    def test_instantaneous_rccs(self):
+        """Same-day create/settle (duration clamps to 1 in the generator,
+        but the engine itself must tolerate zero-length intervals)."""
+        table = ColumnTable(
+            {
+                "rcc_type": np.array(["N", "NG"], dtype=object),
+                "swlin": np.array(["111-11-001", "211-11-001"], dtype=object),
+                "t_start": np.array([10.0, 20.0]),
+                "t_end": np.array([10.0, 20.0]),
+                "amount": np.array([1.0, 2.0]),
+            }
+        )
+        engine = StatusQueryEngine(table, design="interval")
+        result = engine.execute(StatusQuery(15.0))
+        assert result["n_settled"].sum() == 1
+        assert result["n_active"].sum() == 0

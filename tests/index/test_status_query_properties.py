@@ -1,0 +1,88 @@
+"""Property-based tests: StatStructure vs brute force, engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import StatStructure
+
+
+@st.composite
+def event_population(draw):
+    n = draw(st.integers(1, 80))
+    n_groups = draw(st.integers(1, 6))
+    starts = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    widths = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0, max_value=60, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    groups = np.array(
+        draw(st.lists(st.integers(0, n_groups - 1), min_size=n, max_size=n))
+    )
+    amounts = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1e5, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return groups, n_groups, starts, starts + widths, amounts
+
+
+class TestStatStructureProperties:
+    @given(event_population(), st.lists(st.floats(0, 200, allow_nan=False), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force_at_any_times(self, population, times):
+        groups, n_groups, starts, ends, amounts = population
+        stat = StatStructure(groups, n_groups, starts, ends, amounts)
+        for t in sorted(times):
+            stat.advance(float(t))
+            aggs = stat.aggregates()
+            created = starts <= t
+            settled = ends <= t
+            expected_created = np.bincount(groups[created], minlength=n_groups)
+            expected_settled = np.bincount(groups[settled], minlength=n_groups)
+            np.testing.assert_array_equal(aggs["n_created"], expected_created)
+            np.testing.assert_array_equal(aggs["n_settled"], expected_settled)
+            np.testing.assert_allclose(
+                aggs["amt_created_sum"],
+                np.bincount(groups[created], weights=amounts[created], minlength=n_groups),
+                atol=1e-6,
+            )
+
+    @given(event_population())
+    @settings(max_examples=40, deadline=None)
+    def test_one_big_jump_equals_many_small_steps(self, population):
+        groups, n_groups, starts, ends, amounts = population
+        jumper = StatStructure(groups, n_groups, starts, ends, amounts)
+        jumper.advance(150.0)
+        stepper = StatStructure(groups, n_groups, starts, ends, amounts)
+        for t in np.linspace(0, 150, 31):
+            stepper.advance(float(t))
+        for key, value in jumper.aggregates().items():
+            np.testing.assert_allclose(value, stepper.aggregates()[key], atol=1e-9)
+
+    @given(event_population())
+    @settings(max_examples=40, deadline=None)
+    def test_pct_active_bounded(self, population):
+        groups, n_groups, starts, ends, amounts = population
+        stat = StatStructure(groups, n_groups, starts, ends, amounts)
+        for t in np.linspace(0, 180, 10):
+            stat.advance(float(t))
+            pct = stat.aggregates()["pct_active"]
+            assert (pct >= 0).all() and (pct <= 1).all()

@@ -1,0 +1,151 @@
+"""Integration tests: the whole framework wired together."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DomdEstimator,
+    PipelineConfig,
+    PipelineOptimizer,
+    paper_final_config,
+)
+from repro.data import (
+    deobfuscate_dataset,
+    generate_dataset,
+    obfuscate_dataset,
+    save_dataset,
+    load_dataset,
+    split_dataset,
+    SyntheticNmdConfig,
+)
+from repro.features import StatusFeatureExtractor
+from repro.index import StatusQueryEngine
+from repro.ml import GbmParams, mae
+
+
+FAST = PipelineConfig(window_pct=25.0, k=10, fusion="average", gbm=GbmParams(n_estimators=30))
+
+
+class TestFullPipeline:
+    def test_greedy_optimization_improves_over_default(self, small_dataset, small_splits):
+        optimizer = PipelineOptimizer(small_dataset, small_splits, base_config=FAST)
+        default_mae = optimizer.evaluate(optimizer.config)["val_mae"]
+        optimizer.run(
+            stages=("selection", "loss", "fusion"),
+            selection_methods=("pearson", "random"),
+            k_grid=(5, 10, 20),
+        )
+        optimized_mae = optimizer.evaluate(optimizer.config)["val_mae"]
+        assert optimized_mae <= default_mae * 1.02  # greedy never much worse
+
+    def test_dynamic_features_beat_static_only_late(self, small_dataset, small_splits):
+        optimizer = PipelineOptimizer(small_dataset, small_splits, base_config=FAST)
+        result = optimizer.evaluate(optimizer.config.evolve(fusion="none"))
+        by_t = result["val_mae_by_t"]
+        # Later windows see more RCC signal than the t*=0 window.
+        assert by_t[-1] < by_t[0]
+
+    def test_estimator_consistent_with_optimizer(self, small_dataset, small_splits):
+        optimizer = PipelineOptimizer(small_dataset, small_splits, base_config=FAST)
+        test_rows = optimizer.test_evaluation(FAST)["rows"]
+        estimator = DomdEstimator(FAST).fit(small_dataset, small_splits.train_ids)
+        evaluated = estimator.evaluate(small_splits.test_ids)
+        # Same fused predictions measured two ways.
+        assert evaluated["t=0"]["mae_100"] == pytest.approx(
+            test_rows[0]["mae_100"], rel=1e-9
+        )
+
+
+class TestObfuscatedRetrainWorkflow:
+    """The paper's deployment story: design on obfuscated data, retrain on
+    raw data inside the enclave, without human intervention."""
+
+    def test_metric_parity(self, small_dataset):
+        obfuscated, key = obfuscate_dataset(small_dataset, seed=21)
+        splits_raw = split_dataset(small_dataset, seed=5)
+        # Obfuscated ids are permuted; map the raw split through the key.
+        mapped = np.sort([key.avail_id_map[int(a)] for a in splits_raw.train_ids])
+        test_mapped = np.sort([key.avail_id_map[int(a)] for a in splits_raw.test_ids])
+
+        est_raw = DomdEstimator(FAST).fit(small_dataset, splits_raw.train_ids)
+        est_obf = DomdEstimator(FAST).fit(obfuscated, mapped)
+
+        raw_metrics = est_raw.evaluate(splits_raw.test_ids)["average"]
+        obf_metrics = est_obf.evaluate(test_mapped)["average"]
+        # Dates shift and amounts rescale, but the learning problem is
+        # isomorphic — metrics should land close (tree models are
+        # invariant to monotone feature rescaling up to tie-breaks).
+        assert obf_metrics["mae_100"] == pytest.approx(
+            raw_metrics["mae_100"], rel=0.25
+        )
+
+    def test_roundtrip_restores_everything(self, small_dataset):
+        obfuscated, key = obfuscate_dataset(small_dataset, seed=33)
+        restored = deobfuscate_dataset(obfuscated, key)
+        assert restored.rccs.equals(small_dataset.rccs)
+
+
+class TestFeatureStatusQueryConsistency:
+    def test_extractor_matches_engine_counts(self, small_dataset):
+        """The tensor's per-avail counts must equal an independent Status
+        Query through the index machinery."""
+        tensor = StatusFeatureExtractor(small_dataset).extract()
+        rccs = small_dataset.rccs_with_logical_times()
+        engine = StatusQueryEngine(
+            rccs.select(["rcc_type", "swlin", "t_start", "t_end", "amount", "avail_id"]),
+            design="avl",
+            extra_group_keys=("avail_id",),
+        )
+        from repro.index import StatusQuery
+
+        result = engine.execute(StatusQuery(50.0, group_by_type=False, swlin_level=None))
+        counts_by_avail = {
+            int(row["avail_id"]): row["n_created"] for row in result.to_rows()
+        }
+        j = tensor.feature_index("ALLALL-CNT_CREATED")
+        for i, avail_id in enumerate(tensor.avail_ids):
+            expected = counts_by_avail.get(int(avail_id), 0)
+            assert tensor.values[i, tensor.t_index(50.0), j] == expected
+
+
+class TestPersistenceWorkflow:
+    def test_save_load_then_fit(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "nmd")
+        loaded = load_dataset(tmp_path / "nmd")
+        splits = split_dataset(loaded, seed=5)
+        estimator = DomdEstimator(FAST).fit(loaded, splits.train_ids)
+        out = estimator.evaluate(splits.test_ids)
+        assert out["average"]["mae_100"] > 0
+
+
+class TestScaleStability:
+    def test_tiny_dataset_still_works(self):
+        dataset = generate_dataset(
+            SyntheticNmdConfig(
+                n_ships=4,
+                n_closed_avails=12,
+                n_ongoing_avails=0,
+                target_n_rccs=300,
+                seed=9,
+            )
+        )
+        splits = split_dataset(dataset, seed=1)
+        config = PipelineConfig(window_pct=50.0, k=5, gbm=GbmParams(n_estimators=10))
+        estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+        result = estimator.query([int(splits.test_ids[0])], t_star=100.0)[0]
+        assert np.isfinite(result.current_estimate)
+
+    def test_predictions_track_delay_magnitude(self, small_dataset, small_splits):
+        estimator = DomdEstimator(FAST).fit(small_dataset, small_splits.train_ids)
+        delay_by_id = {
+            int(a): float(d)
+            for a, d in zip(
+                small_dataset.avails["avail_id"], small_dataset.avails["delay"]
+            )
+        }
+        ids = [int(a) for a in small_splits.test_ids]
+        y = np.array([delay_by_id[a] for a in ids])
+        preds = np.array(
+            [r.current_estimate for r in estimator.query(ids, t_star=100.0)]
+        )
+        assert mae(y, preds) < np.abs(y - y.mean()).mean() * 1.1

@@ -1,0 +1,86 @@
+"""Full greedy chain (all six stages) on a small dataset."""
+
+import pytest
+
+from repro.core import PipelineConfig, PipelineOptimizer
+from repro.core.pipeline import STAGES
+from repro.ml import GbmParams
+
+
+@pytest.fixture(scope="module")
+def full_report(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    optimizer = PipelineOptimizer(
+        dataset,
+        splits,
+        base_config=PipelineConfig(window_pct=50.0, k=8, gbm=GbmParams(n_estimators=20)),
+    )
+    report = optimizer.run(
+        stages=STAGES,
+        selection_methods=("pearson", "random"),
+        k_grid=(5, 10),
+        trial_counts=(2, 4),
+    )
+    return optimizer, report
+
+
+class TestFullRun:
+    def test_all_stages_present(self, full_report):
+        _, report = full_report
+        assert set(report.stages) == set(STAGES)
+
+    def test_config_reflects_every_stage(self, full_report):
+        optimizer, report = full_report
+        config = report.config
+        assert config.selection_method == report.stages["selection"].chosen["selection_method"]
+        assert config.model_family == report.stages["model"].chosen["model_family"]
+        assert config.architecture == report.stages["architecture"].chosen["architecture"]
+        assert config.loss == report.stages["loss"].chosen["loss"]
+        assert config.fusion == report.stages["fusion"].chosen["fusion"]
+        assert config is optimizer.config
+
+    def test_hpt_adopted_tuned_params_or_skipped(self, full_report):
+        _, report = full_report
+        chosen = report.stages["hpt"].chosen
+        if report.config.model_family == "gbm":
+            assert chosen["n_trials"] in (2, 4)
+            assert "learning_rate" in chosen["best_params"]
+        else:
+            assert chosen["skipped"] == "non-GBM family"
+
+    def test_stage_timings_recorded(self, full_report):
+        _, report = full_report
+        for name, stage in report.stages.items():
+            if name == "hpt" and not stage.records:
+                continue  # skipped stage
+            assert stage.seconds > 0
+
+    def test_summary_serialisable(self, full_report):
+        import json
+
+        _, report = full_report
+        payload = report.summary()
+        json.dumps(payload, default=str)
+
+    def test_final_config_evaluates(self, full_report):
+        optimizer, report = full_report
+        out = optimizer.test_evaluation(report.config)
+        assert out["average"]["mae_100"] > 0
+
+    def test_hpt_stage_skipped_when_linear_wins(self, small_dataset, small_splits):
+        """run() must raise clearly if the chain lands on linear and hpt
+        is requested — the configuration contract of optimize_trials."""
+        optimizer = PipelineOptimizer(
+            small_dataset,
+            small_splits,
+            base_config=PipelineConfig(
+                window_pct=50.0, k=5, model_family="linear",
+                gbm=GbmParams(n_estimators=10),
+            ),
+        )
+        from repro.errors import ConfigurationError
+
+        optimizer.config = optimizer.config.evolve(model_family="linear")
+        with pytest.raises(ConfigurationError):
+            optimizer.optimize_trials(trial_counts=(2,))

@@ -1,0 +1,193 @@
+"""Tests for the gradient-boosted tree ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import GbmParams, GradientBoostedTrees
+
+
+@pytest.fixture()
+def regression_problem(rng):
+    X = rng.normal(size=(150, 6))
+    y = 3 * X[:, 0] + np.sin(2 * X[:, 1]) + 0.5 * X[:, 2] * X[:, 3]
+    return X, y
+
+
+class TestFit:
+    def test_training_loss_decreases(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=60)).fit(X, y)
+        losses = model.train_losses_
+        assert losses[-1] < losses[0] * 0.2
+
+    def test_fits_nonlinear_signal(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=120)).fit(X, y)
+        residual = np.abs(model.predict(X) - y)
+        assert residual.mean() < 0.3 * np.abs(y - y.mean()).mean()
+
+    @pytest.mark.parametrize("loss", ["l2", "l1", "huber", "pseudo_huber"])
+    def test_all_losses_trainable(self, regression_problem, loss):
+        X, y = regression_problem
+        model = GradientBoostedTrees(
+            GbmParams(n_estimators=40, loss=loss, huber_delta=2.0)
+        ).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_l1_robust_to_outlier(self, rng):
+        X = np.linspace(0, 1, 60)[:, None]
+        y = X[:, 0].copy()
+        y[30] = 1000.0  # gross outlier
+        l2_model = GradientBoostedTrees(GbmParams(n_estimators=80, loss="l2")).fit(X, y)
+        l1_model = GradientBoostedTrees(GbmParams(n_estimators=80, loss="l1")).fit(X, y)
+        clean = np.delete(np.arange(60), 30)
+        l2_err = np.abs(l2_model.predict(X)[clean] - y[clean]).mean()
+        l1_err = np.abs(l1_model.predict(X)[clean] - y[clean]).mean()
+        assert l1_err < l2_err
+
+    def test_deterministic_given_seed(self, regression_problem):
+        X, y = regression_problem
+        params = GbmParams(n_estimators=30, subsample=0.7, colsample=0.7, random_state=5)
+        a = GradientBoostedTrees(params).fit(X, y).predict(X)
+        b = GradientBoostedTrees(params).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_subsample_changes_fit(self, regression_problem):
+        X, y = regression_problem
+        a = GradientBoostedTrees(
+            GbmParams(n_estimators=30, subsample=0.6, random_state=1)
+        ).fit(X, y).predict(X)
+        b = GradientBoostedTrees(
+            GbmParams(n_estimators=30, subsample=0.6, random_state=2)
+        ).fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_base_score_is_median(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=1)).fit(X, y)
+        assert model._base_score == pytest.approx(np.median(y))
+
+
+class TestInference:
+    def test_contributions_sum_to_prediction(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=40)).fit(X, y)
+        contribs = model.contributions(X)
+        np.testing.assert_allclose(contribs.sum(axis=1), model.predict(X), atol=1e-8)
+
+    def test_importances_normalised(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=40)).fit(X, y)
+        importances = model.feature_importances()
+        assert importances.sum() == pytest.approx(1.0)
+        assert (importances >= 0).all()
+
+    def test_important_feature_found(self, rng):
+        X = rng.normal(size=(120, 10))
+        y = 10 * X[:, 7]
+        model = GradientBoostedTrees(GbmParams(n_estimators=40)).fit(X, y)
+        assert model.feature_importances().argmax() == 7
+
+    def test_staged_predict_converges(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=50)).fit(X, y)
+        stages = model.staged_predict(X, every=10)
+        assert len(stages) == 5
+        errors = [np.abs(s - y).mean() for s in stages]
+        assert errors[-1] <= errors[0]
+        np.testing.assert_allclose(stages[-1], model.predict(X))
+
+    def test_clone_is_unfitted_with_overrides(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=10)).fit(X, y)
+        clone = model.clone(n_estimators=99)
+        assert clone.params.n_estimators == 99
+        with pytest.raises(NotFittedError):
+            clone.predict(X)
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        model = GradientBoostedTrees()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 1)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostedTrees().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostedTrees().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostedTrees().fit(np.zeros(5), np.zeros(5))
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            GbmParams(n_estimators=0)
+        with pytest.raises(ConfigurationError):
+            GbmParams(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            GbmParams(subsample=1.5)
+        with pytest.raises(ConfigurationError):
+            GbmParams(colsample=0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_before_budget_on_noise(self, rng):
+        X = rng.normal(size=(80, 5))
+        y = rng.normal(size=80)  # pure noise: eval loss bottoms out early
+        X_val = rng.normal(size=(40, 5))
+        y_val = rng.normal(size=40)
+        model = GradientBoostedTrees(GbmParams(n_estimators=300)).fit(
+            X, y, eval_set=(X_val, y_val), early_stopping_rounds=5
+        )
+        assert model.best_iteration_ is not None
+        assert model.best_iteration_ < 300
+        assert len(model._trees) == model.best_iteration_
+
+    def test_truncates_to_best_round(self, regression_problem, rng):
+        X, y = regression_problem
+        X_val, y_val = X[:40], y[:40]
+        model = GradientBoostedTrees(GbmParams(n_estimators=120)).fit(
+            X[40:], y[40:], eval_set=(X_val, y_val), early_stopping_rounds=10
+        )
+        assert len(model.eval_losses_) == model.best_iteration_
+        assert model.eval_losses_[-1] == min(model.eval_losses_)
+
+    def test_eval_losses_recorded_without_early_stop(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=20)).fit(
+            X, y, eval_set=(X, y)
+        )
+        assert len(model.eval_losses_) == 20
+        assert model.best_iteration_ is None
+
+    def test_early_stopping_requires_eval_set(self, regression_problem):
+        X, y = regression_problem
+        with pytest.raises(ConfigurationError, match="eval_set"):
+            GradientBoostedTrees().fit(X, y, early_stopping_rounds=5)
+
+    def test_invalid_rounds(self, regression_problem):
+        X, y = regression_problem
+        with pytest.raises(ConfigurationError):
+            GradientBoostedTrees().fit(
+                X, y, eval_set=(X, y), early_stopping_rounds=0
+            )
+
+    def test_generalisation_not_worse_than_full_fit(self, rng):
+        X = rng.normal(size=(120, 8))
+        y = 2 * X[:, 0] + rng.normal(0, 1.5, 120)
+        X_train, y_train = X[:70], y[:70]
+        X_val, y_val = X[70:95], y[70:95]
+        X_test, y_test = X[95:], y[95:]
+        full = GradientBoostedTrees(GbmParams(n_estimators=250)).fit(X_train, y_train)
+        stopped = GradientBoostedTrees(GbmParams(n_estimators=250)).fit(
+            X_train, y_train, eval_set=(X_val, y_val), early_stopping_rounds=15
+        )
+        full_err = np.abs(full.predict(X_test) - y_test).mean()
+        stopped_err = np.abs(stopped.predict(X_test) - y_test).mean()
+        assert stopped_err <= full_err * 1.25

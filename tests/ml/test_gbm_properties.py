@@ -1,0 +1,88 @@
+"""Property-based tests for the GBM and tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import GbmParams, GradientBoostedTrees, RegressionTree, TreeParams
+
+
+@st.composite
+def small_regression(draw):
+    n = draw(st.integers(10, 60))
+    p = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    coef = rng.normal(size=p)
+    y = X @ coef + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestTreeProperties:
+    @given(small_regression())
+    @settings(max_examples=40, deadline=None)
+    def test_contributions_always_sum_to_prediction(self, problem):
+        X, y = problem
+        g = -y  # squared loss at prediction 0
+        h = np.ones_like(y)
+        tree = RegressionTree(TreeParams(max_depth=4, min_samples_leaf=1)).fit(X, g, h)
+        np.testing.assert_allclose(
+            tree.contributions(X).sum(axis=1), tree.predict(X), atol=1e-8
+        )
+
+    @given(small_regression(), st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_regularisation_shrinks_leaves(self, problem, lam):
+        X, y = problem
+        g = -y
+        h = np.ones_like(y)
+        loose = RegressionTree(TreeParams(reg_lambda=0.0, min_samples_leaf=1)).fit(X, g, h)
+        tight = RegressionTree(TreeParams(reg_lambda=lam, min_samples_leaf=1)).fit(X, g, h)
+        assert np.abs(tight.predict(X)).max() <= np.abs(loose.predict(X)).max() + 1e-9
+
+    @given(small_regression())
+    @settings(max_examples=40, deadline=None)
+    def test_prediction_within_target_hull_for_l2(self, problem):
+        """With l2 gradients from a zero start, a single tree's leaf values
+        are means of -g = y, hence within [min(y), max(y)]."""
+        X, y = problem
+        g = -y
+        h = np.ones_like(y)
+        tree = RegressionTree(TreeParams(reg_lambda=0.0, min_samples_leaf=1)).fit(X, g, h)
+        pred = tree.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestGbmProperties:
+    @given(small_regression())
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_training_loss_for_l2(self, problem):
+        X, y = problem
+        model = GradientBoostedTrees(
+            GbmParams(n_estimators=25, learning_rate=0.3, loss="l2")
+        ).fit(X, y)
+        losses = np.array(model.train_losses_)
+        # l2 Newton boosting never increases training loss.
+        assert (np.diff(losses) <= 1e-8).all()
+
+    @given(small_regression(), st.floats(min_value=-50, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_equivariance(self, problem, shift):
+        """Shifting the targets shifts predictions (tree splits and the
+        median base score are shift-equivariant for l2)."""
+        X, y = problem
+        a = GradientBoostedTrees(GbmParams(n_estimators=15)).fit(X, y).predict(X)
+        b = GradientBoostedTrees(GbmParams(n_estimators=15)).fit(X, y + shift).predict(X)
+        np.testing.assert_allclose(b, a + shift, atol=1e-6)
+
+    @given(small_regression())
+    @settings(max_examples=20, deadline=None)
+    def test_importances_are_distribution(self, problem):
+        X, y = problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=15)).fit(X, y)
+        imp = model.feature_importances()
+        assert (imp >= 0).all()
+        assert imp.sum() == pytest.approx(1.0) or imp.sum() == 0.0

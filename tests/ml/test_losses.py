@@ -1,0 +1,171 @@
+"""Tests for the training losses, including numeric derivative checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ml import (
+    LOSS_NAMES,
+    AbsoluteLoss,
+    HuberLoss,
+    PseudoHuberLoss,
+    SquaredLoss,
+    make_loss,
+)
+
+ALL_LOSSES = [SquaredLoss(), AbsoluteLoss(), HuberLoss(5.0), PseudoHuberLoss(5.0)]
+
+
+class TestValues:
+    def test_l2_value(self):
+        loss = SquaredLoss()
+        assert loss.value(np.array([0.0]), np.array([4.0]))[0] == 8.0
+
+    def test_l1_value(self):
+        loss = AbsoluteLoss()
+        assert loss.value(np.array([0.0]), np.array([-3.0]))[0] == 3.0
+
+    def test_huber_quadratic_region(self):
+        loss = HuberLoss(delta=10.0)
+        assert loss.value(np.array([0.0]), np.array([4.0]))[0] == 8.0
+
+    def test_huber_linear_region(self):
+        loss = HuberLoss(delta=2.0)
+        # |r| = 10 > delta: delta*(|r| - delta/2) = 2*(10-1) = 18
+        assert loss.value(np.array([0.0]), np.array([10.0]))[0] == 18.0
+
+    def test_pseudo_huber_zero_at_zero(self):
+        loss = PseudoHuberLoss(18.0)
+        assert loss.value(np.array([5.0]), np.array([5.0]))[0] == 0.0
+
+    def test_pseudo_huber_below_l2(self):
+        ph = PseudoHuberLoss(18.0)
+        l2 = SquaredLoss()
+        y = np.zeros(5)
+        pred = np.array([1.0, 5.0, 20.0, 50.0, 200.0])
+        assert (ph.value(y, pred) <= l2.value(y, pred) + 1e-9).all()
+
+    def test_mean(self):
+        loss = SquaredLoss()
+        assert loss.mean(np.array([0.0, 0.0]), np.array([2.0, 4.0])) == 5.0
+
+
+class TestGradients:
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+    def test_numeric_gradient(self, loss):
+        y = np.array([0.0, 1.0, -2.0, 10.0])
+        pred = np.array([0.5, -1.0, 3.0, 9.0])
+        eps = 1e-6
+        numeric = (loss.value(y, pred + eps) - loss.value(y, pred - eps)) / (2 * eps)
+        np.testing.assert_allclose(loss.gradient(y, pred), numeric, atol=1e-5)
+
+    @pytest.mark.parametrize("loss", [SquaredLoss(), PseudoHuberLoss(5.0)])
+    def test_numeric_hessian_for_smooth_losses(self, loss):
+        y = np.array([0.0, 2.0, -3.0])
+        pred = np.array([1.0, 0.0, 4.0])
+        eps = 1e-5
+        numeric = (
+            loss.gradient(y, pred + eps) - loss.gradient(y, pred - eps)
+        ) / (2 * eps)
+        np.testing.assert_allclose(loss.hessian(y, pred), numeric, atol=1e-4)
+
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+    def test_hessian_positive(self, loss):
+        y = np.linspace(-100, 100, 21)
+        pred = np.zeros(21)
+        assert (loss.hessian(y, pred) > 0).all()
+
+    def test_l1_gradient_is_sign(self):
+        loss = AbsoluteLoss()
+        grads = loss.gradient(np.array([0.0, 0.0]), np.array([5.0, -5.0]))
+        assert grads.tolist() == [1.0, -1.0]
+
+    def test_huber_gradient_clipped(self):
+        loss = HuberLoss(delta=3.0)
+        grads = loss.gradient(np.array([0.0]), np.array([100.0]))
+        assert grads[0] == 3.0
+
+    @given(st.floats(min_value=-500, max_value=500, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_pseudo_huber_gradient_bounded_by_delta(self, residual):
+        loss = PseudoHuberLoss(18.0)
+        grad = loss.gradient(np.array([0.0]), np.array([residual]))
+        assert abs(grad[0]) <= 18.0
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in LOSS_NAMES:
+            assert make_loss(name).name == name
+
+    def test_delta_passed_through(self):
+        loss = make_loss("pseudo_huber", delta=7.0)
+        assert loss.delta == 7.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_loss("hinge")
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            HuberLoss(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            PseudoHuberLoss(delta=-1.0)
+
+    def test_repr_contains_delta(self):
+        assert "18.0" in repr(PseudoHuberLoss(18.0))
+
+
+class TestPinball:
+    def test_asymmetric_penalty(self):
+        from repro.ml import PinballLoss
+
+        loss = PinballLoss(quantile=0.9)
+        under = loss.value(np.array([10.0]), np.array([0.0]))[0]   # y > yhat
+        over = loss.value(np.array([0.0]), np.array([10.0]))[0]    # yhat > y
+        assert under == pytest.approx(9.0)
+        assert over == pytest.approx(1.0)
+
+    def test_median_is_pinball_half(self):
+        from repro.ml import AbsoluteLoss, PinballLoss
+
+        y = np.array([1.0, 5.0, -2.0])
+        pred = np.array([0.0, 0.0, 0.0])
+        np.testing.assert_allclose(
+            2 * PinballLoss(0.5).value(y, pred), AbsoluteLoss().value(y, pred)
+        )
+
+    def test_gradient_sign(self):
+        from repro.ml import PinballLoss
+
+        loss = PinballLoss(0.8)
+        grads = loss.gradient(np.array([5.0, -5.0]), np.array([0.0, 0.0]))
+        assert grads[0] == pytest.approx(-0.8)   # under-prediction
+        assert grads[1] == pytest.approx(0.2)    # over-prediction
+
+    def test_invalid_quantile(self):
+        from repro.ml import PinballLoss
+
+        with pytest.raises(ConfigurationError):
+            PinballLoss(0.0)
+        with pytest.raises(ConfigurationError):
+            PinballLoss(1.0)
+
+    def test_gbm_quantile_regression(self):
+        """High-quantile GBM predictions sit above low-quantile ones."""
+        from repro.ml import GbmParams, GradientBoostedTrees
+
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, (200, 2))
+        y = 10 * X[:, 0] + rng.normal(0, 2.0, 200)
+        lo = GradientBoostedTrees(
+            GbmParams(n_estimators=150, learning_rate=0.2, loss="pinball", quantile=0.1)
+        ).fit(X, y)
+        hi = GradientBoostedTrees(
+            GbmParams(n_estimators=150, learning_rate=0.2, loss="pinball", quantile=0.9)
+        ).fit(X, y)
+        assert (hi.predict(X) >= lo.predict(X) - 1e-6).mean() > 0.9
+        # Coverage direction: ~90% of targets under the 0.9-quantile fit.
+        assert (y <= hi.predict(X) + 1e-6).mean() > 0.6

@@ -1,0 +1,111 @@
+"""Tests for evaluation metrics, including the paper's percentile MAE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ml import mae, mae_at_percentile, metric_suite, mse, r2, rmse
+
+y = np.array([0.0, 10.0, 20.0, 30.0])
+pred = np.array([1.0, 12.0, 17.0, 40.0])  # abs errors 1, 2, 3, 10
+
+
+class TestPointMetrics:
+    def test_mae(self):
+        assert mae(y, pred) == 4.0
+
+    def test_mse(self):
+        assert mse(y, pred) == pytest.approx((1 + 4 + 9 + 100) / 4)
+
+    def test_rmse(self):
+        assert rmse(y, pred) == pytest.approx(np.sqrt(mse(y, pred)))
+
+    def test_r2_perfect(self):
+        assert r2(y, y) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        assert r2(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_worse_than_mean_is_negative(self):
+        assert r2(y, -y) < 0
+
+    def test_r2_constant_target(self):
+        constant = np.full(4, 5.0)
+        assert r2(constant, constant) == 1.0
+        assert r2(constant, constant + 1) == 0.0
+
+
+class TestPercentileMae:
+    def test_100th_equals_plain_mae(self):
+        assert mae_at_percentile(y, pred, 100) == mae(y, pred)
+
+    def test_trims_worst_tail(self):
+        # 75% keeps the 3 best errors: (1+2+3)/3 = 2.
+        assert mae_at_percentile(y, pred, 75) == pytest.approx(2.0)
+
+    def test_50th(self):
+        assert mae_at_percentile(y, pred, 50) == pytest.approx(1.5)
+
+    def test_monotone_in_percentile(self):
+        values = [mae_at_percentile(y, pred, p) for p in (25, 50, 75, 100)]
+        assert values == sorted(values)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ConfigurationError):
+            mae_at_percentile(y, pred, 0)
+        with pytest.raises(ConfigurationError):
+            mae_at_percentile(y, pred, 101)
+
+
+class TestSuiteAndValidation:
+    def test_suite_keys(self):
+        suite = metric_suite(y, pred)
+        assert set(suite) == {"mae_80", "mae_90", "mae_100", "mse", "rmse", "r2"}
+
+    def test_suite_internal_consistency(self):
+        suite = metric_suite(y, pred)
+        assert suite["mae_80"] <= suite["mae_90"] <= suite["mae_100"]
+        assert suite["rmse"] == pytest.approx(np.sqrt(suite["mse"]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mae(np.array([]), np.array([]))
+
+
+class TestProperties:
+    paired = st.lists(
+        st.tuples(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=60,
+    )
+
+    @given(paired)
+    @settings(max_examples=60, deadline=None)
+    def test_mae_never_exceeds_rmse(self, pairs):
+        yt = np.array([a for a, _ in pairs])
+        yp = np.array([b for _, b in pairs])
+        assert mae(yt, yp) <= rmse(yt, yp) + 1e-9
+
+    @given(paired)
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_nonnegative(self, pairs):
+        yt = np.array([a for a, _ in pairs])
+        yp = np.array([b for _, b in pairs])
+        assert mae(yt, yp) >= 0
+        assert mse(yt, yp) >= 0
+
+    @given(paired, st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_mae_shift_invariance(self, pairs, shift):
+        yt = np.array([a for a, _ in pairs])
+        yp = np.array([b for _, b in pairs])
+        assert mae(yt + shift, yp + shift) == pytest.approx(mae(yt, yp), abs=1e-6)

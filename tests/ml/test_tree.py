@@ -1,0 +1,133 @@
+"""Tests for the second-order regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import RegressionTree, TreeParams
+
+
+def l2_targets(y: np.ndarray, pred: np.ndarray | None = None):
+    """Gradients/hessians of squared loss at prediction 0 (or given)."""
+    pred = np.zeros_like(y) if pred is None else pred
+    return pred - y, np.ones_like(y)
+
+
+class TestFitBasics:
+    def test_perfect_binary_split(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([1.0, 1.0, 1.0, 9.0, 9.0, 9.0])
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=1, reg_lambda=0.0, min_samples_leaf=1)).fit(X, g, h)
+        pred = tree.predict(X)
+        np.testing.assert_allclose(pred, y)
+
+    def test_leaf_value_formula(self):
+        # Single leaf: value = -sum(g) / (sum(h) + lambda).
+        X = np.zeros((4, 1))
+        y = np.array([2.0, 2.0, 2.0, 2.0])
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=3, reg_lambda=1.0)).fit(X, g, h)
+        assert tree.n_nodes == 1  # constant feature, no split possible
+        assert tree.predict(X)[0] == pytest.approx(8.0 / 5.0)
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 4))
+        y = rng.normal(size=200)
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=2, min_samples_leaf=1)).fit(X, g, h)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=6, min_samples_leaf=8)).fit(X, g, h)
+
+        def leaf_sizes(index=0):
+            node = tree._nodes[index]
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes()) >= 8
+
+    def test_gamma_blocks_weak_splits(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.1, 0.0, 0.1])
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=3, gamma=100.0)).fit(X, g, h)
+        assert tree.n_nodes == 1
+
+    def test_column_subset(self):
+        X = np.column_stack([np.arange(20.0), np.zeros(20)])
+        y = np.arange(20.0)
+        g, h = l2_targets(y)
+        # Only the useless column is allowed -> no split.
+        tree = RegressionTree(TreeParams(min_samples_leaf=1)).fit(
+            X, g, h, feature_indices=np.array([1])
+        )
+        assert tree.n_nodes == 1
+
+
+class TestInference:
+    def test_contributions_sum_to_prediction(self, rng):
+        X = rng.normal(size=(80, 5))
+        y = 2 * X[:, 0] - X[:, 3] + rng.normal(0, 0.1, 80)
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=4, min_samples_leaf=1)).fit(X, g, h)
+        contribs = tree.contributions(X)
+        np.testing.assert_allclose(contribs.sum(axis=1), tree.predict(X), atol=1e-9)
+
+    def test_contributions_only_on_split_features(self, rng):
+        X = rng.normal(size=(60, 4))
+        y = 5 * X[:, 1]
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=3, min_samples_leaf=1)).fit(X, g, h)
+        contribs = tree.contributions(X)
+        used = {node.feature for node in tree._nodes if not node.is_leaf}
+        for j in range(4):
+            if j not in used:
+                assert np.allclose(contribs[:, j], 0.0)
+
+    def test_feature_gains_concentrated(self, rng):
+        X = rng.normal(size=(100, 6))
+        y = 10 * X[:, 2]
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=3, min_samples_leaf=1)).fit(X, g, h)
+        gains = tree.feature_gains()
+        assert gains.argmax() == 2
+
+    def test_leaf_values_list(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([0.0, 10.0])
+        g, h = l2_targets(y)
+        tree = RegressionTree(TreeParams(max_depth=1, min_samples_leaf=1, reg_lambda=0.0)).fit(X, g, h)
+        assert sorted(tree.leaf_values().tolist()) == [0.0, 10.0]
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        tree = RegressionTree()
+        with pytest.raises(NotFittedError):
+            tree.predict(np.zeros((1, 1)))
+        with pytest.raises(NotFittedError):
+            tree.contributions(np.zeros((1, 1)))
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree().fit(np.zeros(5), np.zeros(5), np.ones(5))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4), np.ones(5))
+
+    def test_params_validated(self):
+        with pytest.raises(ConfigurationError):
+            TreeParams(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            TreeParams(min_samples_leaf=0)
+        with pytest.raises(ConfigurationError):
+            TreeParams(reg_lambda=-1.0)

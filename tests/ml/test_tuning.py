@@ -1,0 +1,128 @@
+"""Tests for the TPE/SMBO hyperparameter tuner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml import ChoiceParam, IntParam, TpeTuner, UniformParam, default_gbm_space
+
+
+class TestParams:
+    def test_uniform_sampling_in_bounds(self, rng):
+        param = UniformParam(2.0, 5.0)
+        for _ in range(50):
+            assert 2.0 <= param.sample(rng) <= 5.0
+
+    def test_log_uniform_sampling(self, rng):
+        param = UniformParam(0.001, 1.0, log=True)
+        samples = [param.sample(rng) for _ in range(200)]
+        assert min(samples) >= 0.001
+        # log sampling puts plenty of mass below the arithmetic midpoint
+        assert np.median(samples) < 0.5
+
+    def test_uniform_internal_roundtrip(self):
+        param = UniformParam(1.0, 100.0, log=True)
+        assert param.from_internal(param.to_internal(10.0)) == pytest.approx(10.0)
+
+    def test_uniform_clips(self):
+        param = UniformParam(0.0, 1.0)
+        assert param.from_internal(5.0) == 1.0
+        assert param.from_internal(-5.0) == 0.0
+
+    def test_int_param(self, rng):
+        param = IntParam(1, 5)
+        for _ in range(30):
+            value = param.sample(rng)
+            assert isinstance(value, int) and 1 <= value <= 5
+        assert param.from_internal(3.6) == 4
+        assert param.from_internal(99.0) == 5
+
+    def test_choice_param(self, rng):
+        param = ChoiceParam(("a", "b", "c"))
+        assert param.sample(rng) in ("a", "b", "c")
+        assert param.from_internal(param.to_internal("b")) == "b"
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformParam(5.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            UniformParam(-1.0, 1.0, log=True)
+        with pytest.raises(ConfigurationError):
+            IntParam(5, 2)
+        with pytest.raises(ConfigurationError):
+            ChoiceParam(())
+
+
+class TestTuner:
+    def quadratic_space(self):
+        return {"x": UniformParam(-10.0, 10.0), "y": UniformParam(-10.0, 10.0)}
+
+    def test_finds_near_optimum(self):
+        tuner = TpeTuner(self.quadratic_space(), seed=3)
+        result = tuner.optimize(lambda p: (p["x"] - 1) ** 2 + (p["y"] + 2) ** 2, 80)
+        assert result.best_value < 1.5
+
+    def test_beats_pure_random_on_average(self):
+        objective = lambda p: (p["x"] - 3) ** 2 + (p["y"] - 3) ** 2  # noqa: E731
+        tpe_scores, random_scores = [], []
+        for seed in range(5):
+            tpe = TpeTuner(self.quadratic_space(), seed=seed).optimize(objective, 50)
+            rng = np.random.default_rng(seed)
+            random_best = min(
+                objective({"x": rng.uniform(-10, 10), "y": rng.uniform(-10, 10)})
+                for _ in range(50)
+            )
+            tpe_scores.append(tpe.best_value)
+            random_scores.append(random_best)
+        assert np.mean(tpe_scores) <= np.mean(random_scores) * 1.5
+
+    def test_deterministic(self):
+        objective = lambda p: p["x"] ** 2  # noqa: E731
+        a = TpeTuner({"x": UniformParam(-5, 5)}, seed=7).optimize(objective, 30)
+        b = TpeTuner({"x": UniformParam(-5, 5)}, seed=7).optimize(objective, 30)
+        assert a.best_params == b.best_params
+
+    def test_history_monotone_nonincreasing(self):
+        tuner = TpeTuner(self.quadratic_space(), seed=1)
+        result = tuner.optimize(lambda p: p["x"] ** 2 + p["y"] ** 2, 40)
+        history = result.history()
+        assert (np.diff(history) <= 1e-12).all()
+        assert len(result.trials) == 40
+
+    def test_categorical_dimension_converges(self):
+        space = {
+            "k": ChoiceParam(("bad", "good")),
+            "x": UniformParam(-1.0, 1.0),
+        }
+        tuner = TpeTuner(space, seed=2)
+        result = tuner.optimize(
+            lambda p: (0.0 if p["k"] == "good" else 10.0) + p["x"] ** 2, 60
+        )
+        assert result.best_params["k"] == "good"
+        chosen = [t.params["k"] for t in result.trials[-20:]]
+        assert chosen.count("good") > 10
+
+    def test_int_dimension(self):
+        space = {"n": IntParam(1, 100)}
+        result = TpeTuner(space, seed=4).optimize(lambda p: abs(p["n"] - 42), 60)
+        assert abs(result.best_params["n"] - 42) <= 5
+
+    def test_nan_objective_treated_as_inf(self):
+        space = {"x": UniformParam(0.0, 1.0)}
+        result = TpeTuner(space, seed=0).optimize(
+            lambda p: float("nan") if p["x"] < 0.5 else p["x"], 30
+        )
+        assert result.best_value >= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TpeTuner({}, seed=0)
+        with pytest.raises(ConfigurationError):
+            TpeTuner({"x": UniformParam(0, 1)}, gamma=1.5)
+        tuner = TpeTuner({"x": UniformParam(0, 1)})
+        with pytest.raises(ConfigurationError):
+            tuner.optimize(lambda p: 0.0, 0)
+
+    def test_default_gbm_space_keys(self):
+        space = default_gbm_space()
+        assert {"n_estimators", "learning_rate", "max_depth"} <= set(space)

@@ -1,0 +1,71 @@
+"""Tests for the repeated-splits evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.validation import paired_comparison, repeated_split_scores
+
+
+class TestRepeatedSplits:
+    def test_collects_scores_per_seed(self, small_dataset):
+        def evaluate(splits):
+            return {"a": float(len(splits.train_ids)), "b": 1.0}
+
+        scores = repeated_split_scores(small_dataset, evaluate, seeds=(1, 2, 3))
+        assert set(scores) == {"a", "b"}
+        assert len(scores["a"]) == 3
+
+    def test_test_split_constant_across_seeds(self, small_dataset):
+        seen = []
+
+        def evaluate(splits):
+            seen.append(tuple(int(a) for a in splits.test_ids))
+            return {"x": 0.0}
+
+        repeated_split_scores(small_dataset, evaluate, seeds=(1, 2))
+        assert seen[0] == seen[1]
+
+    def test_train_membership_varies(self, small_dataset):
+        seen = []
+
+        def evaluate(splits):
+            seen.append(tuple(int(a) for a in splits.train_ids))
+            return {"x": 0.0}
+
+        repeated_split_scores(small_dataset, evaluate, seeds=(1, 2))
+        assert seen[0] != seen[1]
+
+    def test_empty_seeds_rejected(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            repeated_split_scores(small_dataset, lambda s: {"x": 0.0}, seeds=())
+
+    def test_inconsistent_candidates_rejected(self, small_dataset):
+        calls = []
+
+        def evaluate(splits):
+            calls.append(1)
+            return {"a": 0.0} if len(calls) == 1 else {"b": 0.0}
+
+        with pytest.raises(ConfigurationError, match="same candidates"):
+            repeated_split_scores(small_dataset, evaluate, seeds=(1, 2))
+
+
+class TestPairedComparison:
+    def test_win_rate_and_mean_difference(self):
+        scores = {
+            "a": np.array([1.0, 2.0, 3.0]),
+            "b": np.array([2.0, 1.0, 4.0]),
+        }
+        comparison = paired_comparison(scores, "a", "b")
+        assert comparison.win_rate_a == pytest.approx(2 / 3)
+        assert comparison.mean_difference == pytest.approx(-1 / 3)
+
+    def test_summary_text(self):
+        scores = {"a": np.array([1.0]), "b": np.array([2.0])}
+        text = paired_comparison(scores, "a", "b").summary()
+        assert "a vs b" in text and "100%" in text
+
+    def test_unknown_candidate(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison({"a": np.array([1.0])}, "a", "ghost")

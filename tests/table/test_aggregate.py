@@ -1,0 +1,80 @@
+"""Unit tests for the aggregation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.table.aggregate import AGG_NAMES, apply_aggregation
+
+
+@pytest.fixture()
+def segments():
+    # Two segments: [1, 2, 3] and [10, 20].
+    values = np.array([1.0, 2.0, 3.0, 10.0, 20.0])
+    starts = np.array([0, 3])
+    return values, starts
+
+
+class TestKernels:
+    def test_sum(self, segments):
+        values, starts = segments
+        assert apply_aggregation("sum", values, starts).tolist() == [6.0, 30.0]
+
+    def test_mean(self, segments):
+        values, starts = segments
+        assert apply_aggregation("mean", values, starts).tolist() == [2.0, 15.0]
+
+    def test_min(self, segments):
+        values, starts = segments
+        assert apply_aggregation("min", values, starts).tolist() == [1.0, 10.0]
+
+    def test_max(self, segments):
+        values, starts = segments
+        assert apply_aggregation("max", values, starts).tolist() == [3.0, 20.0]
+
+    def test_count(self, segments):
+        values, starts = segments
+        out = apply_aggregation("count", values, starts)
+        assert out.tolist() == [3, 2]
+        assert out.dtype == np.int64
+
+    def test_first_last(self, segments):
+        values, starts = segments
+        assert apply_aggregation("first", values, starts).tolist() == [1.0, 10.0]
+        assert apply_aggregation("last", values, starts).tolist() == [3.0, 20.0]
+
+    def test_std(self, segments):
+        values, starts = segments
+        out = apply_aggregation("std", values, starts)
+        assert out[0] == pytest.approx(np.std([1.0, 2.0, 3.0]))
+        assert out[1] == pytest.approx(5.0)
+
+    def test_std_single_element_is_zero(self):
+        out = apply_aggregation("std", np.array([4.0]), np.array([0]))
+        assert out[0] == 0.0
+
+    def test_count_on_object_column(self):
+        values = np.array(["a", "b", "c"], dtype=object)
+        out = apply_aggregation("count", values, np.array([0, 2]))
+        assert out.tolist() == [2, 1]
+
+
+class TestValidation:
+    def test_unknown_aggregation(self, segments):
+        values, starts = segments
+        with pytest.raises(ConfigurationError, match="unknown aggregation"):
+            apply_aggregation("median", values, starts)
+
+    def test_numeric_only_on_object(self):
+        values = np.array(["a", "b"], dtype=object)
+        with pytest.raises(ConfigurationError, match="numeric"):
+            apply_aggregation("sum", values, np.array([0]))
+
+    def test_empty_segments(self):
+        for name in AGG_NAMES:
+            out = apply_aggregation(name, np.array([]), np.array([], dtype=np.int64))
+            assert len(out) == 0
+
+    def test_agg_names_frozen(self):
+        assert "sum" in AGG_NAMES
+        assert "count" in AGG_NAMES

@@ -1,0 +1,104 @@
+"""Unit tests for column coercion and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.table.column import as_column, column_nbytes, factorize, is_numeric
+
+
+class TestAsColumn:
+    def test_int_list_stays_int64(self):
+        arr = as_column([1, 2, 3])
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 2, 3]
+
+    def test_float_list_is_float64(self):
+        arr = as_column([1.5, 2.0])
+        assert arr.dtype == np.float64
+
+    def test_mixed_int_float_promotes_to_float(self):
+        arr = as_column([1, 2.5])
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.5]
+
+    def test_none_in_numeric_becomes_nan(self):
+        arr = as_column([1, None, 3])
+        assert arr.dtype == np.float64
+        assert np.isnan(arr[1])
+
+    def test_bool_list_is_bool(self):
+        arr = as_column([True, False])
+        assert arr.dtype == np.bool_
+
+    def test_bool_with_none_is_object(self):
+        arr = as_column([True, None])
+        assert arr.dtype == object
+
+    def test_strings_are_object(self):
+        arr = as_column(["a", "b"])
+        assert arr.dtype == object
+
+    def test_mixed_types_are_object(self):
+        arr = as_column(["a", 1])
+        assert arr.dtype == object
+
+    def test_all_none_is_float_nan(self):
+        arr = as_column([None, None])
+        assert arr.dtype == np.float64
+        assert np.isnan(arr).all()
+
+    def test_empty_list(self):
+        arr = as_column([])
+        assert len(arr) == 0
+
+    def test_existing_array_passthrough(self):
+        source = np.array([1.0, 2.0])
+        assert as_column(source) is source
+
+    def test_2d_array_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_column(np.zeros((2, 2)))
+
+    def test_string_scalar_rejected(self):
+        with pytest.raises(TypeError, match="string"):
+            as_column("abc")
+
+    def test_non_iterable_rejected(self):
+        with pytest.raises(TypeError, match="iterable"):
+            as_column(42)
+
+    def test_generator_accepted(self):
+        arr = as_column(x * 2 for x in range(3))
+        assert arr.tolist() == [0, 2, 4]
+
+
+class TestHelpers:
+    def test_is_numeric(self):
+        assert is_numeric(np.array([1, 2]))
+        assert is_numeric(np.array([1.0]))
+        assert not is_numeric(np.array(["a"], dtype=object))
+
+    def test_column_nbytes_numeric(self):
+        arr = np.zeros(10, dtype=np.float64)
+        assert column_nbytes(arr) == 80
+
+    def test_column_nbytes_object_counts_payload(self):
+        arr = np.array(["hello", "world"], dtype=object)
+        assert column_nbytes(arr) > arr.nbytes
+
+    def test_column_nbytes_object_dedups_shared(self):
+        shared = "x" * 1000
+        arr = np.array([shared] * 50, dtype=object)
+        small = np.array([shared], dtype=object)
+        assert column_nbytes(arr) < 50 * column_nbytes(small)
+
+    def test_factorize_roundtrip(self):
+        values = np.array(["b", "a", "b", "c"], dtype=object)
+        codes, uniques = factorize(values)
+        assert (uniques[codes] == values).all()
+        assert sorted(uniques) == list(uniques)
+
+    def test_factorize_numeric(self):
+        codes, uniques = factorize(np.array([3, 1, 3, 2]))
+        assert uniques.tolist() == [1, 2, 3]
+        assert codes.tolist() == [2, 0, 2, 1]

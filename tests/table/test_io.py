@@ -1,0 +1,81 @@
+"""Unit tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.table import ColumnTable, read_csv, write_csv
+
+
+class TestRoundtrip:
+    def test_mixed_types(self, tmp_path):
+        table = ColumnTable(
+            {
+                "i": [1, 2, 3],
+                "f": [1.5, 2.5, 3.5],
+                "s": ["a", "b", "c"],
+            }
+        )
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back.equals(table)
+
+    def test_nan_roundtrip(self, tmp_path):
+        table = ColumnTable({"x": [1.0, None, 3.0]})
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert np.isnan(back["x"][1])
+        assert back["x"][0] == 1.0
+
+    def test_none_string_becomes_empty(self, tmp_path):
+        table = ColumnTable({"s": np.array(["a", None], dtype=object)})
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back["s"].tolist() == ["a", ""]
+
+    def test_empty_table(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(ColumnTable({"a": [], "b": []}), path)
+        back = read_csv(path)
+        assert back.n_rows == 0
+        assert set(back.column_names) == {"a", "b"}
+
+    def test_header_only_file(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("x,y\n")
+        back = read_csv(path)
+        assert back.n_rows == 0
+
+    def test_completely_empty_file(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        assert read_csv(path).n_columns == 0
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.csv"
+        write_csv(ColumnTable({"a": [1]}), path)
+        assert path.exists()
+
+
+class TestTypeInference:
+    def test_int_column_stays_int(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x\n1\n2\n")
+        assert read_csv(path)["x"].dtype == np.int64
+
+    def test_float_detection(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x\n1.5\n2\n")
+        assert read_csv(path)["x"].dtype == np.float64
+
+    def test_string_fallback(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x\n1\nabc\n")
+        assert read_csv(path)["x"].dtype == object
+
+    def test_negative_numbers(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x\n-5\n3\n")
+        assert read_csv(path)["x"].tolist() == [-5, 3]

@@ -1,0 +1,124 @@
+"""Unit tests for the sort-merge equi-join."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SchemaError
+from repro.table import ColumnTable, merge
+
+
+@pytest.fixture()
+def left():
+    return ColumnTable({"id": [1, 2, 2, 3], "lv": [10.0, 20.0, 21.0, 30.0]})
+
+
+@pytest.fixture()
+def right():
+    return ColumnTable({"id": [2, 3, 4], "rv": ["x", "y", "z"]})
+
+
+class TestInnerJoin:
+    def test_matches(self, left, right):
+        out = merge(left, right, on="id")
+        assert out.n_rows == 3
+        assert out["id"].tolist() == [2, 2, 3]
+        assert out["rv"].tolist() == ["x", "x", "y"]
+
+    def test_duplicate_right_keys_fan_out(self):
+        left = ColumnTable({"id": [1], "lv": [0.0]})
+        right = ColumnTable({"id": [1, 1, 1], "rv": [1.0, 2.0, 3.0]})
+        out = merge(left, right, on="id")
+        assert out.n_rows == 3
+        assert sorted(out["rv"].tolist()) == [1.0, 2.0, 3.0]
+
+    def test_no_matches_gives_empty(self):
+        left = ColumnTable({"id": [1], "lv": [0.0]})
+        right = ColumnTable({"id": [9], "rv": [1.0]})
+        assert merge(left, right, on="id").n_rows == 0
+
+    def test_multi_key(self):
+        left = ColumnTable({"a": [1, 1, 2], "b": ["p", "q", "p"], "lv": [1.0, 2.0, 3.0]})
+        right = ColumnTable({"a": [1, 2], "b": ["q", "p"], "rv": [10.0, 20.0]})
+        out = merge(left, right, on=["a", "b"])
+        assert out.n_rows == 2
+        assert sorted(out["rv"].tolist()) == [10.0, 20.0]
+
+    def test_column_collision_gets_suffixes(self):
+        left = ColumnTable({"id": [1], "v": [1.0]})
+        right = ColumnTable({"id": [1], "v": [2.0]})
+        out = merge(left, right, on="id")
+        assert "v_x" in out and "v_y" in out
+
+    def test_string_keys(self):
+        left = ColumnTable({"k": ["a", "b"], "lv": [1.0, 2.0]})
+        right = ColumnTable({"k": ["b", "c"], "rv": [3.0, 4.0]})
+        out = merge(left, right, on="k")
+        assert out["k"].tolist() == ["b"]
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_kept_with_nulls(self, left, right):
+        out = merge(left, right, on="id", how="left")
+        assert out.n_rows == 4
+        unmatched = out.filter(out["id"] == 1)
+        assert unmatched["rv"][0] is None
+
+    def test_unmatched_numeric_fill_is_nan(self):
+        left = ColumnTable({"id": [1, 2], "lv": [0.0, 0.0]})
+        right = ColumnTable({"id": [2], "rv": [5]})
+        out = merge(left, right, on="id", how="left")
+        row = out.filter(out["id"] == 1)
+        assert np.isnan(row["rv"][0])
+
+    def test_all_matched_left_join_equals_inner(self, right):
+        left = ColumnTable({"id": [2, 3], "lv": [1.0, 2.0]})
+        inner = merge(left, right, on="id")
+        outer = merge(left, right, on="id", how="left")
+        assert inner.equals(outer)
+
+
+class TestValidation:
+    def test_unknown_how(self, left, right):
+        with pytest.raises(ConfigurationError):
+            merge(left, right, on="id", how="outer")
+
+    def test_empty_on(self, left, right):
+        with pytest.raises(SchemaError):
+            merge(left, right, on=[])
+
+    def test_missing_key_column(self, left):
+        other = ColumnTable({"different": [1]})
+        with pytest.raises(KeyError):
+            merge(left, other, on="id")
+
+    def test_method_on_table(self, left, right):
+        assert left.merge(right, on="id").n_rows == 3
+
+
+class TestAgainstBruteForce:
+    def test_matches_nested_loop_join(self, rng):
+        n_left, n_right = 60, 45
+        left = ColumnTable(
+            {
+                "k": rng.integers(0, 12, n_left),
+                "lv": rng.normal(size=n_left),
+            }
+        )
+        right = ColumnTable(
+            {
+                "k": rng.integers(0, 12, n_right),
+                "rv": rng.normal(size=n_right),
+            }
+        )
+        out = merge(left, right, on="k")
+        expected = sorted(
+            (int(lk), float(lv), float(rv))
+            for lk, lv in zip(left["k"], left["lv"])
+            for rk, rv in zip(right["k"], right["rv"])
+            if lk == rk
+        )
+        got = sorted(
+            (int(k), float(lv), float(rv))
+            for k, lv, rv in zip(out["k"], out["lv"], out["rv"])
+        )
+        assert got == expected

@@ -1,0 +1,228 @@
+"""Unit tests for ColumnTable core operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnNotFoundError, LengthMismatchError, SchemaError
+from repro.table import ColumnTable
+
+
+@pytest.fixture()
+def table() -> ColumnTable:
+    return ColumnTable(
+        {
+            "id": [1, 2, 3, 4],
+            "amount": [10.0, 20.0, 30.0, 40.0],
+            "kind": ["a", "b", "a", "c"],
+        }
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self, table):
+        assert table.n_rows == 4
+        assert table.n_columns == 3
+        assert table.column_names == ("id", "amount", "kind")
+
+    def test_empty_table(self):
+        empty = ColumnTable()
+        assert empty.n_rows == 0
+        assert empty.n_columns == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(LengthMismatchError):
+            ColumnTable({"a": [1, 2], "b": [1]})
+
+    def test_from_rows(self):
+        t = ColumnTable.from_rows([{"x": 1, "y": "p"}, {"x": 2, "y": "q"}])
+        assert t["x"].tolist() == [1, 2]
+        assert t["y"].tolist() == ["p", "q"]
+
+    def test_from_rows_missing_keys_become_null(self):
+        t = ColumnTable.from_rows([{"x": 1}, {"y": 2}])
+        assert np.isnan(t["x"][1])
+        assert np.isnan(t["y"][0])
+
+    def test_from_rows_empty(self):
+        assert ColumnTable.from_rows([]).n_rows == 0
+
+    def test_len_and_contains(self, table):
+        assert len(table) == 4
+        assert "id" in table
+        assert "nope" not in table
+
+
+class TestAccess:
+    def test_getitem_missing_column(self, table):
+        with pytest.raises(ColumnNotFoundError, match="nope"):
+            table["nope"]
+
+    def test_error_lists_available_columns(self, table):
+        with pytest.raises(ColumnNotFoundError, match="amount"):
+            table["nope"]
+
+    def test_row(self, table):
+        row = table.row(1)
+        assert row == {"id": 2, "amount": 20.0, "kind": "b"}
+
+    def test_row_negative_index(self, table):
+        assert table.row(-1)["id"] == 4
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.row(10)
+
+    def test_to_rows(self, table):
+        rows = table.to_rows()
+        assert len(rows) == 4
+        assert rows[0]["kind"] == "a"
+
+    def test_nbytes_positive(self, table):
+        assert table.nbytes() > 0
+
+
+class TestProjection:
+    def test_select_order(self, table):
+        t = table.select(["kind", "id"])
+        assert t.column_names == ("kind", "id")
+
+    def test_select_missing(self, table):
+        with pytest.raises(ColumnNotFoundError):
+            table.select(["id", "ghost"])
+
+    def test_drop(self, table):
+        t = table.drop(["kind"])
+        assert t.column_names == ("id", "amount")
+
+    def test_drop_missing(self, table):
+        with pytest.raises(ColumnNotFoundError):
+            table.drop(["ghost"])
+
+    def test_rename(self, table):
+        t = table.rename({"id": "identifier"})
+        assert "identifier" in t
+        assert "id" not in t
+
+    def test_rename_collision_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.rename({"id": "amount"})
+
+    def test_rename_missing(self, table):
+        with pytest.raises(ColumnNotFoundError):
+            table.rename({"ghost": "x"})
+
+    def test_with_column_adds(self, table):
+        t = table.with_column("flag", [True, False, True, False])
+        assert t.n_columns == 4
+        assert table.n_columns == 3  # original untouched
+
+    def test_with_column_replaces(self, table):
+        t = table.with_column("amount", [0.0, 0.0, 0.0, 0.0])
+        assert t["amount"].sum() == 0.0
+
+    def test_with_column_length_mismatch(self, table):
+        with pytest.raises(LengthMismatchError):
+            table.with_column("bad", [1])
+
+
+class TestRowOps:
+    def test_filter(self, table):
+        t = table.filter(table["amount"] > 15.0)
+        assert t["id"].tolist() == [2, 3, 4]
+
+    def test_filter_requires_bool(self, table):
+        with pytest.raises(TypeError):
+            table.filter(np.array([1, 0, 1, 0]))
+
+    def test_filter_length_mismatch(self, table):
+        with pytest.raises(LengthMismatchError):
+            table.filter(np.array([True]))
+
+    def test_take(self, table):
+        t = table.take(np.array([3, 0]))
+        assert t["id"].tolist() == [4, 1]
+
+    def test_head(self, table):
+        assert table.head(2).n_rows == 2
+        assert table.head(100).n_rows == 4
+
+    def test_sort_single_key(self, table):
+        t = table.sort_by("amount", ascending=False)
+        assert t["amount"].tolist() == [40.0, 30.0, 20.0, 10.0]
+
+    def test_sort_multi_key(self):
+        t = ColumnTable({"a": [2, 1, 2, 1], "b": [1, 2, 0, 1]})
+        s = t.sort_by(["a", "b"])
+        assert s["a"].tolist() == [1, 1, 2, 2]
+        assert s["b"].tolist() == [1, 2, 0, 1]
+
+    def test_unique(self, table):
+        assert table.unique("kind").tolist() == ["a", "b", "c"]
+
+
+class TestConcatEquals:
+    def test_concat(self, table):
+        double = ColumnTable.concat([table, table])
+        assert double.n_rows == 8
+
+    def test_concat_empty_list(self):
+        assert ColumnTable.concat([]).n_rows == 0
+
+    def test_concat_mismatched_schema(self, table):
+        other = ColumnTable({"id": [1]})
+        with pytest.raises(SchemaError):
+            ColumnTable.concat([table, other])
+
+    def test_equals_self(self, table):
+        assert table.equals(table)
+
+    def test_equals_nan_aware(self):
+        a = ColumnTable({"x": [1.0, None]})
+        b = ColumnTable({"x": [1.0, None]})
+        assert a.equals(b)
+
+    def test_not_equals_different_values(self, table):
+        other = table.with_column("amount", [0.0, 0.0, 0.0, 0.0])
+        assert not table.equals(other)
+
+    def test_not_equals_non_table(self, table):
+        assert not table.equals("nope")
+
+    def test_repr_mentions_shape(self, table):
+        assert "4 rows" in repr(table)
+
+
+class TestGroupBy:
+    def test_aggregate_sum_count(self, table):
+        g = table.group_by("kind").aggregate(
+            {"total": ("amount", "sum"), "n": ("id", "count")}
+        )
+        rows = {r["kind"]: r for r in g.to_rows()}
+        assert rows["a"]["total"] == 40.0
+        assert rows["a"]["n"] == 2
+        assert rows["c"]["n"] == 1
+
+    def test_aggregate_multi_key(self):
+        t = ColumnTable(
+            {"k1": ["x", "x", "y"], "k2": [1, 2, 1], "v": [1.0, 2.0, 3.0]}
+        )
+        g = t.group_by(["k1", "k2"]).aggregate({"s": ("v", "sum")})
+        assert g.n_rows == 3
+
+    def test_group_by_empty_keys_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.group_by([])
+
+    def test_sizes(self, table):
+        sizes = table.group_by("kind").sizes()
+        assert sizes["count"].sum() == 4
+
+    def test_aggregate_on_empty_table(self):
+        t = ColumnTable({"k": np.array([], dtype=object), "v": np.array([])})
+        g = t.group_by("k").aggregate({"s": ("v", "sum")})
+        assert g.n_rows == 0
+
+    def test_group_keys_recovered_exactly(self):
+        t = ColumnTable({"k": [5, 5, 7, 9], "v": [1.0, 1.0, 1.0, 1.0]})
+        g = t.group_by("k").aggregate({"n": ("v", "count")})
+        assert sorted(g["k"].tolist()) == [5, 7, 9]

@@ -1,0 +1,92 @@
+"""Property-based tests for the table engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.table import ColumnTable, merge
+
+keys = st.lists(st.integers(0, 8), min_size=1, max_size=40)
+floats = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6)
+
+
+@st.composite
+def keyed_table(draw):
+    ks = draw(keys)
+    vs = draw(st.lists(floats, min_size=len(ks), max_size=len(ks)))
+    return ColumnTable({"k": ks, "v": vs})
+
+
+class TestGroupByProperties:
+    @given(keyed_table())
+    @settings(max_examples=60, deadline=None)
+    def test_group_sums_partition_total(self, table):
+        grouped = table.group_by("k").aggregate({"s": ("v", "sum"), "n": ("v", "count")})
+        assert grouped["n"].sum() == table.n_rows
+        assert np.isclose(grouped["s"].sum(), table["v"].sum())
+
+    @given(keyed_table())
+    @settings(max_examples=60, deadline=None)
+    def test_group_count_matches_unique_keys(self, table):
+        grouped = table.group_by("k").sizes()
+        assert grouped.n_rows == len(np.unique(table["k"]))
+
+    @given(keyed_table())
+    @settings(max_examples=60, deadline=None)
+    def test_min_max_bound_mean(self, table):
+        grouped = table.group_by("k").aggregate(
+            {"lo": ("v", "min"), "hi": ("v", "max"), "avg": ("v", "mean")}
+        )
+        assert (grouped["lo"] <= grouped["avg"] + 1e-9).all()
+        assert (grouped["avg"] <= grouped["hi"] + 1e-9).all()
+
+
+class TestRowOpProperties:
+    @given(keyed_table())
+    @settings(max_examples=60, deadline=None)
+    def test_sort_is_permutation(self, table):
+        sorted_table = table.sort_by("v")
+        assert np.isclose(sorted_table["v"].sum(), table["v"].sum())
+        assert (np.diff(sorted_table["v"]) >= 0).all()
+
+    @given(keyed_table(), st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_filter_complement_partitions(self, table, pivot):
+        mask = table["k"] == pivot
+        kept = table.filter(mask)
+        dropped = table.filter(~mask)
+        assert kept.n_rows + dropped.n_rows == table.n_rows
+
+    @given(keyed_table())
+    @settings(max_examples=60, deadline=None)
+    def test_take_identity(self, table):
+        identity = table.take(np.arange(table.n_rows))
+        assert identity.equals(table)
+
+
+class TestJoinProperties:
+    @given(keyed_table(), keyed_table())
+    @settings(max_examples=40, deadline=None)
+    def test_inner_join_cardinality(self, left, right):
+        renamed = right.rename({"v": "w"})
+        out = merge(left, renamed, on="k")
+        left_counts = {
+            int(k): int(n)
+            for k, n in zip(*np.unique(left["k"], return_counts=True))
+        }
+        right_counts = {
+            int(k): int(n)
+            for k, n in zip(*np.unique(right["k"], return_counts=True))
+        }
+        expected = sum(
+            left_counts.get(k, 0) * right_counts.get(k, 0) for k in left_counts
+        )
+        assert out.n_rows == expected
+
+    @given(keyed_table(), keyed_table())
+    @settings(max_examples=40, deadline=None)
+    def test_left_join_keeps_all_left_keys(self, left, right):
+        renamed = right.rename({"v": "w"})
+        out = merge(left, renamed, on="k", how="left")
+        assert out.n_rows >= left.n_rows
+        assert set(out["k"].tolist()) == set(left["k"].tolist())

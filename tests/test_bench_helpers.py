@@ -1,0 +1,92 @@
+"""Tests for the benchmark harness utilities and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SCALING_FACTORS,
+    TIMELINE_10PCT,
+    format_table,
+    logical_rcc_arrays,
+    scaled_dataset,
+    sweep_status_queries,
+)
+from repro.bench.reporting import emit_report
+from repro.errors import (
+    ColumnNotFoundError,
+    ConfigurationError,
+    IndexCorruptionError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+)
+from repro.index import StatusQueryEngine
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_rendering(self):
+        out = format_table(["x"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out and "y" in out
+
+
+class TestEmitReport:
+    def test_writes_file(self, tmp_path, capsys):
+        path = emit_report("unit", "A title", "body text", directory=tmp_path)
+        assert path.read_text().startswith("== A title ==")
+        assert "body text" in capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_scaling_factors_match_paper(self):
+        assert SCALING_FACTORS == (1, 5, 10, 15, 20)
+
+    def test_timeline_10pct(self):
+        assert TIMELINE_10PCT == [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+
+    def test_scaled_dataset_cached(self, small_dataset):
+        a = scaled_dataset(small_dataset, 2)
+        b = scaled_dataset(small_dataset, 2)
+        assert a is b
+        assert a.n_rccs == small_dataset.n_rccs * 2
+
+    def test_logical_rcc_arrays_shapes(self, small_dataset):
+        starts, ends, ids, table = logical_rcc_arrays(small_dataset, 2)
+        assert len(starts) == len(ends) == len(ids) == table.n_rows
+        assert (ends >= starts).all()
+
+    def test_sweep_helper_times_execution(self, small_dataset):
+        table = logical_rcc_arrays(small_dataset, 1)[3]
+        engine = StatusQueryEngine(table, design="avl")
+        elapsed = sweep_status_queries(engine, [0.0, 50.0, 100.0])
+        assert elapsed > 0
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            SchemaError("x"),
+            ConfigurationError("x"),
+            IndexCorruptionError("x"),
+            NotFittedError("x"),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_column_not_found_is_keyerror(self):
+        exc = ColumnNotFoundError("ghost", ("a", "b"))
+        assert isinstance(exc, KeyError)
+        assert "ghost" in str(exc)
+        assert "a, b" in str(exc)
+
+    def test_catchable_as_single_family(self, small_dataset):
+        with pytest.raises(ReproError):
+            small_dataset.avail(999_999)

@@ -1,0 +1,33 @@
+"""Run the doctest examples embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.fusion
+import repro.core.timeline
+import repro.data.dates
+import repro.features.transform
+import repro.index.hierarchy
+import repro.index.interval_tree
+import repro.ml.gbm
+import repro.table.column
+import repro.table.table
+
+MODULES = [
+    repro.table.table,
+    repro.table.column,
+    repro.index.interval_tree,
+    repro.index.hierarchy,
+    repro.ml.gbm,
+    repro.features.transform,
+    repro.data.dates,
+    repro.core.fusion,
+    repro.core.timeline,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

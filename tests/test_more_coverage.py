@@ -1,0 +1,106 @@
+"""Additional coverage: linear-family persistence, conformal variants,
+interpretability over linear models, and CLI/service corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.conformal import ConformalDomdEstimator
+from repro.core.interpret import global_feature_report
+from repro.ml import GbmParams
+from repro.persistence import load_estimator, save_estimator
+
+
+@pytest.fixture(scope="module")
+def linear_estimator(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(
+        window_pct=25.0, k=8, model_family="linear",
+        linear_alpha=0.5, linear_l1_ratio=0.5,
+    )
+    return dataset, splits, DomdEstimator(config).fit(dataset, splits.train_ids)
+
+
+class TestLinearFamilyEndToEnd:
+    def test_query_and_explain(self, linear_estimator):
+        _, _, estimator = linear_estimator
+        result = estimator.query([0], t_star=50.0)[0]
+        assert np.isfinite(result.current_estimate)
+        contributions = estimator.explain(0, 50.0, top=5)
+        assert len(contributions) == 5
+
+    def test_persistence_roundtrip(self, linear_estimator, tmp_path):
+        dataset, _, estimator = linear_estimator
+        path = tmp_path / "linear.json"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path, dataset)
+        a = estimator.query([0], t_star=75.0)[0].window_estimates
+        b = loaded.query([0], t_star=75.0)[0].window_estimates
+        np.testing.assert_allclose(a, b)
+
+    def test_global_report(self, linear_estimator):
+        _, _, estimator = linear_estimator
+        reports = global_feature_report(estimator, top=5)
+        assert len(reports) == 5
+
+    def test_conformal_on_linear(self, linear_estimator):
+        _, splits, estimator = linear_estimator
+        conformal = ConformalDomdEstimator(estimator).calibrate(splits.validation_ids)
+        interval = conformal.query_interval(0, t_star=100.0, alpha=0.3)
+        assert interval.lower <= interval.estimate <= interval.upper
+
+
+class TestConformalAcrossWindows:
+    def test_half_widths_vary_by_window(self, small_dataset, small_splits):
+        config = PipelineConfig(window_pct=25.0, k=8, gbm=GbmParams(n_estimators=20))
+        estimator = DomdEstimator(config).fit(small_dataset, small_splits.train_ids)
+        conformal = ConformalDomdEstimator(estimator).calibrate(
+            small_splits.validation_ids
+        )
+        widths = [conformal.half_width(ti, alpha=0.3) for ti in range(5)]
+        assert all(w >= 0 for w in widths)
+        # Residual scale is window-dependent (not a single global number).
+        assert len(set(round(w, 6) for w in widths)) > 1
+
+    def test_interval_respects_window_of_t_star(self, small_dataset, small_splits):
+        config = PipelineConfig(window_pct=25.0, k=8, gbm=GbmParams(n_estimators=20))
+        estimator = DomdEstimator(config).fit(small_dataset, small_splits.train_ids)
+        conformal = ConformalDomdEstimator(estimator).calibrate(
+            small_splits.validation_ids
+        )
+        early = conformal.query_interval(0, t_star=10.0, alpha=0.3)
+        late = conformal.query_interval(0, t_star=100.0, alpha=0.3)
+        assert early.t_star == 10.0 and late.t_star == 100.0
+
+
+class TestServiceWithExtensions:
+    def test_service_over_served_snapshot(self, small_dataset, small_splits):
+        """The nightly-refresh composition: fit -> serve(new) -> DomdService."""
+        from repro.core.service import DomdService
+        from repro.data import generate_continuation
+
+        config = PipelineConfig(window_pct=50.0, k=6, gbm=GbmParams(n_estimators=10))
+        estimator = DomdEstimator(config).fit(small_dataset, small_splits.train_ids)
+        extended = generate_continuation(small_dataset, n_new_closed=3, seed=5)
+        service = DomdService(estimator.serve(extended))
+        new_id = int(np.max(extended.avails["avail_id"]))
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [new_id], "t_star": 50.0}
+        )
+        assert response["ok"]
+
+    def test_metrics_request_rejects_ongoing(self, small_dataset, small_splits):
+        from repro.core.service import DomdService
+
+        config = PipelineConfig(window_pct=50.0, k=6, gbm=GbmParams(n_estimators=10))
+        estimator = DomdEstimator(config).fit(small_dataset, small_splits.train_ids)
+        service = DomdService(estimator)
+        ongoing = small_dataset.avails.filter(
+            small_dataset.avails["status"] == "ongoing"
+        )
+        response = service.handle(
+            {"type": "metrics", "avail_ids": [int(ongoing["avail_id"][0])]}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "domain_error"

@@ -1,0 +1,150 @@
+"""Tests for model persistence (save/load without retraining)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import ElasticNet, GbmParams, GradientBoostedTrees
+from repro.persistence import (
+    elastic_net_from_payload,
+    elastic_net_to_payload,
+    gbm_from_payload,
+    gbm_to_payload,
+    load_estimator,
+    save_estimator,
+)
+
+
+@pytest.fixture()
+def problem(rng):
+    X = rng.normal(size=(80, 6))
+    y = 2 * X[:, 0] + np.sin(X[:, 1]) + rng.normal(0, 0.1, 80)
+    return X, y
+
+
+class TestGbmRoundtrip:
+    def test_predictions_identical(self, problem):
+        X, y = problem
+        model = GradientBoostedTrees(
+            GbmParams(n_estimators=30, loss="pseudo_huber")
+        ).fit(X, y)
+        clone = gbm_from_payload(gbm_to_payload(model))
+        np.testing.assert_array_equal(clone.predict(X), model.predict(X))
+
+    def test_contributions_identical(self, problem):
+        X, y = problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=15)).fit(X, y)
+        clone = gbm_from_payload(gbm_to_payload(model))
+        np.testing.assert_array_equal(clone.contributions(X), model.contributions(X))
+
+    def test_payload_is_json_serialisable(self, problem):
+        X, y = problem
+        model = GradientBoostedTrees(GbmParams(n_estimators=5)).fit(X, y)
+        json.dumps(gbm_to_payload(model))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            gbm_to_payload(GradientBoostedTrees())
+
+
+class TestElasticNetRoundtrip:
+    def test_predictions_identical(self, problem):
+        X, y = problem
+        model = ElasticNet(alpha=0.2, l1_ratio=0.7).fit(X, y)
+        clone = elastic_net_from_payload(elastic_net_to_payload(model))
+        np.testing.assert_allclose(clone.predict(X), model.predict(X))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            elastic_net_to_payload(ElasticNet())
+
+
+class TestEstimatorRoundtrip:
+    @pytest.fixture(scope="class")
+    def fitted(self, request):
+        dataset = request.getfixturevalue("small_dataset")
+        splits = request.getfixturevalue("small_splits")
+        config = PipelineConfig(
+            window_pct=25.0, k=8, fusion="average", gbm=GbmParams(n_estimators=20)
+        )
+        return dataset, splits, DomdEstimator(config).fit(dataset, splits.train_ids)
+
+    def test_queries_identical_after_roundtrip(self, fitted, tmp_path):
+        dataset, splits, estimator = fitted
+        path = tmp_path / "model.json"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path, dataset)
+        for avail_id in [0, int(splits.test_ids[0])]:
+            original = estimator.query([avail_id], t_star=75.0)[0]
+            restored = loaded.query([avail_id], t_star=75.0)[0]
+            np.testing.assert_allclose(
+                restored.window_estimates, original.window_estimates
+            )
+            assert restored.current_estimate == pytest.approx(
+                original.current_estimate
+            )
+
+    def test_explanations_identical(self, fitted, tmp_path):
+        dataset, _, estimator = fitted
+        path = tmp_path / "model.json"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path, dataset)
+        a = estimator.explain(0, 50.0, top=5)
+        b = loaded.explain(0, 50.0, top=5)
+        assert [c.name for c in a] == [c.name for c in b]
+        np.testing.assert_allclose(
+            [c.contribution for c in a], [c.contribution for c in b]
+        )
+
+    def test_metrics_identical(self, fitted, tmp_path):
+        dataset, splits, estimator = fitted
+        path = tmp_path / "model.json"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path, dataset)
+        a = estimator.evaluate(splits.test_ids)["average"]
+        b = loaded.evaluate(splits.test_ids)["average"]
+        for key in a:
+            assert a[key] == pytest.approx(b[key])
+
+    def test_loaded_onto_extended_dataset(self, fitted, tmp_path):
+        """The artefact can serve a *newer* snapshot of the database."""
+        dataset, _, estimator = fitted
+        from repro.data import scale_rccs
+
+        path = tmp_path / "model.json"
+        save_estimator(estimator, path)
+        newer = scale_rccs(dataset, 2)  # more RCCs, same avails
+        loaded = load_estimator(path, newer)
+        result = loaded.query([0], t_star=50.0)[0]
+        assert np.isfinite(result.current_estimate)
+
+    def test_version_gate(self, fitted, tmp_path):
+        dataset, _, estimator = fitted
+        path = tmp_path / "model.json"
+        save_estimator(estimator, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="format"):
+            load_estimator(path, dataset)
+
+    def test_unfitted_estimator_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_estimator(DomdEstimator(PipelineConfig()), tmp_path / "x.json")
+
+    def test_stacked_architecture_roundtrip(self, fitted, tmp_path):
+        dataset, splits, _ = fitted
+        config = PipelineConfig(
+            window_pct=50.0, k=6, architecture="stacked", gbm=GbmParams(n_estimators=10)
+        )
+        estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+        path = tmp_path / "stacked.json"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path, dataset)
+        np.testing.assert_allclose(
+            loaded.query([0], t_star=100.0)[0].window_estimates,
+            estimator.query([0], t_star=100.0)[0].window_estimates,
+        )

@@ -1,0 +1,101 @@
+"""Robustness fuzzing: persistence artefacts and service requests."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.service import DomdService
+from repro.ml import GbmParams, GradientBoostedTrees
+from repro.persistence import gbm_from_payload, gbm_to_payload
+
+
+@st.composite
+def gbm_configs(draw):
+    return GbmParams(
+        n_estimators=draw(st.integers(1, 25)),
+        learning_rate=draw(st.floats(0.01, 1.0)),
+        max_depth=draw(st.integers(1, 5)),
+        min_samples_leaf=draw(st.integers(1, 5)),
+        reg_lambda=draw(st.floats(0.0, 10.0)),
+        subsample=draw(st.floats(0.5, 1.0)),
+        colsample=draw(st.floats(0.5, 1.0)),
+        loss=draw(st.sampled_from(["l2", "l1", "pseudo_huber", "pinball"])),
+        huber_delta=draw(st.floats(1.0, 50.0)),
+        quantile=draw(st.floats(0.1, 0.9)),
+        random_state=draw(st.integers(0, 100)),
+    )
+
+
+class TestPersistenceProperties:
+    @given(gbm_configs())
+    @settings(max_examples=20, deadline=None)
+    def test_any_gbm_roundtrips_exactly(self, params):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 4))
+        y = X @ rng.normal(size=4)
+        model = GradientBoostedTrees(params).fit(X, y)
+        payload = json.loads(json.dumps(gbm_to_payload(model)))  # via real JSON
+        clone = gbm_from_payload(payload)
+        np.testing.assert_array_equal(clone.predict(X), model.predict(X))
+        np.testing.assert_array_equal(
+            clone.feature_importances(), model.feature_importances()
+        )
+
+
+@pytest.fixture(scope="module")
+def service(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(window_pct=50.0, k=6, gbm=GbmParams(n_estimators=10))
+    estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+    return DomdService(estimator)
+
+
+# Arbitrary JSON-ish values to throw at the service.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-1000, 1000)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=6,
+)
+
+
+class TestServiceFuzz:
+    @given(json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_never_raises_on_arbitrary_requests(self, service, request_value):
+        response = service.handle(request_value)
+        assert isinstance(response, dict)
+        assert response.get("ok") in (True, False)
+        json.dumps(response, default=str)
+
+    @given(
+        st.fixed_dictionaries(
+            {
+                "type": st.sampled_from(
+                    ["domd_query", "explain", "fleet_status", "metrics"]
+                )
+            },
+            optional={
+                "avail_ids": st.lists(st.integers(-5, 50), max_size=4),
+                "avail_id": st.integers(-5, 50),
+                "t_star": st.floats(-10, 300, allow_nan=False),
+                "date": st.sampled_from(["2020-01-01", "not-a-date", ""]),
+                "top": st.integers(-2, 10),
+            },
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_structured_requests_always_enveloped(self, service, request_value):
+        response = service.handle(request_value)
+        assert isinstance(response, dict)
+        if not response["ok"]:
+            assert {"code", "message"} <= set(response["error"])
