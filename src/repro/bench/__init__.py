@@ -4,6 +4,7 @@ from repro.bench.reporting import emit_report, format_table
 from repro.bench.workloads import (
     SCALING_FACTORS,
     TIMELINE_10PCT,
+    calibrate_planner,
     logical_rcc_arrays,
     scaled_dataset,
     sweep_status_queries,
@@ -14,6 +15,7 @@ __all__ = [
     "format_table",
     "SCALING_FACTORS",
     "TIMELINE_10PCT",
+    "calibrate_planner",
     "logical_rcc_arrays",
     "scaled_dataset",
     "sweep_status_queries",

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.data.scaling import scale_rccs
 from repro.data.schema import NavyMaintenanceDataset
 from repro.index.status_query import StatusQueryEngine
+from repro.runtime import ExecutionContext, QueryPlanner, WorkloadSpec, ensure_context
 from repro.table.table import ColumnTable
 
 #: The paper's RCC scaling factors (Figure 5 / Table 6).
@@ -52,8 +51,53 @@ def sweep_status_queries(
     t_stars: list[float] | None = None,
     incremental: bool = True,
 ) -> float:
-    """Run a full timeline sweep; returns elapsed seconds."""
+    """Run a full timeline sweep; returns elapsed seconds.
+
+    Timing flows through the engine's context sink (span
+    ``bench.sweep``) rather than an ad-hoc clock read.
+    """
     t_stars = t_stars or TIMELINE_10PCT
-    start = time.perf_counter()
-    engine.execute_sweep(t_stars, incremental=incremental)
-    return time.perf_counter() - start
+    with engine.context.metrics.span("bench.sweep") as span:
+        engine.execute_sweep(t_stars, incremental=incremental)
+    return span.seconds
+
+
+def calibrate_planner(
+    dataset: NavyMaintenanceDataset,
+    factor: int = 1,
+    t_stars: list[float] | None = None,
+    context: ExecutionContext | None = None,
+) -> tuple[QueryPlanner, dict[str, dict[str, float]]]:
+    """Re-fit the planner's cost constants on the current machine.
+
+    Runs one build + timeline sweep per backend at ``factor``-fold RCC
+    scale, compares measured seconds against the planner's modelled
+    cost, and rescales each backend's constants by the observed ratio.
+    Returns ``(calibrated planner, per-backend measurements)`` where
+    each measurement row holds ``measured`` / ``modelled`` / ``ratio``.
+    """
+    context = ensure_context(context)
+    t_stars = t_stars or TIMELINE_10PCT
+    _, _, _, engine_table = logical_rcc_arrays(dataset, factor)
+    spec = WorkloadSpec(
+        n_rccs=engine_table.n_rows, n_timestamps=len(t_stars), mode="sweep"
+    )
+    planner = context.planner
+    measurements: dict[str, dict[str, float]] = {}
+    scaled_costs = {}
+    for backend in planner.registry.names():
+        with context.metrics.span(f"calibrate.{backend}") as span:
+            engine = StatusQueryEngine(engine_table, design=backend, context=context)
+            sweep_status_queries(engine, t_stars)
+        measured = span.seconds
+        modelled = planner.estimate(backend, spec)
+        ratio = measured / modelled if modelled > 0 else 1.0
+        measurements[backend] = {
+            "measured": measured,
+            "modelled": modelled,
+            "ratio": ratio,
+        }
+        scaled_costs[backend] = QueryPlanner.scale_costs(
+            planner.costs[backend], ratio
+        )
+    return planner.with_costs(**scaled_costs), measurements

@@ -12,6 +12,11 @@ Commands mirror the deployment life cycle:
 
 Every command is a thin shell over the library API; ``main`` returns an
 exit code and never raises for user errors.
+
+A single :class:`~repro.runtime.ExecutionContext` is threaded through
+whichever command runs; the global ``--trace`` flag prints its
+:class:`~repro.runtime.RunReport` (per-stage spans and counters) as a
+final JSON line.
 """
 
 from __future__ import annotations
@@ -31,11 +36,17 @@ from repro.data.scaling import scale_rccs
 from repro.data.splits import split_dataset
 from repro.errors import ReproError
 from repro.persistence import load_estimator, save_estimator
+from repro.runtime import ExecutionContext
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DoMD estimation framework (EDBT 2025 reproduction)"
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the run's metrics report (spans + counters) as a final JSON line",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -84,28 +95,31 @@ def _cmd_generate(args, out: IO[str]) -> int:
     return 0
 
 
-def _cmd_fit(args, out: IO[str]) -> int:
+def _cmd_fit(args, out: IO[str], context: ExecutionContext) -> int:
     dataset = load_dataset(args.data)
     splits = split_dataset(dataset, seed=args.split_seed)
     if args.optimize:
         optimizer = PipelineOptimizer(
-            dataset, splits, base_config=PipelineConfig(window_pct=args.window)
+            dataset,
+            splits,
+            base_config=PipelineConfig(window_pct=args.window),
+            context=context,
         )
         report = optimizer.run()
         config = report.config
         print(json.dumps({"optimized": config.describe()}), file=out)
     else:
         config = paper_final_config(window_pct=args.window)
-    estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+    estimator = DomdEstimator(config, context=context).fit(dataset, splits.train_ids)
     save_estimator(estimator, args.out)
     metrics = estimator.evaluate(splits.test_ids)["average"]
     print(json.dumps({"saved": args.out, "test_metrics": metrics}), file=out)
     return 0
 
 
-def _cmd_query(args, out: IO[str]) -> int:
+def _cmd_query(args, out: IO[str], context: ExecutionContext) -> int:
     dataset = load_dataset(args.data)
-    estimator = load_estimator(args.model, dataset)
+    estimator = load_estimator(args.model, dataset, context=context)
     service = DomdService(estimator)
     request = {"type": "domd_query", "avail_ids": args.avail}
     if args.t_star is not None:
@@ -127,18 +141,18 @@ def _cmd_query(args, out: IO[str]) -> int:
     return 0 if response["ok"] else 1
 
 
-def _cmd_evaluate(args, out: IO[str]) -> int:
+def _cmd_evaluate(args, out: IO[str], context: ExecutionContext) -> int:
     dataset = load_dataset(args.data)
-    estimator = load_estimator(args.model, dataset)
+    estimator = load_estimator(args.model, dataset, context=context)
     splits = split_dataset(dataset, seed=args.split_seed)
     metrics = estimator.evaluate(splits.test_ids)
     print(json.dumps(metrics), file=out)
     return 0
 
 
-def _cmd_serve(args, out: IO[str], stdin: IO[str]) -> int:
+def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) -> int:
     dataset = load_dataset(args.data)
-    estimator = load_estimator(args.model, dataset)
+    estimator = load_estimator(args.model, dataset, context=context)
     service = DomdService(estimator)
     for line in stdin:
         line = line.strip()
@@ -165,24 +179,31 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
     stdin = stdin or sys.stdin
     parser = _build_parser()
     args = parser.parse_args(argv)
+    context = ExecutionContext()
+    code: int
     try:
         if args.command == "generate":
-            return _cmd_generate(args, out)
-        if args.command == "fit":
-            return _cmd_fit(args, out)
-        if args.command == "query":
-            return _cmd_query(args, out)
-        if args.command == "evaluate":
-            return _cmd_evaluate(args, out)
-        if args.command == "serve":
-            return _cmd_serve(args, out, stdin)
+            code = _cmd_generate(args, out)
+        elif args.command == "fit":
+            code = _cmd_fit(args, out, context)
+        elif args.command == "query":
+            code = _cmd_query(args, out, context)
+        elif args.command == "evaluate":
+            code = _cmd_evaluate(args, out, context)
+        elif args.command == "serve":
+            code = _cmd_serve(args, out, stdin, context)
+        else:
+            raise AssertionError("unreachable")
     except ReproError as exc:
         print(json.dumps({"ok": False, "error": {"code": "domain_error", "message": str(exc)}}), file=out)
-        return 1
+        code = 1
     except FileNotFoundError as exc:
         print(json.dumps({"ok": False, "error": {"code": "not_found", "message": str(exc)}}), file=out)
-        return 1
-    raise AssertionError("unreachable")
+        code = 1
+    if args.trace:
+        report = context.report(meta={"command": args.command})
+        print(json.dumps({"trace": report.as_dict()}), file=out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

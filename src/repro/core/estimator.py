@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError, NotFittedError
 from repro.features.static import static_features_for
 from repro.features.transform import StatusFeatureExtractor
 from repro.ml.metrics import metric_suite
+from repro.runtime import ExecutionContext, ensure_context
 
 
 @dataclass(frozen=True)
@@ -64,9 +65,13 @@ class DomdEstimator:
     """Fit-once, query-anytime DoMD estimation service."""
 
     config: PipelineConfig = field(default_factory=paper_final_config)
+    context: ExecutionContext | None = None
 
     def __post_init__(self) -> None:
         self.timeline = LogicalTimeline(self.config.window_pct)
+        self.context = ensure_context(
+            self.context, seed=self.config.seed, config=self.config
+        )
         self._model_set: TimelineModelSet | None = None
         self._tensor = None
         self._X_static = None
@@ -90,8 +95,11 @@ class DomdEstimator:
             Avail ids used for model fitting (default: all closed
             avails).  Ongoing avails can never be trained on (no label).
         """
+        assert self.context is not None
         self._dataset = dataset
-        self._tensor = StatusFeatureExtractor(dataset, self.timeline.t_stars).extract()
+        self._tensor = StatusFeatureExtractor(
+            dataset, self.timeline.t_stars, context=self.context
+        ).extract()
         X_static, self._static_names, static_ids = static_features_for(dataset)
         self._X_static = X_static
         self._avail_ids = static_ids
@@ -113,11 +121,13 @@ class DomdEstimator:
         }
         rows = self._tensor.rows_for(train_ids)
         y = np.array([delay_by_id[int(a)] for a in train_ids])
-        self._model_set = TimelineModelSet(
-            config=self.config,
-            dyn_feature_names=list(self._tensor.feature_names),
-            static_feature_names=self._static_names,
-        ).fit(X_static[rows], self._tensor.values[rows], y)
+        with self.context.span("fit"):
+            self._model_set = TimelineModelSet(
+                config=self.config,
+                dyn_feature_names=list(self._tensor.feature_names),
+                static_feature_names=self._static_names,
+                context=self.context,
+            ).fit(X_static[rows], self._tensor.values[rows], y)
         return self
 
     def _check_fitted(self) -> None:
@@ -133,10 +143,10 @@ class DomdEstimator:
         counterfactual what-if queries on modified snapshots.
         """
         self._check_fitted()
-        served = DomdEstimator(self.config)
+        served = DomdEstimator(self.config, context=self.context)
         served._dataset = dataset
         served._tensor = StatusFeatureExtractor(
-            dataset, served.timeline.t_stars
+            dataset, served.timeline.t_stars, context=served.context
         ).extract()
         X_static, served._static_names, served._avail_ids = static_features_for(dataset)
         served._X_static = X_static
@@ -163,35 +173,42 @@ class DomdEstimator:
         ``physical_day`` (converted per avail) must be given.
         """
         self._check_fitted()
+        assert self.context is not None
         if (t_star is None) == (physical_day is None):
             raise ConfigurationError("provide exactly one of t_star / physical_day")
+        self.context.counter("estimator.queries")
+        self.context.counter("estimator.queried_avails", len(avail_ids))
         estimates = []
-        for avail_id in avail_ids:
-            avail_t = (
-                float(t_star)
-                if t_star is not None
-                else self.logical_time_of(int(avail_id), float(physical_day))
-            )
-            if avail_t < 0:
-                raise ConfigurationError(
-                    f"avail {avail_id}: queried before its actual start (t*={avail_t:.1f})"
+        with self.context.span("query"):
+            for avail_id in avail_ids:
+                avail_t = (
+                    float(t_star)
+                    if t_star is not None
+                    else self.logical_time_of(int(avail_id), float(physical_day))
                 )
-            estimates.append(self._estimate_one(int(avail_id), avail_t))
+                if avail_t < 0:
+                    raise ConfigurationError(
+                        f"avail {avail_id}: queried before its actual start (t*={avail_t:.1f})"
+                    )
+                estimates.append(self._estimate_one(int(avail_id), avail_t))
         return estimates
 
     def _estimate_one(self, avail_id: int, t_star: float) -> DomdEstimate:
         assert self._model_set is not None and self._tensor is not None
         assert self._X_static is not None
+        assert self.context is not None
         row = self._tensor.rows_for(np.array([avail_id]))
         X_static = self._X_static[row]
         last_window = self.timeline.window_index(t_star)
         raw = np.empty(last_window + 1)
-        for ti in range(last_window + 1):
-            X_dyn = self._tensor.values[row, ti, :]
-            raw[ti] = self._model_set.predict_window(X_static, X_dyn, ti)[0]
+        with self.context.span("predict"):
+            for ti in range(last_window + 1):
+                X_dyn = self._tensor.values[row, ti, :]
+                raw[ti] = self._model_set.predict_window(X_static, X_dyn, ti)[0]
         from repro.core.fusion import fuse_progressive
 
-        fused = fuse_progressive(raw[None, :], self.config.fusion)[0]
+        with self.context.span("fuse"):
+            fused = fuse_progressive(raw[None, :], self.config.fusion)[0]
         return DomdEstimate(
             avail_id=avail_id,
             t_star=t_star,
@@ -263,9 +280,11 @@ class DomdEstimator:
         if np.any(np.isnan(y)):
             raise ConfigurationError("evaluate() requires closed avails only")
         rows = self._tensor.rows_for(avail_ids)
-        fused = self._model_set.predict_fused(
-            self._X_static[rows], self._tensor.values[rows]
-        )
+        assert self.context is not None
+        with self.context.span("evaluate"):
+            fused = self._model_set.predict_fused(
+                self._X_static[rows], self._tensor.values[rows]
+            )
         out: dict[str, dict[str, float]] = {}
         for ti, boundary in enumerate(self.timeline.t_stars):
             out[f"t={boundary:g}"] = metric_suite(y, fused[:, ti])

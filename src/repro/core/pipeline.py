@@ -19,7 +19,6 @@ timeline (reported as a mean so numbers are comparable across stages).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -37,6 +36,7 @@ from repro.features.static import static_features_for
 from repro.features.transform import StatusFeatureExtractor
 from repro.ml.metrics import mae
 from repro.ml.tuning import TpeTuner, default_gbm_space
+from repro.runtime import ExecutionContext, ensure_context
 
 DEFAULT_K_GRID = tuple(range(20, 101, 10))
 DEFAULT_TRIAL_COUNTS = (10, 20, 30, 40, 50, 100, 200)
@@ -86,13 +86,17 @@ class PipelineOptimizer:
         splits: DataSplits | None = None,
         base_config: PipelineConfig | None = None,
         tune_t_stars: tuple[float, ...] = (30.0, 70.0),
+        context: ExecutionContext | None = None,
     ):
         self.dataset = dataset
         self.splits = splits or split_dataset(dataset)
         self.config = base_config or PipelineConfig()
         self.timeline = LogicalTimeline(self.config.window_pct)
+        self.context = ensure_context(context, seed=self.config.seed)
 
-        tensor = StatusFeatureExtractor(dataset, self.timeline.t_stars).extract()
+        tensor = StatusFeatureExtractor(
+            dataset, self.timeline.t_stars, context=self.context
+        ).extract()
         self.tensor = tensor
         X_static_all, self.static_names, static_ids = static_features_for(dataset)
         if not np.array_equal(static_ids, tensor.avail_ids):
@@ -129,12 +133,13 @@ class PipelineOptimizer:
         cached = self._ranking_cache.get(method)
         if cached is not None:
             return cached
-        rankings = [
-            score_ranking(
-                method, self.dyn_train[:, ti, :], self.y_train, seed=self.config.seed
-            )
-            for ti in range(self.timeline.n_models)
-        ]
+        with self.context.span("select"):
+            rankings = [
+                score_ranking(
+                    method, self.dyn_train[:, ti, :], self.y_train, seed=self.config.seed
+                )
+                for ti in range(self.timeline.n_models)
+            ]
         self._ranking_cache[method] = rankings
         return rankings
 
@@ -145,6 +150,7 @@ class PipelineOptimizer:
             dyn_feature_names=self.dyn_names,
             static_feature_names=self.static_names,
             selection_rankings=self.rankings_for(config.selection_method),
+            context=self.context,
         )
         return model_set.fit(self.Xs_train, self.dyn_train, self.y_train)
 
@@ -180,6 +186,7 @@ class PipelineOptimizer:
                 dyn_feature_names=self.dyn_names,
                 static_feature_names=self.static_names,
                 selection_rankings=None,
+                context=self.context,
             )
             # Fit just one window by hand (avoids refitting the rest).
             selected = rankings[ti][:k]
@@ -202,77 +209,77 @@ class PipelineOptimizer:
         k_grid: tuple[int, ...] = DEFAULT_K_GRID,
     ) -> StageResult:
         """Task 2: choose the selection method and feature count."""
-        start = time.perf_counter()
         records = []
-        for method in methods:
-            for k in k_grid:
-                candidate = self.config.evolve(selection_method=method, k=k)
-                result = self.evaluate(candidate)
-                records.append(
-                    {
-                        "method": method,
-                        "k": k,
-                        "val_mae": result["val_mae"],
-                        "val_mae_by_t": result["val_mae_by_t"],
-                    }
-                )
+        with self.context.metrics.span("optimize.selection") as sp:
+            for method in methods:
+                for k in k_grid:
+                    candidate = self.config.evolve(selection_method=method, k=k)
+                    result = self.evaluate(candidate)
+                    records.append(
+                        {
+                            "method": method,
+                            "k": k,
+                            "val_mae": result["val_mae"],
+                            "val_mae_by_t": result["val_mae_by_t"],
+                        }
+                    )
         best = min(records, key=lambda r: r["val_mae"])
         self.config = self.config.evolve(selection_method=best["method"], k=best["k"])
         return StageResult(
             stage="selection",
             records=records,
             chosen={"selection_method": best["method"], "k": best["k"]},
-            seconds=time.perf_counter() - start,
+            seconds=sp.seconds,
         )
 
     def optimize_model_family(
         self, families: tuple[str, ...] = MODEL_FAMILIES
     ) -> StageResult:
         """Task 3a: choose the base model family."""
-        start = time.perf_counter()
         records = []
-        for family in families:
-            candidate = self.config.evolve(model_family=family)
-            result = self.evaluate(candidate)
-            records.append(
-                {
-                    "family": family,
-                    "val_mae": result["val_mae"],
-                    "val_mae_by_t": result["val_mae_by_t"],
-                }
-            )
+        with self.context.metrics.span("optimize.model") as sp:
+            for family in families:
+                candidate = self.config.evolve(model_family=family)
+                result = self.evaluate(candidate)
+                records.append(
+                    {
+                        "family": family,
+                        "val_mae": result["val_mae"],
+                        "val_mae_by_t": result["val_mae_by_t"],
+                    }
+                )
         best = min(records, key=lambda r: r["val_mae"])
         self.config = self.config.evolve(model_family=best["family"])
         return StageResult(
             stage="model",
             records=records,
             chosen={"model_family": best["family"]},
-            seconds=time.perf_counter() - start,
+            seconds=sp.seconds,
         )
 
     def optimize_architecture(
         self, architectures: tuple[str, ...] = ARCHITECTURES
     ) -> StageResult:
         """Task 3b: flat (non-stacked) vs stacked architecture."""
-        start = time.perf_counter()
         records = []
-        for architecture in architectures:
-            candidate = self.config.evolve(architecture=architecture)
-            result = self.evaluate(candidate)
-            records.append(
-                {
-                    "architecture": architecture,
-                    "val_mae": result["val_mae"],
-                    "val_mae_by_t": result["val_mae_by_t"],
-                }
-            )
+        with self.context.metrics.span("optimize.architecture") as sp:
+            for architecture in architectures:
+                candidate = self.config.evolve(architecture=architecture)
+                result = self.evaluate(candidate)
+                records.append(
+                    {
+                        "architecture": architecture,
+                        "val_mae": result["val_mae"],
+                        "val_mae_by_t": result["val_mae_by_t"],
+                    }
+                )
         best = min(records, key=lambda r: r["val_mae"])
         self.config = self.config.evolve(architecture=best["architecture"])
         return StageResult(
             stage="architecture",
             records=records,
             chosen={"architecture": best["architecture"]},
-            seconds=time.perf_counter() - start,
+            seconds=sp.seconds,
         )
 
     def optimize_loss(
@@ -281,28 +288,28 @@ class PipelineOptimizer:
         huber_deltas: tuple[float, ...] = DEFAULT_HUBER_DELTAS,
     ) -> StageResult:
         """Task 4: choose the training loss (delta-tuned for Huber)."""
-        start = time.perf_counter()
         records = []
-        for loss in losses:
-            deltas = huber_deltas if loss in ("huber", "pseudo_huber") else (self.config.huber_delta,)
-            for delta in deltas:
-                candidate = self.config.evolve(loss=loss, huber_delta=delta)
-                result = self.evaluate(candidate)
-                records.append(
-                    {
-                        "loss": loss,
-                        "delta": delta,
-                        "val_mae": result["val_mae"],
-                        "val_mae_by_t": result["val_mae_by_t"],
-                    }
-                )
+        with self.context.metrics.span("optimize.loss") as sp:
+            for loss in losses:
+                deltas = huber_deltas if loss in ("huber", "pseudo_huber") else (self.config.huber_delta,)
+                for delta in deltas:
+                    candidate = self.config.evolve(loss=loss, huber_delta=delta)
+                    result = self.evaluate(candidate)
+                    records.append(
+                        {
+                            "loss": loss,
+                            "delta": delta,
+                            "val_mae": result["val_mae"],
+                            "val_mae_by_t": result["val_mae_by_t"],
+                        }
+                    )
         best = min(records, key=lambda r: r["val_mae"])
         self.config = self.config.evolve(loss=best["loss"], huber_delta=best["delta"])
         return StageResult(
             stage="loss",
             records=records,
             chosen={"loss": best["loss"], "huber_delta": best["delta"]},
-            seconds=time.perf_counter() - start,
+            seconds=sp.seconds,
         )
 
     def optimize_trials(
@@ -320,39 +327,39 @@ class PipelineOptimizer:
         """
         if self.config.model_family != "gbm":
             raise ConfigurationError("AutoHPT tunes the GBM family only")
-        start = time.perf_counter()
         space = default_gbm_space()
         records = []
-        for count in trial_counts:
-            tuner = TpeTuner(space, seed=self.config.seed)
-            def objective(params: dict[str, Any]) -> float:
-                candidate_gbm = replace(
+        with self.context.metrics.span("optimize.hpt") as sp:
+            for count in trial_counts:
+                tuner = TpeTuner(space, seed=self.config.seed)
+                def objective(params: dict[str, Any]) -> float:
+                    candidate_gbm = replace(
+                        self.config.gbm,
+                        **params,
+                        loss=self.config.loss,
+                        huber_delta=self.config.huber_delta,
+                    )
+                    candidate = self.config.evolve(gbm=candidate_gbm)
+                    return self._subset_val_mae(candidate, self._tune_windows)
+
+                tuning = tuner.optimize(objective, count)
+                tuned_gbm = replace(
                     self.config.gbm,
-                    **params,
+                    **tuning.best_params,
                     loss=self.config.loss,
                     huber_delta=self.config.huber_delta,
                 )
-                candidate = self.config.evolve(gbm=candidate_gbm)
-                return self._subset_val_mae(candidate, self._tune_windows)
-
-            tuning = tuner.optimize(objective, count)
-            tuned_gbm = replace(
-                self.config.gbm,
-                **tuning.best_params,
-                loss=self.config.loss,
-                huber_delta=self.config.huber_delta,
-            )
-            candidate = self.config.evolve(gbm=tuned_gbm, n_trials=count)
-            result = self.evaluate(candidate)
-            records.append(
-                {
-                    "n_trials": count,
-                    "val_mae": result["val_mae"],
-                    "val_mae_by_t": result["val_mae_by_t"],
-                    "best_params": tuning.best_params,
-                    "subset_mae": tuning.best_value,
-                }
-            )
+                candidate = self.config.evolve(gbm=tuned_gbm, n_trials=count)
+                result = self.evaluate(candidate)
+                records.append(
+                    {
+                        "n_trials": count,
+                        "val_mae": result["val_mae"],
+                        "val_mae_by_t": result["val_mae_by_t"],
+                        "best_params": tuning.best_params,
+                        "subset_mae": tuning.best_value,
+                    }
+                )
         best_mae = min(r["val_mae"] for r in records)
         chosen_record = next(
             r for r in records if r["val_mae"] <= best_mae * (1.0 + tolerance)
@@ -373,40 +380,40 @@ class PipelineOptimizer:
                 "n_trials": chosen_record["n_trials"],
                 "best_params": chosen_record["best_params"],
             },
-            seconds=time.perf_counter() - start,
+            seconds=sp.seconds,
         )
 
     def optimize_fusion(
         self, methods: tuple[str, ...] = ("none", "min", "average")
     ) -> StageResult:
         """Task 6: choose the fusion technique."""
-        start = time.perf_counter()
-        # One fit serves all fusion candidates: fusion is a post-hoc
-        # aggregation of the same per-window predictions.
-        model_set = self.fit_model_set(self.config)
-        raw = model_set.predict_matrix(self.Xs_val, self.dyn_val)
         records = []
         from repro.core.fusion import fuse_progressive
 
-        for method in methods:
-            fused = fuse_progressive(raw, method)
-            by_t = np.array(
-                [mae(self.y_val, fused[:, ti]) for ti in range(fused.shape[1])]
-            )
-            records.append(
-                {
-                    "fusion": method,
-                    "val_mae": float(by_t.mean()),
-                    "val_mae_by_t": by_t,
-                }
-            )
+        with self.context.metrics.span("optimize.fusion") as sp:
+            # One fit serves all fusion candidates: fusion is a post-hoc
+            # aggregation of the same per-window predictions.
+            model_set = self.fit_model_set(self.config)
+            raw = model_set.predict_matrix(self.Xs_val, self.dyn_val)
+            for method in methods:
+                fused = fuse_progressive(raw, method)
+                by_t = np.array(
+                    [mae(self.y_val, fused[:, ti]) for ti in range(fused.shape[1])]
+                )
+                records.append(
+                    {
+                        "fusion": method,
+                        "val_mae": float(by_t.mean()),
+                        "val_mae_by_t": by_t,
+                    }
+                )
         best = min(records, key=lambda r: r["val_mae"])
         self.config = self.config.evolve(fusion=best["fusion"])
         return StageResult(
             stage="fusion",
             records=records,
             chosen={"fusion": best["fusion"]},
-            seconds=time.perf_counter() - start,
+            seconds=sp.seconds,
         )
 
     # ------------------------------------------------------------------

@@ -17,10 +17,16 @@ the contract a UI layer needs.  Supported request types:
   execution on a date, with its current estimate.
 * ``{"type": "metrics", "avail_ids": [...]}`` — Table-7-style metrics
   for a closed-avail population.
+
+Any request may add ``"timings": true`` to receive a ``timings``
+envelope alongside the result: the spans and counters recorded while
+serving *this* request (a :class:`~repro.runtime.RunReport` delta from
+the service's :class:`~repro.runtime.ExecutionContext`).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -28,6 +34,7 @@ import numpy as np
 from repro.core.estimator import DomdEstimator
 from repro.data.dates import iso_to_day
 from repro.errors import ReproError
+from repro.runtime import ExecutionContext
 
 
 def _error(code: str, message: str) -> dict[str, Any]:
@@ -35,16 +42,36 @@ def _error(code: str, message: str) -> dict[str, Any]:
 
 
 class DomdService:
-    """JSON request handler over a fitted :class:`DomdEstimator`."""
+    """JSON request handler over a fitted :class:`DomdEstimator`.
 
-    def __init__(self, estimator: DomdEstimator):
+    Parameters
+    ----------
+    estimator:
+        A fitted estimator.
+    context:
+        Execution context receiving per-request spans and counters;
+        defaults to the estimator's own context so service and
+        estimator metrics land in one sink.
+    """
+
+    def __init__(
+        self, estimator: DomdEstimator, context: ExecutionContext | None = None
+    ):
         if estimator._model_set is None:
             raise ReproError("DomdService requires a fitted estimator")
         self._estimator = estimator
+        self.context = context if context is not None else estimator.context
+        assert self.context is not None
 
     # ------------------------------------------------------------------
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Dispatch one request; never raises for bad input."""
+        """Dispatch one request; never raises for bad input.
+
+        When the request carries ``"timings": true`` the response gains
+        a ``timings`` key with the spans/counters recorded while serving
+        it (timing flows through the context's :class:`MetricsSink`; the
+        service itself never reads the clock).
+        """
         if not isinstance(request, dict):
             return _error("bad_request", "request must be a JSON object")
         request_type = request.get("type")
@@ -61,21 +88,50 @@ class DomdService:
                 f"unknown request type {request_type!r}; expected one of {sorted(handlers)}",
             )
         try:
-            return {"ok": True, "result": handler(request)}
+            with self.context.metrics.capture() as captured:
+                with self.context.span(f"request.{request_type}"):
+                    result = handler(request)
+            response: dict[str, Any] = {"ok": True, "result": result}
+            if request.get("timings"):
+                response["timings"] = captured.report.as_dict()
+            return response
         except ReproError as exc:
             return _error("domain_error", str(exc))
         except (KeyError, TypeError, ValueError) as exc:
             return _error("bad_request", f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
+    def _parse_date(self, date: Any) -> int:
+        """Validate and convert an ISO date; clean errors, no internals."""
+        if not isinstance(date, str) or not date:
+            raise ValueError(
+                "'date' must be a non-empty ISO date string (YYYY-MM-DD)"
+            )
+        try:
+            return iso_to_day(date)
+        except ValueError:
+            raise ValueError(
+                f"malformed 'date' {date!r}: expected ISO format YYYY-MM-DD"
+            ) from None
+
+    def _validate_t_star(self, t_star: Any) -> float:
+        if isinstance(t_star, bool) or not isinstance(t_star, (int, float)):
+            raise ValueError(
+                f"'t_star' must be a number, got {type(t_star).__name__}"
+            )
+        value = float(t_star)
+        if not math.isfinite(value):
+            raise ValueError(f"'t_star' must be finite, got {t_star!r}")
+        return value
+
     def _resolve_time(self, request: dict[str, Any]) -> dict[str, Any]:
         t_star = request.get("t_star")
         date = request.get("date")
         if (t_star is None) == (date is None):
             raise ValueError("provide exactly one of 't_star' / 'date'")
         if t_star is not None:
-            return {"t_star": float(t_star)}
-        return {"physical_day": float(iso_to_day(str(date)))}
+            return {"t_star": self._validate_t_star(t_star)}
+        return {"physical_day": float(self._parse_date(date))}
 
     def _handle_query(self, request: dict[str, Any]) -> list[dict[str, Any]]:
         avail_ids = [int(a) for a in request["avail_ids"]]
@@ -84,7 +140,7 @@ class DomdService:
 
     def _handle_explain(self, request: dict[str, Any]) -> dict[str, Any]:
         avail_id = int(request["avail_id"])
-        t_star = float(request["t_star"])
+        t_star = self._validate_t_star(request["t_star"])
         top = int(request.get("top", 5))
         contributions = self._estimator.explain(avail_id, t_star, top=top)
         return {
@@ -100,25 +156,43 @@ class DomdService:
         date = request.get("date")
         if date is None:
             raise ValueError("'date' is required for fleet_status")
-        day = iso_to_day(str(date))
+        day = self._parse_date(date)
         dataset = self._estimator._dataset
-        assert dataset is not None
+        assert dataset is not None and self.context is not None
         avails = dataset.avails
         act_start = np.asarray(avails["act_start"])
         planned = np.asarray(avails["planned_duration"])
         progress = (day - act_start) / planned * 100.0
         executing = (progress >= 0.0) & (progress <= 100.0)
+        executing_rows = np.flatnonzero(executing)
+
+        # The current estimate depends on t* only through its timeline
+        # window, so avails whose progress falls in the same window share
+        # one batched query — the number of estimator queries is bounded
+        # by the timeline's window count, not the executing-fleet size.
+        timeline = self._estimator.timeline
+        rows_by_window: dict[int, list[int]] = {}
+        for row in executing_rows:
+            window = timeline.window_index(float(progress[row]))
+            rows_by_window.setdefault(window, []).append(int(row))
+        estimate_by_row: dict[int, float] = {}
+        for window, rows in sorted(rows_by_window.items()):
+            self.context.counter("service.fleet_status.batches")
+            batch_ids = [int(avails["avail_id"][row]) for row in rows]
+            estimates = self._estimator.query(
+                batch_ids, t_star=float(timeline.t_stars[window])
+            )
+            for row, estimate in zip(rows, estimates):
+                estimate_by_row[row] = estimate.current_estimate
+
         out = []
-        for row in np.flatnonzero(executing):
-            avail_id = int(avails["avail_id"][row])
-            t_star = float(progress[row])
-            estimate = self._estimator.query([avail_id], t_star=t_star)[0]
+        for row in executing_rows:
             out.append(
                 {
-                    "avail_id": avail_id,
+                    "avail_id": int(avails["avail_id"][row]),
                     "ship_id": int(avails["ship_id"][row]),
-                    "progress_pct": round(t_star, 1),
-                    "estimated_delay_days": estimate.current_estimate,
+                    "progress_pct": round(float(progress[row]), 1),
+                    "estimated_delay_days": estimate_by_row[int(row)],
                 }
             )
         out.sort(key=lambda item: -item["estimated_delay_days"])

@@ -23,6 +23,7 @@ from repro.core.models import BaseModelAdapter, make_model
 from repro.core.timeline import LogicalTimeline
 from repro.errors import ConfigurationError, NotFittedError
 from repro.features.selection import score_ranking
+from repro.runtime import ExecutionContext, ensure_context
 
 #: Name of the synthetic feature carrying the base model's prediction in
 #: the stacked architecture.
@@ -55,16 +56,21 @@ class TimelineModelSet:
         Optional precomputed full rankings (best first) per window index;
         when provided the expensive scoring step is skipped — the
         pipeline optimizer uses this to sweep ``k`` cheaply.
+    context:
+        Optional :class:`~repro.runtime.ExecutionContext` receiving
+        ``select`` / ``fuse`` spans and fit counters.
     """
 
     config: PipelineConfig
     dyn_feature_names: list[str]
     static_feature_names: list[str]
     selection_rankings: list[np.ndarray] | None = None
+    context: ExecutionContext | None = None
     timeline: LogicalTimeline = field(init=False)
 
     def __post_init__(self) -> None:
         self.timeline = LogicalTimeline(self.config.window_pct)
+        self.context = ensure_context(self.context, seed=self.config.seed)
         self._windows: list[WindowModel] = []
         self._base_model: BaseModelAdapter | None = None
 
@@ -114,17 +120,21 @@ class TimelineModelSet:
         if self.config.architecture == "stacked":
             self._base_model = self._new_model().fit(X_static, y)
             base_pred = self._base_model.predict(X_static)
+        assert self.context is not None
         for ti, t_star in enumerate(self.timeline.t_stars):
             X_dyn = dyn_tensor[:, ti, :]
             if self.selection_rankings is not None:
                 selected = np.asarray(self.selection_rankings[ti][:k], dtype=np.int64)
             else:
-                ranking = score_ranking(
-                    self.config.selection_method, X_dyn, y, seed=self.config.seed
-                )
+                with self.context.span("select"):
+                    ranking = score_ranking(
+                        self.config.selection_method, X_dyn, y, seed=self.config.seed
+                    )
                 selected = ranking[:k]
             design, names = self._design(X_static, X_dyn, selected, base_pred)
-            model = self._new_model().fit(design, y)
+            with self.context.span("fit_window"):
+                model = self._new_model().fit(design, y)
+            self.context.counter("models.windows_fitted")
             self._windows.append(
                 WindowModel(
                     t_star=float(t_star),
@@ -190,7 +200,9 @@ class TimelineModelSet:
         ``j`` returns.
         """
         raw = self.predict_matrix(X_static, dyn_tensor)
-        return fuse_progressive(raw, self.config.fusion)
+        assert self.context is not None
+        with self.context.span("fuse"):
+            return fuse_progressive(raw, self.config.fusion)
 
     def contributions_at(
         self, X_static: np.ndarray, X_dyn: np.ndarray, window_index: int

@@ -180,6 +180,26 @@ class NavyMaintenanceDataset:
             "scaling_factor": self.scaling_factor,
         }
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of the snapshot (artifact-cache key).
+
+        Hashes every column of all three tables, so any edit to the
+        data — including what-if RCC injection — changes the key.
+        """
+        from repro.runtime.cache import fingerprint_array, fingerprint_of
+
+        parts: list[object] = []
+        for label, table in (
+            ("ships", self.ships),
+            ("avails", self.avails),
+            ("rccs", self.rccs),
+        ):
+            parts.append(label)
+            for name in table.column_names:
+                parts.append(name)
+                parts.append(fingerprint_array(np.asarray(table[name])))
+        return fingerprint_of(*parts)
+
     # ------------------------------------------------------------------
     # row access
     # ------------------------------------------------------------------

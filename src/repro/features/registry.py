@@ -240,6 +240,18 @@ class FeatureGridSpec:
     def feature_names(self) -> list[str]:
         return [spec.name for spec in self.build_registry()]
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of the grid (artifact-cache key part)."""
+        from repro.runtime.cache import fingerprint_of
+
+        return fingerprint_of(
+            self.type_axis,
+            self.swlin_axis,
+            self.swlin_depth,
+            self.stats,
+            self.include_specials,
+        )
+
 
 def build_registry(spec: FeatureGridSpec | None = None) -> list[FeatureSpec]:
     """Enumerate a grid's features (default: the paper's grid)."""

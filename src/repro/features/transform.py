@@ -29,6 +29,7 @@ from repro.features.registry import (
 )
 from repro.features.tensor import FeatureTensor
 from repro.index.status_query import StatStructure
+from repro.runtime import ExecutionContext, ensure_context
 
 _TYPE_CODE = {"G": 0, "N": 1, "NG": 2}
 _N_TYPES = 3
@@ -92,8 +93,10 @@ class StatusFeatureExtractor:
         dataset: NavyMaintenanceDataset,
         t_stars: np.ndarray | None = None,
         grid: FeatureGridSpec | None = None,
+        context: ExecutionContext | None = None,
     ):
         self.dataset = dataset
+        self.context = ensure_context(context)
         self.t_stars = (
             np.asarray(t_stars, dtype=np.float64)
             if t_stars is not None
@@ -104,6 +107,16 @@ class StatusFeatureExtractor:
         self.grid = grid or FeatureGridSpec.default()
         self.registry = self.grid.build_registry()
         self._names = self.grid.feature_names()
+
+    def cache_key(self) -> tuple[str, str, str]:
+        """Content key of the tensor this extractor would produce."""
+        from repro.runtime.cache import fingerprint_of
+
+        return (
+            "feature_tensor",
+            self.dataset.fingerprint(),
+            fingerprint_of(self.grid.fingerprint(), self.t_stars),
+        )
 
     # ------------------------------------------------------------------
     def _digit_codes(self, swlin_codes) -> np.ndarray:
@@ -121,7 +134,17 @@ class StatusFeatureExtractor:
         return codes - lo
 
     def extract(self) -> FeatureTensor:
-        """Sweep the timeline once and return the full feature tensor."""
+        """Sweep the timeline once and return the full feature tensor.
+
+        The result is memoised in the context's
+        :class:`~repro.runtime.cache.ArtifactCache` under a content key
+        (dataset fingerprint x grid x timeline): repeated extractions
+        over an unchanged snapshot are free.
+        """
+        with self.context.span("extract"):
+            return self.context.cache.get_or_build(self.cache_key(), self._extract)
+
+    def _extract(self) -> FeatureTensor:
         avails = self.dataset.avails
         n_avails = avails.n_rows
         avail_ids = np.asarray(avails["avail_id"], dtype=np.int64)

@@ -67,11 +67,11 @@ class LogicalTimeIndex(abc.ABC):
 
     def created_ids(self, t: float) -> np.ndarray:
         """Ids of RCCs created by ``t`` (active ∪ settled)."""
-        return np.union1d(self.active_ids(t), self.settled_ids(t))
+        return np.sort(self._ids[self._starts <= t])
 
     def pending_ids(self, t: float) -> np.ndarray:
         """Ids of RCCs not yet created at ``t``."""
-        return np.setdiff1d(self._ids, self.created_ids(t))
+        return np.sort(self._ids[self._starts > t])
 
     def __len__(self) -> int:
         return len(self._ids)

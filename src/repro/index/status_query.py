@@ -31,6 +31,8 @@ from repro.index.base import LogicalTimeIndex
 from repro.index.hierarchy import RccTypeTree, SwlinTree, swlin_prefix
 from repro.index.interval_index import IntervalTreeIndex
 from repro.index.naive import NaiveJoinIndex
+from repro.index.sorted_array import SortedArrayIndex
+from repro.runtime import ExecutionContext, WorkloadSpec, ensure_context
 from repro.table.table import ColumnTable
 
 #: Columns the engine requires on the RCC table.
@@ -54,6 +56,7 @@ _DESIGNS: dict[str, type[LogicalTimeIndex]] = {
     "naive": NaiveJoinIndex,
     "avl": DualAvlIndex,
     "interval": IntervalTreeIndex,
+    "sorted_array": SortedArrayIndex,
 }
 
 
@@ -205,13 +208,23 @@ class StatusQueryEngine:
         (logical times).  Extra columns — e.g. ``avail_id`` — may be
         named in ``extra_group_keys`` to extend the grouping.
     design:
-        ``"naive"``, ``"avl"`` or ``"interval"`` (Section 4.1).
+        ``"naive"``, ``"avl"``, ``"interval"`` or ``"sorted_array"``
+        (Section 4.1 plus the repository's vectorised ablation), or
+        ``"auto"`` to let the context's cost-based
+        :class:`~repro.runtime.planner.QueryPlanner` choose from the
+        workload shape.
     avails:
         Optional avail table; when provided together with the naive
         design, every query re-joins it against the RCC table, matching
         the pandas-merge baseline's cost profile.
     extra_group_keys:
         Additional RCC columns prepended to the group key.
+    context:
+        Optional :class:`~repro.runtime.ExecutionContext`; supplies the
+        planner for ``design="auto"`` and receives spans/counters.
+    workload:
+        Workload shape hint for the planner (defaults to a full
+        timeline sweep over this RCC table).
     """
 
     def __init__(
@@ -220,13 +233,26 @@ class StatusQueryEngine:
         design: str = "avl",
         avails: ColumnTable | None = None,
         extra_group_keys: tuple[str, ...] = (),
+        context: ExecutionContext | None = None,
+        workload: WorkloadSpec | None = None,
     ):
         missing = [c for c in REQUIRED_RCC_COLUMNS if c not in rccs]
         if missing:
             raise SchemaError(f"RCC table missing columns: {missing}")
+        self.context = ensure_context(context)
+        if design == "auto":
+            spec = workload or WorkloadSpec(
+                n_rccs=rccs.n_rows, n_timestamps=11, mode="sweep"
+            )
+            decision = self.context.planner.plan(spec)
+            design = decision.backend
+            self.plan_decision = decision
+        else:
+            self.plan_decision = None
         if design not in _DESIGNS:
             raise ConfigurationError(
-                f"unknown index design {design!r}; expected one of {sorted(_DESIGNS)}"
+                f"unknown index design {design!r}; expected one of "
+                f"{sorted(_DESIGNS)} or 'auto'"
             )
         self._rccs = rccs
         self._design = design
@@ -242,9 +268,18 @@ class StatusQueryEngine:
         self._type_tree: RccTypeTree | None = None
         # Logical-time index over row positions.
         rows = np.arange(rccs.n_rows, dtype=np.int64)
-        self.index: LogicalTimeIndex = _DESIGNS[design](self._starts, self._ends, rows)
+        self.context.counter(f"index.backend.{design}")
+        with self.context.span(f"index.build.{design}"):
+            self.index: LogicalTimeIndex = _DESIGNS[design](
+                self._starts, self._ends, rows
+            )
         self._group_cache: dict[tuple[bool, int | None], tuple[np.ndarray, ColumnTable]] = {}
         self._stat_cache: dict[tuple[bool, int | None], StatStructure] = {}
+
+    @property
+    def design(self) -> str:
+        """The resolved index design name (after any planning)."""
+        return self._design
 
     @property
     def swlin_tree(self) -> SwlinTree:
@@ -299,16 +334,20 @@ class StatusQueryEngine:
     # ------------------------------------------------------------------
     def execute(self, query: StatusQuery) -> ColumnTable:
         """Run one Status Query from scratch through the index design."""
-        if self._design == "naive" and self._avails is not None:
-            # Faithful baseline: re-join avails x RCCs on every query.
-            if "avail_id" in self._rccs and "avail_id" in self._avails:
-                self._rccs.merge(self._avails, on="avail_id")
-        group_ids, labels = self._group_assignment(query)
-        n_groups = labels.n_rows
-        t = query.t_star
-        settled_rows = self.index.settled_ids(t)
-        created_rows = self.index.created_ids(t)
-        return self._aggregate_rows(group_ids, n_groups, labels, created_rows, settled_rows, t)
+        with self.context.span("status_query.execute"):
+            self.context.counter("status_query.point_queries")
+            if self._design == "naive" and self._avails is not None:
+                # Faithful baseline: re-join avails x RCCs on every query.
+                if "avail_id" in self._rccs and "avail_id" in self._avails:
+                    self._rccs.merge(self._avails, on="avail_id")
+            group_ids, labels = self._group_assignment(query)
+            n_groups = labels.n_rows
+            t = query.t_star
+            settled_rows = self.index.settled_ids(t)
+            created_rows = self.index.created_ids(t)
+            return self._aggregate_rows(
+                group_ids, n_groups, labels, created_rows, settled_rows, t
+            )
 
     def _aggregate_rows(
         self,
@@ -373,13 +412,17 @@ class StatusQueryEngine:
         t_stars = [float(t) for t in t_stars]
         if any(b < a for a, b in zip(t_stars, t_stars[1:])):
             raise ConfigurationError("sweep timestamps must be ascending")
+        self.context.counter("status_query.sweeps")
         if not incremental:
-            return [
-                self.execute(
-                    StatusQuery(t, group_by_type=group_by_type, swlin_level=swlin_level)
-                )
-                for t in t_stars
-            ]
+            with self.context.span("status_query.sweep.scratch"):
+                return [
+                    self.execute(
+                        StatusQuery(
+                            t, group_by_type=group_by_type, swlin_level=swlin_level
+                        )
+                    )
+                    for t in t_stars
+                ]
         probe = StatusQuery(
             t_stars[0] if t_stars else 0.0,
             group_by_type=group_by_type,
@@ -394,13 +437,14 @@ class StatusQueryEngine:
             )
             self._stat_cache[cache_key] = stat
         results = []
-        for t in t_stars:
-            stat.advance(t)
-            aggs = stat.aggregates()
-            columns = {name: labels[name] for name in labels.column_names}
-            columns["t_star"] = np.full(labels.n_rows, t, dtype=np.float64)
-            columns.update(aggs)
-            results.append(ColumnTable._from_arrays(columns, labels.n_rows))
+        with self.context.span("status_query.sweep.incremental"):
+            for t in t_stars:
+                stat.advance(t)
+                aggs = stat.aggregates()
+                columns = {name: labels[name] for name in labels.column_names}
+                columns["t_star"] = np.full(labels.n_rows, t, dtype=np.float64)
+                columns.update(aggs)
+                results.append(ColumnTable._from_arrays(columns, labels.n_rows))
         return results
 
     @staticmethod

@@ -218,11 +218,16 @@ def save_estimator(estimator: DomdEstimator, path: str | Path) -> None:
     path.write_text(json.dumps(payload), encoding="utf-8")
 
 
-def load_estimator(path: str | Path, dataset: NavyMaintenanceDataset) -> DomdEstimator:
+def load_estimator(
+    path: str | Path,
+    dataset: NavyMaintenanceDataset,
+    context: "ExecutionContext | None" = None,
+) -> DomdEstimator:
     """Rebuild an estimator from an artefact + the dataset to serve.
 
-    Features are re-extracted from ``dataset`` (fast), the fitted window
-    models come from the artefact — no retraining happens.
+    Features are re-extracted from ``dataset`` (fast, and memoised in
+    ``context``'s artifact cache), the fitted window models come from
+    the artefact — no retraining happens.
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     version = payload.get("format_version")
@@ -231,16 +236,17 @@ def load_estimator(path: str | Path, dataset: NavyMaintenanceDataset) -> DomdEst
             f"artefact format {version!r} unsupported (expected {FORMAT_VERSION})"
         )
     config = _config_from_payload(payload["config"])
-    estimator = DomdEstimator(config)
+    estimator = DomdEstimator(config, context=context)
     from repro.features.static import static_features_for
     from repro.features.transform import StatusFeatureExtractor
 
     estimator._dataset = dataset
     estimator._tensor = StatusFeatureExtractor(
-        dataset, estimator.timeline.t_stars
+        dataset, estimator.timeline.t_stars, context=estimator.context
     ).extract()
     X_static, estimator._static_names, static_ids = static_features_for(dataset)
     estimator._X_static = X_static
     estimator._avail_ids = static_ids
     estimator._model_set = model_set_from_payload(payload["model_set"])
+    estimator._model_set.context = estimator.context
     return estimator

@@ -1,0 +1,60 @@
+"""Unified execution runtime: context, metrics, planning and caching.
+
+Public API::
+
+    from repro.runtime import (
+        ExecutionContext, ensure_context,
+        MetricsSink, RunReport, SpanRecord,
+        IndexRegistry, DEFAULT_REGISTRY,
+        QueryPlanner, WorkloadSpec, BackendCosts, PlanDecision,
+        ArtifactCache, fingerprint_of, fingerprint_array,
+    )
+
+Every layer of the stack routes through this package: index backends
+are chosen by the cost-based :class:`QueryPlanner`, stage timings and
+counters flow into the :class:`MetricsSink`, feature tensors are
+memoised in the :class:`ArtifactCache`, and the
+:class:`ExecutionContext` carries all three (plus config and a seeded
+RNG) through :class:`StatusQueryEngine`, :class:`StatusFeatureExtractor`,
+:class:`PipelineOptimizer`, :class:`DomdEstimator`, :class:`DomdService`
+and the CLI.
+"""
+
+from repro.runtime.cache import (
+    ArtifactCache,
+    fingerprint_array,
+    fingerprint_bytes,
+    fingerprint_of,
+)
+from repro.runtime.context import ExecutionContext, ensure_context
+from repro.runtime.metrics import MetricsSink, RunReport, SpanRecord
+from repro.runtime.planner import (
+    DEFAULT_COSTS,
+    DEFAULT_REGISTRY,
+    WORKLOAD_MODES,
+    BackendCosts,
+    IndexRegistry,
+    PlanDecision,
+    QueryPlanner,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ExecutionContext",
+    "ensure_context",
+    "MetricsSink",
+    "RunReport",
+    "SpanRecord",
+    "ArtifactCache",
+    "fingerprint_array",
+    "fingerprint_bytes",
+    "fingerprint_of",
+    "IndexRegistry",
+    "DEFAULT_REGISTRY",
+    "QueryPlanner",
+    "WorkloadSpec",
+    "BackendCosts",
+    "PlanDecision",
+    "DEFAULT_COSTS",
+    "WORKLOAD_MODES",
+]

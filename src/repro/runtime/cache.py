@@ -1,0 +1,109 @@
+"""Content-keyed artifact caching for expensive derived tensors.
+
+Feature extraction is the dominant fixed cost of every fit / serve /
+optimize call: the same dataset snapshot swept over the same timeline
+with the same feature grid always yields the same tensor.
+:class:`ArtifactCache` memoises such artifacts under *content
+fingerprints* — a key derived from the bytes of the inputs, not object
+identity — so re-binding a fitted estimator to an unchanged snapshot
+(:meth:`DomdEstimator.serve`) or constructing a second optimizer over
+the same dataset skips the sweep entirely.
+
+Entries are kept in insertion-refreshing LRU order with a bounded
+entry count; hits and misses are reported to the owning
+:class:`~repro.runtime.metrics.MetricsSink` when one is attached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.runtime.metrics import MetricsSink
+
+
+def fingerprint_bytes(*chunks: bytes) -> str:
+    """Stable hex digest of a sequence of byte chunks."""
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(len(chunk).to_bytes(8, "little"))
+        digest.update(chunk)
+    return digest.hexdigest()[:16]
+
+
+def fingerprint_array(array: np.ndarray) -> str:
+    """Content fingerprint of one numpy array (dtype + shape + bytes)."""
+    array = np.asarray(array)
+    if array.dtype == object:
+        payload = "\x1f".join(str(v) for v in array.ravel()).encode()
+    else:
+        payload = np.ascontiguousarray(array).tobytes()
+    return fingerprint_bytes(
+        str(array.dtype).encode(), str(array.shape).encode(), payload
+    )
+
+
+def fingerprint_of(*parts: Any) -> str:
+    """Fingerprint heterogeneous parts (arrays, strings, numbers)."""
+    chunks: list[bytes] = []
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            chunks.append(fingerprint_array(part).encode())
+        elif isinstance(part, bytes):
+            chunks.append(part)
+        else:
+            chunks.append(repr(part).encode())
+    return fingerprint_bytes(*chunks)
+
+
+class ArtifactCache:
+    """Bounded LRU cache keyed by content fingerprints."""
+
+    def __init__(self, max_entries: int = 8, metrics: MetricsSink | None = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.metrics = metrics
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def _count(self, event: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"cache.{event}")
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        entry = self._entries.get(key, default)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._count("hits")
+        else:
+            self._count("misses")
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._count("evictions")
+        return value
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """Return the cached artifact or build, store and return it."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._count("hits")
+            return self._entries[key]
+        self._count("misses")
+        return self.put(key, build())
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,86 @@
+"""The execution context threaded through every layer of the stack.
+
+An :class:`ExecutionContext` bundles the cross-cutting runtime state a
+request or batch job needs — configuration, a seeded RNG, a
+:class:`~repro.runtime.metrics.MetricsSink`, an
+:class:`~repro.runtime.cache.ArtifactCache` and a
+:class:`~repro.runtime.planner.QueryPlanner` — so components share one
+seam instead of five ad-hoc parameters.  Every public entry point
+(:class:`StatusQueryEngine`, :class:`StatusFeatureExtractor`,
+:class:`PipelineOptimizer`, :class:`DomdEstimator`,
+:class:`DomdService`, the CLI) accepts an optional context; when none
+is supplied a private one is created, keeping the call sites that
+predate the runtime working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.metrics import MetricsSink, RunReport
+from repro.runtime.planner import QueryPlanner
+
+
+class ExecutionContext:
+    """Shared runtime state for one execution (a request, a job, a run).
+
+    Parameters
+    ----------
+    seed:
+        Seeds the context RNG; components that need randomness draw
+        from ``context.rng`` instead of seeding privately.
+    config:
+        Optional configuration object carried for downstream
+        components (usually a :class:`~repro.core.config.PipelineConfig`).
+    metrics / cache / planner:
+        Pre-built subsystems to share across contexts; fresh defaults
+        are created when omitted.  The cache reports hit/miss counters
+        to this context's sink.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Any = None,
+        metrics: MetricsSink | None = None,
+        cache: ArtifactCache | None = None,
+        planner: QueryPlanner | None = None,
+    ):
+        self.seed = int(seed)
+        self.config = config
+        self.metrics = metrics or MetricsSink()
+        self.cache = cache or ArtifactCache(metrics=self.metrics)
+        if self.cache.metrics is None:
+            self.cache.metrics = self.metrics
+        self.planner = planner or QueryPlanner()
+        self.rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    # conveniences so call sites read context.span(...) / context.counter(...)
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> Iterator:
+        return self.metrics.span(name)
+
+    def counter(self, name: str, by: float = 1) -> float:
+        return self.metrics.counter(name, by)
+
+    def report(self, meta: dict[str, Any] | None = None) -> RunReport:
+        return self.metrics.report(meta=meta)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext(seed={self.seed}, "
+            f"counters={len(self.metrics.counters)}, cache={len(self.cache)})"
+        )
+
+
+def ensure_context(
+    context: ExecutionContext | None, seed: int = 0, config: Any = None
+) -> ExecutionContext:
+    """Return ``context`` or a fresh private one (compat shim)."""
+    if context is not None:
+        return context
+    return ExecutionContext(seed=seed, config=config)

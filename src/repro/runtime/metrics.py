@@ -1,0 +1,254 @@
+"""Metrics instrumentation: counters, stage timers and nestable spans.
+
+One :class:`MetricsSink` travels with an
+:class:`~repro.runtime.context.ExecutionContext` through every layer of
+the stack (feature extraction, index queries, model fitting, serving).
+Components record *named counters* (monotone totals such as
+``estimator.queries``) and *spans* (timed stages that may nest, such as
+``fit`` > ``select``).  Spans with the same name under the same parent
+are aggregated — a loop that opens ``predict`` a thousand times yields
+one span record with ``count=1000`` — so the exported
+:class:`RunReport` stays bounded regardless of workload size.
+
+The sink is the only component in the stack allowed to read the wall
+clock; everything above it (optimizer, service, CLI) expresses timing
+through spans.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class SpanRecord:
+    """Aggregated timing of one named stage at one nesting position."""
+
+    name: str
+    seconds: float = 0.0
+    count: int = 0
+    children: dict[str, "SpanRecord"] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "count": self.count,
+        }
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children.values()]
+        return out
+
+    def copy(self) -> "SpanRecord":
+        return SpanRecord(
+            name=self.name,
+            seconds=self.seconds,
+            count=self.count,
+            children={k: v.copy() for k, v in self.children.items()},
+        )
+
+
+@dataclass
+class RunReport:
+    """Exportable snapshot of a :class:`MetricsSink`.
+
+    ``spans`` is the nested stage tree, ``counters`` the named totals.
+    ``as_dict``/``to_json`` feed machine consumers (the service's
+    ``timings`` envelope, the CLI's ``--trace`` output); ``format``
+    renders a human-readable tree.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "counters": dict(self.counters),
+            "spans": [s.as_dict() for s in self.spans],
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def span_names(self) -> set[str]:
+        """Every span name anywhere in the tree (tests, assertions)."""
+        names: set[str] = set()
+        stack = list(self.spans)
+        while stack:
+            record = stack.pop()
+            names.add(record.name)
+            stack.extend(record.children.values())
+        return names
+
+    def span_seconds(self, name: str) -> float:
+        """Total seconds of all spans with ``name`` anywhere in the tree."""
+        total = 0.0
+        stack = list(self.spans)
+        while stack:
+            record = stack.pop()
+            if record.name == name:
+                total += record.seconds
+            stack.extend(record.children.values())
+        return total
+
+    def format(self) -> str:
+        """Pretty text tree (what ``repro --trace`` prints)."""
+        lines: list[str] = ["RunReport"]
+        for key in sorted(self.counters):
+            lines.append(f"  counter {key} = {self.counters[key]:g}")
+
+        def walk(record: SpanRecord, depth: int) -> None:
+            suffix = f" x{record.count}" if record.count > 1 else ""
+            lines.append(
+                f"{'  ' * depth}- {record.name}: {record.seconds * 1000:.2f} ms{suffix}"
+            )
+            for child in record.children.values():
+                walk(child, depth + 1)
+
+        for record in self.spans:
+            walk(record, 1)
+        return "\n".join(lines)
+
+
+class _OpenSpan:
+    """Handle yielded by :meth:`MetricsSink.span`.
+
+    ``seconds`` holds the elapsed wall time of the *last completed*
+    entry once the ``with`` block exits (optimizer stages read it to
+    fill their reports without touching the clock themselves).
+    """
+
+    __slots__ = ("record", "seconds", "_t0")
+
+    def __init__(self, record: SpanRecord):
+        self.record = record
+        self.seconds = 0.0
+        self._t0 = 0.0
+
+
+class MetricsSink:
+    """Collects counters and nested span timings for one execution."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._roots: dict[str, SpanRecord] = {}
+        self._stack: list[SpanRecord] = []
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def counter(self, name: str, by: float = 1) -> float:
+        """Add ``by`` to a named counter; returns the new total."""
+        total = self._counters.get(name, 0) + by
+        self._counters[name] = total
+        return total
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[_OpenSpan]:
+        """Time a named stage; spans opened inside it nest under it."""
+        siblings = self._stack[-1].children if self._stack else self._roots
+        record = siblings.get(name)
+        if record is None:
+            record = siblings[name] = SpanRecord(name=name)
+        handle = _OpenSpan(record)
+        handle._t0 = time.perf_counter()
+        self._stack.append(record)
+        try:
+            yield handle
+        finally:
+            self._stack.pop()
+            elapsed = time.perf_counter() - handle._t0
+            handle.seconds = elapsed
+            record.seconds += elapsed
+            record.count += 1
+
+    def stage_seconds(self, name: str) -> float:
+        """Total seconds recorded under span ``name`` (any nesting)."""
+        return self.report().span_seconds(name)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def report(self, meta: dict[str, Any] | None = None) -> RunReport:
+        """Snapshot the current state as a :class:`RunReport`."""
+        return RunReport(
+            counters=dict(self._counters),
+            spans=[r.copy() for r in self._roots.values()],
+            meta=dict(meta or {}),
+        )
+
+    @contextmanager
+    def capture(self) -> Iterator["_Capture"]:
+        """Collect only the activity inside the block.
+
+        Yields a box whose ``report`` attribute is filled on exit with
+        the *delta* (spans entered, counters bumped) relative to the
+        state at entry — the per-request ``timings`` envelope of
+        :class:`~repro.core.service.DomdService` uses this.
+        """
+        before = self.report()
+        box = _Capture()
+        try:
+            yield box
+        finally:
+            box.report = _diff_report(before, self.report())
+
+
+class _Capture:
+    """Result box for :meth:`MetricsSink.capture`."""
+
+    def __init__(self) -> None:
+        self.report = RunReport()
+
+
+def _diff_report(before: RunReport, after: RunReport) -> RunReport:
+    counters = {}
+    for name, value in after.counters.items():
+        delta = value - before.counters.get(name, 0)
+        if delta:
+            counters[name] = delta
+    before_spans = {s.name: s for s in before.spans}
+    spans = _diff_children(
+        before_spans, {s.name: s for s in after.spans}
+    )
+    return RunReport(counters=counters, spans=list(spans.values()))
+
+
+def _diff_children(
+    before: dict[str, SpanRecord], after: dict[str, SpanRecord]
+) -> dict[str, SpanRecord]:
+    out: dict[str, SpanRecord] = {}
+    for name, record in after.items():
+        prior = before.get(name)
+        if prior is None:
+            out[name] = record.copy()
+            continue
+        count = record.count - prior.count
+        children = _diff_children(prior.children, record.children)
+        if count <= 0 and not children:
+            continue
+        out[name] = SpanRecord(
+            name=name,
+            seconds=max(record.seconds - prior.seconds, 0.0),
+            count=count,
+            children=children,
+        )
+    return out

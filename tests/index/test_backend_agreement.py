@@ -1,0 +1,120 @@
+"""All four index backends answer every status set identically.
+
+The registry is the source of truth for what "all backends" means, so a
+newly registered design is automatically covered.  Queried timestamps
+include the timeline boundaries (0, 100) and timestamps that tie
+*exactly* with RCC start/end events, where the strict/non-strict
+comparisons of Equations 3-6 are easiest to get wrong.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import DEFAULT_REGISTRY
+
+BACKENDS = DEFAULT_REGISTRY.names()
+
+SETS = ("active_ids", "settled_ids", "created_ids", "pending_ids")
+
+
+def _triples(seed: int = 11, n: int = 400):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, 100, n).round(1)
+    ends = starts + rng.gamma(2.0, 12.0, n).round(1)
+    ids = rng.permutation(n).astype(np.int64)
+    return starts, ends, ids
+
+
+def _build_all(starts, ends, ids):
+    return {
+        name: DEFAULT_REGISTRY.create(name, starts, ends, ids) for name in BACKENDS
+    }
+
+
+def _assert_agree(indexes, t):
+    reference_name = BACKENDS[0]
+    for set_name in SETS:
+        reference = getattr(indexes[reference_name], set_name)(t)
+        assert reference.dtype == np.int64
+        assert np.all(np.diff(reference) > 0)  # sorted, unique
+        for name in BACKENDS[1:]:
+            result = getattr(indexes[name], set_name)(t)
+            assert result.dtype == np.int64, f"{name}.{set_name} dtype"
+            assert np.array_equal(result, reference), (
+                f"{name}.{set_name}({t}) disagrees with {reference_name}"
+            )
+
+
+class TestBackendAgreement:
+    @pytest.fixture(scope="class")
+    def indexes(self):
+        return _build_all(*_triples())
+
+    @pytest.mark.parametrize("t", [0.0, 100.0, 25.0, 50.0, 99.9, 150.0, 1e9])
+    def test_fixed_timestamps(self, indexes, t):
+        _assert_agree(indexes, t)
+
+    def test_random_timestamps(self, indexes):
+        rng = np.random.default_rng(23)
+        for t in rng.uniform(-10, 160, 25):
+            _assert_agree(indexes, float(t))
+
+    def test_exact_start_ties(self, indexes):
+        starts, _, _ = _triples()
+        for t in starts[:20]:
+            _assert_agree(indexes, float(t))
+
+    def test_exact_end_ties(self, indexes):
+        _, ends, _ = _triples()
+        for t in ends[:20]:
+            _assert_agree(indexes, float(t))
+
+    def test_before_every_event(self, indexes):
+        _assert_agree(indexes, -1.0)
+
+
+class TestEdgeShapes:
+    def test_empty_index(self):
+        empty = np.array([], dtype=np.float64)
+        indexes = _build_all(empty, empty, np.array([], dtype=np.int64))
+        for t in (0.0, 50.0, 100.0):
+            _assert_agree(indexes, t)
+
+    def test_single_instant_rcc(self):
+        # created and settled at the same instant: never active
+        indexes = _build_all(
+            np.array([50.0]), np.array([50.0]), np.array([7], dtype=np.int64)
+        )
+        for t in (0.0, 50.0, 100.0):
+            _assert_agree(indexes, t)
+        assert len(indexes[BACKENDS[0]].active_ids(50.0)) == 0
+        assert np.array_equal(indexes[BACKENDS[0]].settled_ids(50.0), [7])
+
+    def test_duplicate_timestamps(self):
+        starts = np.array([10.0, 10.0, 10.0, 20.0])
+        ends = np.array([20.0, 20.0, 30.0, 20.0])
+        indexes = _build_all(starts, ends, np.arange(4, dtype=np.int64))
+        for t in (10.0, 20.0, 30.0):
+            _assert_agree(indexes, t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False, width=32),
+            st.floats(0, 60, allow_nan=False, width=32),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    t=st.floats(-5, 160, allow_nan=False, width=32),
+)
+def test_property_agreement(data, t):
+    starts = np.array([s for s, _ in data], dtype=np.float64)
+    ends = starts + np.array([d for _, d in data], dtype=np.float64)
+    ids = np.arange(len(data), dtype=np.int64)
+    indexes = _build_all(starts, ends, ids)
+    _assert_agree(indexes, float(t))

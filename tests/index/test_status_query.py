@@ -55,7 +55,12 @@ class TestEngineValidation:
             StatusQueryEngine(rcc_table, design="btree")
 
     def test_designs_registry(self):
-        assert StatusQueryEngine.designs() == ("naive", "avl", "interval")
+        assert StatusQueryEngine.designs() == (
+            "naive",
+            "avl",
+            "interval",
+            "sorted_array",
+        )
 
 
 class TestExecute:

@@ -1,0 +1,122 @@
+"""ArtifactCache LRU semantics and content fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ArtifactCache,
+    MetricsSink,
+    fingerprint_array,
+    fingerprint_bytes,
+    fingerprint_of,
+)
+
+
+class TestFingerprints:
+    def test_bytes_digest_is_stable_and_length_prefixed(self):
+        assert fingerprint_bytes(b"ab", b"c") == fingerprint_bytes(b"ab", b"c")
+        # chunk boundaries matter: ("ab","c") != ("a","bc")
+        assert fingerprint_bytes(b"ab", b"c") != fingerprint_bytes(b"a", b"bc")
+
+    def test_array_fingerprint_sensitive_to_content_dtype_shape(self):
+        a = np.arange(6, dtype=np.int64)
+        assert fingerprint_array(a) == fingerprint_array(a.copy())
+        assert fingerprint_array(a) != fingerprint_array(a.astype(np.float64))
+        assert fingerprint_array(a) != fingerprint_array(a.reshape(2, 3))
+        b = a.copy()
+        b[0] = 99
+        assert fingerprint_array(a) != fingerprint_array(b)
+
+    def test_object_arrays_hash_by_string_values(self):
+        strings = np.array(["G", "N", "NG"], dtype=object)
+        assert fingerprint_array(strings) == fingerprint_array(strings.copy())
+        other = np.array(["G", "N", "X"], dtype=object)
+        assert fingerprint_array(strings) != fingerprint_array(other)
+
+    def test_non_contiguous_view_equals_contiguous_copy(self):
+        base = np.arange(20).reshape(4, 5)
+        view = base[:, ::2]
+        assert fingerprint_array(view) == fingerprint_array(view.copy())
+
+    def test_fingerprint_of_mixes_part_types(self):
+        key = fingerprint_of("grid", 3, np.arange(4))
+        assert key == fingerprint_of("grid", 3, np.arange(4))
+        assert key != fingerprint_of("grid", 4, np.arange(4))
+        assert key != fingerprint_of("grid", 3, np.arange(5))
+
+
+class TestArtifactCache:
+    def test_get_or_build_builds_once(self):
+        cache = ArtifactCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "tensor"
+
+        assert cache.get_or_build("k", build) == "tensor"
+        assert cache.get_or_build("k", build) == "tensor"
+        assert len(calls) == 1
+
+    def test_lru_eviction_drops_oldest(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_metrics_counters(self):
+        sink = MetricsSink()
+        cache = ArtifactCache(max_entries=1, metrics=sink)
+        cache.get_or_build("a", lambda: 1)  # miss
+        cache.get_or_build("a", lambda: 1)  # hit
+        cache.get_or_build("b", lambda: 2)  # miss + eviction of a
+        assert sink.counter_value("cache.hits") == 1
+        assert sink.counter_value("cache.misses") == 2
+        assert sink.counter_value("cache.evictions") == 1
+
+    def test_get_default_and_clear(self):
+        cache = ArtifactCache()
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+
+class TestExtractionCaching:
+    def test_extractor_reuses_tensor_for_same_inputs(self, small_dataset):
+        from repro.features.transform import StatusFeatureExtractor
+        from repro.runtime import ExecutionContext
+
+        context = ExecutionContext()
+        t_stars = [0.0, 50.0, 100.0]
+        first = StatusFeatureExtractor(
+            small_dataset, t_stars, context=context
+        ).extract()
+        second = StatusFeatureExtractor(
+            small_dataset, t_stars, context=context
+        ).extract()
+        assert second is first
+        assert context.metrics.counter_value("cache.hits") == 1
+
+    def test_different_timeline_misses(self, small_dataset):
+        from repro.features.transform import StatusFeatureExtractor
+        from repro.runtime import ExecutionContext
+
+        context = ExecutionContext()
+        first = StatusFeatureExtractor(
+            small_dataset, [0.0, 100.0], context=context
+        ).extract()
+        other = StatusFeatureExtractor(
+            small_dataset, [0.0, 50.0, 100.0], context=context
+        ).extract()
+        assert other is not first
+        assert context.metrics.counter_value("cache.misses") == 2

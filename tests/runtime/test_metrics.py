@@ -1,0 +1,174 @@
+"""MetricsSink: counters, span nesting, aggregation and capture deltas."""
+
+import json
+
+import pytest
+
+from repro.runtime import MetricsSink, RunReport, SpanRecord
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        sink = MetricsSink()
+        assert sink.counter("hits") == 1
+        assert sink.counter("hits", 4) == 5
+        assert sink.counter_value("hits") == 5
+        assert sink.counter_value("misses") == 0
+
+    def test_counters_snapshot_is_a_copy(self):
+        sink = MetricsSink()
+        sink.counter("a")
+        snapshot = sink.counters
+        snapshot["a"] = 99
+        assert sink.counter_value("a") == 1
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        sink = MetricsSink()
+        with sink.span("outer"):
+            with sink.span("inner"):
+                pass
+            with sink.span("inner2"):
+                pass
+        report = sink.report()
+        assert [s.name for s in report.spans] == ["outer"]
+        outer = report.spans[0]
+        assert set(outer.children) == {"inner", "inner2"}
+        assert outer.count == 1
+
+    def test_same_name_same_parent_aggregates(self):
+        sink = MetricsSink()
+        with sink.span("fit"):
+            for _ in range(100):
+                with sink.span("fit_window"):
+                    pass
+        report = sink.report()
+        fit = report.spans[0]
+        assert fit.children["fit_window"].count == 100
+        # a loop of 100 spans yields ONE record, not 100
+        assert len(fit.children) == 1
+
+    def test_same_name_different_parent_stays_separate(self):
+        sink = MetricsSink()
+        with sink.span("a"):
+            with sink.span("fuse"):
+                pass
+        with sink.span("b"):
+            with sink.span("fuse"):
+                pass
+        report = sink.report()
+        assert report.span_names() == {"a", "b", "fuse"}
+        assert report.spans[0].children["fuse"].count == 1
+        assert report.spans[1].children["fuse"].count == 1
+
+    def test_seconds_accumulate_and_handle_exposes_elapsed(self):
+        sink = MetricsSink()
+        with sink.span("stage") as handle:
+            pass
+        assert handle.seconds >= 0.0
+        assert handle.record.seconds == pytest.approx(handle.seconds)
+        with sink.span("stage"):
+            pass
+        assert sink.stage_seconds("stage") >= handle.seconds
+
+    def test_span_pops_stack_on_exception(self):
+        sink = MetricsSink()
+        with pytest.raises(RuntimeError):
+            with sink.span("boom"):
+                raise RuntimeError("x")
+        # the failed span is still recorded and the stack is clean
+        with sink.span("after"):
+            pass
+        report = sink.report()
+        assert [s.name for s in report.spans] == ["boom", "after"]
+
+    def test_child_seconds_bounded_by_parent(self):
+        sink = MetricsSink()
+        with sink.span("outer"):
+            with sink.span("inner"):
+                sum(range(1000))
+        report = sink.report()
+        outer = report.spans[0]
+        assert outer.children["inner"].seconds <= outer.seconds
+
+
+class TestRunReport:
+    def test_as_dict_and_json_round_trip(self):
+        sink = MetricsSink()
+        sink.counter("queries", 3)
+        with sink.span("extract"):
+            pass
+        report = sink.report(meta={"command": "fit"})
+        payload = json.loads(report.to_json())
+        assert payload["counters"] == {"queries": 3}
+        assert payload["spans"][0]["name"] == "extract"
+        assert payload["meta"] == {"command": "fit"}
+
+    def test_span_seconds_sums_across_tree(self):
+        report = RunReport(
+            spans=[
+                SpanRecord("a", seconds=1.0, count=1,
+                           children={"x": SpanRecord("x", seconds=0.25, count=1)}),
+                SpanRecord("x", seconds=0.5, count=1),
+            ]
+        )
+        assert report.span_seconds("x") == pytest.approx(0.75)
+        assert report.span_names() == {"a", "x"}
+
+    def test_format_renders_counts(self):
+        sink = MetricsSink()
+        sink.counter("n", 2)
+        for _ in range(3):
+            with sink.span("loop"):
+                pass
+        text = sink.report().format()
+        assert "RunReport" in text
+        assert "counter n = 2" in text
+        assert "loop" in text and "x3" in text
+
+    def test_report_is_a_snapshot(self):
+        sink = MetricsSink()
+        with sink.span("s"):
+            pass
+        report = sink.report()
+        with sink.span("s"):
+            pass
+        assert report.spans[0].count == 1
+        assert sink.report().spans[0].count == 2
+
+
+class TestCapture:
+    def test_capture_returns_only_the_delta(self):
+        sink = MetricsSink()
+        sink.counter("queries", 10)
+        with sink.span("warmup"):
+            pass
+        with sink.capture() as captured:
+            sink.counter("queries", 2)
+            with sink.span("request"):
+                with sink.span("predict"):
+                    pass
+        delta = captured.report
+        assert delta.counters == {"queries": 2}
+        assert {s.name for s in delta.spans} == {"request"}
+        assert delta.spans[0].children["predict"].count == 1
+
+    def test_capture_of_repeated_span_counts_delta(self):
+        sink = MetricsSink()
+        with sink.span("request"):
+            pass
+        with sink.capture() as captured:
+            with sink.span("request"):
+                pass
+            with sink.span("request"):
+                pass
+        assert captured.report.spans[0].count == 2
+
+    def test_empty_capture_is_empty(self):
+        sink = MetricsSink()
+        sink.counter("before")
+        with sink.capture() as captured:
+            pass
+        assert captured.report.counters == {}
+        assert captured.report.spans == []

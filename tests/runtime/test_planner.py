@@ -1,0 +1,151 @@
+"""QueryPlanner decision table, cost estimates and the index registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index.avl_index import DualAvlIndex
+from repro.index.sorted_array import SortedArrayIndex
+from repro.runtime import (
+    DEFAULT_COSTS,
+    DEFAULT_REGISTRY,
+    BackendCosts,
+    IndexRegistry,
+    QueryPlanner,
+    WorkloadSpec,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec(n_rccs=100)
+        assert spec.n_timestamps == 1
+        assert spec.mode == "point"
+        assert spec.n_inserts == 0
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_rccs=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_rccs=10, n_inserts=-5)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            WorkloadSpec(n_rccs=10, mode="streaming")
+
+
+class TestDecisionTable:
+    """Pins the planner's default decisions per workload shape."""
+
+    def setup_method(self):
+        self.planner = QueryPlanner()
+
+    def test_large_batch_sweep_picks_sorted_array(self):
+        # nightly feature extraction: one big ascending sweep
+        spec = WorkloadSpec(n_rccs=50_000, n_timestamps=11, mode="sweep")
+        assert self.planner.choose(spec) == "sorted_array"
+
+    def test_incremental_point_queries_pick_avl(self):
+        # live deployment: point queries against a refreshed index
+        spec = WorkloadSpec(n_rccs=50_000, n_timestamps=200, mode="point", n_inserts=500)
+        assert self.planner.choose(spec) == "avl"
+
+    def test_one_shot_query_picks_sorted_array(self):
+        spec = WorkloadSpec(n_rccs=1_000, n_timestamps=1, mode="point")
+        assert self.planner.choose(spec) == "sorted_array"
+
+    def test_decisions_differ_across_shapes(self):
+        # the acceptance criterion: >= 2 workload shapes, different backends
+        sweep = WorkloadSpec(n_rccs=50_000, n_timestamps=11, mode="sweep")
+        live = WorkloadSpec(n_rccs=50_000, n_timestamps=200, mode="point", n_inserts=500)
+        chosen = {self.planner.choose(sweep), self.planner.choose(live)}
+        assert chosen == {"sorted_array", "avl"}
+
+    def test_plan_reports_all_backends(self):
+        decision = self.planner.plan(WorkloadSpec(n_rccs=1_000))
+        assert set(decision.estimated_seconds) == set(DEFAULT_COSTS)
+        best = min(decision.estimated_seconds.values())
+        assert decision.estimated_seconds[decision.backend] == best
+
+    def test_as_dict_is_json_shaped(self):
+        decision = self.planner.plan(WorkloadSpec(n_rccs=10, mode="sweep", n_timestamps=3))
+        payload = decision.as_dict()
+        assert payload["backend"] == decision.backend
+        assert payload["spec"]["mode"] == "sweep"
+        assert set(payload["estimated_seconds"]) == set(DEFAULT_COSTS)
+
+
+class TestEstimates:
+    def test_estimate_grows_with_n(self):
+        planner = QueryPlanner()
+        small = planner.estimate("avl", WorkloadSpec(n_rccs=100))
+        big = planner.estimate("avl", WorkloadSpec(n_rccs=100_000))
+        assert big > small > 0
+
+    def test_sweep_batches_cost_less_than_points(self):
+        planner = QueryPlanner()
+        sweep = planner.estimate(
+            "sorted_array", WorkloadSpec(n_rccs=10_000, n_timestamps=11, mode="sweep")
+        )
+        points = planner.estimate(
+            "sorted_array", WorkloadSpec(n_rccs=10_000, n_timestamps=11, mode="point")
+        )
+        assert sweep < points
+
+    def test_inserts_penalise_array_designs(self):
+        planner = QueryPlanner()
+        still = planner.estimate("sorted_array", WorkloadSpec(n_rccs=10_000))
+        live = planner.estimate(
+            "sorted_array", WorkloadSpec(n_rccs=10_000, n_inserts=1_000)
+        )
+        assert live > still
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError, match="no calibration"):
+            QueryPlanner().estimate("btree", WorkloadSpec(n_rccs=10))
+
+    def test_with_costs_overrides_one_backend(self):
+        free = BackendCosts(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        planner = QueryPlanner().with_costs(naive=free)
+        spec = WorkloadSpec(n_rccs=1_000_000, n_timestamps=50, mode="point")
+        assert planner.choose(spec) == "naive"
+
+    def test_scale_costs_is_uniform(self):
+        scaled = QueryPlanner.scale_costs(DEFAULT_COSTS["avl"], 2.0)
+        assert scaled.build_per_event == DEFAULT_COSTS["avl"].build_per_event * 2
+        assert scaled.insert_per_log == DEFAULT_COSTS["avl"].insert_per_log * 2
+
+
+class TestIndexRegistry:
+    def test_default_registry_names(self):
+        assert set(DEFAULT_REGISTRY.names()) == {
+            "naive",
+            "avl",
+            "interval",
+            "sorted_array",
+        }
+
+    def test_get_resolves_alias(self):
+        assert DEFAULT_REGISTRY.get("sorted") is SortedArrayIndex
+        assert DEFAULT_REGISTRY.get("avl") is DualAvlIndex
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown index backend"):
+            DEFAULT_REGISTRY.get("btree")
+
+    def test_create_builds_a_working_index(self):
+        starts = np.array([0.0, 10.0, 20.0])
+        ends = np.array([5.0, 30.0, 25.0])
+        ids = np.arange(3)
+        index = DEFAULT_REGISTRY.create("sorted_array", starts, ends, ids)
+        assert np.array_equal(index.active_ids(12.0), [1])
+
+    def test_register_custom_backend(self):
+        registry = IndexRegistry()
+
+        class Custom(SortedArrayIndex):
+            name = "custom"
+
+        registry.register("custom", Custom)
+        assert registry.get("custom") is Custom
+        assert "custom" in registry.names()

@@ -1,0 +1,99 @@
+"""The CLI's global ``--trace`` flag: a final JSON RunReport line."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import PipelineConfig
+from repro.data import save_dataset
+from repro.ml import GbmParams
+
+
+def run_cli(*argv, stdin_text: str = "") -> tuple[int, list[dict]]:
+    out = io.StringIO()
+    code = main(list(argv), out=out, stdin=io.StringIO(stdin_text))
+    lines = [json.loads(line) for line in out.getvalue().splitlines() if line.strip()]
+    return code, lines
+
+
+@pytest.fixture(scope="module")
+def trace_env(request, tmp_path_factory):
+    dataset = request.getfixturevalue("small_dataset")
+    root = tmp_path_factory.mktemp("cli_trace")
+    data_dir = root / "data"
+    save_dataset(dataset, data_dir)
+    return str(data_dir), str(root / "model.json")
+
+
+def _span_names(trace: dict) -> set:
+    names = set()
+    stack = list(trace["spans"])
+    while stack:
+        span = stack.pop()
+        names.add(span["name"])
+        stack.extend(span.get("children", []))
+    return names
+
+
+class TestTraceFlag:
+    def test_fit_trace_covers_the_pipeline_stages(self, trace_env):
+        data_dir, model_path = trace_env
+        code, lines = run_cli(
+            "--trace", "fit", "--data", data_dir, "--out", model_path,
+            "--window", "25",
+        )
+        assert code == 0
+        assert "trace" in lines[-1]
+        trace = lines[-1]["trace"]
+        assert trace["meta"]["command"] == "fit"
+        names = _span_names(trace)
+        # the acceptance chain: extract -> select -> fit -> fuse
+        assert {"extract", "select", "fit", "fuse"} <= names
+        assert trace["counters"]["models.windows_fitted"] == 5
+
+    def test_query_trace_reports_estimator_counters(self, trace_env):
+        data_dir, model_path = trace_env
+        code, lines = run_cli(
+            "--trace", "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        assert code == 0
+        assert lines[0]["ok"]
+        trace = lines[-1]["trace"]
+        assert trace["counters"]["estimator.queries"] == 1
+        assert "request.domd_query" in _span_names(trace)
+
+    def test_no_trace_by_default(self, trace_env):
+        data_dir, model_path = trace_env
+        code, lines = run_cli(
+            "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        assert code == 0
+        assert all("trace" not in line for line in lines)
+
+    def test_trace_printed_even_on_error(self, trace_env):
+        data_dir, model_path = trace_env
+        code, lines = run_cli(
+            "--trace", "query", "--model", model_path, "--data", data_dir,
+            "--avail", "424242", "--t-star", "50",
+        )
+        assert code == 1
+        assert not lines[0]["ok"]
+        assert "trace" in lines[-1]
+
+    def test_serve_trace(self, trace_env):
+        data_dir, model_path = trace_env
+        request = json.dumps(
+            {"type": "domd_query", "avail_ids": [0], "t_star": 60.0, "timings": True}
+        )
+        code, lines = run_cli(
+            "--trace", "serve", "--model", model_path, "--data", data_dir,
+            stdin_text=request + "\n",
+        )
+        assert code == 0
+        assert lines[0]["ok"]
+        assert "timings" in lines[0]
+        assert "request.domd_query" in _span_names(lines[-1]["trace"])
