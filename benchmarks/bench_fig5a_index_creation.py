@@ -13,7 +13,13 @@ import time
 
 import pytest
 
-from repro.bench import SCALING_FACTORS, emit_report, format_table, logical_rcc_arrays
+from repro.bench import (
+    SCALING_FACTORS,
+    emit_json,
+    emit_report,
+    format_table,
+    logical_rcc_arrays,
+)
 from repro.index import index_designs
 
 _results: dict[tuple[str, int], float] = {}
@@ -55,5 +61,12 @@ def test_fig5a_report(benchmark, dataset):
         )
     table = format_table(["scale"] + [f"{n} build" for n in index_designs()], rows)
     emit_report("fig5a_index_creation", "Figure 5a: index creation time", table)
+    emit_json(
+        "fig5a_index_creation",
+        {
+            f"build.{name}.{factor}x": results[(name, factor)]
+            for (name, factor) in results
+        },
+    )
     # Shape check: AVL builds faster than the interval tree at scale.
     assert results[("avl", 20)] < results[("interval", 20)]

@@ -4,15 +4,72 @@ The paper-scale dataset, its splits and a shared pipeline optimizer are
 built once per session; modeling benches reuse the optimizer's cached
 feature tensor and selection rankings the way the paper's greedy stages
 do.
+
+A session-scoped regression guard compares every ``BENCH_*.json`` metric
+file written during the run against the last *committed* copy (via
+``git show HEAD:...``) and emits a non-fatal warning when a metric
+regressed by more than 25% — CI logs surface slowdowns without turning
+machine-speed noise into hard failures.
 """
 
 from __future__ import annotations
 
+import json
+import subprocess
+import warnings
+from pathlib import Path
+
 import pytest
 
+from repro.bench.reporting import RESULTS_DIR, compare_bench_metrics
 from repro.core import PipelineConfig, PipelineOptimizer
 from repro.data import generate_dataset, split_dataset
 from repro.ml import GbmParams
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _committed_baseline(path: Path) -> dict | None:
+    """The HEAD-committed content of ``path``, or None if never committed."""
+    relative = path.relative_to(_REPO_ROOT).as_posix()
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"HEAD:{relative}"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+class BenchRegressionWarning(UserWarning):
+    """A benchmark metric regressed versus the committed baseline."""
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_guard():
+    """Compare freshly written BENCH_*.json files against HEAD at teardown."""
+    yield
+    for current_path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        baseline = _committed_baseline(current_path)
+        if baseline is None:
+            continue
+        try:
+            current = json.loads(current_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        for message in compare_bench_metrics(baseline, current, threshold=0.25):
+            warnings.warn(
+                f"{current_path.name}: {message}", BenchRegressionWarning, stacklevel=2
+            )
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,11 @@
 """Experiment-harness utilities shared by the benchmark scripts."""
 
-from repro.bench.reporting import emit_report, format_table
+from repro.bench.reporting import (
+    compare_bench_metrics,
+    emit_json,
+    emit_report,
+    format_table,
+)
 from repro.bench.workloads import (
     SCALING_FACTORS,
     TIMELINE_10PCT,
@@ -11,6 +16,8 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "compare_bench_metrics",
+    "emit_json",
     "emit_report",
     "format_table",
     "SCALING_FACTORS",

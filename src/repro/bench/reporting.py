@@ -1,12 +1,16 @@
-"""Plain-text reporting for benchmark outputs.
+"""Plain-text and JSON reporting for benchmark outputs.
 
 Every benchmark regenerating a paper table/figure writes its rows both to
 stdout and to ``benchmarks/results/<experiment>.txt`` so the artefacts
-survive pytest's output capturing.
+survive pytest's output capturing.  Benchmarks that track machine-speed
+numbers additionally emit ``BENCH_<experiment>.json`` metric files; the
+suite-level regression guard (``benchmarks/conftest.py``) compares those
+against the last committed baseline and warns on large slowdowns.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -44,3 +48,45 @@ def emit_report(name: str, title: str, text: str, directory: Path | None = None)
     path = directory / f"{name}.txt"
     path.write_text(block, encoding="utf-8")
     return path
+
+
+def emit_json(
+    name: str, metrics: dict[str, float], directory: Path | None = None
+) -> Path:
+    """Persist a benchmark's scalar metrics as ``BENCH_<name>.json``.
+
+    ``metrics`` maps flat metric names (e.g. ``"build.avl.20x"``) to
+    seconds; the file is the input of :func:`compare_bench_metrics`.
+    """
+    directory = directory or RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {"name": name, "metrics": {k: float(v) for k, v in sorted(metrics.items())}}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def compare_bench_metrics(
+    baseline: dict[str, Any], current: dict[str, Any], threshold: float = 0.25
+) -> list[str]:
+    """Regression messages for metrics slower than ``baseline`` by > threshold.
+
+    Both arguments are parsed ``BENCH_*.json`` payloads (or bare
+    ``{"metrics": {...}}`` dicts).  Only metrics present in both are
+    compared; timing noise below ``min_seconds`` of 1 ms is ignored so
+    micro-benchmarks do not trip the guard on scheduler jitter.
+    """
+    old = baseline.get("metrics", baseline)
+    new = current.get("metrics", current)
+    min_seconds = 1e-3
+    messages = []
+    for key in sorted(set(old) & set(new)):
+        before, after = float(old[key]), float(new[key])
+        if before < min_seconds and after < min_seconds:
+            continue
+        if before > 0 and (after - before) / before > threshold:
+            messages.append(
+                f"{key}: {before:.4f}s -> {after:.4f}s "
+                f"(+{(after - before) / before * 100.0:.0f}%)"
+            )
+    return messages

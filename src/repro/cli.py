@@ -9,21 +9,28 @@ Commands mirror the deployment life cycle:
 * ``evaluate`` — Table-7-style metrics on the chronological test split.
 * ``serve``    — JSON-lines request loop over stdin/stdout
   (the SMDII back-end contract, see :mod:`repro.core.service`).
+* ``telemetry report`` — render a run's trace trees, latency
+  histograms and counters from a JSONL event log.
 
 Every command is a thin shell over the library API; ``main`` returns an
 exit code and never raises for user errors.
 
 A single :class:`~repro.runtime.ExecutionContext` is threaded through
-whichever command runs; the global ``--trace`` flag prints its
+whichever command runs.  The global ``--trace`` flag prints its
 :class:`~repro.runtime.RunReport` (per-stage spans and counters) as a
-final JSON line.
+final JSON line **on stderr** — command stdout stays pipeable to
+``jq``/files — and ``--trace-file`` writes the same JSON to a path
+instead.  ``--telemetry-events PATH`` attaches a rotating JSONL event
+log to the run (the input of ``telemetry report``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 from typing import IO
 
 from repro.core.config import PipelineConfig, paper_final_config
@@ -36,7 +43,7 @@ from repro.data.scaling import scale_rccs
 from repro.data.splits import split_dataset
 from repro.errors import ReproError
 from repro.persistence import load_estimator, save_estimator
-from repro.runtime import ExecutionContext
+from repro.runtime import ExecutionContext, JsonlEventLog, load_events, render_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,7 +53,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace",
         action="store_true",
-        help="print the run's metrics report (spans + counters) as a final JSON line",
+        help="print the run's metrics report (spans + counters) as a final "
+        "JSON line on stderr",
+    )
+    parser.add_argument(
+        "--trace-file",
+        metavar="PATH",
+        help="write the run's metrics report JSON to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-events",
+        metavar="PATH",
+        help="append the run's structured telemetry events to a rotating "
+        "JSONL log at PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -83,6 +102,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="answer JSON-lines requests on stdin")
     serve.add_argument("--model", required=True)
     serve.add_argument("--data", required=True)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="inspect telemetry artefacts of a previous run"
+    )
+    telemetry.add_argument(
+        "action", choices=["report"], help="'report': render an event log"
+    )
+    telemetry.add_argument(
+        "--events", required=True, help="JSONL event log (from --telemetry-events)"
+    )
+    telemetry.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="report_format"
+    )
     return parser
 
 
@@ -173,13 +205,44 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
     return 0
 
 
-def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[str] | None = None) -> int:
+def _cmd_telemetry(args, out: IO[str]) -> int:
+    events = load_events(args.events)
+    if args.report_format == "json":
+        from repro.runtime.telemetry.exporters import (
+            histograms_from_events,
+            reconstruct_traces,
+        )
+        from repro.runtime.telemetry.events import counters_from_events
+
+        payload = {
+            "traces": reconstruct_traces(events),
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(histograms_from_events(events).items())
+            },
+            "counters": counters_from_events(events),
+        }
+        print(json.dumps(payload), file=out)
+    else:
+        print(render_report(events), file=out)
+    return 0
+
+
+def main(
+    argv: list[str] | None = None,
+    out: IO[str] | None = None,
+    stdin: IO[str] | None = None,
+    err: IO[str] | None = None,
+) -> int:
     """CLI entrypoint; returns an exit code."""
     out = out or sys.stdout
     stdin = stdin or sys.stdin
+    err = err or sys.stderr
     parser = _build_parser()
     args = parser.parse_args(argv)
     context = ExecutionContext()
+    if args.telemetry_events:
+        context.telemetry.add_sink(JsonlEventLog(args.telemetry_events))
     code: int
     try:
         if args.command == "generate":
@@ -192,6 +255,8 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
             code = _cmd_evaluate(args, out, context)
         elif args.command == "serve":
             code = _cmd_serve(args, out, stdin, context)
+        elif args.command == "telemetry":
+            code = _cmd_telemetry(args, out)
         else:
             raise AssertionError("unreachable")
     except ReproError as exc:
@@ -200,9 +265,24 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
     except FileNotFoundError as exc:
         print(json.dumps({"ok": False, "error": {"code": "not_found", "message": str(exc)}}), file=out)
         code = 1
-    if args.trace:
+    except BrokenPipeError:
+        # Downstream consumer closed early (`repro telemetry report | head`);
+        # silence the interpreter-exit flush of the dead descriptor too.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        code = 0
+    finally:
+        context.telemetry.close()
+    if args.trace or args.trace_file:
         report = context.report(meta={"command": args.command})
-        print(json.dumps({"trace": report.as_dict()}), file=out)
+        payload = json.dumps({"trace": report.as_dict()})
+        if args.trace_file:
+            Path(args.trace_file).write_text(payload + "\n", encoding="utf-8")
+        if args.trace:
+            # stderr, so command stdout stays clean for jq / redirection
+            print(payload, file=err)
     return code
 
 

@@ -19,6 +19,7 @@ timeline (reported as a mean so numbers are comparable across stages).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -424,11 +425,35 @@ class PipelineOptimizer:
         k_grid: tuple[int, ...] = DEFAULT_K_GRID,
         trial_counts: tuple[int, ...] = DEFAULT_TRIAL_COUNTS,
     ) -> OptimizationReport:
-        """Execute the greedy stages in order and return the report."""
+        """Execute the greedy stages in order and return the report.
+
+        The whole greedy chain runs under one telemetry trace
+        (``optimize``) so its stage spans are reconstructable as a unit
+        in the event log.
+        """
         unknown = set(stages) - set(STAGES)
         if unknown:
             raise ConfigurationError(f"unknown stages: {sorted(unknown)}")
+        telemetry = self.context.metrics.telemetry
+        trace_scope = (
+            telemetry.trace("optimize", stages=list(stages))
+            if telemetry is not None
+            else nullcontext()
+        )
         report = OptimizationReport(config=self.config)
+        with trace_scope:
+            return self._run_stages(
+                report, stages, selection_methods, k_grid, trial_counts
+            )
+
+    def _run_stages(
+        self,
+        report: "OptimizationReport",
+        stages: tuple[str, ...],
+        selection_methods: tuple[str, ...],
+        k_grid: tuple[int, ...],
+        trial_counts: tuple[int, ...],
+    ) -> "OptimizationReport":
         for stage in STAGES:
             if stage not in stages:
                 continue

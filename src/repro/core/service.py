@@ -17,15 +17,29 @@ the contract a UI layer needs.  Supported request types:
   execution on a date, with its current estimate.
 * ``{"type": "metrics", "avail_ids": [...]}`` — Table-7-style metrics
   for a closed-avail population.
+* ``{"type": "metrics"}`` (no ``avail_ids``) — telemetry exposition:
+  the runtime's counter totals and latency histograms with
+  p50/p90/p99 summaries (add ``"format": "prometheus"`` for the text
+  exposition instead of the JSON snapshot).
+* ``{"type": "health"}`` — liveness plus the timeline drift monitor's
+  per-window status; ``"status"`` degrades to ``"degraded"`` while any
+  window is flagged as drifted.
 
 Any request may add ``"timings": true`` to receive a ``timings``
 envelope alongside the result: the spans and counters recorded while
 serving *this* request (a :class:`~repro.runtime.RunReport` delta from
 the service's :class:`~repro.runtime.ExecutionContext`).
+
+Every request is additionally served under a **fresh trace id** on the
+context's :class:`~repro.runtime.TelemetryHub`: the structured event
+log links the request span to every estimator / feature-extraction /
+Status Query span it triggered, and failed requests emit an ``error``
+event.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
 from typing import Any
 
@@ -34,7 +48,7 @@ import numpy as np
 from repro.core.estimator import DomdEstimator
 from repro.data.dates import iso_to_day
 from repro.errors import ReproError
-from repro.runtime import ExecutionContext
+from repro.runtime import ExecutionContext, prometheus_text, telemetry_snapshot
 
 
 def _error(code: str, message: str) -> dict[str, Any]:
@@ -80,6 +94,7 @@ class DomdService:
             "explain": self._handle_explain,
             "fleet_status": self._handle_fleet_status,
             "metrics": self._handle_metrics,
+            "health": self._handle_health,
         }
         handler = handlers.get(request_type)
         if handler is None:
@@ -87,18 +102,36 @@ class DomdService:
                 "unknown_type",
                 f"unknown request type {request_type!r}; expected one of {sorted(handlers)}",
             )
-        try:
-            with self.context.metrics.capture() as captured:
-                with self.context.span(f"request.{request_type}"):
-                    result = handler(request)
-            response: dict[str, Any] = {"ok": True, "result": result}
-            if request.get("timings"):
-                response["timings"] = captured.report.as_dict()
-            return response
-        except ReproError as exc:
-            return _error("domain_error", str(exc))
-        except (KeyError, TypeError, ValueError) as exc:
-            return _error("bad_request", f"{type(exc).__name__}: {exc}")
+        telemetry = self.context.metrics.telemetry
+        trace_scope = (
+            telemetry.trace("request", request_type=request_type)
+            if telemetry is not None
+            else contextlib.nullcontext()
+        )
+        with trace_scope:
+            self.context.counter("service.requests")
+            try:
+                with self.context.metrics.capture() as captured:
+                    with self.context.span(f"request.{request_type}"):
+                        result = handler(request)
+                response: dict[str, Any] = {"ok": True, "result": result}
+                if request.get("timings"):
+                    response["timings"] = captured.report.as_dict()
+                return response
+            except ReproError as exc:
+                return self._record_error(telemetry, "domain_error", str(exc))
+            except (KeyError, TypeError, ValueError) as exc:
+                return self._record_error(
+                    telemetry, "bad_request", f"{type(exc).__name__}: {exc}"
+                )
+
+    def _record_error(
+        self, telemetry: Any, code: str, message: str
+    ) -> dict[str, Any]:
+        self.context.counter("service.errors")
+        if telemetry is not None:
+            telemetry.emit("error", code=code, message=message)
+        return _error(code, message)
 
     # ------------------------------------------------------------------
     def _parse_date(self, date: Any) -> int:
@@ -199,5 +232,37 @@ class DomdService:
         return out
 
     def _handle_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
-        avail_ids = np.asarray([int(a) for a in request["avail_ids"]], dtype=np.int64)
-        return self._estimator.evaluate(avail_ids)
+        if "avail_ids" in request:
+            # Model-quality metrics over a closed-avail population.
+            avail_ids = np.asarray(
+                [int(a) for a in request["avail_ids"]], dtype=np.int64
+            )
+            return self._estimator.evaluate(avail_ids)
+        # Telemetry exposition of the runtime itself.
+        exposition_format = request.get("format", "json")
+        if exposition_format == "prometheus":
+            return {
+                "format": "prometheus",
+                "exposition": prometheus_text(self.context.metrics),
+            }
+        if exposition_format != "json":
+            raise ValueError(
+                f"'format' must be 'json' or 'prometheus', got {exposition_format!r}"
+            )
+        return telemetry_snapshot(self.context.metrics)
+
+    def _handle_health(self, request: dict[str, Any]) -> dict[str, Any]:
+        counters = self.context.metrics.counters
+        telemetry = self.context.metrics.telemetry
+        drift_status: dict[str, Any] = {}
+        flagged: list[dict[str, Any]] = []
+        if telemetry is not None:
+            drift_status = telemetry.drift.status()
+            flagged = telemetry.drift.flagged()
+        return {
+            "status": "degraded" if flagged else "ok",
+            "fitted": self._estimator._model_set is not None,
+            "requests": counters.get("service.requests", 0),
+            "errors": counters.get("service.errors", 0),
+            "drift": {"flagged": flagged, "windows": drift_status},
+        }

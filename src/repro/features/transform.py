@@ -174,11 +174,17 @@ class StatusFeatureExtractor:
         n_features = len(self.registry)
         out = np.zeros((n_avails, len(self.t_stars), n_features))
         previous: dict[str, np.ndarray] | None = None
-        for ti, t_star in enumerate(self.t_stars):
-            stat.advance(float(t_star))
-            base = self._marginalise(stat, n_avails, n_codes, type_m, scope_m)
-            out[:, ti, :] = self._derive(base, previous, float(t_star))
-            previous = base
+        self.context.counter("feature.extractions")
+        self.context.counter("feature.sweep_timestamps", len(self.t_stars))
+        # The timeline sweep is the extractor's Status Query workload
+        # (Section 4.3 incremental path); naming the span like the
+        # engine's keeps request traces linkable down to this layer.
+        with self.context.span("status_query.sweep.incremental"):
+            for ti, t_star in enumerate(self.t_stars):
+                stat.advance(float(t_star))
+                base = self._marginalise(stat, n_avails, n_codes, type_m, scope_m)
+                out[:, ti, :] = self._derive(base, previous, float(t_star))
+                previous = base
         return FeatureTensor(
             values=out,
             avail_ids=avail_ids,

@@ -240,6 +240,7 @@ class StatusQueryEngine:
         if missing:
             raise SchemaError(f"RCC table missing columns: {missing}")
         self.context = ensure_context(context)
+        telemetry = self.context.metrics.telemetry
         if design == "auto":
             spec = workload or WorkloadSpec(
                 n_rccs=rccs.n_rows, n_timestamps=11, mode="sweep"
@@ -247,6 +248,15 @@ class StatusQueryEngine:
             decision = self.context.planner.plan(spec)
             design = decision.backend
             self.plan_decision = decision
+            self.context.counter(f"planner.chosen.{design}")
+            if telemetry is not None:
+                telemetry.emit("planner_decision", **decision.as_dict())
+                # The decision's modelled cost, histogrammed next to the
+                # realized per-backend query latencies for comparison.
+                telemetry.observe(
+                    f"planner.estimate.{design}",
+                    decision.estimated_seconds.get(design, 0.0),
+                )
         else:
             self.plan_decision = None
         if design not in _DESIGNS:
@@ -333,9 +343,17 @@ class StatusQueryEngine:
     # execution
     # ------------------------------------------------------------------
     def execute(self, query: StatusQuery) -> ColumnTable:
-        """Run one Status Query from scratch through the index design."""
+        """Run one Status Query from scratch through the index design.
+
+        Every backend's query path emits the same metric names modulo
+        the backend label — counter ``status_query.queries.<design>``
+        and span ``status_query.query.<design>`` around the index
+        retrieval — so latency histograms and planner statistics stay
+        comparable across ``naive``/``avl``/``interval``/``sorted_array``.
+        """
         with self.context.span("status_query.execute"):
             self.context.counter("status_query.point_queries")
+            self.context.counter(f"status_query.queries.{self._design}")
             if self._design == "naive" and self._avails is not None:
                 # Faithful baseline: re-join avails x RCCs on every query.
                 if "avail_id" in self._rccs and "avail_id" in self._avails:
@@ -343,8 +361,9 @@ class StatusQueryEngine:
             group_ids, labels = self._group_assignment(query)
             n_groups = labels.n_rows
             t = query.t_star
-            settled_rows = self.index.settled_ids(t)
-            created_rows = self.index.created_ids(t)
+            with self.context.span(f"status_query.query.{self._design}"):
+                settled_rows = self.index.settled_ids(t)
+                created_rows = self.index.created_ids(t)
             return self._aggregate_rows(
                 group_ids, n_groups, labels, created_rows, settled_rows, t
             )
@@ -413,6 +432,7 @@ class StatusQueryEngine:
         if any(b < a for a, b in zip(t_stars, t_stars[1:])):
             raise ConfigurationError("sweep timestamps must be ascending")
         self.context.counter("status_query.sweeps")
+        self.context.counter("status_query.sweep_timestamps", len(t_stars))
         if not incremental:
             with self.context.span("status_query.sweep.scratch"):
                 return [
@@ -436,6 +456,9 @@ class StatusQueryEngine:
                 group_ids, labels.n_rows, self._starts, self._ends, self._amounts
             )
             self._stat_cache[cache_key] = stat
+        # Same per-query counter the scratch path emits through execute(),
+        # so sweep and point workloads stay comparable per backend.
+        self.context.counter(f"status_query.queries.{self._design}", len(t_stars))
         results = []
         with self.context.span("status_query.sweep.incremental"):
             for t in t_stars:

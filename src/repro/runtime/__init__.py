@@ -18,6 +18,12 @@ memoised in the :class:`ArtifactCache`, and the
 RNG) through :class:`StatusQueryEngine`, :class:`StatusFeatureExtractor`,
 :class:`PipelineOptimizer`, :class:`DomdEstimator`, :class:`DomdService`
 and the CLI.
+
+The observability layer lives in :mod:`repro.runtime.telemetry`: a
+:class:`TelemetryHub` attached to every sink provides trace-context
+propagation, latency histograms, a structured event log (with rotating
+JSONL persistence), Prometheus/JSON exposition and a per-logical-window
+drift monitor.  See ``docs/observability.md``.
 """
 
 from repro.runtime.cache import (
@@ -38,8 +44,34 @@ from repro.runtime.planner import (
     QueryPlanner,
     WorkloadSpec,
 )
+from repro.runtime.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DriftAlert,
+    DriftMonitor,
+    DriftThresholds,
+    Histogram,
+    JsonlEventLog,
+    MemoryEventLog,
+    TelemetryHub,
+    load_events,
+    prometheus_text,
+    render_report,
+    telemetry_snapshot,
+)
 
 __all__ = [
+    "TelemetryHub",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "MemoryEventLog",
+    "JsonlEventLog",
+    "load_events",
+    "DriftMonitor",
+    "DriftThresholds",
+    "DriftAlert",
+    "prometheus_text",
+    "telemetry_snapshot",
+    "render_report",
     "ExecutionContext",
     "ensure_context",
     "MetricsSink",

@@ -22,6 +22,7 @@ import numpy as np
 from repro.runtime.cache import ArtifactCache
 from repro.runtime.metrics import MetricsSink, RunReport
 from repro.runtime.planner import QueryPlanner
+from repro.runtime.telemetry.hub import TelemetryHub
 
 
 class ExecutionContext:
@@ -35,10 +36,12 @@ class ExecutionContext:
     config:
         Optional configuration object carried for downstream
         components (usually a :class:`~repro.core.config.PipelineConfig`).
-    metrics / cache / planner:
+    metrics / cache / planner / telemetry:
         Pre-built subsystems to share across contexts; fresh defaults
         are created when omitted.  The cache reports hit/miss counters
-        to this context's sink.
+        to this context's sink; the telemetry hub is attached to the
+        sink so every span/counter gains trace ids, events and latency
+        histograms.
     """
 
     def __init__(
@@ -48,15 +51,26 @@ class ExecutionContext:
         metrics: MetricsSink | None = None,
         cache: ArtifactCache | None = None,
         planner: QueryPlanner | None = None,
+        telemetry: TelemetryHub | None = None,
     ):
         self.seed = int(seed)
         self.config = config
         self.metrics = metrics or MetricsSink()
+        if telemetry is not None:
+            self.metrics.telemetry = telemetry
+        elif self.metrics.telemetry is None:
+            self.metrics.telemetry = TelemetryHub()
         self.cache = cache or ArtifactCache(metrics=self.metrics)
         if self.cache.metrics is None:
             self.cache.metrics = self.metrics
         self.planner = planner or QueryPlanner()
         self.rng = np.random.default_rng(self.seed)
+
+    @property
+    def telemetry(self) -> TelemetryHub:
+        """The telemetry hub attached to this context's sink."""
+        assert self.metrics.telemetry is not None
+        return self.metrics.telemetry
 
     # ------------------------------------------------------------------
     # conveniences so call sites read context.span(...) / context.counter(...)

@@ -10,9 +10,13 @@ are aggregated — a loop that opens ``predict`` a thousand times yields
 one span record with ``count=1000`` — so the exported
 :class:`RunReport` stays bounded regardless of workload size.
 
-The sink is the only component in the stack allowed to read the wall
-clock; everything above it (optimizer, service, CLI) expresses timing
-through spans.
+The sink measures durations as the stack's only wall-clock reader
+(the telemetry hub additionally timestamps events); everything above it
+(optimizer, service, CLI) expresses timing through spans.  When a
+:class:`~repro.runtime.telemetry.TelemetryHub` is attached via the
+``telemetry`` attribute, every span open/close and counter update is
+forwarded to it — gaining trace/span ids, structured events and latency
+histograms without changing any call site.
 """
 
 from __future__ import annotations
@@ -21,7 +25,10 @@ import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.telemetry.hub import TelemetryHub
 
 
 @dataclass
@@ -31,6 +38,7 @@ class SpanRecord:
     name: str
     seconds: float = 0.0
     count: int = 0
+    errors: int = 0
     children: dict[str, "SpanRecord"] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -39,6 +47,8 @@ class SpanRecord:
             "seconds": round(self.seconds, 6),
             "count": self.count,
         }
+        if self.errors:
+            out["errors"] = self.errors
         if self.children:
             out["children"] = [c.as_dict() for c in self.children.values()]
         return out
@@ -48,6 +58,7 @@ class SpanRecord:
             name=self.name,
             seconds=self.seconds,
             count=self.count,
+            errors=self.errors,
             children={k: v.copy() for k, v in self.children.items()},
         )
 
@@ -137,10 +148,13 @@ class _OpenSpan:
 class MetricsSink:
     """Collects counters and nested span timings for one execution."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: "TelemetryHub | None" = None) -> None:
         self._counters: dict[str, float] = {}
         self._roots: dict[str, SpanRecord] = {}
         self._stack: list[SpanRecord] = []
+        self._capturing = False
+        #: Optional telemetry hub receiving span/counter hooks.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # counters
@@ -149,6 +163,8 @@ class MetricsSink:
         """Add ``by`` to a named counter; returns the new total."""
         total = self._counters.get(name, 0) + by
         self._counters[name] = total
+        if self.telemetry is not None:
+            self.telemetry.counter_changed(name, by, total)
         return total
 
     def counter_value(self, name: str) -> float:
@@ -163,22 +179,40 @@ class MetricsSink:
     # ------------------------------------------------------------------
     @contextmanager
     def span(self, name: str) -> Iterator[_OpenSpan]:
-        """Time a named stage; spans opened inside it nest under it."""
+        """Time a named stage; spans opened inside it nest under it.
+
+        A span aborted by an exception still records its elapsed time
+        (the record's ``errors`` count increments, and the telemetry
+        span-close event carries ``error: true``) before the exception
+        propagates.
+        """
         siblings = self._stack[-1].children if self._stack else self._roots
         record = siblings.get(name)
         if record is None:
             record = siblings[name] = SpanRecord(name=name)
         handle = _OpenSpan(record)
+        span_id = (
+            self.telemetry.span_opened(name) if self.telemetry is not None else None
+        )
         handle._t0 = time.perf_counter()
         self._stack.append(record)
+        error = False
         try:
             yield handle
+        except BaseException:
+            error = True
+            raise
         finally:
             self._stack.pop()
             elapsed = time.perf_counter() - handle._t0
             handle.seconds = elapsed
             record.seconds += elapsed
             record.count += 1
+            if error:
+                record.errors += 1
+            if span_id is not None:
+                assert self.telemetry is not None
+                self.telemetry.span_closed(span_id, name, elapsed, error=error)
 
     def stage_seconds(self, name: str) -> float:
         """Total seconds recorded under span ``name`` (any nesting)."""
@@ -203,12 +237,23 @@ class MetricsSink:
         the *delta* (spans entered, counters bumped) relative to the
         state at entry — the per-request ``timings`` envelope of
         :class:`~repro.core.service.DomdService` uses this.
+
+        Captures do **not** nest: the delta diff is taken against one
+        entry snapshot, so an inner capture would silently swallow the
+        outer one's activity.  Nested (or concurrent, on a shared sink)
+        captures raise ``RuntimeError`` instead of mis-reporting.
         """
+        if self._capturing:
+            raise RuntimeError(
+                "MetricsSink.capture() does not nest; one capture is already open"
+            )
+        self._capturing = True
         before = self.report()
         box = _Capture()
         try:
             yield box
         finally:
+            self._capturing = False
             box.report = _diff_report(before, self.report())
 
 
@@ -249,6 +294,7 @@ def _diff_children(
             name=name,
             seconds=max(record.seconds - prior.seconds, 0.0),
             count=count,
+            errors=max(record.errors - prior.errors, 0),
             children=children,
         )
     return out

@@ -1,0 +1,54 @@
+"""Observability subsystem: traces, histograms, events, drift, exporters.
+
+Layered on the PR-1 runtime: the
+:class:`~repro.runtime.metrics.MetricsSink` forwards span and counter
+activity to a :class:`TelemetryHub`, which assigns trace/span ids,
+maintains latency :class:`Histogram` s, appends structured events to an
+in-memory ring buffer (plus optional rotating JSONL files) and hosts
+the per-logical-window :class:`DriftMonitor`.  Exposition lives in
+:mod:`~repro.runtime.telemetry.exporters` (Prometheus text, JSON
+snapshots, and event-log report rendering for the CLI).
+
+See ``docs/observability.md`` for the event schema, bucket layout,
+drift thresholds and exposition formats.
+"""
+
+from repro.runtime.telemetry.drift import DriftAlert, DriftMonitor, DriftThresholds
+from repro.runtime.telemetry.events import (
+    JsonlEventLog,
+    MemoryEventLog,
+    counters_from_events,
+    load_events,
+)
+from repro.runtime.telemetry.exporters import (
+    histograms_from_events,
+    prometheus_text,
+    reconstruct_traces,
+    render_report,
+    render_trace_tree,
+    telemetry_snapshot,
+)
+from repro.runtime.telemetry.histogram import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+)
+from repro.runtime.telemetry.hub import TelemetryHub
+
+__all__ = [
+    "TelemetryHub",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "MemoryEventLog",
+    "JsonlEventLog",
+    "load_events",
+    "counters_from_events",
+    "DriftMonitor",
+    "DriftThresholds",
+    "DriftAlert",
+    "prometheus_text",
+    "telemetry_snapshot",
+    "reconstruct_traces",
+    "render_trace_tree",
+    "render_report",
+    "histograms_from_events",
+]

@@ -1,0 +1,209 @@
+"""Timeline drift monitoring over the paper's logical windows.
+
+The framework trains one model per logical-time window (Problem 2);
+each window's prediction quality can degrade independently as the fleet
+mix or RCC behaviour shifts.  :class:`DriftMonitor` keeps per-
+``(channel, window)`` rolling statistics — ``residual`` observations
+arrive from :meth:`DomdEstimator.evaluate` (realised delay minus fused
+estimate) and ``prediction`` observations from every live query — and
+flags a window when the rolling mean departs from a frozen baseline by
+more than ``z_threshold`` standard errors.
+
+A baseline is either set explicitly (:meth:`set_baseline`) or frozen
+automatically from the first ``baseline_samples`` observations of a
+channel/window, after which the rolling window restarts and tracks the
+*recent* regime.  Alerts are edge-triggered: :meth:`observe` returns a
+:class:`DriftAlert` only on the transition into the drifted state, with
+hysteresis at half the threshold before the window is considered
+recovered.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Knobs of the drift detector.
+
+    Attributes
+    ----------
+    z_threshold:
+        Mean-shift z-score (in standard errors of the rolling mean)
+        above which a window is flagged.
+    min_samples:
+        Rolling observations required before a verdict is attempted.
+    baseline_samples:
+        Observations frozen into the baseline when none was set
+        explicitly.
+    window_size:
+        Rolling window length (recent regime).
+    """
+
+    z_threshold: float = 4.0
+    min_samples: int = 20
+    baseline_samples: int = 50
+    window_size: int = 200
+
+    def __post_init__(self) -> None:
+        if self.z_threshold <= 0:
+            raise ConfigurationError("z_threshold must be positive")
+        if self.min_samples < 2 or self.baseline_samples < 2 or self.window_size < 2:
+            raise ConfigurationError("sample counts must be >= 2")
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One flagged shift of a channel/window."""
+
+    channel: str
+    window: int
+    z: float
+    recent_mean: float
+    baseline_mean: float
+    baseline_std: float
+    n_recent: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "channel": self.channel,
+            "window": self.window,
+            "z": round(self.z, 3),
+            "recent_mean": round(self.recent_mean, 6),
+            "baseline_mean": round(self.baseline_mean, 6),
+            "baseline_std": round(self.baseline_std, 6),
+            "n_recent": self.n_recent,
+        }
+
+
+class _WindowState:
+    __slots__ = ("recent", "baseline_mean", "baseline_std", "baseline_n", "flagged")
+
+    def __init__(self, window_size: int):
+        self.recent: deque[float] = deque(maxlen=window_size)
+        self.baseline_mean: float | None = None
+        self.baseline_std: float | None = None
+        self.baseline_n: int = 0
+        self.flagged = False
+
+
+def _mean_std(values) -> tuple[float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(var)
+
+
+class DriftMonitor:
+    """Per-(channel, logical-window) rolling drift detection."""
+
+    def __init__(self, thresholds: DriftThresholds | None = None):
+        self.thresholds = thresholds or DriftThresholds()
+        self._states: dict[tuple[str, int], _WindowState] = {}
+
+    def _state(self, channel: str, window: int) -> _WindowState:
+        key = (str(channel), int(window))
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _WindowState(self.thresholds.window_size)
+        return state
+
+    # ------------------------------------------------------------------
+    def set_baseline(
+        self, channel: str, window: int, mean: float, std: float, n: int = 0
+    ) -> None:
+        """Pin the expected distribution of one channel/window."""
+        state = self._state(channel, window)
+        state.baseline_mean = float(mean)
+        state.baseline_std = float(std)
+        state.baseline_n = int(n)
+
+    def observe(self, channel: str, window: int, value: float) -> DriftAlert | None:
+        """Record one observation; returns an alert on a fresh flag."""
+        state = self._state(channel, window)
+        state.recent.append(float(value))
+        if state.baseline_mean is None:
+            if len(state.recent) >= self.thresholds.baseline_samples:
+                mean, std = _mean_std(state.recent)
+                state.baseline_mean, state.baseline_std = mean, std
+                state.baseline_n = len(state.recent)
+                state.recent.clear()
+            return None
+        return self._evaluate(channel, window, state)
+
+    def observe_many(self, channel: str, window: int, values) -> list[DriftAlert]:
+        """Feed a batch (e.g. all residuals of one evaluation window)."""
+        alerts = []
+        for value in values:
+            alert = self.observe(channel, window, float(value))
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def _evaluate(
+        self, channel: str, window: int, state: _WindowState
+    ) -> DriftAlert | None:
+        n = len(state.recent)
+        if n < self.thresholds.min_samples:
+            return None
+        recent_mean, _ = _mean_std(state.recent)
+        assert state.baseline_mean is not None and state.baseline_std is not None
+        spread = max(state.baseline_std, _EPS)
+        z = abs(recent_mean - state.baseline_mean) / (spread / math.sqrt(n))
+        if state.flagged:
+            if z < self.thresholds.z_threshold / 2.0:
+                state.flagged = False
+            return None
+        if z >= self.thresholds.z_threshold:
+            state.flagged = True
+            return DriftAlert(
+                channel=channel,
+                window=int(window),
+                z=z,
+                recent_mean=recent_mean,
+                baseline_mean=state.baseline_mean,
+                baseline_std=state.baseline_std,
+                n_recent=n,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def flagged(self) -> list[dict[str, Any]]:
+        """Currently drifted channel/windows."""
+        return [
+            {"channel": channel, "window": window}
+            for (channel, window), state in sorted(self._states.items())
+            if state.flagged
+        ]
+
+    def status(self) -> dict[str, dict[str, Any]]:
+        """Full per-channel/window state (the ``health`` payload)."""
+        out: dict[str, dict[str, Any]] = {}
+        for (channel, window), state in sorted(self._states.items()):
+            entry: dict[str, Any] = {
+                "n_recent": len(state.recent),
+                "flagged": state.flagged,
+            }
+            if state.recent:
+                mean, std = _mean_std(state.recent)
+                entry["recent_mean"] = round(mean, 6)
+                entry["recent_std"] = round(std, 6)
+            if state.baseline_mean is not None:
+                entry["baseline_mean"] = round(state.baseline_mean, 6)
+                entry["baseline_std"] = round(float(state.baseline_std or 0.0), 6)
+                entry["baseline_n"] = state.baseline_n
+            out[f"{channel}:{window}"] = entry
+        return out
+
+    def healthy(self) -> bool:
+        return not any(state.flagged for state in self._states.values())

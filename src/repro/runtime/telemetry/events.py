@@ -1,0 +1,150 @@
+"""Structured event logs: in-memory ring buffer and rotating JSONL files.
+
+Every telemetry event is a flat JSON-serialisable dict with at least
+``ts`` (unix seconds), ``kind`` and ``trace_id``.  Kinds emitted by the
+stack:
+
+=================  ====================================================
+kind               payload
+=================  ====================================================
+``trace_open``     ``name`` plus caller attributes (request type, ...)
+``trace_close``    ``name``
+``span_open``      ``name, span_id, parent_id``
+``span_close``     ``name, span_id, seconds`` (+ ``error: true``)
+``counter``        ``name, delta, total``
+``planner_decision``  the :class:`PlanDecision` payload
+``drift_alert``    channel/window/z-score of a flagged shift
+``error``          ``code, message`` (service error envelopes)
+=================  ====================================================
+
+The in-memory :class:`MemoryEventLog` bounds retention by event count;
+:class:`JsonlEventLog` persists an append-only JSONL file with
+size-bounded rotation (``events.jsonl`` -> ``events.jsonl.1`` -> ...).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+
+Event = dict[str, Any]
+
+
+class MemoryEventLog:
+    """Bounded ring buffer of recent events (always-on default sink)."""
+
+    def __init__(self, max_events: int = 4096):
+        if max_events < 1:
+            raise ConfigurationError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self._events: deque[Event] = deque(maxlen=max_events)
+        self.total_emitted = 0
+
+    def emit(self, event: Event) -> None:
+        self._events.append(event)
+        self.total_emitted += 1
+
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def close(self) -> None:  # symmetry with the file-backed log
+        pass
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlEventLog:
+    """Append-only JSONL event file with size-bounded rotation.
+
+    When appending a line would push the current file past
+    ``max_bytes``, the file is rotated: ``path.(n-1)`` -> ``path.n`` for
+    ``n`` up to ``max_files``, then ``path`` -> ``path.1`` and a fresh
+    file is started.  The oldest rotation falls off the end, so total
+    disk use is bounded by roughly ``max_bytes * (max_files + 1)``.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = 2_000_000, max_files: int = 3):
+        if max_bytes < 1024:
+            raise ConfigurationError(f"max_bytes must be >= 1024, got {max_bytes}")
+        if max_files < 1:
+            raise ConfigurationError(f"max_files must be >= 1, got {max_files}")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._size = self.path.stat().st_size if self.path.exists() else 0
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        for n in range(self.max_files, 0, -1):
+            src = self.path if n == 1 else Path(f"{self.path}.{n - 1}")
+            dst = Path(f"{self.path}.{n}")
+            if src.exists():
+                os.replace(src, dst)
+        self._size = 0
+
+    def emit(self, event: Event) -> None:
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        encoded = len(line.encode("utf-8"))
+        if self._size and self._size + encoded > self.max_bytes:
+            self._rotate()
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(line)
+        self._handle.flush()
+        self._size += encoded
+
+    def events(self) -> list[Event]:
+        """Events in the *current* (unrotated) file."""
+        self.close()
+        if not self.path.exists():
+            return []
+        return load_events(self.path)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __len__(self) -> int:
+        return len(self.events())
+
+
+def load_events(path: str | Path) -> list[Event]:
+    """Parse one JSONL event file (skipping blank lines)."""
+    path = Path(path)
+    events: list[Event] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: malformed event line: {exc}"
+                ) from None
+    return events
+
+
+def counters_from_events(events: Iterable[Event]) -> dict[str, float]:
+    """Summed counter deltas by name over an event stream."""
+    totals: dict[str, float] = {}
+    for event in events:
+        if event.get("kind") == "counter":
+            name = event["name"]
+            totals[name] = totals.get(name, 0) + event.get("delta", 0)
+    return totals

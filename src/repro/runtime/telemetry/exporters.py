@@ -1,0 +1,249 @@
+"""Exposition formats over the telemetry state.
+
+Three consumers, three formats:
+
+* :func:`prometheus_text` — Prometheus text exposition (counters,
+  histograms with cumulative ``le`` buckets, drift/cache gauges) for a
+  scrape endpoint or the service ``metrics`` request.
+* :func:`telemetry_snapshot` — one JSON-serialisable dict with counter
+  totals, histogram summaries (p50/p90/p99), cache hit ratio and drift
+  status; the machine-readable twin of the Prometheus text.
+* :func:`render_report` — a human-readable run report reconstructed
+  *purely from a JSONL event log*: per-trace span trees plus a latency
+  histogram table (what ``repro telemetry report`` prints).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Sequence
+
+from repro.runtime.metrics import MetricsSink
+from repro.runtime.telemetry.events import Event, counters_from_events
+from repro.runtime.telemetry.histogram import Histogram
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _cache_ratio(counters: dict[str, float]) -> float | None:
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+def prometheus_text(sink: MetricsSink) -> str:
+    """Render the sink + hub state in Prometheus text format."""
+    lines: list[str] = []
+    counters = sink.counters
+    for name in sorted(counters):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]:g}")
+    hub = sink.telemetry
+    if hub is not None:
+        for name, histogram in sorted(hub.histograms.items()):
+            metric = _metric_name(name) + "_seconds"
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.bucket_counts):
+                cumulative += count
+                lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{metric}_sum {histogram.total:.9g}")
+            lines.append(f"{metric}_count {histogram.count}")
+        for key, state in hub.drift.status().items():
+            channel, window = key.rsplit(":", 1)
+            lines.append(
+                f'repro_drift_flagged{{channel="{channel}",window="{window}"}} '
+                f"{int(state['flagged'])}"
+            )
+    ratio = _cache_ratio(counters)
+    if ratio is not None:
+        lines.append("# TYPE repro_cache_hit_ratio gauge")
+        lines.append(f"repro_cache_hit_ratio {ratio:.6f}")
+    return "\n".join(lines) + "\n"
+
+
+def telemetry_snapshot(sink: MetricsSink) -> dict[str, Any]:
+    """JSON snapshot: counters, histogram summaries, cache, drift."""
+    counters = sink.counters
+    out: dict[str, Any] = {
+        "counters": counters,
+        "histograms": {},
+        "cache": {
+            "hits": counters.get("cache.hits", 0),
+            "misses": counters.get("cache.misses", 0),
+            "hit_ratio": _cache_ratio(counters),
+        },
+    }
+    hub = sink.telemetry
+    if hub is not None:
+        out["histograms"] = {
+            name: histogram.summary()
+            for name, histogram in sorted(hub.histograms.items())
+        }
+        out["drift"] = hub.drift.status()
+        out["events_buffered"] = len(hub.buffer)
+    return out
+
+
+# ----------------------------------------------------------------------
+# event-log reconstruction (the ``repro telemetry report`` path)
+# ----------------------------------------------------------------------
+def reconstruct_traces(events: Iterable[Event]) -> list[dict[str, Any]]:
+    """Rebuild span trees per trace id from span_open/span_close events.
+
+    Returns one dict per trace (in first-seen order):
+    ``{"trace_id", "name", "spans": [tree...]}`` where each span node is
+    ``{"name", "span_id", "seconds", "error"?, "children": [...]}``.
+    Spans never closed (crash mid-run) keep ``seconds=None``.
+    """
+    traces: dict[str, dict[str, Any]] = {}
+    nodes: dict[tuple[str, str], dict[str, Any]] = {}
+    for event in events:
+        kind = event.get("kind")
+        trace_id = event.get("trace_id", "?")
+        trace = traces.get(trace_id)
+        if trace is None:
+            trace = traces[trace_id] = {
+                "trace_id": trace_id,
+                "name": None,
+                "spans": [],
+            }
+        if kind == "trace_open":
+            trace["name"] = event.get("name")
+        elif kind == "span_open":
+            node = {
+                "name": event.get("name"),
+                "span_id": event.get("span_id"),
+                "seconds": None,
+                "children": [],
+            }
+            nodes[(trace_id, event["span_id"])] = node
+            parent = nodes.get((trace_id, event.get("parent_id")))
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                trace["spans"].append(node)
+        elif kind == "span_close":
+            node = nodes.get((trace_id, event.get("span_id")))
+            if node is not None:
+                node["seconds"] = event.get("seconds")
+                if event.get("error"):
+                    node["error"] = True
+    return list(traces.values())
+
+
+def histograms_from_events(
+    events: Iterable[Event], buckets: Sequence[float] | None = None
+) -> dict[str, Histogram]:
+    """Latency histograms per span name, rebuilt from span_close events."""
+    histograms: dict[str, Histogram] = {}
+    for event in events:
+        if event.get("kind") != "span_close":
+            continue
+        seconds = event.get("seconds")
+        if seconds is None:
+            continue
+        name = event.get("name", "?")
+        histogram = histograms.get(name)
+        if histogram is None:
+            histogram = histograms[name] = (
+                Histogram(buckets) if buckets is not None else Histogram()
+            )
+        histogram.record(float(seconds))
+    return histograms
+
+
+def _format_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "(open)"
+    return f"{seconds * 1000:.2f} ms"
+
+
+def render_trace_tree(trace: dict[str, Any]) -> str:
+    """Pretty text tree of one reconstructed trace."""
+    title = trace["trace_id"]
+    if trace.get("name"):
+        title += f" {trace['name']}"
+    lines = [f"trace {title}"]
+
+    def walk(node: dict[str, Any], depth: int) -> None:
+        flag = " !" if node.get("error") else ""
+        lines.append(
+            f"{'  ' * depth}- {node['name']}: {_format_seconds(node['seconds'])}{flag}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for node in trace["spans"]:
+        walk(node, 1)
+    return "\n".join(lines)
+
+
+def render_report(events: Sequence[Event], max_traces: int = 20) -> str:
+    """Full text report of an event log: traces, latencies, counters."""
+    from repro.bench.reporting import format_table
+
+    blocks: list[str] = []
+    traces = reconstruct_traces(events)
+    shown = traces[:max_traces]
+    for trace in shown:
+        blocks.append(render_trace_tree(trace))
+    if len(traces) > len(shown):
+        blocks.append(f"... {len(traces) - len(shown)} more trace(s) omitted")
+
+    histograms = histograms_from_events(events)
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            summary = histograms[name].summary()
+            rows.append(
+                [
+                    name,
+                    int(summary["count"]),
+                    f"{summary['p50'] * 1000:.2f}",
+                    f"{summary['p90'] * 1000:.2f}",
+                    f"{summary['p99'] * 1000:.2f}",
+                    f"{summary['max'] * 1000:.2f}",
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["span", "count", "p50 ms", "p90 ms", "p99 ms", "max ms"], rows
+            )
+        )
+
+    counters = counters_from_events(events)
+    if counters:
+        blocks.append(
+            format_table(
+                ["counter", "total"],
+                [[name, f"{counters[name]:g}"] for name in sorted(counters)],
+            )
+        )
+
+    alerts = [e for e in events if e.get("kind") == "drift_alert"]
+    if alerts:
+        blocks.append(
+            format_table(
+                ["drift alert", "window", "z", "recent mean", "baseline mean"],
+                [
+                    [
+                        a.get("channel"),
+                        a.get("window"),
+                        a.get("z"),
+                        a.get("recent_mean"),
+                        a.get("baseline_mean"),
+                    ]
+                    for a in alerts
+                ],
+            )
+        )
+    return "\n\n".join(blocks) if blocks else "(no events)"

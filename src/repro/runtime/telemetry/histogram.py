@@ -1,0 +1,141 @@
+"""Fixed-bucket histograms with percentile summaries.
+
+The telemetry layer records latency distributions (service requests,
+per-backend Status Queries) into :class:`Histogram` instances with a
+fixed, shared bucket layout so p50/p90/p99 summaries and Prometheus
+expositions stay comparable across runs and across backends.  Buckets
+are cumulative-upper-bound (``le``) style: bucket ``i`` counts values
+``bounds[i-1] < v <= bounds[i]``, with a final overflow bucket above
+the largest bound.
+
+Percentiles are estimated by linear interpolation inside the winning
+bucket — exact enough for the default log-spaced layout, and bounded
+memory regardless of how many observations were recorded.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default latency buckets in seconds: log-spaced 10us .. 10s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5,
+    2.5e-5,
+    5e-5,
+    1e-4,
+    2.5e-4,
+    5e-4,
+    1e-3,
+    2.5e-3,
+    5e-3,
+    1e-2,
+    2.5e-2,
+    5e-2,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Percentiles every summary reports.
+SUMMARY_PERCENTILES = (0.5, 0.9, 0.99)
+
+
+class Histogram:
+    """Bounded-memory distribution sketch over fixed buckets."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ConfigurationError("histogram bounds must be strictly ascending")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 overflow (+Inf)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram with identical bounds into this one."""
+        if other.bounds != self.bounds:
+            raise ConfigurationError("cannot merge histograms with different bounds")
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1].
+
+        Returns 0.0 for an empty histogram; the overflow bucket
+        interpolates toward the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0.0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count and cumulative + bucket_count >= target:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else max(self.max, lo)
+                fraction = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+            cumulative += bucket_count
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """count / sum / min / max / mean plus p50, p90, p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        out: dict[str, float] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+        for q in SUMMARY_PERCENTILES:
+            out[f"p{int(q * 100)}"] = self.percentile(q)
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        """Summary plus the cumulative ``le`` bucket table."""
+        cumulative = 0
+        buckets = []
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            buckets.append({"le": bound, "count": cumulative})
+        buckets.append({"le": "+Inf", "count": self.count})
+        out = self.summary()
+        out["buckets"] = buckets
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, buckets={len(self.bounds) + 1})"

@@ -1,0 +1,188 @@
+"""The telemetry hub: trace-context propagation and metric fan-out.
+
+One :class:`TelemetryHub` hangs off a
+:class:`~repro.runtime.metrics.MetricsSink` (and therefore off every
+:class:`~repro.runtime.context.ExecutionContext`).  The sink forwards
+span open/close and counter updates; the hub
+
+* assigns **trace ids** and **span ids** — every span event carries
+  ``(trace_id, span_id, parent_id)`` so a request can be reconstructed
+  end-to-end from the event log alone,
+* maintains **histograms** — every span close records its duration into
+  ``span.<name>``, and components may :meth:`observe` arbitrary values,
+* appends **structured events** to an always-on in-memory ring buffer
+  plus any attached sinks (rotating JSONL files),
+* hosts the :class:`~repro.runtime.telemetry.drift.DriftMonitor` and
+  turns its alerts into ``drift_alert`` events.
+
+Spans opened outside an explicit :meth:`trace` block belong to one
+ambient per-hub trace (a CLI run); :class:`DomdService` opens a fresh
+trace per request.  The hub reads the wall clock only to timestamp
+events — durations still come exclusively from the sink.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.runtime.telemetry.drift import DriftAlert, DriftMonitor
+from repro.runtime.telemetry.events import Event, MemoryEventLog
+from repro.runtime.telemetry.histogram import DEFAULT_LATENCY_BUCKETS, Histogram
+
+
+class TelemetryHub:
+    """Trace, histogram and event-log state shared by one runtime."""
+
+    def __init__(
+        self,
+        buffer: MemoryEventLog | None = None,
+        drift: DriftMonitor | None = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.buffer = buffer or MemoryEventLog()
+        self.drift = drift or DriftMonitor()
+        self._buckets = tuple(buckets)
+        self._clock = clock
+        self._sinks: list[Any] = []
+        self._histograms: dict[str, Histogram] = {}
+        self._id_counter = 0
+        self._trace_stack: list[str] = []
+        self._span_stack: list[str] = []
+        self._ambient_trace: str | None = None
+
+    # ------------------------------------------------------------------
+    # event sinks
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Any) -> Any:
+        """Attach an extra event sink (e.g. a :class:`JsonlEventLog`)."""
+        self._sinks.append(sink)
+        return sink
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    def events(self) -> list[Event]:
+        """The buffered (recent) events."""
+        return self.buffer.events()
+
+    def emit(self, kind: str, **fields: Any) -> Event:
+        """Append one structured event to the buffer and all sinks."""
+        event: Event = {
+            "ts": round(self._clock(), 6),
+            "kind": kind,
+            "trace_id": self.trace_id,
+        }
+        event.update(fields)
+        self.buffer.emit(event)
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # trace / span ids
+    # ------------------------------------------------------------------
+    def _next_id(self, prefix: str) -> str:
+        self._id_counter += 1
+        return f"{prefix}{self._id_counter:08x}"
+
+    @property
+    def trace_id(self) -> str:
+        """The active trace id (ambient run trace when none is open)."""
+        if self._trace_stack:
+            return self._trace_stack[-1]
+        if self._ambient_trace is None:
+            self._ambient_trace = self._next_id("T")
+        return self._ambient_trace
+
+    @contextmanager
+    def trace(self, name: str, **attrs: Any) -> Iterator[str]:
+        """Open a fresh trace; spans inside carry its trace id.
+
+        Span parentage does not leak across the boundary: the span stack
+        is swapped out for the duration, so a request traced inside an
+        outer span still yields a self-contained tree.
+        """
+        trace_id = self._next_id("T")
+        self._trace_stack.append(trace_id)
+        outer_spans = self._span_stack
+        self._span_stack = []
+        self.emit("trace_open", name=name, **attrs)
+        try:
+            yield trace_id
+        finally:
+            self.emit("trace_close", name=name)
+            self._span_stack = outer_spans
+            self._trace_stack.pop()
+
+    def span_opened(self, name: str) -> str:
+        """Sink hook: a span was entered; returns its span id."""
+        span_id = self._next_id("S")
+        parent = self._span_stack[-1] if self._span_stack else None
+        self.emit("span_open", name=name, span_id=span_id, parent_id=parent)
+        self._span_stack.append(span_id)
+        return span_id
+
+    def span_closed(
+        self, span_id: str, name: str, seconds: float, error: bool = False
+    ) -> None:
+        """Sink hook: a span exited; records its latency histogram."""
+        if self._span_stack and self._span_stack[-1] == span_id:
+            self._span_stack.pop()
+        fields: dict[str, Any] = {
+            "name": name,
+            "span_id": span_id,
+            "seconds": round(seconds, 9),
+        }
+        if error:
+            fields["error"] = True
+        self.emit("span_close", **fields)
+        self.observe(f"span.{name}", seconds)
+
+    def counter_changed(self, name: str, delta: float, total: float) -> None:
+        """Sink hook: a counter moved."""
+        self.emit("counter", name=name, delta=delta, total=total)
+
+    # ------------------------------------------------------------------
+    # histograms
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one value into the named histogram (created lazily)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(self._buckets)
+        histogram.record(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    # ------------------------------------------------------------------
+    # drift
+    # ------------------------------------------------------------------
+    def drift_observe(
+        self, channel: str, window: int, value: float
+    ) -> DriftAlert | None:
+        """Feed the drift monitor; flagged shifts become events."""
+        alert = self.drift.observe(channel, window, value)
+        if alert is not None:
+            self.emit("drift_alert", **alert.as_dict())
+        return alert
+
+    def drift_observe_many(self, channel: str, window: int, values) -> list[DriftAlert]:
+        alerts = self.drift.observe_many(channel, window, values)
+        for alert in alerts:
+            self.emit("drift_alert", **alert.as_dict())
+        return alerts
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryHub(events={self.buffer.total_emitted}, "
+            f"histograms={len(self._histograms)}, sinks={len(self._sinks)})"
+        )

@@ -1,0 +1,260 @@
+"""Service-level telemetry: the PR's acceptance criteria.
+
+* A single :class:`DomdService` request yields a reconstructable trace —
+  one trace id linking the service span to the estimator, feature
+  extraction and Status Query spans in the structured event log.
+* Latency histograms (p50/p90/p99) are non-empty for service requests
+  and per-backend Status Queries.
+* The drift monitor flags an injected residual shift, degrading
+  ``health`` and emitting ``drift_alert`` events.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, DomdService, paper_final_config
+from repro.runtime import ExecutionContext, JsonlEventLog, load_events
+from repro.runtime.telemetry.drift import DriftThresholds
+from repro.runtime.telemetry.exporters import reconstruct_traces
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    context = ExecutionContext(seed=0)
+    estimator = DomdEstimator(
+        paper_final_config(window_pct=25), context=context
+    ).fit(dataset, splits.train_ids)
+    return dataset, splits, estimator
+
+
+def _span_names(node, names=None):
+    names = names if names is not None else set()
+    names.add(node["name"])
+    for child in node["children"]:
+        _span_names(child, names)
+    return names
+
+
+class TestRequestTraceReconstruction:
+    def test_one_trace_links_service_to_status_query(self, fitted):
+        """Acceptance: service -> estimator -> extraction -> Status Query."""
+        dataset, splits, estimator = fitted
+        # a freshly served snapshot defers extraction to the first query,
+        # so the request's own trace carries the whole chain; a fresh
+        # context (empty artifact cache) makes the extraction real work
+        context = ExecutionContext(seed=0)
+        served = estimator.serve(dataset)
+        served.context = context
+        before = len(context.telemetry.events())
+        service = DomdService(served, context=context)
+        avail_id = int(splits.test_ids[0])
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [avail_id], "t_star": 50.0}
+        )
+        assert response["ok"]
+        events = context.telemetry.events()[before:]
+        traces = [
+            t for t in reconstruct_traces(events) if t["name"] == "request"
+        ]
+        assert len(traces) == 1
+        trace = traces[0]
+        names = set()
+        for root in trace["spans"]:
+            _span_names(root, names)
+        assert "request.domd_query" in names  # service layer
+        assert "query" in names and "predict" in names  # estimator layer
+        assert "extract" in names  # feature extraction layer
+        assert "status_query.sweep.incremental" in names  # Status Query layer
+        # every span in the tree closed under the same trace id
+        assert all(
+            e["trace_id"] == trace["trace_id"]
+            for e in events
+            if e["kind"] in ("span_open", "span_close")
+            and e.get("span_id", "").startswith("S")
+            and e["trace_id"] == trace["trace_id"]
+        )
+
+    def test_trace_survives_jsonl_round_trip(self, fitted, tmp_path):
+        dataset, splits, estimator = fitted
+        served = estimator.serve(dataset)
+        context = served.context
+        log = context.telemetry.add_sink(JsonlEventLog(tmp_path / "e.jsonl"))
+        service = DomdService(served, context=context)
+        service.handle(
+            {"type": "domd_query", "avail_ids": [int(splits.test_ids[0])],
+             "t_star": 40.0}
+        )
+        log.close()
+        context.telemetry._sinks.remove(log)
+        events = load_events(tmp_path / "e.jsonl")
+        traces = [t for t in reconstruct_traces(events) if t["name"] == "request"]
+        assert traces, "request trace must be reconstructable from disk"
+        names = set()
+        for root in traces[0]["spans"]:
+            _span_names(root, names)
+        assert "request.domd_query" in names
+
+    def test_each_request_gets_a_fresh_trace_id(self, fitted):
+        dataset, splits, estimator = fitted
+        service = DomdService(estimator)
+        context = estimator.context
+        before = len(context.telemetry.events())
+        for _ in range(3):
+            service.handle(
+                {"type": "domd_query", "avail_ids": [int(splits.test_ids[0])],
+                 "t_star": 50.0}
+            )
+        events = context.telemetry.events()[before:]
+        opened = [e for e in events if e["kind"] == "trace_open"]
+        assert len(opened) == 3
+        assert len({e["trace_id"] for e in opened}) == 3
+
+    def test_failed_request_emits_error_event_in_its_trace(self, fitted):
+        dataset, splits, estimator = fitted
+        service = DomdService(estimator)
+        context = estimator.context
+        before = len(context.telemetry.events())
+        response = service.handle({"type": "domd_query", "avail_ids": [1]})
+        assert not response["ok"]
+        events = context.telemetry.events()[before:]
+        errors = [e for e in events if e["kind"] == "error"]
+        opened = [e for e in events if e["kind"] == "trace_open"]
+        assert len(errors) == 1 and len(opened) == 1
+        assert errors[0]["trace_id"] == opened[0]["trace_id"]
+        assert errors[0]["code"] == "bad_request"
+
+
+class TestLatencyHistograms:
+    def test_service_and_backend_histograms_populated(self, fitted):
+        """Acceptance: non-empty p50/p90/p99 for requests and queries."""
+        dataset, splits, estimator = fitted
+        service = DomdService(estimator)
+        for _ in range(2):
+            service.handle(
+                {"type": "domd_query", "avail_ids": [int(splits.test_ids[0])],
+                 "t_star": 50.0}
+            )
+        response = service.handle({"type": "metrics"})
+        assert response["ok"]
+        histograms = response["result"]["histograms"]
+        request_summary = histograms["span.request.domd_query"]
+        assert request_summary["count"] >= 2
+        assert 0 < request_summary["p50"] <= request_summary["p99"]
+        # per-backend Status Query latency, via an explicit engine query
+        # against the service's shared context
+        from repro.index import StatusQuery, StatusQueryEngine
+        from repro.table import ColumnTable
+
+        rng = np.random.default_rng(5)
+        starts = rng.uniform(0, 80, size=50)
+        table = ColumnTable(
+            {
+                "rcc_type": rng.choice(["G", "N"], size=50),
+                "swlin": rng.choice(["10000000", "20000000"], size=50),
+                "t_start": starts,
+                "t_end": starts + rng.uniform(1, 30, size=50),
+                "amount": rng.uniform(10, 100, size=50),
+            }
+        )
+        engine = StatusQueryEngine(table, design="avl", context=service.context)
+        engine.execute(StatusQuery(t_star=50.0))
+        response = service.handle({"type": "metrics"})
+        backend_summary = response["result"]["histograms"][
+            "span.status_query.query.avl"
+        ]
+        assert backend_summary["count"] >= 1
+        assert {"p50", "p90", "p99"} <= backend_summary.keys()
+
+    def test_prometheus_exposition_via_service(self, fitted):
+        dataset, splits, estimator = fitted
+        service = DomdService(estimator)
+        service.handle(
+            {"type": "domd_query", "avail_ids": [int(splits.test_ids[0])],
+             "t_star": 50.0}
+        )
+        response = service.handle({"type": "metrics", "format": "prometheus"})
+        assert response["ok"]
+        text = response["result"]["exposition"]
+        assert "repro_service_requests_total" in text
+        assert "repro_span_request_domd_query_seconds_bucket" in text
+
+    def test_invalid_format_is_a_bad_request(self, fitted):
+        _, _, estimator = fitted
+        service = DomdService(estimator)
+        response = service.handle({"type": "metrics", "format": "xml"})
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad_request"
+
+    def test_model_metrics_still_work_with_avail_ids(self, fitted):
+        dataset, splits, estimator = fitted
+        service = DomdService(estimator)
+        response = service.handle(
+            {"type": "metrics", "avail_ids": [int(a) for a in splits.test_ids]}
+        )
+        assert response["ok"]
+        assert "average" in response["result"]
+
+
+class TestDriftHealth:
+    def _service_with_tight_drift(self, fitted):
+        dataset, splits, estimator = fitted
+        context = ExecutionContext(seed=1)
+        context.telemetry.drift.thresholds = DriftThresholds(
+            min_samples=5, baseline_samples=8, window_size=40
+        )
+        served = DomdEstimator(estimator.config, context=context)
+        served._dataset = dataset
+        served._model_set = estimator._model_set
+        served._features_pending = True
+        return dataset, splits, served, DomdService(served, context=context)
+
+    def test_health_ok_before_any_drift(self, fitted):
+        _, _, _, service = self._service_with_tight_drift(fitted)
+        response = service.handle({"type": "health"})
+        assert response["ok"]
+        assert response["result"]["status"] == "ok"
+        assert response["result"]["fitted"]
+        assert response["result"]["drift"]["flagged"] == []
+
+    def test_injected_residual_shift_degrades_health(self, fitted):
+        """Acceptance: the drift monitor flags an injected residual shift."""
+        dataset, splits, served, service = self._service_with_tight_drift(fitted)
+        context = served.context
+        hub = context.telemetry
+        # freeze an on-model baseline, then inject a shifted residual
+        # regime (systematic +30-day under-estimation)
+        rng = np.random.default_rng(0)
+        hub.drift_observe_many("residual", 0, rng.normal(0.0, 5.0, size=20))
+        before = len(hub.events())
+        alerts = hub.drift_observe_many(
+            "residual", 0, rng.normal(30.0, 5.0, size=40)
+        )
+        assert alerts, "the injected shift must raise an alert"
+        events = hub.events()[before:]
+        assert any(e["kind"] == "drift_alert" for e in events)
+        response = service.handle({"type": "health"})
+        assert response["result"]["status"] == "degraded"
+        flagged = response["result"]["drift"]["flagged"]
+        assert {"channel": "residual", "window": 0} in flagged
+        status = response["result"]["drift"]["windows"]["residual:0"]
+        assert status["flagged"] is True
+
+    def test_evaluate_feeds_residual_channels(self, fitted):
+        dataset, splits, estimator = fitted
+        estimator.evaluate(splits.test_ids)
+        status = estimator.context.telemetry.drift.status()
+        residual_keys = [k for k in status if k.startswith("residual:")]
+        # one channel per logical window of the 25% timeline (0..100)
+        assert len(residual_keys) == len(estimator.timeline.t_stars)
+
+    def test_queries_feed_prediction_channel(self, fitted):
+        dataset, splits, estimator = fitted
+        service = DomdService(estimator)
+        service.handle(
+            {"type": "domd_query", "avail_ids": [int(splits.test_ids[0])],
+             "t_star": 50.0}
+        )
+        status = estimator.context.telemetry.drift.status()
+        assert any(k.startswith("prediction:") for k in status)

@@ -1,0 +1,126 @@
+"""Metric-name uniformity across the four index backends.
+
+Dashboards and the planner's feedback loop rely on every backend
+emitting the *same* metric names modulo the backend label: counter
+``status_query.queries.<design>``, spans ``index.build.<design>`` /
+``status_query.query.<design>``, and the shared (unlabelled) span and
+counter set around them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index import StatusQuery, StatusQueryEngine
+from repro.runtime import ExecutionContext
+from repro.table import ColumnTable
+
+
+def _rcc_table(n: int = 60) -> ColumnTable:
+    rng = np.random.default_rng(11)
+    starts = rng.uniform(0, 80, size=n)
+    return ColumnTable(
+        {
+            "rcc_type": rng.choice(["G", "N", "NG"], size=n),
+            "swlin": rng.choice(
+                ["10000000", "11000000", "20000000", "21000000"], size=n
+            ),
+            "t_start": starts,
+            "t_end": starts + rng.uniform(1, 40, size=n),
+            "amount": rng.uniform(10, 500, size=n),
+        }
+    )
+
+
+def _strip_design(name: str, design: str) -> str:
+    """Replace a trailing ``.<design>`` suffix with ``.<backend>``."""
+    suffix = f".{design}"
+    if name.endswith(suffix):
+        return name[: -len(suffix)] + ".<backend>"
+    return name
+
+
+def _run_workload(design: str) -> ExecutionContext:
+    context = ExecutionContext(seed=0)
+    engine = StatusQueryEngine(_rcc_table(), design=design, context=context)
+    engine.execute(StatusQuery(t_star=50.0))
+    engine.execute_sweep([0.0, 25.0, 50.0])
+    return context
+
+
+@pytest.fixture(scope="module")
+def contexts_by_design():
+    return {
+        design: _run_workload(design) for design in StatusQueryEngine.designs()
+    }
+
+
+class TestBackendMetricUniformity:
+    def test_four_designs_exist(self):
+        assert set(StatusQueryEngine.designs()) == {
+            "naive", "avl", "interval", "sorted_array",
+        }
+
+    def test_counter_names_identical_modulo_backend(self, contexts_by_design):
+        normalized = {
+            design: {
+                _strip_design(name, design)
+                for name in context.metrics.counters
+            }
+            for design, context in contexts_by_design.items()
+        }
+        reference = normalized["naive"]
+        assert reference  # non-empty
+        for design, names in normalized.items():
+            assert names == reference, f"{design} diverges from naive"
+
+    def test_span_names_identical_modulo_backend(self, contexts_by_design):
+        normalized = {
+            design: {
+                _strip_design(name, design)
+                for name in context.metrics.report().span_names()
+            }
+            for design, context in contexts_by_design.items()
+        }
+        reference = normalized["naive"]
+        for design, names in normalized.items():
+            assert names == reference, f"{design} diverges from naive"
+
+    def test_labelled_query_counter_present(self, contexts_by_design):
+        for design, context in contexts_by_design.items():
+            counters = context.metrics.counters
+            # 1 point query + 3 sweep timestamps
+            assert counters[f"status_query.queries.{design}"] == 4
+
+    def test_labelled_query_span_present(self, contexts_by_design):
+        for design, context in contexts_by_design.items():
+            names = context.metrics.report().span_names()
+            assert f"status_query.query.{design}" in names
+            assert f"index.build.{design}" in names
+
+    def test_latency_histograms_share_name_scheme(self, contexts_by_design):
+        normalized = {
+            design: {
+                _strip_design(name, design)
+                for name in context.telemetry.histograms
+            }
+            for design, context in contexts_by_design.items()
+        }
+        reference = normalized["naive"]
+        assert "span.status_query.query.<backend>" in reference
+        for design, names in normalized.items():
+            assert names == reference, f"{design} diverges from naive"
+
+    def test_results_identical_across_backends(self, contexts_by_design):
+        # uniform metrics would be meaningless if the answers diverged
+        tables = {
+            design: StatusQueryEngine(
+                _rcc_table(), design=design, context=context
+            ).execute(StatusQuery(t_star=50.0))
+            for design, context in contexts_by_design.items()
+        }
+        reference = tables["naive"]
+        for design, table in tables.items():
+            assert table.n_rows == reference.n_rows
+            np.testing.assert_allclose(
+                np.asarray(table["n_active"]), np.asarray(reference["n_active"])
+            )

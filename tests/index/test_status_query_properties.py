@@ -74,8 +74,11 @@ class TestStatStructureProperties:
         stepper = StatStructure(groups, n_groups, starts, ends, amounts)
         for t in np.linspace(0, 150, 31):
             stepper.advance(float(t))
+        # amounts reach 1e5, so incremental-vs-jump summation order can
+        # differ by ~1e-9 absolute on cancelling aggregates; match the
+        # brute-force test's tolerance rather than exact associativity
         for key, value in jumper.aggregates().items():
-            np.testing.assert_allclose(value, stepper.aggregates()[key], atol=1e-9)
+            np.testing.assert_allclose(value, stepper.aggregates()[key], atol=1e-6)
 
     @given(event_population())
     @settings(max_examples=40, deadline=None)

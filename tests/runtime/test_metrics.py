@@ -83,6 +83,21 @@ class TestSpanNesting:
         report = sink.report()
         assert [s.name for s in report.spans] == ["boom", "after"]
 
+    def test_exception_span_records_elapsed_and_error(self):
+        sink = MetricsSink()
+        with pytest.raises(RuntimeError):
+            with sink.span("boom"):
+                sum(range(1000))
+                raise RuntimeError("x")
+        record = sink.report().spans[0]
+        assert record.seconds > 0.0
+        assert record.errors == 1
+        assert record.as_dict()["errors"] == 1
+        # successful spans do not carry the key at all
+        with sink.span("fine"):
+            pass
+        assert "errors" not in sink.report().spans[1].as_dict()
+
     def test_child_seconds_bounded_by_parent(self):
         sink = MetricsSink()
         with sink.span("outer"):
@@ -172,3 +187,39 @@ class TestCapture:
             pass
         assert captured.report.counters == {}
         assert captured.report.spans == []
+
+    def test_nested_capture_raises(self):
+        sink = MetricsSink()
+        with sink.capture():
+            with pytest.raises(RuntimeError, match="does not nest"):
+                with sink.capture():
+                    pass
+
+    def test_capture_usable_again_after_close(self):
+        sink = MetricsSink()
+        with sink.capture():
+            pass
+        with sink.capture() as captured:
+            sink.counter("ok")
+        assert captured.report.counters == {"ok": 1}
+
+    def test_capture_reopens_after_exception(self):
+        sink = MetricsSink()
+        with pytest.raises(ValueError):
+            with sink.capture():
+                raise ValueError("x")
+        with sink.capture() as captured:
+            sink.counter("ok")
+        assert captured.report.counters == {"ok": 1}
+
+    def test_capture_delta_includes_error_counts(self):
+        sink = MetricsSink()
+        with pytest.raises(RuntimeError):
+            with sink.span("request"):
+                raise RuntimeError("x")
+        with sink.capture() as captured:
+            with pytest.raises(RuntimeError):
+                with sink.span("request"):
+                    raise RuntimeError("y")
+        delta = captured.report.spans[0]
+        assert delta.count == 1 and delta.errors == 1

@@ -1,0 +1,337 @@
+"""Telemetry subsystem: histograms, event logs, hub, drift, exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import ExecutionContext, MetricsSink
+from repro.runtime.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DriftMonitor,
+    DriftThresholds,
+    Histogram,
+    JsonlEventLog,
+    MemoryEventLog,
+    TelemetryHub,
+    load_events,
+    prometheus_text,
+    telemetry_snapshot,
+)
+from repro.runtime.telemetry.events import counters_from_events
+from repro.runtime.telemetry.exporters import (
+    histograms_from_events,
+    reconstruct_traces,
+    render_report,
+)
+
+
+class TestHistogram:
+    def test_record_and_summary(self):
+        h = Histogram()
+        for v in (0.001, 0.002, 0.003, 0.2):
+            h.record(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == pytest.approx(0.206)
+        assert s["min"] == pytest.approx(0.001)
+        assert s["max"] == pytest.approx(0.2)
+        assert {"p50", "p90", "p99"} <= s.keys()
+
+    def test_percentiles_are_monotone(self):
+        h = Histogram()
+        for i in range(1, 101):
+            h.record(i / 1000.0)  # 1ms .. 100ms
+        assert h.percentile(0.5) <= h.percentile(0.9) <= h.percentile(0.99)
+        # p50 of a uniform 1..100ms spread lands in the right decade
+        assert 0.001 < h.percentile(0.5) < 0.1
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(0.5) == 0.0
+        assert h.summary() == {"count": 0, "sum": 0.0}
+
+    def test_overflow_bucket_interpolates_toward_max(self):
+        h = Histogram(bounds=(1.0,))
+        h.record(5.0)
+        assert h.bucket_counts == [0, 1]
+        assert 1.0 <= h.percentile(0.99) <= 5.0
+
+    def test_merge_requires_identical_bounds(self):
+        a, b = Histogram(), Histogram()
+        a.record(0.01)
+        b.record(0.02)
+        a.merge(b)
+        assert a.count == 2
+        with pytest.raises(ConfigurationError):
+            a.merge(Histogram(bounds=(1.0, 2.0)))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_as_dict_has_cumulative_le_buckets(self):
+        h = Histogram(bounds=(0.01, 0.1))
+        h.record(0.005)
+        h.record(0.05)
+        h.record(5.0)
+        buckets = h.as_dict()["buckets"]
+        assert [b["count"] for b in buckets] == [1, 2, 3]
+        assert buckets[-1]["le"] == "+Inf"
+
+    def test_default_buckets_cover_common_latencies(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(10.0)
+
+
+class TestEventLogs:
+    def test_memory_log_bounds_retention(self):
+        log = MemoryEventLog(max_events=3)
+        for i in range(5):
+            log.emit({"kind": "counter", "i": i})
+        assert len(log) == 3
+        assert [e["i"] for e in log.events()] == [2, 3, 4]
+        assert log.total_emitted == 5
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonlEventLog(path)
+        log.emit({"kind": "span_open", "name": "x", "trace_id": "T1"})
+        log.emit({"kind": "span_close", "name": "x", "trace_id": "T1"})
+        log.close()
+        events = load_events(path)
+        assert [e["kind"] for e in events] == ["span_open", "span_close"]
+
+    def test_jsonl_rotation_bounds_disk(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonlEventLog(path, max_bytes=1024, max_files=2)
+        payload = "p" * 100
+        for i in range(100):
+            log.emit({"kind": "counter", "i": i, "pad": payload})
+        log.close()
+        assert path.exists()
+        assert (tmp_path / "events.jsonl.1").exists()
+        assert (tmp_path / "events.jsonl.2").exists()
+        assert not (tmp_path / "events.jsonl.3").exists()
+        # each live file respects the byte bound
+        for p in (path, tmp_path / "events.jsonl.1", tmp_path / "events.jsonl.2"):
+            assert p.stat().st_size <= 1024 + 200  # one line of slack
+
+    def test_rotated_files_shift_in_order(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = JsonlEventLog(path, max_bytes=1024, max_files=3)
+        for i in range(200):
+            log.emit({"kind": "counter", "i": i, "pad": "x" * 50})
+        log.close()
+        # the newest rotation (.1) holds more recent events than .2
+        newest = load_events(tmp_path / "e.jsonl.1")
+        older = load_events(tmp_path / "e.jsonl.2")
+        assert newest[0]["i"] > older[0]["i"]
+
+    def test_load_events_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "counter"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            load_events(path)
+
+    def test_counters_from_events_sums_deltas(self):
+        events = [
+            {"kind": "counter", "name": "a", "delta": 1},
+            {"kind": "counter", "name": "a", "delta": 4},
+            {"kind": "span_open", "name": "ignored"},
+            {"kind": "counter", "name": "b", "delta": 2},
+        ]
+        assert counters_from_events(events) == {"a": 5, "b": 2}
+
+
+class TestTelemetryHub:
+    def test_sink_spans_carry_trace_and_parent_ids(self):
+        sink = MetricsSink(telemetry=TelemetryHub())
+        hub = sink.telemetry
+        with sink.span("outer"):
+            with sink.span("inner"):
+                pass
+        events = hub.events()
+        opens = [e for e in events if e["kind"] == "span_open"]
+        assert [e["name"] for e in opens] == ["outer", "inner"]
+        assert opens[0]["parent_id"] is None
+        assert opens[1]["parent_id"] == opens[0]["span_id"]
+        assert len({e["trace_id"] for e in events}) == 1
+
+    def test_trace_blocks_isolate_span_parentage(self):
+        sink = MetricsSink(telemetry=TelemetryHub())
+        hub = sink.telemetry
+        with sink.span("ambient"):
+            with hub.trace("request"):
+                with sink.span("handler"):
+                    pass
+        opens = {e["name"]: e for e in hub.events() if e["kind"] == "span_open"}
+        # the request's span is a root of its own trace, not a child of
+        # the ambient span
+        assert opens["handler"]["parent_id"] is None
+        assert opens["handler"]["trace_id"] != opens["ambient"]["trace_id"]
+
+    def test_distinct_traces_get_distinct_ids(self):
+        hub = TelemetryHub()
+        ids = []
+        for _ in range(3):
+            with hub.trace("request") as trace_id:
+                ids.append(trace_id)
+        assert len(set(ids)) == 3
+
+    def test_span_close_records_latency_histogram(self):
+        sink = MetricsSink(telemetry=TelemetryHub())
+        with sink.span("work"):
+            pass
+        histogram = sink.telemetry.histogram("span.work")
+        assert histogram is not None and histogram.count == 1
+
+    def test_counter_events(self):
+        sink = MetricsSink(telemetry=TelemetryHub())
+        sink.counter("queries", 3)
+        events = [e for e in sink.telemetry.events() if e["kind"] == "counter"]
+        assert events[0]["name"] == "queries"
+        assert events[0]["delta"] == 3 and events[0]["total"] == 3
+
+    def test_events_are_json_serialisable(self):
+        sink = MetricsSink(telemetry=TelemetryHub())
+        with sink.span("s"):
+            sink.counter("c")
+        for event in sink.telemetry.events():
+            json.dumps(event)
+
+    def test_extra_sink_receives_events(self, tmp_path):
+        hub = TelemetryHub()
+        hub.add_sink(JsonlEventLog(tmp_path / "e.jsonl"))
+        hub.emit("error", code="x", message="boom")
+        hub.close()
+        events = load_events(tmp_path / "e.jsonl")
+        assert events[0]["kind"] == "error" and events[0]["code"] == "x"
+
+
+class TestDriftMonitor:
+    def test_explicit_baseline_and_shift_flags(self):
+        monitor = DriftMonitor(DriftThresholds(min_samples=10))
+        monitor.set_baseline("residual", 0, mean=0.0, std=1.0)
+        alerts = monitor.observe_many("residual", 0, [0.1] * 9)
+        assert alerts == []
+        # a strong sustained shift: mean 5 with baseline std 1
+        alerts = monitor.observe_many("residual", 0, [5.0] * 20)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.channel == "residual" and alert.window == 0
+        assert alert.z > 4.0
+        assert not monitor.healthy()
+        assert monitor.flagged() == [{"channel": "residual", "window": 0}]
+
+    def test_auto_baseline_from_first_samples(self):
+        monitor = DriftMonitor(
+            DriftThresholds(min_samples=5, baseline_samples=10, window_size=50)
+        )
+        assert monitor.observe_many("prediction", 2, [10.0] * 10) == []
+        status = monitor.status()["prediction:2"]
+        assert status["baseline_mean"] == pytest.approx(10.0)
+        # stable regime stays quiet; a jump flags
+        assert monitor.observe_many("prediction", 2, [10.0] * 10) == []
+        alerts = monitor.observe_many("prediction", 2, [40.0] * 50)
+        assert len(alerts) == 1
+
+    def test_alerts_are_edge_triggered(self):
+        monitor = DriftMonitor(DriftThresholds(min_samples=5, window_size=20))
+        monitor.set_baseline("residual", 1, mean=0.0, std=1.0)
+        alerts = monitor.observe_many("residual", 1, [8.0] * 40)
+        assert len(alerts) == 1  # flag once, not once per observation
+
+    def test_recovery_with_hysteresis(self):
+        monitor = DriftMonitor(DriftThresholds(min_samples=5, window_size=10))
+        monitor.set_baseline("residual", 0, mean=0.0, std=1.0)
+        monitor.observe_many("residual", 0, [9.0] * 10)
+        assert not monitor.healthy()
+        # the rolling window refills with on-baseline values -> recovery
+        monitor.observe_many("residual", 0, [0.0] * 10)
+        assert monitor.healthy()
+
+    def test_windows_are_independent(self):
+        monitor = DriftMonitor(DriftThresholds(min_samples=5, window_size=20))
+        monitor.set_baseline("residual", 0, mean=0.0, std=1.0)
+        monitor.set_baseline("residual", 1, mean=0.0, std=1.0)
+        monitor.observe_many("residual", 0, [9.0] * 20)
+        assert monitor.flagged() == [{"channel": "residual", "window": 0}]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriftThresholds(z_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftThresholds(min_samples=1)
+
+
+class TestExporters:
+    def _context_with_activity(self):
+        context = ExecutionContext(seed=0)
+        with context.span("request.domd_query"):
+            with context.span("query"):
+                pass
+        context.counter("cache.hits", 3)
+        context.counter("cache.misses", 1)
+        return context
+
+    def test_prometheus_text_shape(self):
+        context = self._context_with_activity()
+        text = prometheus_text(context.metrics)
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 3" in text
+        assert 'repro_span_request_domd_query_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_span_request_domd_query_seconds_count 1" in text
+        assert "repro_cache_hit_ratio 0.75" in text
+
+    def test_prometheus_drift_gauges(self):
+        context = self._context_with_activity()
+        hub = context.telemetry
+        hub.drift.set_baseline("residual", 0, mean=0.0, std=1.0)
+        hub.drift_observe_many("residual", 0, [9.0] * 30)
+        text = prometheus_text(context.metrics)
+        assert 'repro_drift_flagged{channel="residual",window="0"} 1' in text
+
+    def test_snapshot_summaries(self):
+        context = self._context_with_activity()
+        snapshot = telemetry_snapshot(context.metrics)
+        assert snapshot["counters"]["cache.hits"] == 3
+        assert snapshot["cache"]["hit_ratio"] == pytest.approx(0.75)
+        summary = snapshot["histograms"]["span.request.domd_query"]
+        assert summary["count"] == 1
+        assert {"p50", "p90", "p99"} <= summary.keys()
+        json.dumps(snapshot)  # must be serialisable as-is
+
+    def test_reconstruct_traces_from_events(self):
+        context = self._context_with_activity()
+        traces = reconstruct_traces(context.telemetry.events())
+        assert len(traces) == 1
+        roots = traces[0]["spans"]
+        assert [r["name"] for r in roots] == ["request.domd_query"]
+        assert [c["name"] for c in roots[0]["children"]] == ["query"]
+        assert roots[0]["seconds"] is not None
+
+    def test_unclosed_span_survives_reconstruction(self):
+        events = [
+            {"kind": "span_open", "trace_id": "T1", "name": "crashy",
+             "span_id": "S1", "parent_id": None},
+        ]
+        traces = reconstruct_traces(events)
+        assert traces[0]["spans"][0]["seconds"] is None
+
+    def test_histograms_from_events_groups_by_span_name(self):
+        context = self._context_with_activity()
+        with context.span("request.domd_query"):
+            pass
+        histograms = histograms_from_events(context.telemetry.events())
+        assert histograms["request.domd_query"].count == 2
+        assert histograms["query"].count == 1
+
+    def test_render_report_is_textual(self):
+        context = self._context_with_activity()
+        text = render_report(context.telemetry.events())
+        assert "request.domd_query" in text
+        assert "p50 ms" in text
+        assert "cache.hits" in text

@@ -11,7 +11,7 @@ from repro.bench import (
     scaled_dataset,
     sweep_status_queries,
 )
-from repro.bench.reporting import emit_report
+from repro.bench.reporting import compare_bench_metrics, emit_json, emit_report
 from repro.errors import (
     ColumnNotFoundError,
     ConfigurationError,
@@ -44,6 +44,39 @@ class TestEmitReport:
         path = emit_report("unit", "A title", "body text", directory=tmp_path)
         assert path.read_text().startswith("== A title ==")
         assert "body text" in capsys.readouterr().out
+
+
+class TestBenchJson:
+    def test_emit_json_writes_sorted_metrics(self, tmp_path):
+        import json
+
+        path = emit_json("unit", {"b": 2.0, "a": 1.0}, directory=tmp_path)
+        assert path.name == "BENCH_unit.json"
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "unit"
+        assert list(payload["metrics"]) == ["a", "b"]
+
+    def test_compare_flags_regressions_over_threshold(self):
+        baseline = {"metrics": {"build": 1.0, "query": 0.10}}
+        current = {"metrics": {"build": 1.5, "query": 0.11}}
+        messages = compare_bench_metrics(baseline, current, threshold=0.25)
+        assert len(messages) == 1
+        assert messages[0].startswith("build:")
+        assert "+50%" in messages[0]
+
+    def test_compare_ignores_improvements_and_new_metrics(self):
+        baseline = {"metrics": {"build": 1.0}}
+        current = {"metrics": {"build": 0.5, "fresh": 9.0}}
+        assert compare_bench_metrics(baseline, current) == []
+
+    def test_compare_ignores_sub_millisecond_noise(self):
+        baseline = {"metrics": {"tiny": 1e-5}}
+        current = {"metrics": {"tiny": 9e-4}}  # 90x but still under 1ms
+        assert compare_bench_metrics(baseline, current) == []
+
+    def test_compare_accepts_bare_metric_dicts(self):
+        messages = compare_bench_metrics({"x": 1.0}, {"x": 2.0})
+        assert len(messages) == 1
 
 
 class TestWorkloads:

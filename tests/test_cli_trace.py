@@ -1,4 +1,9 @@
-"""The CLI's global ``--trace`` flag: a final JSON RunReport line."""
+"""The CLI's ``--trace`` / ``--trace-file`` flags and ``telemetry report``.
+
+``--trace`` prints the final RunReport JSON line on **stderr** so command
+stdout stays machine-parseable (pipeable to ``jq``); ``--trace-file``
+writes the same JSON to a path instead.
+"""
 
 import io
 import json
@@ -11,11 +16,12 @@ from repro.data import save_dataset
 from repro.ml import GbmParams
 
 
-def run_cli(*argv, stdin_text: str = "") -> tuple[int, list[dict]]:
-    out = io.StringIO()
-    code = main(list(argv), out=out, stdin=io.StringIO(stdin_text))
-    lines = [json.loads(line) for line in out.getvalue().splitlines() if line.strip()]
-    return code, lines
+def run_cli(*argv, stdin_text: str = "") -> tuple[int, list[dict], list[dict]]:
+    out, err = io.StringIO(), io.StringIO()
+    code = main(list(argv), out=out, stdin=io.StringIO(stdin_text), err=err)
+    out_lines = [json.loads(line) for line in out.getvalue().splitlines() if line.strip()]
+    err_lines = [json.loads(line) for line in err.getvalue().splitlines() if line.strip()]
+    return code, out_lines, err_lines
 
 
 @pytest.fixture(scope="module")
@@ -40,60 +46,139 @@ def _span_names(trace: dict) -> set:
 class TestTraceFlag:
     def test_fit_trace_covers_the_pipeline_stages(self, trace_env):
         data_dir, model_path = trace_env
-        code, lines = run_cli(
+        code, out_lines, err_lines = run_cli(
             "--trace", "fit", "--data", data_dir, "--out", model_path,
             "--window", "25",
         )
         assert code == 0
-        assert "trace" in lines[-1]
-        trace = lines[-1]["trace"]
+        assert "trace" in err_lines[-1]
+        trace = err_lines[-1]["trace"]
         assert trace["meta"]["command"] == "fit"
         names = _span_names(trace)
         # the acceptance chain: extract -> select -> fit -> fuse
         assert {"extract", "select", "fit", "fuse"} <= names
         assert trace["counters"]["models.windows_fitted"] == 5
 
-    def test_query_trace_reports_estimator_counters(self, trace_env):
+    def test_trace_goes_to_stderr_stdout_stays_pipeable(self, trace_env):
+        """Regression: every stdout line must be a command payload."""
         data_dir, model_path = trace_env
-        code, lines = run_cli(
+        code, out_lines, err_lines = run_cli(
             "--trace", "query", "--model", model_path, "--data", data_dir,
             "--avail", "0", "--t-star", "50",
         )
         assert code == 0
-        assert lines[0]["ok"]
-        trace = lines[-1]["trace"]
+        assert all("trace" not in line for line in out_lines)
+        assert out_lines[0]["ok"]
+        assert len(err_lines) == 1 and "trace" in err_lines[0]
+
+    def test_query_trace_reports_estimator_counters(self, trace_env):
+        data_dir, model_path = trace_env
+        code, out_lines, err_lines = run_cli(
+            "--trace", "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        assert code == 0
+        assert out_lines[0]["ok"]
+        trace = err_lines[-1]["trace"]
         assert trace["counters"]["estimator.queries"] == 1
         assert "request.domd_query" in _span_names(trace)
 
     def test_no_trace_by_default(self, trace_env):
         data_dir, model_path = trace_env
-        code, lines = run_cli(
+        code, out_lines, err_lines = run_cli(
             "query", "--model", model_path, "--data", data_dir,
             "--avail", "0", "--t-star", "50",
         )
         assert code == 0
-        assert all("trace" not in line for line in lines)
+        assert err_lines == []
+        assert all("trace" not in line for line in out_lines)
 
     def test_trace_printed_even_on_error(self, trace_env):
         data_dir, model_path = trace_env
-        code, lines = run_cli(
+        code, out_lines, err_lines = run_cli(
             "--trace", "query", "--model", model_path, "--data", data_dir,
             "--avail", "424242", "--t-star", "50",
         )
         assert code == 1
-        assert not lines[0]["ok"]
-        assert "trace" in lines[-1]
+        assert not out_lines[0]["ok"]
+        assert "trace" in err_lines[-1]
 
     def test_serve_trace(self, trace_env):
         data_dir, model_path = trace_env
         request = json.dumps(
             {"type": "domd_query", "avail_ids": [0], "t_star": 60.0, "timings": True}
         )
-        code, lines = run_cli(
+        code, out_lines, err_lines = run_cli(
             "--trace", "serve", "--model", model_path, "--data", data_dir,
             stdin_text=request + "\n",
         )
         assert code == 0
-        assert lines[0]["ok"]
-        assert "timings" in lines[0]
-        assert "request.domd_query" in _span_names(lines[-1]["trace"])
+        assert out_lines[0]["ok"]
+        assert "timings" in out_lines[0]
+        assert "request.domd_query" in _span_names(err_lines[-1]["trace"])
+
+    def test_trace_file_writes_report_to_path(self, trace_env, tmp_path):
+        data_dir, model_path = trace_env
+        trace_path = tmp_path / "trace.json"
+        code, out_lines, err_lines = run_cli(
+            "--trace-file", str(trace_path),
+            "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        assert code == 0
+        assert err_lines == []  # --trace-file alone keeps stderr quiet
+        trace = json.loads(trace_path.read_text())["trace"]
+        assert "request.domd_query" in _span_names(trace)
+
+
+class TestTelemetryCli:
+    def test_events_log_and_report_round_trip(self, trace_env, tmp_path):
+        data_dir, model_path = trace_env
+        events_path = tmp_path / "events.jsonl"
+        code, out_lines, _ = run_cli(
+            "--telemetry-events", str(events_path),
+            "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        assert code == 0 and out_lines[0]["ok"]
+        assert events_path.exists()
+
+        out = io.StringIO()
+        code = main(["telemetry", "report", "--events", str(events_path)], out=out)
+        assert code == 0
+        assert out.getvalue().strip()
+
+    def test_report_text_contains_trace_and_histograms(self, trace_env, tmp_path, capsys):
+        data_dir, model_path = trace_env
+        events_path = tmp_path / "events.jsonl"
+        run_cli(
+            "--telemetry-events", str(events_path),
+            "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        out = io.StringIO()
+        code = main(
+            ["telemetry", "report", "--events", str(events_path)], out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "trace " in text
+        assert "request.domd_query" in text
+        assert "p50 ms" in text and "p99 ms" in text
+
+    def test_report_json_is_machine_readable(self, trace_env, tmp_path):
+        data_dir, model_path = trace_env
+        events_path = tmp_path / "events.jsonl"
+        run_cli(
+            "--telemetry-events", str(events_path),
+            "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        code, out_lines, _ = run_cli(
+            "telemetry", "report", "--events", str(events_path), "--format", "json"
+        )
+        assert code == 0
+        payload = out_lines[0]
+        assert payload["counters"]["service.requests"] == 1
+        assert any(t["name"] == "request" for t in payload["traces"])
+        assert "request.domd_query" in payload["histograms"]
