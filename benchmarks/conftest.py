@@ -31,7 +31,10 @@ _REPO_ROOT = Path(__file__).resolve().parents[1]
 
 def _committed_baseline(path: Path) -> dict | None:
     """The HEAD-committed content of ``path``, or None if never committed."""
-    relative = path.relative_to(_REPO_ROOT).as_posix()
+    try:
+        relative = path.resolve().relative_to(_REPO_ROOT).as_posix()
+    except ValueError:
+        return None
     try:
         proc = subprocess.run(
             ["git", "show", f"HEAD:{relative}"],
