@@ -9,7 +9,11 @@ A session-scoped regression guard compares every ``BENCH_*.json`` metric
 file written during the run against the last *committed* copy (via
 ``git show HEAD:...``) and emits a non-fatal warning when a metric
 regressed by more than 25% — CI logs surface slowdowns without turning
-machine-speed noise into hard failures.
+machine-speed noise into hard failures.  Speedups past the same
+threshold warn too (:class:`BenchImprovementWarning`): they mean the
+committed baseline is stale and the refreshed ``BENCH_*.json`` should
+be committed, otherwise the next real regression hides inside the
+slack.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.reporting import RESULTS_DIR, compare_bench_metrics
+from repro.bench.reporting import RESULTS_DIR, compare_bench_metrics_detailed
 from repro.core import PipelineConfig, PipelineOptimizer
 from repro.data import generate_dataset, split_dataset
 from repro.ml import GbmParams
@@ -57,6 +61,10 @@ class BenchRegressionWarning(UserWarning):
     """A benchmark metric regressed versus the committed baseline."""
 
 
+class BenchImprovementWarning(UserWarning):
+    """A benchmark metric beat the committed baseline — refresh it."""
+
+
 @pytest.fixture(scope="session", autouse=True)
 def bench_guard():
     """Compare freshly written BENCH_*.json files against HEAD at teardown."""
@@ -69,10 +77,20 @@ def bench_guard():
             current = json.loads(current_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             continue
-        for message in compare_bench_metrics(baseline, current, threshold=0.25):
-            warnings.warn(
-                f"{current_path.name}: {message}", BenchRegressionWarning, stacklevel=2
-            )
+        for delta in compare_bench_metrics_detailed(baseline, current, threshold=0.25):
+            if delta.kind == "regression":
+                warnings.warn(
+                    f"{current_path.name}: {delta.message()}",
+                    BenchRegressionWarning,
+                    stacklevel=2,
+                )
+            else:
+                warnings.warn(
+                    f"{current_path.name}: {delta.message()} — baseline is "
+                    "stale; commit the refreshed metrics file",
+                    BenchImprovementWarning,
+                    stacklevel=2,
+                )
 
 
 @pytest.fixture(scope="session")

@@ -1,7 +1,9 @@
 """Experiment-harness utilities shared by the benchmark scripts."""
 
 from repro.bench.reporting import (
+    BenchDelta,
     compare_bench_metrics,
+    compare_bench_metrics_detailed,
     emit_json,
     emit_report,
     format_table,
@@ -16,7 +18,9 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "BenchDelta",
     "compare_bench_metrics",
+    "compare_bench_metrics_detailed",
     "emit_json",
     "emit_report",
     "format_table",

@@ -11,6 +11,7 @@ against the last committed baseline and warns on large slowdowns.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -66,27 +67,69 @@ def emit_json(
     return path
 
 
-def compare_bench_metrics(
+@dataclass(frozen=True)
+class BenchDelta:
+    """One metric's change versus the committed baseline."""
+
+    key: str
+    before: float
+    after: float
+    kind: str  # "regression" | "improvement"
+
+    @property
+    def pct(self) -> float:
+        return (self.after - self.before) / self.before * 100.0
+
+    def message(self) -> str:
+        return (
+            f"{self.key}: {self.before:.4f}s -> {self.after:.4f}s "
+            f"({self.pct:+.0f}%)"
+        )
+
+
+def compare_bench_metrics_detailed(
     baseline: dict[str, Any], current: dict[str, Any], threshold: float = 0.25
-) -> list[str]:
-    """Regression messages for metrics slower than ``baseline`` by > threshold.
+) -> list[BenchDelta]:
+    """Metrics that moved versus ``baseline`` by more than ``threshold``.
 
     Both arguments are parsed ``BENCH_*.json`` payloads (or bare
     ``{"metrics": {...}}`` dicts).  Only metrics present in both are
     compared; timing noise below ``min_seconds`` of 1 ms is ignored so
     micro-benchmarks do not trip the guard on scheduler jitter.
+    Slowdowns come back as ``kind="regression"``; speedups past the same
+    relative threshold as ``kind="improvement"`` — a stale-baseline
+    signal (the committed numbers undersell the current code and should
+    be refreshed).
     """
     old = baseline.get("metrics", baseline)
     new = current.get("metrics", current)
     min_seconds = 1e-3
-    messages = []
+    deltas: list[BenchDelta] = []
     for key in sorted(set(old) & set(new)):
         before, after = float(old[key]), float(new[key])
         if before < min_seconds and after < min_seconds:
             continue
-        if before > 0 and (after - before) / before > threshold:
-            messages.append(
-                f"{key}: {before:.4f}s -> {after:.4f}s "
-                f"(+{(after - before) / before * 100.0:.0f}%)"
-            )
-    return messages
+        if before <= 0:
+            continue
+        relative = (after - before) / before
+        if relative > threshold:
+            deltas.append(BenchDelta(key, before, after, "regression"))
+        elif relative < -threshold:
+            deltas.append(BenchDelta(key, before, after, "improvement"))
+    return deltas
+
+
+def compare_bench_metrics(
+    baseline: dict[str, Any], current: dict[str, Any], threshold: float = 0.25
+) -> list[str]:
+    """Regression messages for metrics slower than ``baseline`` by > threshold.
+
+    The regressions-only string view of
+    :func:`compare_bench_metrics_detailed`, kept for callers that treat
+    any returned message as a failure signal.
+    """
+    return [
+        delta.message()
+        for delta in compare_bench_metrics_detailed(baseline, current, threshold)
+        if delta.kind == "regression"
+    ]

@@ -9,8 +9,16 @@ Commands mirror the deployment life cycle:
 * ``evaluate`` — Table-7-style metrics on the chronological test split.
 * ``serve``    — JSON-lines request loop over stdin/stdout
   (the SMDII back-end contract, see :mod:`repro.core.service`).
+* ``explain``  — EXPLAIN/ANALYZE a Status Query workload: planner
+  decision, per-operator rows/timings, cost-model residual; optionally
+  exporting the run as a flamegraph or Chrome trace.
+* ``planner doctor`` — re-measure the planner's cost constants on this
+  machine and flag backends whose committed constants are >2x off.
 * ``telemetry report`` — render a run's trace trees, latency
-  histograms and counters from a JSONL event log.
+  histograms and counters from a JSONL event log (corrupt lines are
+  skipped and counted in a footer warning).
+* ``telemetry profile`` — render the same event log as collapsed-stack
+  flamegraph lines or Chrome ``traceEvents`` JSON.
 
 Every command is a thin shell over the library API; ``main`` returns an
 exit code and never raises for user errors.
@@ -42,8 +50,25 @@ from repro.data.loader import load_dataset, save_dataset
 from repro.data.scaling import scale_rccs
 from repro.data.splits import split_dataset
 from repro.errors import ReproError
+from repro.index.status_query import StatusQuery, StatusQueryEngine
 from repro.persistence import load_estimator, save_estimator
-from repro.runtime import ExecutionContext, JsonlEventLog, load_events, render_report
+from repro.runtime import (
+    ExecutionContext,
+    JsonlEventLog,
+    chrome_trace_from_events,
+    collapsed_from_events,
+    doctor_report,
+    explain_point,
+    explain_sweep,
+    load_events_lenient,
+    render_report,
+)
+
+#: Engine-facing columns of the logical-time RCC table.
+_ENGINE_COLUMNS = ["rcc_type", "swlin", "t_start", "t_end", "amount", "avail_id"]
+
+#: Default sweep timeline: the paper's 10%-window logical timestamps.
+_DEFAULT_SWEEP = [float(t) for t in range(0, 101, 10)]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -103,17 +128,103 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", required=True)
     serve.add_argument("--data", required=True)
 
+    explain = sub.add_parser(
+        "explain", help="EXPLAIN/ANALYZE a Status Query workload"
+    )
+    explain.add_argument("--data", required=True, help="dataset directory")
+    explain.add_argument(
+        "--design",
+        default="auto",
+        help="index design (naive/avl/interval/sorted_array) or 'auto' "
+        "to let the planner choose (default)",
+    )
+    mode = explain.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--t-star", type=float, help="point query at one logical timestamp"
+    )
+    mode.add_argument(
+        "--sweep",
+        metavar="T0,T1,...",
+        help="comma-separated sweep timestamps (default: 0,10,...,100)",
+    )
+    explain.add_argument(
+        "--swlin-level",
+        type=int,
+        default=1,
+        help="SWLIN grouping level 1..4, or 0 for no SWLIN grouping",
+    )
+    explain.add_argument(
+        "--no-group-type", action="store_true", help="skip RCC-type grouping"
+    )
+    explain.add_argument(
+        "--scratch",
+        action="store_true",
+        help="sweep from scratch per timestamp instead of incrementally",
+    )
+    explain.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="report_format"
+    )
+    explain.add_argument(
+        "--redact-timings",
+        action="store_true",
+        help="replace machine-speed numbers with *** (host-stable output)",
+    )
+    explain.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        help="write the run's collapsed-stack flamegraph lines to PATH",
+    )
+    explain.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="write the run's Chrome traceEvents JSON to PATH",
+    )
+
+    planner = sub.add_parser(
+        "planner", help="inspect the cost-based query planner"
+    )
+    planner.add_argument(
+        "action",
+        choices=["doctor"],
+        help="'doctor': measure cost-model calibration on this machine",
+    )
+    planner.add_argument("--data", required=True, help="dataset directory")
+    planner.add_argument(
+        "--factor", type=int, default=1, help="x-fold RCC scaling for the probe"
+    )
+    planner.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="flag backends whose measured/modelled ratio is outside "
+        "[1/threshold, threshold]",
+    )
+    planner.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="report_format"
+    )
+
     telemetry = sub.add_parser(
         "telemetry", help="inspect telemetry artefacts of a previous run"
     )
     telemetry.add_argument(
-        "action", choices=["report"], help="'report': render an event log"
+        "action",
+        choices=["report", "profile"],
+        help="'report': render an event log; 'profile': export it as a "
+        "flamegraph or Chrome trace",
     )
     telemetry.add_argument(
         "--events", required=True, help="JSONL event log (from --telemetry-events)"
     )
     telemetry.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="report_format"
+        "--format",
+        choices=["text", "json", "collapsed", "chrome"],
+        default=None,
+        dest="report_format",
+        help="report: text|json (default text); profile: collapsed|chrome "
+        "(default collapsed)",
+    )
+    telemetry.add_argument(
+        "--out", metavar="PATH", help="write profile output to PATH instead of stdout"
     )
     return parser
 
@@ -205,9 +316,100 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
     return 0
 
 
-def _cmd_telemetry(args, out: IO[str]) -> int:
-    events = load_events(args.events)
+def _cmd_explain(args, out: IO[str], context: ExecutionContext) -> int:
+    dataset = load_dataset(args.data)
+    rccs = dataset.rccs_with_logical_times().select(_ENGINE_COLUMNS)
+    engine = StatusQueryEngine(rccs, design=args.design, context=context)
+    swlin_level = args.swlin_level if args.swlin_level else None
+    group_by_type = not args.no_group_type
+    if args.t_star is not None:
+        query = StatusQuery(
+            t_star=args.t_star,
+            group_by_type=group_by_type,
+            swlin_level=swlin_level,
+        )
+        explained = explain_point(engine, query)
+    else:
+        if args.sweep:
+            t_stars = [float(part) for part in args.sweep.split(",") if part.strip()]
+        else:
+            t_stars = list(_DEFAULT_SWEEP)
+        explained = explain_sweep(
+            engine,
+            t_stars,
+            group_by_type=group_by_type,
+            swlin_level=swlin_level,
+            incremental=not args.scratch,
+        )
+    plan = explained.plan
     if args.report_format == "json":
+        print(json.dumps({"plan": plan.as_dict()}), file=out)
+    else:
+        print(plan.format(redact_timings=args.redact_timings), file=out)
+    if args.flamegraph or args.chrome_trace:
+        events = context.telemetry.events()
+        if args.flamegraph:
+            lines = collapsed_from_events(events)
+            Path(args.flamegraph).write_text(
+                "\n".join(lines) + "\n", encoding="utf-8"
+            )
+        if args.chrome_trace:
+            Path(args.chrome_trace).write_text(
+                json.dumps(chrome_trace_from_events(events)) + "\n",
+                encoding="utf-8",
+            )
+    return 0
+
+
+def _cmd_planner(args, out: IO[str], context: ExecutionContext) -> int:
+    # Lazy import: the bench package pulls in the benchmark harness,
+    # which no other CLI path needs.
+    from repro.bench.workloads import calibrate_planner
+
+    dataset = load_dataset(args.data)
+    _, measurements = calibrate_planner(dataset, factor=args.factor, context=context)
+    text, flagged = doctor_report(measurements, threshold=args.threshold)
+    if args.report_format == "json":
+        payload = {
+            "measurements": measurements,
+            "flagged": flagged,
+            "threshold": args.threshold,
+        }
+        print(json.dumps(payload), file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def _cmd_telemetry(args, out: IO[str]) -> int:
+    events, dropped = load_events_lenient(args.events)
+    if args.action == "profile":
+        fmt = args.report_format or "collapsed"
+        if fmt not in ("collapsed", "chrome"):
+            raise ReproError(
+                f"telemetry profile supports --format collapsed|chrome, got {fmt!r}"
+            )
+        if fmt == "chrome":
+            rendered = json.dumps(chrome_trace_from_events(events))
+        else:
+            rendered = "\n".join(collapsed_from_events(events))
+        if args.out:
+            Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+            print(json.dumps({"written": args.out, "format": fmt}), file=out)
+        else:
+            print(rendered, file=out)
+        if dropped:
+            print(
+                f"warning: skipped {dropped} corrupt event-log line(s)",
+                file=sys.stderr,
+            )
+        return 0
+    fmt = args.report_format or "text"
+    if fmt not in ("text", "json"):
+        raise ReproError(
+            f"telemetry report supports --format text|json, got {fmt!r}"
+        )
+    if fmt == "json":
         from repro.runtime.telemetry.exporters import (
             histograms_from_events,
             reconstruct_traces,
@@ -221,10 +423,11 @@ def _cmd_telemetry(args, out: IO[str]) -> int:
                 for name, histogram in sorted(histograms_from_events(events).items())
             },
             "counters": counters_from_events(events),
+            "dropped_lines": dropped,
         }
         print(json.dumps(payload), file=out)
     else:
-        print(render_report(events), file=out)
+        print(render_report(events, dropped_lines=dropped), file=out)
     return 0
 
 
@@ -255,6 +458,10 @@ def main(
             code = _cmd_evaluate(args, out, context)
         elif args.command == "serve":
             code = _cmd_serve(args, out, stdin, context)
+        elif args.command == "explain":
+            code = _cmd_explain(args, out, context)
+        elif args.command == "planner":
+            code = _cmd_planner(args, out, context)
         elif args.command == "telemetry":
             code = _cmd_telemetry(args, out)
         else:

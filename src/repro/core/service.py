@@ -28,7 +28,11 @@ the contract a UI layer needs.  Supported request types:
 Any request may add ``"timings": true`` to receive a ``timings``
 envelope alongside the result: the spans and counters recorded while
 serving *this* request (a :class:`~repro.runtime.RunReport` delta from
-the service's :class:`~repro.runtime.ExecutionContext`).
+the service's :class:`~repro.runtime.ExecutionContext`).  Adding
+``"explain": true`` instead returns a ``plan`` field — the same delta
+flattened into EXPLAIN-style operator rows
+(:func:`~repro.runtime.explain.plan_from_report`): one row per span
+path with call counts and seconds, plus the request's counters.
 
 Every request is additionally served under a **fresh trace id** on the
 context's :class:`~repro.runtime.TelemetryHub`: the structured event
@@ -48,7 +52,12 @@ import numpy as np
 from repro.core.estimator import DomdEstimator
 from repro.data.dates import iso_to_day
 from repro.errors import ReproError
-from repro.runtime import ExecutionContext, prometheus_text, telemetry_snapshot
+from repro.runtime import (
+    ExecutionContext,
+    plan_from_report,
+    prometheus_text,
+    telemetry_snapshot,
+)
 
 
 def _error(code: str, message: str) -> dict[str, Any]:
@@ -117,6 +126,8 @@ class DomdService:
                 response: dict[str, Any] = {"ok": True, "result": result}
                 if request.get("timings"):
                     response["timings"] = captured.report.as_dict()
+                if request.get("explain"):
+                    response["plan"] = plan_from_report(captured.report)
                 return response
             except ReproError as exc:
                 return self._record_error(telemetry, "domain_error", str(exc))

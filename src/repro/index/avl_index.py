@@ -66,20 +66,20 @@ class DualAvlIndex(LogicalTimeIndex):
             return True
         return False
 
-    def settled_ids(self, t: float) -> np.ndarray:
+    def _settled_ids_impl(self, t: float) -> np.ndarray:
         values = self._end_tree.values_leq(t)
         return np.sort(np.asarray(values, dtype=np.int64))
 
-    def created_ids(self, t: float) -> np.ndarray:
+    def _created_ids_impl(self, t: float) -> np.ndarray:
         values = self._start_tree.values_leq(t)
         return np.sort(np.asarray(values, dtype=np.int64))
 
-    def active_ids(self, t: float) -> np.ndarray:
-        created = self.created_ids(t)
-        settled = self.settled_ids(t)
+    def _active_ids_impl(self, t: float) -> np.ndarray:
+        created = self._created_ids_impl(t)
+        settled = self._settled_ids_impl(t)
         return np.setdiff1d(created, settled, assume_unique=False)
 
-    def pending_ids(self, t: float) -> np.ndarray:
+    def _pending_ids_impl(self, t: float) -> np.ndarray:
         values = self._start_tree.values_gt(t)
         return np.sort(np.asarray(values, dtype=np.int64))
 

@@ -15,6 +15,13 @@ pending      everything else (start > t*)           (6) difference
 
 All methods return sorted ``int64`` arrays of RCC ids so results are
 directly comparable across designs.
+
+The public retrieval methods are concrete: they maintain the uniform
+per-operator statistics table (:attr:`op_stats` — calls and rows
+returned per retrieval set, identical keys for every backend, enforced
+by ``tests/index/test_backend_metrics.py``) and delegate to the
+design-specific ``_*_impl`` hooks.  EXPLAIN/ANALYZE reads these stats to
+report rows-out per operator without any backend-specific code.
 """
 
 from __future__ import annotations
@@ -26,6 +33,12 @@ from typing import ClassVar
 import numpy as np
 
 from repro.errors import ConfigurationError, LengthMismatchError
+
+#: Retrieval operators every backend answers; the keys of ``op_stats``.
+OPERATOR_NAMES = ("settled", "created", "active", "pending")
+
+#: Fields tracked per operator — the shared stat schema across backends.
+OPERATOR_STAT_FIELDS = ("calls", "rows_out")
 
 
 class LogicalTimeIndex(abc.ABC):
@@ -51,26 +64,63 @@ class LogicalTimeIndex(abc.ABC):
         self._starts = starts
         self._ends = ends
         self._ids = ids
+        self.reset_op_stats()
         self._build()
 
     @abc.abstractmethod
     def _build(self) -> None:
         """Construct the index from the stored triples."""
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------------
+    # per-operator statistics (uniform across backends)
+    # ------------------------------------------------------------------
+    def reset_op_stats(self) -> None:
+        """Zero the per-operator call/row counters."""
+        self.op_stats: dict[str, dict[str, int]] = {
+            op: {field: 0 for field in OPERATOR_STAT_FIELDS}
+            for op in OPERATOR_NAMES
+        }
+
+    def _record_op(self, op: str, result: np.ndarray) -> np.ndarray:
+        stats = self.op_stats[op]
+        stats["calls"] += 1
+        stats["rows_out"] += len(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # public retrieval surface (counts, then delegates to the design)
+    # ------------------------------------------------------------------
     def active_ids(self, t: float) -> np.ndarray:
         """Ids of RCCs active at ``t`` (created, not yet settled)."""
+        return self._record_op("active", self._active_ids_impl(t))
 
-    @abc.abstractmethod
     def settled_ids(self, t: float) -> np.ndarray:
         """Ids of RCCs settled by ``t``."""
+        return self._record_op("settled", self._settled_ids_impl(t))
 
     def created_ids(self, t: float) -> np.ndarray:
         """Ids of RCCs created by ``t`` (active ∪ settled)."""
-        return np.sort(self._ids[self._starts <= t])
+        return self._record_op("created", self._created_ids_impl(t))
 
     def pending_ids(self, t: float) -> np.ndarray:
         """Ids of RCCs not yet created at ``t``."""
+        return self._record_op("pending", self._pending_ids_impl(t))
+
+    # ------------------------------------------------------------------
+    # design-specific hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _active_ids_impl(self, t: float) -> np.ndarray:
+        """Design-specific active-set retrieval."""
+
+    @abc.abstractmethod
+    def _settled_ids_impl(self, t: float) -> np.ndarray:
+        """Design-specific settled-set retrieval."""
+
+    def _created_ids_impl(self, t: float) -> np.ndarray:
+        return np.sort(self._ids[self._starts <= t])
+
+    def _pending_ids_impl(self, t: float) -> np.ndarray:
         return np.sort(self._ids[self._starts > t])
 
     def __len__(self) -> int:

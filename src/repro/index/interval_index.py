@@ -40,13 +40,13 @@ class IntervalTreeIndex(LogicalTimeIndex):
         self._ends = np.append(self._ends, end)
         self._ids = np.append(self._ids, rcc_id)
 
-    def active_ids(self, t: float) -> np.ndarray:
+    def _active_ids_impl(self, t: float) -> np.ndarray:
         return np.sort(np.asarray(self._tree.stab(t), dtype=np.int64))
 
-    def settled_ids(self, t: float) -> np.ndarray:
+    def _settled_ids_impl(self, t: float) -> np.ndarray:
         return np.sort(np.asarray(self._tree.ended_by(t), dtype=np.int64))
 
-    def created_ids(self, t: float) -> np.ndarray:
+    def _created_ids_impl(self, t: float) -> np.ndarray:
         return np.sort(np.asarray(self._tree.started_by(t), dtype=np.int64))
 
     def _structure_nbytes(self) -> int:

@@ -35,21 +35,21 @@ class NaiveJoinIndex(LogicalTimeIndex):
             }
         )
 
-    def active_ids(self, t: float) -> np.ndarray:
+    def _active_ids_impl(self, t: float) -> np.ndarray:
         starts = self._materialized["t_start"]
         ends = self._materialized["t_end"]
         mask = (starts <= t) & (t < ends)
         return np.sort(self._materialized["rcc_id"][mask])
 
-    def settled_ids(self, t: float) -> np.ndarray:
+    def _settled_ids_impl(self, t: float) -> np.ndarray:
         ends = self._materialized["t_end"]
         return np.sort(self._materialized["rcc_id"][ends <= t])
 
-    def created_ids(self, t: float) -> np.ndarray:
+    def _created_ids_impl(self, t: float) -> np.ndarray:
         starts = self._materialized["t_start"]
         return np.sort(self._materialized["rcc_id"][starts <= t])
 
-    def pending_ids(self, t: float) -> np.ndarray:
+    def _pending_ids_impl(self, t: float) -> np.ndarray:
         starts = self._materialized["t_start"]
         return np.sort(self._materialized["rcc_id"][starts > t])
 

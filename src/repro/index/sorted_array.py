@@ -33,18 +33,18 @@ class SortedArrayIndex(LogicalTimeIndex):
         self._ids_by_start = self._ids[self._start_order]
         self._ids_by_end = self._ids[self._end_order]
 
-    def settled_ids(self, t: float) -> np.ndarray:
+    def _settled_ids_impl(self, t: float) -> np.ndarray:
         cut = int(np.searchsorted(self._sorted_ends, t, side="right"))
         return np.sort(self._ids_by_end[:cut])
 
-    def created_ids(self, t: float) -> np.ndarray:
+    def _created_ids_impl(self, t: float) -> np.ndarray:
         cut = int(np.searchsorted(self._sorted_starts, t, side="right"))
         return np.sort(self._ids_by_start[:cut])
 
-    def active_ids(self, t: float) -> np.ndarray:
-        return np.setdiff1d(self.created_ids(t), self.settled_ids(t))
+    def _active_ids_impl(self, t: float) -> np.ndarray:
+        return np.setdiff1d(self._created_ids_impl(t), self._settled_ids_impl(t))
 
-    def pending_ids(self, t: float) -> np.ndarray:
+    def _pending_ids_impl(self, t: float) -> np.ndarray:
         cut = int(np.searchsorted(self._sorted_starts, t, side="right"))
         return np.sort(self._ids_by_start[cut:])
 

@@ -21,7 +21,9 @@ which the test-suite asserts.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -34,6 +36,9 @@ from repro.index.naive import NaiveJoinIndex
 from repro.index.sorted_array import SortedArrayIndex
 from repro.runtime import ExecutionContext, WorkloadSpec, ensure_context
 from repro.table.table import ColumnTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.explain import OperatorRecorder
 
 #: Columns the engine requires on the RCC table.
 REQUIRED_RCC_COLUMNS = ("rcc_type", "swlin", "t_start", "t_end", "amount")
@@ -285,6 +290,24 @@ class StatusQueryEngine:
             )
         self._group_cache: dict[tuple[bool, int | None], tuple[np.ndarray, ColumnTable]] = {}
         self._stat_cache: dict[tuple[bool, int | None], StatStructure] = {}
+        # EXPLAIN/ANALYZE capture hook; None on the (default) fast path,
+        # where every stage pays exactly one `is None` check.
+        self._recorder: "OperatorRecorder | None" = None
+
+    @contextmanager
+    def recording(self, recorder: "OperatorRecorder") -> Iterator["OperatorRecorder"]:
+        """Attach an EXPLAIN operator recorder for the duration.
+
+        Used by :func:`repro.runtime.explain.explain_point` /
+        :func:`~repro.runtime.explain.explain_sweep`; recordings do not
+        nest (the innermost recorder wins and is restored on exit).
+        """
+        previous = self._recorder
+        self._recorder = recorder
+        try:
+            yield recorder
+        finally:
+            self._recorder = previous
 
     @property
     def design(self) -> str:
@@ -351,19 +374,43 @@ class StatusQueryEngine:
         retrieval — so latency histograms and planner statistics stay
         comparable across ``naive``/``avl``/``interval``/``sorted_array``.
         """
+        recorder = self._recorder
         with self.context.span("status_query.execute"):
             self.context.counter("status_query.point_queries")
             self.context.counter(f"status_query.queries.{self._design}")
             if self._design == "naive" and self._avails is not None:
                 # Faithful baseline: re-join avails x RCCs on every query.
                 if "avail_id" in self._rccs and "avail_id" in self._avails:
-                    self._rccs.merge(self._avails, on="avail_id")
-            group_ids, labels = self._group_assignment(query)
+                    if recorder is not None:
+                        with recorder.op("rejoin", rows_in=self._rccs.n_rows) as op:
+                            joined = self._rccs.merge(self._avails, on="avail_id")
+                            op.rows_out += joined.n_rows
+                    else:
+                        self._rccs.merge(self._avails, on="avail_id")
+            if recorder is not None:
+                with recorder.op("group_assignment", rows_in=self._rccs.n_rows) as op:
+                    group_ids, labels = self._group_assignment(query)
+                    op.rows_out += labels.n_rows
+            else:
+                group_ids, labels = self._group_assignment(query)
             n_groups = labels.n_rows
             t = query.t_star
-            with self.context.span(f"status_query.query.{self._design}"):
+            with self.context.span(f"status_query.query.{self._design}") as handle:
                 settled_rows = self.index.settled_ids(t)
                 created_rows = self.index.created_ids(t)
+            if recorder is not None:
+                recorder.add(
+                    "index_lookup",
+                    seconds=handle.seconds,
+                    rows_in=len(self.index),
+                    rows_out=len(settled_rows) + len(created_rows),
+                )
+                with recorder.op("aggregate", rows_in=len(created_rows)) as op:
+                    result = self._aggregate_rows(
+                        group_ids, n_groups, labels, created_rows, settled_rows, t
+                    )
+                    op.rows_out += result.n_rows
+                return result
             return self._aggregate_rows(
                 group_ids, n_groups, labels, created_rows, settled_rows, t
             )
@@ -448,26 +495,67 @@ class StatusQueryEngine:
             group_by_type=group_by_type,
             swlin_level=swlin_level,
         )
-        group_ids, labels = self._group_assignment(probe)
+        recorder = self._recorder
+        if recorder is not None:
+            with recorder.op("group_assignment", rows_in=self._rccs.n_rows) as op:
+                group_ids, labels = self._group_assignment(probe)
+                op.rows_out += labels.n_rows
+        else:
+            group_ids, labels = self._group_assignment(probe)
         cache_key = (group_by_type, swlin_level)
         stat = self._stat_cache.get(cache_key)
-        if stat is None or (t_stars and t_stars[0] < stat.t):
-            stat = StatStructure(
-                group_ids, labels.n_rows, self._starts, self._ends, self._amounts
-            )
+        stat_reused = not (stat is None or (t_stars and t_stars[0] < stat.t))
+        if not stat_reused:
+            if recorder is not None:
+                with recorder.op("stat_build", rows_in=self._rccs.n_rows) as op:
+                    stat = StatStructure(
+                        group_ids,
+                        labels.n_rows,
+                        self._starts,
+                        self._ends,
+                        self._amounts,
+                    )
+                    op.rows_out += labels.n_rows
+            else:
+                stat = StatStructure(
+                    group_ids, labels.n_rows, self._starts, self._ends, self._amounts
+                )
             self._stat_cache[cache_key] = stat
+        if recorder is not None:
+            # The incremental-vs-reset decision: a reused StatStructure
+            # only touches delta events, a reset one replays from t=-inf.
+            recorder.note(stat_reused=stat_reused)
         # Same per-query counter the scratch path emits through execute(),
         # so sweep and point workloads stay comparable per backend.
         self.context.counter(f"status_query.queries.{self._design}", len(t_stars))
         results = []
         with self.context.span("status_query.sweep.incremental"):
             for t in t_stars:
-                stat.advance(t)
-                aggs = stat.aggregates()
-                columns = {name: labels[name] for name in labels.column_names}
-                columns["t_star"] = np.full(labels.n_rows, t, dtype=np.float64)
-                columns.update(aggs)
-                results.append(ColumnTable._from_arrays(columns, labels.n_rows))
+                if recorder is not None:
+                    with recorder.op("advance") as op:
+                        applied = stat.advance(t)
+                        op.rows_in += applied
+                        op.rows_out += applied
+                    with recorder.op("aggregate", rows_in=labels.n_rows) as op:
+                        aggs = stat.aggregates()
+                        columns = {
+                            name: labels[name] for name in labels.column_names
+                        }
+                        columns["t_star"] = np.full(
+                            labels.n_rows, t, dtype=np.float64
+                        )
+                        columns.update(aggs)
+                        results.append(
+                            ColumnTable._from_arrays(columns, labels.n_rows)
+                        )
+                        op.rows_out += labels.n_rows
+                else:
+                    stat.advance(t)
+                    aggs = stat.aggregates()
+                    columns = {name: labels[name] for name in labels.column_names}
+                    columns["t_star"] = np.full(labels.n_rows, t, dtype=np.float64)
+                    columns.update(aggs)
+                    results.append(ColumnTable._from_arrays(columns, labels.n_rows))
         return results
 
     @staticmethod

@@ -33,6 +33,17 @@ from repro.runtime.cache import (
     fingerprint_of,
 )
 from repro.runtime.context import ExecutionContext, ensure_context
+from repro.runtime.explain import (
+    ExplainResult,
+    OperatorRecorder,
+    OperatorStats,
+    QueryPlan,
+    doctor_report,
+    explain_point,
+    explain_sweep,
+    plan_from_report,
+)
+from repro.runtime.profile import chrome_trace, collapsed_stacks, spans_from_report
 from repro.runtime.metrics import MetricsSink, RunReport, SpanRecord
 from repro.runtime.planner import (
     DEFAULT_COSTS,
@@ -53,19 +64,36 @@ from repro.runtime.telemetry import (
     JsonlEventLog,
     MemoryEventLog,
     TelemetryHub,
+    chrome_trace_from_events,
+    collapsed_from_events,
     load_events,
+    load_events_lenient,
     prometheus_text,
     render_report,
     telemetry_snapshot,
 )
 
 __all__ = [
+    "ExplainResult",
+    "OperatorRecorder",
+    "OperatorStats",
+    "QueryPlan",
+    "doctor_report",
+    "explain_point",
+    "explain_sweep",
+    "plan_from_report",
+    "chrome_trace",
+    "collapsed_stacks",
+    "spans_from_report",
     "TelemetryHub",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
     "MemoryEventLog",
     "JsonlEventLog",
     "load_events",
+    "load_events_lenient",
+    "collapsed_from_events",
+    "chrome_trace_from_events",
     "DriftMonitor",
     "DriftThresholds",
     "DriftAlert",

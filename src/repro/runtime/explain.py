@@ -1,0 +1,454 @@
+"""EXPLAIN/ANALYZE for Status Queries: plan capture and cost residuals.
+
+PR 1 put a cost-based :class:`~repro.runtime.planner.QueryPlanner` in
+front of the four logical-time index backends; this module closes the
+loop between the planner's *decision* and the query's *execution*, the
+way a database's ``EXPLAIN ANALYZE`` does:
+
+* :class:`QueryPlan` — the structured plan of one executed Status
+  Query: the planner's candidate costs (when ``design="auto"`` chose
+  the backend), per-operator ANALYZE stats
+  (:class:`OperatorStats`: calls, rows in/out, wall seconds per stage)
+  and the cost-model residual (predicted vs actual seconds).
+* :class:`OperatorRecorder` — the capture hook a
+  :class:`~repro.index.status_query.StatusQueryEngine` invokes around
+  each operator while explaining.  When no recorder is attached the
+  engine pays a single ``is None`` check per stage, keeping the
+  non-explaining hot path unchanged.
+* :func:`explain_point` / :func:`explain_sweep` — run a query (or
+  timeline sweep) under capture and return results *plus* plan.
+* **Cost-residual tracking** — every explained execution feeds its
+  predicted/actual ratio into the ``planner_calibration.<backend>``
+  telemetry histogram and a ``planner_residual`` event, so drift of the
+  committed cost constants on new hardware is observable in the same
+  pipelines as any other metric.
+* :func:`doctor_report` — renders ``repro planner doctor``: per-backend
+  measured/modelled ratios (from
+  :func:`repro.bench.calibrate_planner`) with backends more than
+  ``threshold``x off flagged as miscalibrated.
+* :func:`plan_from_report` — degrades any
+  :class:`~repro.runtime.metrics.RunReport` delta (e.g. a service
+  request capture) into plan-shaped operator rows, powering the
+  service's opt-in ``explain: true`` response field.
+
+Wall time flows exclusively through the context's
+:class:`~repro.runtime.metrics.MetricsSink` spans — the recorder opens
+an ``op.<name>`` span per operator, so explained executions also gain
+per-operator latency histograms and event-log entries for free.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.runtime.context import ExecutionContext
+from repro.runtime.metrics import RunReport, SpanRecord
+from repro.runtime.planner import PlanDecision, WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.index.status_query import StatusQueryEngine, StatusQuery
+    from repro.table.table import ColumnTable
+
+#: Ratio beyond which a backend's cost constants count as miscalibrated.
+DOCTOR_RATIO_THRESHOLD = 2.0
+
+#: Placeholder for timing fields in redacted (golden-file) renderings.
+_REDACTED = "***"
+
+
+@dataclass
+class OperatorStats:
+    """ANALYZE statistics of one plan operator (one execution stage)."""
+
+    op: str
+    calls: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    seconds: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "op": self.op,
+            "calls": self.calls,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "seconds": round(self.seconds, 9),
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+
+class OperatorRecorder:
+    """Accumulates per-operator stats while an engine executes.
+
+    One recorder observes one explained execution; operators hit
+    multiple times (a sweep's ``advance``) fold into one
+    :class:`OperatorStats` row with ``calls`` counting entries.  Each
+    operator entry runs inside an ``op.<name>`` span on the context's
+    sink, which is the stack's only wall-clock reader.
+    """
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+        self._ops: dict[str, OperatorStats] = {}
+        self.notes: dict[str, Any] = {}
+
+    def _stats(self, name: str) -> OperatorStats:
+        stats = self._ops.get(name)
+        if stats is None:
+            stats = self._ops[name] = OperatorStats(op=name)
+        return stats
+
+    @contextmanager
+    def op(self, name: str, rows_in: int = 0) -> Iterator[OperatorStats]:
+        """Time one operator entry; the caller sets ``rows_out`` inside."""
+        stats = self._stats(name)
+        stats.calls += 1
+        stats.rows_in += rows_in
+        with self.context.span(f"op.{name}") as handle:
+            yield stats
+        stats.seconds += handle.seconds
+
+    def add(
+        self,
+        name: str,
+        seconds: float,
+        rows_in: int = 0,
+        rows_out: int = 0,
+    ) -> OperatorStats:
+        """Fold in an operator timed by an existing span (no new span)."""
+        stats = self._stats(name)
+        stats.calls += 1
+        stats.rows_in += rows_in
+        stats.rows_out += rows_out
+        stats.seconds += seconds
+        return stats
+
+    def note(self, **notes: Any) -> None:
+        """Attach plan-level annotations (e.g. ``stat_reused=True``)."""
+        self.notes.update(notes)
+
+    def operators(self) -> list[OperatorStats]:
+        return list(self._ops.values())
+
+
+def _format_ms(seconds: float, redact: bool) -> str:
+    return _REDACTED if redact else f"{seconds * 1000:.2f}"
+
+
+@dataclass
+class QueryPlan:
+    """Captured plan + ANALYZE stats of one executed Status Query."""
+
+    mode: str  # "point" | "sweep"
+    design: str
+    n_rccs: int
+    n_timestamps: int
+    operators: list[OperatorStats]
+    total_seconds: float
+    decision: PlanDecision | None = None
+    incremental: bool | None = None
+    notes: dict[str, Any] = field(default_factory=dict)
+    residual: dict[str, float] | None = None
+
+    def operator_seconds(self) -> float:
+        return sum(stats.seconds for stats in self.operators)
+
+    def operator_coverage(self) -> float:
+        """Fraction of the execution span the operators account for."""
+        if self.total_seconds <= 0:
+            return 1.0
+        return min(self.operator_seconds() / self.total_seconds, 1.0)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "design": self.design,
+            "n_rccs": self.n_rccs,
+            "n_timestamps": self.n_timestamps,
+            "total_seconds": round(self.total_seconds, 9),
+            "operators": [stats.as_dict() for stats in self.operators],
+            "operator_coverage": round(self.operator_coverage(), 4),
+        }
+        if self.incremental is not None:
+            out["incremental"] = self.incremental
+        if self.decision is not None:
+            out["planner"] = self.decision.as_dict()
+        if self.notes:
+            out["notes"] = dict(self.notes)
+        if self.residual is not None:
+            out["cost_model"] = {
+                k: round(v, 9) for k, v in self.residual.items()
+            }
+        return out
+
+    def format(self, redact_timings: bool = False) -> str:
+        """Human-readable EXPLAIN ANALYZE block.
+
+        With ``redact_timings=True`` every machine-speed number is
+        replaced by ``***`` so the output is stable across hosts — the
+        golden-file representation used by the test suite.
+        """
+        header = (
+            f"QueryPlan mode={self.mode} design={self.design} "
+            f"n_rccs={self.n_rccs} timestamps={self.n_timestamps}"
+        )
+        if self.incremental is not None:
+            header += f" incremental={str(self.incremental).lower()}"
+        lines = [header]
+        if self.decision is not None:
+            others = sorted(
+                name for name in self.decision.estimated_seconds
+                if name != self.design
+            )
+            lines.append(
+                f"planner: auto chose {self.design!r} over {', '.join(others)}"
+            )
+        else:
+            lines.append("planner: design pinned by caller")
+        for key in sorted(self.notes):
+            lines.append(f"note: {key}={self.notes[key]}")
+        rows = [
+            (
+                stats.op,
+                str(stats.calls),
+                str(stats.rows_in),
+                str(stats.rows_out),
+                _format_ms(stats.seconds, redact_timings),
+            )
+            for stats in self.operators
+        ]
+        headers = ("operator", "calls", "rows_in", "rows_out", "ms")
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines.append(
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()
+        )
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            )
+        coverage = (
+            _REDACTED if redact_timings else f"{self.operator_coverage() * 100:.1f}%"
+        )
+        lines.append(
+            f"total {_format_ms(self.total_seconds, redact_timings)} ms"
+            f" · operators cover {coverage}"
+        )
+        if self.residual is not None:
+            predicted = _format_ms(self.residual["predicted_seconds"], redact_timings)
+            actual = _format_ms(self.residual["actual_seconds"], redact_timings)
+            ratio = (
+                _REDACTED if redact_timings else f"{self.residual['ratio']:.2f}"
+            )
+            lines.append(
+                f"cost model [{self.design}]: predicted {predicted} ms"
+                f" · actual {actual} ms · ratio {ratio}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplainResult:
+    """Results + captured plan of one explained execution."""
+
+    results: "list[ColumnTable]"
+    plan: QueryPlan
+
+
+def _residual(
+    engine: "StatusQueryEngine", mode: str, n_timestamps: int, actual: float
+) -> dict[str, float]:
+    """Predicted-vs-actual query cost for the executed workload shape.
+
+    ``predicted`` is the planner's *query-phase* estimate (the index is
+    already built, so build cost is excluded); ``actual`` is the whole
+    execution — the same end-to-end seconds the calibration constants
+    were fitted against.
+    """
+    spec = WorkloadSpec(
+        n_rccs=len(engine.index), n_timestamps=n_timestamps, mode=mode
+    )
+    components = engine.context.planner.estimate_components(engine.design, spec)
+    predicted = components["query"]
+    ratio = actual / predicted if predicted > 0 else float("inf")
+    return {
+        "predicted_seconds": predicted,
+        "actual_seconds": actual,
+        "ratio": ratio,
+    }
+
+
+def _record_residual(engine: "StatusQueryEngine", plan: QueryPlan) -> None:
+    context = engine.context
+    assert plan.residual is not None
+    context.counter("planner.residuals")
+    telemetry = context.metrics.telemetry
+    if telemetry is not None:
+        telemetry.observe(
+            f"planner_calibration.{plan.design}", plan.residual["ratio"]
+        )
+        telemetry.emit(
+            "planner_residual",
+            backend=plan.design,
+            mode=plan.mode,
+            n_rccs=plan.n_rccs,
+            n_timestamps=plan.n_timestamps,
+            predicted_seconds=round(plan.residual["predicted_seconds"], 9),
+            actual_seconds=round(plan.residual["actual_seconds"], 9),
+            ratio=round(plan.residual["ratio"], 6),
+        )
+
+
+def explain_point(engine: "StatusQueryEngine", query: "StatusQuery") -> ExplainResult:
+    """Run one Status Query under EXPLAIN ANALYZE capture."""
+    recorder = OperatorRecorder(engine.context)
+    with engine.recording(recorder):
+        with engine.context.metrics.span("explain.query") as handle:
+            result = engine.execute(query)
+    plan = QueryPlan(
+        mode="point",
+        design=engine.design,
+        n_rccs=len(engine.index),
+        n_timestamps=1,
+        operators=recorder.operators(),
+        total_seconds=handle.seconds,
+        decision=engine.plan_decision,
+        notes=recorder.notes,
+        residual=_residual(engine, "point", 1, handle.seconds),
+    )
+    _record_residual(engine, plan)
+    return ExplainResult(results=[result], plan=plan)
+
+
+def explain_sweep(
+    engine: "StatusQueryEngine",
+    t_stars: list[float],
+    group_by_type: bool = True,
+    swlin_level: int | None = 1,
+    incremental: bool = True,
+) -> ExplainResult:
+    """Run a timeline sweep under EXPLAIN ANALYZE capture."""
+    recorder = OperatorRecorder(engine.context)
+    with engine.recording(recorder):
+        with engine.context.metrics.span("explain.sweep") as handle:
+            results = engine.execute_sweep(
+                t_stars,
+                group_by_type=group_by_type,
+                swlin_level=swlin_level,
+                incremental=incremental,
+            )
+    plan = QueryPlan(
+        mode="sweep",
+        design=engine.design,
+        n_rccs=len(engine.index),
+        n_timestamps=len(t_stars),
+        operators=recorder.operators(),
+        total_seconds=handle.seconds,
+        decision=engine.plan_decision,
+        incremental=incremental,
+        notes=recorder.notes,
+        residual=_residual(engine, "sweep", len(t_stars), handle.seconds),
+    )
+    _record_residual(engine, plan)
+    return ExplainResult(results=results, plan=plan)
+
+
+# ----------------------------------------------------------------------
+# plan view over arbitrary run reports (service ``explain: true``)
+# ----------------------------------------------------------------------
+def plan_from_report(report: RunReport) -> dict[str, Any]:
+    """Flatten a :class:`RunReport` delta into plan-shaped operator rows.
+
+    Used by :class:`~repro.core.service.DomdService` for the opt-in
+    ``plan`` response field: every span becomes an operator row keyed by
+    its ``/``-joined path, so the caller sees where the request's time
+    went without needing engine-level capture.
+    """
+    operators: list[dict[str, Any]] = []
+
+    def walk(record: SpanRecord, prefix: str) -> None:
+        path = f"{prefix}/{record.name}" if prefix else record.name
+        row: dict[str, Any] = {
+            "op": path,
+            "calls": record.count,
+            "seconds": round(record.seconds, 9),
+        }
+        if record.errors:
+            row["errors"] = record.errors
+        operators.append(row)
+        for child in record.children.values():
+            walk(child, path)
+
+    for record in report.spans:
+        walk(record, "")
+    total = sum(record.seconds for record in report.spans)
+    return {
+        "total_seconds": round(total, 9),
+        "operators": operators,
+        "counters": dict(report.counters),
+    }
+
+
+# ----------------------------------------------------------------------
+# planner doctor (cost-constant calibration report)
+# ----------------------------------------------------------------------
+def doctor_report(
+    measurements: dict[str, dict[str, float]],
+    threshold: float = DOCTOR_RATIO_THRESHOLD,
+) -> tuple[str, list[str]]:
+    """Render the ``repro planner doctor`` report.
+
+    ``measurements`` is the per-backend ``measured`` / ``modelled`` /
+    ``ratio`` mapping produced by :func:`repro.bench.calibrate_planner`.
+    Returns ``(report text, flagged backend names)`` where a backend is
+    flagged when its measured/modelled ratio falls outside
+    ``[1/threshold, threshold]``.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1, got {threshold}")
+    flagged: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
+    for backend in sorted(measurements):
+        row = measurements[backend]
+        ratio = float(row["ratio"])
+        off = not (1.0 / threshold <= ratio <= threshold)
+        if off:
+            flagged.append(backend)
+        rows.append(
+            (
+                backend,
+                f"{row['measured']:.6f}",
+                f"{row['modelled']:.6f}",
+                f"{ratio:.2f}",
+                f"MISCALIBRATED (> {threshold:g}x off)" if off else "ok",
+            )
+        )
+    headers = ("backend", "measured s", "modelled s", "ratio", "verdict")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["planner doctor — cost-model calibration on this machine"]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    if flagged:
+        lines.append(
+            f"{len(flagged)} backend(s) more than {threshold:g}x off: "
+            f"{', '.join(flagged)} — re-fit the constants with "
+            "repro.bench.calibrate_planner() and ship the scaled costs."
+        )
+    else:
+        lines.append(
+            f"all backends within {threshold:g}x of the committed constants."
+        )
+    return "\n".join(lines), flagged

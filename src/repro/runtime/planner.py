@@ -228,8 +228,13 @@ class QueryPlanner:
         self.registry = registry or DEFAULT_REGISTRY
 
     # ------------------------------------------------------------------
-    def estimate(self, backend: str, spec: WorkloadSpec) -> float:
-        """Modelled total seconds for running ``spec`` on ``backend``."""
+    def estimate_components(self, backend: str, spec: WorkloadSpec) -> dict[str, float]:
+        """Modelled seconds for ``spec`` on ``backend``, by cost phase.
+
+        Returns ``{"build", "query", "insert", "total"}`` — the EXPLAIN
+        cost-residual tracker compares the ``query`` component alone
+        against the measured execution time of an already-built index.
+        """
         if backend not in self.costs:
             raise ConfigurationError(
                 f"no calibration for backend {backend!r}; "
@@ -251,8 +256,17 @@ class QueryPlanner:
             # Ascending batches share the descent and amortise output
             # materialisation over the delta between cuts.
             queries *= 0.5
-        insert = c.insert_per_log * log_n + c.insert_per_event * n
-        return build + queries + spec.n_inserts * insert
+        insert = (c.insert_per_log * log_n + c.insert_per_event * n) * spec.n_inserts
+        return {
+            "build": build,
+            "query": queries,
+            "insert": insert,
+            "total": build + queries + insert,
+        }
+
+    def estimate(self, backend: str, spec: WorkloadSpec) -> float:
+        """Modelled total seconds for running ``spec`` on ``backend``."""
+        return self.estimate_components(backend, spec)["total"]
 
     def plan(self, spec: WorkloadSpec) -> PlanDecision:
         """Estimate every calibrated backend and pick the cheapest."""

@@ -1,0 +1,152 @@
+"""Zero-dependency span-tree profiler: collapsed stacks and Chrome traces.
+
+Any span tree the runtime can produce — live (a
+:class:`~repro.runtime.metrics.RunReport` snapshot) or rebuilt from the
+JSONL event log (:func:`~repro.runtime.telemetry.exporters.reconstruct_traces`)
+— renders into the two de-facto profiling interchange formats:
+
+* **collapsed stacks** (:func:`collapsed_stacks`) — one
+  ``frame;frame;frame value`` line per unique stack, value in integer
+  microseconds of *self* time; the input format of Brendan Gregg's
+  ``flamegraph.pl`` and of speedscope's "collapsed" importer.
+* **Chrome trace JSON** (:func:`chrome_trace`) — a ``traceEvents`` array
+  of complete (``"ph": "X"``) events loadable in ``chrome://tracing``
+  and Perfetto; one timeline row (``tid``) per trace.
+
+Neither format carries absolute wall-clock timestamps here: spans are
+laid out deterministically — traces sequentially, children at their
+parent's offset plus the durations of earlier siblings — so the output
+is reproducible and golden-testable while preserving every duration and
+parent/child relation.  Both trace shapes share one node schema:
+``{"name", "seconds", "children": [...]}``; spans that never closed
+(crash mid-run) carry ``seconds=None`` and render with zero width.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.runtime.metrics import RunReport, SpanRecord
+
+#: Microseconds per second — both formats speak integer µs.
+_US = 1e6
+
+TraceDict = Mapping[str, Any]
+
+
+def spans_from_report(report: RunReport, label: str = "run") -> list[dict[str, Any]]:
+    """Wrap a :class:`RunReport` span tree as one profiler-ready trace.
+
+    Aggregated span records (``count > 1``) keep their summed seconds —
+    the flamegraph width of a loop is its total cost, which is exactly
+    what a profile should show.
+    """
+
+    def convert(record: SpanRecord) -> dict[str, Any]:
+        return {
+            "name": record.name,
+            "seconds": record.seconds,
+            "children": [convert(child) for child in record.children.values()],
+        }
+
+    return [
+        {
+            "trace_id": label,
+            "name": report.meta.get("command") if report.meta else None,
+            "spans": [convert(record) for record in report.spans],
+        }
+    ]
+
+
+def _trace_root_frame(trace: TraceDict) -> str:
+    name = trace.get("name")
+    trace_id = trace.get("trace_id", "trace")
+    return f"{trace_id} {name}" if name else str(trace_id)
+
+
+def _node_seconds(node: Mapping[str, Any]) -> float:
+    seconds = node.get("seconds")
+    return float(seconds) if seconds is not None else 0.0
+
+
+def _self_seconds(node: Mapping[str, Any]) -> float:
+    children = sum(_node_seconds(child) for child in node.get("children", ()))
+    return max(_node_seconds(node) - children, 0.0)
+
+
+def collapsed_stacks(traces: Iterable[TraceDict]) -> list[str]:
+    """Render traces as collapsed-stack lines (``a;b;c <self µs>``).
+
+    Identical stacks across traces are folded together (values summed),
+    matching what ``flamegraph.pl`` would do anyway; lines come out in
+    first-seen order.  Frames containing ``;`` are sanitised to ``:``
+    so they cannot split the stack.
+    """
+    totals: dict[str, int] = {}
+
+    def frame(name: Any) -> str:
+        return str(name).replace(";", ":")
+
+    def walk(node: Mapping[str, Any], prefix: str) -> None:
+        stack = f"{prefix};{frame(node.get('name'))}"
+        value = int(round(_self_seconds(node) * _US))
+        totals[stack] = totals.get(stack, 0) + value
+        for child in node.get("children", ()):
+            walk(child, stack)
+
+    for trace in traces:
+        root = frame(_trace_root_frame(trace))
+        for node in trace.get("spans", ()):
+            walk(node, root)
+    return [f"{stack} {value}" for stack, value in totals.items()]
+
+
+def chrome_trace(traces: Sequence[TraceDict]) -> dict[str, Any]:
+    """Render traces as a Chrome ``traceEvents`` JSON object.
+
+    Each trace gets its own ``tid`` (named via a thread-name metadata
+    event); spans become complete events with deterministic synthetic
+    offsets: a child starts where its parent starts plus the durations
+    of its earlier siblings, and traces are laid out back to back.
+    """
+    events: list[dict[str, Any]] = []
+
+    def emit(node: Mapping[str, Any], start_us: float, tid: int, trace_id: Any) -> float:
+        duration_us = _node_seconds(node) * _US
+        event: dict[str, Any] = {
+            "name": str(node.get("name")),
+            "ph": "X",
+            "cat": "span",
+            "ts": int(round(start_us)),
+            "dur": int(round(duration_us)),
+            "pid": 1,
+            "tid": tid,
+            "args": {"trace_id": trace_id},
+        }
+        if node.get("seconds") is None:
+            event["args"]["open"] = True
+        if node.get("error"):
+            event["args"]["error"] = True
+        events.append(event)
+        child_start = start_us
+        for child in node.get("children", ()):
+            child_start += emit(child, child_start, tid, trace_id)
+        return duration_us
+
+    offset_us = 0.0
+    for tid, trace in enumerate(traces, start=1):
+        trace_id = trace.get("trace_id", f"trace-{tid}")
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": _trace_root_frame(trace)},
+            }
+        )
+        start = offset_us
+        for node in trace.get("spans", ()):
+            start += emit(node, start, tid, trace_id)
+        offset_us = start
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

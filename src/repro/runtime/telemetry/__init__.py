@@ -19,8 +19,11 @@ from repro.runtime.telemetry.events import (
     MemoryEventLog,
     counters_from_events,
     load_events,
+    load_events_lenient,
 )
 from repro.runtime.telemetry.exporters import (
+    chrome_trace_from_events,
+    collapsed_from_events,
     histograms_from_events,
     prometheus_text,
     reconstruct_traces,
@@ -41,6 +44,7 @@ __all__ = [
     "MemoryEventLog",
     "JsonlEventLog",
     "load_events",
+    "load_events_lenient",
     "counters_from_events",
     "DriftMonitor",
     "DriftThresholds",
@@ -51,4 +55,6 @@ __all__ = [
     "render_trace_tree",
     "render_report",
     "histograms_from_events",
+    "collapsed_from_events",
+    "chrome_trace_from_events",
 ]

@@ -123,7 +123,12 @@ class JsonlEventLog:
 
 
 def load_events(path: str | Path) -> list[Event]:
-    """Parse one JSONL event file (skipping blank lines)."""
+    """Parse one JSONL event file (skipping blank lines).
+
+    Raises :class:`ConfigurationError` on the first malformed line; use
+    :func:`load_events_lenient` when a partially corrupt log (truncated
+    write, disk-full run) should still render.
+    """
     path = Path(path)
     events: list[Event] = []
     with open(path, encoding="utf-8") as handle:
@@ -138,6 +143,34 @@ def load_events(path: str | Path) -> list[Event]:
                     f"{path}:{lineno}: malformed event line: {exc}"
                 ) from None
     return events
+
+
+def load_events_lenient(path: str | Path) -> tuple[list[Event], int]:
+    """Parse one JSONL event file, dropping corrupt/truncated lines.
+
+    Returns ``(events, n_dropped)``: lines that fail to parse — or parse
+    to something other than a JSON object — are counted instead of
+    raising, so ``repro telemetry report`` can render what survives of a
+    log cut short mid-write.
+    """
+    path = Path(path)
+    events: list[Event] = []
+    dropped = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if not isinstance(event, dict):
+                dropped += 1
+                continue
+            events.append(event)
+    return events, dropped
 
 
 def counters_from_events(events: Iterable[Event]) -> dict[str, float]:

@@ -11,6 +11,11 @@ Three consumers, three formats:
 * :func:`render_report` — a human-readable run report reconstructed
   *purely from a JSONL event log*: per-trace span trees plus a latency
   histogram table (what ``repro telemetry report`` prints).
+* :func:`collapsed_from_events` / :func:`chrome_trace_from_events` —
+  profiler interchange formats (flamegraph collapsed stacks, Chrome
+  ``traceEvents`` JSON) rebuilt from the same event log; the
+  ``repro telemetry profile`` path.  The rendering itself lives in
+  :mod:`repro.runtime.profile`.
 """
 
 from __future__ import annotations
@@ -140,6 +145,20 @@ def reconstruct_traces(events: Iterable[Event]) -> list[dict[str, Any]]:
     return list(traces.values())
 
 
+def collapsed_from_events(events: Iterable[Event]) -> list[str]:
+    """Collapsed-stack flamegraph lines rebuilt from an event log."""
+    from repro.runtime.profile import collapsed_stacks
+
+    return collapsed_stacks(reconstruct_traces(events))
+
+
+def chrome_trace_from_events(events: Iterable[Event]) -> dict[str, Any]:
+    """Chrome ``traceEvents`` JSON rebuilt from an event log."""
+    from repro.runtime.profile import chrome_trace
+
+    return chrome_trace(reconstruct_traces(events))
+
+
 def histograms_from_events(
     events: Iterable[Event], buckets: Sequence[float] | None = None
 ) -> dict[str, Histogram]:
@@ -187,8 +206,15 @@ def render_trace_tree(trace: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-def render_report(events: Sequence[Event], max_traces: int = 20) -> str:
-    """Full text report of an event log: traces, latencies, counters."""
+def render_report(
+    events: Sequence[Event], max_traces: int = 20, dropped_lines: int = 0
+) -> str:
+    """Full text report of an event log: traces, latencies, counters.
+
+    ``dropped_lines`` is the count of corrupt JSONL lines the loader
+    skipped (see :func:`~repro.runtime.telemetry.events.load_events_lenient`);
+    when non-zero the report closes with a warning footer.
+    """
     from repro.bench.reporting import format_table
 
     blocks: list[str] = []
@@ -245,5 +271,9 @@ def render_report(events: Sequence[Event], max_traces: int = 20) -> str:
                     for a in alerts
                 ],
             )
+        )
+    if dropped_lines:
+        blocks.append(
+            f"warning: skipped {dropped_lines} corrupt event-log line(s)"
         )
     return "\n\n".join(blocks) if blocks else "(no events)"

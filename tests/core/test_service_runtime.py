@@ -177,3 +177,52 @@ class TestInputValidation:
         )
         assert not response["ok"]
         assert "timings" not in response
+
+
+class TestExplainPlanEnvelope:
+    def test_plan_absent_by_default(self, service):
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0], "t_star": 60.0}
+        )
+        assert response["ok"]
+        assert "plan" not in response
+
+    def test_explain_true_attaches_plan(self, service):
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0], "t_star": 60.0, "explain": True}
+        )
+        assert response["ok"]
+        plan = response["plan"]
+        json.dumps(plan)  # serialisable as-is
+        ops = {row["op"] for row in plan["operators"]}
+        assert "request.domd_query" in ops
+        # nested spans flatten to /-joined operator paths
+        assert any(op.startswith("request.domd_query/") for op in ops)
+        assert plan["counters"]["estimator.queries"] == 1
+        assert plan["total_seconds"] > 0
+
+    def test_explain_composes_with_timings(self, service):
+        response = service.handle(
+            {
+                "type": "domd_query",
+                "avail_ids": [0],
+                "t_star": 60.0,
+                "explain": True,
+                "timings": True,
+            }
+        )
+        assert response["ok"]
+        assert "plan" in response and "timings" in response
+        # both envelopes describe the same capture modulo rounding
+        span_seconds = sum(s["seconds"] for s in response["timings"]["spans"])
+        assert response["plan"]["total_seconds"] == pytest.approx(
+            span_seconds, rel=1e-3
+        )
+
+    def test_plan_is_per_request_delta(self, service):
+        for _ in range(2):
+            response = service.handle(
+                {"type": "health", "explain": True}
+            )
+        ops = {row["op"]: row for row in response["plan"]["operators"]}
+        assert ops["request.health"]["calls"] == 1

@@ -124,3 +124,61 @@ class TestBackendMetricUniformity:
             np.testing.assert_allclose(
                 np.asarray(table["n_active"]), np.asarray(reference["n_active"])
             )
+
+
+class TestOperatorStatSchemaUniformity:
+    """Every backend must expose the same per-operator stat schema —
+    EXPLAIN's operator rows are backend-agnostic only because
+    ``LogicalTimeIndex`` centralises the counting in one wrapper layer."""
+
+    def _index(self, design):
+        return StatusQueryEngine(_rcc_table(), design=design).index
+
+    def test_schema_identical_across_backends(self):
+        from repro.index.base import OPERATOR_NAMES, OPERATOR_STAT_FIELDS
+
+        for design in StatusQueryEngine.designs():
+            index = self._index(design)
+            assert set(index.op_stats) == set(OPERATOR_NAMES), design
+            for op, stats in index.op_stats.items():
+                assert set(stats) == set(OPERATOR_STAT_FIELDS), (design, op)
+                assert all(isinstance(v, int) for v in stats.values())
+
+    def test_counts_and_rows_agree_across_backends(self):
+        observed = {}
+        for design in StatusQueryEngine.designs():
+            index = self._index(design)
+            for t_star in (25.0, 50.0):
+                index.settled_ids(t_star)
+                index.created_ids(t_star)
+                index.active_ids(t_star)
+                index.pending_ids(t_star)
+            observed[design] = {
+                op: dict(stats) for op, stats in index.op_stats.items()
+            }
+        reference = observed["naive"]
+        assert all(stats["calls"] == 2 for stats in reference.values())
+        assert any(stats["rows_out"] > 0 for stats in reference.values())
+        for design, stats in observed.items():
+            assert stats == reference, f"{design} diverges from naive"
+
+    def test_internal_cross_calls_do_not_double_count(self):
+        # avl/sorted_array derive active = created - settled internally;
+        # one public active_ids call must count as exactly one active op.
+        for design in ("avl", "sorted_array"):
+            index = self._index(design)
+            index.active_ids(50.0)
+            assert index.op_stats["active"]["calls"] == 1, design
+            assert index.op_stats["settled"]["calls"] == 0, design
+            assert index.op_stats["created"]["calls"] == 0, design
+
+    def test_reset_op_stats_zeroes_everything(self):
+        index = self._index("interval")
+        index.settled_ids(50.0)
+        assert index.op_stats["settled"]["calls"] == 1
+        index.reset_op_stats()
+        assert all(
+            value == 0
+            for stats in index.op_stats.values()
+            for value in stats.values()
+        )

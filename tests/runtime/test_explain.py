@@ -1,0 +1,249 @@
+"""EXPLAIN/ANALYZE: plan capture, golden plans, cost residuals, doctor.
+
+The golden files under ``tests/runtime/golden/`` pin the redacted
+(``***``-timed) EXPLAIN rendering per backend and mode: operator order,
+call counts and row counts are deterministic for the fixed-seed table,
+so any change to the plan shape shows up as a readable diff.  Regenerate
+them by running this module's ``_engine``/``SWEEP`` setup through
+``plan.format(redact_timings=True)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.index import StatusQuery, StatusQueryEngine
+from repro.runtime import (
+    ExecutionContext,
+    doctor_report,
+    explain_point,
+    explain_sweep,
+    plan_from_report,
+)
+from repro.table import ColumnTable
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+DESIGNS = ("naive", "avl", "interval", "sorted_array")
+SWEEP = [0.0, 25.0, 50.0, 75.0, 100.0]
+
+#: Engine-facing columns of the logical-time RCC table.
+ENGINE_COLUMNS = ["rcc_type", "swlin", "t_start", "t_end", "amount", "avail_id"]
+
+
+def _rcc_table(n: int = 60) -> ColumnTable:
+    rng = np.random.default_rng(11)
+    starts = rng.uniform(0, 80, size=n)
+    return ColumnTable(
+        {
+            "rcc_type": rng.choice(["G", "N", "NG"], size=n),
+            "swlin": rng.choice(
+                ["10000000", "11000000", "20000000", "21000000"], size=n
+            ),
+            "t_start": starts,
+            "t_end": starts + rng.uniform(1, 40, size=n),
+            "amount": rng.uniform(10, 500, size=n),
+        }
+    )
+
+
+def _engine(design: str, context: ExecutionContext | None = None) -> StatusQueryEngine:
+    return StatusQueryEngine(
+        _rcc_table(), design=design, context=context or ExecutionContext(seed=0)
+    )
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+class TestGoldenPlans:
+    def test_point_plan_matches_golden(self, design):
+        plan = explain_point(_engine(design), StatusQuery(t_star=50.0)).plan
+        expected = (GOLDEN_DIR / f"explain_{design}_point.txt").read_text()
+        assert plan.format(redact_timings=True) + "\n" == expected
+
+    def test_sweep_plan_matches_golden(self, design):
+        plan = explain_sweep(_engine(design), SWEEP).plan
+        expected = (GOLDEN_DIR / f"explain_{design}_sweep.txt").read_text()
+        assert plan.format(redact_timings=True) + "\n" == expected
+
+    def test_redacted_rendering_hides_every_timing(self, design):
+        text = explain_point(_engine(design), StatusQuery(t_star=50.0)).plan.format(
+            redact_timings=True
+        )
+        for line in text.splitlines():
+            if line.startswith(("total", "cost model")):
+                assert "***" in line
+                assert not any(ch.isdigit() for ch in line.split("[")[0])
+
+
+class TestPlanCapture:
+    def test_point_plan_structure(self):
+        explained = explain_point(_engine("avl"), StatusQuery(t_star=50.0))
+        plan = explained.plan
+        assert plan.mode == "point" and plan.design == "avl"
+        assert plan.n_rccs == 60 and plan.n_timestamps == 1
+        ops = {stats.op for stats in plan.operators}
+        assert {"group_assignment", "index_lookup", "aggregate"} <= ops
+        assert plan.total_seconds > 0
+
+    def test_sweep_plan_structure(self):
+        plan = explain_sweep(_engine("sorted_array"), SWEEP).plan
+        ops = {stats.op: stats for stats in plan.operators}
+        assert {"group_assignment", "stat_build", "advance", "aggregate"} <= set(ops)
+        assert ops["advance"].calls == len(SWEEP)
+        assert plan.incremental is True
+        assert plan.notes == {"stat_reused": False}
+
+    def test_explained_results_match_unexplained(self):
+        query = StatusQuery(t_star=50.0)
+        plain = _engine("interval").execute(query)
+        explained = explain_point(_engine("interval"), query).results[0]
+        assert explained.n_rows == plain.n_rows
+        np.testing.assert_allclose(
+            np.asarray(explained["n_active"]), np.asarray(plain["n_active"])
+        )
+
+    def test_auto_design_records_planner_decision(self):
+        engine = _engine("auto")
+        plan = explain_point(engine, StatusQuery(t_star=50.0)).plan
+        assert plan.decision is not None
+        assert plan.design == plan.decision.backend
+        assert "auto chose" in plan.format(redact_timings=True)
+
+    def test_pinned_design_has_no_decision(self):
+        plan = explain_point(_engine("naive"), StatusQuery(t_star=50.0)).plan
+        assert plan.decision is None
+        assert "design pinned by caller" in plan.format(redact_timings=True)
+
+    def test_as_dict_is_json_serialisable(self):
+        plan = explain_sweep(_engine("auto"), SWEEP).plan
+        payload = json.loads(json.dumps(plan.as_dict()))
+        assert payload["mode"] == "sweep"
+        assert payload["planner"]["backend"] == plan.design
+        assert len(payload["operators"]) == len(plan.operators)
+        assert "cost_model" in payload
+
+    def test_plain_execution_opens_no_operator_spans(self):
+        engine = _engine("avl")
+        engine.execute(StatusQuery(t_star=50.0))
+        engine.execute_sweep(SWEEP)
+        names = engine.context.metrics.report().span_names()
+        assert not any(name.startswith("op.") for name in names)
+
+    def test_recorder_detaches_after_explain(self):
+        engine = _engine("avl")
+        explain_point(engine, StatusQuery(t_star=50.0))
+        assert engine._recorder is None
+        plan = explain_point(engine, StatusQuery(t_star=25.0)).plan
+        # the second explain starts from a fresh recorder, not accumulated
+        ops = {stats.op: stats for stats in plan.operators}
+        assert ops["aggregate"].calls == 1
+
+
+class TestOperatorCoverage:
+    """Acceptance: operator wall times sum to within 10% of the span total."""
+
+    @pytest.fixture(scope="class")
+    def paper_rccs(self, full_dataset):
+        return full_dataset.rccs_with_logical_times().select(ENGINE_COLUMNS)
+
+    @pytest.mark.parametrize("design", ["avl", "sorted_array"])
+    def test_point_coverage_at_paper_scale(self, paper_rccs, design):
+        engine = StatusQueryEngine(
+            paper_rccs, design=design, context=ExecutionContext(seed=0)
+        )
+        plan = explain_point(engine, StatusQuery(t_star=55.0)).plan
+        assert plan.operator_coverage() >= 0.9
+
+    def test_sweep_coverage_at_paper_scale(self, paper_rccs):
+        engine = StatusQueryEngine(
+            paper_rccs, design="sorted_array", context=ExecutionContext(seed=0)
+        )
+        plan = explain_sweep(engine, [float(t) for t in range(0, 101, 10)]).plan
+        assert plan.operator_coverage() >= 0.9
+
+
+class TestCostResiduals:
+    def test_point_residual_metrics_emitted(self):
+        context = ExecutionContext(seed=0)
+        engine = StatusQueryEngine(_rcc_table(), design="avl", context=context)
+        plan = explain_point(engine, StatusQuery(t_star=50.0)).plan
+        assert plan.residual is not None
+        assert plan.residual["predicted_seconds"] > 0
+        assert plan.residual["actual_seconds"] == plan.total_seconds
+        assert context.metrics.counters["planner.residuals"] == 1
+        histogram = context.telemetry.histogram("planner_calibration.avl")
+        assert histogram is not None and histogram.count == 1
+        events = [
+            e for e in context.telemetry.events() if e.get("kind") == "planner_residual"
+        ]
+        assert len(events) == 1
+        assert events[0]["backend"] == "avl" and events[0]["mode"] == "point"
+
+    def test_sweep_residual_uses_sweep_spec(self):
+        context = ExecutionContext(seed=0)
+        engine = StatusQueryEngine(
+            _rcc_table(), design="sorted_array", context=context
+        )
+        explain_sweep(engine, SWEEP)
+        events = [
+            e for e in context.telemetry.events() if e.get("kind") == "planner_residual"
+        ]
+        assert events[0]["mode"] == "sweep"
+        assert events[0]["n_timestamps"] == len(SWEEP)
+
+    def test_residuals_accumulate_per_backend_histogram(self):
+        context = ExecutionContext(seed=0)
+        engine = StatusQueryEngine(_rcc_table(), design="naive", context=context)
+        for t_star in (25.0, 50.0, 75.0):
+            explain_point(engine, StatusQuery(t_star=t_star))
+        assert context.metrics.counters["planner.residuals"] == 3
+        histogram = context.telemetry.histogram("planner_calibration.naive")
+        assert histogram is not None and histogram.count == 3
+
+
+class TestPlanFromReport:
+    def test_flattens_span_paths_and_counters(self):
+        context = ExecutionContext(seed=0)
+        with context.metrics.capture() as captured:
+            with context.span("request.domd_query"):
+                with context.span("estimator.query"):
+                    pass
+            context.counter("estimator.queries")
+        plan = plan_from_report(captured.report)
+        ops = {row["op"]: row for row in plan["operators"]}
+        assert set(ops) == {
+            "request.domd_query",
+            "request.domd_query/estimator.query",
+        }
+        assert ops["request.domd_query"]["calls"] == 1
+        assert plan["counters"]["estimator.queries"] == 1
+        assert plan["total_seconds"] >= 0
+
+
+class TestDoctorReport:
+    def _measurements(self, **ratios):
+        return {
+            backend: {"measured": ratio, "modelled": 1.0, "ratio": ratio}
+            for backend, ratio in ratios.items()
+        }
+
+    def test_flags_backends_outside_threshold_both_sides(self):
+        measurements = self._measurements(
+            avl=1.2, naive=5.0, sorted_array=0.2, interval=0.6
+        )
+        text, flagged = doctor_report(measurements, threshold=2.0)
+        assert flagged == ["naive", "sorted_array"]
+        assert "MISCALIBRATED" in text
+        assert "re-fit the constants" in text
+
+    def test_all_ok_within_threshold(self):
+        text, flagged = doctor_report(self._measurements(avl=1.5, naive=0.8))
+        assert flagged == []
+        assert "all backends within" in text
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            doctor_report(self._measurements(avl=1.0), threshold=1.0)

@@ -149,3 +149,52 @@ class TestIndexRegistry:
         registry.register("custom", Custom)
         assert registry.get("custom") is Custom
         assert "custom" in registry.names()
+
+
+class TestCalibrationInvariance:
+    """A calibration that rescales every backend uniformly (same host
+    speedup everywhere) must not change any planning decision — the
+    decision table is a function of cost *ratios*, not absolute speed."""
+
+    def _specs(self):
+        return [
+            WorkloadSpec(n_rccs=n, n_timestamps=t, mode=mode, n_inserts=i)
+            for n in (100, 10_000, 1_000_000)
+            for t, mode in ((1, "point"), (11, "sweep"), (500, "sweep"))
+            for i in (0, 1_000)
+        ]
+
+    def test_uniform_scaling_preserves_the_decision_table(self):
+        planner = QueryPlanner()
+        scaled = planner.with_costs(
+            **{
+                backend: QueryPlanner.scale_costs(costs, 3.7)
+                for backend, costs in planner.costs.items()
+            }
+        )
+        for spec in self._specs():
+            assert planner.choose(spec) == scaled.choose(spec), spec
+
+    def test_uniform_scaling_scales_estimates_linearly(self):
+        planner = QueryPlanner()
+        scaled = planner.with_costs(
+            **{
+                backend: QueryPlanner.scale_costs(costs, 3.7)
+                for backend, costs in planner.costs.items()
+            }
+        )
+        spec = WorkloadSpec(n_rccs=10_000, n_timestamps=11, mode="sweep")
+        for backend in planner.costs:
+            assert scaled.estimate(backend, spec) == pytest.approx(
+                3.7 * planner.estimate(backend, spec)
+            )
+
+    def test_estimate_components_sum_to_total(self):
+        planner = QueryPlanner()
+        spec = WorkloadSpec(n_rccs=5_000, n_timestamps=11, mode="sweep", n_inserts=3)
+        for backend in planner.costs:
+            parts = planner.estimate_components(backend, spec)
+            assert parts["total"] == pytest.approx(
+                parts["build"] + parts["query"] + parts["insert"]
+            )
+            assert planner.estimate(backend, spec) == parts["total"]

@@ -1,0 +1,128 @@
+"""Collapsed-stack and Chrome-trace rendering of runtime span trees."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime import (
+    ExecutionContext,
+    chrome_trace,
+    chrome_trace_from_events,
+    collapsed_from_events,
+    collapsed_stacks,
+    spans_from_report,
+)
+
+
+def _trace(spans, trace_id="T1", name="request"):
+    return {"trace_id": trace_id, "name": name, "spans": spans}
+
+
+def _span(name, seconds, children=()):
+    return {"name": name, "seconds": seconds, "children": list(children)}
+
+
+class TestCollapsedStacks:
+    def test_self_time_excludes_children(self):
+        trace = _trace([_span("a", 0.010, [_span("b", 0.004)])])
+        lines = collapsed_stacks([trace])
+        assert "T1 request;a 6000" in lines
+        assert "T1 request;a;b 4000" in lines
+
+    def test_negative_self_time_clamped_to_zero(self):
+        # aggregated child seconds can exceed the parent on clock jitter
+        trace = _trace([_span("a", 0.001, [_span("b", 0.002)])])
+        lines = collapsed_stacks([trace])
+        assert "T1 request;a 0" in lines
+
+    def test_duplicate_stacks_fold_with_summed_values(self):
+        t1 = _trace([_span("a", 0.001)], trace_id="T")
+        t2 = _trace([_span("a", 0.002)], trace_id="T")
+        lines = collapsed_stacks([t1, t2])
+        assert lines == ["T request;a 3000"]
+
+    def test_semicolons_in_frames_are_sanitised(self):
+        trace = _trace([_span("a;b", 0.001)])
+        (line,) = collapsed_stacks([trace])
+        stack, _, value = line.rpartition(" ")
+        assert stack.count(";") == 1  # root;frame — the literal ; became :
+        assert "a:b" in stack and value == "1000"
+
+    def test_open_span_renders_zero_width(self):
+        trace = _trace([_span("crashed", None)])
+        assert collapsed_stacks([trace]) == ["T1 request;crashed 0"]
+
+
+class TestChromeTrace:
+    def test_events_are_complete_events_with_int_microseconds(self):
+        trace = _trace([_span("a", 0.010, [_span("b", 0.004)])])
+        payload = chrome_trace([trace])
+        assert payload["displayTimeUnit"] == "ms"
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["a"]["dur"] == 10000 and by_name["b"]["dur"] == 4000
+        assert by_name["b"]["ts"] == by_name["a"]["ts"]  # first child at parent start
+        assert all(isinstance(e["ts"], int) and isinstance(e["dur"], int) for e in spans)
+
+    def test_sibling_layout_is_sequential(self):
+        trace = _trace(
+            [_span("p", 0.010, [_span("c1", 0.003), _span("c2", 0.002)])]
+        )
+        spans = {
+            e["name"]: e for e in chrome_trace([trace])["traceEvents"] if e["ph"] == "X"
+        }
+        assert spans["c2"]["ts"] == spans["c1"]["ts"] + spans["c1"]["dur"]
+
+    def test_one_tid_per_trace_with_thread_names(self):
+        t1 = _trace([_span("a", 0.001)], trace_id="T1")
+        t2 = _trace([_span("b", 0.001)], trace_id="T2", name="other")
+        payload = chrome_trace([t1, t2])
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert [m["tid"] for m in meta] == [1, 2]
+        assert meta[1]["args"]["name"] == "T2 other"
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in spans} == {1, 2}
+
+    def test_output_is_json_serialisable(self):
+        trace = _trace([_span("a", 0.001)])
+        json.dumps(chrome_trace([trace]))
+
+
+class TestSpansFromReport:
+    def test_wraps_run_report_as_one_trace(self):
+        context = ExecutionContext(seed=0)
+        with context.span("outer"):
+            with context.span("inner"):
+                pass
+        report = context.report(meta={"command": "unit"})
+        (trace,) = spans_from_report(report, label="run")
+        assert trace["trace_id"] == "run" and trace["name"] == "unit"
+        (outer,) = [s for s in trace["spans"] if s["name"] == "outer"]
+        assert [c["name"] for c in outer["children"]] == ["inner"]
+        lines = collapsed_stacks([trace])
+        assert any(line.startswith("run unit;outer;inner ") for line in lines)
+
+
+class TestEventLogRoundTrip:
+    """Live spans -> JSONL events -> reconstructed profiler output."""
+
+    def _events(self):
+        context = ExecutionContext(seed=0)
+        with context.telemetry.trace("request", request_type="unit"):
+            with context.span("outer"):
+                with context.span("inner"):
+                    pass
+        return context.telemetry.events()
+
+    def test_collapsed_from_events(self):
+        lines = collapsed_from_events(self._events())
+        assert any(";outer;inner " in line for line in lines)
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack and int(value) >= 0
+
+    def test_chrome_trace_from_events(self):
+        payload = chrome_trace_from_events(self._events())
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert {"outer", "inner"} <= names
+        json.dumps(payload)

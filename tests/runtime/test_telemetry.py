@@ -335,3 +335,86 @@ class TestExporters:
         assert "request.domd_query" in text
         assert "p50 ms" in text
         assert "cache.hits" in text
+
+
+class TestPrometheusHistogramContract:
+    """Pin the exposition contract: ``_bucket`` series are cumulative
+    over ``le`` bounds and every histogram carries ``_sum``/``_count``."""
+
+    def test_buckets_are_cumulative_with_sum_and_count(self):
+        context = ExecutionContext(seed=0)
+        hub = context.telemetry
+        for value in (0.002, 0.002, 0.03, 5000.0):
+            hub.observe("probe", value)
+        text = prometheus_text(context.metrics)
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_probe_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert bucket_lines[-1].startswith('repro_probe_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 4  # +Inf bucket counts every observation
+        assert any(0 < c < 4 for c in counts)  # genuinely cumulative mid-series
+        assert "repro_probe_seconds_count 4" in text
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_probe_seconds_sum ")
+        )
+        assert float(sum_line.split(" ")[1]) == pytest.approx(5000.034)
+
+    def test_bucket_bounds_match_histogram_layout(self):
+        context = ExecutionContext(seed=0)
+        context.telemetry.observe("probe", 0.002)
+        text = prometheus_text(context.metrics)
+        for bound in DEFAULT_LATENCY_BUCKETS:
+            assert f'repro_probe_seconds_bucket{{le="{bound:g}"}}' in text
+
+
+class TestLenientEventLoading:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "events.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_strict_loader_raises_on_corrupt_line(self, tmp_path):
+        from repro.runtime.telemetry import load_events_lenient
+
+        path = self._write(
+            tmp_path, ['{"kind": "counter", "name": "x"}', "garbage{{{"]
+        )
+        with pytest.raises(ConfigurationError):
+            load_events(path)
+        events, dropped = load_events_lenient(path)
+        assert dropped == 1
+        assert [e["kind"] for e in events] == ["counter"]
+
+    def test_lenient_loader_drops_truncated_tail_and_non_objects(self, tmp_path):
+        from repro.runtime.telemetry import load_events_lenient
+
+        path = self._write(
+            tmp_path,
+            [
+                '{"kind": "span_open", "name": "a"}',
+                "42",  # valid JSON, not an event object
+                '{"kind": "span_close", "na',  # truncated mid-write
+            ],
+        )
+        events, dropped = load_events_lenient(path)
+        assert dropped == 2
+        assert len(events) == 1
+
+    def test_lenient_loader_clean_file_drops_nothing(self, tmp_path):
+        from repro.runtime.telemetry import load_events_lenient
+
+        path = self._write(tmp_path, ['{"kind": "counter"}', "", '{"kind": "error"}'])
+        events, dropped = load_events_lenient(path)
+        assert dropped == 0 and len(events) == 2
+
+    def test_render_report_footer_counts_dropped_lines(self):
+        from repro.runtime.telemetry import render_report as render
+
+        text = render([{"kind": "counter", "name": "x", "delta": 1}], dropped_lines=2)
+        assert "skipped 2 corrupt event-log line(s)" in text
+        clean = render([{"kind": "counter", "name": "x", "delta": 1}])
+        assert "corrupt" not in clean

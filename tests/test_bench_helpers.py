@@ -11,7 +11,12 @@ from repro.bench import (
     scaled_dataset,
     sweep_status_queries,
 )
-from repro.bench.reporting import compare_bench_metrics, emit_json, emit_report
+from repro.bench.reporting import (
+    compare_bench_metrics,
+    compare_bench_metrics_detailed,
+    emit_json,
+    emit_report,
+)
 from repro.errors import (
     ColumnNotFoundError,
     ConfigurationError,
@@ -69,10 +74,27 @@ class TestBenchJson:
         current = {"metrics": {"build": 0.5, "fresh": 9.0}}
         assert compare_bench_metrics(baseline, current) == []
 
+    def test_detailed_compare_records_improvements(self):
+        baseline = {"metrics": {"build": 1.0, "query": 0.10}}
+        current = {"metrics": {"build": 0.5, "query": 0.11}}
+        deltas = compare_bench_metrics_detailed(baseline, current, threshold=0.25)
+        assert [(d.key, d.kind) for d in deltas] == [("build", "improvement")]
+        assert "-50%" in deltas[0].message()
+
+    def test_detailed_compare_classifies_both_directions(self):
+        baseline = {"metrics": {"a": 1.0, "b": 1.0, "c": 1.0}}
+        current = {"metrics": {"a": 2.0, "b": 0.25, "c": 1.1}}
+        deltas = compare_bench_metrics_detailed(baseline, current, threshold=0.25)
+        assert {(d.key, d.kind) for d in deltas} == {
+            ("a", "regression"),
+            ("b", "improvement"),
+        }
+
     def test_compare_ignores_sub_millisecond_noise(self):
         baseline = {"metrics": {"tiny": 1e-5}}
         current = {"metrics": {"tiny": 9e-4}}  # 90x but still under 1ms
         assert compare_bench_metrics(baseline, current) == []
+        assert compare_bench_metrics_detailed(baseline, current) == []
 
     def test_compare_accepts_bare_metric_dicts(self):
         messages = compare_bench_metrics({"x": 1.0}, {"x": 2.0})

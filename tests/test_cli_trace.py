@@ -182,3 +182,174 @@ class TestTelemetryCli:
         assert payload["counters"]["service.requests"] == 1
         assert any(t["name"] == "request" for t in payload["traces"])
         assert "request.domd_query" in payload["histograms"]
+
+
+class TestExplainCli:
+    def _text(self, *argv) -> tuple[int, str]:
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_point_explain_prints_a_plan(self, trace_env):
+        data_dir, _ = trace_env
+        code, text = self._text("explain", "--data", data_dir, "--t-star", "50")
+        assert code == 0
+        assert text.startswith("QueryPlan mode=point")
+        assert "group_assignment" in text and "index_lookup" in text
+        assert "cost model" in text and "operators cover" in text
+
+    def test_default_design_is_auto(self, trace_env):
+        data_dir, _ = trace_env
+        code, text = self._text("explain", "--data", data_dir, "--t-star", "50")
+        assert code == 0
+        assert "planner: auto chose" in text
+
+    def test_sweep_explain_json(self, trace_env):
+        data_dir, _ = trace_env
+        code, out_lines, _ = run_cli(
+            "explain", "--data", data_dir, "--sweep", "0,50,100",
+            "--design", "sorted_array", "--format", "json",
+        )
+        assert code == 0
+        plan = out_lines[0]["plan"]
+        assert plan["mode"] == "sweep" and plan["n_timestamps"] == 3
+        assert plan["design"] == "sorted_array"
+        ops = {row["op"] for row in plan["operators"]}
+        assert {"group_assignment", "stat_build", "advance", "aggregate"} <= ops
+
+    def test_redacted_output_is_host_stable(self, trace_env):
+        data_dir, _ = trace_env
+        _, first = self._text(
+            "explain", "--data", data_dir, "--t-star", "50",
+            "--design", "avl", "--redact-timings",
+        )
+        _, second = self._text(
+            "explain", "--data", data_dir, "--t-star", "50",
+            "--design", "avl", "--redact-timings",
+        )
+        assert "***" in first
+        assert first == second
+
+    def test_exports_flamegraph_and_chrome_trace(self, trace_env, tmp_path):
+        data_dir, _ = trace_env
+        flame = tmp_path / "profile.collapsed"
+        chrome = tmp_path / "trace.json"
+        code, _ = self._text(
+            "explain", "--data", data_dir, "--t-star", "50",
+            "--flamegraph", str(flame), "--chrome-trace", str(chrome),
+        )
+        assert code == 0
+        lines = flame.read_text().strip().splitlines()
+        assert lines and all(int(line.rsplit(" ", 1)[1]) >= 0 for line in lines)
+        assert any("explain.query" in line for line in lines)
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    def test_unknown_design_is_a_clean_error(self, trace_env):
+        data_dir, _ = trace_env
+        code, out_lines, _ = run_cli(
+            "explain", "--data", data_dir, "--t-star", "50", "--design", "btree"
+        )
+        assert code == 1
+        assert not out_lines[0]["ok"]
+        assert out_lines[0]["error"]["code"] == "domain_error"
+
+
+class TestTelemetryProfileCli:
+    def _events_path(self, trace_env, tmp_path) -> str:
+        data_dir, model_path = trace_env
+        events_path = tmp_path / "events.jsonl"
+        code, out_lines, _ = run_cli(
+            "--telemetry-events", str(events_path),
+            "query", "--model", model_path, "--data", data_dir,
+            "--avail", "0", "--t-star", "50",
+        )
+        assert code == 0 and out_lines[0]["ok"]
+        return str(events_path)
+
+    def test_collapsed_profile_to_stdout(self, trace_env, tmp_path):
+        events_path = self._events_path(trace_env, tmp_path)
+        out = io.StringIO()
+        code = main(["telemetry", "profile", "--events", events_path], out=out)
+        assert code == 0
+        lines = out.getvalue().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack and int(value) >= 0
+        assert any("request.domd_query" in line for line in lines)
+
+    def test_chrome_profile_to_file(self, trace_env, tmp_path):
+        events_path = self._events_path(trace_env, tmp_path)
+        target = tmp_path / "chrome.json"
+        code, out_lines, _ = run_cli(
+            "telemetry", "profile", "--events", events_path,
+            "--format", "chrome", "--out", str(target),
+        )
+        assert code == 0
+        assert out_lines[0] == {"written": str(target), "format": "chrome"}
+        payload = json.loads(target.read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e.get("ph") == "X"}
+        assert "request.domd_query" in names
+
+    def test_profile_rejects_report_formats(self, trace_env, tmp_path):
+        events_path = self._events_path(trace_env, tmp_path)
+        code, out_lines, _ = run_cli(
+            "telemetry", "profile", "--events", events_path, "--format", "json"
+        )
+        assert code == 1
+        assert out_lines[0]["error"]["code"] == "domain_error"
+
+    def test_report_skips_and_counts_corrupt_lines(self, trace_env, tmp_path):
+        events_path = self._events_path(trace_env, tmp_path)
+        with open(events_path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "truncat\n')
+            handle.write("not json at all\n")
+        out = io.StringIO()
+        code = main(["telemetry", "report", "--events", events_path], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "request.domd_query" in text  # intact events still render
+        assert "skipped 2 corrupt event-log line(s)" in text
+
+    def test_report_json_carries_dropped_count(self, trace_env, tmp_path):
+        events_path = self._events_path(trace_env, tmp_path)
+        with open(events_path, "a", encoding="utf-8") as handle:
+            handle.write("garbage{{{\n")
+        code, out_lines, _ = run_cli(
+            "telemetry", "report", "--events", events_path, "--format", "json"
+        )
+        assert code == 0
+        assert out_lines[0]["dropped_lines"] == 1
+
+
+class TestPlannerDoctorCli:
+    def test_doctor_reports_every_backend(self, trace_env):
+        data_dir, _ = trace_env
+        out = io.StringIO()
+        code = main(
+            ["planner", "doctor", "--data", data_dir, "--threshold", "1e9"], out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "planner doctor" in text
+        for backend in ("naive", "avl", "interval", "sorted_array"):
+            assert backend in text
+        assert "all backends within" in text
+
+    def test_doctor_json_flags_with_tight_threshold(self, trace_env):
+        data_dir, _ = trace_env
+        code, out_lines, _ = run_cli(
+            "planner", "doctor", "--data", data_dir,
+            "--threshold", "1.0000001", "--format", "json",
+        )
+        assert code == 0
+        payload = out_lines[0]
+        assert set(payload["measurements"]) == {
+            "naive", "avl", "interval", "sorted_array",
+        }
+        for row in payload["measurements"].values():
+            assert {"measured", "modelled", "ratio"} <= row.keys()
+        # measured never equals modelled to 1e-7 — everything flags
+        assert sorted(payload["flagged"]) == sorted(payload["measurements"])
