@@ -1,0 +1,157 @@
+"""Serving-pool throughput: 4 workers vs. sequential on a mixed workload.
+
+The :class:`~repro.core.server.ServicePool` exists to overlap the
+*waiting* in a serving stack — downstream data-store reads, socket
+latency — with useful work on other requests.  This bench drives a
+mixed request stream (DoMD queries, explanations, fleet status,
+evaluation metrics) through a :class:`DomdService` whose ``handle``
+emulates a fixed per-request downstream IO stall (a plain
+``time.sleep``, which releases the GIL exactly like a blocking read
+would), once sequentially and once through a 4-worker pool.
+
+The acceptance bar from the serving-runtime issue: the pool must
+sustain **at least 2.5x** the single-threaded throughput.  With a
+15 ms stall per request the ideal 4-worker speedup is ~4x; the 2.5x
+floor absorbs queue hand-off overhead and machine noise.  Both
+wall-times land in ``BENCH_pool_throughput.json`` so the committed
+baseline guards against the pool itself regressing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import emit_json, emit_report, format_table
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.server import ServicePool
+from repro.core.service import DomdService
+from repro.data import SyntheticNmdConfig, generate_dataset, split_dataset
+from repro.data.dates import day_to_iso
+from repro.ml import GbmParams
+
+N_WORKERS = 4
+N_REQUESTS = 64
+IO_STALL_S = 0.015  # emulated downstream read per request
+MIN_SPEEDUP = 2.5
+
+
+class IoStalledService(DomdService):
+    """DomdService with a fixed emulated IO stall before each dispatch."""
+
+    def handle(self, request):
+        time.sleep(IO_STALL_S)
+        return super().handle(request)
+
+
+@pytest.fixture(scope="module")
+def serving():
+    """A fitted service over a miniature dataset plus its mixed workload."""
+    dataset = generate_dataset(
+        SyntheticNmdConfig(
+            n_ships=10,
+            n_closed_avails=28,
+            n_ongoing_avails=2,
+            target_n_rccs=2_500,
+            seed=3,
+        )
+    )
+    splits = split_dataset(dataset)
+    config = PipelineConfig(
+        window_pct=25.0, k=8, fusion="average", gbm=GbmParams(n_estimators=20)
+    )
+    estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+    service = IoStalledService(estimator)
+    service.handle({"type": "health"})  # warm lazy feature materialisation
+
+    rng = np.random.default_rng(7)
+    avail_ids = [int(a) for a in dataset.avails["avail_id"]]
+    some_day = int(np.min(np.asarray(dataset.avails["act_start"]))) + 40
+    workload: list[dict] = []
+    for index in range(N_REQUESTS):
+        kind = index % 8
+        if kind <= 4:  # the dominant production type
+            picked = rng.choice(avail_ids, size=2, replace=False)
+            workload.append(
+                {
+                    "type": "domd_query",
+                    "avail_ids": [int(a) for a in picked],
+                    "t_star": float(rng.choice([10.0, 40.0, 70.0, 100.0])),
+                }
+            )
+        elif kind == 5:
+            workload.append(
+                {"type": "explain", "avail_id": int(rng.choice(avail_ids)), "t_star": 50.0}
+            )
+        elif kind == 6:
+            workload.append(
+                {"type": "fleet_status", "date": day_to_iso(some_day + index)}
+            )
+        else:
+            workload.append(
+                {"type": "metrics", "avail_ids": [int(a) for a in splits.test_ids[:8]]}
+            )
+    return service, workload
+
+
+def serve_sequential(service, workload) -> list[bytes]:
+    return [
+        json.dumps(service.handle(request), sort_keys=True).encode()
+        for request in workload
+    ]
+
+
+def serve_pooled(service, workload) -> list[bytes]:
+    with ServicePool(service, workers=N_WORKERS, queue_depth=32) as pool:
+        futures = [pool.submit(request, block=True) for request in workload]
+        return [
+            json.dumps(future.result(timeout=120), sort_keys=True).encode()
+            for future in futures
+        ]
+
+
+def test_pool_throughput_beats_sequential(benchmark, serving):
+    service, workload = serving
+
+    def run() -> dict[str, float]:
+        tic = time.perf_counter()
+        sequential = serve_sequential(service, workload)
+        t_sequential = time.perf_counter() - tic
+        tic = time.perf_counter()
+        pooled = serve_pooled(service, workload)
+        t_pooled = time.perf_counter() - tic
+        assert pooled == sequential, "pooled responses must be byte-identical"
+        return {"sequential": t_sequential, "pooled": t_pooled}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = times["sequential"] / max(times["pooled"], 1e-9)
+    rps_seq = N_REQUESTS / times["sequential"]
+    rps_pool = N_REQUESTS / times["pooled"]
+    table = format_table(
+        ["mode", "wall (s)", "req/s"],
+        [
+            ["sequential", f"{times['sequential']:.3f}", f"{rps_seq:.1f}"],
+            [f"pool x{N_WORKERS}", f"{times['pooled']:.3f}", f"{rps_pool:.1f}"],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+    )
+    emit_report(
+        "pool_throughput",
+        f"Serving pool throughput ({N_REQUESTS} mixed requests, "
+        f"{IO_STALL_S * 1e3:.0f} ms emulated IO)",
+        table,
+    )
+    emit_json(
+        "pool_throughput",
+        {
+            "serve.sequential": times["sequential"],
+            f"serve.pool{N_WORKERS}": times["pooled"],
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{N_WORKERS}-worker pool managed only {speedup:.2f}x over sequential "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

@@ -9,6 +9,9 @@ Commands mirror the deployment life cycle:
 * ``evaluate`` — Table-7-style metrics on the chronological test split.
 * ``serve``    — JSON-lines request loop over stdin/stdout
   (the SMDII back-end contract, see :mod:`repro.core.service`).
+  ``--workers N`` serves through a :class:`~repro.core.server.ServicePool`
+  (bounded queue via ``--queue-depth``, per-request budgets via
+  ``--deadline-ms``); responses stay in submission order.
 * ``explain``  — EXPLAIN/ANALYZE a Status Query workload: planner
   decision, per-operator rows/timings, cost-model residual; optionally
   exporting the run as a flamegraph or Chrome trace.
@@ -38,13 +41,15 @@ import argparse
 import json
 import os
 import sys
+from collections import deque
 from pathlib import Path
 from typing import IO
 
 from repro.core.config import PipelineConfig, paper_final_config
 from repro.core.estimator import DomdEstimator
 from repro.core.pipeline import PipelineOptimizer
-from repro.core.service import DomdService
+from repro.core.server import PoolFuture, ServicePool
+from repro.core.service import DomdService, error_envelope
 from repro.data.generator import SyntheticNmdConfig, generate_dataset
 from repro.data.loader import load_dataset, save_dataset
 from repro.data.scaling import scale_rccs
@@ -127,6 +132,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="answer JSON-lines requests on stdin")
     serve.add_argument("--model", required=True)
     serve.add_argument("--data", required=True)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads serving requests concurrently (default 1)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="bounded request-queue capacity (backpressure knob, default 16)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds, measured from submission "
+        "(default: no deadline)",
+    )
 
     explain = sub.add_parser(
         "explain", help="EXPLAIN/ANALYZE a Status Query workload"
@@ -297,22 +321,60 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
     dataset = load_dataset(args.data)
     estimator = load_estimator(args.model, dataset, context=context)
     service = DomdService(estimator)
-    for line in stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            print(
-                json.dumps(
-                    {"ok": False, "error": {"code": "bad_json", "message": str(exc)}}
-                ),
-                file=out,
-                flush=True,
-            )
-            continue
-        print(json.dumps(service.handle(request)), file=out, flush=True)
+    workers = getattr(args, "workers", 1)
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if workers <= 1 and deadline_ms is None:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(
+                    json.dumps(error_envelope("bad_json", f"malformed JSON: {exc}")),
+                    file=out,
+                    flush=True,
+                )
+                continue
+            print(json.dumps(service.handle(request)), file=out, flush=True)
+        return 0
+
+    # Pooled serving: requests fan out across worker threads, responses
+    # are printed in submission order.  Submits block on a full queue —
+    # on a stdin pipe the producer *is* the client, so backpressure
+    # propagates upstream instead of dropping requests.
+    pool = ServicePool(
+        service,
+        workers=workers,
+        queue_depth=getattr(args, "queue_depth", 16),
+        deadline_ms=deadline_ms,
+    )
+    pending: deque[PoolFuture] = deque()
+
+    def flush(block: bool) -> None:
+        while pending and (block or pending[0].done()):
+            print(json.dumps(pending.popleft().result()), file=out, flush=True)
+
+    try:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending.append(
+                    PoolFuture.resolved(
+                        error_envelope("bad_json", f"malformed JSON: {exc}")
+                    )
+                )
+            else:
+                pending.append(pool.submit(request, block=True))
+            flush(block=False)
+        flush(block=True)
+    finally:
+        pool.close(drain=True)
     return 0
 
 

@@ -7,6 +7,7 @@ Public API::
         PipelineOptimizer, OptimizationReport, StageResult,
         TimelineModelSet, LogicalTimeline,
         DomdEstimator, DomdEstimate, FeatureContribution,
+        DomdService, ServicePool, PoolFuture,
         fuse, fuse_progressive, FUSION_METHODS,
         make_model, MODEL_FAMILIES, ARCHITECTURES,
     )
@@ -30,7 +31,8 @@ from repro.core.interpret import (
     window_importances,
 )
 from repro.core.retrain import RetrainDecision, RetrainManager
-from repro.core.service import DomdService
+from repro.core.server import PoolFuture, ServicePool
+from repro.core.service import ERROR_CODES, RETRYABLE_CODES, DomdService, error_envelope
 from repro.core.pipeline import (
     DEFAULT_K_GRID,
     DEFAULT_TRIAL_COUNTS,
@@ -59,6 +61,11 @@ __all__ = [
     "LogicalTimeline",
     "DomdEstimator",
     "DomdService",
+    "ServicePool",
+    "PoolFuture",
+    "error_envelope",
+    "ERROR_CODES",
+    "RETRYABLE_CODES",
     "RetrainManager",
     "ConformalDomdEstimator",
     "DomdInterval",

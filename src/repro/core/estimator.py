@@ -14,6 +14,7 @@ the base model's additive per-sample attributions.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,7 +27,7 @@ from repro.errors import ConfigurationError, NotFittedError
 from repro.features.static import static_features_for
 from repro.features.transform import StatusFeatureExtractor
 from repro.ml.metrics import metric_suite
-from repro.runtime import ExecutionContext, ensure_context
+from repro.runtime import ExecutionContext, check_deadline, ensure_context
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,7 @@ class DomdEstimator:
         self._avail_ids: np.ndarray | None = None
         self._dataset: NavyMaintenanceDataset | None = None
         self._features_pending = False
+        self._bind_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # feature binding (eager after fit(); lazy after serve())
@@ -108,16 +110,27 @@ class DomdEstimator:
         Runs inside whatever span/trace is currently open — a service
         request that first touches a freshly served snapshot therefore
         carries the extraction and Status Query spans in its own trace.
+
+        Double-checked under ``_bind_lock`` so that concurrent first
+        queries against a freshly served estimator bind exactly once;
+        ``_features_pending`` is cleared *last* — after every feature
+        attribute is assigned — so an unlocked reader never observes a
+        half-bound estimator.  The extraction itself is additionally
+        de-duplicated across estimators by the shared artifact cache's
+        single-flight :meth:`~repro.runtime.cache.ArtifactCache.get_or_build`.
         """
-        assert self._dataset is not None and self.context is not None
-        self._features_pending = False
-        self._tensor_data = StatusFeatureExtractor(
-            self._dataset, self.timeline.t_stars, context=self.context
-        ).extract()
-        X_static, self._static_names, self._avail_ids = static_features_for(
-            self._dataset
-        )
-        self._X_static_data = X_static
+        with self._bind_lock:
+            if not self._features_pending:
+                return
+            assert self._dataset is not None and self.context is not None
+            self._tensor_data = StatusFeatureExtractor(
+                self._dataset, self.timeline.t_stars, context=self.context
+            ).extract()
+            X_static, self._static_names, self._avail_ids = static_features_for(
+                self._dataset
+            )
+            self._X_static_data = X_static
+            self._features_pending = False
 
     # ------------------------------------------------------------------
     def fit(
@@ -223,6 +236,10 @@ class DomdEstimator:
         estimates = []
         with self.context.span("query"):
             for avail_id in avail_ids:
+                # Cooperative cancellation: a pooled request checks its
+                # deadline once per avail, so cancellation lands within
+                # one avail's worth of work.
+                check_deadline("estimator.query")
                 avail_t = (
                     float(t_star)
                     if t_star is not None
@@ -329,6 +346,7 @@ class DomdEstimator:
             raise ConfigurationError("evaluate() requires closed avails only")
         rows = self._tensor.rows_for(avail_ids)
         assert self.context is not None
+        check_deadline("estimator.evaluate")
         with self.context.span("evaluate"):
             fused = self._model_set.predict_fused(
                 self._X_static[rows], self._tensor.values[rows]

@@ -1,0 +1,326 @@
+"""The concurrent serving runtime: a worker pool over :class:`DomdService`.
+
+The deployed SMDII engine serves many logged-in users at once.
+:class:`ServicePool` provides the serving half of that deployment story
+on top of the single-threaded request handler:
+
+* **Worker fan-out** — ``workers`` threads pull requests from one
+  bounded queue and serve them through a *shared* :class:`DomdService`.
+  The runtime underneath (metrics sink, telemetry hub, artifact cache)
+  is thread-safe, so the pooled responses are byte-identical to the
+  sequential ones — the differential stress suite asserts exactly that.
+* **Backpressure** — the queue is bounded (``queue_depth``).  A
+  non-blocking :meth:`submit` on a full queue returns an ``overloaded``
+  error envelope immediately instead of stacking unbounded work; a
+  blocking submit (the CLI's stdin loop) waits for a slot, propagating
+  the backpressure to the producer.
+* **Deadlines** — each request may carry a budget (``deadline_ms``,
+  per-pool default or per-submit override).  The clock starts at
+  *submission*, so time spent queued counts.  Cancellation is
+  cooperative: the ambient :class:`~repro.runtime.concurrency.Deadline`
+  is checked at loop checkpoints in the estimator and Status Query
+  sweep, and an expired request returns a structured
+  ``deadline_exceeded`` envelope within one checkpoint interval.
+  Requests that expire *while still queued* are answered without being
+  executed at all.
+* **Determinism** — worker ``i`` owns RNG stream ``i`` of
+  ``worker_rng_streams(seed, workers)``, installed as the ambient RNG
+  for every request it serves; a seeded run stays reproducible no
+  matter how many workers serve it.
+* **Graceful shutdown** — :meth:`close` (or leaving the ``with`` block)
+  drains queued work by default, then joins the workers; with
+  ``drain=False`` queued-but-unstarted requests are answered with
+  ``overloaded`` envelopes instead of executing.
+
+The pool registers itself on the service (``service.pool``), so
+``health`` responses gain a saturation status and telemetry expositions
+gain the ``repro_pool_*`` gauges.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from repro.core.service import DomdService, error_envelope
+from repro.errors import ConfigurationError
+from repro.runtime import Deadline, ambient_scope, worker_rng_streams
+
+
+class PoolFuture:
+    """Handle for one submitted request's eventual response envelope."""
+
+    __slots__ = ("_done", "_response")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._response: dict[str, Any] | None = None
+
+    @classmethod
+    def resolved(cls, response: dict[str, Any]) -> "PoolFuture":
+        """A future that is already complete (rejections, bad JSON)."""
+        future = cls()
+        future.set(response)
+        return future
+
+    def set(self, response: dict[str, Any]) -> None:
+        self._response = response
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> dict[str, Any]:
+        """Block until the response envelope is available."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not completed within timeout")
+        assert self._response is not None
+        return self._response
+
+
+class _WorkItem:
+    __slots__ = ("request", "future", "deadline")
+
+    def __init__(
+        self,
+        request: dict[str, Any],
+        future: PoolFuture,
+        deadline: Deadline | None,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.deadline = deadline
+
+
+_SHUTDOWN = object()
+
+
+class ServicePool:
+    """Bounded-queue worker pool serving one shared :class:`DomdService`.
+
+    Parameters
+    ----------
+    service:
+        The request handler every worker serves through.  Its runtime
+        (sink, hub, cache) is shared and thread-safe.
+    workers:
+        Worker-thread count (``repro serve --workers``).
+    queue_depth:
+        Bounded queue capacity; the backpressure knob
+        (``--queue-depth``).
+    deadline_ms:
+        Default per-request budget in milliseconds, measured from
+        submission; ``None`` disables deadlines unless a submit
+        overrides it (``--deadline-ms``).
+    seed:
+        Seed for the per-worker RNG streams; defaults to the service
+        context's seed.
+    """
+
+    def __init__(
+        self,
+        service: DomdService,
+        workers: int = 1,
+        queue_depth: int = 16,
+        deadline_ms: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ConfigurationError(f"queue_depth must be >= 1, got {queue_depth}")
+        if deadline_ms is not None and not deadline_ms > 0:
+            raise ConfigurationError(
+                f"deadline_ms must be > 0, got {deadline_ms}"
+            )
+        self.service = service
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.deadline_ms = deadline_ms
+        if seed is None:
+            seed = service.context.seed
+        self.rng_streams = worker_rng_streams(seed, workers)
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._accepted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._deadline_exceeded = 0
+        self._closed = False
+        service.pool = self
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-pool-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: dict[str, Any],
+        block: bool = False,
+        deadline_ms: float | None = None,
+    ) -> PoolFuture:
+        """Enqueue one request; returns a :class:`PoolFuture`.
+
+        With ``block=False`` (the serving default) a full queue rejects
+        immediately: the returned future is already resolved with an
+        ``overloaded`` envelope.  With ``block=True`` (the CLI's stdin
+        loop) the call waits for a slot — backpressure reaches the
+        producer instead of the client.
+
+        ``deadline_ms`` overrides the pool default for this request;
+        the budget starts now, so queue wait time counts against it.
+        """
+        if self._closed:
+            return PoolFuture.resolved(
+                error_envelope("overloaded", "serving pool is shut down")
+            )
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        deadline = Deadline.after_ms(budget) if budget is not None else None
+        future = PoolFuture()
+        item = _WorkItem(request, future, deadline)
+        try:
+            self._queue.put(item, block=block)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            self._count("pool.rejected")
+            return PoolFuture.resolved(
+                error_envelope(
+                    "overloaded",
+                    f"serving queue is full ({self.queue_depth} requests"
+                    f" queued); retry later",
+                )
+            )
+        with self._lock:
+            self._accepted += 1
+        self._count("pool.accepted")
+        return future
+
+    def _count(self, name: str) -> None:
+        self.service.context.counter(name)
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        rng = self.rng_streams[index]
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            with self._lock:
+                self._in_flight += 1
+            try:
+                response = self._serve(item, rng)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._completed += 1
+                self._queue.task_done()
+            item.future.set(response)
+
+    def _serve(self, item: _WorkItem, rng: Any) -> dict[str, Any]:
+        deadline = item.deadline
+        if deadline is not None and deadline.expired():
+            # Expired while queued: answer without executing at all.
+            with self._lock:
+                self._deadline_exceeded += 1
+            self._count("pool.deadline_exceeded")
+            return error_envelope(
+                "deadline_exceeded",
+                f"deadline of {deadline.budget_seconds * 1000:.0f} ms"
+                " expired while the request was queued",
+            )
+        with ambient_scope(deadline=deadline, rng=rng):
+            response = self.service.handle(item.request)
+        if (
+            not response.get("ok", False)
+            and response.get("error", {}).get("code") == "deadline_exceeded"
+        ):
+            with self._lock:
+                self._deadline_exceeded += 1
+            self._count("pool.deadline_exceeded")
+        return response
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Saturation gauges: the ``pool`` block of ``health`` responses
+        and the ``repro_pool_*`` metrics of telemetry expositions."""
+        with self._lock:
+            queued = self._queue.qsize()
+            return {
+                "workers": self.workers,
+                "queue_depth": queued,
+                "queue_capacity": self.queue_depth,
+                "in_flight": self._in_flight,
+                "saturated": queued >= self.queue_depth,
+                "accepted": self._accepted,
+                "rejected": self._rejected,
+                "deadline_exceeded": self._deadline_exceeded,
+                "completed": self._completed,
+            }
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work and join the workers.
+
+        ``drain=True`` serves everything already queued first;
+        ``drain=False`` answers queued-but-unstarted requests with
+        ``overloaded`` envelopes and stops as soon as in-flight
+        requests finish.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._queue.task_done()
+                if item is not _SHUTDOWN:
+                    with self._lock:
+                        self._rejected += 1
+                    item.future.set(
+                        error_envelope(
+                            "overloaded", "serving pool shut down before execution"
+                        )
+                    )
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join()
+        if self.service.pool is self:
+            self.service.pool = None
+
+    def __enter__(self) -> "ServicePool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close(drain=exc_info[0] is None)
+
+    def __repr__(self) -> str:
+        status = self.status()
+        return (
+            f"ServicePool(workers={self.workers}, "
+            f"queued={status['queue_depth']}/{self.queue_depth}, "
+            f"in_flight={status['in_flight']}, closed={self._closed})"
+        )

@@ -39,6 +39,20 @@ context's :class:`~repro.runtime.TelemetryHub`: the structured event
 log links the request span to every estimator / feature-extraction /
 Status Query span it triggered, and failed requests emit an ``error``
 event.
+
+**Error envelopes.**  Every failure — bad input, domain errors, an
+expired deadline, a saturated serving pool, even an unexpected internal
+fault — produces the same structured shape::
+
+    {"ok": false,
+     "error": {"code": "<machine code>", "message": "...", "retryable": bool}}
+
+Codes: ``bad_request``, ``bad_json``, ``unknown_type``, ``not_found``,
+``domain_error``, ``deadline_exceeded``, ``overloaded``, ``internal``.
+``retryable`` is ``true`` exactly for the load-dependent codes
+(``overloaded``, ``deadline_exceeded``): the same request may succeed
+once the pool drains.  Raw exception text from unexpected faults never
+reaches the caller.
 """
 
 from __future__ import annotations
@@ -51,7 +65,7 @@ import numpy as np
 
 from repro.core.estimator import DomdEstimator
 from repro.data.dates import iso_to_day
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError
 from repro.runtime import (
     ExecutionContext,
     plan_from_report,
@@ -59,9 +73,37 @@ from repro.runtime import (
     telemetry_snapshot,
 )
 
+#: Every error code the service may emit (pinned by the schema test).
+ERROR_CODES = (
+    "bad_request",
+    "bad_json",
+    "unknown_type",
+    "not_found",
+    "domain_error",
+    "deadline_exceeded",
+    "overloaded",
+    "internal",
+)
 
-def _error(code: str, message: str) -> dict[str, Any]:
-    return {"ok": False, "error": {"code": code, "message": message}}
+#: Codes where retrying the identical request may succeed (transient,
+#: load-dependent failures — not input errors).
+RETRYABLE_CODES = frozenset({"overloaded", "deadline_exceeded"})
+
+
+def error_envelope(code: str, message: str) -> dict[str, Any]:
+    """The one structured error shape every failure path produces."""
+    assert code in ERROR_CODES, f"unknown error code {code!r}"
+    return {
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "retryable": code in RETRYABLE_CODES,
+        },
+    }
+
+
+_error = error_envelope  # internal alias used by the handlers below
 
 
 class DomdService:
@@ -85,6 +127,10 @@ class DomdService:
         self._estimator = estimator
         self.context = context if context is not None else estimator.context
         assert self.context is not None
+        #: Set by :class:`~repro.core.server.ServicePool` when this
+        #: service is pooled; ``health`` and telemetry expositions then
+        #: include the pool's saturation gauges.
+        self.pool: Any = None
 
     # ------------------------------------------------------------------
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -129,11 +175,24 @@ class DomdService:
                 if request.get("explain"):
                     response["plan"] = plan_from_report(captured.report)
                 return response
+            except DeadlineExceeded as exc:
+                return self._record_error(telemetry, "deadline_exceeded", str(exc))
             except ReproError as exc:
                 return self._record_error(telemetry, "domain_error", str(exc))
-            except (KeyError, TypeError, ValueError) as exc:
+            except KeyError as exc:
+                name = exc.args[0] if exc.args else "?"
                 return self._record_error(
-                    telemetry, "bad_request", f"{type(exc).__name__}: {exc}"
+                    telemetry, "bad_request", f"missing required field {name!r}"
+                )
+            except (TypeError, ValueError) as exc:
+                return self._record_error(telemetry, "bad_request", str(exc))
+            except Exception as exc:  # noqa: BLE001 — the envelope contract:
+                # unexpected faults must not leak raw exception text.
+                return self._record_error(
+                    telemetry,
+                    "internal",
+                    f"internal error while serving {request_type!r}"
+                    f" ({type(exc).__name__})",
                 )
 
     def _record_error(
@@ -250,17 +309,20 @@ class DomdService:
             )
             return self._estimator.evaluate(avail_ids)
         # Telemetry exposition of the runtime itself.
+        pool_status = self.pool.status() if self.pool is not None else None
         exposition_format = request.get("format", "json")
         if exposition_format == "prometheus":
             return {
                 "format": "prometheus",
-                "exposition": prometheus_text(self.context.metrics),
+                "exposition": prometheus_text(
+                    self.context.metrics, pool_status=pool_status
+                ),
             }
         if exposition_format != "json":
             raise ValueError(
                 f"'format' must be 'json' or 'prometheus', got {exposition_format!r}"
             )
-        return telemetry_snapshot(self.context.metrics)
+        return telemetry_snapshot(self.context.metrics, pool_status=pool_status)
 
     def _handle_health(self, request: dict[str, Any]) -> dict[str, Any]:
         counters = self.context.metrics.counters
@@ -270,10 +332,19 @@ class DomdService:
         if telemetry is not None:
             drift_status = telemetry.drift.status()
             flagged = telemetry.drift.flagged()
-        return {
+        response = {
             "status": "degraded" if flagged else "ok",
             "fitted": self._estimator._model_set is not None,
             "requests": counters.get("service.requests", 0),
             "errors": counters.get("service.errors", 0),
             "drift": {"flagged": flagged, "windows": drift_status},
         }
+        if self.pool is not None:
+            # A saturated pool degrades health before requests start
+            # bouncing: the queue is full and the next submit would be
+            # rejected with an ``overloaded`` envelope.
+            pool_status = self.pool.status()
+            response["pool"] = pool_status
+            if pool_status.get("saturated") and response["status"] == "ok":
+                response["status"] = "saturated"
+        return response

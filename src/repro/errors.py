@@ -47,5 +47,15 @@ class ConfigurationError(ReproError):
     """An invalid parameter value or combination was supplied."""
 
 
+class DeadlineExceeded(ReproError):
+    """A cooperative per-request deadline expired before completion.
+
+    Raised from checkpoints (:func:`repro.runtime.concurrency.check_deadline`)
+    threaded through the estimator and Status Query sweep loops; the
+    service layer maps it to a structured ``deadline_exceeded`` error
+    envelope instead of letting it propagate to callers.
+    """
+
+
 class DataGenerationError(ReproError):
     """The synthetic data generator was asked for an impossible dataset."""

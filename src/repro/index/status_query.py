@@ -34,7 +34,12 @@ from repro.index.hierarchy import RccTypeTree, SwlinTree, swlin_prefix
 from repro.index.interval_index import IntervalTreeIndex
 from repro.index.naive import NaiveJoinIndex
 from repro.index.sorted_array import SortedArrayIndex
-from repro.runtime import ExecutionContext, WorkloadSpec, ensure_context
+from repro.runtime import (
+    ExecutionContext,
+    WorkloadSpec,
+    check_deadline,
+    ensure_context,
+)
 from repro.table.table import ColumnTable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -375,6 +380,7 @@ class StatusQueryEngine:
         comparable across ``naive``/``avl``/``interval``/``sorted_array``.
         """
         recorder = self._recorder
+        check_deadline("status_query.execute")
         with self.context.span("status_query.execute"):
             self.context.counter("status_query.point_queries")
             self.context.counter(f"status_query.queries.{self._design}")
@@ -531,6 +537,9 @@ class StatusQueryEngine:
         results = []
         with self.context.span("status_query.sweep.incremental"):
             for t in t_stars:
+                # Cooperative cancellation between timestamps: a pooled
+                # request abandons the sweep within one delta's work.
+                check_deadline("status_query.sweep")
                 if recorder is not None:
                     with recorder.op("advance") as op:
                         applied = stat.advance(t)

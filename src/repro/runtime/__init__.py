@@ -24,6 +24,13 @@ The observability layer lives in :mod:`repro.runtime.telemetry`: a
 propagation, latency histograms, a structured event log (with rotating
 JSONL persistence), Prometheus/JSON exposition and a per-logical-window
 drift monitor.  See ``docs/observability.md``.
+
+Concurrency primitives live in :mod:`repro.runtime.concurrency`:
+cooperative :class:`Deadline` cancellation threaded through the sweep
+and estimator loops via :func:`check_deadline`, per-request ambient
+state (:func:`ambient_scope`) and deterministic per-worker RNG streams
+(:func:`worker_rng_streams`) — the substrate under the
+:class:`~repro.core.server.ServicePool` serving pool.
 """
 
 from repro.runtime.cache import (
@@ -31,6 +38,14 @@ from repro.runtime.cache import (
     fingerprint_array,
     fingerprint_bytes,
     fingerprint_of,
+)
+from repro.runtime.concurrency import (
+    Deadline,
+    ambient_scope,
+    check_deadline,
+    current_deadline,
+    current_rng,
+    worker_rng_streams,
 )
 from repro.runtime.context import ExecutionContext, ensure_context
 from repro.runtime.explain import (
@@ -100,6 +115,12 @@ __all__ = [
     "prometheus_text",
     "telemetry_snapshot",
     "render_report",
+    "Deadline",
+    "ambient_scope",
+    "check_deadline",
+    "current_deadline",
+    "current_rng",
+    "worker_rng_streams",
     "ExecutionContext",
     "ensure_context",
     "MetricsSink",

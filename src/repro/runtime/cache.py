@@ -12,11 +12,20 @@ the same dataset skips the sweep entirely.
 Entries are kept in insertion-refreshing LRU order with a bounded
 entry count; hits and misses are reported to the owning
 :class:`~repro.runtime.metrics.MetricsSink` when one is attached.
+
+The cache is safe to share across a pool of worker threads:  all map
+operations run under an internal lock, and :meth:`get_or_build` is
+**single-flight** — when N threads ask for the same missing key at
+once, exactly one executes the builder while the rest wait for its
+result (counted as ``cache.coalesced``), so an expensive feature-tensor
+sweep is never duplicated under concurrent load.  Builders run
+*outside* the lock, so unrelated keys build in parallel.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -59,8 +68,19 @@ def fingerprint_of(*parts: Any) -> str:
     return fingerprint_bytes(*chunks)
 
 
+class _Flight:
+    """One in-progress build that followers wait on (single-flight)."""
+
+    __slots__ = ("done", "value", "success")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.success = False
+
+
 class ArtifactCache:
-    """Bounded LRU cache keyed by content fingerprints."""
+    """Bounded, thread-safe LRU cache keyed by content fingerprints."""
 
     def __init__(self, max_entries: int = 8, metrics: MetricsSink | None = None):
         if max_entries < 1:
@@ -68,42 +88,89 @@ class ArtifactCache:
         self.max_entries = max_entries
         self.metrics = metrics
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def _count(self, event: str) -> None:
         if self.metrics is not None:
             self.metrics.counter(f"cache.{event}")
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        entry = self._entries.get(key, default)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._count("hits")
-        else:
-            self._count("misses")
+        with self._lock:
+            hit = key in self._entries
+            entry = self._entries.get(key, default)
+            if hit:
+                self._entries.move_to_end(key)
+        self._count("hits" if hit else "misses")
         return entry
 
     def put(self, key: Hashable, value: Any) -> Any:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        evictions = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evictions += 1
+        for _ in range(evictions):
             self._count("evictions")
         return value
 
     def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
-        """Return the cached artifact or build, store and return it."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._count("hits")
-            return self._entries[key]
-        self._count("misses")
-        return self.put(key, build())
+        """Return the cached artifact or build, store and return it.
+
+        Single-flight: concurrent callers for the same missing key
+        coalesce onto one build — the first caller (the *leader*)
+        executes ``build`` outside the lock, followers block until the
+        leader finishes and then share its stored value.  If the
+        leader's build raises, followers retry (one of them becomes the
+        next leader) instead of receiving a poisoned result.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    value = self._entries[key]
+                    self._count("hits")
+                    return value
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = self._flights[key] = _Flight()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                self._count("coalesced")
+                flight.done.wait()
+                if flight.success:
+                    self._count("hits")
+                    return flight.value
+                continue  # leader failed; loop to contend for leadership
+            self._count("misses")
+            try:
+                value = build()
+            except BaseException:
+                with self._lock:
+                    del self._flights[key]
+                flight.done.set()
+                raise
+            self._count("builds")
+            flight.value = value
+            flight.success = True
+            self.put(key, value)
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+            return value
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

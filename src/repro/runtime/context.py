@@ -20,6 +20,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.runtime.cache import ArtifactCache
+from repro.runtime.concurrency import current_rng
 from repro.runtime.metrics import MetricsSink, RunReport
 from repro.runtime.planner import QueryPlanner
 from repro.runtime.telemetry.hub import TelemetryHub
@@ -64,7 +65,26 @@ class ExecutionContext:
         if self.cache.metrics is None:
             self.cache.metrics = self.metrics
         self.planner = planner or QueryPlanner()
-        self.rng = np.random.default_rng(self.seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The context RNG, or the ambient per-worker stream when set.
+
+        Inside a :class:`~repro.core.server.ServicePool` worker the
+        ambient stream installed by
+        :func:`~repro.runtime.concurrency.ambient_scope` takes
+        precedence, so components drawing from ``context.rng`` stay
+        deterministic per worker without the context being mutated.
+        """
+        ambient = current_rng()
+        if ambient is not None:
+            return ambient
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._rng = value
 
     @property
     def telemetry(self) -> TelemetryHub:

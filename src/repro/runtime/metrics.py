@@ -17,11 +17,22 @@ The sink measures durations as the stack's only wall-clock reader
 ``telemetry`` attribute, every span open/close and counter update is
 forwarded to it — gaining trace/span ids, structured events and latency
 histograms without changing any call site.
+
+**Thread safety.**  One sink may be shared by a pool of worker threads
+(:class:`~repro.core.server.ServicePool`): counter totals are
+lock-protected so concurrent increments sum exactly, while span stacks
+and span trees are kept *per thread* — each worker records its own
+correctly-nested tree, and :meth:`MetricsSink.report` merges the
+per-thread trees by name into one aggregate view.  :meth:`capture` is
+likewise per-thread: concurrent requests each capture only their own
+thread's activity, and only *nesting* a capture within the same thread
+raises.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -145,34 +156,70 @@ class _OpenSpan:
         self._t0 = 0.0
 
 
+class _ThreadState:
+    """One thread's private recording state on a shared sink."""
+
+    __slots__ = ("counters", "roots", "stack", "capturing")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.roots: dict[str, SpanRecord] = {}
+        self.stack: list[SpanRecord] = []
+        self.capturing = False
+
+
 class MetricsSink:
-    """Collects counters and nested span timings for one execution."""
+    """Collects counters and nested span timings for one execution.
+
+    Safe to share across worker threads: global counter totals are
+    guarded by a lock, span trees are recorded per thread and merged on
+    :meth:`report`, and :meth:`capture` deltas are per-thread.
+    """
 
     def __init__(self, telemetry: "TelemetryHub | None" = None) -> None:
+        self._lock = threading.RLock()
         self._counters: dict[str, float] = {}
-        self._roots: dict[str, SpanRecord] = {}
-        self._stack: list[SpanRecord] = []
-        self._capturing = False
+        self._local = threading.local()
+        self._states: list[_ThreadState] = []
         #: Optional telemetry hub receiving span/counter hooks.
         self.telemetry = telemetry
+
+    def _state(self) -> _ThreadState:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = self._local.state = _ThreadState()
+            with self._lock:
+                self._states.append(state)
+        return state
 
     # ------------------------------------------------------------------
     # counters
     # ------------------------------------------------------------------
     def counter(self, name: str, by: float = 1) -> float:
-        """Add ``by`` to a named counter; returns the new total."""
-        total = self._counters.get(name, 0) + by
-        self._counters[name] = total
+        """Add ``by`` to a named counter; returns the new global total.
+
+        Concurrent increments from multiple threads sum exactly (the
+        global total is updated under the sink lock); a per-thread delta
+        is additionally tracked so :meth:`capture` can report only the
+        calling thread's activity.
+        """
+        state = self._state()
+        state.counters[name] = state.counters.get(name, 0) + by
+        with self._lock:
+            total = self._counters.get(name, 0) + by
+            self._counters[name] = total
         if self.telemetry is not None:
             self.telemetry.counter_changed(name, by, total)
         return total
 
     def counter_value(self, name: str) -> float:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     @property
     def counters(self) -> dict[str, float]:
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     # ------------------------------------------------------------------
     # spans
@@ -181,12 +228,15 @@ class MetricsSink:
     def span(self, name: str) -> Iterator[_OpenSpan]:
         """Time a named stage; spans opened inside it nest under it.
 
+        Nesting is tracked per thread, so concurrent workers each build
+        a correctly-nested tree without contending on a shared stack.
         A span aborted by an exception still records its elapsed time
         (the record's ``errors`` count increments, and the telemetry
         span-close event carries ``error: true``) before the exception
         propagates.
         """
-        siblings = self._stack[-1].children if self._stack else self._roots
+        state = self._state()
+        siblings = state.stack[-1].children if state.stack else state.roots
         record = siblings.get(name)
         if record is None:
             record = siblings[name] = SpanRecord(name=name)
@@ -195,7 +245,7 @@ class MetricsSink:
             self.telemetry.span_opened(name) if self.telemetry is not None else None
         )
         handle._t0 = time.perf_counter()
-        self._stack.append(record)
+        state.stack.append(record)
         error = False
         try:
             yield handle
@@ -203,7 +253,7 @@ class MetricsSink:
             error = True
             raise
         finally:
-            self._stack.pop()
+            state.stack.pop()
             elapsed = time.perf_counter() - handle._t0
             handle.seconds = elapsed
             record.seconds += elapsed
@@ -222,39 +272,59 @@ class MetricsSink:
     # export
     # ------------------------------------------------------------------
     def report(self, meta: dict[str, Any] | None = None) -> RunReport:
-        """Snapshot the current state as a :class:`RunReport`."""
+        """Snapshot the current state as a :class:`RunReport`.
+
+        Per-thread span trees are merged by name (seconds, counts and
+        errors fold together, children merge recursively), so the report
+        of a pooled run looks exactly like the report of the same
+        workload executed sequentially.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            merged: dict[str, SpanRecord] = {}
+            for state in self._states:
+                _merge_children(merged, state.roots)
         return RunReport(
-            counters=dict(self._counters),
-            spans=[r.copy() for r in self._roots.values()],
-            meta=dict(meta or {}),
+            counters=counters, spans=list(merged.values()), meta=dict(meta or {})
         )
+
+    def _thread_report(self, state: _ThreadState) -> RunReport:
+        """Snapshot of one thread's private activity (capture baseline)."""
+        with self._lock:
+            return RunReport(
+                counters=dict(state.counters),
+                spans=[r.copy() for r in state.roots.values()],
+            )
 
     @contextmanager
     def capture(self) -> Iterator["_Capture"]:
-        """Collect only the activity inside the block.
+        """Collect only the *current thread's* activity inside the block.
 
         Yields a box whose ``report`` attribute is filled on exit with
-        the *delta* (spans entered, counters bumped) relative to the
-        state at entry — the per-request ``timings`` envelope of
-        :class:`~repro.core.service.DomdService` uses this.
+        the delta (spans entered, counters bumped) relative to the
+        thread's state at entry — the per-request ``timings`` envelope
+        of :class:`~repro.core.service.DomdService` uses this.  Worker
+        threads of a pool may capture concurrently; each sees only its
+        own request.
 
-        Captures do **not** nest: the delta diff is taken against one
-        entry snapshot, so an inner capture would silently swallow the
-        outer one's activity.  Nested (or concurrent, on a shared sink)
-        captures raise ``RuntimeError`` instead of mis-reporting.
+        Captures do **not** nest within one thread: the delta diff is
+        taken against one entry snapshot, so an inner capture would
+        silently swallow the outer one's activity.  Nested captures
+        raise ``RuntimeError`` instead of mis-reporting.
         """
-        if self._capturing:
+        state = self._state()
+        if state.capturing:
             raise RuntimeError(
                 "MetricsSink.capture() does not nest; one capture is already open"
             )
-        self._capturing = True
-        before = self.report()
+        state.capturing = True
+        before = self._thread_report(state)
         box = _Capture()
         try:
             yield box
         finally:
-            self._capturing = False
-            box.report = _diff_report(before, self.report())
+            state.capturing = False
+            box.report = _diff_report(before, self._thread_report(state))
 
 
 class _Capture:
@@ -262,6 +332,25 @@ class _Capture:
 
     def __init__(self) -> None:
         self.report = RunReport()
+
+
+def _merge_children(
+    dst: dict[str, SpanRecord], src: dict[str, SpanRecord]
+) -> None:
+    """Fold ``src`` records into ``dst`` by name, recursively.
+
+    ``src`` may be a *live* per-thread tree another thread is still
+    appending to, so iteration snapshots each level and records are
+    folded field-by-field instead of shallow-copied.
+    """
+    for name, record in list(src.items()):
+        into = dst.get(name)
+        if into is None:
+            into = dst[name] = SpanRecord(name=name)
+        into.seconds += record.seconds
+        into.count += record.count
+        into.errors += record.errors
+        _merge_children(into.children, record.children)
 
 
 def _diff_report(before: RunReport, after: RunReport) -> RunReport:

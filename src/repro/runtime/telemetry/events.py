@@ -20,12 +20,15 @@ kind               payload
 The in-memory :class:`MemoryEventLog` bounds retention by event count;
 :class:`JsonlEventLog` persists an append-only JSONL file with
 size-bounded rotation (``events.jsonl`` -> ``events.jsonl.1`` -> ...).
+Both sinks serialise appends internally, so a pool of worker threads
+sharing one hub drops or duplicates no events.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import deque
 from pathlib import Path
 from typing import Any, Iterable
@@ -43,17 +46,23 @@ class MemoryEventLog:
             raise ConfigurationError(f"max_events must be >= 1, got {max_events}")
         self.max_events = max_events
         self._events: deque[Event] = deque(maxlen=max_events)
+        self._lock = threading.Lock()
         self.total_emitted = 0
 
     def emit(self, event: Event) -> None:
-        self._events.append(event)
-        self.total_emitted += 1
+        # append + count move together so total_emitted is exact even
+        # when many worker threads emit concurrently.
+        with self._lock:
+            self._events.append(event)
+            self.total_emitted += 1
 
     def events(self) -> list[Event]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
     def close(self) -> None:  # symmetry with the file-backed log
         pass
@@ -82,6 +91,7 @@ class JsonlEventLog:
         self.max_files = max_files
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = None
+        self._lock = threading.Lock()
         self._size = self.path.stat().st_size if self.path.exists() else 0
 
     def _rotate(self) -> None:
@@ -98,13 +108,14 @@ class JsonlEventLog:
     def emit(self, event: Event) -> None:
         line = json.dumps(event, separators=(",", ":")) + "\n"
         encoded = len(line.encode("utf-8"))
-        if self._size and self._size + encoded > self.max_bytes:
-            self._rotate()
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(line)
-        self._handle.flush()
-        self._size += encoded
+        with self._lock:
+            if self._size and self._size + encoded > self.max_bytes:
+                self._rotate()
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += encoded
 
     def events(self) -> list[Event]:
         """Events in the *current* (unrotated) file."""
@@ -114,9 +125,10 @@ class JsonlEventLog:
         return load_events(self.path)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __len__(self) -> int:
         return len(self.events())

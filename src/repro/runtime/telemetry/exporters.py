@@ -42,8 +42,27 @@ def _cache_ratio(counters: dict[str, float]) -> float | None:
     return hits / (hits + misses)
 
 
-def prometheus_text(sink: MetricsSink) -> str:
-    """Render the sink + hub state in Prometheus text format."""
+#: Pool-status keys exported as ``repro_pool_*`` gauges, in order.
+_POOL_GAUGES = (
+    ("workers", "configured worker threads"),
+    ("queue_depth", "requests waiting in the bounded queue"),
+    ("queue_capacity", "bounded queue capacity"),
+    ("in_flight", "requests currently executing"),
+    ("saturated", "1 while the queue is full"),
+    ("accepted", "requests accepted into the queue"),
+    ("rejected", "requests rejected with an overloaded envelope"),
+    ("deadline_exceeded", "requests cancelled by their deadline"),
+    ("completed", "requests fully served"),
+)
+
+
+def prometheus_text(sink: MetricsSink, pool_status: dict[str, Any] | None = None) -> str:
+    """Render the sink + hub state in Prometheus text format.
+
+    ``pool_status`` (a :meth:`ServicePool.status
+    <repro.core.server.ServicePool.status>` dict) adds the serving-pool
+    saturation gauges to the exposition.
+    """
     lines: list[str] = []
     counters = sink.counters
     for name in sorted(counters):
@@ -72,11 +91,25 @@ def prometheus_text(sink: MetricsSink) -> str:
     if ratio is not None:
         lines.append("# TYPE repro_cache_hit_ratio gauge")
         lines.append(f"repro_cache_hit_ratio {ratio:.6f}")
+    if pool_status is not None:
+        for key, help_text in _POOL_GAUGES:
+            if key not in pool_status:
+                continue
+            metric = f"repro_pool_{key}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {float(pool_status[key]):g}")
     return "\n".join(lines) + "\n"
 
 
-def telemetry_snapshot(sink: MetricsSink) -> dict[str, Any]:
-    """JSON snapshot: counters, histogram summaries, cache, drift."""
+def telemetry_snapshot(
+    sink: MetricsSink, pool_status: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """JSON snapshot: counters, histogram summaries, cache, drift.
+
+    ``pool_status`` adds a ``pool`` block mirroring the
+    ``repro_pool_*`` gauges of :func:`prometheus_text`.
+    """
     counters = sink.counters
     out: dict[str, Any] = {
         "counters": counters,
@@ -95,6 +128,8 @@ def telemetry_snapshot(sink: MetricsSink) -> dict[str, Any]:
         }
         out["drift"] = hub.drift.status()
         out["events_buffered"] = len(hub.buffer)
+    if pool_status is not None:
+        out["pool"] = dict(pool_status)
     return out
 
 

@@ -16,13 +16,21 @@ span open/close and counter updates; the hub
   turns its alerts into ``drift_alert`` events.
 
 Spans opened outside an explicit :meth:`trace` block belong to one
-ambient per-hub trace (a CLI run); :class:`DomdService` opens a fresh
+ambient per-thread trace (a CLI run); :class:`DomdService` opens a fresh
 trace per request.  The hub reads the wall clock only to timestamp
 events — durations still come exclusively from the sink.
+
+**Thread safety.**  One hub may be shared by a pool of worker threads:
+trace and span stacks are *thread-local* (each request's trace id stays
+with the thread serving it), histogram updates are lock-protected so
+``count`` equals the number of observations exactly, and the event ring
+serialises appends so no event is dropped or duplicated under load.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
@@ -42,23 +50,37 @@ class TelemetryHub:
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
         clock: Callable[[], float] = time.time,
     ):
-        self.buffer = buffer or MemoryEventLog()
-        self.drift = drift or DriftMonitor()
+        # `is None` rather than `or`: an *empty* MemoryEventLog is falsy
+        # (len() == 0), and a caller-supplied buffer must not be dropped.
+        self.buffer = buffer if buffer is not None else MemoryEventLog()
+        self.drift = drift if drift is not None else DriftMonitor()
         self._buckets = tuple(buckets)
         self._clock = clock
+        self._lock = threading.Lock()
         self._sinks: list[Any] = []
         self._histograms: dict[str, Histogram] = {}
-        self._id_counter = 0
-        self._trace_stack: list[str] = []
-        self._span_stack: list[str] = []
-        self._ambient_trace: str | None = None
+        # itertools.count.__next__ is a single C call — atomic under the
+        # GIL, so id assignment needs no lock even across workers.
+        self._ids = itertools.count(1)
+        # Trace/span stacks are per thread: each worker's request keeps
+        # its own trace id and span parentage (ambient context).
+        self._tls = threading.local()
+
+    def _stacks(self) -> "threading.local":
+        tls = self._tls
+        if not hasattr(tls, "trace_stack"):
+            tls.trace_stack = []
+            tls.span_stack = []
+            tls.ambient_trace = None
+        return tls
 
     # ------------------------------------------------------------------
     # event sinks
     # ------------------------------------------------------------------
     def add_sink(self, sink: Any) -> Any:
         """Attach an extra event sink (e.g. a :class:`JsonlEventLog`)."""
-        self._sinks.append(sink)
+        with self._lock:
+            self._sinks.append(sink)
         return sink
 
     def close(self) -> None:
@@ -86,17 +108,17 @@ class TelemetryHub:
     # trace / span ids
     # ------------------------------------------------------------------
     def _next_id(self, prefix: str) -> str:
-        self._id_counter += 1
-        return f"{prefix}{self._id_counter:08x}"
+        return f"{prefix}{next(self._ids):08x}"
 
     @property
     def trace_id(self) -> str:
-        """The active trace id (ambient run trace when none is open)."""
-        if self._trace_stack:
-            return self._trace_stack[-1]
-        if self._ambient_trace is None:
-            self._ambient_trace = self._next_id("T")
-        return self._ambient_trace
+        """The active trace id of *this thread* (ambient when none open)."""
+        tls = self._stacks()
+        if tls.trace_stack:
+            return tls.trace_stack[-1]
+        if tls.ambient_trace is None:
+            tls.ambient_trace = self._next_id("T")
+        return tls.ambient_trace
 
     @contextmanager
     def trace(self, name: str, **attrs: Any) -> Iterator[str]:
@@ -104,34 +126,38 @@ class TelemetryHub:
 
         Span parentage does not leak across the boundary: the span stack
         is swapped out for the duration, so a request traced inside an
-        outer span still yields a self-contained tree.
+        outer span still yields a self-contained tree.  Traces are
+        per-thread — concurrent workers each hold their own open trace.
         """
+        tls = self._stacks()
         trace_id = self._next_id("T")
-        self._trace_stack.append(trace_id)
-        outer_spans = self._span_stack
-        self._span_stack = []
+        tls.trace_stack.append(trace_id)
+        outer_spans = tls.span_stack
+        tls.span_stack = []
         self.emit("trace_open", name=name, **attrs)
         try:
             yield trace_id
         finally:
             self.emit("trace_close", name=name)
-            self._span_stack = outer_spans
-            self._trace_stack.pop()
+            tls.span_stack = outer_spans
+            tls.trace_stack.pop()
 
     def span_opened(self, name: str) -> str:
         """Sink hook: a span was entered; returns its span id."""
+        tls = self._stacks()
         span_id = self._next_id("S")
-        parent = self._span_stack[-1] if self._span_stack else None
+        parent = tls.span_stack[-1] if tls.span_stack else None
         self.emit("span_open", name=name, span_id=span_id, parent_id=parent)
-        self._span_stack.append(span_id)
+        tls.span_stack.append(span_id)
         return span_id
 
     def span_closed(
         self, span_id: str, name: str, seconds: float, error: bool = False
     ) -> None:
         """Sink hook: a span exited; records its latency histogram."""
-        if self._span_stack and self._span_stack[-1] == span_id:
-            self._span_stack.pop()
+        tls = self._stacks()
+        if tls.span_stack and tls.span_stack[-1] == span_id:
+            tls.span_stack.pop()
         fields: dict[str, Any] = {
             "name": name,
             "span_id": span_id,
@@ -150,18 +176,26 @@ class TelemetryHub:
     # histograms
     # ------------------------------------------------------------------
     def observe(self, name: str, value: float) -> None:
-        """Record one value into the named histogram (created lazily)."""
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(self._buckets)
-        histogram.record(value)
+        """Record one value into the named histogram (created lazily).
+
+        Creation and the record itself happen under the hub lock, so a
+        histogram's ``count`` equals the number of observations exactly
+        even when many workers observe concurrently.
+        """
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(self._buckets)
+            histogram.record(value)
 
     def histogram(self, name: str) -> Histogram | None:
-        return self._histograms.get(name)
+        with self._lock:
+            return self._histograms.get(name)
 
     @property
     def histograms(self) -> dict[str, Histogram]:
-        return dict(self._histograms)
+        with self._lock:
+            return dict(self._histograms)
 
     # ------------------------------------------------------------------
     # drift
@@ -170,13 +204,15 @@ class TelemetryHub:
         self, channel: str, window: int, value: float
     ) -> DriftAlert | None:
         """Feed the drift monitor; flagged shifts become events."""
-        alert = self.drift.observe(channel, window, value)
+        with self._lock:
+            alert = self.drift.observe(channel, window, value)
         if alert is not None:
             self.emit("drift_alert", **alert.as_dict())
         return alert
 
     def drift_observe_many(self, channel: str, window: int, values) -> list[DriftAlert]:
-        alerts = self.drift.observe_many(channel, window, values)
+        with self._lock:
+            alerts = self.drift.observe_many(channel, window, values)
         for alert in alerts:
             self.emit("drift_alert", **alert.as_dict())
         return alerts

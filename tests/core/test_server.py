@@ -1,0 +1,294 @@
+"""Unit tests for the :class:`ServicePool` serving runtime.
+
+Covers the pool contract in isolation: backpressure on a bounded
+queue, cooperative deadlines (both expired-in-queue and cancelled
+mid-execution), graceful drain and abortive shutdown, per-worker RNG
+determinism, saturation in ``health`` and the ``repro_pool_*`` gauges.
+The differential stress suite lives in
+``tests/integration/test_concurrent_service.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.server import PoolFuture, ServicePool
+from repro.core.service import DomdService, error_envelope
+from repro.errors import ConfigurationError, DeadlineExceeded
+from repro.ml import GbmParams
+from repro.runtime import check_deadline, current_rng, worker_rng_streams
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(
+        window_pct=25.0, k=8, fusion="average", gbm=GbmParams(n_estimators=20)
+    )
+    return DomdEstimator(config).fit(dataset, splits.train_ids)
+
+
+@pytest.fixture()
+def service(fitted):
+    return DomdService(fitted)
+
+
+class InstrumentedService(DomdService):
+    """DomdService plus two synthetic request types for pool tests.
+
+    ``sleep`` holds a worker for ``steps`` x 10 ms with a deadline
+    checkpoint between steps; ``draw`` returns one draw from the
+    ambient per-worker RNG stream.
+    """
+
+    def handle(self, request):
+        if isinstance(request, dict) and request.get("type") == "sleep":
+            try:
+                for _ in range(int(request.get("steps", 5))):
+                    time.sleep(0.01)
+                    check_deadline("sleep.step")
+            except DeadlineExceeded as exc:
+                return error_envelope("deadline_exceeded", str(exc))
+            return {"ok": True, "result": "slept"}
+        if isinstance(request, dict) and request.get("type") == "draw":
+            rng = current_rng()
+            assert rng is not None, "pool must install the ambient worker stream"
+            return {"ok": True, "result": float(rng.random())}
+        return super().handle(request)
+
+
+@pytest.fixture()
+def slow_service(fitted):
+    return InstrumentedService(fitted)
+
+
+class TestBasicServing:
+    def test_pooled_responses_match_request_types(self, service):
+        with ServicePool(service, workers=2, queue_depth=8) as pool:
+            futures = [
+                pool.submit({"type": "domd_query", "avail_ids": [0], "t_star": 60.0}),
+                pool.submit({"type": "health"}),
+                pool.submit({"type": "unknown"}),
+            ]
+            responses = [f.result(timeout=30) for f in futures]
+        assert responses[0]["ok"]
+        assert responses[1]["ok"]
+        assert responses[2]["error"]["code"] == "unknown_type"
+
+    def test_pool_registers_and_unregisters_on_service(self, service):
+        pool = ServicePool(service, workers=1)
+        assert service.pool is pool
+        pool.close()
+        assert service.pool is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"workers": 0}, {"queue_depth": 0}, {"deadline_ms": 0}, {"deadline_ms": -5}],
+    )
+    def test_invalid_configuration_rejected(self, service, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServicePool(service, **kwargs)
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_overloaded_envelope(self, slow_service):
+        pool = ServicePool(slow_service, workers=1, queue_depth=2)
+        try:
+            # one request occupies the worker, two fill the queue ...
+            held = [
+                pool.submit({"type": "sleep", "steps": 30}, block=True)
+                for _ in range(3)
+            ]
+            deadline = time.monotonic() + 5.0
+            while not pool.status()["saturated"]:
+                assert time.monotonic() < deadline, "queue never saturated"
+                time.sleep(0.005)
+            # ... so the next non-blocking submit bounces immediately.
+            rejected = pool.submit({"type": "health"})
+            assert rejected.done()
+            response = rejected.result()
+            assert not response["ok"]
+            assert response["error"]["code"] == "overloaded"
+            assert response["error"]["retryable"] is True
+            assert pool.status()["rejected"] == 1
+            for future in held:
+                assert future.result(timeout=30)["ok"]
+        finally:
+            pool.close()
+
+    def test_saturated_pool_degrades_health(self, slow_service):
+        pool = ServicePool(slow_service, workers=1, queue_depth=1)
+        try:
+            pool.submit({"type": "sleep", "steps": 30})
+            deadline = time.monotonic() + 5.0
+            while not pool.status()["saturated"]:
+                pool.submit({"type": "sleep", "steps": 1})
+                assert time.monotonic() < deadline, "queue never saturated"
+            health = slow_service.handle({"type": "health"})["result"]
+            assert health["status"] == "saturated"
+            assert health["pool"]["saturated"] is True
+        finally:
+            pool.close()
+
+    def test_health_reports_pool_block_when_idle(self, service):
+        with ServicePool(service, workers=2, queue_depth=4) as pool:
+            response = pool.submit({"type": "health"}).result(timeout=30)
+        pool_block = response["result"]["pool"]
+        assert pool_block["workers"] == 2
+        assert pool_block["queue_capacity"] == 4
+        assert pool_block["saturated"] is False
+        assert response["result"]["status"] == "ok"
+
+
+class TestDeadlines:
+    def test_request_cancelled_mid_execution_within_budget(self, slow_service):
+        with ServicePool(slow_service, workers=1) as pool:
+            t0 = time.monotonic()
+            future = pool.submit({"type": "sleep", "steps": 500}, deadline_ms=50)
+            response = future.result(timeout=30)
+            elapsed = time.monotonic() - t0
+        assert response["error"]["code"] == "deadline_exceeded"
+        assert response["error"]["retryable"] is True
+        # 5 s of work cancelled at the ~50 ms deadline plus one 10 ms
+        # checkpoint interval (wide margin for slow CI machines).
+        assert elapsed < 2.0
+        assert pool.status()["deadline_exceeded"] == 1
+
+    def test_expired_while_queued_is_answered_without_executing(self, slow_service):
+        pool = ServicePool(slow_service, workers=1, queue_depth=4)
+        try:
+            blocker = pool.submit({"type": "sleep", "steps": 20})
+            doomed = pool.submit(
+                {"type": "domd_query", "avail_ids": [0], "t_star": 60.0},
+                deadline_ms=1,
+            )
+            response = doomed.result(timeout=30)
+            assert response["error"]["code"] == "deadline_exceeded"
+            assert "queued" in response["error"]["message"]
+            assert blocker.result(timeout=30)["ok"]
+        finally:
+            pool.close()
+
+    def test_deadline_clears_between_requests(self, slow_service):
+        """A tiny deadline on one request must not poison the next."""
+        with ServicePool(slow_service, workers=1) as pool:
+            first = pool.submit({"type": "sleep", "steps": 5}, deadline_ms=1)
+            second = pool.submit({"type": "sleep", "steps": 1})
+            assert first.result(timeout=30)["error"]["code"] == "deadline_exceeded"
+            assert second.result(timeout=30)["ok"]
+
+    def test_real_query_deadline_returns_structured_envelope(self, service):
+        with ServicePool(service, workers=1, deadline_ms=0.01) as pool:
+            response = pool.submit(
+                {"type": "domd_query", "avail_ids": list(range(20)), "t_star": 60.0}
+            ).result(timeout=30)
+        assert not response["ok"]
+        assert response["error"]["code"] == "deadline_exceeded"
+        assert set(response["error"]) == {"code", "message", "retryable"}
+
+
+class TestShutdown:
+    def test_close_drains_queued_work(self, slow_service):
+        pool = ServicePool(slow_service, workers=2, queue_depth=16)
+        futures = [pool.submit({"type": "sleep", "steps": 1}) for _ in range(8)]
+        pool.close(drain=True)
+        assert all(f.result(timeout=1)["ok"] for f in futures)
+        assert pool.status()["completed"] == 8
+
+    def test_abortive_close_answers_queued_requests(self, slow_service):
+        pool = ServicePool(slow_service, workers=1, queue_depth=16)
+        blocker = pool.submit({"type": "sleep", "steps": 30})
+        deadline = time.monotonic() + 5.0
+        while pool.status()["in_flight"] < 1:  # blocker picked up by the worker
+            assert time.monotonic() < deadline, "worker never started"
+            time.sleep(0.005)
+        queued = [pool.submit({"type": "sleep", "steps": 1}) for _ in range(4)]
+        pool.close(drain=False)
+        assert blocker.result(timeout=30)["ok"]  # in-flight work finishes
+        for future in queued:
+            response = future.result(timeout=1)
+            assert response["error"]["code"] == "overloaded"
+
+    def test_submit_after_close_is_overloaded(self, service):
+        pool = ServicePool(service, workers=1)
+        pool.close()
+        response = pool.submit({"type": "health"}).result(timeout=1)
+        assert response["error"]["code"] == "overloaded"
+        assert "shut down" in response["error"]["message"]
+
+    def test_close_is_idempotent(self, service):
+        pool = ServicePool(service, workers=2)
+        pool.close()
+        pool.close()
+
+
+class TestDeterminism:
+    def test_single_worker_draws_follow_the_seeded_stream(self, fitted):
+        service = InstrumentedService(fitted)
+        with ServicePool(service, workers=1, seed=123) as pool:
+            draws = [
+                pool.submit({"type": "draw"}).result(timeout=30)["result"]
+                for _ in range(5)
+            ]
+        expected = worker_rng_streams(123, 1)[0].random(5)
+        assert draws == pytest.approx(list(expected))
+
+    def test_pool_exposes_per_worker_streams(self, service):
+        with ServicePool(service, workers=3, seed=7) as pool:
+            pool_first = [s.random() for s in pool.rng_streams]
+        expected = [s.random() for s in worker_rng_streams(7, 3)]
+        assert pool_first == pytest.approx(expected)
+
+
+class TestGauges:
+    def test_status_counts_accepted_and_completed(self, service):
+        with ServicePool(service, workers=2, queue_depth=8) as pool:
+            futures = [pool.submit({"type": "health"}) for _ in range(5)]
+            for future in futures:
+                future.result(timeout=30)
+            deadline = time.monotonic() + 5.0
+            while pool.status()["completed"] < 5:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            status = pool.status()
+        assert status["accepted"] == 5
+        assert status["completed"] == 5
+        assert status["rejected"] == 0
+        assert status["in_flight"] == 0
+
+    def test_prometheus_exposition_gains_pool_gauges(self, service):
+        with ServicePool(service, workers=2, queue_depth=8) as pool:
+            response = pool.submit(
+                {"type": "metrics", "format": "prometheus"}
+            ).result(timeout=30)
+        text = response["result"]["exposition"]
+        assert "repro_pool_workers 2" in text
+        assert "repro_pool_queue_capacity 8" in text
+        assert "repro_pool_rejected 0" in text
+
+    def test_json_snapshot_gains_pool_block(self, service):
+        with ServicePool(service, workers=2, queue_depth=8) as pool:
+            response = pool.submit({"type": "metrics"}).result(timeout=30)
+        assert response["result"]["pool"]["workers"] == 2
+
+    def test_unpooled_expositions_have_no_pool_block(self, service):
+        response = service.handle({"type": "metrics"})
+        assert "pool" not in response["result"]
+        health = service.handle({"type": "health"})
+        assert "pool" not in health["result"]
+
+
+class TestPoolFuture:
+    def test_result_timeout(self):
+        future = PoolFuture()
+        with pytest.raises(TimeoutError):
+            future.result(timeout=0.01)
+
+    def test_resolved_future_is_done(self):
+        future = PoolFuture.resolved({"ok": True})
+        assert future.done()
+        assert future.result() == {"ok": True}

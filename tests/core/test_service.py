@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import DomdEstimator, PipelineConfig
-from repro.core.service import DomdService
+from repro.core.service import ERROR_CODES, RETRYABLE_CODES, DomdService, error_envelope
 from repro.data.dates import day_to_iso
 from repro.errors import ReproError
 from repro.ml import GbmParams
@@ -109,3 +109,62 @@ class TestMetricsAndEnvelope:
     def test_requires_fitted_estimator(self):
         with pytest.raises(ReproError):
             DomdService(DomdEstimator(PipelineConfig()))
+
+
+class TestErrorEnvelopeSchema:
+    """Pin the structured error envelope: every failure path must produce
+    exactly ``{"ok": False, "error": {"code", "message", "retryable"}}``
+    with a code from the published enumeration and no raw exception text
+    for internal faults."""
+
+    FAILING_REQUESTS = [
+        "not a dict",  # bad_request
+        {"type": "teleport"},  # unknown_type
+        {"type": "domd_query", "t_star": 5.0},  # bad_request (missing field)
+        {"type": "domd_query", "avail_ids": [424242], "t_star": 10.0},  # domain_error
+        {"type": "domd_query", "avail_ids": [0], "t_star": 1.0, "date": "2020-01-01"},
+        {"type": "fleet_status"},  # bad_request (missing date)
+        {"type": "fleet_status", "date": "never"},  # unparseable date
+        {"type": "explain", "avail_id": 0},  # missing t_star/date
+    ]
+
+    def test_published_code_enumeration_is_stable(self):
+        assert ERROR_CODES == (
+            "bad_request",
+            "bad_json",
+            "unknown_type",
+            "not_found",
+            "domain_error",
+            "deadline_exceeded",
+            "overloaded",
+            "internal",
+        )
+        assert RETRYABLE_CODES == {"overloaded", "deadline_exceeded"}
+
+    @pytest.mark.parametrize("request_body", FAILING_REQUESTS)
+    def test_every_failure_path_matches_the_schema(self, service, request_body):
+        response = service.handle(request_body)
+        assert set(response) == {"ok", "error"}
+        assert response["ok"] is False
+        error = response["error"]
+        assert set(error) == {"code", "message", "retryable"}
+        assert error["code"] in ERROR_CODES
+        assert isinstance(error["message"], str) and error["message"]
+        assert error["retryable"] is (error["code"] in RETRYABLE_CODES)
+        json.dumps(response)  # fully serialisable
+
+    def test_error_envelope_helper_rejects_unknown_codes(self):
+        with pytest.raises(AssertionError):
+            error_envelope("made_up_code", "nope")
+
+    def test_internal_errors_hide_exception_text(self, service, monkeypatch):
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("secret traceback detail")
+
+        monkeypatch.setattr(service._estimator, "query", explode)
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0], "t_star": 60.0}
+        )
+        assert response["error"]["code"] == "internal"
+        assert "secret traceback detail" not in response["error"]["message"]
+        assert "RuntimeError" in response["error"]["message"]

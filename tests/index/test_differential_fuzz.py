@@ -1,0 +1,251 @@
+"""Property-based differential fuzzer over the Status Query backends.
+
+Seeded random RCC event streams — salted with the adversarial shapes
+that break interval indexes (zero-duration events, same-day
+create/settle clusters, never-settled rows) — are pushed through all
+four index designs *and* both sweep execution paths
+(incremental :class:`StatStructure` vs. from-scratch), asserting every
+pairing produces identical aggregate tables.
+
+On failure the harness does not just throw: it **shrinks** the event
+stream with a ddmin-style bisection (drop chunks while the disagreement
+survives) and fails with the minimal reproducer printed as a
+copy-pasteable literal, so a backend bug arrives pre-reduced.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.index.status_query import StatusQuery, StatusQueryEngine
+from repro.table.table import ColumnTable
+
+DESIGNS = ("naive", "avl", "interval", "sorted_array")
+REFERENCE = "naive"
+
+#: Finite "never settled" sentinel.  Deliberately *not* ``np.inf``: the
+#: interval tree computes bucket centers as ``(min + max) / 2`` and an
+#: infinite end would poison them, which is exactly the kind of edge
+#: this fuzzer exists to keep honest.
+UNSETTLED = 1.0e9
+
+SWEEP = [0.0, 10.0, 25.0, 40.0, 55.0, 70.0, 85.0, 100.0, 120.0]
+
+RCC_TYPES = ("G", "N", "NG")
+SWLINS = ("111-11-001", "123-45-002", "222-22-003", "999-90-004")
+
+Event = dict
+
+
+def random_events(seed: int, n: int = 80) -> list[Event]:
+    """A seeded RCC event stream with adversarial timestamp shapes."""
+    rng = np.random.default_rng(seed)
+    # a small timestamp pool forces exact start/end ties across rows
+    tick_pool = np.round(rng.uniform(0.0, 110.0, size=max(4, n // 4)), 1)
+    events: list[Event] = []
+    for index in range(n):
+        shape = rng.integers(0, 10)
+        t_start = float(rng.choice(tick_pool))
+        if shape <= 1:  # zero-duration: created and settled the same day
+            t_end = t_start
+        elif shape == 2:  # never settled (ongoing work)
+            t_end = UNSETTLED
+        elif shape == 3:  # same-day cluster: ties with another row's start
+            t_end = float(rng.choice(tick_pool))
+            if t_end < t_start:
+                t_start, t_end = t_end, t_start
+        else:  # ordinary settled row
+            t_end = t_start + float(np.round(rng.gamma(2.0, 15.0), 1))
+        events.append(
+            {
+                "rcc_type": str(rng.choice(RCC_TYPES)),
+                "swlin": str(rng.choice(SWLINS)),
+                "t_start": t_start,
+                "t_end": t_end,
+                "amount": float(np.round(rng.uniform(10.0, 5000.0), 2)),
+            }
+        )
+    return events
+
+
+def events_table(events: list[Event]) -> ColumnTable:
+    return ColumnTable(
+        {
+            "rcc_type": [e["rcc_type"] for e in events],
+            "swlin": [e["swlin"] for e in events],
+            "t_start": np.array([e["t_start"] for e in events], dtype=np.float64),
+            "t_end": np.array([e["t_end"] for e in events], dtype=np.float64),
+            "amount": np.array([e["amount"] for e in events], dtype=np.float64),
+        }
+    )
+
+
+def canonical(table: ColumnTable) -> dict[tuple, dict]:
+    """Rows keyed by their group labels (the string-valued columns).
+
+    Keying by labels — not row order, not stringified numbers — pairs
+    each group with its counterpart in the other table regardless of
+    output ordering or float noise in the aggregates.
+    """
+    label_names = [
+        name for name in table.column_names if table[name].dtype.kind == "O"
+    ]
+    rows: dict[tuple, dict] = {}
+    for row in table.to_rows():
+        rows[tuple(row[name] for name in label_names)] = row
+    return rows
+
+
+def tables_agree(a: ColumnTable, b: ColumnTable) -> bool:
+    if a.n_rows != b.n_rows or set(a.column_names) != set(b.column_names):
+        return False
+    rows_a, rows_b = canonical(a), canonical(b)
+    if set(rows_a) != set(rows_b):
+        return False
+    for key, row_a in rows_a.items():
+        row_b = rows_b[key]
+        for name, value_a in row_a.items():
+            value_b = row_b[name]
+            if isinstance(value_a, str) or isinstance(value_b, str):
+                if value_a != value_b:
+                    return False
+            elif not np.isclose(
+                float(value_a), float(value_b), rtol=1e-9, atol=1e-6
+            ):
+                return False
+    return True
+
+
+def disagreement(events: list[Event]) -> str | None:
+    """None if every backend and execution path agrees, else a label."""
+    if not events:
+        return None
+    table = events_table(events)
+    reference_engine = StatusQueryEngine(table, design=REFERENCE)
+    reference_sweep = reference_engine.execute_sweep(SWEEP, incremental=False)
+    for design in DESIGNS:
+        engine = StatusQueryEngine(table, design=design)
+        # point queries from scratch at every sweep timestamp
+        for t, want in zip(SWEEP, reference_sweep):
+            got = engine.execute(StatusQuery(t))
+            if not tables_agree(got, want):
+                return f"{design}.execute(t={t}) != {REFERENCE} scratch sweep"
+        # incremental sweep (fresh engine: StatStructure state is monotone)
+        incremental = StatusQueryEngine(table, design=design).execute_sweep(
+            SWEEP, incremental=True
+        )
+        for t, got, want in zip(SWEEP, incremental, reference_sweep):
+            if not tables_agree(got, want):
+                return f"{design} incremental sweep (t={t}) != {REFERENCE} scratch"
+    return None
+
+
+def shrink(events: list[Event]) -> list[Event]:
+    """ddmin-style bisection: drop chunks while the failure survives."""
+    current = list(events)
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        index = 0
+        reduced = False
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk :]
+            if candidate and disagreement(candidate) is not None:
+                current = candidate
+                reduced = True
+            else:
+                index += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return current
+
+
+def assert_agreement(events: list[Event]) -> None:
+    label = disagreement(events)
+    if label is None:
+        return
+    minimal = shrink(events)
+    reproducer = json.dumps(minimal, indent=2)
+    pytest.fail(
+        f"backend disagreement: {label}\n"
+        f"minimal reproducer ({len(minimal)} of {len(events)} events) — "
+        f"feed to events_table():\n{reproducer}"
+    )
+
+
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 7, 11, 2024])
+    def test_seeded_streams_agree_everywhere(self, seed):
+        assert_agreement(random_events(seed))
+
+    def test_pure_zero_duration_stream(self):
+        rng = np.random.default_rng(5)
+        events = []
+        for _ in range(30):
+            t = float(np.round(rng.uniform(0, 100), 1))
+            events.append(
+                {
+                    "rcc_type": "G",
+                    "swlin": SWLINS[0],
+                    "t_start": t,
+                    "t_end": t,
+                    "amount": 100.0,
+                }
+            )
+        assert_agreement(events)
+
+    def test_pure_unsettled_stream(self):
+        events = [
+            {
+                "rcc_type": "N",
+                "swlin": SWLINS[1],
+                "t_start": float(t),
+                "t_end": UNSETTLED,
+                "amount": 50.0,
+            }
+            for t in range(0, 100, 7)
+        ]
+        assert_agreement(events)
+        # sanity on the semantics: nothing ever settles
+        table = events_table(events)
+        result = StatusQueryEngine(table, design="avl").execute(StatusQuery(120.0))
+        assert int(np.sum(result["n_settled"])) == 0
+        assert int(np.sum(result["n_active"])) == len(events)
+
+    def test_single_timestamp_pileup(self):
+        """Every event created and settled at one instant."""
+        events = [
+            {
+                "rcc_type": RCC_TYPES[i % 3],
+                "swlin": SWLINS[i % 4],
+                "t_start": 50.0,
+                "t_end": 50.0,
+                "amount": float(i + 1),
+            }
+            for i in range(12)
+        ]
+        assert_agreement(events)
+
+
+class TestShrinker:
+    def test_shrinker_machinery_minimizes_a_planted_failure(self, monkeypatch):
+        """Plant a fake disagreement predicate and check ddmin minimizes."""
+        events = random_events(3, n=24)
+        poison = events[17]
+
+        def fake_disagreement(candidate):
+            return "planted" if poison in candidate else None
+
+        monkeypatch.setattr(
+            "tests.index.test_differential_fuzz.disagreement", fake_disagreement
+        )
+        minimal = shrink(events)
+        assert minimal == [poison]
+
+    def test_shrinker_preserves_real_agreement(self):
+        """On an agreeing stream, disagreement() is None and nothing fails."""
+        assert disagreement(random_events(9, n=20)) is None

@@ -1,0 +1,222 @@
+"""Differential stress test: pooled serving vs. the sequential service.
+
+Eight submitter threads hammer a :class:`ServicePool` (4 workers) with a
+seeded mixed workload — queries, explanations, fleet status, evaluation
+metrics and malformed requests.  Every pooled response must be
+**byte-identical** to the same request served by a single-threaded
+:class:`DomdService` over the same fitted estimator, and the pooled
+run's telemetry must account for every request exactly: no dropped and
+no duplicated events, one unique trace per request.
+
+Set ``REPRO_TELEMETRY_ARTIFACT=/path/events.jsonl`` to persist the
+pooled run's event log (the CI stress step uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.core.server import ServicePool
+from repro.core.service import DomdService
+from repro.data.dates import day_to_iso
+from repro.ml import GbmParams
+from repro.runtime import ExecutionContext, JsonlEventLog, MemoryEventLog, TelemetryHub
+
+N_SUBMITTERS = 8
+N_WORKERS = 4
+
+#: Request types the service dispatches (and therefore traces/counts);
+#: ``unknown_type`` rejections return before the trace opens.
+KNOWN_TYPES = {"domd_query", "explain", "fleet_status", "metrics", "health"}
+
+
+def n_dispatched(workload: list[dict]) -> int:
+    return sum(1 for request in workload if request["type"] in KNOWN_TYPES)
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    config = PipelineConfig(
+        window_pct=25.0, k=8, fusion="average", gbm=GbmParams(n_estimators=20)
+    )
+    return DomdEstimator(config).fit(dataset, splits.train_ids)
+
+
+def build_workload(dataset, splits, n_requests: int = 64) -> list[dict]:
+    """A seeded mixed request stream with deterministic responses."""
+    rng = np.random.default_rng(2024)
+    avail_ids = [int(a) for a in dataset.avails["avail_id"]]
+    closed_ids = [int(a) for a in splits.test_ids]
+    t_stars = [10.0, 30.0, 55.0, 80.0, 100.0]
+    some_day = int(np.min(np.asarray(dataset.avails["act_start"]))) + 40
+    requests: list[dict] = []
+    for index in range(n_requests):
+        kind = index % 8
+        if kind in (0, 1, 2):  # the dominant type, as in production
+            picked = rng.choice(avail_ids, size=int(rng.integers(1, 4)), replace=False)
+            requests.append(
+                {
+                    "type": "domd_query",
+                    "avail_ids": [int(a) for a in picked],
+                    "t_star": float(rng.choice(t_stars)),
+                }
+            )
+        elif kind == 3:
+            requests.append(
+                {
+                    "type": "explain",
+                    "avail_id": int(rng.choice(avail_ids)),
+                    "t_star": float(rng.choice(t_stars)),
+                    "top": 3,
+                }
+            )
+        elif kind == 4:
+            requests.append(
+                {
+                    "type": "fleet_status",
+                    "date": day_to_iso(some_day + int(rng.integers(0, 60))),
+                }
+            )
+        elif kind == 5:
+            requests.append({"type": "metrics", "avail_ids": closed_ids[:8]})
+        elif kind == 6:  # deterministic error envelopes count too
+            requests.append({"type": "domd_query", "avail_ids": [424242], "t_star": 50.0})
+        else:
+            requests.append({"type": "nonsense"})
+    return requests
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    return build_workload(dataset, splits)
+
+
+def fresh_context() -> ExecutionContext:
+    return ExecutionContext(
+        seed=0, telemetry=TelemetryHub(buffer=MemoryEventLog(max_events=500_000))
+    )
+
+
+class TestDifferentialStress:
+    @pytest.fixture(scope="class")
+    def stress_run(self, fitted, workload, tmp_path_factory):
+        """One pooled stress run shared by the assertions below."""
+        reference_service = DomdService(fitted, context=fresh_context())
+        reference = [
+            json.dumps(reference_service.handle(request), sort_keys=True).encode()
+            for request in workload
+        ]
+
+        pooled_context = fresh_context()
+        artifact = os.environ.get("REPRO_TELEMETRY_ARTIFACT")
+        if artifact:
+            pooled_context.telemetry.add_sink(
+                JsonlEventLog(artifact, max_bytes=200_000_000)
+            )
+        pooled_service = DomdService(fitted, context=pooled_context)
+        pool = ServicePool(pooled_service, workers=N_WORKERS, queue_depth=32)
+        responses: list[bytes | None] = [None] * len(workload)
+        submit_errors: list[BaseException] = []
+        barrier = threading.Barrier(N_SUBMITTERS)
+
+        def submitter(offset: int) -> None:
+            barrier.wait()
+            try:
+                for index in range(offset, len(workload), N_SUBMITTERS):
+                    future = pool.submit(workload[index], block=True)
+                    responses[index] = json.dumps(
+                        future.result(timeout=120), sort_keys=True
+                    ).encode()
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                submit_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submitter, args=(i,)) for i in range(N_SUBMITTERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pool.close(drain=True)
+        pooled_context.telemetry.close()
+        if submit_errors:
+            raise submit_errors[0]
+        return reference, responses, pooled_context, pool
+
+    def test_every_response_byte_identical_to_sequential(self, stress_run, workload):
+        reference, responses, _context, _pool = stress_run
+        mismatches = [
+            index
+            for index, (want, got) in enumerate(zip(reference, responses))
+            if want != got
+        ]
+        assert not mismatches, (
+            f"{len(mismatches)} pooled responses differ from sequential serving; "
+            f"first: request={workload[mismatches[0]]!r}\n"
+            f"  sequential={reference[mismatches[0]]!r}\n"
+            f"  pooled    ={responses[mismatches[0]]!r}"
+        )
+
+    def test_no_request_dropped(self, stress_run, workload):
+        _reference, responses, context, pool = stress_run
+        assert all(response is not None for response in responses)
+        assert pool.status()["completed"] == len(workload)
+        assert pool.status()["rejected"] == 0
+        assert context.metrics.counter_value("service.requests") == n_dispatched(
+            workload
+        )
+
+    def test_telemetry_accounts_for_every_request_exactly(self, stress_run, workload):
+        _reference, _responses, context, _pool = stress_run
+        events = context.telemetry.events()
+        # the ring buffer was sized to retain the full run: nothing dropped
+        assert context.telemetry.buffer.total_emitted == len(events)
+        traced = n_dispatched(workload)
+        opens = [e for e in events if e["kind"] == "trace_open"]
+        closes = [e for e in events if e["kind"] == "trace_close"]
+        assert len(opens) == traced
+        assert len(closes) == traced
+        # one unique trace per request: no duplicated ids under concurrency
+        open_ids = [e["trace_id"] for e in opens]
+        assert len(set(open_ids)) == traced
+        assert sorted(open_ids) == sorted(e["trace_id"] for e in closes)
+        # spans balance: every opened span closed exactly once
+        span_opens = sum(1 for e in events if e["kind"] == "span_open")
+        span_closes = sum(1 for e in events if e["kind"] == "span_close")
+        assert span_opens == span_closes
+
+    def test_artifact_written_when_requested(self, stress_run):
+        artifact = os.environ.get("REPRO_TELEMETRY_ARTIFACT")
+        if not artifact:
+            pytest.skip("REPRO_TELEMETRY_ARTIFACT not set")
+        assert os.path.exists(artifact)
+        assert os.path.getsize(artifact) > 0
+
+
+class TestRepeatedPooledRuns:
+    def test_two_pooled_runs_agree_with_each_other(self, fitted, workload):
+        """Pool nondeterminism (scheduling) must not leak into responses."""
+        outputs: list[list[bytes]] = []
+        for _ in range(2):
+            service = DomdService(fitted, context=fresh_context())
+            with ServicePool(service, workers=N_WORKERS, queue_depth=32) as pool:
+                futures = [
+                    pool.submit(request, block=True) for request in workload[:24]
+                ]
+                outputs.append(
+                    [
+                        json.dumps(f.result(timeout=120), sort_keys=True).encode()
+                        for f in futures
+                    ]
+                )
+        assert outputs[0] == outputs[1]

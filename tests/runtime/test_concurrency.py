@@ -1,0 +1,356 @@
+"""Thread-safety regression tests for the shared runtime.
+
+The :class:`ServicePool` shares one MetricsSink / TelemetryHub /
+ArtifactCache across worker threads; these tests hammer each primitive
+directly and assert *exact* accounting — concurrent counter increments
+sum precisely, a histogram's count equals the number of observations,
+the event ring drops nothing, and single-flight builds each cache key
+exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExceeded
+from repro.runtime import (
+    ArtifactCache,
+    Deadline,
+    MetricsSink,
+    TelemetryHub,
+    ambient_scope,
+    check_deadline,
+    current_deadline,
+    current_rng,
+    worker_rng_streams,
+)
+from repro.runtime.telemetry.events import MemoryEventLog
+
+N_THREADS = 8
+N_ITERS = 1_000
+
+
+def hammer(fn, n_threads: int = N_THREADS):
+    """Run ``fn(thread_index)`` from ``n_threads`` threads, all released
+    at once by a barrier; re-raises the first worker exception."""
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def run(index: int) -> None:
+        barrier.wait()
+        try:
+            fn(index)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestDeadline:
+    def test_fresh_deadline_not_expired(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert deadline.remaining() > 59.0
+        deadline.check("anywhere")  # no raise
+
+    def test_expired_deadline_raises_with_checkpoint(self):
+        clock_now = [0.0]
+        deadline = Deadline(0.5, clock=lambda: clock_now[0])
+        clock_now[0] = 0.75
+        with pytest.raises(DeadlineExceeded, match="estimator.query"):
+            deadline.check("estimator.query")
+
+    def test_message_carries_budget_and_overrun(self):
+        clock_now = [0.0]
+        deadline = Deadline(0.1, clock=lambda: clock_now[0])
+        clock_now[0] = 0.2
+        with pytest.raises(DeadlineExceeded, match="100 ms"):
+            deadline.check()
+
+    def test_after_ms(self):
+        deadline = Deadline.after_ms(250.0)
+        assert 0.2 < deadline.remaining() <= 0.25
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_non_positive_budget_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Deadline(bad)
+
+    def test_remaining_goes_negative(self):
+        clock_now = [0.0]
+        deadline = Deadline(1.0, clock=lambda: clock_now[0])
+        clock_now[0] = 3.0
+        assert deadline.remaining() == -2.0
+        assert deadline.expired()
+
+
+class TestAmbientScope:
+    def test_default_is_empty(self):
+        assert current_deadline() is None
+        assert current_rng() is None
+        check_deadline("no ambient deadline")  # no-op, no raise
+
+    def test_scope_installs_and_restores(self):
+        deadline = Deadline(60.0)
+        rng = np.random.default_rng(7)
+        with ambient_scope(deadline=deadline, rng=rng):
+            assert current_deadline() is deadline
+            assert current_rng() is rng
+        assert current_deadline() is None
+        assert current_rng() is None
+
+    def test_scopes_nest_and_inner_clears(self):
+        outer = Deadline(60.0)
+        with ambient_scope(deadline=outer):
+            with ambient_scope():  # a scope describes exactly one request
+                assert current_deadline() is None
+            assert current_deadline() is outer
+
+    def test_check_deadline_raises_through_ambient(self):
+        clock_now = [0.0]
+        deadline = Deadline(0.1, clock=lambda: clock_now[0])
+        with ambient_scope(deadline=deadline):
+            check_deadline("early")  # fine
+            clock_now[0] = 1.0
+            with pytest.raises(DeadlineExceeded):
+                check_deadline("late")
+
+    def test_ambient_state_is_per_thread(self):
+        deadline = Deadline(60.0)
+        seen: list[Deadline | None] = []
+        with ambient_scope(deadline=deadline):
+            thread = threading.Thread(target=lambda: seen.append(current_deadline()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestWorkerRngStreams:
+    def test_streams_are_deterministic(self):
+        a = worker_rng_streams(42, 4)
+        b = worker_rng_streams(42, 4)
+        for stream_a, stream_b in zip(a, b):
+            assert np.array_equal(stream_a.random(16), stream_b.random(16))
+
+    def test_streams_are_distinct(self):
+        streams = worker_rng_streams(42, 4)
+        draws = [tuple(s.random(8)) for s in streams]
+        assert len(set(draws)) == 4
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            worker_rng_streams(0, 0)
+
+
+class TestMetricsSinkThreadSafety:
+    def test_concurrent_counter_increments_sum_exactly(self):
+        sink = MetricsSink()
+
+        def work(_index: int) -> None:
+            for _ in range(N_ITERS):
+                sink.counter("hits")
+
+        hammer(work)
+        assert sink.counter_value("hits") == N_THREADS * N_ITERS
+
+    def test_concurrent_spans_merge_to_exact_counts(self):
+        sink = MetricsSink()
+
+        def work(_index: int) -> None:
+            for _ in range(N_ITERS // 10):
+                with sink.span("outer"):
+                    with sink.span("inner"):
+                        pass
+
+        hammer(work)
+        report = sink.report()
+        outer = next(s for s in report.spans if s.name == "outer")
+        assert outer.count == N_THREADS * (N_ITERS // 10)
+        assert outer.children["inner"].count == N_THREADS * (N_ITERS // 10)
+
+    def test_pooled_report_shape_matches_sequential(self):
+        """Merged per-thread trees look exactly like a sequential run."""
+        sequential = MetricsSink()
+        pooled = MetricsSink()
+        with sequential.span("a"):
+            with sequential.span("b"):
+                pass
+
+        def work(_index: int) -> None:
+            with pooled.span("a"):
+                with pooled.span("b"):
+                    pass
+
+        hammer(work, n_threads=2)
+        seq_names = {(s.name, tuple(s.children)) for s in sequential.report().spans}
+        pool_names = {(s.name, tuple(s.children)) for s in pooled.report().spans}
+        assert seq_names == pool_names
+
+    def test_concurrent_captures_see_only_their_thread(self):
+        sink = MetricsSink()
+        deltas: dict[int, float] = {}
+        barrier = threading.Barrier(4)
+
+        def work(index: int) -> None:
+            barrier.wait()
+            with sink.capture() as captured:
+                for _ in range(index + 1):
+                    sink.counter("work")
+            deltas[index] = captured.report.counters.get("work", 0)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert deltas == {0: 1, 1: 2, 2: 3, 3: 4}
+        assert sink.counter_value("work") == 10
+
+    def test_capture_still_rejects_same_thread_nesting(self):
+        sink = MetricsSink()
+        with sink.capture():
+            with pytest.raises(RuntimeError, match="does not nest"):
+                with sink.capture():
+                    pass
+
+
+class TestTelemetryHubThreadSafety:
+    def test_histogram_count_equals_observations(self):
+        hub = TelemetryHub()
+
+        def work(_index: int) -> None:
+            for _ in range(N_ITERS):
+                hub.observe("latency", 0.001)
+
+        hammer(work)
+        histogram = hub.histogram("latency")
+        assert histogram is not None
+        assert histogram.count == N_THREADS * N_ITERS
+
+    def test_event_ring_drops_and_duplicates_nothing(self):
+        hub = TelemetryHub(buffer=MemoryEventLog(max_events=200_000))
+
+        def work(index: int) -> None:
+            for i in range(N_ITERS):
+                hub.emit("tick", worker=index, i=i)
+
+        hammer(work)
+        events = [e for e in hub.events() if e["kind"] == "tick"]
+        assert len(events) == N_THREADS * N_ITERS
+        assert hub.buffer.total_emitted == N_THREADS * N_ITERS
+        seen = {(e["worker"], e["i"]) for e in events}
+        assert len(seen) == N_THREADS * N_ITERS  # no duplicates either
+
+    def test_trace_ids_are_unique_across_threads(self):
+        hub = TelemetryHub()
+        ids: set[str] = set()
+        lock = threading.Lock()
+
+        def work(_index: int) -> None:
+            for _ in range(100):
+                with hub.trace("request") as trace_id:
+                    with lock:
+                        ids.add(trace_id)
+
+        hammer(work)
+        assert len(ids) == N_THREADS * 100
+
+    def test_concurrent_traces_do_not_leak_across_threads(self):
+        hub = TelemetryHub()
+        barrier = threading.Barrier(2)
+        observed: dict[int, str] = {}
+
+        def work(index: int) -> None:
+            with hub.trace("request") as trace_id:
+                barrier.wait()  # both traces open at once
+                observed[index] = hub.trace_id
+                assert hub.trace_id == trace_id
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert observed[0] != observed[1]
+
+
+class TestArtifactCacheSingleFlight:
+    def test_single_flight_builds_each_key_once(self):
+        sink = MetricsSink()
+        cache = ArtifactCache(max_entries=8, metrics=sink)
+        build_count = [0]
+        build_lock = threading.Lock()
+
+        def build():
+            with build_lock:
+                build_count[0] += 1
+            time.sleep(0.05)  # keep the flight open so followers pile up
+            return "tensor"
+
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            results = list(
+                pool.map(lambda _: cache.get_or_build("key", build), range(N_THREADS))
+            )
+        assert results == ["tensor"] * N_THREADS
+        assert build_count[0] == 1
+        assert sink.counter_value("cache.builds") == 1
+        assert sink.counter_value("cache.misses") == 1
+        assert sink.counter_value("cache.coalesced") == N_THREADS - 1
+
+    def test_leader_failure_lets_a_follower_retry(self):
+        cache = ArtifactCache(max_entries=8)
+        attempts = [0]
+        lock = threading.Lock()
+
+        def build():
+            with lock:
+                attempts[0] += 1
+                attempt = attempts[0]
+            time.sleep(0.02)
+            if attempt == 1:
+                raise RuntimeError("leader dies")
+            return "ok"
+
+        def call(_):
+            try:
+                return cache.get_or_build("k", build)
+            except RuntimeError:
+                return None
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(call, range(4)))
+        # exactly one caller saw the failure; everyone else got the value
+        assert results.count(None) == 1
+        assert results.count("ok") == 3
+
+    def test_concurrent_distinct_keys_build_in_parallel(self):
+        cache = ArtifactCache(max_entries=16)
+
+        def call(index: int):
+            return cache.get_or_build(f"k{index}", lambda: index * 2)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(call, range(8)))
+        assert results == [i * 2 for i in range(8)]
+        assert len(cache) == 8
+
+    def test_concurrent_puts_respect_capacity(self):
+        cache = ArtifactCache(max_entries=4)
+
+        def work(index: int) -> None:
+            for i in range(200):
+                cache.put((index, i), i)
+
+        hammer(work)
+        assert len(cache) == 4
