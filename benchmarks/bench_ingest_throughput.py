@@ -1,0 +1,120 @@
+"""Streaming ingestion throughput: live index maintenance per design.
+
+Replays a miniature dataset's full RCC event stream (creates + settles,
+time-ordered) through the ``StreamingRccStore`` →
+:class:`~repro.stream.mutable.MutableIndexAdapter` path once per index
+design and reports sustained events/sec.  The two maintenance
+strategies show up directly: ``avl``/``sorted_array`` pay a small
+constant per event (true incremental surgery), while
+``naive``/``interval`` amortise periodic rebuilds of their immutable
+inner index across the staged-delta buffer (threshold ``max(64, √n)``).
+
+Wall-times per design land in ``BENCH_ingest_throughput.json`` (seconds
+to ingest the whole stream, lower is better) so the committed baseline
+guards the ingest path against regressing.  A final differential check
+pins correctness: after ingesting everything, each live adapter must
+answer identically to an index built from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import emit_json, emit_report, format_table
+from repro.data import SyntheticNmdConfig, generate_dataset
+from repro.index.status_query import StatusQueryEngine
+from repro.stream import StreamIngestor, StreamingRccStore, dataset_to_events
+from repro.stream.mutable import _DESIGNS
+
+DESIGNS = tuple(_DESIGNS)
+BATCH_SIZE = 256
+#: Per-design floor; generous (real rates are 100x this) — it exists to
+#: catch an accidentally quadratic ingest path, not machine speed.
+MIN_EVENTS_PER_S = 500.0
+
+
+@pytest.fixture(scope="module")
+def event_stream():
+    """The miniature dataset decomposed into its time-ordered events."""
+    dataset = generate_dataset(
+        SyntheticNmdConfig(
+            n_ships=10,
+            n_closed_avails=28,
+            n_ongoing_avails=2,
+            target_n_rccs=2_500,
+            seed=3,
+        )
+    )
+    _, events = dataset_to_events(dataset)
+    return dataset, events
+
+
+def ingest_all(dataset, events, design: str) -> dict[str, float]:
+    """Ingest the full stream through one live-maintained design."""
+    store = StreamingRccStore(
+        ships=dataset.ships,
+        avails=dataset.avails,
+        seed=dataset.seed,
+        scaling_factor=dataset.scaling_factor,
+    )
+    ingestor = StreamIngestor(store, designs=(design,))
+    tic = time.perf_counter()
+    for lo in range(0, len(events), BATCH_SIZE):
+        ingestor.apply_events(events[lo : lo + BATCH_SIZE])
+    wall = time.perf_counter() - tic
+
+    # correctness pin: live == batch over the final state
+    adapter = ingestor.adapters[design]
+    table = store.engine_table()
+    batch = StatusQueryEngine(table, design=design).index
+    for t in (0.0, 25.0, 50.0, 75.0, 100.0):
+        for op in ("active_ids", "settled_ids", "created_ids", "pending_ids"):
+            assert np.array_equal(
+                getattr(adapter, op)(t), getattr(batch, op)(t)
+            ), (design, op, t)
+    return {
+        "wall_s": wall,
+        "events_per_s": len(events) / max(wall, 1e-9),
+        "rebuilds": float(adapter.rebuilds),
+        "staged": float(adapter.staged_count),
+    }
+
+
+def test_ingest_throughput_all_designs(benchmark, event_stream):
+    dataset, events = event_stream
+
+    def run() -> dict[str, dict[str, float]]:
+        return {design: ingest_all(dataset, events, design) for design in DESIGNS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["design", "wall (s)", "events/s", "rebuilds", "staged"],
+        [
+            [
+                design,
+                f"{r['wall_s']:.3f}",
+                f"{r['events_per_s']:.0f}",
+                f"{r['rebuilds']:.0f}",
+                f"{r['staged']:.0f}",
+            ]
+            for design, r in results.items()
+        ],
+    )
+    emit_report(
+        "ingest_throughput",
+        f"Streaming ingest throughput ({len(events)} events, "
+        f"batches of {BATCH_SIZE})",
+        table,
+    )
+    emit_json(
+        "ingest_throughput",
+        {f"ingest.{design}.wall_s": r["wall_s"] for design, r in results.items()},
+    )
+    for design, r in results.items():
+        assert r["events_per_s"] >= MIN_EVENTS_PER_S, (
+            f"{design} ingests at {r['events_per_s']:.0f} events/s "
+            f"(floor {MIN_EVENTS_PER_S:.0f}/s — is the ingest path quadratic?)"
+        )

@@ -12,6 +12,13 @@ Commands mirror the deployment life cycle:
   ``--workers N`` serves through a :class:`~repro.core.server.ServicePool`
   (bounded queue via ``--queue-depth``, per-request budgets via
   ``--deadline-ms``); responses stay in submission order.
+  ``--follow WAL`` tails a write-ahead log in the background, applying
+  fresh RCC events to live indexes between requests (see
+  ``docs/streaming.md``).
+* ``ingest``   — streaming ingestion: ``append`` writes a stream file
+  into a durable WAL; ``replay`` rebuilds state from a WAL (optionally
+  restoring a snapshot first), with ``--verify`` diffing the live
+  indexes against fresh batch builds.
 * ``explain``  — EXPLAIN/ANALYZE a Status Query workload: planner
   decision, per-operator rows/timings, cost-model residual; optionally
   exporting the run as a flamegraph or Chrome trace.
@@ -103,6 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True, help="output directory")
     gen.add_argument("--seed", type=int, default=7)
     gen.add_argument("--scale", type=int, default=1, help="x-fold RCC scaling")
+    gen.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="additionally write the dataset as a time-ordered RCC event "
+        "stream (JSONL; header line + rcc_created/rcc_settled events)",
+    )
 
     fit = sub.add_parser("fit", help="fit the pipeline and save the model")
     fit.add_argument("--data", required=True, help="dataset directory")
@@ -129,9 +142,81 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--data", required=True)
     evaluate.add_argument("--split-seed", type=int, default=42)
 
+    ingest = sub.add_parser(
+        "ingest", help="stream RCC events through the WAL / replay a WAL"
+    )
+    ingest.add_argument(
+        "action",
+        choices=["append", "replay"],
+        help="'append': write events from a stream file into a WAL; "
+        "'replay': rebuild state from a WAL (optionally from a snapshot)",
+    )
+    ingest.add_argument("--wal", required=True, help="WAL file path")
+    ingest.add_argument(
+        "--events", help="stream file to append (append action)"
+    )
+    ingest.add_argument(
+        "--stream",
+        help="stream file whose header bootstraps the store (replay action)",
+    )
+    ingest.add_argument(
+        "--data", help="dataset directory bootstrapping the store (replay)"
+    )
+    ingest.add_argument(
+        "--restore",
+        metavar="SNAPSHOT",
+        help="stream snapshot to restore before replaying the WAL tail",
+    )
+    ingest.add_argument(
+        "--design",
+        action="append",
+        help="index design(s) to maintain (repeatable; default avl)",
+    )
+    ingest.add_argument("--batch-size", type=int, default=256)
+    ingest.add_argument(
+        "--fsync-batches",
+        type=int,
+        default=1,
+        help="fsync every N appended batches (append action, default 1)",
+    )
+    ingest.add_argument(
+        "--snapshot-out",
+        metavar="PATH",
+        help="write a stream snapshot after replay (replay action)",
+    )
+    ingest.add_argument(
+        "--verify",
+        action="store_true",
+        help="after replay, diff every maintained index against a fresh "
+        "batch build at the sweep timestamps; non-zero exit on mismatch",
+    )
+    ingest.add_argument(
+        "--sweep",
+        metavar="T0,T1,...",
+        help="verification timestamps (default: 0,10,...,100)",
+    )
+
     serve = sub.add_parser("serve", help="answer JSON-lines requests on stdin")
     serve.add_argument("--model", required=True)
     serve.add_argument("--data", required=True)
+    serve.add_argument(
+        "--follow",
+        metavar="WAL",
+        help="tail a WAL in the background, applying fresh events to live "
+        "indexes and re-binding the service between requests",
+    )
+    serve.add_argument(
+        "--follow-poll-ms",
+        type=float,
+        default=200.0,
+        help="WAL poll interval in milliseconds (default 200)",
+    )
+    serve.add_argument(
+        "--follow-designs",
+        metavar="D1,D2,...",
+        default="avl",
+        help="comma-separated index designs maintained live (default avl)",
+    )
     serve.add_argument(
         "--workers",
         type=int,
@@ -258,8 +343,121 @@ def _cmd_generate(args, out: IO[str]) -> int:
     if args.scale > 1:
         dataset = scale_rccs(dataset, args.scale)
     save_dataset(dataset, args.out)
-    print(json.dumps(dataset.statistics()), file=out)
+    stats = dataset.statistics()
+    if getattr(args, "events_out", None):
+        from repro.stream import write_event_stream
+
+        stats["events_written"] = write_event_stream(dataset, args.events_out)
+        stats["events_path"] = args.events_out
+    print(json.dumps(stats), file=out)
     return 0
+
+
+def _cmd_ingest(args, out: IO[str], context: ExecutionContext) -> int:
+    from repro.stream import (
+        StreamIngestor,
+        StreamingRccStore,
+        WalWriter,
+        read_event_stream,
+    )
+
+    if args.action == "append":
+        if not args.events:
+            raise ReproError("ingest append requires --events <stream file>")
+        _, events = read_event_stream(args.events)
+        batches = 0
+        with WalWriter(args.wal, fsync_batches=args.fsync_batches) as writer:
+            first_seq = writer.next_seq
+            for lo in range(0, len(events), args.batch_size):
+                writer.append_batch(events[lo : lo + args.batch_size])
+                batches += 1
+            last_seq = writer.last_seq
+        print(
+            json.dumps(
+                {
+                    "appended": len(events),
+                    "batches": batches,
+                    "first_seq": first_seq,
+                    "last_seq": last_seq,
+                    "wal": args.wal,
+                }
+            ),
+            file=out,
+        )
+        return 0
+
+    # replay: bootstrap a store, then apply the WAL tail.
+    sources = [bool(args.stream), bool(args.data), bool(args.restore)]
+    if sum(sources) > 1:
+        raise ReproError(
+            "ingest replay takes at most one of --stream / --data / --restore"
+        )
+    designs = args.design if args.design else None
+    if args.restore:
+        from repro.persistence import load_stream_snapshot
+
+        ingestor = load_stream_snapshot(args.restore, context=context, designs=designs)
+    else:
+        if args.stream:
+            header, _ = read_event_stream(args.stream)
+            if header is None:
+                raise ReproError(
+                    f"stream file {args.stream!r} has no stream_header line"
+                )
+            store = StreamingRccStore.from_header(header)
+        elif args.data:
+            store = StreamingRccStore.from_dataset(load_dataset(args.data))
+        else:
+            raise ReproError(
+                "ingest replay needs a bootstrap source: --stream, --data or --restore"
+            )
+        ingestor = StreamIngestor(
+            store, designs=designs if designs else ("avl",), context=context
+        )
+    replayed = ingestor.replay(args.wal, batch_size=args.batch_size)
+    summary = {"replay": replayed, "status": ingestor.status()}
+    if args.snapshot_out:
+        from repro.persistence import save_stream_snapshot
+
+        save_stream_snapshot(ingestor, args.snapshot_out)
+        summary["snapshot"] = args.snapshot_out
+    code = 0
+    if args.verify:
+        mismatches = _verify_ingest(ingestor, args.sweep)
+        summary["verify"] = {
+            "ok": not mismatches,
+            "mismatches": mismatches,
+        }
+        code = 0 if not mismatches else 1
+    print(json.dumps(summary), file=out)
+    return code
+
+
+def _verify_ingest(ingestor, sweep: str | None) -> list[dict]:
+    """Diff live-maintained indexes against fresh batch builds."""
+    import numpy as np
+
+    from repro.index.status_query import StatusQueryEngine
+
+    if sweep:
+        t_stars = [float(part) for part in sweep.split(",") if part.strip()]
+    else:
+        t_stars = list(_DEFAULT_SWEEP)
+    table = ingestor.store.engine_table()
+    mismatches: list[dict] = []
+    for design, adapter in ingestor.adapters.items():
+        batch = StatusQueryEngine(table, design=design).index
+        for t in t_stars:
+            for op in ("active_ids", "settled_ids", "created_ids", "pending_ids"):
+                live = getattr(adapter, op)(t)
+                reference = getattr(batch, op)(t)
+                if not np.array_equal(live, reference):
+                    mismatches.append(
+                        {"design": design, "op": op, "t_star": t,
+                         "live_rows": int(len(live)),
+                         "batch_rows": int(len(reference))}
+                    )
+    return mismatches
 
 
 def _cmd_fit(args, out: IO[str], context: ExecutionContext) -> int:
@@ -323,59 +521,102 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
     service = DomdService(estimator)
     workers = getattr(args, "workers", 1)
     deadline_ms = getattr(args, "deadline_ms", None)
-    if workers <= 1 and deadline_ms is None:
-        for line in stdin:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                print(
-                    json.dumps(error_envelope("bad_json", f"malformed JSON: {exc}")),
-                    file=out,
-                    flush=True,
-                )
-                continue
-            print(json.dumps(service.handle(request)), file=out, flush=True)
-        return 0
 
-    # Pooled serving: requests fan out across worker threads, responses
-    # are printed in submission order.  Submits block on a full queue —
-    # on a stdin pipe the producer *is* the client, so backpressure
-    # propagates upstream instead of dropping requests.
-    pool = ServicePool(
-        service,
-        workers=workers,
-        queue_depth=getattr(args, "queue_depth", 16),
-        deadline_ms=deadline_ms,
-    )
-    pending: deque[PoolFuture] = deque()
+    # Live ingestion: tail a WAL on a background thread; every applied
+    # batch refreshes the indexes and re-binds the service, all under
+    # the write side of a gate the query paths read-lock.
+    gate = None
+    follower = None
+    if getattr(args, "follow", None):
+        from repro.runtime.concurrency import ReadWriteGate
+        from repro.stream import StreamIngestor, StreamingRccStore, WalFollower
 
-    def flush(block: bool) -> None:
-        while pending and (block or pending[0].done()):
-            print(json.dumps(pending.popleft().result()), file=out, flush=True)
+        designs = [
+            part.strip()
+            for part in getattr(args, "follow_designs", "avl").split(",")
+            if part.strip()
+        ]
+        ingestor = StreamIngestor(
+            StreamingRccStore.from_dataset(dataset),
+            designs=designs or ("avl",),
+            context=context,
+        )
+        gate = ReadWriteGate()
+        service.ingest = ingestor
+        follower = WalFollower(
+            ingestor,
+            args.follow,
+            gate=gate,
+            on_batch=lambda ing: service.rebind(ing.dataset()),
+            poll_interval=max(getattr(args, "follow_poll_ms", 200.0), 1.0) / 1000.0,
+        )
+        follower.start()
 
     try:
-        for line in stdin:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                pending.append(
-                    PoolFuture.resolved(
-                        error_envelope("bad_json", f"malformed JSON: {exc}")
+        if workers <= 1 and deadline_ms is None:
+            import contextlib
+
+            for line in stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    print(
+                        json.dumps(
+                            error_envelope("bad_json", f"malformed JSON: {exc}")
+                        ),
+                        file=out,
+                        flush=True,
                     )
-                )
-            else:
-                pending.append(pool.submit(request, block=True))
-            flush(block=False)
-        flush(block=True)
+                    continue
+                scope = gate.read() if gate is not None else contextlib.nullcontext()
+                with scope:
+                    response = service.handle(request)
+                print(json.dumps(response), file=out, flush=True)
+            return 0
+
+        # Pooled serving: requests fan out across worker threads, responses
+        # are printed in submission order.  Submits block on a full queue —
+        # on a stdin pipe the producer *is* the client, so backpressure
+        # propagates upstream instead of dropping requests.
+        pool = ServicePool(
+            service,
+            workers=workers,
+            queue_depth=getattr(args, "queue_depth", 16),
+            deadline_ms=deadline_ms,
+            gate=gate,
+        )
+        pending: deque[PoolFuture] = deque()
+
+        def flush(block: bool) -> None:
+            while pending and (block or pending[0].done()):
+                print(json.dumps(pending.popleft().result()), file=out, flush=True)
+
+        try:
+            for line in stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    pending.append(
+                        PoolFuture.resolved(
+                            error_envelope("bad_json", f"malformed JSON: {exc}")
+                        )
+                    )
+                else:
+                    pending.append(pool.submit(request, block=True))
+                flush(block=False)
+            flush(block=True)
+        finally:
+            pool.close(drain=True)
+        return 0
     finally:
-        pool.close(drain=True)
-    return 0
+        if follower is not None:
+            follower.stop()
 
 
 def _cmd_explain(args, out: IO[str], context: ExecutionContext) -> int:
@@ -518,6 +759,8 @@ def main(
             code = _cmd_query(args, out, context)
         elif args.command == "evaluate":
             code = _cmd_evaluate(args, out, context)
+        elif args.command == "ingest":
+            code = _cmd_ingest(args, out, context)
         elif args.command == "serve":
             code = _cmd_serve(args, out, stdin, context)
         elif args.command == "explain":

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from contextlib import nullcontext
 from typing import Any
 
 from repro.core.service import DomdService, error_envelope
@@ -116,6 +117,11 @@ class ServicePool:
     seed:
         Seed for the per-worker RNG streams; defaults to the service
         context's seed.
+    gate:
+        Optional :class:`~repro.runtime.concurrency.ReadWriteGate`.
+        When set (``repro serve --follow``), every request executes
+        under the gate's read side so a live WAL follower (the writer)
+        never mutates state under an in-flight query.
     """
 
     def __init__(
@@ -125,6 +131,7 @@ class ServicePool:
         queue_depth: int = 16,
         deadline_ms: float | None = None,
         seed: int | None = None,
+        gate: Any | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -138,6 +145,7 @@ class ServicePool:
         self.workers = workers
         self.queue_depth = queue_depth
         self.deadline_ms = deadline_ms
+        self.gate = gate
         if seed is None:
             seed = service.context.seed
         self.rng_streams = worker_rng_streams(seed, workers)
@@ -244,7 +252,8 @@ class ServicePool:
                 f"deadline of {deadline.budget_seconds * 1000:.0f} ms"
                 " expired while the request was queued",
             )
-        with ambient_scope(deadline=deadline, rng=rng):
+        scope = self.gate.read() if self.gate is not None else nullcontext()
+        with scope, ambient_scope(deadline=deadline, rng=rng):
             response = self.service.handle(item.request)
         if (
             not response.get("ok", False)

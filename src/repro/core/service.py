@@ -131,6 +131,11 @@ class DomdService:
         #: service is pooled; ``health`` and telemetry expositions then
         #: include the pool's saturation gauges.
         self.pool: Any = None
+        #: Set by the ``serve --follow`` path when a live
+        #: :class:`~repro.stream.ingest.StreamIngestor` backs this
+        #: service; ok responses then carry the watermark they answered
+        #: at, and health/metrics gain ingestion gauges.
+        self.ingest: Any = None
 
     # ------------------------------------------------------------------
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -170,6 +175,10 @@ class DomdService:
                     with self.context.span(f"request.{request_type}"):
                         result = handler(request)
                 response: dict[str, Any] = {"ok": True, "result": result}
+                if self.ingest is not None:
+                    # The "as of" stamp: every effect of WAL records up
+                    # to this seq is visible to the answer above.
+                    response["watermark"] = self.ingest.watermark
                 if request.get("timings"):
                     response["timings"] = captured.report.as_dict()
                 if request.get("explain"):
@@ -310,19 +319,26 @@ class DomdService:
             return self._estimator.evaluate(avail_ids)
         # Telemetry exposition of the runtime itself.
         pool_status = self.pool.status() if self.pool is not None else None
+        ingest_status = self.ingest.status() if self.ingest is not None else None
         exposition_format = request.get("format", "json")
         if exposition_format == "prometheus":
             return {
                 "format": "prometheus",
                 "exposition": prometheus_text(
-                    self.context.metrics, pool_status=pool_status
+                    self.context.metrics,
+                    pool_status=pool_status,
+                    ingest_status=ingest_status,
                 ),
             }
         if exposition_format != "json":
             raise ValueError(
                 f"'format' must be 'json' or 'prometheus', got {exposition_format!r}"
             )
-        return telemetry_snapshot(self.context.metrics, pool_status=pool_status)
+        return telemetry_snapshot(
+            self.context.metrics,
+            pool_status=pool_status,
+            ingest_status=ingest_status,
+        )
 
     def _handle_health(self, request: dict[str, Any]) -> dict[str, Any]:
         counters = self.context.metrics.counters
@@ -347,4 +363,17 @@ class DomdService:
             response["pool"] = pool_status
             if pool_status.get("saturated") and response["status"] == "ok":
                 response["status"] = "saturated"
+        if self.ingest is not None:
+            response["ingest"] = self.ingest.status()
         return response
+
+    # ------------------------------------------------------------------
+    def rebind(self, dataset: Any) -> None:
+        """Point the service at a refreshed dataset (live ingestion).
+
+        Uses :meth:`DomdEstimator.serve` — the fitted model set is
+        shared, features are lazily re-extracted on the next query.
+        **Must be called under the write side of the serving gate** so
+        no in-flight request observes the swap.
+        """
+        self._estimator = self._estimator.serve(dataset)

@@ -59,3 +59,19 @@ class DeadlineExceeded(ReproError):
 
 class DataGenerationError(ReproError):
     """The synthetic data generator was asked for an impossible dataset."""
+
+
+class WalCorruptionError(ReproError):
+    """A write-ahead-log record failed its integrity check.
+
+    Raised only for corruption *before* the tail: a torn or garbled
+    final write is expected after a crash and handled leniently by
+    :func:`repro.stream.wal.read_wal` (the tail is dropped and counted,
+    mirroring ``load_events_lenient``).
+    """
+
+
+class StreamStateError(ReproError):
+    """An event stream violated ingestion invariants (e.g. a settle for
+    an RCC that never existed reaching the index layer, or a watermark
+    moving backwards)."""

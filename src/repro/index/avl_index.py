@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import StreamStateError
 from repro.index.avl import AvlTree
 from repro.index.base import LogicalTimeIndex, deep_node_nbytes
 
@@ -25,6 +26,7 @@ class DualAvlIndex(LogicalTimeIndex):
     """Start-tree + end-tree AVL index over RCC logical times."""
 
     name = "avl"
+    supports_incremental_ingest = True
 
     def _build(self) -> None:
         # Bulk balanced construction from numpy-sorted arrays: O(n log n)
@@ -65,6 +67,44 @@ class DualAvlIndex(LogicalTimeIndex):
                 self._ids = self._ids[mask]
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # structure-only ingest protocol (streaming)
+    # ------------------------------------------------------------------
+    # Unlike insert()/delete() above, these touch *only* the two trees —
+    # O(log n) per call, no O(n) array bookkeeping.  The caller
+    # (:class:`~repro.stream.mutable.MutableIndexAdapter`) owns the
+    # authoritative triple arrays; the base ``_starts/_ends/_ids`` of a
+    # structure-only-mutated instance are stale by design.
+    def apply_insert(self, start: float, end: float, rcc_id: int) -> None:
+        """Add one interval to both trees (O(log n))."""
+        self._start_tree.insert(float(start), int(rcc_id))
+        self._end_tree.insert(float(end), int(rcc_id))
+        self._record_ingest("insert")
+
+    def apply_update(
+        self,
+        rcc_id: int,
+        old_start: float,
+        old_end: float,
+        new_start: float,
+        new_end: float,
+    ) -> None:
+        """Re-key one interval in whichever trees changed (O(log n))."""
+        rcc_id = int(rcc_id)
+        if new_start != old_start:
+            if not self._start_tree.delete(float(old_start), rcc_id):
+                raise StreamStateError(
+                    f"avl start tree has no entry ({old_start}, {rcc_id})"
+                )
+            self._start_tree.insert(float(new_start), rcc_id)
+        if new_end != old_end:
+            if not self._end_tree.delete(float(old_end), rcc_id):
+                raise StreamStateError(
+                    f"avl end tree has no entry ({old_end}, {rcc_id})"
+                )
+            self._end_tree.insert(float(new_end), rcc_id)
+        self._record_ingest("settle" if new_start == old_start else "revise")
 
     def _settled_ids_impl(self, t: float) -> np.ndarray:
         values = self._end_tree.values_leq(t)

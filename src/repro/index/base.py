@@ -40,12 +40,48 @@ OPERATOR_NAMES = ("settled", "created", "active", "pending")
 #: Fields tracked per operator — the shared stat schema across backends.
 OPERATOR_STAT_FIELDS = ("calls", "rows_out")
 
+#: Ingest operators every mutable backend counts; keys of ``ingest_stats``.
+#: Kept separate from ``op_stats`` so the retrieval schema (pinned by
+#: ``tests/index/test_backend_metrics.py``) is untouched by streaming.
+INGEST_OPERATOR_NAMES = ("insert", "settle", "revise", "rebuild")
+
+#: Fields tracked per ingest operator, uniform across backends.
+INGEST_STAT_FIELDS = ("calls", "rows")
+
+
+def validate_triples(
+    starts: np.ndarray, ends: np.ndarray, ids: np.ndarray
+) -> None:
+    """Reject rows that settle before they are created.
+
+    Reports *every* offending row with its id — a batch loaded from a
+    corrupted extract fails with the full repair list, not a fix-one-
+    rerun-find-the-next loop.
+    """
+    bad = np.flatnonzero(ends < starts)
+    if len(bad):
+        shown = bad[:20]
+        detail = ", ".join(
+            f"id {ids[row]} ({ends[row]} < {starts[row]})" for row in shown
+        )
+        suffix = "" if len(bad) <= len(shown) else f" and {len(bad) - len(shown)} more"
+        raise ConfigurationError(
+            f"{len(bad)} RCC row(s) where the RCC settles before it is "
+            f"created: {detail}{suffix}"
+        )
+
 
 class LogicalTimeIndex(abc.ABC):
     """Abstract base for the three index designs of Section 4.1."""
 
     #: short name used in benchmark tables ("avl", "interval", "naive").
     name: ClassVar[str] = "abstract"
+
+    #: Whether the design supports in-place incremental ingestion via
+    #: :meth:`apply_insert` / :meth:`apply_update`.  The streaming
+    #: :class:`~repro.stream.mutable.MutableIndexAdapter` stages a delta
+    #: buffer in front of designs that do not.
+    supports_incremental_ingest: ClassVar[bool] = False
 
     def __init__(self, starts: np.ndarray, ends: np.ndarray, ids: np.ndarray):
         starts = np.asarray(starts, dtype=np.float64)
@@ -55,12 +91,7 @@ class LogicalTimeIndex(abc.ABC):
             raise LengthMismatchError(
                 f"starts/ends/ids lengths differ: {len(starts)}/{len(ends)}/{len(ids)}"
             )
-        if np.any(ends < starts):
-            bad = int(np.argmax(ends < starts))
-            raise ConfigurationError(
-                f"RCC id {ids[bad]} settles before it is created "
-                f"({ends[bad]} < {starts[bad]})"
-            )
+        validate_triples(starts, ends, ids)
         self._starts = starts
         self._ends = ends
         self._ids = ids
@@ -75,10 +106,14 @@ class LogicalTimeIndex(abc.ABC):
     # per-operator statistics (uniform across backends)
     # ------------------------------------------------------------------
     def reset_op_stats(self) -> None:
-        """Zero the per-operator call/row counters."""
+        """Zero the per-operator call/row counters (retrieval + ingest)."""
         self.op_stats: dict[str, dict[str, int]] = {
             op: {field: 0 for field in OPERATOR_STAT_FIELDS}
             for op in OPERATOR_NAMES
+        }
+        self.ingest_stats: dict[str, dict[str, int]] = {
+            op: {field: 0 for field in INGEST_STAT_FIELDS}
+            for op in INGEST_OPERATOR_NAMES
         }
 
     def _record_op(self, op: str, result: np.ndarray) -> np.ndarray:
@@ -86,6 +121,11 @@ class LogicalTimeIndex(abc.ABC):
         stats["calls"] += 1
         stats["rows_out"] += len(result)
         return result
+
+    def _record_ingest(self, op: str, rows: int = 1) -> None:
+        stats = self.ingest_stats[op]
+        stats["calls"] += 1
+        stats["rows"] += int(rows)
 
     # ------------------------------------------------------------------
     # public retrieval surface (counts, then delegates to the design)

@@ -17,13 +17,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import StreamStateError
 from repro.index.base import LogicalTimeIndex
+
+
+def _sorted_position(keys: np.ndarray, values: np.ndarray, key: float, value: int) -> int:
+    """Position of ``(key, value)`` within a sorted key array, scanning
+    only the run of duplicate keys."""
+    lo = int(np.searchsorted(keys, key, side="left"))
+    hi = int(np.searchsorted(keys, key, side="right"))
+    hits = np.flatnonzero(values[lo:hi] == value)
+    if not len(hits):
+        raise StreamStateError(
+            f"sorted-array index has no entry ({key}, {value})"
+        )
+    return lo + int(hits[0])
 
 
 class SortedArrayIndex(LogicalTimeIndex):
     """Dual sorted-array index over RCC logical times (ablation design)."""
 
     name = "sorted"
+    supports_incremental_ingest = True
 
     def _build(self) -> None:
         self._start_order = np.argsort(self._starts, kind="stable")
@@ -54,6 +69,54 @@ class SortedArrayIndex(LogicalTimeIndex):
         self._ends = np.append(self._ends, float(end))
         self._ids = np.append(self._ids, int(rcc_id))
         self._build()
+
+    # ------------------------------------------------------------------
+    # structure-only ingest protocol (streaming)
+    # ------------------------------------------------------------------
+    # These maintain the four sorted arrays with searchsorted +
+    # np.insert/np.delete — one O(n) memmove instead of an O(n log n)
+    # re-sort, and no base-array bookkeeping (the streaming adapter owns
+    # the triples; ``_start_order``/``_end_order`` go stale by design).
+    def apply_insert(self, start: float, end: float, rcc_id: int) -> None:
+        """Splice one interval into both sorted views."""
+        start, end, rcc_id = float(start), float(end), int(rcc_id)
+        i = int(np.searchsorted(self._sorted_starts, start, side="right"))
+        self._sorted_starts = np.insert(self._sorted_starts, i, start)
+        self._ids_by_start = np.insert(self._ids_by_start, i, rcc_id)
+        j = int(np.searchsorted(self._sorted_ends, end, side="right"))
+        self._sorted_ends = np.insert(self._sorted_ends, j, end)
+        self._ids_by_end = np.insert(self._ids_by_end, j, rcc_id)
+        self._record_ingest("insert")
+
+    def apply_update(
+        self,
+        rcc_id: int,
+        old_start: float,
+        old_end: float,
+        new_start: float,
+        new_end: float,
+    ) -> None:
+        """Re-position one interval in whichever sorted views changed."""
+        rcc_id = int(rcc_id)
+        if new_start != old_start:
+            pos = _sorted_position(
+                self._sorted_starts, self._ids_by_start, float(old_start), rcc_id
+            )
+            self._sorted_starts = np.delete(self._sorted_starts, pos)
+            self._ids_by_start = np.delete(self._ids_by_start, pos)
+            i = int(np.searchsorted(self._sorted_starts, new_start, side="right"))
+            self._sorted_starts = np.insert(self._sorted_starts, i, float(new_start))
+            self._ids_by_start = np.insert(self._ids_by_start, i, rcc_id)
+        if new_end != old_end:
+            pos = _sorted_position(
+                self._sorted_ends, self._ids_by_end, float(old_end), rcc_id
+            )
+            self._sorted_ends = np.delete(self._sorted_ends, pos)
+            self._ids_by_end = np.delete(self._ids_by_end, pos)
+            j = int(np.searchsorted(self._sorted_ends, new_end, side="right"))
+            self._sorted_ends = np.insert(self._sorted_ends, j, float(new_end))
+            self._ids_by_end = np.insert(self._ids_by_end, j, rcc_id)
+        self._record_ingest("settle" if new_start == old_start else "revise")
 
     def _structure_nbytes(self) -> int:
         return int(

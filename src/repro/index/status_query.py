@@ -235,6 +235,13 @@ class StatusQueryEngine:
     workload:
         Workload shape hint for the planner (defaults to a full
         timeline sweep over this RCC table).
+    index:
+        Pre-built logical-time index to serve queries from instead of
+        building one from the table — the streaming path injects its
+        incrementally maintained
+        :class:`~repro.stream.mutable.MutableIndexAdapter` here so the
+        engine (and everything above it) stays backend-agnostic.  The
+        index must cover exactly the table's rows, by row position.
     """
 
     def __init__(
@@ -245,12 +252,20 @@ class StatusQueryEngine:
         extra_group_keys: tuple[str, ...] = (),
         context: ExecutionContext | None = None,
         workload: WorkloadSpec | None = None,
+        index: LogicalTimeIndex | None = None,
     ):
         missing = [c for c in REQUIRED_RCC_COLUMNS if c not in rccs]
         if missing:
             raise SchemaError(f"RCC table missing columns: {missing}")
         self.context = ensure_context(context)
         telemetry = self.context.metrics.telemetry
+        if index is not None:
+            if len(index) != rccs.n_rows:
+                raise ConfigurationError(
+                    f"injected index covers {len(index)} rows but the RCC "
+                    f"table has {rccs.n_rows}"
+                )
+            design = getattr(index, "design", index.name)
         if design == "auto":
             spec = workload or WorkloadSpec(
                 n_rccs=rccs.n_rows, n_timestamps=11, mode="sweep"
@@ -269,7 +284,7 @@ class StatusQueryEngine:
                 )
         else:
             self.plan_decision = None
-        if design not in _DESIGNS:
+        if index is None and design not in _DESIGNS:
             raise ConfigurationError(
                 f"unknown index design {design!r}; expected one of "
                 f"{sorted(_DESIGNS)} or 'auto'"
@@ -287,12 +302,15 @@ class StatusQueryEngine:
         self._swlin_tree: SwlinTree | None = None
         self._type_tree: RccTypeTree | None = None
         # Logical-time index over row positions.
-        rows = np.arange(rccs.n_rows, dtype=np.int64)
         self.context.counter(f"index.backend.{design}")
-        with self.context.span(f"index.build.{design}"):
-            self.index: LogicalTimeIndex = _DESIGNS[design](
-                self._starts, self._ends, rows
-            )
+        if index is not None:
+            # Streaming injection: the adapter is already built and
+            # incrementally maintained; no build span is paid here.
+            self.index: LogicalTimeIndex = index
+        else:
+            rows = np.arange(rccs.n_rows, dtype=np.int64)
+            with self.context.span(f"index.build.{design}"):
+                self.index = _DESIGNS[design](self._starts, self._ends, rows)
         self._group_cache: dict[tuple[bool, int | None], tuple[np.ndarray, ColumnTable]] = {}
         self._stat_cache: dict[tuple[bool, int | None], StatStructure] = {}
         # EXPLAIN/ANALYZE capture hook; None on the (default) fast path,

@@ -165,3 +165,75 @@ def worker_rng_streams(seed: int, n_workers: int) -> list[np.random.Generator]:
         np.random.default_rng(sequence)
         for sequence in np.random.SeedSequence(int(seed)).spawn(n_workers)
     ]
+
+
+# ----------------------------------------------------------------------
+# read/write gate (streaming ingest vs. query serving)
+# ----------------------------------------------------------------------
+class ReadWriteGate:
+    """A writer-preference readers/writer gate.
+
+    Query workers hold the *read* side while answering a request; the
+    WAL follower holds the *write* side while applying a batch and
+    rebinding the service.  Any number of readers share the gate, the
+    writer is exclusive, and waiting writers block *new* readers so a
+    steady query load cannot starve ingestion (bounded staleness —
+    exactly the watermark-lag guarantee the gauges report).
+
+    Both sides are context managers::
+
+        with gate.read():
+            ... answer queries ...
+        with gate.write():
+            ... apply a batch ...
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        #: Lifetime acquisition counters (exposed via pool/ingest status).
+        self.reads = 0
+        self.writes = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self.reads += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+            self.writes += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+    def status(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "readers": self._readers,
+                "writer": int(self._writer),
+                "writers_waiting": self._writers_waiting,
+                "reads": self.reads,
+                "writes": self.writes,
+            }

@@ -306,9 +306,22 @@ def _record_residual(engine: "StatusQueryEngine", plan: QueryPlan) -> None:
         )
 
 
+def _stamp_watermark(engine: "StatusQueryEngine", recorder: OperatorRecorder) -> None:
+    """Note the ingestion watermark on live-maintained indexes.
+
+    A streaming :class:`~repro.stream.mutable.MutableIndexAdapter`
+    carries the WAL seq it reflects; the plan records it so an EXPLAIN
+    over a live engine states exactly which state it analysed.
+    """
+    watermark = getattr(engine.index, "watermark", None)
+    if watermark is not None:
+        recorder.note(watermark=watermark)
+
+
 def explain_point(engine: "StatusQueryEngine", query: "StatusQuery") -> ExplainResult:
     """Run one Status Query under EXPLAIN ANALYZE capture."""
     recorder = OperatorRecorder(engine.context)
+    _stamp_watermark(engine, recorder)
     with engine.recording(recorder):
         with engine.context.metrics.span("explain.query") as handle:
             result = engine.execute(query)
@@ -336,6 +349,7 @@ def explain_sweep(
 ) -> ExplainResult:
     """Run a timeline sweep under EXPLAIN ANALYZE capture."""
     recorder = OperatorRecorder(engine.context)
+    _stamp_watermark(engine, recorder)
     with engine.recording(recorder):
         with engine.context.metrics.span("explain.sweep") as handle:
             results = engine.execute_sweep(

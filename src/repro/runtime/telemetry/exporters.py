@@ -56,12 +56,35 @@ _POOL_GAUGES = (
 )
 
 
-def prometheus_text(sink: MetricsSink, pool_status: dict[str, Any] | None = None) -> str:
+#: Ingest-status keys exported as ``repro_ingest_*`` gauges, in order.
+_INGEST_GAUGES = (
+    ("watermark_seq", "highest WAL seq fully applied to store and indexes"),
+    ("wal_end_seq", "highest WAL seq observed in the log"),
+    ("lag_events", "WAL records not yet applied (wal_end - watermark)"),
+    ("watermark_age_seconds", "seconds since the watermark last advanced"),
+    ("applied_batches", "WAL batches applied"),
+    ("applied_events", "WAL events applied"),
+    ("skipped_duplicates", "WAL records skipped as already applied"),
+    ("deferred_events", "events buffered awaiting their rcc_created"),
+    ("orphans_pending", "RCC ids with buffered out-of-order events"),
+    ("n_rccs", "RCC rows in the streaming store"),
+)
+
+
+def prometheus_text(
+    sink: MetricsSink,
+    pool_status: dict[str, Any] | None = None,
+    ingest_status: dict[str, Any] | None = None,
+) -> str:
     """Render the sink + hub state in Prometheus text format.
 
     ``pool_status`` (a :meth:`ServicePool.status
     <repro.core.server.ServicePool.status>` dict) adds the serving-pool
-    saturation gauges to the exposition.
+    saturation gauges to the exposition.  ``ingest_status`` (a
+    :meth:`StreamIngestor.status
+    <repro.stream.ingest.StreamIngestor.status>` dict) adds the
+    ``repro_ingest_*`` streaming gauges, including per-design rebuild
+    counts.
     """
     lines: list[str] = []
     counters = sink.counters
@@ -99,16 +122,38 @@ def prometheus_text(sink: MetricsSink, pool_status: dict[str, Any] | None = None
             lines.append(f"# HELP {metric} {help_text}")
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {float(pool_status[key]):g}")
+    if ingest_status is not None:
+        for key, help_text in _INGEST_GAUGES:
+            value = ingest_status.get(key)
+            if value is None:
+                continue
+            metric = f"repro_ingest_{key}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {float(value):g}")
+        for design in sorted(ingest_status.get("rebuilds", {})):
+            lines.append(
+                f'repro_ingest_rebuilds{{design="{design}"}} '
+                f"{float(ingest_status['rebuilds'][design]):g}"
+            )
+        for design in sorted(ingest_status.get("staged", {})):
+            lines.append(
+                f'repro_ingest_staged_rows{{design="{design}"}} '
+                f"{float(ingest_status['staged'][design]):g}"
+            )
     return "\n".join(lines) + "\n"
 
 
 def telemetry_snapshot(
-    sink: MetricsSink, pool_status: dict[str, Any] | None = None
+    sink: MetricsSink,
+    pool_status: dict[str, Any] | None = None,
+    ingest_status: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """JSON snapshot: counters, histogram summaries, cache, drift.
 
     ``pool_status`` adds a ``pool`` block mirroring the
-    ``repro_pool_*`` gauges of :func:`prometheus_text`.
+    ``repro_pool_*`` gauges of :func:`prometheus_text`;
+    ``ingest_status`` likewise adds an ``ingest`` block.
     """
     counters = sink.counters
     out: dict[str, Any] = {
@@ -130,6 +175,8 @@ def telemetry_snapshot(
         out["events_buffered"] = len(hub.buffer)
     if pool_status is not None:
         out["pool"] = dict(pool_status)
+    if ingest_status is not None:
+        out["ingest"] = dict(ingest_status)
     return out
 
 

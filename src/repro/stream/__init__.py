@@ -1,0 +1,74 @@
+"""Streaming ingestion subsystem: live RCC event streams.
+
+Layers (each its own module, composable separately):
+
+* :mod:`repro.stream.events` — typed event model + stream-file IO.
+* :mod:`repro.stream.wal` — durable append-only JSONL WAL (crc per
+  record, fsync batching, lenient torn-tail replay).
+* :mod:`repro.stream.store` — authoritative mutable RCC/avail state.
+* :mod:`repro.stream.mutable` — incremental index maintenance over all
+  four backends behind the ``LogicalTimeIndex`` interface.
+* :mod:`repro.stream.ingest` — the driver: WAL batches → store +
+  indexes, watermark semantics.
+* :mod:`repro.stream.follow` — background WAL tailing for live serving.
+
+See ``docs/streaming.md`` for the end-to-end walkthrough.
+"""
+
+from repro.stream.events import (
+    AmountRevised,
+    AvailExtended,
+    Event,
+    EVENT_KINDS,
+    RccCreated,
+    RccSettled,
+    STREAM_FORMAT_VERSION,
+    UNSETTLED_T,
+    dataset_from_stream,
+    dataset_to_events,
+    event_from_dict,
+    event_to_dict,
+    read_event_stream,
+    write_event_stream,
+)
+from repro.stream.follow import WalFollower
+from repro.stream.ingest import StreamIngestor
+from repro.stream.mutable import MutableIndexAdapter, default_rebuild_threshold
+from repro.stream.store import ApplyResult, StreamingRccStore
+from repro.stream.wal import (
+    WalAppendResult,
+    WalReadResult,
+    WalRecord,
+    WalWriter,
+    event_crc,
+    read_wal,
+)
+
+__all__ = [
+    "AmountRevised",
+    "ApplyResult",
+    "AvailExtended",
+    "Event",
+    "EVENT_KINDS",
+    "MutableIndexAdapter",
+    "RccCreated",
+    "RccSettled",
+    "STREAM_FORMAT_VERSION",
+    "StreamIngestor",
+    "StreamingRccStore",
+    "UNSETTLED_T",
+    "WalAppendResult",
+    "WalFollower",
+    "WalReadResult",
+    "WalRecord",
+    "WalWriter",
+    "dataset_from_stream",
+    "dataset_to_events",
+    "default_rebuild_threshold",
+    "event_crc",
+    "event_from_dict",
+    "event_to_dict",
+    "read_event_stream",
+    "read_wal",
+    "write_event_stream",
+]

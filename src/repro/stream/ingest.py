@@ -1,0 +1,206 @@
+"""Stream ingestion driver: WAL records → store + live indexes.
+
+:class:`StreamIngestor` ties the subsystem together.  It owns one
+:class:`~repro.stream.store.StreamingRccStore` (authoritative row state)
+and one :class:`~repro.stream.mutable.MutableIndexAdapter` per requested
+design, and advances them in lockstep batch by batch.
+
+**Watermark semantics.**  The watermark is the highest WAL sequence
+number whose effects are fully applied to store *and* every index; it
+moves monotonically, once per applied batch.  Records at or below the
+watermark are skipped idempotently (so replaying an overlapping WAL
+range — the normal recovery path — is harmless), and a batch that jumps
+the sequence raises rather than silently leaving a gap.  Queries answer
+"as of watermark w": the adapters carry ``w`` so EXPLAIN plans and
+service responses can stamp it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError, StreamStateError
+from repro.index.status_query import StatusQueryEngine
+from repro.runtime.context import ExecutionContext
+from repro.stream.mutable import _DESIGNS, MutableIndexAdapter
+from repro.stream.store import StreamingRccStore
+from repro.stream.wal import WalRecord, read_wal
+
+#: Designs maintained when the caller does not choose.
+DEFAULT_DESIGNS = ("avl",)
+
+
+class StreamIngestor:
+    """Applies WAL batches to a store and its live index adapters."""
+
+    def __init__(
+        self,
+        store: StreamingRccStore,
+        designs: Sequence[str] = DEFAULT_DESIGNS,
+        rebuild_threshold: int | None = None,
+        context: ExecutionContext | None = None,
+        watermark: int = 0,
+    ):
+        if not designs:
+            raise ConfigurationError("ingestor needs at least one index design")
+        unknown = sorted(set(designs) - set(_DESIGNS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown index design(s) {unknown}; expected from {sorted(_DESIGNS)}"
+            )
+        self.store = store
+        self.context = context if context is not None else ExecutionContext()
+        starts, ends, slots = store.logical_triples()
+        self.adapters: dict[str, MutableIndexAdapter] = {
+            design: MutableIndexAdapter(
+                design, starts, ends, slots, rebuild_threshold=rebuild_threshold
+            )
+            for design in dict.fromkeys(designs)
+        }
+        self.watermark = int(watermark)
+        self.applied_batches = 0
+        self.applied_events = 0
+        self.skipped_duplicates = 0
+        self._wal_end_seq = self.watermark
+        self._watermark_wall_time: float | None = None
+        for adapter in self.adapters.values():
+            adapter.watermark = self.watermark or None
+
+    # ------------------------------------------------------------------
+    # batch application
+    # ------------------------------------------------------------------
+    def apply_batch(self, records: Sequence[WalRecord]) -> dict[str, Any]:
+        """Apply one WAL batch; returns a small summary dict.
+
+        Records with ``seq <= watermark`` are skipped (idempotent
+        replay); the first fresh record must continue the sequence.
+        """
+        applied = 0
+        for record in records:
+            if record.seq <= self.watermark:
+                self.skipped_duplicates += 1
+                continue
+            if record.seq != self.watermark + 1:
+                raise StreamStateError(
+                    f"WAL gap: watermark is {self.watermark} but next record "
+                    f"has seq {record.seq}"
+                )
+            result = self.store.apply(record.event)
+            for slot, t_start, t_end in result.inserts:
+                for adapter in self.adapters.values():
+                    adapter.insert(t_start, t_end, slot)
+            for slot, old_ts, _old_te, t_start, t_end in result.updates:
+                for adapter in self.adapters.values():
+                    if t_start == old_ts:
+                        adapter.settle(slot, t_end)
+                    else:
+                        adapter.update_interval(slot, t_start, t_end)
+            self.watermark = record.seq
+            applied += 1
+        if applied:
+            self.applied_batches += 1
+            self.applied_events += applied
+            self._watermark_wall_time = time.time()
+            self._wal_end_seq = max(self._wal_end_seq, self.watermark)
+            for adapter in self.adapters.values():
+                adapter.watermark = self.watermark
+            self.context.counter("ingest.batches")
+            self.context.counter("ingest.events", applied)
+        return {
+            "applied": applied,
+            "skipped": len(records) - applied,
+            "watermark": self.watermark,
+        }
+
+    def replay(self, wal_path: str, batch_size: int = 256) -> dict[str, Any]:
+        """Replay a WAL tail (everything past the watermark) in batches."""
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        result = read_wal(wal_path, after_seq=self.watermark)
+        self.note_wal_end(result.last_seq)
+        applied = 0
+        for lo in range(0, len(result.records), batch_size):
+            summary = self.apply_batch(result.records[lo : lo + batch_size])
+            applied += summary["applied"]
+        return {
+            "applied": applied,
+            "watermark": self.watermark,
+            "dropped_tail": result.dropped_tail,
+        }
+
+    def apply_events(self, events: Iterable[Any]) -> dict[str, Any]:
+        """Apply raw events (no WAL) as one synthetic batch.
+
+        Convenience for bootstrap/testing: fabricates consecutive seqs
+        starting at ``watermark + 1``.
+        """
+        records = [
+            WalRecord(seq=self.watermark + 1 + offset, event=event)
+            for offset, event in enumerate(events)
+        ]
+        return self.apply_batch(records)
+
+    def note_wal_end(self, seq: int) -> None:
+        """Record the WAL's end seq (for lag reporting)."""
+        self._wal_end_seq = max(self._wal_end_seq, int(seq))
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def engine(
+        self, design: str | None = None, context: ExecutionContext | None = None
+    ) -> StatusQueryEngine:
+        """A fresh StatusQueryEngine over the current state.
+
+        Engines are cheap views — build a fresh one per query batch, as
+        the engine caches group tables that would go stale under further
+        ingestion.
+        """
+        if design is None:
+            design = next(iter(self.adapters))
+        adapter = self.adapters.get(design)
+        if adapter is None:
+            raise ConfigurationError(
+                f"design {design!r} is not maintained; have {sorted(self.adapters)}"
+            )
+        return StatusQueryEngine(
+            self.store.engine_table(),
+            context=context if context is not None else self.context,
+            index=adapter,
+        )
+
+    def dataset(self):
+        """Current state as a static snapshot dataset."""
+        return self.store.dataset()
+
+    def status(self) -> dict[str, Any]:
+        """Gauge snapshot for health/metrics expositions."""
+        lag = max(self._wal_end_seq - self.watermark, 0)
+        age = (
+            None
+            if self._watermark_wall_time is None
+            else max(time.time() - self._watermark_wall_time, 0.0)
+        )
+        return {
+            "watermark_seq": self.watermark,
+            "wal_end_seq": self._wal_end_seq,
+            "lag_events": lag,
+            "watermark_age_seconds": age,
+            "applied_batches": self.applied_batches,
+            "applied_events": self.applied_events,
+            "skipped_duplicates": self.skipped_duplicates,
+            "store_duplicates": self.store.counts["duplicates"],
+            "deferred_events": self.store.counts["deferred"],
+            "orphans_pending": len(self.store.orphans),
+            "n_rccs": self.store.n_rccs,
+            "designs": sorted(self.adapters),
+            "rebuilds": {
+                design: adapter.rebuilds
+                for design, adapter in self.adapters.items()
+            },
+            "staged": {
+                design: adapter.staged_count
+                for design, adapter in self.adapters.items()
+            },
+        }

@@ -1,0 +1,378 @@
+"""Authoritative mutable RCC state for streaming ingestion.
+
+:class:`StreamingRccStore` owns the row-level truth the indexes are a
+view of: RCC attribute columns in *slot* order (insertion order — slot
+``k`` is row ``k`` of every engine table and the id the logical-time
+indexes store), plus a mutable copy of the avail table that supplies
+each RCC's logical-time conversion.
+
+``apply`` is **idempotent and order-tolerant**:
+
+* a duplicate ``rcc_created`` (same id) is skipped and counted — replays
+  of an already-applied WAL prefix are harmless;
+* a ``rcc_settled`` / ``amount_revised`` arriving *before* its create
+  (out-of-order feeds are a fact of operational systems) is buffered and
+  applied the moment the create lands;
+* an ``avail_extended`` rescales the logical times of every RCC of that
+  avail and reports the per-slot updates so indexes can follow.
+
+The returned :class:`ApplyResult` is the contract with
+:class:`~repro.stream.ingest.StreamIngestor`: it lists exactly which
+index mutations (inserts / interval updates) the event implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.data.dates import MISSING_DATE, logical_time
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import StreamStateError
+from repro.stream.events import (
+    AmountRevised,
+    AvailExtended,
+    Event,
+    RccCreated,
+    RccSettled,
+    UNSETTLED_T,
+    event_from_dict,
+    event_to_dict,
+    table_from_payload,
+)
+from repro.table.table import ColumnTable
+
+
+@dataclass
+class ApplyResult:
+    """Index mutations implied by one applied event."""
+
+    kind: str
+    #: Event was a no-op repeat of already-applied state.
+    duplicate: bool = False
+    #: Event arrived before its RCC existed and was buffered.
+    deferred: bool = False
+    #: New rows: ``(slot, t_start, t_end)``.
+    inserts: list[tuple[int, float, float]] = field(default_factory=list)
+    #: Re-keyed rows: ``(slot, old_t_start, old_t_end, t_start, t_end)``.
+    updates: list[tuple[int, float, float, float, float]] = field(default_factory=list)
+
+
+class StreamingRccStore:
+    """Mutable RCC/avail state replayed from an event stream."""
+
+    def __init__(
+        self,
+        ships: ColumnTable,
+        avails: ColumnTable,
+        seed: int | None = None,
+        scaling_factor: int = 1,
+    ):
+        self.ships = ships
+        self.seed = seed
+        self.scaling_factor = scaling_factor
+        self._avails: dict[str, np.ndarray] = {
+            name: np.array(avails[name], copy=True) for name in avails.column_names
+        }
+        self._avail_row = {
+            int(avail_id): row
+            for row, avail_id in enumerate(self._avails["avail_id"])
+        }
+        # RCC columns in slot (insertion) order.
+        self._rcc_id: list[int] = []
+        self._avail_id: list[int] = []
+        self._rcc_type: list[str] = []
+        self._swlin: list[str] = []
+        self._create_date: list[int] = []
+        self._settle_date: list[int] = []
+        self._status: list[str] = []
+        self._amount: list[float] = []
+        self._t_start: list[float] = []
+        self._t_end: list[float] = []
+        self._slot_of: dict[int, int] = {}
+        self._slots_by_avail: dict[int, list[int]] = {}
+        # Out-of-order settles/revisions waiting for their create.
+        self._orphans: dict[int, list[Event]] = {}
+        self.counts: dict[str, int] = {
+            "applied": 0,
+            "duplicates": 0,
+            "deferred": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: NavyMaintenanceDataset) -> "StreamingRccStore":
+        """Bootstrap from a static snapshot (its RCC rows become slots)."""
+        store = cls(
+            ships=dataset.ships,
+            avails=dataset.avails,
+            seed=dataset.seed,
+            scaling_factor=dataset.scaling_factor,
+        )
+        rccs = dataset.rccs
+        for row in range(rccs.n_rows):
+            store.apply(
+                RccCreated(
+                    rcc_id=int(rccs["rcc_id"][row]),
+                    avail_id=int(rccs["avail_id"][row]),
+                    rcc_type=str(rccs["rcc_type"][row]),
+                    swlin=str(rccs["swlin"][row]),
+                    create_date=int(rccs["create_date"][row]),
+                    amount=float(rccs["amount"][row]),
+                )
+            )
+            settle_date = int(rccs["settle_date"][row])
+            if str(rccs["status"][row]) == "settled" and settle_date != MISSING_DATE:
+                store.apply(
+                    RccSettled(
+                        rcc_id=int(rccs["rcc_id"][row]), settle_date=settle_date
+                    )
+                )
+        # Bootstrap rows are baseline state, not stream traffic.
+        store.counts = {"applied": 0, "duplicates": 0, "deferred": 0}
+        return store
+
+    @classmethod
+    def from_header(cls, header: dict[str, Any]) -> "StreamingRccStore":
+        """Bootstrap from a stream-file header (empty RCC state)."""
+        return cls(
+            ships=table_from_payload(header["ships"]),
+            avails=table_from_payload(header["avails"]),
+            seed=header.get("seed"),
+            scaling_factor=int(header.get("scaling_factor", 1)),
+        )
+
+    # ------------------------------------------------------------------
+    # logical-time conversion
+    # ------------------------------------------------------------------
+    def _avail_frame(self, avail_id: int) -> tuple[float, float]:
+        row = self._avail_row.get(int(avail_id))
+        if row is None:
+            raise StreamStateError(f"event references unknown avail {avail_id}")
+        act_start = float(self._avails["act_start"][row])
+        planned = float(self._avails["planned_duration"][row])
+        return act_start, planned
+
+    def _logical(self, day: int, avail_id: int) -> float:
+        act_start, planned = self._avail_frame(avail_id)
+        return float(logical_time(float(day), act_start, planned))
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+    def apply(self, event: Event | dict[str, Any]) -> ApplyResult:
+        """Apply one event; returns the implied index mutations."""
+        if isinstance(event, dict):
+            event = event_from_dict(event)
+        if isinstance(event, RccCreated):
+            result = self._apply_created(event)
+        elif isinstance(event, RccSettled):
+            result = self._apply_settled(event)
+        elif isinstance(event, AmountRevised):
+            result = self._apply_amount(event)
+        elif isinstance(event, AvailExtended):
+            result = self._apply_extended(event)
+        else:  # pragma: no cover - event_from_dict guards this
+            raise StreamStateError(f"unhandled event type {type(event).__name__}")
+        if result.deferred:
+            self.counts["deferred"] += 1
+        elif result.duplicate:
+            self.counts["duplicates"] += 1
+        else:
+            self.counts["applied"] += 1
+        return result
+
+    def _apply_created(self, event: RccCreated) -> ApplyResult:
+        if event.rcc_id in self._slot_of:
+            return ApplyResult(kind=event.kind, duplicate=True)
+        t_start = self._logical(event.create_date, event.avail_id)
+        slot = len(self._rcc_id)
+        self._rcc_id.append(int(event.rcc_id))
+        self._avail_id.append(int(event.avail_id))
+        self._rcc_type.append(str(event.rcc_type))
+        self._swlin.append(str(event.swlin))
+        self._create_date.append(int(event.create_date))
+        self._settle_date.append(MISSING_DATE)
+        self._status.append("open")
+        self._amount.append(float(event.amount))
+        self._t_start.append(t_start)
+        self._t_end.append(UNSETTLED_T)
+        self._slot_of[int(event.rcc_id)] = slot
+        self._slots_by_avail.setdefault(int(event.avail_id), []).append(slot)
+        result = ApplyResult(
+            kind=event.kind, inserts=[(slot, t_start, UNSETTLED_T)]
+        )
+        # Drain anything that arrived before this create.
+        for orphan in self._orphans.pop(int(event.rcc_id), []):
+            replayed = self.apply(orphan)
+            result.updates.extend(replayed.updates)
+            # the drained event was already counted as deferred when it
+            # first arrived; undo the fresh "applied" tick
+            self.counts["applied"] -= 1
+        return result
+
+    def _apply_settled(self, event: RccSettled) -> ApplyResult:
+        slot = self._slot_of.get(int(event.rcc_id))
+        if slot is None:
+            self._orphans.setdefault(int(event.rcc_id), []).append(event)
+            return ApplyResult(kind=event.kind, deferred=True)
+        if event.settle_date < self._create_date[slot]:
+            raise StreamStateError(
+                f"RCC {event.rcc_id} settles on day {event.settle_date}, before "
+                f"its creation day {self._create_date[slot]}"
+            )
+        already = (
+            self._status[slot] == "settled"
+            and self._settle_date[slot] == event.settle_date
+            and (event.amount is None or float(event.amount) == self._amount[slot])
+        )
+        if already:
+            return ApplyResult(kind=event.kind, duplicate=True)
+        old_t_end = self._t_end[slot]
+        t_end = self._logical(event.settle_date, self._avail_id[slot])
+        self._settle_date[slot] = int(event.settle_date)
+        self._status[slot] = "settled"
+        if event.amount is not None:
+            self._amount[slot] = float(event.amount)
+        self._t_end[slot] = t_end
+        return ApplyResult(
+            kind=event.kind,
+            updates=[(slot, self._t_start[slot], old_t_end, self._t_start[slot], t_end)],
+        )
+
+    def _apply_amount(self, event: AmountRevised) -> ApplyResult:
+        slot = self._slot_of.get(int(event.rcc_id))
+        if slot is None:
+            self._orphans.setdefault(int(event.rcc_id), []).append(event)
+            return ApplyResult(kind=event.kind, deferred=True)
+        if self._amount[slot] == float(event.amount):
+            return ApplyResult(kind=event.kind, duplicate=True)
+        self._amount[slot] = float(event.amount)
+        # Amounts feed the engine table, not the logical-time index.
+        return ApplyResult(kind=event.kind)
+
+    def _apply_extended(self, event: AvailExtended) -> ApplyResult:
+        row = self._avail_row.get(int(event.avail_id))
+        if row is None:
+            raise StreamStateError(
+                f"avail_extended references unknown avail {event.avail_id}"
+            )
+        plan_start = int(self._avails["plan_start"][row])
+        if event.new_plan_end <= plan_start:
+            raise StreamStateError(
+                f"avail {event.avail_id} cannot end its plan on day "
+                f"{event.new_plan_end}, on or before plan start {plan_start}"
+            )
+        if int(self._avails["plan_end"][row]) == event.new_plan_end:
+            return ApplyResult(kind=event.kind, duplicate=True)
+        self._avails["plan_end"][row] = int(event.new_plan_end)
+        self._avails["planned_duration"][row] = int(event.new_plan_end) - plan_start
+        act_end = int(self._avails["act_end"][row])
+        if act_end != MISSING_DATE:
+            # Delay is duration overrun; a moved plan changes it.
+            act_start = int(self._avails["act_start"][row])
+            self._avails["delay"][row] = float(
+                (act_end - act_start) - (int(event.new_plan_end) - plan_start)
+            )
+        result = ApplyResult(kind=event.kind)
+        for slot in self._slots_by_avail.get(int(event.avail_id), []):
+            old_t_start, old_t_end = self._t_start[slot], self._t_end[slot]
+            t_start = self._logical(self._create_date[slot], event.avail_id)
+            if self._status[slot] == "settled":
+                t_end = self._logical(self._settle_date[slot], event.avail_id)
+            else:
+                t_end = UNSETTLED_T
+            self._t_start[slot] = t_start
+            self._t_end[slot] = t_end
+            if t_start != old_t_start or t_end != old_t_end:
+                result.updates.append((slot, old_t_start, old_t_end, t_start, t_end))
+        return result
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def n_rccs(self) -> int:
+        return len(self._rcc_id)
+
+    @property
+    def orphans(self) -> dict[int, list[Event]]:
+        """Buffered out-of-order events keyed by their missing RCC id."""
+        return self._orphans
+
+    def logical_triples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Current ``(t_start, t_end, slot)`` arrays, slot order."""
+        return (
+            np.asarray(self._t_start, dtype=np.float64),
+            np.asarray(self._t_end, dtype=np.float64),
+            np.arange(self.n_rccs, dtype=np.int64),
+        )
+
+    def engine_table(self) -> ColumnTable:
+        """Status-Query-ready RCC table in slot order.
+
+        Row ``k`` is slot ``k``, so ids returned by a
+        :class:`~repro.stream.mutable.MutableIndexAdapter` address this
+        table directly.
+        """
+        return ColumnTable(
+            {
+                "rcc_type": np.array(self._rcc_type, dtype=object),
+                "swlin": np.array(self._swlin, dtype=object),
+                "t_start": np.asarray(self._t_start, dtype=np.float64),
+                "t_end": np.asarray(self._t_end, dtype=np.float64),
+                "amount": np.asarray(self._amount, dtype=np.float64),
+                "avail_id": np.asarray(self._avail_id, dtype=np.int64),
+            }
+        )
+
+    def rcc_table(self, order: str = "rcc_id") -> ColumnTable:
+        """Canonical RCC table (``order="slot"`` keeps insertion order)."""
+        if order not in ("rcc_id", "slot"):
+            raise StreamStateError(f"unknown RCC table order {order!r}")
+        columns = {
+            "rcc_id": np.asarray(self._rcc_id, dtype=np.int64),
+            "avail_id": np.asarray(self._avail_id, dtype=np.int64),
+            "rcc_type": np.array(self._rcc_type, dtype=object),
+            "swlin": np.array(self._swlin, dtype=object),
+            "create_date": np.asarray(self._create_date, dtype=np.int64),
+            "settle_date": np.asarray(self._settle_date, dtype=np.int64),
+            "status": np.array(self._status, dtype=object),
+            "amount": np.asarray(self._amount, dtype=np.float64),
+        }
+        if order == "rcc_id" and self.n_rccs:
+            sort = np.argsort(columns["rcc_id"], kind="stable")
+            columns = {name: values[sort] for name, values in columns.items()}
+        return ColumnTable(columns)
+
+    def avails_table(self) -> ColumnTable:
+        return ColumnTable(
+            {name: np.array(values, copy=True) for name, values in self._avails.items()}
+        )
+
+    def dataset(self) -> NavyMaintenanceDataset:
+        """Current state as a static snapshot (RCCs in rcc_id order)."""
+        return NavyMaintenanceDataset(
+            ships=self.ships,
+            avails=self.avails_table(),
+            rccs=self.rcc_table(order="rcc_id"),
+            seed=self.seed,
+            scaling_factor=self.scaling_factor,
+        )
+
+    def orphans_payload(self) -> dict[str, list[dict[str, Any]]]:
+        """JSON-ready orphan buffer (snapshot persistence)."""
+        return {
+            str(rcc_id): [event_to_dict(event) for event in events]
+            for rcc_id, events in self._orphans.items()
+        }
+
+    def restore_orphans(self, payload: dict[str, list[dict[str, Any]]]) -> None:
+        for rcc_id, events in payload.items():
+            self._orphans[int(rcc_id)] = [
+                event_from_dict(event) for event in events
+            ]

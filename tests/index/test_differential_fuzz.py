@@ -143,8 +143,18 @@ def disagreement(events: list[Event]) -> str | None:
     return None
 
 
-def shrink(events: list[Event]) -> list[Event]:
-    """ddmin-style bisection: drop chunks while the failure survives."""
+def shrink(events: list[Event], predicate=None) -> list[Event]:
+    """ddmin-style bisection: drop chunks while the failure survives.
+
+    ``predicate`` maps a candidate event list to a truthy failure label
+    (or ``None`` when the candidate passes); it defaults to this
+    module's :func:`disagreement`, resolved at call time so tests can
+    monkeypatch it.  Other suites (the streaming replay differential)
+    reuse the shrinker by passing their own predicate.
+    """
+    if predicate is None:
+        def predicate(candidate):
+            return disagreement(candidate)
     current = list(events)
     chunk = max(1, len(current) // 2)
     while chunk >= 1:
@@ -152,7 +162,7 @@ def shrink(events: list[Event]) -> list[Event]:
         reduced = False
         while index < len(current):
             candidate = current[:index] + current[index + chunk :]
-            if candidate and disagreement(candidate) is not None:
+            if candidate and predicate(candidate) is not None:
                 current = candidate
                 reduced = True
             else:

@@ -168,3 +168,28 @@ class TestPropertyAgreement:
         for active, settled in results[1:]:
             assert np.array_equal(active, results[0][0])
             assert np.array_equal(settled, results[0][1])
+
+
+class TestTripleValidation:
+    """The end<start validator reports *every* offending row with ids."""
+
+    def test_two_bad_rows_both_reported(self):
+        starts = np.array([0.0, 5.0, 2.0, 9.0])
+        ends = np.array([1.0, 3.0, 4.0, 6.0])  # rows 1 and 3 are inverted
+        ids = np.array([10, 11, 12, 13])
+        with pytest.raises(ConfigurationError) as excinfo:
+            ALL_DESIGNS[0](starts, ends, ids)
+        message = str(excinfo.value)
+        assert message.startswith("2 RCC row(s)")
+        assert "id 11" in message and "id 13" in message
+
+    def test_overflow_list_is_capped(self):
+        n = 30
+        starts = np.full(n, 5.0)
+        ends = np.zeros(n)
+        ids = np.arange(n)
+        with pytest.raises(ConfigurationError) as excinfo:
+            ALL_DESIGNS[0](starts, ends, ids)
+        message = str(excinfo.value)
+        assert message.startswith(f"{n} RCC row(s)")
+        assert "and 10 more" in message

@@ -1,0 +1,137 @@
+"""Event model validation and dataset↔stream round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticNmdConfig, generate_dataset
+from repro.errors import SchemaError
+from repro.stream import (
+    AmountRevised,
+    AvailExtended,
+    RccCreated,
+    RccSettled,
+    dataset_from_stream,
+    dataset_to_events,
+    event_from_dict,
+    event_to_dict,
+    read_event_stream,
+    write_event_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_dataset(
+        SyntheticNmdConfig(
+            n_ships=4, n_closed_avails=8, n_ongoing_avails=2,
+            target_n_rccs=400, seed=11,
+        )
+    )
+
+
+class TestEventModel:
+    def test_round_trip_each_kind(self):
+        events = [
+            RccCreated(rcc_id=1, avail_id=2, rcc_type="G",
+                       swlin="111-11-001", create_date=100, amount=5.0),
+            RccSettled(rcc_id=1, settle_date=150),
+            RccSettled(rcc_id=1, settle_date=150, amount=9.5),
+            AmountRevised(rcc_id=1, amount=7.25),
+            AvailExtended(avail_id=2, new_plan_end=900),
+        ]
+        for event in events:
+            assert event_from_dict(event_to_dict(event)) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="unknown event kind"):
+            event_from_dict({"kind": "rcc_teleported", "rcc_id": 1})
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(SchemaError, match="unknown fields"):
+            event_from_dict(
+                {"kind": "amount_revised", "rcc_id": 1, "amount": 2.0, "oops": 3}
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(SchemaError, match="malformed"):
+            event_from_dict({"kind": "rcc_settled", "settle_date": 10})
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(SchemaError, match="must be an integer"):
+            event_from_dict(
+                {"kind": "rcc_settled", "rcc_id": "7", "settle_date": 10}
+            )
+        with pytest.raises(SchemaError, match="must be an integer"):
+            event_from_dict(
+                {"kind": "rcc_settled", "rcc_id": True, "settle_date": 10}
+            )
+        with pytest.raises(SchemaError, match="non-empty string"):
+            event_from_dict(
+                {
+                    "kind": "rcc_created", "rcc_id": 1, "avail_id": 2,
+                    "rcc_type": "", "swlin": "111-11-001", "create_date": 5,
+                }
+            )
+
+    def test_settled_amount_optional(self):
+        event = event_from_dict({"kind": "rcc_settled", "rcc_id": 3, "settle_date": 9})
+        assert event.amount is None
+
+
+class TestStreamRoundTrip:
+    def test_events_are_time_ordered(self, tiny_dataset):
+        _, events = dataset_to_events(tiny_dataset)
+        dates = [
+            e.create_date if isinstance(e, RccCreated) else e.settle_date
+            for e in events
+        ]
+        assert dates == sorted(dates)
+
+    def test_dataset_tables_reconstructed_exactly(self, tiny_dataset, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        n_events = write_event_stream(tiny_dataset, path)
+        assert n_events >= tiny_dataset.rccs.n_rows
+        header, events = read_event_stream(path)
+        assert header is not None and len(events) == n_events
+        rebuilt = dataset_from_stream(header, events)
+        for table_name in ("ships", "avails", "rccs"):
+            original = getattr(tiny_dataset, table_name)
+            copy = getattr(rebuilt, table_name)
+            assert original.column_names == copy.column_names
+            for column in original.column_names:
+                a, b = original[column], copy[column]
+                assert a.dtype == b.dtype, (table_name, column)
+                if a.dtype.kind == "f":
+                    # ongoing avails carry NaN delay; nan == nan here
+                    assert np.array_equal(a, b, equal_nan=True), (table_name, column)
+                else:
+                    assert list(a) == list(b), (table_name, column)
+        assert rebuilt.seed == tiny_dataset.seed
+        assert rebuilt.scaling_factor == tiny_dataset.scaling_factor
+
+    def test_bad_version_rejected(self, tiny_dataset, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        write_event_stream(tiny_dataset, path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0].replace('"version": 1', '"version": 99')
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(SchemaError, match="stream format"):
+            read_event_stream(path)
+
+    def test_headerless_stream_parses(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        import json
+
+        payloads = [
+            {"kind": "rcc_created", "rcc_id": 1, "avail_id": 2, "rcc_type": "G",
+             "swlin": "111-11-001", "create_date": 10, "amount": 1.0},
+            {"kind": "rcc_settled", "rcc_id": 1, "settle_date": 12},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(p) for p in payloads) + "\n", encoding="utf-8"
+        )
+        header, events = read_event_stream(path)
+        assert header is None
+        assert [type(e).__name__ for e in events] == ["RccCreated", "RccSettled"]

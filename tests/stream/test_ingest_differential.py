@@ -1,0 +1,221 @@
+"""Property-based differential test: replay == batch rebuild, everywhere.
+
+Random RCC event streams — including zero-duration RCCs, settle-before-
+create arrivals, duplicates and avail extensions — are replayed through
+the full WAL → store → MutableIndexAdapter path.  At *every* watermark,
+each live-maintained backend must answer the four retrieval sets
+byte-identically to an index built from scratch over the store's
+current table.  On failure the stream is ddmin-shrunk (reusing the
+fuzzer harness of ``tests/index/test_differential_fuzz.py``) so the bug
+arrives as a minimal event-list reproducer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.index.status_query import StatusQueryEngine
+from repro.stream import StreamIngestor, StreamingRccStore, UNSETTLED_T
+from repro.stream.mutable import _DESIGNS
+from repro.table.table import ColumnTable
+from tests.index.test_differential_fuzz import shrink
+
+DESIGNS = tuple(_DESIGNS)
+OPS = ("active_ids", "settled_ids", "created_ids", "pending_ids")
+PROBES = (-5.0, 0.0, 20.0, 45.0, 70.0, 100.0, 140.0, UNSETTLED_T)
+
+RCC_TYPES = ("G", "N", "NG")
+SWLINS = ("111-11-001", "123-45-002", "222-22-003")
+
+#: One avail frame: plan day 1000..1100, so logical t = day - 1000.
+AVAILS = ColumnTable(
+    {
+        "avail_id": np.array([1, 2], dtype=np.int64),
+        "ship_id": np.array([1, 1], dtype=np.int64),
+        "plan_start": np.array([1000, 1000], dtype=np.int64),
+        "plan_end": np.array([1100, 1100], dtype=np.int64),
+        "act_start": np.array([1000, 1000], dtype=np.int64),
+        "act_end": np.array([1100, -1], dtype=np.int64),
+        "planned_duration": np.array([100, 100], dtype=np.int64),
+        "status": np.array(["closed", "ongoing"], dtype=object),
+        "delay": np.array([0.0, np.nan]),
+    }
+)
+SHIPS = ColumnTable(
+    {
+        "ship_id": np.array([1], dtype=np.int64),
+        "ship_class": np.array(["DDG"], dtype=object),
+    }
+)
+
+
+def random_event_dicts(seed: int, n: int = 90) -> list[dict]:
+    """A seeded raw-event stream with adversarial orderings."""
+    rng = np.random.default_rng(seed)
+    events: list[dict] = []
+    next_id = 0
+    created: list[int] = []
+    settled: set[int] = set()
+    for _ in range(n):
+        shape = int(rng.integers(0, 12))
+        if shape <= 4 or not created:  # create
+            day = int(rng.integers(1000, 1120))
+            create = {
+                "kind": "rcc_created",
+                "rcc_id": next_id,
+                "avail_id": int(rng.choice([1, 2])),
+                "rcc_type": str(rng.choice(RCC_TYPES)),
+                "swlin": str(rng.choice(SWLINS)),
+                "create_date": day,
+                "amount": float(np.round(rng.uniform(10, 500), 2)),
+            }
+            if shape == 0:
+                # settle-before-create: the settle event goes FIRST and
+                # must be buffered until the create lands
+                events.append(
+                    {"kind": "rcc_settled", "rcc_id": next_id,
+                     "settle_date": day + int(rng.integers(0, 40))}
+                )
+                settled.add(next_id)
+            events.append(create)
+            created.append((next_id, day))
+            next_id += 1
+        elif shape <= 7:  # settle an open RCC (zero-duration allowed)
+            candidates = [(i, d) for i, d in created if i not in settled]
+            if not candidates:
+                continue
+            rcc_id, day = candidates[int(rng.integers(0, len(candidates)))]
+            events.append(
+                {"kind": "rcc_settled", "rcc_id": rcc_id,
+                 "settle_date": day + int(rng.integers(0, 50))}
+            )
+            settled.add(rcc_id)
+        elif shape == 8:  # duplicate create (idempotent skip)
+            rcc_id, day = created[int(rng.integers(0, len(created)))]
+            events.append(
+                {"kind": "rcc_created", "rcc_id": rcc_id, "avail_id": 1,
+                 "rcc_type": "G", "swlin": SWLINS[0], "create_date": day,
+                 "amount": 1.0}
+            )
+        elif shape <= 10:  # amount revision (no index effect)
+            rcc_id, _ = created[int(rng.integers(0, len(created)))]
+            events.append(
+                {"kind": "amount_revised", "rcc_id": rcc_id,
+                 "amount": float(np.round(rng.uniform(1, 900), 2))}
+            )
+        else:  # avail extension: rescales logical times of that avail
+            events.append(
+                {"kind": "avail_extended", "avail_id": int(rng.choice([1, 2])),
+                 "new_plan_end": int(rng.integers(1080, 1200))}
+            )
+    return events
+
+
+def replay_disagreement(events: list[dict], check_every: int = 7) -> str | None:
+    """None when live == batch at every checked watermark, else a label."""
+    store = StreamingRccStore(ships=SHIPS, avails=AVAILS.select(AVAILS.column_names))
+    ingestor = StreamIngestor(store, designs=DESIGNS, rebuild_threshold=4)
+    for position, event in enumerate(events):
+        try:
+            ingestor.apply_events([event])
+        except Exception as exc:  # noqa: BLE001 — a crash is a failure too
+            return f"apply crashed at event {position}: {type(exc).__name__}: {exc}"
+        at_watermark = position % check_every == check_every - 1
+        if not at_watermark and position != len(events) - 1:
+            continue
+        table = store.engine_table()
+        for design in DESIGNS:
+            batch = StatusQueryEngine(table, design=design).index
+            live = ingestor.adapters[design]
+            for t in PROBES:
+                for op in OPS:
+                    got = getattr(live, op)(t)
+                    want = getattr(batch, op)(t)
+                    if not np.array_equal(got, want):
+                        return (
+                            f"{design}.{op}(t={t}) diverges from batch build "
+                            f"at watermark {ingestor.watermark}"
+                        )
+    return None
+
+
+def assert_replay_agreement(events: list[dict]) -> None:
+    label = replay_disagreement(events)
+    if label is None:
+        return
+    minimal = shrink(events, predicate=replay_disagreement)
+    pytest.fail(
+        f"replay disagreement: {label}\n"
+        f"minimal reproducer ({len(minimal)} of {len(events)} events):\n"
+        f"{json.dumps(minimal, indent=2)}"
+    )
+
+
+class TestReplayDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5, 13, 2025])
+    def test_random_streams_agree_at_every_watermark(self, seed):
+        assert_replay_agreement(random_event_dicts(seed))
+
+    def test_zero_duration_and_settle_before_create(self):
+        events = [
+            # settle arrives before its create: buffered, then applied
+            {"kind": "rcc_settled", "rcc_id": 0, "settle_date": 1010},
+            {"kind": "rcc_created", "rcc_id": 0, "avail_id": 1,
+             "rcc_type": "G", "swlin": SWLINS[0], "create_date": 1010,
+             "amount": 5.0},  # zero duration: settles its creation day
+            {"kind": "rcc_created", "rcc_id": 1, "avail_id": 1,
+             "rcc_type": "N", "swlin": SWLINS[1], "create_date": 1020,
+             "amount": 7.0},
+            {"kind": "rcc_settled", "rcc_id": 1, "settle_date": 1020},
+        ]
+        assert_replay_agreement(events)
+        # semantics: both stand settled at their (identical) instant
+        store = StreamingRccStore(
+            ships=SHIPS, avails=AVAILS.select(AVAILS.column_names)
+        )
+        ingestor = StreamIngestor(store, designs=("avl",))
+        ingestor.apply_events(events)
+        assert store.counts["deferred"] == 1
+        assert len(store.orphans) == 0
+        rccs = store.rcc_table()
+        assert list(rccs["status"]) == ["settled", "settled"]
+
+    def test_avail_extension_rescales_whole_avail(self):
+        events = [
+            {"kind": "rcc_created", "rcc_id": 0, "avail_id": 1,
+             "rcc_type": "G", "swlin": SWLINS[0], "create_date": 1050,
+             "amount": 5.0},
+            {"kind": "rcc_settled", "rcc_id": 0, "settle_date": 1080},
+            # plan 100 -> 160 days: logical times shrink by 100/160
+            {"kind": "avail_extended", "avail_id": 1, "new_plan_end": 1160},
+        ]
+        assert_replay_agreement(events)
+        store = StreamingRccStore(
+            ships=SHIPS, avails=AVAILS.select(AVAILS.column_names)
+        )
+        ingestor = StreamIngestor(store, designs=("sorted_array",))
+        ingestor.apply_events(events)
+        starts, ends, _ = store.logical_triples()
+        assert starts[0] == pytest.approx(50 / 160 * 100)
+        assert ends[0] == pytest.approx(80 / 160 * 100)
+
+    def test_duplicate_events_are_idempotent(self):
+        base = {"kind": "rcc_created", "rcc_id": 0, "avail_id": 1,
+                "rcc_type": "G", "swlin": SWLINS[0], "create_date": 1010,
+                "amount": 5.0}
+        settle = {"kind": "rcc_settled", "rcc_id": 0, "settle_date": 1030}
+        assert_replay_agreement([base, base, settle, settle, base])
+
+    def test_shrinker_integration_on_planted_failure(self):
+        """The ddmin predicate plumbing minimizes a planted failure."""
+        events = random_event_dicts(3, n=30)
+        poison = events[11]
+
+        def planted(candidate):
+            return "planted" if poison in candidate else None
+
+        minimal = shrink(events, predicate=planted)
+        assert minimal == [poison]

@@ -1,0 +1,157 @@
+"""MutableIndexAdapter: live maintenance equals build-from-scratch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StreamStateError
+from repro.index.status_query import StatusQueryEngine
+from repro.stream import MutableIndexAdapter, UNSETTLED_T
+from repro.stream.mutable import _DESIGNS, default_rebuild_threshold
+
+DESIGNS = tuple(_DESIGNS)
+OPS = ("active_ids", "settled_ids", "created_ids", "pending_ids")
+PROBES = (-5.0, 0.0, 10.0, 33.3, 50.0, 75.0, 100.0, 130.0, UNSETTLED_T)
+
+
+def fresh_reference(adapter):
+    """An immutable index built from the adapter's current triples."""
+    starts, ends, ids = adapter.triples()
+    return _DESIGNS[adapter.design](starts, ends, ids)
+
+
+def assert_matches_reference(adapter):
+    reference = fresh_reference(adapter)
+    for t in PROBES:
+        for op in OPS:
+            live = getattr(adapter, op)(t)
+            want = getattr(reference, op)(t)
+            assert np.array_equal(live, want), (adapter.design, op, t)
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+class TestAdapterMaintenance:
+    def test_insert_settle_update_sequence(self, design):
+        rng = np.random.default_rng(42)
+        adapter = MutableIndexAdapter(
+            design,
+            np.array([0.0, 10.0, 20.0]),
+            np.array([5.0, UNSETTLED_T, 25.0]),
+            np.array([0, 1, 2]),
+            rebuild_threshold=4,
+        )
+        next_id = 3
+        open_ids = [1]
+        for step in range(60):
+            action = rng.integers(0, 3)
+            if action == 0 or not open_ids:
+                start = float(np.round(rng.uniform(0, 100), 1))
+                adapter.insert(start, UNSETTLED_T, next_id)
+                open_ids.append(next_id)
+                next_id += 1
+            elif action == 1:
+                rcc = open_ids.pop(int(rng.integers(0, len(open_ids))))
+                row = np.flatnonzero(adapter.triples()[2] == rcc)[0]
+                start = adapter.triples()[0][row]
+                adapter.settle(rcc, start + float(rng.uniform(0, 30)))
+            else:
+                rcc = int(rng.integers(0, next_id))
+                starts, ends, ids = adapter.triples()
+                row = int(np.flatnonzero(ids == rcc)[0])
+                shift = float(np.round(rng.uniform(-3, 3), 1))
+                new_start = starts[row] + shift
+                new_end = max(ends[row] + shift, new_start)
+                adapter.update_interval(rcc, new_start, new_end)
+            if step % 10 == 9:
+                assert_matches_reference(adapter)
+        assert_matches_reference(adapter)
+        assert len(adapter) == next_id
+
+    def test_zero_duration_insert(self, design):
+        adapter = MutableIndexAdapter(
+            design, np.array([]), np.array([]), np.array([], dtype=np.int64)
+        )
+        adapter.insert(50.0, 50.0, 0)
+        assert list(adapter.settled_ids(50.0)) == [0]
+        assert list(adapter.created_ids(50.0)) == [0]
+        assert list(adapter.active_ids(50.0)) == []
+        assert_matches_reference(adapter)
+
+    def test_duplicate_id_rejected(self, design):
+        adapter = MutableIndexAdapter(
+            design, np.array([1.0]), np.array([2.0]), np.array([7])
+        )
+        with pytest.raises(StreamStateError, match="already holds"):
+            adapter.insert(3.0, 4.0, 7)
+
+    def test_inverted_interval_rejected(self, design):
+        adapter = MutableIndexAdapter(
+            design, np.array([1.0]), np.array([2.0]), np.array([0])
+        )
+        with pytest.raises(ConfigurationError, match="settle"):
+            adapter.insert(9.0, 3.0, 1)
+        with pytest.raises(ConfigurationError, match="settle"):
+            adapter.settle(0, 0.5)
+
+    def test_unknown_id_rejected(self, design):
+        adapter = MutableIndexAdapter(
+            design, np.array([1.0]), np.array([2.0]), np.array([0])
+        )
+        with pytest.raises(StreamStateError, match="no RCC id"):
+            adapter.settle(99, 5.0)
+
+    def test_engine_injection(self, design):
+        adapter = MutableIndexAdapter(
+            design,
+            np.array([0.0, 40.0]),
+            np.array([30.0, UNSETTLED_T]),
+            np.array([0, 1]),
+        )
+        from repro.table.table import ColumnTable
+
+        table = ColumnTable(
+            {
+                "rcc_type": np.array(["G", "N"], dtype=object),
+                "swlin": np.array(["111-11-001", "222-22-003"], dtype=object),
+                "t_start": np.array([0.0, 40.0]),
+                "t_end": np.array([30.0, UNSETTLED_T]),
+                "amount": np.array([10.0, 20.0]),
+                "avail_id": np.array([1, 1], dtype=np.int64),
+            }
+        )
+        engine = StatusQueryEngine(table, index=adapter)
+        assert engine.design == design
+        assert engine.index is adapter
+
+
+class TestStagedStrategy:
+    def test_rebuild_triggers_at_threshold(self):
+        adapter = MutableIndexAdapter(
+            "naive", np.array([0.0]), np.array([1.0]), np.array([0]),
+            rebuild_threshold=5,
+        )
+        for i in range(1, 5):
+            adapter.insert(float(i), float(i) + 1.0, i)
+        assert adapter.rebuilds == 0 and adapter.staged_count == 4
+        adapter.insert(5.0, 6.0, 5)  # 5th staged row trips the threshold
+        assert adapter.rebuilds == 1 and adapter.staged_count == 0
+        assert adapter.ingest_stats["rebuild"]["calls"] == 1
+        assert_matches_reference(adapter)
+
+    def test_incremental_designs_never_rebuild(self):
+        adapter = MutableIndexAdapter(
+            "avl", np.array([0.0]), np.array([1.0]), np.array([0]),
+            rebuild_threshold=2,
+        )
+        for i in range(1, 20):
+            adapter.insert(float(i), float(i) + 1.0, i)
+        assert adapter.rebuilds == 0
+        assert adapter.staged_count == 0
+        stats = adapter.combined_ingest_stats()
+        assert stats["insert"]["calls"] == 19
+
+    def test_default_threshold_scales_with_sqrt(self):
+        assert default_rebuild_threshold(0) == 64
+        assert default_rebuild_threshold(100) == 64
+        assert default_rebuild_threshold(1_000_000) == 1000

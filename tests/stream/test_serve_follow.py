@@ -1,0 +1,220 @@
+"""Live serving: watermark envelopes, ingestion gauges, WAL following.
+
+Ties the streaming subsystem into the serving stack: ok responses carry
+the watermark they answered at, ``metrics``/``health`` expose
+``repro_ingest_*`` gauges, and a :class:`WalFollower` tails a WAL into a
+running service under the read/write gate, rebinding the estimator so
+later queries see the refreshed dataset.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, DomdService, paper_final_config
+from repro.runtime import ExecutionContext
+from repro.runtime.concurrency import ReadWriteGate
+from repro.stream import (
+    StreamIngestor,
+    StreamingRccStore,
+    WalFollower,
+    WalWriter,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    context = ExecutionContext(seed=0)
+    estimator = DomdEstimator(
+        paper_final_config(window_pct=25), context=context
+    ).fit(dataset, splits.train_ids)
+    return dataset, splits, estimator
+
+
+def live_events(dataset, n: int = 6) -> list[dict]:
+    """Fresh rcc_created events against the dataset's first avail."""
+    avails = dataset.avails
+    avail_id = int(avails["avail_id"][0])
+    act_start = int(avails["act_start"][0])
+    next_id = int(np.max(dataset.rccs["rcc_id"])) + 1
+    return [
+        {
+            "kind": "rcc_created",
+            "rcc_id": next_id + i,
+            "avail_id": avail_id,
+            "rcc_type": "G",
+            "swlin": "111-11-001",
+            "create_date": act_start + 3 + i,
+            "amount": 10.0 + i,
+        }
+        for i in range(n)
+    ]
+
+
+def make_service(dataset, splits, estimator):
+    context = ExecutionContext(seed=0)
+    served = estimator.serve(dataset)
+    served.context = context
+    service = DomdService(served, context=context)
+    ingestor = StreamIngestor(
+        StreamingRccStore.from_dataset(dataset), designs=("avl",)
+    )
+    service.ingest = ingestor
+    return service, ingestor, context
+
+
+class TestWatermarkEnvelope:
+    def test_ok_responses_carry_current_watermark(self, fitted):
+        dataset, splits, estimator = fitted
+        service, ingestor, _ = make_service(dataset, splits, estimator)
+        query = {
+            "type": "domd_query",
+            "avail_ids": [int(splits.test_ids[0])],
+            "t_star": 50.0,
+        }
+        response = service.handle(query)
+        assert response["ok"] and response["watermark"] == 0
+        ingestor.apply_events(live_events(dataset, n=4))
+        response = service.handle(query)
+        assert response["ok"] and response["watermark"] == 4
+
+    def test_error_envelope_has_no_watermark(self, fitted):
+        dataset, splits, estimator = fitted
+        service, _, _ = make_service(dataset, splits, estimator)
+        response = service.handle({"type": "no_such_op"})
+        assert not response["ok"]
+        assert "watermark" not in response
+
+
+class TestIngestExpositions:
+    def test_prometheus_gauges(self, fitted):
+        dataset, splits, estimator = fitted
+        service, ingestor, _ = make_service(dataset, splits, estimator)
+        ingestor.apply_events(live_events(dataset, n=3))
+        ingestor.note_wal_end(5)
+        text = service.handle({"type": "metrics", "format": "prometheus"})[
+            "result"
+        ]["exposition"]
+        assert "repro_ingest_watermark_seq 3" in text
+        assert "repro_ingest_wal_end_seq 5" in text
+        assert "repro_ingest_lag_events 2" in text
+        assert 'repro_ingest_rebuilds{design="avl"} 0' in text
+
+    def test_json_snapshot_and_health_blocks(self, fitted):
+        dataset, splits, estimator = fitted
+        service, ingestor, _ = make_service(dataset, splits, estimator)
+        ingestor.apply_events(live_events(dataset, n=2))
+        snapshot = service.handle({"type": "metrics", "format": "json"})["result"]
+        assert snapshot["ingest"]["watermark_seq"] == 2
+        assert snapshot["ingest"]["applied_events"] == 2
+        health = service.handle({"type": "health"})["result"]
+        assert health["ingest"]["watermark_seq"] == 2
+        assert health["ingest"]["designs"] == ["avl"]
+
+    def test_expositions_without_ingest_unchanged(self, fitted):
+        dataset, splits, estimator = fitted
+        context = ExecutionContext(seed=0)
+        service = DomdService(estimator.serve(dataset), context=context)
+        text = service.handle({"type": "metrics", "format": "prometheus"})[
+            "result"
+        ]["exposition"]
+        assert "repro_ingest_" not in text
+        assert "ingest" not in service.handle({"type": "health"})["result"]
+
+
+class TestWalFollowing:
+    def test_poll_once_applies_and_rebinds_under_gate(self, fitted, tmp_path):
+        dataset, splits, estimator = fitted
+        service, ingestor, _ = make_service(dataset, splits, estimator)
+        gate = ReadWriteGate()
+        wal = tmp_path / "wal.jsonl"
+        events = live_events(dataset, n=5)
+        with WalWriter(wal) as writer:
+            writer.append_batch(events)
+
+        follower = WalFollower(
+            ingestor,
+            wal,
+            gate=gate,
+            on_batch=lambda ing: service.rebind(ing.dataset()),
+        )
+        applied = follower.poll_once()
+        assert applied == 5
+        assert ingestor.watermark == 5
+        assert gate.writes == 1
+        # the rebound estimator serves the grown dataset
+        n_before = dataset.rccs.n_rows
+        assert service._estimator._dataset.rccs.n_rows == n_before + 5
+        with gate.read():
+            response = service.handle(
+                {
+                    "type": "domd_query",
+                    "avail_ids": [int(splits.test_ids[0])],
+                    "t_star": 50.0,
+                }
+            )
+        assert response["ok"] and response["watermark"] == 5
+        # nothing new: the next poll is a no-op and takes no write lock
+        assert follower.poll_once() == 0
+        assert gate.writes == 1
+
+    def test_follower_thread_tails_a_growing_wal(self, fitted, tmp_path):
+        dataset, splits, estimator = fitted
+        service, ingestor, _ = make_service(dataset, splits, estimator)
+        gate = ReadWriteGate()
+        wal = tmp_path / "wal.jsonl"
+        events = live_events(dataset, n=6)
+        writer = WalWriter(wal)
+        writer.append_batch(events[:2])
+        writer.sync()
+
+        follower = WalFollower(
+            ingestor, wal, gate=gate, poll_interval=0.02
+        )
+        follower.start()
+        try:
+            deadline = time.time() + 5.0
+            while ingestor.watermark < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert ingestor.watermark == 2
+            writer.append_batch(events[2:])
+            writer.sync()
+            while ingestor.watermark < 6 and time.time() < deadline:
+                time.sleep(0.01)
+            assert ingestor.watermark == 6
+        finally:
+            writer.close()
+            follower.stop()
+        assert follower.errors == 0
+        assert not follower.is_alive()
+
+    def test_follower_survives_apply_errors(self, fitted, tmp_path):
+        dataset, splits, estimator = fitted
+        _, ingestor, _ = make_service(dataset, splits, estimator)
+        wal = tmp_path / "wal.jsonl"
+        create = live_events(dataset, n=1)[0]
+        bad_settle = {
+            "kind": "rcc_settled",
+            "rcc_id": create["rcc_id"],
+            "settle_date": create["create_date"] - 30,
+        }
+        with WalWriter(wal) as writer:
+            writer.append_batch([create, bad_settle])
+        follower = WalFollower(ingestor, wal, poll_interval=0.01)
+        follower.start()
+        try:
+            deadline = time.time() + 5.0
+            while follower.errors == 0 and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            follower.stop()
+        # the loop recorded the poison pill but kept running; the valid
+        # create ahead of it was applied
+        assert follower.errors >= 1
+        assert "StreamStateError" in follower.last_error
+        assert ingestor.watermark == 1

@@ -1,0 +1,157 @@
+"""Snapshot + WAL-tail replay: the streaming recovery contract.
+
+The acceptance bar: recovery from a snapshot plus the WAL tail equals a
+full replay, and a crash that tears the WAL's unsynced suffix loses no
+*acknowledged* batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.persistence import load_stream_snapshot, save_stream_snapshot
+from repro.stream import StreamIngestor, StreamingRccStore, WalWriter, read_wal
+from tests.stream.test_ingest_differential import (
+    AVAILS,
+    DESIGNS,
+    OPS,
+    PROBES,
+    SHIPS,
+    random_event_dicts,
+)
+
+
+def fresh_store():
+    return StreamingRccStore(ships=SHIPS, avails=AVAILS.select(AVAILS.column_names))
+
+
+def assert_same_state(a: StreamIngestor, b: StreamIngestor):
+    assert a.watermark == b.watermark
+    table_a, table_b = a.store.rcc_table(), b.store.rcc_table()
+    for column in table_a.column_names:
+        assert list(table_a[column]) == list(table_b[column]), column
+    for design in a.adapters:
+        for t in PROBES:
+            for op in OPS:
+                got = getattr(a.adapters[design], op)(t)
+                want = getattr(b.adapters[design], op)(t)
+                assert np.array_equal(got, want), (design, op, t)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_plus_tail_equals_full_replay(self, tmp_path):
+        events = random_event_dicts(21, n=80)
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch(events)
+
+        # replay half, snapshot, restore, replay the rest
+        half_seq = len(events) // 2
+        partial = StreamIngestor(fresh_store(), designs=DESIGNS, rebuild_threshold=4)
+        records = read_wal(wal).records
+        partial.apply_batch(records[:half_seq])
+        snapshot = tmp_path / "snap.json"
+        save_stream_snapshot(partial, snapshot)
+
+        restored = load_stream_snapshot(snapshot, rebuild_threshold=4)
+        assert restored.watermark == half_seq
+        assert sorted(restored.adapters) == sorted(DESIGNS)
+        restored.replay(str(wal))
+
+        full = StreamIngestor(fresh_store(), designs=DESIGNS, rebuild_threshold=4)
+        full.replay(str(wal))
+        assert_same_state(restored, full)
+
+    def test_snapshot_preserves_orphan_buffer(self, tmp_path):
+        # a settle whose create never arrived must survive the snapshot
+        events = [
+            {"kind": "rcc_settled", "rcc_id": 99, "settle_date": 1050},
+            {"kind": "rcc_created", "rcc_id": 0, "avail_id": 1,
+             "rcc_type": "G", "swlin": "111-11-001", "create_date": 1010,
+             "amount": 5.0},
+        ]
+        ingestor = StreamIngestor(fresh_store(), designs=("avl",))
+        ingestor.apply_events(events)
+        assert 99 in ingestor.store.orphans
+        snapshot = tmp_path / "snap.json"
+        save_stream_snapshot(ingestor, snapshot)
+        restored = load_stream_snapshot(snapshot)
+        assert 99 in restored.store.orphans
+        # the create finally arrives and the buffered settle drains
+        restored.apply_events(
+            [{"kind": "rcc_created", "rcc_id": 99, "avail_id": 1,
+              "rcc_type": "N", "swlin": "123-45-002", "create_date": 1040,
+              "amount": 2.0}]
+        )
+        assert not restored.store.orphans
+        rccs = restored.store.rcc_table()
+        row = list(rccs["rcc_id"]).index(99)
+        assert rccs["status"][row] == "settled"
+
+    def test_bad_snapshot_version_rejected(self, tmp_path):
+        ingestor = StreamIngestor(fresh_store(), designs=("avl",))
+        snapshot = tmp_path / "snap.json"
+        save_stream_snapshot(ingestor, snapshot)
+        text = snapshot.read_text(encoding="utf-8")
+        snapshot.write_text(
+            text.replace('"stream_format_version": 1', '"stream_format_version": 9'),
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigurationError, match="snapshot format"):
+            load_stream_snapshot(snapshot)
+
+
+class TestCrashRecovery:
+    def test_truncated_unsynced_tail_loses_no_acknowledged_batch(self, tmp_path):
+        """Kill -9 simulation: torn unsynced suffix, acknowledged data survives."""
+        events = random_event_dicts(31, n=60)
+        wal = tmp_path / "wal.jsonl"
+        writer = WalWriter(wal, fsync_batches=2)
+        acknowledged_through = 0
+        for lo in range(0, len(events), 10):
+            result = writer.append_batch(events[lo : lo + 10])
+            if result.synced:
+                acknowledged_through = result.last_seq
+        # crash WITHOUT close(): tear the final (possibly unsynced) record
+        writer._handle.flush()
+        raw = wal.read_bytes()
+        wal.write_bytes(raw[: len(raw) - 17])
+
+        read = read_wal(wal)
+        assert read.dropped_tail >= 1
+        # every acknowledged seq is still intact
+        assert read.last_seq >= acknowledged_through
+        recovered = {r.seq for r in read.records}
+        assert set(range(1, acknowledged_through + 1)) <= recovered
+
+        # recovery replays cleanly and matches a replay of the intact prefix
+        recovered_ingestor = StreamIngestor(fresh_store(), designs=("avl",))
+        recovered_ingestor.replay(str(wal))
+        reference = StreamIngestor(fresh_store(), designs=("avl",))
+        reference.apply_batch(read.records)
+        assert_same_state(recovered_ingestor, reference)
+
+        # a resumed writer truncates the torn tail and continues the seq
+        with WalWriter(wal) as resumed:
+            assert resumed.next_seq == read.last_seq + 1
+            resumed.append_batch([events[0]])
+        assert read_wal(wal).dropped_tail == 0
+
+    def test_recovery_is_idempotent_over_snapshot_overlap(self, tmp_path):
+        """Replaying a WAL range the snapshot already covers is harmless."""
+        events = random_event_dicts(7, n=40)
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch(events)
+        ingestor = StreamIngestor(fresh_store(), designs=("avl", "naive"))
+        ingestor.replay(str(wal))
+        snapshot = tmp_path / "snap.json"
+        save_stream_snapshot(ingestor, snapshot)
+        restored = load_stream_snapshot(snapshot)
+        # replay the ENTIRE wal again: everything at/below the watermark
+        # must be skipped, nothing double-applied
+        summary = restored.replay(str(wal))
+        assert summary["applied"] == 0
+        assert_same_state(restored, ingestor)

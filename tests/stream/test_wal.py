@@ -1,0 +1,134 @@
+"""WAL durability: crc, sequencing, torn tails, fsync batching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, WalCorruptionError
+from repro.stream import RccSettled, WalWriter, read_wal
+from repro.stream.wal import _parse_record, event_crc
+
+
+def _events(n, start=0):
+    return [
+        {"kind": "rcc_settled", "rcc_id": start + i, "settle_date": 100 + i}
+        for i in range(n)
+    ]
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            result = writer.append_batch(_events(5))
+        assert (result.first_seq, result.last_seq, result.synced) == (1, 5, True)
+        read = read_wal(wal)
+        assert [r.seq for r in read.records] == [1, 2, 3, 4, 5]
+        assert read.dropped_tail == 0
+        assert read.records[2].event["rcc_id"] == 2
+
+    def test_event_objects_accepted(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch([RccSettled(rcc_id=9, settle_date=77)])
+        record = read_wal(wal).records[0]
+        assert record.event == {"kind": "rcc_settled", "rcc_id": 9,
+                                "settle_date": 77, "amount": None}
+
+    def test_after_seq_filter(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch(_events(10))
+        read = read_wal(wal, after_seq=7)
+        assert [r.seq for r in read.records] == [8, 9, 10]
+        assert read.last_seq == 10
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        read = read_wal(tmp_path / "nope.jsonl")
+        assert read.records == [] and read.last_seq == 0
+
+    def test_writer_resumes_sequence(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch(_events(3))
+        with WalWriter(wal) as writer:
+            assert writer.next_seq == 4
+            result = writer.append_batch(_events(2, start=3))
+        assert (result.first_seq, result.last_seq) == (4, 5)
+        assert [r.seq for r in read_wal(wal).records] == [1, 2, 3, 4, 5]
+
+    def test_empty_batch_is_noop(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            result = writer.append_batch([])
+        assert result.last_seq < result.first_seq and not result.synced
+        assert read_wal(wal).records == []
+
+
+class TestCorruption:
+    def test_crc_mismatch_detected(self):
+        event = {"kind": "rcc_settled", "rcc_id": 1, "settle_date": 5}
+        line = json.dumps({"seq": 1, "crc": event_crc(event) ^ 0xFF, "event": event})
+        with pytest.raises(WalCorruptionError, match="CRC"):
+            _parse_record(line, expected_seq=1)
+
+    def test_sequence_break_detected(self):
+        event = {"kind": "rcc_settled", "rcc_id": 1, "settle_date": 5}
+        line = json.dumps({"seq": 4, "crc": event_crc(event), "event": event})
+        with pytest.raises(WalCorruptionError, match="sequence break"):
+            _parse_record(line, expected_seq=2)
+
+    def test_bit_flip_mid_log_drops_tail(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch(_events(6))
+        lines = wal.read_text(encoding="utf-8").splitlines()
+        lines[3] = lines[3].replace("settle_date", "settle_dats")
+        wal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        read = read_wal(wal)
+        assert [r.seq for r in read.records] == [1, 2, 3]
+        assert read.dropped_tail == 3  # the corrupt record and everything after
+
+    def test_torn_final_record_dropped(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch(_events(4))
+        raw = wal.read_bytes()
+        wal.write_bytes(raw[:-10])  # crash mid-write of record 4
+        read = read_wal(wal)
+        assert [r.seq for r in read.records] == [1, 2, 3]
+        assert read.dropped_tail == 1
+        assert read.good_bytes < len(raw)
+
+    def test_writer_truncates_torn_tail_before_appending(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with WalWriter(wal) as writer:
+            writer.append_batch(_events(4))
+        wal.write_bytes(wal.read_bytes()[:-10])
+        with WalWriter(wal) as writer:
+            assert writer.next_seq == 4  # record 4 was torn away
+            writer.append_batch(_events(1, start=100))
+        read = read_wal(wal)
+        assert [r.seq for r in read.records] == [1, 2, 3, 4]
+        assert read.dropped_tail == 0
+        assert read.records[-1].event["rcc_id"] == 100
+
+
+class TestFsyncBatching:
+    def test_every_batch_acknowledged_by_default(self, tmp_path):
+        with WalWriter(tmp_path / "wal.jsonl") as writer:
+            assert writer.append_batch(_events(2)).synced
+            assert writer.append_batch(_events(2, start=2)).synced
+
+    def test_batched_fsync_acknowledges_every_nth(self, tmp_path):
+        with WalWriter(tmp_path / "wal.jsonl", fsync_batches=3) as writer:
+            assert not writer.append_batch(_events(1)).synced
+            assert not writer.append_batch(_events(1, start=1)).synced
+            assert writer.append_batch(_events(1, start=2)).synced
+            assert not writer.append_batch(_events(1, start=3)).synced
+
+    def test_bad_fsync_batches_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fsync_batches"):
+            WalWriter(tmp_path / "wal.jsonl", fsync_batches=0)
