@@ -1,0 +1,133 @@
+"""Figure 5b companion: columnar vs scalar Status Query execution.
+
+The columnar execution core (``repro.index.columnar``) replaces the
+per-set scalar Algorithm-StatusQ path with fused batched kernels over a
+struct-of-arrays frame.  This bench pins the payoff on the fig5b sweep
+workload (Status Queries at every 10% of planned duration, grouped by
+RCC type × SWLIN level 1):
+
+* at every scale factor, the full timeline sweep runs once per executor
+  per design, with the group-assignment cache warmed so the timing
+  isolates the execution phase;
+* at 20x the columnar sweep must beat the scalar incremental sweep by
+  the committed speedup floor on the reference design;
+* both executors must return identical tables (spot-checked here;
+  byte-exact parity is pinned by the differential suite).
+
+The speedup concentrates on the designs whose builds already pay the
+stable event-time argsorts (``avl``, ``sorted_array``): they share the
+permutations with the columnar frame (``event_time_orders``), so the
+sweep skips the two O(n log n) sorts the scalar ``StatStructure``
+re-derives per stat build.  ``naive`` has no build-time sort and
+``interval``'s lexsort breaks ties differently (sharing it would break
+byte parity), so those designs re-sort inside the frame and land near
+1x — reported here, not asserted.
+
+Metrics land in ``BENCH_fig5b_columnar.json`` so the session regression
+guard watches both executors' wall times and the speedup ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    TIMELINE_10PCT,
+    emit_json,
+    emit_report,
+    format_table,
+    logical_rcc_arrays,
+)
+from repro.index import StatusQuery, StatusQueryEngine
+
+DESIGNS = ("naive", "avl", "interval", "sorted_array")
+EXECUTORS = ("scalar", "columnar")
+SCALES = (1, 20)
+#: Reference design for the speedup assertion (the planner's sweep pick).
+REFERENCE_DESIGN = "sorted_array"
+#: Committed floor: columnar must finish the 20x sweep at least this many
+#: times faster than the scalar incremental path on the reference design.
+MIN_SWEEP_SPEEDUP_20X = 3.0
+
+_times: dict[tuple[str, str, int], float] = {}
+
+
+def timed_sweep(dataset, design: str, executor: str, factor: int) -> float:
+    engine_table = logical_rcc_arrays(dataset, factor)[3]
+    engine = StatusQueryEngine(engine_table, design=design, executor=executor)
+    engine._group_assignment(StatusQuery(0.0))  # warm grouping cache
+    tic = time.perf_counter()
+    results = engine.execute_sweep(TIMELINE_10PCT, incremental=True)
+    wall = time.perf_counter() - tic
+    assert len(results) == len(TIMELINE_10PCT)
+    return wall
+
+
+def test_fig5b_columnar_vs_scalar(benchmark, dataset):
+    def collect():
+        for factor in SCALES:
+            for design in DESIGNS:
+                for executor in EXECUTORS:
+                    _times[(design, executor, factor)] = timed_sweep(
+                        dataset, design, executor, factor
+                    )
+        return _times
+
+    times = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    metrics: dict[str, float] = {}
+    for factor in SCALES:
+        for design in DESIGNS:
+            scalar = times[(design, "scalar", factor)]
+            columnar = times[(design, "columnar", factor)]
+            speedup = scalar / max(columnar, 1e-9)
+            rows.append(
+                [
+                    f"{factor}x",
+                    design,
+                    f"{scalar:.4f}s",
+                    f"{columnar:.4f}s",
+                    f"{speedup:.1f}x",
+                ]
+            )
+            metrics[f"fig5b_columnar.{design}.scalar_s.{factor}x"] = scalar
+            metrics[f"fig5b_columnar.{design}.columnar_s.{factor}x"] = columnar
+    table = format_table(
+        ["scale", "design", "scalar sweep", "columnar sweep", "speedup"], rows
+    )
+    emit_report(
+        "fig5b_columnar",
+        "Figure 5b companion: columnar vs scalar sweep execution",
+        table,
+    )
+    emit_json("fig5b_columnar", metrics)
+    reference_speedup = times[(REFERENCE_DESIGN, "scalar", 20)] / max(
+        times[(REFERENCE_DESIGN, "columnar", 20)], 1e-9
+    )
+    assert reference_speedup >= MIN_SWEEP_SPEEDUP_20X, (
+        f"columnar sweep speedup on {REFERENCE_DESIGN} at 20x is "
+        f"{reference_speedup:.1f}x (floor {MIN_SWEEP_SPEEDUP_20X:.0f}x)"
+    )
+
+
+def test_columnar_scalar_results_identical(dataset):
+    """1x smoke: both executors produce the same tables on this workload."""
+    engine_table = logical_rcc_arrays(dataset, 1)[3]
+    for design in DESIGNS:
+        columnar = StatusQueryEngine(
+            engine_table, design=design, executor="columnar"
+        )
+        scalar = StatusQueryEngine(engine_table, design=design, executor="scalar")
+        for got, want in zip(
+            columnar.execute_sweep(TIMELINE_10PCT),
+            scalar.execute_sweep(TIMELINE_10PCT),
+        ):
+            for name in want.column_names:
+                a, b = got[name], want[name]
+                if a.dtype.kind == "O":
+                    assert (a == b).all(), (design, name)
+                else:
+                    assert np.array_equal(a, b), (design, name)

@@ -31,9 +31,14 @@ from repro.stream.mutable import _DESIGNS
 
 DESIGNS = tuple(_DESIGNS)
 BATCH_SIZE = 256
-#: Per-design floor; generous (real rates are 100x this) — it exists to
-#: catch an accidentally quadratic ingest path, not machine speed.
+#: Per-design floor; generous (real rates are 10-100x this) — it exists
+#: to catch an accidentally quadratic ingest path, not machine speed.
 MIN_EVENTS_PER_S = 500.0
+#: Raised floors for designs with batched insert maintenance
+#: (``apply_insert_batch`` merges each coalesced insert run in one
+#: pass).  sorted_array's per-event splice storm used to make it the
+#: slowest design; the merge path must keep it within reach of avl.
+MIN_EVENTS_PER_S_BY_DESIGN = {"sorted_array": 2_000.0}
 
 
 @pytest.fixture(scope="module")
@@ -114,7 +119,8 @@ def test_ingest_throughput_all_designs(benchmark, event_stream):
         {f"ingest.{design}.wall_s": r["wall_s"] for design, r in results.items()},
     )
     for design, r in results.items():
-        assert r["events_per_s"] >= MIN_EVENTS_PER_S, (
+        floor = MIN_EVENTS_PER_S_BY_DESIGN.get(design, MIN_EVENTS_PER_S)
+        assert r["events_per_s"] >= floor, (
             f"{design} ingests at {r['events_per_s']:.0f} events/s "
-            f"(floor {MIN_EVENTS_PER_S:.0f}/s — is the ingest path quadratic?)"
+            f"(floor {floor:.0f}/s — is the ingest path quadratic?)"
         )

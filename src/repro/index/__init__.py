@@ -6,6 +6,7 @@ Public API::
         AvlTree, IntervalTree, DualAvlIndex, IntervalTreeIndex,
         NaiveJoinIndex, SwlinTree, RccTypeTree,
         StatusQuery, StatusQueryEngine, StatStructure,
+        ColumnarRccFrame, GroupCoding, EXECUTORS,
     )
 """
 
@@ -20,12 +21,19 @@ from repro.index.hierarchy import (
     normalize_swlin,
     swlin_prefix,
 )
+from repro.index.columnar import (
+    ColumnarRccFrame,
+    ColumnarSweepState,
+    GroupCoding,
+    fused_point_aggregates,
+)
 from repro.index.interval_index import IntervalTreeIndex, index_designs
 from repro.index.interval_tree import IntervalTree
 from repro.index.naive import NaiveJoinIndex
 from repro.index.sorted_array import SortedArrayIndex
 from repro.index.status_query import (
     AGGREGATE_COLUMNS,
+    EXECUTORS,
     StatStructure,
     StatusQuery,
     StatusQueryEngine,
@@ -50,4 +58,9 @@ __all__ = [
     "StatusQueryEngine",
     "StatStructure",
     "AGGREGATE_COLUMNS",
+    "EXECUTORS",
+    "ColumnarRccFrame",
+    "ColumnarSweepState",
+    "GroupCoding",
+    "fused_point_aggregates",
 ]

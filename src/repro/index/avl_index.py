@@ -40,6 +40,17 @@ class DualAvlIndex(LogicalTimeIndex):
         self._end_tree = AvlTree.from_sorted(
             self._ends[end_order].tolist(), self._ids[end_order].tolist()
         )
+        # Retained for the columnar frame (event_time_orders): the sorts
+        # were already paid for bulk construction.
+        self._start_order = start_order
+        self._end_order = end_order
+        self._orders_current = True
+
+    def event_time_orders(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Share the build-time argsorts with the columnar frame."""
+        if not self._orders_current:
+            return None  # rows inserted/deleted since build; orders stale
+        return self._start_order, self._end_order
 
     def insert(self, start: float, end: float, rcc_id: int) -> None:
         """Register a newly created RCC (O(log n))."""
@@ -48,9 +59,11 @@ class DualAvlIndex(LogicalTimeIndex):
         self._starts = np.append(self._starts, start)
         self._ends = np.append(self._ends, end)
         self._ids = np.append(self._ids, rcc_id)
+        self._orders_current = False
 
     def delete(self, start: float, end: float, rcc_id: int) -> bool:
         """Remove an RCC; returns True when it was present."""
+        self._orders_current = False
         removed_start = self._start_tree.delete(start, rcc_id)
         removed_end = self._end_tree.delete(end, rcc_id)
         if removed_start and removed_end:

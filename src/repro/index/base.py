@@ -146,6 +146,90 @@ class LogicalTimeIndex(abc.ABC):
         """Ids of RCCs not yet created at ``t``."""
         return self._record_op("pending", self._pending_ids_impl(t))
 
+    def batch_status_buckets(
+        self, ts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-aligned status buckets for an ascending timestamp batch.
+
+        The batched retrieval surface behind the columnar executor: one
+        call answers *all* timestamps of a sweep.  Returns
+        ``(start_buckets, end_buckets)``, both ``int64`` arrays indexed
+        by RCC id (= row position), where ``start_buckets[row]`` is the
+        index of the first timestamp in ``ts`` at which the row is
+        created (``t_start <= ts[b]``) and ``end_buckets[row]`` the
+        first at which it is settled; ``len(ts)`` means "not within this
+        batch".  Point-query masks fall out as ``buckets == 0`` for a
+        single-element ``ts``.
+
+        Requires ids to be a permutation of ``0..n-1`` — the row-position
+        contract :class:`~repro.index.status_query.StatusQueryEngine`
+        already imposes on injected indexes.  Folds the equivalent
+        per-timestamp ``created``/``settled`` calls and rows into
+        :attr:`op_stats`, so observability parity with the scalar path
+        holds per backend.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        n_ts = len(ts)
+        start_buckets, end_buckets = self._batch_status_buckets_impl(ts)
+        created = self.op_stats["created"]
+        settled = self.op_stats["settled"]
+        created["calls"] += n_ts
+        settled["calls"] += n_ts
+        if n_ts:
+            # a row with bucket b would appear in (n_ts - b) scalar calls
+            created["rows_out"] += int(np.sum(n_ts - start_buckets))
+            settled["rows_out"] += int(np.sum(n_ts - end_buckets))
+        return start_buckets, end_buckets
+
+    def _batch_status_buckets_impl(
+        self, ts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Default batched retrieval over the stored triple arrays.
+
+        ``searchsorted`` of every start/end against the ascending batch,
+        scattered into id order.  Designs whose base arrays go stale
+        under the structure-only ingest protocol (``sorted_array``)
+        override this with their maintained structures; structure-only
+        AVL/naive/interval instances are only ever queried through the
+        :class:`~repro.stream.mutable.MutableIndexAdapter`, whose base
+        arrays are the authoritative triples.
+        """
+        n = len(self._ids)
+        self._check_row_position_ids(self._ids)
+        start_buckets = np.empty(n, dtype=np.int64)
+        end_buckets = np.empty(n, dtype=np.int64)
+        start_buckets[self._ids] = np.searchsorted(ts, self._starts, side="left")
+        end_buckets[self._ids] = np.searchsorted(ts, self._ends, side="left")
+        return start_buckets, end_buckets
+
+    def event_time_orders(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Build-time ``(argsort by start, argsort by end)``, if retained.
+
+        Designs that already paid the stable event-time argsorts during
+        construction expose them here so the columnar executor's frame
+        can share the permutations instead of re-sorting — the arrays
+        are positions into the build-time triples (the engine's table
+        rows) and are immutable after ``_build``, so they stay valid for
+        that table regardless of later structure-only mutation.  Default
+        ``None``: the frame derives its own orders.
+        """
+        return None
+
+    @staticmethod
+    def _check_row_position_ids(ids: np.ndarray) -> None:
+        """Reject batched retrieval when ids are not row positions."""
+        n = len(ids)
+        if n and (
+            ids.min() < 0
+            or ids.max() >= n
+            or not np.all(np.bincount(ids, minlength=n) == 1)
+        ):
+            raise ConfigurationError(
+                "batched status retrieval requires ids to be a permutation "
+                f"of 0..{n - 1} (row positions); use the scalar retrieval "
+                "methods for arbitrary ids"
+            )
+
     # ------------------------------------------------------------------
     # design-specific hooks
     # ------------------------------------------------------------------

@@ -1,0 +1,444 @@
+"""Columnar Status-Query execution core: SoA layouts and fused kernels.
+
+The scalar Algorithm-StatusQ path retrieves id *sets* from a logical-time
+index and aggregates them group by group; at fleet scale the Python-object
+traffic between those stages dominates.  This module is the batched
+replacement that every index design plugs into:
+
+* :class:`ColumnarRccFrame` — a struct-of-arrays view of one RCC table:
+  contiguous float64 ``starts`` / ``ends`` / ``amounts`` / ``durations``
+  plus *pre-resolved group codes*: the RCC-type hierarchy and SWLIN trie
+  levels collapse into one dense ``int64`` code per row (cached per
+  grouping key), so group assignment is a single gather instead of a
+  per-query tree walk.
+* :func:`fused_point_aggregates` — group_assignment + stat_build fused
+  into one pass: boolean status masks select rows, ``np.bincount`` over
+  the group codes produces every aggregate column.
+* :class:`ColumnarSweepState` — the batched counterpart of
+  :class:`~repro.index.status_query.StatStructure`: one vectorised pass
+  amortised across *all* logical timestamps of a sweep chunk (one
+  ``searchsorted`` per chunk, per-segment ``np.bincount`` rows,
+  ``np.add.accumulate`` down the timestamp axis), instead of advancing
+  per-``t*`` object by object.
+
+**Bitwise parity contract.**  The columnar kernels accumulate float64 in
+exactly the order the scalar paths do — row order for point queries
+(matching the sorted id arrays of ``LogicalTimeIndex``), event-time
+order for sweeps (matching ``StatStructure``'s stable
+argsort-by-start/end), and sequential timestamp accumulation
+(``np.add.accumulate`` performs the same ``running += delta`` sequence)
+— so scalar and columnar executions produce *byte-identical* aggregate
+tables.  ``tests/index/test_columnar_differential.py`` enforces this
+with exact (not approximate) equality across all four designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.index.hierarchy import SWLIN_LEVEL_PREFIX_LENGTHS, normalize_swlin
+from repro.table.table import ColumnTable
+
+#: Output dtype of every aggregate column, point and sweep, scalar and
+#: columnar.  Counts are exact in float64 up to 2**53 rows — far beyond
+#: any fleet — and a uniform dtype keeps the feature tensors cast-free.
+AGGREGATE_DTYPE = np.float64
+
+#: Timestamps per fused sweep chunk.  Chunking bounds the size of the
+#: flat ``(timestamp, group)`` bincount and gives the deadline machinery
+#: a cooperative cancellation point *between* chunks (never per row).
+SWEEP_CHUNK_SIZE = 64
+
+
+def safe_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise division with the pinned zero-count sentinel ``0.0``.
+
+    Both execution paths route every ``*_avg`` / ``pct_active`` column
+    through this single helper so a group with no settled (or created)
+    rows aggregates to exactly ``0.0`` — never ``nan``/``inf`` — in the
+    scalar and vectorised kernels alike.
+    """
+    out = np.zeros(numerator.shape, dtype=AGGREGATE_DTYPE)
+    nz = denominator > 0
+    np.divide(numerator, denominator, out=out, where=nz)
+    return out
+
+
+def derived_aggregate_columns(
+    created_count: np.ndarray,
+    created_amount: np.ndarray,
+    settled_count: np.ndarray,
+    settled_amount: np.ndarray,
+    settled_duration: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """The ten AGGREGATE_COLUMNS from the five base accumulators.
+
+    Shared by the scalar point path, the scalar incremental sweep and
+    both fused kernels, so dtype (float64) and the zero-count division
+    sentinel are pinned in exactly one place.  Count inputs may be int64
+    (exact); every output column is float64.
+    """
+    active_count = created_count - settled_count
+    active_amount = created_amount - settled_amount
+    created_f = created_count.astype(AGGREGATE_DTYPE)
+    return {
+        "n_created": created_f,
+        "n_settled": settled_count.astype(AGGREGATE_DTYPE),
+        "n_active": active_count.astype(AGGREGATE_DTYPE),
+        "amt_created_sum": created_amount.astype(AGGREGATE_DTYPE),
+        "amt_settled_sum": settled_amount.astype(AGGREGATE_DTYPE),
+        "amt_settled_avg": safe_divide(settled_amount, settled_count),
+        "amt_active_sum": active_amount.astype(AGGREGATE_DTYPE),
+        "dur_settled_sum": settled_duration.astype(AGGREGATE_DTYPE),
+        "dur_settled_avg": safe_divide(settled_duration, settled_count),
+        "pct_active": safe_divide(active_count.astype(AGGREGATE_DTYPE), created_f),
+    }
+
+
+@dataclass(frozen=True)
+class GroupCoding:
+    """Pre-resolved group assignment: dense codes plus label rows."""
+
+    codes: np.ndarray  # int64, one dense group id per RCC row
+    labels: ColumnTable  # one row per group, the label columns
+    n_groups: int
+
+
+class ColumnarRccFrame:
+    """Struct-of-arrays layout of one RCC table (shared by all designs).
+
+    Owns the contiguous numeric columns the fused kernels read, the
+    lazily built event-time sort orders (one ``argsort`` pair shared by
+    every grouping key and sweep — the scalar ``StatStructure`` re-sorts
+    per key), and the per-grouping-key code cache resolved from the
+    RCC-type hierarchy and the SWLIN trie levels.
+    """
+
+    def __init__(self, rccs: ColumnTable, extra_group_keys: tuple[str, ...] = ()):
+        self._rccs = rccs
+        self._extra_group_keys = tuple(extra_group_keys)
+        self.n_rows = rccs.n_rows
+        self.starts = np.ascontiguousarray(rccs["t_start"], dtype=np.float64)
+        self.ends = np.ascontiguousarray(rccs["t_end"], dtype=np.float64)
+        self.amounts = np.ascontiguousarray(rccs["amount"], dtype=np.float64)
+        self.durations = self.ends - self.starts
+        self._coding_cache: dict[tuple[bool, int | None], GroupCoding] = {}
+        self._swlin_digits: list[str] | None = None
+        self._order_by_start: np.ndarray | None = None
+        self._order_by_end: np.ndarray | None = None
+        # coding-independent event-order gathers, shared by every sweep
+        # state (one grouping key each) over this frame
+        self._event_order_columns: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # event-time orders (lazy, shared across group keys)
+    # ------------------------------------------------------------------
+    @property
+    def order_by_start(self) -> np.ndarray:
+        if self._order_by_start is None:
+            self._order_by_start = np.argsort(self.starts, kind="stable")
+        return self._order_by_start
+
+    @property
+    def order_by_end(self) -> np.ndarray:
+        if self._order_by_end is None:
+            self._order_by_end = np.argsort(self.ends, kind="stable")
+        return self._order_by_end
+
+    def seed_event_time_orders(
+        self, order_by_start: np.ndarray, order_by_end: np.ndarray
+    ) -> None:
+        """Adopt pre-computed event-time orders instead of re-sorting.
+
+        The engine calls this with the build-time argsorts an index
+        design retained (``LogicalTimeIndex.event_time_orders``) — the
+        same stable ``argsort`` over the same table columns, so the
+        permutations are identical to the lazily derived ones and the
+        bitwise-parity contract is untouched; the frame just skips two
+        O(n log n) sorts per sweep state build.
+        """
+        if len(order_by_start) != self.n_rows or len(order_by_end) != self.n_rows:
+            raise ConfigurationError(
+                f"event-time orders cover {len(order_by_start)}/"
+                f"{len(order_by_end)} rows; frame has {self.n_rows}"
+            )
+        self._order_by_start = np.asarray(order_by_start, dtype=np.int64)
+        self._order_by_end = np.asarray(order_by_end, dtype=np.int64)
+
+    def event_order_column(self, name: str) -> np.ndarray:
+        """A numeric column gathered into event-time order, cached.
+
+        These gathers do not depend on the grouping key, so sweep states
+        for different keys share one copy per frame:
+
+        ========================  =======================================
+        name                      definition
+        ========================  =======================================
+        ``sorted_starts``         ``starts[order_by_start]``
+        ``sorted_ends``           ``ends[order_by_end]``
+        ``amounts_by_start``      ``amounts[order_by_start]``
+        ``amounts_by_end``        ``amounts[order_by_end]``
+        ``durations_by_end``      ``durations[order_by_end]``
+        ========================  =======================================
+        """
+        cached = self._event_order_columns.get(name)
+        if cached is None:
+            source, order = {
+                "sorted_starts": (self.starts, self.order_by_start),
+                "sorted_ends": (self.ends, self.order_by_end),
+                "amounts_by_start": (self.amounts, self.order_by_start),
+                "amounts_by_end": (self.amounts, self.order_by_end),
+                "durations_by_end": (self.durations, self.order_by_end),
+            }[name]
+            cached = source[order]
+            self._event_order_columns[name] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # group coding (RCC-type tree x SWLIN trie levels -> dense codes)
+    # ------------------------------------------------------------------
+    def _swlin_prefixes(self, level: int) -> np.ndarray:
+        """SWLIN trie prefixes at ``level``; codes normalised only once."""
+        if self._swlin_digits is None:
+            self._swlin_digits = [
+                normalize_swlin(code) for code in self._rccs["swlin"]
+            ]
+        length = SWLIN_LEVEL_PREFIX_LENGTHS[level]
+        return np.array(
+            [digits[:length] for digits in self._swlin_digits], dtype=object
+        )
+
+    def group_coding(
+        self, group_by_type: bool, swlin_level: int | None
+    ) -> GroupCoding:
+        """Dense group codes + labels for one grouping key (cached).
+
+        Produces exactly the codes and label table the scalar engine's
+        group-assignment stage does — same key order (extra keys, then
+        RCC type, then SWLIN level prefix), same densification — so both
+        executors agree on group identity and output row order.
+        """
+        cache_key = (group_by_type, swlin_level)
+        cached = self._coding_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        key_table: dict[str, np.ndarray] = {}
+        for key in self._extra_group_keys:
+            key_table[key] = np.asarray(self._rccs[key])
+        if group_by_type:
+            key_table["rcc_type"] = np.asarray(self._rccs["rcc_type"], dtype=object)
+        if swlin_level is not None:
+            if not 1 <= swlin_level < len(SWLIN_LEVEL_PREFIX_LENGTHS):
+                raise ConfigurationError(
+                    f"swlin_level must be 1..4, got {swlin_level}"
+                )
+            key_table[f"swlin_l{swlin_level}"] = self._swlin_prefixes(swlin_level)
+        if not key_table:
+            codes = np.zeros(self.n_rows, dtype=np.int64)
+            labels = ColumnTable({"group": ["ALL"]})
+        else:
+            working = ColumnTable(key_table)
+            codes, uniques = working._group_codes(list(key_table))
+            labels = ColumnTable._from_arrays(
+                dict(uniques), len(next(iter(uniques.values())))
+            )
+        coding = GroupCoding(codes=codes, labels=labels, n_groups=labels.n_rows)
+        self._coding_cache[cache_key] = coding
+        return coding
+
+
+def fused_point_aggregates(
+    frame: ColumnarRccFrame,
+    coding: GroupCoding,
+    created_mask: np.ndarray,
+    settled_mask: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Fused group_assignment + stat_build for one logical timestamp.
+
+    Masks select rows in ascending row order — the same order the scalar
+    path's sorted id arrays impose — so the float64 bincount sums are
+    bitwise identical to ``StatusQueryEngine._aggregate_rows``.
+    """
+    n_groups = coding.n_groups
+    created_codes = coding.codes[created_mask]
+    settled_codes = coding.codes[settled_mask]
+    created_count = np.bincount(created_codes, minlength=n_groups)
+    created_amount = np.bincount(
+        created_codes, weights=frame.amounts[created_mask], minlength=n_groups
+    )
+    settled_count = np.bincount(settled_codes, minlength=n_groups)
+    settled_amount = np.bincount(
+        settled_codes, weights=frame.amounts[settled_mask], minlength=n_groups
+    )
+    settled_duration = np.bincount(
+        settled_codes, weights=frame.durations[settled_mask], minlength=n_groups
+    )
+    return derived_aggregate_columns(
+        created_count, created_amount, settled_count, settled_amount, settled_duration
+    )
+
+
+class ColumnarSweepState:
+    """Batched incremental sweep state (Section 4.3, vectorised).
+
+    The scalar :class:`~repro.index.status_query.StatStructure` advances
+    one timestamp at a time, paying five ``np.bincount`` calls plus
+    Python overhead per step.  This state advances a whole ascending
+    *chunk* of timestamps in one fused pass:
+
+    1. ``searchsorted`` the chunk against the frame's sorted event
+       times → per-timestamp cut positions (the "index lookup" of the
+       batch);
+    2. bincount each ``(prev, t]`` event segment of the pre-gathered
+       event-order columns straight into its ``(timestamp, group)``
+       matrix row — disjoint views, no per-event temporaries;
+    3. ``np.add.accumulate`` down the timestamp axis, seeded with the
+       running totals, reproducing ``StatStructure``'s sequential
+       ``running += delta`` additions bit for bit.
+
+    Like ``StatStructure`` it is monotone and resumable: a later sweep
+    continues from the current watermark position.
+    """
+
+    def __init__(self, frame: ColumnarRccFrame, coding: GroupCoding):
+        self._frame = frame
+        self._coding = coding
+        # event-time gathered columns: slices of these are exactly the
+        # rows StatStructure touches per advance, in the same order.
+        # Only the group codes depend on the grouping key; everything
+        # else is shared via the frame's event-order cache.
+        self._sorted_starts = frame.event_order_column("sorted_starts")
+        self._sorted_ends = frame.event_order_column("sorted_ends")
+        self._amounts_by_start = frame.event_order_column("amounts_by_start")
+        self._amounts_by_end = frame.event_order_column("amounts_by_end")
+        self._durations_by_end = frame.event_order_column("durations_by_end")
+        self._codes_by_start = coding.codes[frame.order_by_start]
+        self._codes_by_end = coding.codes[frame.order_by_end]
+        self.n_groups = coding.n_groups
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind to before the first event."""
+        n = self.n_groups
+        self.t = float("-inf")
+        self._ptr_start = 0
+        self._ptr_end = 0
+        self._created_count = np.zeros(n, dtype=np.int64)
+        self._created_amount = np.zeros(n, dtype=np.float64)
+        self._settled_count = np.zeros(n, dtype=np.int64)
+        self._settled_amount = np.zeros(n, dtype=np.float64)
+        self._settled_duration = np.zeros(n, dtype=np.float64)
+
+    @staticmethod
+    def _accumulate(running: np.ndarray, segments: np.ndarray) -> np.ndarray:
+        """Sequential per-timestamp accumulation seeded with ``running``.
+
+        ``np.add.accumulate`` performs ``acc[k] = acc[k-1] + seg[k]`` —
+        the exact addition sequence of the scalar per-timestamp loop.
+        """
+        seeded = np.concatenate([running[None, :], segments], axis=0)
+        return np.add.accumulate(seeded, axis=0)[1:]
+
+    def _segment_sums(
+        self,
+        sorted_keys: np.ndarray,
+        ptr: int,
+        ts: np.ndarray,
+        codes_sorted: np.ndarray,
+        weight_columns: tuple[np.ndarray, ...],
+    ) -> tuple[int, np.ndarray, list[np.ndarray]]:
+        """(new ptr, per-(t, group) count matrix, weighted sum matrices).
+
+        One ``searchsorted`` finds every timestamp's cut; each ``(prev,
+        t]`` event segment then bincounts directly into its matrix row.
+        Chunking bounds the Python iteration count at
+        :data:`SWEEP_CHUNK_SIZE`, and slicing the pre-gathered event-
+        order arrays avoids materialising flat ``(timestamp, group)``
+        keys over the whole delta window — the segments are disjoint
+        views, so no per-event temporary is allocated.
+        """
+        n_ts = len(ts)
+        n_groups = self.n_groups
+        cuts = np.searchsorted(sorted_keys, ts, side="right")
+        counts = np.empty((n_ts, n_groups), dtype=np.int64)
+        sums = [
+            np.empty((n_ts, n_groups), dtype=np.float64) for _ in weight_columns
+        ]
+        lo = ptr
+        for row, hi in enumerate(cuts):
+            hi = int(hi)
+            segment = codes_sorted[lo:hi]
+            counts[row] = np.bincount(segment, minlength=n_groups)
+            for out, column in zip(sums, weight_columns):
+                out[row] = np.bincount(
+                    segment, weights=column[lo:hi], minlength=n_groups
+                )
+            lo = hi
+        return lo, counts, sums
+
+    def advance_batch(self, ts: np.ndarray) -> tuple[dict[str, np.ndarray], int]:
+        """Advance through an ascending timestamp chunk in one fused pass.
+
+        Returns ``(matrices, delta_events)`` where each matrix has shape
+        ``(len(ts), n_groups)`` holding the accumulator value *at* each
+        timestamp, and ``delta_events`` counts the start/end events
+        applied (the ``advance`` operator's rows for EXPLAIN).
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        if len(ts) and ts[0] < self.t:
+            raise ConfigurationError(
+                f"ColumnarSweepState can only move forward "
+                f"(at {self.t}, asked {ts[0]})"
+            )
+        new_start, seg_created, (seg_created_amt,) = self._segment_sums(
+            self._sorted_starts,
+            self._ptr_start,
+            ts,
+            self._codes_by_start,
+            (self._amounts_by_start,),
+        )
+        new_end, seg_settled, (seg_settled_amt, seg_settled_dur) = self._segment_sums(
+            self._sorted_ends,
+            self._ptr_end,
+            ts,
+            self._codes_by_end,
+            (self._amounts_by_end, self._durations_by_end),
+        )
+        delta = (new_start - self._ptr_start) + (new_end - self._ptr_end)
+        created_count = self._accumulate(self._created_count, seg_created)
+        created_amount = self._accumulate(self._created_amount, seg_created_amt)
+        settled_count = self._accumulate(self._settled_count, seg_settled)
+        settled_amount = self._accumulate(self._settled_amount, seg_settled_amt)
+        settled_duration = self._accumulate(self._settled_duration, seg_settled_dur)
+        if len(ts):
+            self._ptr_start = new_start
+            self._ptr_end = new_end
+            self._created_count = created_count[-1]
+            self._created_amount = created_amount[-1]
+            self._settled_count = settled_count[-1]
+            self._settled_amount = settled_amount[-1]
+            self._settled_duration = settled_duration[-1]
+            self.t = float(ts[-1])
+        return (
+            {
+                "created_count": created_count,
+                "created_amount": created_amount,
+                "settled_count": settled_count,
+                "settled_amount": settled_amount,
+                "settled_duration": settled_duration,
+            },
+            int(delta),
+        )
+
+    def aggregates_at(self, matrices: dict[str, np.ndarray], row: int) -> dict[str, np.ndarray]:
+        """The ten aggregate columns at one timestamp of a chunk."""
+        return derived_aggregate_columns(
+            matrices["created_count"][row],
+            matrices["created_amount"][row],
+            matrices["settled_count"][row],
+            matrices["settled_amount"][row],
+            matrices["settled_duration"][row],
+        )

@@ -30,7 +30,15 @@ import numpy as np
 from repro.errors import ConfigurationError, SchemaError
 from repro.index.avl_index import DualAvlIndex
 from repro.index.base import LogicalTimeIndex
-from repro.index.hierarchy import RccTypeTree, SwlinTree, swlin_prefix
+from repro.index.columnar import (
+    SWEEP_CHUNK_SIZE,
+    ColumnarRccFrame,
+    ColumnarSweepState,
+    derived_aggregate_columns,
+    fused_point_aggregates,
+    safe_divide,
+)
+from repro.index.hierarchy import RccTypeTree, SwlinTree
 from repro.index.interval_index import IntervalTreeIndex
 from repro.index.naive import NaiveJoinIndex
 from repro.index.sorted_array import SortedArrayIndex
@@ -95,11 +103,16 @@ class StatusQuery:
             raise ConfigurationError(f"swlin_level must be 1..4, got {self.swlin_level}")
 
 
-def _safe_div(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
-    out = np.zeros_like(numerator, dtype=np.float64)
-    nz = denominator > 0
-    out[nz] = numerator[nz] / denominator[nz]
-    return out
+#: Execution strategies of :class:`StatusQueryEngine`: ``"columnar"``
+#: (fused batched kernels over the SoA frame — the default) and
+#: ``"scalar"`` (the original per-set Algorithm-StatusQ path, kept as
+#: the differential-testing reference).  Both produce byte-identical
+#: aggregate tables.
+EXECUTORS = ("columnar", "scalar")
+
+# Zero-count division sentinel, shared with the columnar kernels so both
+# executors emit identical averages for empty groups.
+_safe_div = safe_divide
 
 
 class StatStructure:
@@ -189,23 +202,20 @@ class StatStructure:
         return delta
 
     def aggregates(self) -> dict[str, np.ndarray]:
-        """Current aggregate columns, one entry per group."""
-        active_count = self.created_count - self.settled_count
-        active_amount = self.created_amount - self.settled_amount
-        return {
-            "n_created": self.created_count.copy(),
-            "n_settled": self.settled_count.copy(),
-            "n_active": active_count,
-            "amt_created_sum": self.created_amount.copy(),
-            "amt_settled_sum": self.settled_amount.copy(),
-            "amt_settled_avg": _safe_div(self.settled_amount, self.settled_count),
-            "amt_active_sum": active_amount,
-            "dur_settled_sum": self.settled_duration.copy(),
-            "dur_settled_avg": _safe_div(self.settled_duration, self.settled_count),
-            "pct_active": _safe_div(
-                active_count.astype(np.float64), self.created_count.astype(np.float64)
-            ),
-        }
+        """Current aggregate columns (all float64), one entry per group.
+
+        The internal accumulators stay int64/float64 as allocated (the
+        feature extractor reads them directly); only the derived output
+        columns are float64, produced by the same shared helper the
+        columnar kernels use so both executors agree byte for byte.
+        """
+        return derived_aggregate_columns(
+            self.created_count,
+            self.created_amount,
+            self.settled_count,
+            self.settled_amount,
+            self.settled_duration,
+        )
 
 
 class StatusQueryEngine:
@@ -253,10 +263,15 @@ class StatusQueryEngine:
         context: ExecutionContext | None = None,
         workload: WorkloadSpec | None = None,
         index: LogicalTimeIndex | None = None,
+        executor: str = "columnar",
     ):
         missing = [c for c in REQUIRED_RCC_COLUMNS if c not in rccs]
         if missing:
             raise SchemaError(f"RCC table missing columns: {missing}")
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
         self.context = ensure_context(context)
         telemetry = self.context.metrics.telemetry
         if index is not None:
@@ -311,8 +326,22 @@ class StatusQueryEngine:
             rows = np.arange(rccs.n_rows, dtype=np.int64)
             with self.context.span(f"index.build.{design}"):
                 self.index = _DESIGNS[design](self._starts, self._ends, rows)
+        self._executor = executor
+        # Struct-of-arrays frame behind the columnar executor: owns the
+        # contiguous numeric columns, shared event-time sort orders and
+        # the pre-resolved group-code cache.
+        self._frame = ColumnarRccFrame(rccs, self._extra_group_keys)
+        # Engine-built indexes already paid the stable event-time
+        # argsorts during construction; share them so columnar sweep
+        # setup skips two O(n log n) re-sorts.  (Injected adapters
+        # return None — the frame derives its own orders lazily.)
+        if index is None:
+            orders = self.index.event_time_orders()
+            if orders is not None:
+                self._frame.seed_event_time_orders(*orders)
         self._group_cache: dict[tuple[bool, int | None], tuple[np.ndarray, ColumnTable]] = {}
         self._stat_cache: dict[tuple[bool, int | None], StatStructure] = {}
+        self._sweep_states: dict[tuple[bool, int | None], ColumnarSweepState] = {}
         # EXPLAIN/ANALYZE capture hook; None on the (default) fast path,
         # where every stage pays exactly one `is None` check.
         self._recorder: "OperatorRecorder | None" = None
@@ -355,35 +384,20 @@ class StatusQueryEngine:
     # grouping
     # ------------------------------------------------------------------
     def _group_assignment(self, query: StatusQuery) -> tuple[np.ndarray, ColumnTable]:
-        """(group id per RCC row, table of group label columns)."""
+        """(group id per RCC row, table of group label columns).
+
+        Both executors resolve groups through the frame's cached
+        :meth:`~repro.index.columnar.ColumnarRccFrame.group_coding`
+        (SWLIN codes normalised once, prefixes sliced per level), so the
+        dense codes and label row order are identical by construction.
+        """
         cache_key = (query.group_by_type, query.swlin_level)
         cached = self._group_cache.get(cache_key)
         if cached is not None:
             return cached
-        label_columns: dict[str, np.ndarray] = {}
-        key_table: dict[str, np.ndarray] = {}
-        for key in self._extra_group_keys:
-            key_table[key] = np.asarray(self._rccs[key])
-        if query.group_by_type:
-            key_table["rcc_type"] = np.asarray(self._rccs["rcc_type"], dtype=object)
-        if query.swlin_level is not None:
-            level = query.swlin_level
-            prefixes = np.array(
-                [swlin_prefix(code, level) for code in self._rccs["swlin"]], dtype=object
-            )
-            key_table[f"swlin_l{level}"] = prefixes
-        if not key_table:
-            group_ids = np.zeros(self._rccs.n_rows, dtype=np.int64)
-            labels = ColumnTable({"group": ["ALL"]})
-        else:
-            working = ColumnTable(key_table)
-            group_ids, uniques = working._group_codes(list(key_table))
-            label_columns = uniques
-            labels = ColumnTable._from_arrays(
-                dict(label_columns), len(next(iter(label_columns.values())))
-            )
-        self._group_cache[cache_key] = (group_ids, labels)
-        return group_ids, labels
+        coding = self._frame.group_coding(query.group_by_type, query.swlin_level)
+        self._group_cache[cache_key] = (coding.codes, coding.labels)
+        return coding.codes, coding.labels
 
     # ------------------------------------------------------------------
     # execution
@@ -419,6 +433,8 @@ class StatusQueryEngine:
                 group_ids, labels = self._group_assignment(query)
             n_groups = labels.n_rows
             t = query.t_star
+            if self._executor == "columnar":
+                return self._execute_point_columnar(query, labels, t, recorder)
             with self.context.span(f"status_query.query.{self._design}") as handle:
                 settled_rows = self.index.settled_ids(t)
                 created_rows = self.index.created_ids(t)
@@ -438,6 +454,55 @@ class StatusQueryEngine:
             return self._aggregate_rows(
                 group_ids, n_groups, labels, created_rows, settled_rows, t
             )
+
+    def _execute_point_columnar(
+        self,
+        query: StatusQuery,
+        labels: ColumnTable,
+        t: float,
+        recorder: "OperatorRecorder | None",
+    ) -> ColumnTable:
+        """Fused point execution: batched bucket lookup + one kernel.
+
+        Emits the same EXPLAIN rows as the scalar path — ``index_lookup``
+        with the created+settled cardinality, ``aggregate`` fed the
+        created count — so golden plans are executor-invariant.
+        """
+        coding = self._frame.group_coding(query.group_by_type, query.swlin_level)
+        with self.context.span(f"status_query.query.{self._design}") as handle:
+            start_buckets, end_buckets = self.index.batch_status_buckets(
+                np.array([t], dtype=np.float64)
+            )
+            created_mask = start_buckets == 0
+            settled_mask = end_buckets == 0
+        n_created = int(np.count_nonzero(created_mask))
+        if recorder is not None:
+            recorder.add(
+                "index_lookup",
+                seconds=handle.seconds,
+                rows_in=len(self.index),
+                rows_out=n_created + int(np.count_nonzero(settled_mask)),
+            )
+            with recorder.op("aggregate", rows_in=n_created) as op:
+                result = self._assemble_point_columnar(
+                    labels, coding, created_mask, settled_mask, t
+                )
+                op.rows_out += result.n_rows
+            return result
+        return self._assemble_point_columnar(
+            labels, coding, created_mask, settled_mask, t
+        )
+
+    def _assemble_point_columnar(
+        self, labels, coding, created_mask, settled_mask, t
+    ) -> ColumnTable:
+        n_groups = labels.n_rows
+        columns = {name: labels[name] for name in labels.column_names}
+        columns["t_star"] = np.full(n_groups, t, dtype=np.float64)
+        columns.update(
+            fused_point_aggregates(self._frame, coding, created_mask, settled_mask)
+        )
+        return ColumnTable._from_arrays(columns, n_groups)
 
     def _aggregate_rows(
         self,
@@ -463,25 +528,16 @@ class StatusQueryEngine:
             weights=(self._ends - self._starts)[settled_rows],
             minlength=n_groups,
         )
-        active_count = created_count - settled_count
-        active_amount = created_amount - settled_amount
         columns = {name: labels[name] for name in labels.column_names}
+        columns["t_star"] = np.full(n_groups, t, dtype=np.float64)
         columns.update(
-            {
-                "t_star": np.full(n_groups, t, dtype=np.float64),
-                "n_created": created_count.astype(np.int64),
-                "n_settled": settled_count.astype(np.int64),
-                "n_active": active_count.astype(np.int64),
-                "amt_created_sum": created_amount,
-                "amt_settled_sum": settled_amount,
-                "amt_settled_avg": _safe_div(settled_amount, settled_count),
-                "amt_active_sum": active_amount,
-                "dur_settled_sum": settled_duration,
-                "dur_settled_avg": _safe_div(settled_duration, settled_count),
-                "pct_active": _safe_div(
-                    active_count.astype(np.float64), created_count.astype(np.float64)
-                ),
-            }
+            derived_aggregate_columns(
+                created_count,
+                created_amount,
+                settled_count,
+                settled_amount,
+                settled_duration,
+            )
         )
         return ColumnTable._from_arrays(columns, n_groups)
 
@@ -527,6 +583,10 @@ class StatusQueryEngine:
         else:
             group_ids, labels = self._group_assignment(probe)
         cache_key = (group_by_type, swlin_level)
+        if self._executor == "columnar":
+            return self._sweep_columnar(
+                t_stars, cache_key, group_by_type, swlin_level, labels, recorder
+            )
         stat = self._stat_cache.get(cache_key)
         stat_reused = not (stat is None or (t_stars and t_stars[0] < stat.t))
         if not stat_reused:
@@ -583,6 +643,77 @@ class StatusQueryEngine:
                     columns["t_star"] = np.full(labels.n_rows, t, dtype=np.float64)
                     columns.update(aggs)
                     results.append(ColumnTable._from_arrays(columns, labels.n_rows))
+        return results
+
+    def _sweep_columnar(
+        self,
+        t_stars: list[float],
+        cache_key: tuple[bool, int | None],
+        group_by_type: bool,
+        swlin_level: int | None,
+        labels: ColumnTable,
+        recorder: "OperatorRecorder | None",
+    ) -> list[ColumnTable]:
+        """Batched incremental sweep: one fused kernel pass per chunk.
+
+        Same resume semantics, counters, spans and EXPLAIN rows as the
+        scalar path (``advance``/``aggregate`` report one logical call
+        per timestamp even though a whole chunk runs in one kernel);
+        deadline checkpoints fire between chunks, never per row.
+        """
+        coding = self._frame.group_coding(group_by_type, swlin_level)
+        state = self._sweep_states.get(cache_key)
+        stat_reused = not (state is None or (t_stars and t_stars[0] < state.t))
+        if not stat_reused:
+            if recorder is not None:
+                with recorder.op("stat_build", rows_in=self._rccs.n_rows) as op:
+                    state = ColumnarSweepState(self._frame, coding)
+                    op.rows_out += labels.n_rows
+            else:
+                state = ColumnarSweepState(self._frame, coding)
+            self._sweep_states[cache_key] = state
+        if recorder is not None:
+            recorder.note(stat_reused=stat_reused)
+        self.context.counter(f"status_query.queries.{self._design}", len(t_stars))
+        n_groups = labels.n_rows
+        label_columns = {name: labels[name] for name in labels.column_names}
+        results: list[ColumnTable] = []
+
+        def assemble(chunk: list[float], matrices: dict[str, np.ndarray]) -> None:
+            for row, t in enumerate(chunk):
+                columns = dict(label_columns)
+                columns["t_star"] = np.full(n_groups, t, dtype=np.float64)
+                columns.update(state.aggregates_at(matrices, row))
+                results.append(ColumnTable._from_arrays(columns, n_groups))
+
+        with self.context.span("status_query.sweep.incremental"):
+            for lo in range(0, len(t_stars), SWEEP_CHUNK_SIZE):
+                # Cooperative cancellation between batch chunks: a pooled
+                # request abandons the sweep within one chunk's work.
+                check_deadline("status_query.sweep")
+                chunk = t_stars[lo : lo + SWEEP_CHUNK_SIZE]
+                if recorder is not None:
+                    with self.context.span("op.advance") as handle:
+                        matrices, delta = state.advance_batch(chunk)
+                    recorder.add(
+                        "advance",
+                        seconds=handle.seconds,
+                        rows_in=delta,
+                        rows_out=delta,
+                        calls=len(chunk),
+                    )
+                    with self.context.span("op.aggregate") as handle:
+                        assemble(chunk, matrices)
+                    recorder.add(
+                        "aggregate",
+                        seconds=handle.seconds,
+                        rows_in=n_groups * len(chunk),
+                        rows_out=n_groups * len(chunk),
+                        calls=len(chunk),
+                    )
+                else:
+                    matrices, _ = state.advance_batch(chunk)
+                    assemble(chunk, matrices)
         return results
 
     @staticmethod

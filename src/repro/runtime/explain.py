@@ -119,10 +119,16 @@ class OperatorRecorder:
         seconds: float,
         rows_in: int = 0,
         rows_out: int = 0,
+        calls: int = 1,
     ) -> OperatorStats:
-        """Fold in an operator timed by an existing span (no new span)."""
+        """Fold in an operator timed by an existing span (no new span).
+
+        ``calls`` lets a batched kernel report the logical per-timestamp
+        call count (a fused sweep chunk advances many timestamps in one
+        pass but still reads as one ``advance`` row per timestamp).
+        """
         stats = self._stats(name)
-        stats.calls += 1
+        stats.calls += calls
         stats.rows_in += rows_in
         stats.rows_out += rows_out
         stats.seconds += seconds

@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError, StreamStateError
 from repro.index.status_query import StatusQueryEngine
 from repro.runtime.context import ExecutionContext
@@ -77,27 +79,37 @@ class StreamIngestor:
         replay); the first fresh record must continue the sequence.
         """
         applied = 0
-        for record in records:
-            if record.seq <= self.watermark:
-                self.skipped_duplicates += 1
-                continue
-            if record.seq != self.watermark + 1:
-                raise StreamStateError(
-                    f"WAL gap: watermark is {self.watermark} but next record "
-                    f"has seq {record.seq}"
-                )
-            result = self.store.apply(record.event)
-            for slot, t_start, t_end in result.inserts:
-                for adapter in self.adapters.values():
-                    adapter.insert(t_start, t_end, slot)
-            for slot, old_ts, _old_te, t_start, t_end in result.updates:
-                for adapter in self.adapters.values():
-                    if t_start == old_ts:
-                        adapter.settle(slot, t_end)
-                    else:
-                        adapter.update_interval(slot, t_start, t_end)
-            self.watermark = record.seq
-            applied += 1
+        # Consecutive inserts across records coalesce into one batched
+        # index maintenance call; any update flushes first so its target
+        # row is guaranteed present and ordering semantics are exactly
+        # those of the per-event path.
+        pending_inserts: list[tuple[int, float, float]] = []
+        try:
+            for record in records:
+                if record.seq <= self.watermark:
+                    self.skipped_duplicates += 1
+                    continue
+                if record.seq != self.watermark + 1:
+                    raise StreamStateError(
+                        f"WAL gap: watermark is {self.watermark} but next "
+                        f"record has seq {record.seq}"
+                    )
+                result = self.store.apply(record.event)
+                pending_inserts.extend(result.inserts)
+                if result.updates:
+                    self._flush_inserts(pending_inserts)
+                    for slot, old_ts, _old_te, t_start, t_end in result.updates:
+                        for adapter in self.adapters.values():
+                            if t_start == old_ts:
+                                adapter.settle(slot, t_end)
+                            else:
+                                adapter.update_interval(slot, t_start, t_end)
+                self.watermark = record.seq
+                applied += 1
+        finally:
+            # keep adapters consistent with the watermark even when a
+            # later record raises (gap / corrupt event)
+            self._flush_inserts(pending_inserts)
         if applied:
             self.applied_batches += 1
             self.applied_events += applied
@@ -112,6 +124,19 @@ class StreamIngestor:
             "skipped": len(records) - applied,
             "watermark": self.watermark,
         }
+
+    def _flush_inserts(
+        self, pending: list[tuple[int, float, float]]
+    ) -> None:
+        """Apply buffered inserts to every adapter in one batched call."""
+        if not pending:
+            return
+        slots = np.array([slot for slot, _, _ in pending], dtype=np.int64)
+        starts = np.array([ts for _, ts, _ in pending], dtype=np.float64)
+        ends = np.array([te for _, _, te in pending], dtype=np.float64)
+        for adapter in self.adapters.values():
+            adapter.insert_batch(starts, ends, slots)
+        pending.clear()
 
     def replay(self, wal_path: str, batch_size: int = 256) -> dict[str, Any]:
         """Replay a WAL tail (everything past the watermark) in batches."""

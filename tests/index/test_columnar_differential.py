@@ -1,0 +1,282 @@
+"""Columnar == scalar, byte for byte: the executor differential suite.
+
+The columnar execution core promises *bitwise* float64 parity with the
+scalar Algorithm-StatusQ path — not approximate agreement — because both
+accumulate in the same order (row order for points, event-time order for
+sweeps).  This suite enforces that promise across all four index designs
+× point/sweep × incremental streaming replay at every watermark, reusing
+the ddmin shrinker from :mod:`tests.index.test_differential_fuzz` so a
+parity break arrives as a minimal, copy-pasteable reproducer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.index.columnar import AGGREGATE_DTYPE, ColumnarSweepState
+from repro.index.status_query import (
+    AGGREGATE_COLUMNS,
+    StatusQuery,
+    StatusQueryEngine,
+)
+from repro.stream import StreamIngestor, StreamingRccStore, dataset_to_events
+
+from tests.index.test_differential_fuzz import (
+    DESIGNS,
+    SWEEP,
+    events_table,
+    random_events,
+    shrink,
+)
+
+POINTS = tuple(SWEEP)
+
+
+def engines(table, design):
+    return (
+        StatusQueryEngine(table, design=design, executor="columnar"),
+        StatusQueryEngine(table, design=design, executor="scalar"),
+    )
+
+
+def tables_identical(a, b) -> str | None:
+    """None when byte-identical; else the first differing column."""
+    if a.n_rows != b.n_rows:
+        return f"n_rows {a.n_rows} != {b.n_rows}"
+    if list(a.column_names) != list(b.column_names):
+        return f"columns {a.column_names} != {b.column_names}"
+    for name in a.column_names:
+        col_a, col_b = a[name], b[name]
+        if col_a.dtype.kind == "O":
+            if not (col_a == col_b).all():
+                return name
+        else:
+            if col_a.dtype != col_b.dtype:
+                return f"{name} dtype {col_a.dtype} != {col_b.dtype}"
+            # bitwise: exact equality, no tolerance
+            if not np.array_equal(col_a, col_b):
+                return name
+    return None
+
+
+def executor_disagreement(events) -> str | None:
+    """Label of the first columnar/scalar divergence, or None."""
+    if not events:
+        return None
+    table = events_table(events)
+    for design in DESIGNS:
+        columnar, scalar = engines(table, design)
+        for t in POINTS:
+            diff = tables_identical(
+                columnar.execute(StatusQuery(t)), scalar.execute(StatusQuery(t))
+            )
+            if diff is not None:
+                return f"{design}.point(t={t}): {diff}"
+        col_sweep = columnar.execute_sweep(list(SWEEP))
+        sca_sweep = scalar.execute_sweep(list(SWEEP))
+        for t, got, want in zip(SWEEP, col_sweep, sca_sweep):
+            diff = tables_identical(got, want)
+            if diff is not None:
+                return f"{design}.sweep(t={t}): {diff}"
+    return None
+
+
+def assert_executors_identical(events) -> None:
+    label = executor_disagreement(events)
+    if label is None:
+        return
+    minimal = shrink(events, predicate=executor_disagreement)
+    reproducer = json.dumps(minimal, indent=2)
+    pytest.fail(
+        f"columnar/scalar divergence: {label}\n"
+        f"minimal reproducer ({len(minimal)} of {len(events)} events) — "
+        f"feed to events_table():\n{reproducer}"
+    )
+
+
+class TestPointAndSweepParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 7, 11, 2024])
+    def test_seeded_streams_byte_identical(self, seed):
+        assert_executors_identical(random_events(seed))
+
+    def test_no_grouping_and_every_swlin_level(self):
+        table = events_table(random_events(13, n=60))
+        for design in DESIGNS:
+            columnar, scalar = engines(table, design)
+            specs = [StatusQuery(55.0, group_by_type=False, swlin_level=None)]
+            specs += [
+                StatusQuery(55.0, group_by_type=True, swlin_level=level)
+                for level in (1, 2, 3, 4)
+            ]
+            for spec in specs:
+                diff = tables_identical(
+                    columnar.execute(spec), scalar.execute(spec)
+                )
+                assert diff is None, (design, spec, diff)
+
+    def test_sweep_resume_parity(self):
+        """Resumed (cached-state) sweeps agree with scalar resumes."""
+        table = events_table(random_events(17, n=70))
+        for design in DESIGNS:
+            columnar, scalar = engines(table, design)
+            for window in ([0.0, 30.0], [60.0, 90.0], [90.0, 120.0]):
+                for got, want in zip(
+                    columnar.execute_sweep(window), scalar.execute_sweep(window)
+                ):
+                    assert tables_identical(got, want) is None, (design, window)
+
+    def test_scratch_sweep_parity(self):
+        table = events_table(random_events(23, n=50))
+        for design in DESIGNS:
+            columnar, scalar = engines(table, design)
+            for got, want in zip(
+                columnar.execute_sweep(list(SWEEP), incremental=False),
+                scalar.execute_sweep(list(SWEEP), incremental=False),
+            ):
+                assert tables_identical(got, want) is None, design
+
+
+class TestAggregateDtypesPinned:
+    """Satellite: all ten AGGREGATE_COLUMNS are float64 end-to-end."""
+
+    @pytest.mark.parametrize("executor", ["columnar", "scalar"])
+    @pytest.mark.parametrize("mode", ["point", "sweep"])
+    def test_all_columns_float64(self, executor, mode):
+        table = events_table(random_events(4, n=40))
+        engine = StatusQueryEngine(table, design="avl", executor=executor)
+        if mode == "point":
+            tables = [engine.execute(StatusQuery(50.0))]
+        else:
+            tables = engine.execute_sweep([0.0, 50.0, 100.0])
+        for result in tables:
+            for name in AGGREGATE_COLUMNS:
+                assert result[name].dtype == AGGREGATE_DTYPE, (name, mode)
+
+    @pytest.mark.parametrize("executor", ["columnar", "scalar"])
+    def test_zero_count_division_sentinel(self, executor):
+        """Empty settled/created groups average to exactly 0.0, not NaN."""
+        events = [
+            {
+                "rcc_type": "G",
+                "swlin": "111-11-001",
+                "t_start": 10.0,
+                "t_end": 90.0,
+                "amount": 100.0,
+            },
+            {
+                "rcc_type": "N",
+                "swlin": "222-22-003",
+                "t_start": 80.0,
+                "t_end": 95.0,
+                "amount": 50.0,
+            },
+        ]
+        table = events_table(events)
+        engine = StatusQueryEngine(table, design="avl", executor=executor)
+        # at t=20: G created+active (settled empty); N not yet created
+        result = engine.execute(StatusQuery(20.0))
+        for name in ("amt_settled_avg", "dur_settled_avg", "pct_active"):
+            column = result[name]
+            assert np.isfinite(column).all(), name
+        rows = {row["rcc_type"]: row for row in result.to_rows()}
+        assert rows["G"]["amt_settled_avg"] == 0.0
+        assert rows["G"]["dur_settled_avg"] == 0.0
+        assert rows["N"]["pct_active"] == 0.0  # n_created == 0
+
+
+class TestStreamingReplayParity:
+    """Columnar == scalar over live-maintained adapters at every watermark."""
+
+    @pytest.fixture(scope="class")
+    def small_dataset(self):
+        from repro.data import SyntheticNmdConfig, generate_dataset
+
+        return generate_dataset(
+            SyntheticNmdConfig(
+                n_ships=2,
+                n_closed_avails=5,
+                n_ongoing_avails=1,
+                target_n_rccs=160,
+                seed=11,
+            )
+        )
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_replay_watermarks(self, small_dataset, design):
+        dataset = small_dataset
+        _, events = dataset_to_events(dataset)
+        store = StreamingRccStore(
+            ships=dataset.ships,
+            avails=dataset.avails,
+            seed=dataset.seed,
+            scaling_factor=dataset.scaling_factor,
+        )
+        ingestor = StreamIngestor(store, designs=(design,))
+        batch = 40
+        for lo in range(0, len(events), batch):
+            ingestor.apply_events(events[lo : lo + batch])
+            if store.n_rccs == 0:
+                continue
+            table = store.engine_table()
+            adapter = ingestor.adapters[design]
+            columnar = StatusQueryEngine(table, index=adapter, executor="columnar")
+            scalar = StatusQueryEngine(table, index=adapter, executor="scalar")
+            for t in (0.0, 50.0, 100.0):
+                diff = tables_identical(
+                    columnar.execute(StatusQuery(t)),
+                    scalar.execute(StatusQuery(t)),
+                )
+                assert diff is None, (design, ingestor.watermark, t, diff)
+            for got, want in zip(
+                columnar.execute_sweep([0.0, 25.0, 50.0, 75.0, 100.0]),
+                scalar.execute_sweep([0.0, 25.0, 50.0, 75.0, 100.0]),
+            ):
+                diff = tables_identical(got, want)
+                assert diff is None, (design, ingestor.watermark, diff)
+
+
+class TestColumnarSweepState:
+    def test_chunked_equals_single_batch(self):
+        """Chunk boundaries do not change the accumulated values."""
+        from repro.index.columnar import ColumnarRccFrame
+
+        table = events_table(random_events(31, n=90))
+        frame = ColumnarRccFrame(table)
+        coding = frame.group_coding(True, 1)
+        whole = ColumnarSweepState(frame, coding)
+        matrices, delta = whole.advance_batch(np.asarray(SWEEP))
+        chunked = ColumnarSweepState(frame, coding)
+        rows = []
+        total_delta = 0
+        for lo in range(0, len(SWEEP), 2):
+            part, d = chunked.advance_batch(np.asarray(SWEEP[lo : lo + 2]))
+            total_delta += d
+            for row in range(part["created_count"].shape[0]):
+                rows.append({k: v[row] for k, v in part.items()})
+        assert total_delta == delta
+        for index, row in enumerate(rows):
+            for key, matrix in matrices.items():
+                assert np.array_equal(matrix[index], row[key]), (index, key)
+
+    def test_monotone_enforced(self):
+        from repro.errors import ConfigurationError
+        from repro.index.columnar import ColumnarRccFrame
+
+        table = events_table(random_events(5, n=30))
+        frame = ColumnarRccFrame(table)
+        state = ColumnarSweepState(frame, frame.group_coding(True, 1))
+        state.advance_batch(np.array([50.0]))
+        with pytest.raises(ConfigurationError, match="forward"):
+            state.advance_batch(np.array([10.0]))
+
+    def test_delta_counts_every_event_once(self):
+        from repro.index.columnar import ColumnarRccFrame
+
+        table = events_table(random_events(6, n=40))
+        frame = ColumnarRccFrame(table)
+        state = ColumnarSweepState(frame, frame.group_coding(True, 1))
+        _, delta = state.advance_batch(np.array([1.0e12]))
+        assert delta == 2 * table.n_rows  # every start and end applied

@@ -198,3 +198,47 @@ class TestCalibrationInvariance:
                 parts["build"] + parts["query"] + parts["insert"]
             )
             assert planner.estimate(backend, spec) == parts["total"]
+
+
+class TestCalibratePlanner:
+    """The per-phase doctor probe (``repro.bench.calibrate_planner``)."""
+
+    @pytest.fixture(scope="class")
+    def calibration(self, small_dataset):
+        from repro.bench import calibrate_planner
+
+        return calibrate_planner(small_dataset, factor=1)
+
+    def test_measurements_carry_per_phase_ratios(self, calibration):
+        _, measurements = calibration
+        assert set(measurements) == set(DEFAULT_COSTS)
+        for row in measurements.values():
+            # doctor-report keys plus the ratios the re-fit actually used
+            assert {
+                "measured", "modelled", "ratio", "build_ratio", "query_ratio"
+            } <= row.keys()
+            assert row["build_ratio"] > 0
+            assert row["query_ratio"] > 0
+            assert row["measured"] > 0
+
+    def test_refit_rescales_phases_independently(self, calibration):
+        calibrated, measurements = calibration
+        for backend, row in measurements.items():
+            before = DEFAULT_COSTS[backend]
+            after = calibrated.costs[backend]
+            assert after.build_per_event == pytest.approx(
+                before.build_per_event * row["build_ratio"]
+            )
+            for name in (
+                "query_base", "query_per_log", "query_per_scan", "query_per_result"
+            ):
+                assert getattr(after, name) == pytest.approx(
+                    getattr(before, name) * row["query_ratio"]
+                )
+
+    def test_refit_leaves_insert_constants_untouched(self, calibration):
+        calibrated, _ = calibration
+        for backend, before in DEFAULT_COSTS.items():
+            after = calibrated.costs[backend]
+            assert after.insert_per_log == before.insert_per_log
+            assert after.insert_per_event == before.insert_per_event
