@@ -29,6 +29,12 @@ Commands mirror the deployment life cycle:
   skipped and counted in a footer warning).
 * ``telemetry profile`` — render the same event log as collapsed-stack
   flamegraph lines or Chrome ``traceEvents`` JSON.
+* ``top`` — terminal dashboard over a serving process's JSONL event
+  log: qps, latency percentile trends, pool saturation, watermark lag,
+  drift and firing alerts, live (refreshing) or ``--once`` for a single
+  frame.  Works while the server runs *and* after it exits — the
+  dashboard reconstructs purely from the ``sample``/``alert`` events
+  the always-on sampler persists.
 
 Every command is a thin shell over the library API; ``main`` returns an
 exit code and never raises for user errors.
@@ -236,6 +242,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request deadline in milliseconds, measured from submission "
         "(default: no deadline)",
     )
+    serve.add_argument(
+        "--sample-interval-ms",
+        type=float,
+        default=1000.0,
+        help="background telemetry sampler tick in milliseconds "
+        "(default 1000; 0 disables the always-on sampler and SLO alerting)",
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=500.0,
+        help="p99 request-latency SLO threshold in milliseconds (default 500)",
+    )
+    serve.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="run the continuous stack profiler and write its collapsed-"
+        "stack flamegraph lines to PATH on shutdown",
+    )
+    serve.add_argument(
+        "--profile-interval-ms",
+        type=float,
+        default=20.0,
+        help="stack-profiler sampling interval in milliseconds (default 20)",
+    )
 
     explain = sub.add_parser(
         "explain", help="EXPLAIN/ANALYZE a Status Query workload"
@@ -334,6 +365,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     telemetry.add_argument(
         "--out", metavar="PATH", help="write profile output to PATH instead of stdout"
+    )
+
+    top = sub.add_parser(
+        "top", help="terminal dashboard over a serving process's event log"
+    )
+    top.add_argument(
+        "--events",
+        required=True,
+        help="JSONL event log the serving process writes (--telemetry-events)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    top.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="report_format",
+        help="frame format; 'json' prints the raw snapshot (requires --once)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="live-mode refresh interval in seconds (default 2)",
+    )
+    top.add_argument(
+        "--window",
+        type=float,
+        default=300.0,
+        help="trend window in seconds (default 300)",
     )
     return parser
 
@@ -552,6 +614,46 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
         )
         follower.start()
 
+    # Always-on observability plane: a background sampler snapshots
+    # counters / windowed percentiles / pool + ingest gauges into a
+    # bounded time-series store every tick, persists each tick as a
+    # ``sample`` event (so ``repro top`` works live and offline), and
+    # drives SLO burn-rate alerting; optionally a continuous stack
+    # profiler runs alongside.
+    sampler = None
+    profiler = None
+    sample_interval_ms = getattr(args, "sample_interval_ms", 1000.0)
+    if sample_interval_ms and sample_interval_ms > 0:
+        from repro.runtime.telemetry import (
+            SloEngine,
+            TelemetrySampler,
+            TimeSeriesStore,
+            default_objectives,
+        )
+
+        store = TimeSeriesStore()
+        objectives = default_objectives(
+            latency_threshold_s=getattr(args, "slo_latency_ms", 500.0) / 1000.0,
+            include_ingest=follower is not None,
+        )
+        sampler = TelemetrySampler(
+            context.metrics,
+            store=store,
+            interval=sample_interval_ms / 1000.0,
+            slo=SloEngine(objectives, store),
+        )
+        if service.ingest is not None:
+            sampler.add_source("ingest", service.ingest.gauges)
+    if getattr(args, "profile_out", None):
+        from repro.runtime.telemetry import StackProfiler
+
+        profiler = StackProfiler(
+            interval=max(getattr(args, "profile_interval_ms", 20.0), 1.0) / 1000.0
+        )
+        profiler.start()
+    if sampler is not None:
+        sampler.start()
+
     try:
         if workers <= 1 and deadline_ms is None:
             import contextlib
@@ -588,6 +690,8 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
             deadline_ms=deadline_ms,
             gate=gate,
         )
+        if sampler is not None:
+            sampler.add_source("pool", pool.sample_gauges)
         pending: deque[PoolFuture] = deque()
 
         def flush(block: bool) -> None:
@@ -615,6 +719,13 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
             pool.close(drain=True)
         return 0
     finally:
+        if sampler is not None:
+            sampler.stop()
+        if profiler is not None:
+            profiler.stop()
+            Path(args.profile_out).write_text(
+                "\n".join(profiler.collapsed()) + "\n", encoding="utf-8"
+            )
         if follower is not None:
             follower.stop()
 
@@ -734,6 +845,44 @@ def _cmd_telemetry(args, out: IO[str]) -> int:
     return 0
 
 
+def _cmd_top(args, out: IO[str]) -> int:
+    from repro.runtime.telemetry import render_top, top_snapshot
+
+    if args.report_format == "json" and not args.once:
+        raise ReproError("top --format json requires --once")
+
+    def frame() -> dict:
+        # Re-read the whole log each refresh: live mode then tails the
+        # growing file a serve process is appending, and a finished
+        # log renders the identical final frame — one code path for
+        # both, which is exactly the live/offline-parity guarantee.
+        events, _dropped = load_events_lenient(args.events)
+        return top_snapshot(events, window=args.window)
+
+    if args.once:
+        snapshot = frame()
+        if args.report_format == "json":
+            print(json.dumps(snapshot), file=out)
+        else:
+            print(render_top(snapshot), file=out, end="")
+        return 0
+
+    import time as time_module
+
+    try:
+        while True:
+            # ANSI clear + home, then the frame — a plain-escape "top".
+            print(
+                "\x1b[2J\x1b[H" + render_top(frame()),
+                file=out,
+                end="",
+                flush=True,
+            )
+            time_module.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(
     argv: list[str] | None = None,
     out: IO[str] | None = None,
@@ -769,6 +918,8 @@ def main(
             code = _cmd_planner(args, out, context)
         elif args.command == "telemetry":
             code = _cmd_telemetry(args, out)
+        elif args.command == "top":
+            code = _cmd_top(args, out)
         else:
             raise AssertionError("unreachable")
     except ReproError as exc:

@@ -156,6 +156,7 @@ class ServicePool:
         self._rejected = 0
         self._completed = 0
         self._deadline_exceeded = 0
+        self._queue_peak = 0
         self._closed = False
         service.pool = self
         self._threads = [
@@ -213,6 +214,7 @@ class ServicePool:
             )
         with self._lock:
             self._accepted += 1
+            self._queue_peak = max(self._queue_peak, self._queue.qsize())
         self._count("pool.accepted")
         return future
 
@@ -276,6 +278,7 @@ class ServicePool:
                 "workers": self.workers,
                 "queue_depth": queued,
                 "queue_capacity": self.queue_depth,
+                "queue_peak": self._queue_peak,
                 "in_flight": self._in_flight,
                 "saturated": queued >= self.queue_depth,
                 "accepted": self._accepted,
@@ -283,6 +286,20 @@ class ServicePool:
                 "deadline_exceeded": self._deadline_exceeded,
                 "completed": self._completed,
             }
+
+    def sample_gauges(self) -> dict[str, Any]:
+        """The sampler's view of :meth:`status`.
+
+        Identical gauges, plus a reset of ``queue_peak`` — each sampler
+        tick then reports the *peak queue depth within that tick*, which
+        is what saturation charts need (instantaneous ``queue_depth`` at
+        tick time almost always reads 0 even under heavy load, because
+        workers drain the queue between ticks).
+        """
+        status = self.status()
+        with self._lock:
+            self._queue_peak = self._queue.qsize()
+        return status
 
     # ------------------------------------------------------------------
     # shutdown

@@ -345,15 +345,23 @@ class DomdService:
         telemetry = self.context.metrics.telemetry
         drift_status: dict[str, Any] = {}
         flagged: list[dict[str, Any]] = []
+        firing: list[str] = []
+        alert_status: dict[str, Any] = {}
         if telemetry is not None:
             drift_status = telemetry.drift.status()
             flagged = telemetry.drift.flagged()
+            # Any firing alert — an SLO burning its budget, a drifted
+            # window — degrades health the same way a raw drift flag
+            # does: the alert plane is the service's own view of itself.
+            firing = telemetry.alerts.firing()
+            alert_status = telemetry.alerts.status()
         response = {
-            "status": "degraded" if flagged else "ok",
+            "status": "degraded" if flagged or firing else "ok",
             "fitted": self._estimator._model_set is not None,
             "requests": counters.get("service.requests", 0),
             "errors": counters.get("service.errors", 0),
             "drift": {"flagged": flagged, "windows": drift_status},
+            "alerts": {"firing": firing, "states": alert_status},
         }
         if self.pool is not None:
             # A saturated pool degrades health before requests start

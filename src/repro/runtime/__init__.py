@@ -70,22 +70,35 @@ from repro.runtime.planner import (
     QueryPlanner,
     WorkloadSpec,
 )
+from repro.runtime.concurrency import PeriodicWorker
 from repro.runtime.telemetry import (
     DEFAULT_LATENCY_BUCKETS,
+    AlertManager,
+    AlertRule,
+    BurnRateRule,
     DriftAlert,
     DriftMonitor,
     DriftThresholds,
     Histogram,
     JsonlEventLog,
     MemoryEventLog,
+    SloEngine,
+    SloObjective,
+    StackProfiler,
     TelemetryHub,
+    TelemetrySampler,
+    TimeSeriesStore,
     chrome_trace_from_events,
     collapsed_from_events,
+    default_objectives,
     load_events,
     load_events_lenient,
     prometheus_text,
     render_report,
+    render_top,
     telemetry_snapshot,
+    timeseries_from_events,
+    top_snapshot,
 )
 
 __all__ = [
@@ -115,6 +128,19 @@ __all__ = [
     "prometheus_text",
     "telemetry_snapshot",
     "render_report",
+    "TimeSeriesStore",
+    "timeseries_from_events",
+    "TelemetrySampler",
+    "AlertManager",
+    "AlertRule",
+    "SloEngine",
+    "SloObjective",
+    "BurnRateRule",
+    "default_objectives",
+    "StackProfiler",
+    "top_snapshot",
+    "render_top",
+    "PeriodicWorker",
     "Deadline",
     "ambient_scope",
     "check_deadline",

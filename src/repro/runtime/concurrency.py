@@ -168,6 +168,61 @@ def worker_rng_streams(seed: int, n_workers: int) -> list[np.random.Generator]:
 
 
 # ----------------------------------------------------------------------
+# periodic background work (sampler, continuous profiler)
+# ----------------------------------------------------------------------
+class PeriodicWorker(threading.Thread):
+    """Daemon thread invoking one callback at a fixed interval.
+
+    The substrate of the always-on observability plane: the telemetry
+    sampler and the continuous stack profiler both run as one of these.
+    The callback runs once immediately on start (so even a short-lived
+    process leaves at least one observation behind) and once more on
+    :meth:`stop` (so shutdown state is captured deterministically).
+    Exceptions are counted and remembered, never propagated — a broken
+    observer must not take the serving loop down with it.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[], object],
+        interval: float,
+        name: str = "repro-periodic",
+    ):
+        if interval <= 0:
+            raise ConfigurationError(
+                f"interval must be positive, got {interval}"
+            )
+        super().__init__(name=name, daemon=True)
+        self.fn = fn
+        self.interval = float(interval)
+        self.runs = 0
+        self.errors = 0
+        self.last_error: str | None = None
+        self._stop_event = threading.Event()
+
+    def _invoke(self) -> None:
+        try:
+            self.fn()
+        except Exception as exc:  # noqa: BLE001 — observers must not kill serving
+            self.errors += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+        self.runs += 1
+
+    def run(self) -> None:
+        self._invoke()
+        while not self._stop_event.wait(self.interval):
+            self._invoke()
+
+    def stop(self, timeout: float | None = 5.0, final_run: bool = True) -> None:
+        """Signal the thread to exit, join it, optionally run once more."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=timeout)
+        if final_run:
+            self._invoke()
+
+
+# ----------------------------------------------------------------------
 # read/write gate (streaming ingest vs. query serving)
 # ----------------------------------------------------------------------
 class ReadWriteGate:

@@ -9,10 +9,29 @@ the per-logical-window :class:`DriftMonitor`.  Exposition lives in
 :mod:`~repro.runtime.telemetry.exporters` (Prometheus text, JSON
 snapshots, and event-log report rendering for the CLI).
 
+The **always-on plane** sits on top of the request-scoped layer: a
+background :class:`TelemetrySampler` snapshots counters, windowed
+histogram percentiles and pool/ingest gauges into a bounded
+:class:`TimeSeriesStore` every tick, the :class:`SloEngine` turns those
+series into multi-window burn rates, and the hub's
+:class:`AlertManager` turns breaches (and drift flags) into
+edge-triggered pending/firing/resolved alert events.  A
+:class:`StackProfiler` samples ``sys._current_frames()`` continuously,
+and :func:`top_snapshot` / :func:`render_top` rebuild the ``repro top``
+dashboard from the event log alone.
+
 See ``docs/observability.md`` for the event schema, bucket layout,
-drift thresholds and exposition formats.
+drift thresholds, SLO semantics and exposition formats.
 """
 
+from repro.runtime.telemetry.alerts import (
+    ALERT_STATE_CODES,
+    ALERT_STATES,
+    AlertManager,
+    AlertRule,
+    alert_states_from_events,
+    alert_timeline,
+)
 from repro.runtime.telemetry.drift import DriftAlert, DriftMonitor, DriftThresholds
 from repro.runtime.telemetry.events import (
     JsonlEventLog,
@@ -36,6 +55,21 @@ from repro.runtime.telemetry.histogram import (
     Histogram,
 )
 from repro.runtime.telemetry.hub import TelemetryHub
+from repro.runtime.telemetry.sampler import TelemetrySampler
+from repro.runtime.telemetry.slo import (
+    DEFAULT_BURN_RULES,
+    BurnRateRule,
+    SloEngine,
+    SloObjective,
+    default_objectives,
+)
+from repro.runtime.telemetry.stackprof import StackProfiler
+from repro.runtime.telemetry.timeseries import (
+    TimeSeriesStore,
+    sample_gauge_values,
+    timeseries_from_events,
+)
+from repro.runtime.telemetry.top import render_top, sparkline, top_snapshot
 
 __all__ = [
     "TelemetryHub",
@@ -57,4 +91,23 @@ __all__ = [
     "histograms_from_events",
     "collapsed_from_events",
     "chrome_trace_from_events",
+    "TimeSeriesStore",
+    "timeseries_from_events",
+    "sample_gauge_values",
+    "TelemetrySampler",
+    "AlertManager",
+    "AlertRule",
+    "ALERT_STATES",
+    "ALERT_STATE_CODES",
+    "alert_timeline",
+    "alert_states_from_events",
+    "SloEngine",
+    "SloObjective",
+    "BurnRateRule",
+    "DEFAULT_BURN_RULES",
+    "default_objectives",
+    "StackProfiler",
+    "top_snapshot",
+    "render_top",
+    "sparkline",
 ]

@@ -1,0 +1,274 @@
+"""Edge-triggered alerting: pending / firing / resolved state machines.
+
+The :class:`AlertManager` is deliberately dumb about *why* an alert
+condition holds — burn-rate breaches arrive from the
+:class:`~repro.runtime.telemetry.slo.SloEngine`, drift flags from the
+:class:`~repro.runtime.telemetry.drift.DriftMonitor` via the hub — and
+smart only about *when to say something*:
+
+* a condition that turns active enters **pending**, and is promoted to
+  **firing** once it has held for the rule's ``pending_for`` seconds
+  (``0`` fires immediately — the drift route, whose monitor already
+  applies its own hysteresis);
+* a firing condition that clears must *stay* clear for
+  ``resolve_after`` seconds before the alert **resolves** — flapping
+  inputs around the threshold produce one fire and one resolve, not a
+  storm;
+* every transition is **edge-triggered**: exactly one ``alert`` event
+  (``state`` pending/firing/resolved) lands in the structured event
+  log, so the full timeline reconstructs from JSONL alone
+  (:func:`alert_timeline`), and the ``repro_alert_*`` gauges expose the
+  current states to scrapes.
+
+States are per alert name.  ``resolved`` is a transition, not a resting
+state: after emitting it the alert returns to ``inactive``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Resting states an alert can be observed in (``resolved`` only ever
+#: appears as a transition event).
+ALERT_STATES = ("inactive", "pending", "firing")
+
+#: Numeric encoding used by the ``repro_alert_state`` gauge.
+ALERT_STATE_CODES = {"inactive": 0, "pending": 1, "firing": 2}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """Transition timing and metadata of one alert.
+
+    Attributes
+    ----------
+    name:
+        Alert identity (``slo:<objective>`` / ``drift:<channel>:<w>``).
+    pending_for:
+        Seconds the condition must hold before ``pending`` promotes to
+        ``firing``; ``0`` skips the pending dwell entirely.
+    resolve_after:
+        Seconds the condition must stay clear before a firing alert
+        resolves (the flap damper).
+    severity:
+        Free-form label carried on every event and exposition row.
+    """
+
+    name: str
+    pending_for: float = 0.0
+    resolve_after: float = 0.0
+    severity: str = "page"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pending_for < 0 or self.resolve_after < 0:
+            raise ConfigurationError("alert rule durations must be >= 0")
+
+
+class _AlertState:
+    __slots__ = (
+        "state",
+        "active_since",
+        "clear_since",
+        "since",
+        "fired",
+        "fields",
+    )
+
+    def __init__(self) -> None:
+        self.state = "inactive"
+        self.active_since: float | None = None
+        self.clear_since: float | None = None
+        self.since: float | None = None  # ts of the last transition
+        self.fired = 0  # lifetime fire count
+        self.fields: dict[str, Any] = {}
+
+
+class AlertManager:
+    """Per-name alert state machines over boolean conditions."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.time,
+        emit: Callable[..., Any] | None = None,
+    ):
+        self._clock = clock
+        self._emit = emit
+        self._lock = threading.Lock()
+        self._rules: dict[str, AlertRule] = {}
+        self._states: dict[str, _AlertState] = {}
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def rule(self, rule: AlertRule) -> AlertRule:
+        """Register (or replace) the rule governing one alert name."""
+        with self._lock:
+            self._rules[rule.name] = rule
+        return rule
+
+    def _rule_for(self, name: str) -> AlertRule:
+        rule = self._rules.get(name)
+        if rule is None:
+            rule = self._rules[name] = AlertRule(name=name)
+        return rule
+
+    # ------------------------------------------------------------------
+    # the condition feed
+    # ------------------------------------------------------------------
+    def set_condition(
+        self,
+        name: str,
+        active: bool,
+        now: float | None = None,
+        **fields: Any,
+    ) -> str | None:
+        """Report the condition's current truth; returns a transition.
+
+        Idempotent per state: repeated ``active=True`` while firing (or
+        ``active=False`` while inactive) neither re-emits nor resets
+        timers.  ``fields`` (burn rates, z-scores, ...) are remembered
+        on the state and stamped onto the next transition event.
+        """
+        transitions: list[tuple[str, AlertRule, dict[str, Any]]] = []
+        with self._lock:
+            ts = float(now) if now is not None else self._clock()
+            rule = self._rule_for(name)
+            state = self._states.get(name)
+            if state is None:
+                state = self._states[name] = _AlertState()
+            if fields:
+                state.fields.update(fields)
+            transition: str | None = None
+            if active:
+                state.clear_since = None
+                if state.state == "inactive":
+                    state.active_since = ts
+                    if rule.pending_for <= 0:
+                        transition = "firing"
+                    else:
+                        transition = "pending"
+                elif state.state == "pending":
+                    assert state.active_since is not None
+                    if ts - state.active_since >= rule.pending_for:
+                        transition = "firing"
+            else:
+                state.active_since = None
+                if state.state == "pending":
+                    # A pending alert that clears never fired; resolve
+                    # immediately — there is nothing to damp.
+                    transition = "resolved"
+                elif state.state == "firing":
+                    if state.clear_since is None:
+                        state.clear_since = ts
+                    if ts - state.clear_since >= rule.resolve_after:
+                        transition = "resolved"
+            if transition is not None:
+                previous = state.state
+                state.state = "inactive" if transition == "resolved" else transition
+                state.since = ts
+                if transition == "firing":
+                    state.fired += 1
+                if transition == "resolved":
+                    state.clear_since = None
+                payload = dict(state.fields)
+                payload.update(
+                    name=name,
+                    state=transition,
+                    previous=previous,
+                    severity=rule.severity,
+                )
+                transitions.append((transition, rule, payload))
+        # Emit outside the lock: sinks (JSONL) do their own locking and
+        # must not nest under ours.
+        for transition, _rule, payload in transitions:
+            if self._emit is not None:
+                self._emit("alert", **payload)
+        return transitions[0][0] if transitions else None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def firing(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                name for name, s in self._states.items() if s.state == "firing"
+            )
+
+    def healthy(self) -> bool:
+        with self._lock:
+            return not any(s.state == "firing" for s in self._states.values())
+
+    def status(self) -> dict[str, dict[str, Any]]:
+        """Per-alert state for ``health`` and the telemetry snapshot."""
+        with self._lock:
+            out: dict[str, dict[str, Any]] = {}
+            for name in sorted(self._states):
+                state = self._states[name]
+                rule = self._rule_for(name)
+                entry: dict[str, Any] = {
+                    "state": state.state,
+                    "severity": rule.severity,
+                    "fired": state.fired,
+                }
+                if state.since is not None:
+                    entry["since"] = round(state.since, 6)
+                if state.fields:
+                    entry["context"] = dict(state.fields)
+                out[name] = entry
+            return out
+
+    def __repr__(self) -> str:
+        with self._lock:
+            firing = sum(1 for s in self._states.values() if s.state == "firing")
+            return f"AlertManager(alerts={len(self._states)}, firing={firing})"
+
+
+# ----------------------------------------------------------------------
+# event-log reconstruction (the ``repro telemetry report`` / ``top`` path)
+# ----------------------------------------------------------------------
+def alert_timeline(events: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Every alert transition of an event log, in order."""
+    return [
+        {
+            "ts": event.get("ts"),
+            "name": event.get("name"),
+            "state": event.get("state"),
+            "previous": event.get("previous"),
+            "severity": event.get("severity"),
+        }
+        for event in events
+        if event.get("kind") == "alert"
+    ]
+
+
+def alert_states_from_events(
+    events: Iterable[Mapping[str, Any]],
+) -> dict[str, dict[str, Any]]:
+    """Final state per alert name, replayed from transition events.
+
+    Mirrors :meth:`AlertManager.status` closely enough for ``repro top``
+    to render live and offline views identically: a ``resolved``
+    transition rests at ``inactive``, and ``fired`` counts firing
+    transitions.
+    """
+    states: dict[str, dict[str, Any]] = {}
+    for event in events:
+        if event.get("kind") != "alert":
+            continue
+        name = str(event.get("name"))
+        entry = states.setdefault(
+            name, {"state": "inactive", "severity": event.get("severity"), "fired": 0}
+        )
+        transition = event.get("state")
+        entry["state"] = "inactive" if transition == "resolved" else transition
+        entry["severity"] = event.get("severity", entry["severity"])
+        entry["since"] = event.get("ts")
+        if transition == "firing":
+            entry["fired"] += 1
+    return states

@@ -178,6 +178,18 @@ class DriftMonitor:
         return None
 
     # ------------------------------------------------------------------
+    def is_flagged(self, channel: str, window: int) -> bool:
+        """Whether one channel/window is currently in the drifted state.
+
+        This is the condition feed of the ``drift:<channel>:<window>``
+        alerts: the hub reports it to the
+        :class:`~repro.runtime.telemetry.alerts.AlertManager` after
+        every observation, so the alert resolves when the monitor's own
+        hysteresis (recovery below half the threshold) clears the flag.
+        """
+        state = self._states.get((str(channel), int(window)))
+        return state.flagged if state is not None else False
+
     def flagged(self) -> list[dict[str, Any]]:
         """Currently drifted channel/windows."""
         return [

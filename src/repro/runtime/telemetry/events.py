@@ -15,6 +15,9 @@ kind               payload
 ``planner_decision``  the :class:`PlanDecision` payload
 ``drift_alert``    channel/window/z-score of a flagged shift
 ``error``          ``code, message`` (service error envelopes)
+``sample``         one sampler tick: flat ``metrics`` mapping, ``interval``
+``alert``          an alert transition: ``name, state, previous, severity``
+``slo``            budget accounting: ``objective, bad_delta, budget_spent``
 =================  ====================================================
 
 The in-memory :class:`MemoryEventLog` bounds retention by event count;

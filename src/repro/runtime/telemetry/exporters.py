@@ -24,6 +24,7 @@ import re
 from typing import Any, Iterable, Sequence
 
 from repro.runtime.metrics import MetricsSink
+from repro.runtime.telemetry.alerts import ALERT_STATE_CODES, alert_timeline
 from repro.runtime.telemetry.events import Event, counters_from_events
 from repro.runtime.telemetry.histogram import Histogram
 
@@ -47,6 +48,7 @@ _POOL_GAUGES = (
     ("workers", "configured worker threads"),
     ("queue_depth", "requests waiting in the bounded queue"),
     ("queue_capacity", "bounded queue capacity"),
+    ("queue_peak", "peak queue depth since the last sampler tick"),
     ("in_flight", "requests currently executing"),
     ("saturated", "1 while the queue is full"),
     ("accepted", "requests accepted into the queue"),
@@ -110,6 +112,25 @@ def prometheus_text(
                 f'repro_drift_flagged{{channel="{channel}",window="{window}"}} '
                 f"{int(state['flagged'])}"
             )
+        alert_status = hub.alerts.status()
+        if alert_status:
+            lines.append(
+                "# HELP repro_alert_state 0=inactive 1=pending 2=firing"
+            )
+            lines.append("# TYPE repro_alert_state gauge")
+            firing = 0
+            for name, state in alert_status.items():
+                code = ALERT_STATE_CODES.get(state["state"], 0)
+                firing += int(code == 2)
+                lines.append(
+                    f'repro_alert_state{{name="{name}",'
+                    f'severity="{state["severity"]}"}} {code}'
+                )
+                lines.append(
+                    f'repro_alert_fired_total{{name="{name}"}} {state["fired"]}'
+                )
+            lines.append("# TYPE repro_alerts_firing gauge")
+            lines.append(f"repro_alerts_firing {firing}")
     ratio = _cache_ratio(counters)
     if ratio is not None:
         lines.append("# TYPE repro_cache_hit_ratio gauge")
@@ -172,6 +193,7 @@ def telemetry_snapshot(
             for name, histogram in sorted(hub.histograms.items())
         }
         out["drift"] = hub.drift.status()
+        out["alerts"] = hub.alerts.status()
         out["events_buffered"] = len(hub.buffer)
     if pool_status is not None:
         out["pool"] = dict(pool_status)
@@ -351,6 +373,46 @@ def render_report(
                         a.get("baseline_mean"),
                     ]
                     for a in alerts
+                ],
+            )
+        )
+    timeline = alert_timeline(events)
+    if timeline:
+        blocks.append("Alerts")
+        blocks.append(
+            format_table(
+                ["ts", "alert", "transition", "previous", "severity"],
+                [
+                    [
+                        t["ts"],
+                        t["name"],
+                        t["state"],
+                        t["previous"],
+                        t["severity"],
+                    ]
+                    for t in timeline
+                ],
+            )
+        )
+    # Budget spend reconstructs from the cumulative ``slo`` events: the
+    # last (max) budget_spent per objective is the total for the run.
+    budget_spent: dict[str, float] = {}
+    for event in events:
+        if event.get("kind") != "slo":
+            continue
+        objective = str(event.get("objective"))
+        spent = event.get("budget_spent")
+        if isinstance(spent, (int, float)):
+            budget_spent[objective] = max(
+                budget_spent.get(objective, 0.0), float(spent)
+            )
+    if budget_spent:
+        blocks.append(
+            format_table(
+                ["slo objective", "error budget spent"],
+                [
+                    [name, f"{budget_spent[name]:.1%}"]
+                    for name in sorted(budget_spent)
                 ],
             )
         )

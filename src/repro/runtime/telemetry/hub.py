@@ -35,6 +35,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.runtime.telemetry.alerts import AlertManager
 from repro.runtime.telemetry.drift import DriftAlert, DriftMonitor
 from repro.runtime.telemetry.events import Event, MemoryEventLog
 from repro.runtime.telemetry.histogram import DEFAULT_LATENCY_BUCKETS, Histogram
@@ -54,6 +55,10 @@ class TelemetryHub:
         # (len() == 0), and a caller-supplied buffer must not be dropped.
         self.buffer = buffer if buffer is not None else MemoryEventLog()
         self.drift = drift if drift is not None else DriftMonitor()
+        #: The runtime's alert state machines.  Transitions emit
+        #: ``alert`` events through this hub, so they land in the same
+        #: ring buffer and JSONL sinks as everything else.
+        self.alerts = AlertManager(clock=clock, emit=self.emit)
         self._buckets = tuple(buckets)
         self._clock = clock
         self._lock = threading.Lock()
@@ -206,16 +211,39 @@ class TelemetryHub:
         """Feed the drift monitor; flagged shifts become events."""
         with self._lock:
             alert = self.drift.observe(channel, window, value)
+            flagged = self.drift.is_flagged(channel, window)
         if alert is not None:
             self.emit("drift_alert", **alert.as_dict())
+        self._sync_drift_alert(channel, window, flagged, alert)
         return alert
 
     def drift_observe_many(self, channel: str, window: int, values) -> list[DriftAlert]:
         with self._lock:
             alerts = self.drift.observe_many(channel, window, values)
+            flagged = self.drift.is_flagged(channel, window)
         for alert in alerts:
             self.emit("drift_alert", **alert.as_dict())
+        self._sync_drift_alert(channel, window, flagged, alerts[-1] if alerts else None)
         return alerts
+
+    def _sync_drift_alert(
+        self,
+        channel: str,
+        window: int,
+        flagged: bool,
+        alert: DriftAlert | None,
+    ) -> None:
+        """Route the monitor's flag through the alert state machine.
+
+        The monitor applies its own hysteresis (recovery below half the
+        z threshold), so the alert rule uses no extra dwell: the flag
+        *is* the condition, and the manager contributes only the
+        edge-triggered pending/firing/resolved event protocol.
+        """
+        fields = {"z": round(alert.z, 3)} if alert is not None else {}
+        self.alerts.set_condition(
+            f"drift:{channel}:{int(window)}", flagged, **fields
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,273 @@
+"""Declarative SLOs with error budgets and multi-window burn rates.
+
+An :class:`SloObjective` promises that a **target fraction** of sampler
+ticks satisfy a predicate over one time series — "p99 request latency
+stays under 500 ms for 99% of samples", "watermark lag is zero for 95%
+of samples".  The complement of the target is the **error budget**; the
+**burn rate** of a window is the fraction of bad samples in that window
+divided by the budget, so ``burn == 1`` means "spending the budget
+exactly as fast as the SLO allows" and ``burn == 6`` means "the whole
+budget gone in 1/6 of the compliance period".
+
+Alerting follows the multi-window pattern: a :class:`BurnRateRule`
+breaches only when *both* its short and its long window exceed the
+rule's burn threshold — the long window proves the problem is real, the
+short window proves it is still happening (and lets the alert resolve
+quickly once the bleeding stops).  The
+:class:`~repro.runtime.telemetry.sampler.TelemetrySampler` evaluates the
+engine every tick and feeds the verdicts to the
+:class:`~repro.runtime.telemetry.alerts.AlertManager` as ``slo:<name>``
+conditions.
+
+The engine also keeps **cumulative budget accounting** — lifetime
+good/bad sample counts and the fraction of budget spent — emitted as
+``slo`` events whenever bad samples arrive, so total spend reconstructs
+from the event log alone (the ``repro telemetry report`` Alerts
+section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.telemetry.timeseries import TimeSeriesStore
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One (short window, long window, threshold) burn-rate pairing."""
+
+    short_seconds: float
+    long_seconds: float
+    max_burn_rate: float
+
+    def __post_init__(self) -> None:
+        if self.short_seconds <= 0 or self.long_seconds <= 0:
+            raise ConfigurationError("burn-rate windows must be positive")
+        if self.short_seconds > self.long_seconds:
+            raise ConfigurationError(
+                "short window must not exceed the long window"
+            )
+        if self.max_burn_rate <= 0:
+            raise ConfigurationError("max_burn_rate must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"{self.short_seconds:g}s/{self.long_seconds:g}s"
+
+
+#: Default pairing in the spirit of the classic page/ticket split:
+#: a fast-burn rule over 1m/5m and a slow-burn rule over 5m/30m.
+DEFAULT_BURN_RULES: tuple[BurnRateRule, ...] = (
+    BurnRateRule(short_seconds=60.0, long_seconds=300.0, max_burn_rate=6.0),
+    BurnRateRule(short_seconds=300.0, long_seconds=1800.0, max_burn_rate=2.0),
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective over a sampled time series.
+
+    A sample is **good** when ``value <= threshold`` (comparison
+    ``"le"``) or ``value >= threshold`` (``"ge"``).  ``target`` is the
+    promised good fraction; its complement is the error budget.
+    """
+
+    name: str
+    series: str
+    threshold: float
+    comparison: str = "le"
+    target: float = 0.99
+    rules: tuple[BurnRateRule, ...] = field(default=DEFAULT_BURN_RULES)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.comparison not in ("le", "ge"):
+            raise ConfigurationError(
+                f"comparison must be 'le' or 'ge', got {self.comparison!r}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError(
+                f"target must be in (0, 1), got {self.target}"
+            )
+        if not self.rules:
+            raise ConfigurationError("an objective needs at least one rule")
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad fraction (1 − target)."""
+        return 1.0 - self.target
+
+    def is_good(self, value: float) -> bool:
+        if self.comparison == "le":
+            return value <= self.threshold
+        return value >= self.threshold
+
+
+def default_objectives(
+    latency_threshold_s: float = 0.5,
+    error_rate_threshold: float = 0.01,
+    max_lag_events: float = 0.0,
+    include_ingest: bool = False,
+    rules: Sequence[BurnRateRule] = DEFAULT_BURN_RULES,
+) -> list[SloObjective]:
+    """The serving stack's stock objectives (``repro serve`` defaults).
+
+    * ``request_latency`` — per-tick p99 of ``span.request`` stays under
+      the latency threshold for 99% of samples;
+    * ``error_rate`` — the per-tick error-envelope ratio stays under
+      the error-rate threshold for 99% of samples;
+    * ``watermark_lag`` (``include_ingest``) — WAL lag stays at or below
+      ``max_lag_events`` for 95% of samples (a looser target: brief lag
+      behind a bursty WAL is normal, sustained lag is an incident).
+    """
+    rules = tuple(rules)
+    objectives = [
+        SloObjective(
+            name="request_latency",
+            series="hist.span.request.p99",
+            threshold=float(latency_threshold_s),
+            comparison="le",
+            target=0.99,
+            rules=rules,
+            description="p99 service request latency per sampler tick",
+        ),
+        SloObjective(
+            name="error_rate",
+            series="ratio.service.error_rate",
+            threshold=float(error_rate_threshold),
+            comparison="le",
+            target=0.99,
+            rules=rules,
+            description="error envelopes / requests per sampler tick",
+        ),
+    ]
+    if include_ingest:
+        objectives.append(
+            SloObjective(
+                name="watermark_lag",
+                series="ingest.lag_events",
+                threshold=float(max_lag_events),
+                comparison="le",
+                target=0.95,
+                rules=rules,
+                description="WAL records applied behind the log end",
+            )
+        )
+    return objectives
+
+
+class _Budget:
+    __slots__ = ("good", "bad", "last_ts")
+
+    def __init__(self) -> None:
+        self.good = 0
+        self.bad = 0
+        self.last_ts = float("-inf")
+
+
+class SloEngine:
+    """Evaluates objectives against a :class:`TimeSeriesStore`."""
+
+    def __init__(
+        self, objectives: Sequence[SloObjective], store: TimeSeriesStore
+    ):
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate objective names in {names}")
+        self.objectives = tuple(objectives)
+        self.store = store
+        self._budgets = {o.name: _Budget() for o in self.objectives}
+
+    # ------------------------------------------------------------------
+    def _burn(self, objective: SloObjective, seconds: float, now: float) -> tuple[float, int]:
+        """(burn rate, sample count) over one trailing window."""
+        values = self.store.window(objective.series, seconds, now)
+        if not values:
+            return 0.0, 0
+        bad = sum(0 if objective.is_good(v) else 1 for v in values)
+        bad_fraction = bad / len(values)
+        return bad_fraction / max(objective.budget, _EPS), len(values)
+
+    def _account(self, objective: SloObjective, now: float) -> tuple[int, int]:
+        """Fold samples newer than the last accounting into the budget.
+
+        Returns ``(bad_delta, good_delta)`` for event emission.
+        """
+        budget = self._budgets[objective.name]
+        fresh = [
+            (ts, value)
+            for ts, value in self.store.series(objective.series)
+            if ts > budget.last_ts and ts <= now
+        ]
+        bad_delta = good_delta = 0
+        for ts, value in fresh:
+            if objective.is_good(value):
+                good_delta += 1
+            else:
+                bad_delta += 1
+            budget.last_ts = ts
+        budget.good += good_delta
+        budget.bad += bad_delta
+        return bad_delta, good_delta
+
+    def evaluate(self, now: float) -> list[dict[str, Any]]:
+        """One verdict per objective: burn rates, breach flag, budget.
+
+        ``budget_spent`` is the fraction of lifetime error budget
+        consumed (``bad / (budget * samples)``); values above 1 mean
+        the SLO is already blown for the period the samples cover.
+        """
+        verdicts: list[dict[str, Any]] = []
+        for objective in self.objectives:
+            bad_delta, _good_delta = self._account(objective, now)
+            budget = self._budgets[objective.name]
+            total = budget.good + budget.bad
+            spent = (
+                budget.bad / max(objective.budget * total, _EPS)
+                if total
+                else 0.0
+            )
+            windows: list[dict[str, Any]] = []
+            breached = False
+            for rule in objective.rules:
+                burn_short, n_short = self._burn(
+                    objective, rule.short_seconds, now
+                )
+                burn_long, n_long = self._burn(objective, rule.long_seconds, now)
+                rule_breached = (
+                    n_short > 0
+                    and n_long > 0
+                    and burn_short >= rule.max_burn_rate
+                    and burn_long >= rule.max_burn_rate
+                )
+                breached = breached or rule_breached
+                windows.append(
+                    {
+                        "rule": rule.label,
+                        "burn_short": round(burn_short, 4),
+                        "burn_long": round(burn_long, 4),
+                        "threshold": rule.max_burn_rate,
+                        "breached": rule_breached,
+                    }
+                )
+            verdicts.append(
+                {
+                    "objective": objective.name,
+                    "series": objective.series,
+                    "breached": breached,
+                    "windows": windows,
+                    "bad_delta": bad_delta,
+                    "bad_total": budget.bad,
+                    "samples_total": total,
+                    "budget_spent": round(spent, 4),
+                }
+            )
+        return verdicts
+
+    def __repr__(self) -> str:
+        return f"SloEngine(objectives={[o.name for o in self.objectives]})"

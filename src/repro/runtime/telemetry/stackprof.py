@@ -1,0 +1,226 @@
+"""Continuous low-overhead stack profiler over ``sys._current_frames()``.
+
+Span traces show where *instrumented* time goes; the continuous profiler
+shows where **all** wall time goes, including code no span wraps.  A
+:class:`StackProfiler` wakes on a
+:class:`~repro.runtime.concurrency.PeriodicWorker`, snapshots every
+thread's current Python frame stack, and aggregates identical stacks
+into sample counts — statistical profiling with no tracing hooks, no
+per-call overhead, and bounded memory (one counter per distinct stack,
+capped at ``max_stacks``).
+
+**Per-worker attribution.**  Each sample is keyed by the *thread name*
+(``repro-pool-0`` … for serving workers, ``wal-follower``, ``MainThread``),
+so a hot worker shows up as a wide lane of its own in the flamegraph
+rather than dissolving into a process-wide blur.
+
+The aggregate renders through the PR-3 interchange formats:
+:meth:`collapsed` emits ``thread;frame;frame <µs>`` lines
+(``flamegraph.pl`` / speedscope), and :meth:`as_traces` produces the
+span-tree shape that :func:`~repro.runtime.profile.chrome_trace`
+renders for ``chrome://tracing``.  Sampled self time is
+``samples × interval`` — an estimate, as with every sampling profiler.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.runtime.concurrency import PeriodicWorker
+
+#: Microseconds per second (collapsed-stack values are integer µs).
+_US = 1e6
+
+
+#: Frame labels are memoised per code object: ``Path(...).stem`` costs
+#: more than the rest of a sample combined, and the set of live code
+#: objects is small and stable.  Cleared wholesale if pathological code
+#: generation ever grows it past this bound.
+_LABEL_CACHE_LIMIT = 65_536
+
+
+def _frame_label(frame: Any) -> str:
+    """``module.function`` for one frame (file stem, not full path)."""
+    code = frame.f_code
+    return f"{Path(code.co_filename).stem}.{code.co_name}"
+
+
+class StackProfiler:
+    """Sampling profiler aggregating per-thread collapsed stacks.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default 20 ms ≈ 50 Hz — low enough to
+        stay under the bench overhead bar, high enough to resolve
+        10 ms-scale stages).
+    max_depth:
+        Frames kept per stack (deepest first trimmed).
+    max_stacks:
+        Bound on distinct ``(thread, stack)`` aggregates; once reached,
+        new stacks fold into a ``(truncated)`` bucket so memory stays
+        fixed on pathological workloads.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.02,
+        max_depth: int = 64,
+        max_stacks: int = 10_000,
+    ):
+        if interval <= 0:
+            raise ConfigurationError(
+                f"profiler interval must be positive, got {interval}"
+            )
+        if max_depth < 1 or max_stacks < 1:
+            raise ConfigurationError("max_depth and max_stacks must be >= 1")
+        self.interval = float(interval)
+        self.max_depth = max_depth
+        self.max_stacks = max_stacks
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[str, tuple[str, ...]], int] = {}
+        self._label_cache: dict[Any, str] = {}
+        self._thread_names: dict[int, str] = {}
+        self._worker: PeriodicWorker | None = None
+        self.samples = 0
+        self.truncated = 0
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_once(
+        self, frames: Mapping[int, Any] | None = None
+    ) -> int:
+        """Record one snapshot of every thread; returns threads sampled.
+
+        ``frames`` may be injected for tests; by default
+        ``sys._current_frames()`` is read.  The profiler's own worker
+        thread is excluded — it would otherwise dominate its own
+        profile with ``stackprof.sample_once``.
+        """
+        if frames is None:
+            frames = sys._current_frames()
+        own_ident = threading.get_ident()
+        # The ident -> name map only changes when a thread starts or
+        # dies; rebuild it from ``threading.enumerate()`` only when an
+        # unknown ident shows up instead of on every sample.
+        names = self._thread_names
+        if any(i not in names for i in frames if i != own_ident):
+            names = {t.ident: t.name for t in threading.enumerate()}
+            self._thread_names = names
+        label_cache = self._label_cache
+        if len(label_cache) >= _LABEL_CACHE_LIMIT:
+            label_cache.clear()
+        keys: list[tuple[str, tuple[str, ...]]] = []
+        for ident, frame in frames.items():
+            if ident == own_ident:
+                continue
+            stack: list[str] = []
+            node = frame
+            while node is not None and len(stack) < self.max_depth:
+                code = node.f_code
+                label = label_cache.get(code)
+                if label is None:
+                    label = label_cache[code] = _frame_label(node)
+                stack.append(label)
+                node = node.f_back
+            stack.reverse()
+            keys.append((names.get(ident, f"thread-{ident}"), tuple(stack)))
+        with self._lock:
+            for key in keys:
+                if key not in self._counts and len(self._counts) >= self.max_stacks:
+                    key = (key[0], ("(truncated)",))
+                    self.truncated += 1
+                self._counts[key] = self._counts.get(key, 0) + 1
+            self.samples += 1
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._worker is not None:
+            return
+        self._worker = PeriodicWorker(
+            self.sample_once, self.interval, name="repro-stackprof"
+        )
+        self._worker.start()
+
+    def stop(self) -> None:
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.stop(final_run=False)
+
+    def __enter__(self) -> "StackProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[tuple[str, tuple[str, ...]], int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def collapsed(self) -> list[str]:
+        """Collapsed-stack lines: ``thread;frame;... <estimated µs>``."""
+        lines = []
+        for (label, stack), count in sorted(self.counts().items()):
+            frames = ";".join(
+                frame.replace(";", ":") for frame in (label, *stack)
+            )
+            lines.append(f"{frames} {int(round(count * self.interval * _US))}")
+        return lines
+
+    def as_traces(self) -> list[dict[str, Any]]:
+        """Aggregated call trees per thread, in the profiler trace shape.
+
+        Compatible with :func:`repro.runtime.profile.chrome_trace` /
+        :func:`~repro.runtime.profile.collapsed_stacks`: one trace per
+        thread, node ``seconds`` = total sampled time through that
+        frame (children included).
+        """
+        roots: dict[str, dict[str, Any]] = {}
+        for (label, stack), count in sorted(self.counts().items()):
+            seconds = count * self.interval
+            trace = roots.setdefault(
+                label, {"trace_id": label, "name": "stack-samples", "spans": []}
+            )
+            children = trace["spans"]
+            for frame in stack:
+                node = next((c for c in children if c["name"] == frame), None)
+                if node is None:
+                    node = {"name": frame, "seconds": 0.0, "children": []}
+                    children.append(node)
+                node["seconds"] = round(node["seconds"] + seconds, 9)
+                children = node["children"]
+        return list(roots.values())
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            distinct = len(self._counts)
+            threads = len({label for label, _ in self._counts})
+        worker = self._worker
+        return {
+            "samples": self.samples,
+            "distinct_stacks": distinct,
+            "threads_seen": threads,
+            "truncated": self.truncated,
+            "interval": self.interval,
+            "running": worker is not None and worker.is_alive(),
+        }
+
+    def __repr__(self) -> str:
+        status = self.status()
+        return (
+            f"StackProfiler(samples={status['samples']}, "
+            f"stacks={status['distinct_stacks']}, "
+            f"threads={status['threads_seen']})"
+        )

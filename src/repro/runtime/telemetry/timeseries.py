@@ -1,0 +1,197 @@
+"""In-process time-series store: the sampler's bounded history ring.
+
+Request-scoped telemetry (histograms, traces) answers "what happened to
+the requests that arrived"; the time-series store answers "what did the
+runtime look like at 12:03:17" — the substrate of SLO burn rates,
+alerting and ``repro top``.  One :class:`TimeSeriesStore` holds many
+named series, each a fixed-capacity ring of ``(ts, value)`` points, so
+memory is bounded by ``n_series * max_samples`` regardless of uptime.
+
+**Consistency.**  A sampler tick writes one multi-metric sample with
+:meth:`record_many` — all points of a tick land under a single lock
+acquisition, and readers (:meth:`latest_many`, :meth:`snapshot`) take
+the same lock, so a query never observes a *torn* sample (half of tick
+``i``, half of tick ``i-1``).  The concurrent regression suite in
+``tests/runtime/test_timeseries.py`` pins exactly that.
+
+**Persistence.**  The store itself is volatile; durability comes from
+the ``sample`` events the :class:`~repro.runtime.telemetry.sampler.
+TelemetrySampler` emits into the structured event log (JSONL when a
+sink is attached).  :func:`timeseries_from_events` rebuilds an
+equivalent store from those events alone — the offline path of
+``repro top``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+Point = tuple[float, float]
+
+
+class TimeSeriesStore:
+    """Named fixed-capacity rings of ``(ts, value)`` samples."""
+
+    def __init__(self, max_samples: int = 720):
+        if max_samples < 1:
+            raise ConfigurationError(
+                f"max_samples must be >= 1, got {max_samples}"
+            )
+        self.max_samples = max_samples
+        self._series: dict[str, deque[Point]] = {}
+        self._lock = threading.Lock()
+        #: Lifetime point count (exact under concurrency, like the
+        #: event ring's ``total_emitted``).
+        self.total_recorded = 0
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def record(self, name: str, ts: float, value: float) -> None:
+        """Append one point to one series (created lazily)."""
+        with self._lock:
+            self._append(name, float(ts), float(value))
+
+    def record_many(self, ts: float, metrics: Mapping[str, float]) -> None:
+        """Append one sampler tick — every metric under one lock.
+
+        This is the write path that makes a tick atomic: a concurrent
+        reader sees either all of this tick's points or none of them.
+        """
+        ts = float(ts)
+        with self._lock:
+            for name, value in metrics.items():
+                self._append(name, ts, float(value))
+
+    def _append(self, name: str, ts: float, value: float) -> None:
+        ring = self._series.get(name)
+        if ring is None:
+            ring = self._series[name] = deque(maxlen=self.max_samples)
+        ring.append((ts, value))
+        self.total_recorded += 1
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def series(
+        self,
+        name: str,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[Point]:
+        """Points of one series, optionally clipped to ``[since, until]``."""
+        with self._lock:
+            ring = self._series.get(name)
+            points = list(ring) if ring is not None else []
+        if since is not None:
+            points = [p for p in points if p[0] >= since]
+        if until is not None:
+            points = [p for p in points if p[0] <= until]
+        return points
+
+    def values(
+        self, name: str, since: float | None = None, until: float | None = None
+    ) -> list[float]:
+        """Just the values of :meth:`series` (burn-rate arithmetic)."""
+        return [value for _, value in self.series(name, since, until)]
+
+    def window(self, name: str, seconds: float, now: float) -> list[float]:
+        """Values within the trailing ``seconds`` before ``now``."""
+        return self.values(name, since=now - float(seconds), until=now)
+
+    def latest(self, name: str) -> Point | None:
+        with self._lock:
+            ring = self._series.get(name)
+            return ring[-1] if ring else None
+
+    def latest_many(self, names: Iterable[str]) -> dict[str, Point]:
+        """Latest point per name under ONE lock (untorn cross-series read)."""
+        with self._lock:
+            out: dict[str, Point] = {}
+            for name in names:
+                ring = self._series.get(name)
+                if ring:
+                    out[name] = ring[-1]
+            return out
+
+    def counts(self) -> dict[str, int]:
+        """Retained point count per series (exactness pinned by tests)."""
+        with self._lock:
+            return {name: len(ring) for name, ring in sorted(self._series.items())}
+
+    def snapshot(self) -> dict[str, list[Point]]:
+        """A consistent copy of every series."""
+        with self._lock:
+            return {name: list(ring) for name, ring in sorted(self._series.items())}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(ring) for ring in self._series.values())
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"TimeSeriesStore(series={len(self._series)}, "
+                f"points={sum(len(r) for r in self._series.values())}, "
+                f"max_samples={self.max_samples})"
+            )
+
+
+def timeseries_from_events(
+    events: Iterable[Mapping[str, Any]], max_samples: int = 720
+) -> TimeSeriesStore:
+    """Rebuild a store from ``sample`` events of a structured event log.
+
+    The inverse of the sampler's emission: each ``sample`` event carries
+    ``ts`` plus a flat ``metrics`` mapping; anything else is ignored, so
+    the function accepts a full mixed event log (the ``repro top``
+    offline path reads the same JSONL the serve process wrote).
+    """
+    store = TimeSeriesStore(max_samples=max_samples)
+    for event in events:
+        if event.get("kind") != "sample":
+            continue
+        metrics = event.get("metrics")
+        ts = event.get("ts")
+        if not isinstance(metrics, Mapping) or ts is None:
+            continue
+        numeric = {
+            str(name): float(value)
+            for name, value in metrics.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        store.record_many(float(ts), numeric)
+    return store
+
+
+def sample_gauge_values(raw: Mapping[str, Any], prefix: str) -> dict[str, float]:
+    """Flatten one source's status dict into prefixed numeric gauges.
+
+    Non-numeric entries (design lists, nested rebuild maps) are skipped
+    — except one level of nested numeric mappings, which flatten as
+    ``prefix.key.subkey``.  Booleans become 0/1 so ``pool.saturated``
+    charts like any other gauge.
+    """
+    out: dict[str, float] = {}
+    for key, value in raw.items():
+        name = f"{prefix}.{key}"
+        if isinstance(value, bool):
+            out[name] = float(value)
+        elif isinstance(value, (int, float)):
+            out[name] = float(value)
+        elif isinstance(value, Mapping):
+            for sub, subvalue in value.items():
+                if isinstance(subvalue, bool) or not isinstance(
+                    subvalue, (int, float)
+                ):
+                    continue
+                out[f"{name}.{sub}"] = float(subvalue)
+    return out

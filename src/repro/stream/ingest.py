@@ -229,3 +229,19 @@ class StreamIngestor:
                 for design, adapter in self.adapters.items()
             },
         }
+
+    def gauges(self) -> dict[str, float]:
+        """Numeric-only :meth:`status` view for the telemetry sampler.
+
+        Drops the design list and the nested per-design maps (the
+        sampler flattens one mapping level itself, but per-design series
+        churn with schema changes), and omits ``watermark_age_seconds``
+        while it is still ``None`` so the ``ingest.*`` series hold only
+        real numbers.
+        """
+        status = self.status()
+        return {
+            key: float(value)
+            for key, value in status.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }

@@ -1,0 +1,278 @@
+"""Fault-injected burn-rate alerting, end to end.
+
+The ISSUE acceptance scenario: forced request latency and a stalled WAL
+follower must each drive a multi-window burn-rate SLO alert through
+pending → firing → resolved, with matching entries in the persisted
+event log, ``repro_alert_*`` lines in the Prometheus exposition, a
+degraded ``health`` response while firing, and a ``repro top`` snapshot
+that renders the same numbers live and offline from the JSONL alone.
+
+Ticks use synthetic timestamps (one per second) so the burn windows are
+deterministic; the injected latency itself is real wall-clock sleep
+inside the request span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import DomdEstimator, DomdService, paper_final_config
+from repro.runtime import ExecutionContext, JsonlEventLog, TelemetryHub
+from repro.runtime.telemetry import (
+    AlertRule,
+    BurnRateRule,
+    SloEngine,
+    TelemetrySampler,
+    TimeSeriesStore,
+    alert_timeline,
+    default_objectives,
+    timeseries_from_events,
+    top_snapshot,
+)
+from repro.runtime.telemetry.events import load_events
+from repro.stream import StreamIngestor, StreamingRccStore
+
+#: Tight burn windows so a handful of one-second ticks walks the whole
+#: lifecycle: breach needs burn >= 2 in BOTH the 3 s and 9 s windows.
+FAST_RULES = (BurnRateRule(3.0, 9.0, 2.0),)
+
+#: Injected latency (60 ms) sits well past the 30 ms SLO threshold;
+#: un-faulted health requests run in well under a millisecond.
+SLO_THRESHOLD_S = 0.03
+FAULT_SLEEP_S = 0.06
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = request.getfixturevalue("small_splits")
+    context = ExecutionContext(seed=0)
+    estimator = DomdEstimator(
+        paper_final_config(window_pct=25), context=context
+    ).fit(dataset, splits.train_ids)
+    return dataset, splits, estimator
+
+
+def live_events(dataset, n: int) -> list[dict]:
+    """Fresh rcc_created events against the dataset's first avail."""
+    avails = dataset.avails
+    avail_id = int(avails["avail_id"][0])
+    act_start = int(avails["act_start"][0])
+    next_id = int(np.max(dataset.rccs["rcc_id"])) + 1
+    return [
+        {
+            "kind": "rcc_created",
+            "rcc_id": next_id + i,
+            "avail_id": avail_id,
+            "rcc_type": "G",
+            "swlin": "111-11-001",
+            "create_date": act_start + 3 + i,
+            "amount": 10.0 + i,
+        }
+        for i in range(n)
+    ]
+
+
+def build_rig(estimator, events_path, include_ingest=False, pending=1.5, resolve=0.0):
+    """A service wired to a sampler+SLO engine with fast burn windows."""
+    context = ExecutionContext(seed=0, telemetry=TelemetryHub())
+    hub = context.metrics.telemetry
+    hub.add_sink(JsonlEventLog(events_path))
+    service = DomdService(estimator, context=context)
+    store = TimeSeriesStore()
+    objectives = default_objectives(
+        latency_threshold_s=SLO_THRESHOLD_S,
+        rules=FAST_RULES,
+        include_ingest=include_ingest,
+    )
+    sampler = TelemetrySampler(
+        context.metrics, store=store, slo=SloEngine(objectives, store)
+    )
+    for objective in objectives:
+        hub.alerts.rule(
+            AlertRule(
+                name=f"slo:{objective.name}",
+                pending_for=pending,
+                resolve_after=resolve,
+            )
+        )
+    return service, sampler, hub
+
+
+def transitions(hub_or_events, name):
+    events = (
+        hub_or_events.events()
+        if hasattr(hub_or_events, "events")
+        else hub_or_events
+    )
+    return [
+        (entry["state"], entry["previous"])
+        for entry in alert_timeline(events)
+        if entry["name"] == name
+    ]
+
+
+class TestLatencyBurnRateLifecycle:
+    @pytest.fixture(scope="class")
+    def scenario(self, fitted, tmp_path_factory):
+        """Run the whole fault → fire → recover → resolve arc once."""
+        _dataset, _splits, estimator = fitted
+        events_path = tmp_path_factory.mktemp("alerting") / "events.jsonl"
+        service, sampler, hub = build_rig(estimator, events_path)
+
+        # Fault injection: the health handler gains a 60 ms stall inside
+        # the request span, so real request latency breaches the SLO.
+        original = service._handle_health
+
+        def stalled_health(request):
+            time.sleep(FAULT_SLEEP_S)
+            return original(request)
+
+        service._handle_health = stalled_health
+        probes = {}
+        for step in range(3):  # ticks at t=100,101,102
+            for _ in range(2):
+                assert service.handle({"type": "health"})["ok"]
+            sampler.tick(now=100.0 + step)
+            if step == 0:
+                probes["after_first_breach"] = dict(hub.alerts.status())
+        # While firing: exposition, health degradation, live status.
+        probes["firing"] = list(hub.alerts.firing())
+        probes["exposition"] = service.handle(
+            {"type": "metrics", "format": "prometheus"}
+        )["result"]["exposition"]
+        probes["health_firing"] = service.handle({"type": "health"})["result"]
+
+        # Recovery: lift the fault; fast ticks age the breach out of
+        # both burn windows (bad samples at 100..102 leave the 9 s
+        # window by t=112).
+        service._handle_health = original
+        for step in range(12):  # ticks at t=103..114
+            for _ in range(2):
+                assert service.handle({"type": "health"})["ok"]
+            sampler.tick(now=103.0 + step)
+        probes["health_after"] = service.handle({"type": "health"})["result"]
+        return service, sampler, hub, events_path, probes
+
+    def test_pending_then_firing_then_resolved(self, scenario):
+        _service, _sampler, hub, _path, probes = scenario
+        # First breached tick parks the alert in pending (1.5 s dwell).
+        assert (
+            probes["after_first_breach"]["slo:request_latency"]["state"]
+            == "pending"
+        )
+        assert probes["firing"] == ["slo:request_latency"]
+        assert transitions(hub, "slo:request_latency") == [
+            ("pending", "inactive"),
+            ("firing", "pending"),
+            ("resolved", "firing"),
+        ]
+        assert hub.alerts.firing() == []
+
+    def test_exposition_and_health_while_firing(self, scenario):
+        _service, _sampler, _hub, _path, probes = scenario
+        exposition = probes["exposition"]
+        assert (
+            'repro_alert_state{name="slo:request_latency",severity="page"} 2'
+            in exposition
+        )
+        assert 'repro_alert_fired_total{name="slo:request_latency"} 1' in exposition
+        assert "repro_alerts_firing 1" in exposition
+        health = probes["health_firing"]
+        assert health["status"] == "degraded"
+        assert health["alerts"]["firing"] == ["slo:request_latency"]
+        state = health["alerts"]["states"]["slo:request_latency"]
+        assert state["state"] == "firing"
+        assert state["context"]["burn_short"] >= 2.0
+
+    def test_health_recovers_after_resolve(self, scenario):
+        _service, _sampler, _hub, _path, probes = scenario
+        health = probes["health_after"]
+        assert health["status"] == "ok"
+        assert health["alerts"]["firing"] == []
+
+    def test_event_log_matches_live_state(self, scenario):
+        _service, sampler, hub, events_path, _probes = scenario
+        persisted = load_events(events_path)
+        assert transitions(persisted, "slo:request_latency") == transitions(
+            hub, "slo:request_latency"
+        )
+        # Budget accounting rode along as slo events.
+        slo_events = [e for e in persisted if e["kind"] == "slo"]
+        assert any(e["objective"] == "request_latency" for e in slo_events)
+        assert max(e["budget_spent"] for e in slo_events) > 0.0
+        # Offline parity: the JSONL alone rebuilds the exact series the
+        # live sampler recorded.
+        rebuilt = timeseries_from_events(persisted)
+        assert rebuilt.series("hist.span.request.p99") == sampler.store.series(
+            "hist.span.request.p99"
+        )
+
+    def test_repro_top_offline_matches(self, scenario, capsys):
+        _service, sampler, _hub, events_path, _probes = scenario
+        snapshot = top_snapshot(load_events(events_path), window=60.0)
+        assert snapshot["samples"] == sampler.ticks
+        assert snapshot["alerts"]["firing"] == []  # resolved by the end
+        assert snapshot["alerts"]["states"]["slo:request_latency"]["fired"] == 1
+        live_p99 = sampler.store.latest("hist.span.request.p99")[1]
+        # The snapshot rounds milliseconds for display; match within it.
+        assert snapshot["latency_ms"]["p99"] == pytest.approx(
+            live_p99 * 1000.0, abs=5e-4
+        )
+        code = main(
+            ["top", "--events", str(events_path), "--once", "--format", "json"]
+        )
+        assert code == 0
+        via_cli = json.loads(capsys.readouterr().out.strip())
+        assert via_cli["latency_ms"]["p99"] == snapshot["latency_ms"]["p99"]
+        assert via_cli["alerts"] == snapshot["alerts"]
+
+
+class TestStalledWalFollowerLifecycle:
+    def test_watermark_lag_alert_fires_and_resolves(self, fitted, tmp_path):
+        dataset, _splits, estimator = fitted
+        events_path = tmp_path / "events.jsonl"
+        service, sampler, hub = build_rig(
+            estimator, events_path, include_ingest=True, resolve=1.5
+        )
+        ingestor = StreamIngestor(
+            StreamingRccStore.from_dataset(dataset), designs=("avl",)
+        )
+        service.ingest = ingestor
+        sampler.add_source("ingest", ingestor.gauges)
+
+        # Stall: the follower learns the WAL end but applies nothing, so
+        # lag_events sits above the SLO threshold every tick.
+        ingestor.note_wal_end(5)
+        for step in range(3):  # ticks at t=200,201,202
+            service.handle({"type": "health"})
+            sampler.tick(now=200.0 + step)
+        assert hub.alerts.firing() == ["slo:watermark_lag"]
+        health = service.handle({"type": "health"})["result"]
+        assert health["status"] == "degraded"
+        assert health["ingest"]["lag_events"] == 5
+
+        # Recovery: the follower catches up (applies the WAL tail), lag
+        # drops to zero, and the resolve_after damper holds the alert
+        # firing until the clear state has persisted.
+        ingestor.apply_events(live_events(dataset, n=5))
+        assert ingestor.status()["lag_events"] == 0
+        for step in range(13):  # ticks at t=203..215
+            service.handle({"type": "health"})
+            sampler.tick(now=203.0 + step)
+        assert hub.alerts.firing() == []
+        assert transitions(hub, "slo:watermark_lag") == [
+            ("pending", "inactive"),
+            ("firing", "pending"),
+            ("resolved", "firing"),
+        ]
+        # The lag series made it to the store and the event log alike.
+        assert sampler.store.latest("ingest.lag_events")[1] == 0.0
+        snapshot = top_snapshot(load_events(events_path), window=60.0)
+        assert snapshot["ingest"]["lag_events"] == 0.0
+        assert snapshot["alerts"]["states"]["slo:watermark_lag"]["fired"] == 1

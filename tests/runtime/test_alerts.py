@@ -1,0 +1,166 @@
+"""Alert state machines: edge triggering, dwell, hysteresis, replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.telemetry.alerts import (
+    ALERT_STATE_CODES,
+    AlertManager,
+    AlertRule,
+    alert_states_from_events,
+    alert_timeline,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_manager(events: list | None = None, **clock_kwargs):
+    clock = FakeClock(**clock_kwargs)
+    emitted = events if events is not None else []
+
+    def emit(kind, **fields):
+        emitted.append({"kind": kind, "ts": clock.now, **fields})
+
+    return AlertManager(clock=clock, emit=emit), clock, emitted
+
+
+class TestTransitions:
+    def test_immediate_fire_without_pending_dwell(self):
+        manager, _clock, events = make_manager()
+        assert manager.set_condition("a", True) == "firing"
+        assert manager.firing() == ["a"]
+        assert not manager.healthy()
+        assert [e["state"] for e in events] == ["firing"]
+        assert events[0]["previous"] == "inactive"
+
+    def test_pending_then_firing_after_dwell(self):
+        manager, clock, events = make_manager()
+        manager.rule(AlertRule(name="a", pending_for=10.0))
+        assert manager.set_condition("a", True) == "pending"
+        assert manager.firing() == []
+        clock.advance(5.0)
+        assert manager.set_condition("a", True) is None  # still dwelling
+        clock.advance(5.0)
+        assert manager.set_condition("a", True) == "firing"
+        assert [e["state"] for e in events] == ["pending", "firing"]
+
+    def test_pending_clears_resolves_immediately(self):
+        manager, _clock, events = make_manager()
+        manager.rule(AlertRule(name="a", pending_for=10.0, resolve_after=30.0))
+        manager.set_condition("a", True)
+        assert manager.set_condition("a", False) == "resolved"
+        assert manager.status()["a"]["state"] == "inactive"
+        assert manager.status()["a"]["fired"] == 0
+        assert [e["state"] for e in events] == ["pending", "resolved"]
+
+    def test_resolve_after_damps_flapping(self):
+        manager, clock, events = make_manager()
+        manager.rule(AlertRule(name="a", resolve_after=20.0))
+        manager.set_condition("a", True)
+        # Condition flaps: clear, active, clear — never clear for 20s.
+        clock.advance(5.0)
+        assert manager.set_condition("a", False) is None
+        clock.advance(5.0)
+        assert manager.set_condition("a", True) is None  # still firing
+        clock.advance(5.0)
+        assert manager.set_condition("a", False) is None  # clear timer restarts
+        clock.advance(19.0)
+        assert manager.set_condition("a", False) is None
+        clock.advance(1.0)
+        assert manager.set_condition("a", False) == "resolved"
+        # One fire, one resolve — no storm.
+        assert [e["state"] for e in events] == ["firing", "resolved"]
+
+    def test_edge_triggered_no_duplicate_events(self):
+        manager, _clock, events = make_manager()
+        for _ in range(5):
+            manager.set_condition("a", True)
+        for _ in range(5):
+            manager.set_condition("a", False)
+        assert [e["state"] for e in events] == ["firing", "resolved"]
+        # Second episode fires again.
+        manager.set_condition("a", True)
+        assert [e["state"] for e in events] == ["firing", "resolved", "firing"]
+        assert manager.status()["a"]["fired"] == 2
+
+    def test_fields_carried_on_transitions(self):
+        manager, _clock, events = make_manager()
+        manager.set_condition("a", True, burn_short=7.5)
+        assert events[0]["burn_short"] == 7.5
+        assert events[0]["name"] == "a"
+        assert events[0]["severity"] == "page"
+
+    def test_explicit_now_overrides_clock(self):
+        manager, _clock, events = make_manager()
+        manager.rule(AlertRule(name="a", pending_for=5.0))
+        manager.set_condition("a", True, now=100.0)
+        manager.set_condition("a", True, now=105.0)
+        assert [e["state"] for e in events] == ["pending", "firing"]
+
+    def test_invalid_rule(self):
+        with pytest.raises(ConfigurationError):
+            AlertRule(name="a", pending_for=-1.0)
+
+
+class TestIntrospection:
+    def test_status_shape(self):
+        manager, _clock, _events = make_manager()
+        manager.rule(AlertRule(name="a", severity="ticket"))
+        manager.set_condition("a", True, z=4.2)
+        status = manager.status()
+        assert status["a"]["state"] == "firing"
+        assert status["a"]["severity"] == "ticket"
+        assert status["a"]["fired"] == 1
+        assert status["a"]["context"] == {"z": 4.2}
+        assert ALERT_STATE_CODES[status["a"]["state"]] == 2
+
+    def test_healthy_when_empty(self):
+        manager, _clock, _events = make_manager()
+        assert manager.healthy()
+        assert manager.firing() == []
+
+
+class TestReplay:
+    def test_timeline_and_states_from_events(self):
+        manager, clock, events = make_manager()
+        manager.rule(AlertRule(name="slo:latency", pending_for=5.0))
+        manager.set_condition("slo:latency", True)
+        clock.advance(6.0)
+        manager.set_condition("slo:latency", True)
+        manager.set_condition("drift:residual:0", True)
+        clock.advance(1.0)
+        manager.set_condition("slo:latency", False)
+
+        timeline = alert_timeline(events)
+        assert [(t["name"], t["state"]) for t in timeline] == [
+            ("slo:latency", "pending"),
+            ("slo:latency", "firing"),
+            ("drift:residual:0", "firing"),
+            ("slo:latency", "resolved"),
+        ]
+
+        replayed = alert_states_from_events(events)
+        live = manager.status()
+        for name in live:
+            assert replayed[name]["state"] == live[name]["state"]
+            assert replayed[name]["fired"] == live[name]["fired"]
+
+    def test_replay_ignores_other_kinds(self):
+        events = [
+            {"kind": "sample", "ts": 1.0, "metrics": {}},
+            {"kind": "alert", "ts": 2.0, "name": "a", "state": "firing",
+             "previous": "inactive", "severity": "page"},
+        ]
+        assert list(alert_states_from_events(events)) == ["a"]
+        assert len(alert_timeline(events)) == 1

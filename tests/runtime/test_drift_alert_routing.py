@@ -1,0 +1,108 @@
+"""Drift flags routed through the AlertManager (edge-triggered)."""
+
+from __future__ import annotations
+
+from repro.runtime import MetricsSink
+from repro.runtime.telemetry import DriftMonitor, DriftThresholds, TelemetryHub
+
+
+def make_hub() -> TelemetryHub:
+    return TelemetryHub(
+        drift=DriftMonitor(
+            DriftThresholds(
+                z_threshold=4.0,
+                min_samples=5,
+                baseline_samples=5,
+                window_size=20,
+            )
+        )
+    )
+
+
+def alert_events(hub: TelemetryHub) -> list[tuple[str, str]]:
+    return [
+        (e["name"], e["state"]) for e in hub.events() if e["kind"] == "alert"
+    ]
+
+
+BASELINE = [0.0, 1.0, 0.0, 1.0, 0.0]  # mean 0.4, nonzero spread
+
+
+class TestFireResolveHysteresis:
+    def test_fire_once_then_resolve(self):
+        hub = make_hub()
+        hub.drift_observe_many("residual", 0, BASELINE)  # freezes baseline
+        assert alert_events(hub) == []
+
+        # Shifted regime: flags on the first verdict past min_samples.
+        hub.drift_observe_many("residual", 0, [10.0] * 6)
+        assert hub.drift.is_flagged("residual", 0)
+        assert hub.alerts.firing() == ["drift:residual:0"]
+        assert alert_events(hub) == [("drift:residual:0", "firing")]
+        fired = [e for e in hub.events() if e["kind"] == "alert"]
+        assert fired[0]["z"] > 4.0  # context carried from the DriftAlert
+
+        # Still drifted: edge-triggered, no duplicate events.
+        hub.drift_observe_many("residual", 0, [10.0] * 5)
+        assert alert_events(hub) == [("drift:residual:0", "firing")]
+
+        # Recovery: wash the rolling window back to the baseline mean.
+        # The monitor's own hysteresis (z < threshold/2) is the damper.
+        hub.drift_observe_many("residual", 0, [0.4] * 25)
+        assert not hub.drift.is_flagged("residual", 0)
+        assert hub.alerts.firing() == []
+        assert alert_events(hub) == [
+            ("drift:residual:0", "firing"),
+            ("drift:residual:0", "resolved"),
+        ]
+
+    def test_refire_after_recovery(self):
+        hub = make_hub()
+        hub.drift_observe_many("residual", 0, BASELINE)
+        hub.drift_observe_many("residual", 0, [10.0] * 6)
+        hub.drift_observe_many("residual", 0, [0.4] * 25)
+        hub.drift_observe_many("residual", 0, [10.0] * 25)
+        assert alert_events(hub) == [
+            ("drift:residual:0", "firing"),
+            ("drift:residual:0", "resolved"),
+            ("drift:residual:0", "firing"),
+        ]
+        assert hub.alerts.status()["drift:residual:0"]["fired"] == 2
+
+
+class TestNonMonotoneWindows:
+    def test_interleaved_windows_flag_independently(self):
+        """The estimator feeds windows in whatever order queries arrive;
+        each (channel, window) alert must track its own state."""
+        hub = make_hub()
+        # Interleave baselines for windows 1, 0, 2 out of order.
+        for window in (1, 0, 2, 0, 1, 2):
+            hub.drift_observe_many("residual", window, BASELINE[:3])
+        # Window 1 drifts while 0 and 2 stay healthy, fed non-monotonically.
+        for window in (1, 0, 1, 2, 1, 0, 1, 2, 1, 1):
+            values = [10.0] * 3 if window == 1 else [0.4] * 3
+            hub.drift_observe_many("residual", window, values)
+        assert hub.alerts.firing() == ["drift:residual:1"]
+        names = {name for name, _ in alert_events(hub)}
+        assert names == {"drift:residual:1"}
+
+    def test_single_observe_path_also_routes(self):
+        hub = make_hub()
+        for value in BASELINE:
+            hub.drift_observe("prediction", 3, value)
+        for _ in range(6):
+            hub.drift_observe("prediction", 3, 50.0)
+        assert hub.alerts.firing() == ["drift:prediction:3"]
+
+
+class TestHealthIntegration:
+    def test_sink_counters_untouched_by_alert_plumbing(self):
+        # The alert manager shares the hub's emit path; make sure plain
+        # counter traffic still flows beside it.
+        sink = MetricsSink(telemetry=make_hub())
+        sink.counter("service.requests")
+        hub = sink.telemetry
+        hub.drift_observe_many("residual", 0, BASELINE)
+        hub.drift_observe_many("residual", 0, [10.0] * 6)
+        kinds = {e["kind"] for e in hub.events()}
+        assert {"counter", "drift_alert", "alert"} <= kinds

@@ -1,0 +1,183 @@
+"""Telemetry sampler: rates, delta percentiles, sources, SLO feed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import MetricsSink
+from repro.runtime.telemetry import (
+    BurnRateRule,
+    SloEngine,
+    SloObjective,
+    TelemetryHub,
+    TelemetrySampler,
+    TimeSeriesStore,
+    timeseries_from_events,
+)
+
+
+def make_sampler(**kwargs):
+    sink = MetricsSink(telemetry=TelemetryHub())
+    sampler = TelemetrySampler(sink, **kwargs)
+    return sampler, sink, sink.telemetry
+
+
+class TestCounters:
+    def test_totals_and_rates(self):
+        sampler, sink, _hub = make_sampler()
+        sink.counter("service.requests", by=10)
+        sampler.tick(now=100.0)
+        # First tick has no dt: totals only.
+        assert sampler.store.latest("counter.service.requests") == (100.0, 10.0)
+        assert sampler.store.latest("rate.service.requests") is None
+        sink.counter("service.requests", by=5)
+        sampler.tick(now=102.0)
+        # 5 new requests over 2 seconds.
+        assert sampler.store.latest("rate.service.requests") == (102.0, 2.5)
+
+    def test_error_ratio_only_with_fresh_traffic(self):
+        sampler, sink, _hub = make_sampler()
+        sink.counter("service.requests", by=4)
+        sink.counter("service.errors", by=1)
+        sampler.tick(now=100.0)
+        sink.counter("service.requests", by=4)
+        sink.counter("service.errors", by=2)
+        sampler.tick(now=101.0)
+        assert sampler.store.latest("ratio.service.error_rate") == (101.0, 0.5)
+        # No traffic this tick: no ratio point (instead of a stale 0/0).
+        sampler.tick(now=102.0)
+        assert sampler.store.latest("ratio.service.error_rate") == (101.0, 0.5)
+
+
+class TestHistogramDeltas:
+    def test_windowed_percentiles_decay(self):
+        sampler, _sink, hub = make_sampler()
+        for _ in range(20):
+            hub.observe("span.request", 1.0)  # slow tick
+        sampler.tick(now=100.0)
+        slow_p99 = sampler.store.latest("hist.span.request.p99")[1]
+        assert slow_p99 >= 0.9
+        for _ in range(20):
+            hub.observe("span.request", 0.001)  # fast tick
+        sampler.tick(now=101.0)
+        fast_p99 = sampler.store.latest("hist.span.request.p99")[1]
+        # Delta semantics: the new tick reflects only fresh traffic, so
+        # the spike decays (a cumulative histogram would stay ~1s).
+        assert fast_p99 < 0.01
+        assert sampler.store.latest("hist.span.request.count") == (101.0, 20.0)
+
+    def test_request_family_aggregates_per_type_histograms(self):
+        sampler, _sink, hub = make_sampler()
+        for _ in range(10):
+            hub.observe("span.request.domd_query", 1.0)
+        for _ in range(10):
+            hub.observe("span.request.health", 0.001)
+        metrics = sampler.tick(now=100.0)
+        # Synthetic family series spans both request types.
+        assert metrics["hist.span.request.count"] == 20.0
+        assert metrics["hist.span.request.p99"] >= 0.9
+        assert metrics["hist.span.request.p50"] <= 0.01
+        # Per-type series still emitted alongside.
+        assert metrics["hist.span.request.domd_query.count"] == 10.0
+
+    def test_zero_delta_tick_emits_nothing(self):
+        sampler, _sink, hub = make_sampler()
+        hub.observe("span.request", 0.5)
+        sampler.tick(now=100.0)
+        sampler.tick(now=101.0)  # no fresh observations
+        points = sampler.store.series("hist.span.request.p99")
+        assert [ts for ts, _ in points] == [100.0]
+
+
+class TestSourcesAndEvents:
+    def test_sources_flatten_and_survive_errors(self):
+        sampler, _sink, _hub = make_sampler()
+        sampler.add_source("pool", lambda: {"queue_depth": 3, "saturated": False})
+
+        def broken():
+            raise RuntimeError("dead source")
+
+        sampler.add_source("bad", broken)
+        metrics = sampler.tick(now=100.0)
+        assert metrics["pool.queue_depth"] == 3.0
+        assert metrics["pool.saturated"] == 0.0
+        assert not any(k.startswith("bad.") for k in metrics)
+
+    def test_sample_events_reconstruct_store(self):
+        sampler, sink, hub = make_sampler()
+        sink.counter("service.requests", by=3)
+        sampler.tick(now=100.0)
+        sink.counter("service.requests", by=3)
+        sampler.tick(now=101.0)
+        rebuilt = timeseries_from_events(hub.events())
+        assert rebuilt.series("counter.service.requests") == sampler.store.series(
+            "counter.service.requests"
+        )
+        assert rebuilt.series("rate.service.requests") == sampler.store.series(
+            "rate.service.requests"
+        )
+
+    def test_emit_events_false_keeps_log_clean(self):
+        sampler, _sink, hub = make_sampler(emit_events=False)
+        sampler.tick(now=100.0)
+        assert not any(e["kind"] == "sample" for e in hub.events())
+        assert sampler.store.latest("drift.flagged") is not None
+
+
+class TestSloFeed:
+    def test_breach_drives_alert_and_slo_events(self):
+        store = TimeSeriesStore()
+        objective = SloObjective(
+            name="lat",
+            series="hist.span.request.p99",
+            threshold=0.1,
+            target=0.9,
+            rules=(BurnRateRule(2.0, 5.0, 2.0),),
+        )
+        sink = MetricsSink(telemetry=TelemetryHub())
+        sampler = TelemetrySampler(
+            sink, store=store, slo=SloEngine([objective], store)
+        )
+        hub = sink.telemetry
+        for t in range(6):
+            hub.observe("span.request", 1.0)  # every tick bad
+            sampler.tick(now=100.0 + t)
+        assert "slo:lat" in hub.alerts.firing()
+        kinds = [e["kind"] for e in hub.events()]
+        assert "alert" in kinds and "slo" in kinds
+        slo_events = [e for e in hub.events() if e["kind"] == "slo"]
+        assert slo_events[-1]["objective"] == "lat"
+        assert slo_events[-1]["budget_spent"] > 1.0
+        # Recovery: fast ticks clear the short+long windows.
+        for t in range(8):
+            hub.observe("span.request", 0.001)
+            sampler.tick(now=110.0 + t)
+        assert hub.alerts.firing() == []
+        resolved = [
+            e
+            for e in hub.events()
+            if e["kind"] == "alert" and e["state"] == "resolved"
+        ]
+        assert len(resolved) == 1
+
+
+class TestLifecycle:
+    def test_background_thread_ticks(self):
+        sampler, sink, _hub = make_sampler(interval=0.02)
+        sink.counter("service.requests", by=1)
+        with sampler:
+            import time
+
+            time.sleep(0.08)
+        # Immediate first tick + periodic + final tick on stop.
+        assert sampler.ticks >= 3
+        assert not sampler.status()["running"]
+        assert sampler.store.latest("counter.service.requests") is not None
+
+    def test_validation(self):
+        sink = MetricsSink(telemetry=TelemetryHub())
+        with pytest.raises(ConfigurationError):
+            TelemetrySampler(sink, interval=0.0)
+        with pytest.raises(ConfigurationError):
+            TelemetrySampler(MetricsSink())

@@ -1,0 +1,104 @@
+"""Continuous stack profiler: sampling, attribution, rendering."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.profile import chrome_trace, collapsed_stacks
+from repro.runtime.telemetry.stackprof import StackProfiler
+
+
+def _busy_beacon(stop: threading.Event) -> None:
+    while not stop.is_set():
+        time.sleep(0.001)
+
+
+class TestSampling:
+    def test_samples_named_thread_with_stack(self):
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=_busy_beacon, args=(stop,), name="repro-pool-0"
+        )
+        thread.start()
+        profiler = StackProfiler(interval=0.005)
+        try:
+            for _ in range(5):
+                profiler.sample_once()
+                time.sleep(0.002)
+        finally:
+            stop.set()
+            thread.join()
+        counts = profiler.counts()
+        pool_stacks = [
+            stack for (label, stack), _ in counts.items() if label == "repro-pool-0"
+        ]
+        assert pool_stacks, f"worker thread not attributed: {list(counts)}"
+        # Frame labels are module.function; the beacon must appear.
+        assert any("_busy_beacon" in frame for stack in pool_stacks for frame in stack)
+        assert profiler.samples == 5
+
+    def test_excludes_own_worker_thread(self):
+        profiler = StackProfiler(interval=0.005)
+        with profiler:
+            time.sleep(0.05)
+        assert profiler.samples >= 2
+        assert all(
+            label != "repro-stackprof" for label, _ in profiler.counts()
+        )
+        assert not profiler.status()["running"]
+
+    def test_max_stacks_bound(self):
+        profiler = StackProfiler(interval=0.01, max_stacks=1)
+        frame = next(iter(__import__("sys")._current_frames().values()))
+        fake = {1: frame, 2: frame}
+        names_before = profiler.sample_once(frames=fake)
+        assert names_before == 2
+        status = profiler.status()
+        # Distinct stacks stay bounded; overflow lands in (truncated).
+        assert status["distinct_stacks"] <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StackProfiler(interval=0.0)
+        with pytest.raises(ConfigurationError):
+            StackProfiler(max_depth=0)
+
+
+class TestRendering:
+    @staticmethod
+    def _synthetic_profiler() -> StackProfiler:
+        profiler = StackProfiler(interval=0.01)
+        profiler._counts = {
+            ("worker-0", ("mod.main", "mod.inner")): 3,
+            ("worker-0", ("mod.main",)): 1,
+            ("worker-1", ("mod.other",)): 2,
+        }
+        return profiler
+
+    def test_collapsed_lines(self):
+        lines = self._synthetic_profiler().collapsed()
+        assert "worker-0;mod.main;mod.inner 30000" in lines
+        assert "worker-0;mod.main 10000" in lines
+        assert "worker-1;mod.other 20000" in lines
+
+    def test_as_traces_inclusive_seconds(self):
+        traces = self._synthetic_profiler().as_traces()
+        by_id = {t["trace_id"]: t for t in traces}
+        root = by_id["worker-0"]["spans"][0]
+        assert root["name"] == "mod.main"
+        # Inclusive time through mod.main: (3 + 1) * 10ms.
+        assert root["seconds"] == pytest.approx(0.04)
+        assert root["children"][0]["name"] == "mod.inner"
+        assert root["children"][0]["seconds"] == pytest.approx(0.03)
+
+    def test_renders_through_profile_interchange(self):
+        traces = self._synthetic_profiler().as_traces()
+        lines = collapsed_stacks(traces)
+        assert any("mod.main;mod.inner" in line for line in lines)
+        trace_json = chrome_trace(traces)
+        names = {e["name"] for e in trace_json["traceEvents"]}
+        assert {"mod.main", "mod.inner", "mod.other"} <= names

@@ -336,6 +336,46 @@ class TestExporters:
         assert "p50 ms" in text
         assert "cache.hits" in text
 
+    def test_render_report_alerts_section_from_events_alone(self):
+        events = [
+            {
+                "ts": 100.0,
+                "kind": "alert",
+                "name": "slo:request_latency",
+                "state": "firing",
+                "previous": "pending",
+                "severity": "page",
+            },
+            {
+                "ts": 130.0,
+                "kind": "alert",
+                "name": "slo:request_latency",
+                "state": "resolved",
+                "previous": "firing",
+                "severity": "page",
+            },
+            {
+                "ts": 101.0,
+                "kind": "slo",
+                "objective": "request_latency",
+                "bad_delta": 2,
+                "budget_spent": 0.4,
+            },
+            {
+                "ts": 102.0,
+                "kind": "slo",
+                "objective": "request_latency",
+                "bad_delta": 1,
+                "budget_spent": 0.62,
+            },
+        ]
+        text = render_report(events)
+        assert "Alerts" in text
+        assert "slo:request_latency" in text
+        assert "firing" in text and "resolved" in text
+        assert "error budget spent" in text
+        assert "62.0%" in text
+
 
 class TestPrometheusHistogramContract:
     """Pin the exposition contract: ``_bucket`` series are cumulative

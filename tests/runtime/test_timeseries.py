@@ -1,0 +1,167 @@
+"""Time-series store: ring bounds, atomic ticks, concurrent access."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.telemetry.timeseries import (
+    TimeSeriesStore,
+    sample_gauge_values,
+    timeseries_from_events,
+)
+
+
+class TestTimeSeriesStore:
+    def test_record_and_series(self):
+        store = TimeSeriesStore()
+        store.record("a", 1.0, 10.0)
+        store.record("a", 2.0, 20.0)
+        store.record("b", 1.5, 5.0)
+        assert store.series("a") == [(1.0, 10.0), (2.0, 20.0)]
+        assert store.names() == ["a", "b"]
+        assert store.values("a") == [10.0, 20.0]
+        assert len(store) == 3
+        assert store.total_recorded == 3
+
+    def test_series_window_clipping(self):
+        store = TimeSeriesStore()
+        for t in range(10):
+            store.record("x", float(t), float(t * t))
+        assert store.values("x", since=7.0) == [49.0, 64.0, 81.0]
+        assert store.values("x", until=1.0) == [0.0, 1.0]
+        assert store.window("x", 2.0, now=9.0) == [49.0, 64.0, 81.0]
+
+    def test_latest_and_missing(self):
+        store = TimeSeriesStore()
+        assert store.latest("nope") is None
+        assert store.series("nope") == []
+        store.record("x", 1.0, 1.0)
+        assert store.latest("x") == (1.0, 1.0)
+
+    def test_ring_bound_exact_counts(self):
+        store = TimeSeriesStore(max_samples=128)
+        for t in range(1000):
+            store.record_many(float(t), {"a": 1.0, "b": 2.0})
+        # Retention is bounded exactly at max_samples per series...
+        assert store.counts() == {"a": 128, "b": 128}
+        # ...while the lifetime counter still saw every point.
+        assert store.total_recorded == 2000
+        # The ring keeps the newest points.
+        assert store.series("a")[0][0] == 872.0
+        assert store.series("a")[-1][0] == 999.0
+
+    def test_record_many_is_one_tick(self):
+        store = TimeSeriesStore()
+        store.record_many(5.0, {"a": 1.0, "b": 2.0, "c": 3.0})
+        latest = store.latest_many(["a", "b", "c"])
+        assert latest == {"a": (5.0, 1.0), "b": (5.0, 2.0), "c": (5.0, 3.0)}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeriesStore(max_samples=0)
+
+    def test_concurrent_writers_exact_totals(self):
+        store = TimeSeriesStore(max_samples=4096)
+        n_threads, n_ticks = 8, 200
+
+        def writer(index: int) -> None:
+            for tick in range(n_ticks):
+                store.record_many(
+                    float(tick), {f"w{index}.a": 1.0, f"w{index}.b": 2.0}
+                )
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.total_recorded == n_threads * n_ticks * 2
+        counts = store.counts()
+        for i in range(n_threads):
+            assert counts[f"w{i}.a"] == n_ticks
+            assert counts[f"w{i}.b"] == n_ticks
+
+    def test_no_torn_snapshots_under_concurrency(self):
+        """A tick writes x and y together; readers must never observe
+        x and y from *different* ticks (same-ts pairs only)."""
+        store = TimeSeriesStore()
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def writer() -> None:
+            tick = 0
+            while not stop.is_set():
+                tick += 1
+                store.record_many(float(tick), {"x": float(tick), "y": float(-tick)})
+
+        def reader() -> None:
+            while not stop.is_set():
+                latest = store.latest_many(["x", "y"])
+                if len(latest) == 2:
+                    (tx, vx), (ty, vy) = latest["x"], latest["y"]
+                    if tx != ty or vx != -vy:
+                        torn.append((latest["x"], latest["y"]))
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert torn == []
+
+
+class TestEventReconstruction:
+    def test_round_trip_via_sample_events(self):
+        events = [
+            {"ts": 1.0, "kind": "sample", "metrics": {"a": 1.0, "b": 2.0}},
+            {"ts": 2.0, "kind": "span_close", "name": "noise", "seconds": 0.1},
+            {"ts": 2.0, "kind": "sample", "metrics": {"a": 3.0}},
+        ]
+        store = timeseries_from_events(events)
+        assert store.series("a") == [(1.0, 1.0), (2.0, 3.0)]
+        assert store.series("b") == [(1.0, 2.0)]
+
+    def test_ignores_malformed_samples(self):
+        events = [
+            {"ts": 1.0, "kind": "sample"},  # no metrics
+            {"kind": "sample", "metrics": {"a": 1.0}},  # no ts
+            {"ts": 2.0, "kind": "sample", "metrics": {"a": "NaN-ish", "b": 1.0}},
+            {"ts": 3.0, "kind": "sample", "metrics": {"flag": True, "c": 2}},
+        ]
+        store = timeseries_from_events(events)
+        assert store.series("a") == []
+        assert store.series("b") == [(2.0, 1.0)]
+        # Booleans are not gauges on this path (the sampler never emits
+        # them); ints coerce to floats.
+        assert store.series("flag") == []
+        assert store.series("c") == [(3.0, 2.0)]
+
+
+class TestGaugeFlattening:
+    def test_flattens_numeric_and_bool(self):
+        raw = {
+            "workers": 4,
+            "saturated": True,
+            "designs": ["avl"],
+            "rebuilds": {"avl": 3, "skip": "x"},
+            "age": 1.5,
+            "none": None,
+        }
+        flat = sample_gauge_values(raw, "pool")
+        assert flat == {
+            "pool.workers": 4.0,
+            "pool.saturated": 1.0,
+            "pool.rebuilds.avl": 3.0,
+            "pool.age": 1.5,
+        }

@@ -1,0 +1,133 @@
+"""``repro top``: snapshot reconstruction, rendering, CLI paths."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.runtime.telemetry.top import render_top, sparkline, top_snapshot
+
+
+def synthetic_events() -> list[dict]:
+    events = []
+    for t in range(5):
+        events.append(
+            {
+                "ts": 100.0 + t,
+                "kind": "sample",
+                "metrics": {
+                    "rate.service.requests": 10.0 + t,
+                    "hist.span.request.p99": 0.010 + 0.001 * t,
+                    "hist.span.request.p50": 0.005,
+                    "ratio.service.error_rate": 0.0,
+                    "pool.queue_depth": 2.0,
+                    "pool.queue_capacity": 16.0,
+                    "pool.queue_peak": 6.0,
+                    "pool.workers": 4.0,
+                    "pool.saturated": 0.0,
+                    "ingest.lag_events": float(t),
+                    "ingest.watermark_seq": 100.0 + t,
+                    "drift.flagged": 0.0,
+                },
+            }
+        )
+    events.append(
+        {
+            "ts": 104.5,
+            "kind": "alert",
+            "name": "slo:watermark_lag",
+            "state": "firing",
+            "previous": "inactive",
+            "severity": "page",
+        }
+    )
+    return events
+
+
+class TestSparkline:
+    def test_shape(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(sparkline(list(range(100)), width=24)) == 24
+
+
+class TestSnapshot:
+    def test_values_from_event_log(self):
+        snapshot = top_snapshot(synthetic_events())
+        assert snapshot["ts"] == 104.0  # newest sample, not wall clock
+        assert snapshot["samples"] == 5
+        assert snapshot["qps"]["current"] == 14.0
+        assert snapshot["qps"]["trend"] == [10.0, 11.0, 12.0, 13.0, 14.0]
+        assert snapshot["latency_ms"]["p99"] == 14.0
+        assert snapshot["latency_ms"]["p50"] == 5.0
+        assert snapshot["pool"]["queue_peak"] == 6.0
+        assert snapshot["ingest"]["lag_events"] == 4.0
+        assert snapshot["alerts"]["firing"] == ["slo:watermark_lag"]
+
+    def test_empty_log(self):
+        snapshot = top_snapshot([])
+        assert snapshot["samples"] == 0
+        assert snapshot["qps"]["current"] is None
+        assert snapshot["alerts"]["firing"] == []
+
+    def test_window_clips_trends(self):
+        snapshot = top_snapshot(synthetic_events(), window=2.0)
+        assert snapshot["qps"]["trend"] == [12.0, 13.0, 14.0]
+
+
+class TestRender:
+    def test_dashboard_contains_key_rows(self):
+        text = render_top(top_snapshot(synthetic_events()))
+        assert "repro top" in text
+        assert "ALERTS FIRING: 1" in text
+        assert "qps" in text and "14.00" in text
+        assert "pool" in text and "peak=6" in text
+        assert "ingest" in text and "lag=4" in text
+        assert "slo:watermark_lag" in text and "firing" in text
+
+    def test_healthy_render(self):
+        events = [e for e in synthetic_events() if e["kind"] == "sample"]
+        text = render_top(top_snapshot(events))
+        assert "[healthy]" in text
+
+
+class TestCli:
+    def test_top_once_json(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text(
+            "\n".join(json.dumps(e) for e in synthetic_events()) + "\n",
+            encoding="utf-8",
+        )
+        code = main(["top", "--events", str(log), "--once", "--format", "json"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out.strip())
+        assert snapshot["qps"]["current"] == 14.0
+        assert snapshot["alerts"]["firing"] == ["slo:watermark_lag"]
+
+    def test_top_once_text(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text(
+            "\n".join(json.dumps(e) for e in synthetic_events()) + "\n",
+            encoding="utf-8",
+        )
+        code = main(["top", "--events", str(log), "--once"])
+        assert code == 0
+        assert "repro top" in capsys.readouterr().out
+
+    def test_json_requires_once(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text("", encoding="utf-8")
+        code = main(["top", "--events", str(log), "--format", "json"])
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().out.strip())
+        assert envelope["error"]["code"] == "domain_error"
+
+    def test_missing_log_is_an_envelope(self, tmp_path, capsys):
+        code = main(
+            ["top", "--events", str(tmp_path / "nope.jsonl"), "--once"]
+        )
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().out.strip())
+        assert envelope["error"]["code"] == "not_found"
