@@ -56,9 +56,9 @@ OBS_EPSILON_S = 0.010  # absolute slack: 2% of ~0.3s is below timer noise
 class IoStalledService(DomdService):
     """DomdService with a fixed emulated IO stall before each dispatch."""
 
-    def handle(self, request):
+    def handle(self, request, parent=None):
         time.sleep(IO_STALL_S)
-        return super().handle(request)
+        return super().handle(request, parent=parent)
 
 
 @pytest.fixture(scope="module")
@@ -111,19 +111,28 @@ def serving():
     return service, workload
 
 
+def canonical_bytes(response: dict) -> bytes:
+    """Encode a response with its only nondeterministic field removed.
+
+    The provenance stamp's ``trace_id`` is a fresh correlation handle per
+    request; every other byte must match across serving modes."""
+    if isinstance(response.get("provenance"), dict):
+        response = dict(response)
+        provenance = dict(response["provenance"])
+        provenance.pop("trace_id", None)
+        response["provenance"] = provenance
+    return json.dumps(response, sort_keys=True).encode()
+
+
 def serve_sequential(service, workload) -> list[bytes]:
-    return [
-        json.dumps(service.handle(request), sort_keys=True).encode()
-        for request in workload
-    ]
+    return [canonical_bytes(service.handle(request)) for request in workload]
 
 
 def serve_pooled(service, workload) -> list[bytes]:
     with ServicePool(service, workers=N_WORKERS, queue_depth=32) as pool:
         futures = [pool.submit(request, block=True) for request in workload]
         return [
-            json.dumps(future.result(timeout=120), sort_keys=True).encode()
-            for future in futures
+            canonical_bytes(future.result(timeout=120)) for future in futures
         ]
 
 

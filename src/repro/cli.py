@@ -29,6 +29,10 @@ Commands mirror the deployment life cycle:
   skipped and counted in a footer warning).
 * ``telemetry profile`` — render the same event log as collapsed-stack
   flamegraph lines or Chrome ``traceEvents`` JSON.
+* ``telemetry trace <trace_id>`` — reconstruct one trace's full causal
+  chain from the event log alone: the request's span tree, its
+  provenance stamp, and the ingest applies / WAL appends that made the
+  answered data queryable (exit 1 when the trace is not in the log).
 * ``top`` — terminal dashboard over a serving process's JSONL event
   log: qps, latency percentile trends, pool saturation, watermark lag,
   drift and firing alerts, live (refreshing) or ``--once`` for a single
@@ -348,9 +352,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     telemetry.add_argument(
         "action",
-        choices=["report", "profile"],
+        choices=["report", "profile", "trace"],
         help="'report': render an event log; 'profile': export it as a "
-        "flamegraph or Chrome trace",
+        "flamegraph or Chrome trace; 'trace': reconstruct one trace's "
+        "full causal chain (request -> ingest applies -> WAL appends)",
+    )
+    telemetry.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id to reconstruct (required for 'trace'; e.g. the "
+        "trace_id of a response's provenance stamp)",
     )
     telemetry.add_argument(
         "--events", required=True, help="JSONL event log (from --telemetry-events)"
@@ -428,12 +440,21 @@ def _cmd_ingest(args, out: IO[str], context: ExecutionContext) -> int:
             raise ReproError("ingest append requires --events <stream file>")
         _, events = read_event_stream(args.events)
         batches = 0
-        with WalWriter(args.wal, fsync_batches=args.fsync_batches) as writer:
-            first_seq = writer.next_seq
-            for lo in range(0, len(events), args.batch_size):
-                writer.append_batch(events[lo : lo + args.batch_size])
-                batches += 1
-            last_seq = writer.last_seq
+        # One append trace per CLI invocation: every WAL record written
+        # here carries this trace's context (tp), so a later serving
+        # process can walk a response all the way back to this command.
+        with context.telemetry.trace("ingest.append", wal=args.wal):
+            with WalWriter(
+                args.wal,
+                fsync_batches=args.fsync_batches,
+                telemetry=context.telemetry,
+            ) as writer:
+                first_seq = writer.next_seq
+                for lo in range(0, len(events), args.batch_size):
+                    with context.span("ingest.append_batch"):
+                        writer.append_batch(events[lo : lo + args.batch_size])
+                    batches += 1
+                last_seq = writer.last_seq
         print(
             json.dumps(
                 {
@@ -797,6 +818,30 @@ def _cmd_planner(args, out: IO[str], context: ExecutionContext) -> int:
 
 def _cmd_telemetry(args, out: IO[str]) -> int:
     events, dropped = load_events_lenient(args.events)
+    if args.action == "trace":
+        from repro.runtime.telemetry import causal_chain, render_causal_chain
+
+        if not args.trace_id:
+            raise ReproError(
+                "telemetry trace requires a trace id "
+                "(repro telemetry trace <trace_id> --events ...)"
+            )
+        chain = causal_chain(events, args.trace_id)
+        fmt = args.report_format or "text"
+        if fmt not in ("text", "json"):
+            raise ReproError(
+                f"telemetry trace supports --format text|json, got {fmt!r}"
+            )
+        if fmt == "json":
+            print(json.dumps(chain), file=out)
+        else:
+            print(render_causal_chain(chain), file=out)
+        if dropped:
+            print(
+                f"warning: skipped {dropped} corrupt event-log line(s)",
+                file=sys.stderr,
+            )
+        return 0 if chain["found"] else 1
     if args.action == "profile":
         fmt = args.report_format or "collapsed"
         if fmt not in ("collapsed", "chrome"):

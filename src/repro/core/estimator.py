@@ -14,6 +14,7 @@ the base model's additive per-sample attributions.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass, field
 
@@ -80,6 +81,7 @@ class DomdEstimator:
         self._dataset: NavyMaintenanceDataset | None = None
         self._features_pending = False
         self._bind_lock = threading.Lock()
+        self._provenance: dict[str, str] | None = None
 
     # ------------------------------------------------------------------
     # feature binding (eager after fit(); lazy after serve())
@@ -187,6 +189,50 @@ class DomdEstimator:
     def _check_fitted(self) -> None:
         if self._model_set is None:
             raise NotFittedError("DomdEstimator is not fitted")
+
+    def provenance(self) -> dict[str, str]:
+        """Content hashes pinning exactly what this estimator serves from.
+
+        * ``model_hash`` — fingerprint of the fitted model set's
+          persistence payload (what :func:`~repro.persistence.save_estimator`
+          would write), cached on the *shared* model-set object so
+          rebound serve-path estimators reuse it.
+        * ``config_hash`` — fingerprint of the pipeline configuration.
+        * ``feature_key`` — the feature tensor's artifact-cache key
+          (dataset fingerprint + grid/timeline fingerprint), i.e. the
+          data vintage the features were extracted from.
+
+        Memoised per instance: :meth:`serve` returns a fresh estimator,
+        so a dataset rebind naturally invalidates ``feature_key``.
+        """
+        if self._provenance is not None:
+            return self._provenance
+        self._check_fitted()
+        assert self._model_set is not None and self._dataset is not None
+        # Lazy import: persistence imports this module.
+        from repro.persistence import _config_to_payload, model_set_to_payload
+        from repro.runtime.cache import fingerprint_of
+
+        model_hash = getattr(self._model_set, "_content_hash", None)
+        if model_hash is None:
+            model_hash = fingerprint_of(
+                json.dumps(model_set_to_payload(self._model_set), sort_keys=True)
+            )
+            self._model_set._content_hash = model_hash
+        config_hash = fingerprint_of(
+            json.dumps(_config_to_payload(self.config), sort_keys=True)
+        )
+        feature_key = "/".join(
+            StatusFeatureExtractor(
+                self._dataset, self.timeline.t_stars, context=self.context
+            ).cache_key()
+        )
+        self._provenance = {
+            "model_hash": model_hash,
+            "config_hash": config_hash,
+            "feature_key": feature_key,
+        }
+        return self._provenance
 
     def serve(self, dataset: NavyMaintenanceDataset) -> "DomdEstimator":
         """Bind the fitted models to a *new* dataset snapshot.

@@ -81,17 +81,22 @@ class PoolFuture:
 
 
 class _WorkItem:
-    __slots__ = ("request", "future", "deadline")
+    __slots__ = ("request", "future", "deadline", "parent")
 
     def __init__(
         self,
         request: dict[str, Any],
         future: PoolFuture,
         deadline: Deadline | None,
+        parent: Any | None = None,
     ) -> None:
         self.request = request
         self.future = future
         self.deadline = deadline
+        #: The submitter's TraceContext (when the submitting thread had
+        #: an explicit trace open) — carried across the queue so the
+        #: worker's request trace parents back to the submitter.
+        self.parent = parent
 
 
 _SHUTDOWN = object()
@@ -193,12 +198,19 @@ class ServicePool:
         """
         if self._closed:
             return PoolFuture.resolved(
-                error_envelope("overloaded", "serving pool is shut down")
+                self._rejection("overloaded", "serving pool is shut down")
             )
         budget = deadline_ms if deadline_ms is not None else self.deadline_ms
         deadline = Deadline.after_ms(budget) if budget is not None else None
         future = PoolFuture()
-        item = _WorkItem(request, future, deadline)
+        # Capture the submitter's trace context (only when it opened one
+        # explicitly) so the worker-side request trace parents to it —
+        # the cross-thread half of the causal chain.
+        telemetry = self.service.context.metrics.telemetry
+        parent = (
+            telemetry.open_trace_context() if telemetry is not None else None
+        )
+        item = _WorkItem(request, future, deadline, parent=parent)
         try:
             self._queue.put(item, block=block)
         except queue.Full:
@@ -206,7 +218,7 @@ class ServicePool:
                 self._rejected += 1
             self._count("pool.rejected")
             return PoolFuture.resolved(
-                error_envelope(
+                self._rejection(
                     "overloaded",
                     f"serving queue is full ({self.queue_depth} requests"
                     f" queued); retry later",
@@ -220,6 +232,22 @@ class ServicePool:
 
     def _count(self, name: str) -> None:
         self.service.context.counter(name)
+
+    def _rejection(self, code: str, message: str) -> dict[str, Any]:
+        """A pool-generated error envelope, logged and trace-stamped.
+
+        Rejections never reach :meth:`DomdService.handle`, so without
+        this the event log would hold no record of them; the emitted
+        ``error`` event carries the emitting thread's trace id, and the
+        envelope carries the same id so the client can correlate.
+        """
+        telemetry = self.service.context.metrics.telemetry
+        trace_id = None
+        if telemetry is not None:
+            trace_id = telemetry.emit("error", code=code, message=message)[
+                "trace_id"
+            ]
+        return error_envelope(code, message, trace_id=trace_id)
 
     # ------------------------------------------------------------------
     # workers
@@ -249,14 +277,14 @@ class ServicePool:
             with self._lock:
                 self._deadline_exceeded += 1
             self._count("pool.deadline_exceeded")
-            return error_envelope(
+            return self._rejection(
                 "deadline_exceeded",
                 f"deadline of {deadline.budget_seconds * 1000:.0f} ms"
                 " expired while the request was queued",
             )
         scope = self.gate.read() if self.gate is not None else nullcontext()
         with scope, ambient_scope(deadline=deadline, rng=rng):
-            response = self.service.handle(item.request)
+            response = self.service.handle(item.request, parent=item.parent)
         if (
             not response.get("ok", False)
             and response.get("error", {}).get("code") == "deadline_exceeded"
@@ -326,7 +354,7 @@ class ServicePool:
                     with self._lock:
                         self._rejected += 1
                     item.future.set(
-                        error_envelope(
+                        self._rejection(
                             "overloaded", "serving pool shut down before execution"
                         )
                     )

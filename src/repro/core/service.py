@@ -38,7 +38,16 @@ Every request is additionally served under a **fresh trace id** on the
 context's :class:`~repro.runtime.TelemetryHub`: the structured event
 log links the request span to every estimator / feature-extraction /
 Status Query span it triggered, and failed requests emit an ``error``
-event.
+event.  A request may carry a ``"traceparent"`` field (or the pool
+hands over the submitter's :class:`TraceContext`) to parent the trace.
+
+**Provenance.**  Every ok envelope carries a ``provenance`` stamp — the
+model/config content hashes, the feature-tensor cache key (data
+vintage), the serving watermark and maintained index designs when live
+ingestion backs the service, the planner's per-request index choice,
+and the request's ``trace_id``.  The same stamp (minus the trace id) is
+emitted as a ``provenance`` event, so ``repro telemetry trace`` can
+walk any response back to the WAL appends that fed it.
 
 **Error envelopes.**  Every failure — bad input, domain errors, an
 expired deadline, a saturated serving pool, even an unexpected internal
@@ -51,8 +60,10 @@ Codes: ``bad_request``, ``bad_json``, ``unknown_type``, ``not_found``,
 ``domain_error``, ``deadline_exceeded``, ``overloaded``, ``internal``.
 ``retryable`` is ``true`` exactly for the load-dependent codes
 (``overloaded``, ``deadline_exceeded``): the same request may succeed
-once the pool drains.  Raw exception text from unexpected faults never
-reaches the caller.
+once the pool drains.  Retryable envelopes additionally carry a
+top-level ``trace_id`` so the bounce correlates with its server-side
+trace; deterministic input errors stay trace-free.  Raw exception text
+from unexpected faults never reaches the caller.
 """
 
 from __future__ import annotations
@@ -72,6 +83,7 @@ from repro.runtime import (
     prometheus_text,
     telemetry_snapshot,
 )
+from repro.runtime.telemetry.tracecontext import TraceContext
 
 #: Every error code the service may emit (pinned by the schema test).
 ERROR_CODES = (
@@ -90,10 +102,18 @@ ERROR_CODES = (
 RETRYABLE_CODES = frozenset({"overloaded", "deadline_exceeded"})
 
 
-def error_envelope(code: str, message: str) -> dict[str, Any]:
-    """The one structured error shape every failure path produces."""
+def error_envelope(
+    code: str, message: str, trace_id: str | None = None
+) -> dict[str, Any]:
+    """The one structured error shape every failure path produces.
+
+    ``trace_id`` (attached only on *retryable* envelopes) lets a client
+    correlate an ``overloaded``/``deadline_exceeded`` bounce with the
+    server-side trace that produced it.  Deterministic input errors stay
+    trace-free: their envelopes are pure functions of the request.
+    """
     assert code in ERROR_CODES, f"unknown error code {code!r}"
-    return {
+    envelope: dict[str, Any] = {
         "ok": False,
         "error": {
             "code": code,
@@ -101,6 +121,9 @@ def error_envelope(code: str, message: str) -> dict[str, Any]:
             "retryable": code in RETRYABLE_CODES,
         },
     }
+    if trace_id is not None and code in RETRYABLE_CODES:
+        envelope["trace_id"] = trace_id
+    return envelope
 
 
 _error = error_envelope  # internal alias used by the handlers below
@@ -138,13 +161,21 @@ class DomdService:
         self.ingest: Any = None
 
     # ------------------------------------------------------------------
-    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+    def handle(
+        self, request: dict[str, Any], parent: TraceContext | None = None
+    ) -> dict[str, Any]:
         """Dispatch one request; never raises for bad input.
 
         When the request carries ``"timings": true`` the response gains
         a ``timings`` key with the spans/counters recorded while serving
         it (timing flows through the context's :class:`MetricsSink`; the
         service itself never reads the clock).
+
+        ``parent`` — a :class:`TraceContext` captured on the submitting
+        thread (:class:`~repro.core.server.ServicePool` hands it over) —
+        parents this request's trace; when absent, a ``"traceparent"``
+        request field is honoured instead, so external callers can
+        stitch their own traces to the server's.
         """
         if not isinstance(request, dict):
             return _error("bad_request", "request must be a JSON object")
@@ -163,8 +194,10 @@ class DomdService:
                 f"unknown request type {request_type!r}; expected one of {sorted(handlers)}",
             )
         telemetry = self.context.metrics.telemetry
+        if parent is None:
+            parent = TraceContext.from_traceparent(request.get("traceparent"))
         trace_scope = (
-            telemetry.trace("request", request_type=request_type)
+            telemetry.trace("request", request_type=request_type, parent=parent)
             if telemetry is not None
             else contextlib.nullcontext()
         )
@@ -179,6 +212,9 @@ class DomdService:
                     # The "as of" stamp: every effect of WAL records up
                     # to this seq is visible to the answer above.
                     response["watermark"] = self.ingest.watermark
+                response["provenance"] = self._provenance_stamp(
+                    telemetry, captured.report, request_type
+                )
                 if request.get("timings"):
                     response["timings"] = captured.report.as_dict()
                 if request.get("explain"):
@@ -204,13 +240,45 @@ class DomdService:
                     f" ({type(exc).__name__})",
                 )
 
+    def _provenance_stamp(
+        self, telemetry: Any, report: Any, request_type: str
+    ) -> dict[str, Any]:
+        """The stamp every ok envelope carries: what produced this answer.
+
+        All fields except ``trace_id`` are deterministic functions of the
+        served state, so two runs over the same data produce identical
+        stamps — pinned by the differential stress suite.
+        """
+        stamp: dict[str, Any] = dict(self._estimator.provenance())
+        if self.ingest is not None:
+            stamp["watermark"] = self.ingest.watermark
+            stamp["designs"] = sorted(self.ingest.adapters)
+        # The planner's per-request index choice, when a Status Query
+        # with design="auto" ran inside this request's capture window.
+        prefix = "planner.chosen."
+        for name, delta in sorted(report.counters.items()):
+            if name.startswith(prefix) and delta:
+                stamp["planner_design"] = name[len(prefix):]
+                break
+        if telemetry is not None:
+            # Logged before trace_id joins the stamp: the event already
+            # carries the trace id, and the logged fields stay the
+            # reproducible (deterministic) part of the stamp.
+            telemetry.emit("provenance", request_type=request_type, **stamp)
+            stamp["trace_id"] = telemetry.trace_id
+        return stamp
+
     def _record_error(
         self, telemetry: Any, code: str, message: str
     ) -> dict[str, Any]:
         self.context.counter("service.errors")
         if telemetry is not None:
             telemetry.emit("error", code=code, message=message)
-        return _error(code, message)
+        return _error(
+            code,
+            message,
+            trace_id=telemetry.trace_id if telemetry is not None else None,
+        )
 
     # ------------------------------------------------------------------
     def _parse_date(self, date: Any) -> int:

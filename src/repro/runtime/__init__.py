@@ -88,12 +88,17 @@ from repro.runtime.telemetry import (
     TelemetryHub,
     TelemetrySampler,
     TimeSeriesStore,
+    TraceContext,
+    causal_chain,
     chrome_trace_from_events,
     collapsed_from_events,
+    critical_path,
+    critical_path_summaries,
     default_objectives,
     load_events,
     load_events_lenient,
     prometheus_text,
+    render_causal_chain,
     render_report,
     render_top,
     telemetry_snapshot,
@@ -114,6 +119,11 @@ __all__ = [
     "collapsed_stacks",
     "spans_from_report",
     "TelemetryHub",
+    "TraceContext",
+    "causal_chain",
+    "critical_path",
+    "critical_path_summaries",
+    "render_causal_chain",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
     "MemoryEventLog",

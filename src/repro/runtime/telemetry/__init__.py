@@ -32,6 +32,12 @@ from repro.runtime.telemetry.alerts import (
     alert_states_from_events,
     alert_timeline,
 )
+from repro.runtime.telemetry.causal import (
+    causal_chain,
+    critical_path,
+    critical_path_summaries,
+    render_causal_chain,
+)
 from repro.runtime.telemetry.drift import DriftAlert, DriftMonitor, DriftThresholds
 from repro.runtime.telemetry.events import (
     JsonlEventLog,
@@ -70,9 +76,15 @@ from repro.runtime.telemetry.timeseries import (
     timeseries_from_events,
 )
 from repro.runtime.telemetry.top import render_top, sparkline, top_snapshot
+from repro.runtime.telemetry.tracecontext import TraceContext
 
 __all__ = [
     "TelemetryHub",
+    "TraceContext",
+    "causal_chain",
+    "critical_path",
+    "critical_path_summaries",
+    "render_causal_chain",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
     "MemoryEventLog",

@@ -1,0 +1,292 @@
+"""Causal-chain reconstruction: a served response → its WAL appends.
+
+Everything here works from the JSONL event log alone (the same
+``load_events_lenient`` stream that feeds ``repro telemetry report``),
+so the reconstruction is identical live (over the hub's ring buffer)
+and offline (over a log file).  The chain stitches four event kinds:
+
+* ``trace_open`` — ``parent_traceparent`` hops across threads
+  (submitter → pool worker) and processes (request ``traceparent``);
+* ``provenance`` — the ok envelope's stamp, logged inside the request
+  trace; its ``watermark`` says which WAL records the answer saw;
+* ``link`` with ``relation="wal_apply"`` — one per applied batch from
+  the ingest side, carrying the applied seq range and the *appender's*
+  serialised context (``traceparent``);
+* ``link`` with ``relation="wal_append"`` — emitted by the
+  :class:`~repro.stream.wal.WalWriter` inside the appender's trace.
+
+:func:`causal_chain` walks response → provenance → applies ≤ watermark
+→ appends; :func:`critical_path` reduces one reconstructed trace to its
+longest root-to-leaf span chain with per-component self-time — the
+``repro telemetry report`` critical-path table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.runtime.telemetry.events import Event
+from repro.runtime.telemetry.exporters import (
+    reconstruct_traces,
+    render_trace_tree,
+)
+from repro.runtime.telemetry.tracecontext import TraceContext
+
+
+def _trace_index(events: Iterable[Event]) -> dict[str, dict[str, Any]]:
+    """Span trees by trace id (one pass over ``reconstruct_traces``)."""
+    return {trace["trace_id"]: trace for trace in reconstruct_traces(events)}
+
+
+def _parent_of(events: Sequence[Event], trace_id: str) -> str | None:
+    """The parent trace id recorded on a trace's ``trace_open`` event."""
+    for event in events:
+        if (
+            event.get("kind") == "trace_open"
+            and event.get("trace_id") == trace_id
+        ):
+            parent = TraceContext.from_traceparent(
+                event.get("parent_traceparent")
+            )
+            return parent.trace_id if parent is not None else None
+    return None
+
+
+def causal_chain(
+    events: Sequence[Event], trace_id: str
+) -> dict[str, Any]:
+    """Reconstruct the full ingest→index→prediction chain of one trace.
+
+    Returns a dict with:
+
+    * ``trace_id`` / ``found`` — the queried trace and whether the log
+      holds it at all;
+    * ``request`` — its reconstructed span tree;
+    * ``parents`` — submitter trace ids, innermost first (cross-thread
+      ``parent_traceparent`` hops, cycles cut);
+    * ``provenance`` — the deterministic stamp logged while serving it
+      (``None`` for traces that never produced an ok envelope);
+    * ``watermark`` — the data vintage the answer saw;
+    * ``ingest`` — every ``wal_apply`` batch at or below that
+      watermark, each with its apply-trace tree and (when the WAL
+      records carried an appender context) the matching ``wal_append``
+      link and trace;
+    * ``complete`` — ``True`` when the chain reaches at least one
+      originating WAL append, or when the response was served from a
+      static snapshot (no watermark — nothing upstream to reach).
+    """
+    traces = _trace_index(events)
+    trace = traces.get(trace_id)
+    out: dict[str, Any] = {
+        "trace_id": trace_id,
+        "found": trace is not None,
+        "request": trace,
+        "parents": [],
+        "provenance": None,
+        "watermark": None,
+        "ingest": [],
+        "complete": False,
+    }
+    if trace is None:
+        return out
+
+    seen = {trace_id}
+    current: str | None = trace_id
+    while current is not None:
+        current = _parent_of(events, current)
+        if current is None or current in seen:
+            break
+        seen.add(current)
+        out["parents"].append(current)
+
+    for event in events:
+        if (
+            event.get("kind") == "provenance"
+            and event.get("trace_id") == trace_id
+        ):
+            stamp = {
+                key: value
+                for key, value in event.items()
+                if key not in ("ts", "kind", "trace_id")
+            }
+            out["provenance"] = stamp
+            watermark = stamp.get("watermark")
+            if isinstance(watermark, (int, float)):
+                out["watermark"] = int(watermark)
+            break
+
+    watermark = out["watermark"]
+    if watermark is None:
+        # Static snapshot serving: there is no stream upstream of the
+        # answer, so the chain is complete at the request itself.
+        out["complete"] = out["provenance"] is not None
+        return out
+
+    appends_by_trace: dict[str, list[Event]] = {}
+    for event in events:
+        if (
+            event.get("kind") == "link"
+            and event.get("relation") == "wal_append"
+        ):
+            appends_by_trace.setdefault(
+                str(event.get("trace_id")), []
+            ).append(event)
+
+    reached_append = False
+    for event in events:
+        if event.get("kind") != "link" or event.get("relation") != "wal_apply":
+            continue
+        first_seq = event.get("first_seq")
+        if not isinstance(first_seq, int) or first_seq > watermark:
+            continue
+        entry: dict[str, Any] = {
+            "trace_id": event.get("trace_id"),
+            "first_seq": first_seq,
+            "last_seq": event.get("last_seq"),
+            "watermark": event.get("watermark"),
+            "spans": traces.get(str(event.get("trace_id"))),
+            "append": None,
+        }
+        appender = TraceContext.from_traceparent(event.get("traceparent"))
+        if appender is not None:
+            append_entry: dict[str, Any] = {
+                "trace_id": appender.trace_id,
+                "span_id": appender.span_id,
+            }
+            for link in appends_by_trace.get(appender.trace_id, []):
+                link_first = link.get("first_seq")
+                link_last = link.get("last_seq")
+                if (
+                    isinstance(link_first, int)
+                    and isinstance(link_last, int)
+                    and not (
+                        link_last < first_seq
+                        or (
+                            isinstance(entry["last_seq"], int)
+                            and link_first > entry["last_seq"]
+                        )
+                    )
+                ):
+                    append_entry.update(
+                        first_seq=link_first,
+                        last_seq=link_last,
+                        wal=link.get("wal"),
+                        synced=link.get("synced"),
+                    )
+                    break
+            entry["append"] = append_entry
+            reached_append = True
+        out["ingest"].append(entry)
+
+    out["complete"] = reached_append and out["provenance"] is not None
+    return out
+
+
+def render_causal_chain(chain: dict[str, Any]) -> str:
+    """Human-readable rendering of one :func:`causal_chain` result."""
+    lines: list[str] = []
+    if not chain["found"]:
+        return f"trace {chain['trace_id']} not found in event log"
+    request = chain["request"]
+    lines.append(render_trace_tree(request))
+    for parent in chain["parents"]:
+        lines.append(f"parented by trace {parent} (submitter)")
+    stamp = chain["provenance"]
+    if stamp is not None:
+        parts = [
+            f"{key}={stamp[key]}"
+            for key in sorted(stamp)
+            if key != "request_type"
+        ]
+        lines.append("provenance: " + " ".join(parts))
+    if chain["watermark"] is None:
+        lines.append("served from a static snapshot (no stream upstream)")
+    else:
+        lines.append(f"data lineage (watermark {chain['watermark']}):")
+        for entry in chain["ingest"]:
+            lines.append(
+                f"  apply {entry['trace_id']} "
+                f"seq {entry['first_seq']}..{entry['last_seq']}"
+            )
+            append = entry["append"]
+            if append is None:
+                lines.append("    append: (unknown — WAL records carried no tp)")
+            else:
+                where = (
+                    f" seq {append['first_seq']}..{append['last_seq']}"
+                    f" wal={append['wal']} synced={append['synced']}"
+                    if "first_seq" in append
+                    else ""
+                )
+                lines.append(f"    append {append['trace_id']}{where}")
+    lines.append(
+        "chain complete: the response traces back to its WAL append(s)"
+        if chain["complete"]
+        else "chain incomplete: no originating WAL append reachable"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# critical paths (the ``repro telemetry report`` table)
+# ----------------------------------------------------------------------
+def _self_times(nodes: Sequence[dict[str, Any]], acc: dict[str, float]) -> None:
+    for node in nodes:
+        seconds = node.get("seconds") or 0.0
+        children = node.get("children") or []
+        child_sum = sum((c.get("seconds") or 0.0) for c in children)
+        component = str(node.get("name") or "?").split(".", 1)[0]
+        acc[component] = acc.get(component, 0.0) + max(
+            seconds - child_sum, 0.0
+        )
+        _self_times(children, acc)
+
+
+def critical_path(trace: dict[str, Any]) -> dict[str, Any]:
+    """The longest root-to-leaf span chain of one reconstructed trace.
+
+    At each level the chain descends into the child with the largest
+    recorded duration.  ``components`` attributes *self-time* (span
+    seconds minus child seconds) to the span-name prefix before the
+    first dot — "where inside this trace did the time actually go".
+    """
+    roots = trace.get("spans") or []
+    path: list[dict[str, Any]] = []
+    current = max(
+        roots, key=lambda n: n.get("seconds") or 0.0, default=None
+    )
+    while current is not None:
+        path.append(
+            {"name": current.get("name"), "seconds": current.get("seconds")}
+        )
+        children = current.get("children") or []
+        current = max(
+            children, key=lambda n: n.get("seconds") or 0.0, default=None
+        )
+    components: dict[str, float] = {}
+    _self_times(roots, components)
+    return {
+        "trace_id": trace.get("trace_id"),
+        "name": trace.get("name"),
+        "seconds": path[0]["seconds"] if path else None,
+        "path": path,
+        "components": components,
+    }
+
+
+def critical_path_summaries(
+    events: Iterable[Event], min_seconds: float = 0.0
+) -> list[dict[str, Any]]:
+    """Per-trace critical paths, slowest first (report table rows)."""
+    summaries = [
+        critical_path(trace)
+        for trace in reconstruct_traces(events)
+        if trace.get("spans")
+    ]
+    summaries = [
+        s
+        for s in summaries
+        if s["seconds"] is not None and s["seconds"] >= min_seconds
+    ]
+    summaries.sort(key=lambda s: s["seconds"], reverse=True)
+    return summaries

@@ -15,6 +15,10 @@ kind               payload
 ``planner_decision``  the :class:`PlanDecision` payload
 ``drift_alert``    channel/window/z-score of a flagged shift
 ``error``          ``code, message`` (service error envelopes)
+``link``           a causal edge: ``relation`` (``wal_append``/``wal_apply``),
+                   optional ``traceparent`` of the far end, seq range
+``provenance``     an ok envelope's reproducibility stamp (hashes,
+                   watermark, planner design) inside its request trace
 ``sample``         one sampler tick: flat ``metrics`` mapping, ``interval``
 ``alert``          an alert transition: ``name, state, previous, severity``
 ``slo``            budget accounting: ``objective, bad_delta, budget_spent``

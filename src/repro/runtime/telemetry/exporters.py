@@ -63,6 +63,7 @@ _INGEST_GAUGES = (
     ("watermark_seq", "highest WAL seq fully applied to store and indexes"),
     ("wal_end_seq", "highest WAL seq observed in the log"),
     ("lag_events", "WAL records not yet applied (wal_end - watermark)"),
+    ("freshness_lag_seconds", "seconds the oldest unapplied WAL record has waited"),
     ("watermark_age_seconds", "seconds since the watermark last advanced"),
     ("applied_batches", "WAL batches applied"),
     ("applied_events", "WAL events applied"),
@@ -328,6 +329,32 @@ def render_report(
         blocks.append(render_trace_tree(trace))
     if len(traces) > len(shown):
         blocks.append(f"... {len(traces) - len(shown)} more trace(s) omitted")
+
+    # Lazy import: causal imports reconstruct_traces from this module.
+    from repro.runtime.telemetry.causal import critical_path_summaries
+
+    paths = critical_path_summaries(events)[:max_traces]
+    if paths:
+        blocks.append("Critical paths")
+        blocks.append(
+            format_table(
+                ["trace", "name", "total ms", "critical path", "top component"],
+                [
+                    [
+                        p["trace_id"],
+                        p["name"] or "?",
+                        f"{p['seconds'] * 1000:.2f}",
+                        " > ".join(str(step["name"]) for step in p["path"]),
+                        max(
+                            p["components"],
+                            key=lambda c: p["components"][c],
+                            default="?",
+                        ),
+                    ]
+                    for p in paths
+                ],
+            )
+        )
 
     histograms = histograms_from_events(events)
     if histograms:

@@ -39,6 +39,7 @@ from repro.runtime.telemetry.alerts import AlertManager
 from repro.runtime.telemetry.drift import DriftAlert, DriftMonitor
 from repro.runtime.telemetry.events import Event, MemoryEventLog
 from repro.runtime.telemetry.histogram import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.runtime.telemetry.tracecontext import TraceContext
 
 
 class TelemetryHub:
@@ -125,20 +126,56 @@ class TelemetryHub:
             tls.ambient_trace = self._next_id("T")
         return tls.ambient_trace
 
+    def current_context(self) -> TraceContext:
+        """This thread's position in the causal tree, as a frozen value.
+
+        Captures the active trace id (ambient when none is open) and the
+        innermost open span id.  The result is safe to hand to another
+        thread or serialise across a process boundary
+        (:meth:`TraceContext.to_traceparent`).
+        """
+        tls = self._stacks()
+        span_id = tls.span_stack[-1] if tls.span_stack else None
+        return TraceContext(trace_id=self.trace_id, span_id=span_id)
+
+    def open_trace_context(self) -> TraceContext | None:
+        """Like :meth:`current_context`, but only for an *explicit* trace.
+
+        Returns ``None`` when this thread has no :meth:`trace` block
+        open — the cross-thread propagation hook
+        (:meth:`ServicePool.submit <repro.core.server.ServicePool.submit>`)
+        links a submitted request to its submitter's trace only when the
+        submitter deliberately opened one, not to every thread's ambient
+        catch-all trace.
+        """
+        tls = self._stacks()
+        if not tls.trace_stack:
+            return None
+        return self.current_context()
+
     @contextmanager
-    def trace(self, name: str, **attrs: Any) -> Iterator[str]:
+    def trace(
+        self, name: str, parent: TraceContext | None = None, **attrs: Any
+    ) -> Iterator[str]:
         """Open a fresh trace; spans inside carry its trace id.
 
         Span parentage does not leak across the boundary: the span stack
         is swapped out for the duration, so a request traced inside an
         outer span still yields a self-contained tree.  Traces are
         per-thread — concurrent workers each hold their own open trace.
+
+        ``parent`` (a :class:`TraceContext` captured on another thread
+        or parsed from a request's ``traceparent`` field) stamps
+        ``parent_traceparent`` on the ``trace_open`` event, which is how
+        cross-thread and cross-process causal chains stitch offline.
         """
         tls = self._stacks()
         trace_id = self._next_id("T")
         tls.trace_stack.append(trace_id)
         outer_spans = tls.span_stack
         tls.span_stack = []
+        if parent is not None:
+            attrs = {"parent_traceparent": parent.to_traceparent(), **attrs}
         self.emit("trace_open", name=name, **attrs)
         try:
             yield trace_id
@@ -146,6 +183,29 @@ class TelemetryHub:
             self.emit("trace_close", name=name)
             tls.span_stack = outer_spans
             tls.trace_stack.pop()
+
+    def link(
+        self,
+        relation: str,
+        target: TraceContext | str | None = None,
+        **fields: Any,
+    ) -> Event:
+        """Emit a ``link`` event tying this trace to another context.
+
+        ``relation`` names the edge (``wal_append``, ``wal_apply``, …);
+        ``target`` — a :class:`TraceContext` or an already-serialised
+        traceparent header — is recorded as ``traceparent`` when given.
+        The event carries the emitting thread's own trace id and open
+        span id, so both endpoints of the edge reconstruct from the log.
+        """
+        tls = self._stacks()
+        if isinstance(target, TraceContext):
+            fields = {"traceparent": target.to_traceparent(), **fields}
+        elif target is not None:
+            fields = {"traceparent": str(target), **fields}
+        if tls.span_stack:
+            fields.setdefault("span_id", tls.span_stack[-1])
+        return self.emit("link", relation=relation, **fields)
 
     def span_opened(self, name: str) -> str:
         """Sink hook: a span was entered; returns its span id."""

@@ -113,6 +113,7 @@ def default_objectives(
     error_rate_threshold: float = 0.01,
     max_lag_events: float = 0.0,
     include_ingest: bool = False,
+    freshness_lag_s: float = 5.0,
     rules: Sequence[BurnRateRule] = DEFAULT_BURN_RULES,
 ) -> list[SloObjective]:
     """The serving stack's stock objectives (``repro serve`` defaults).
@@ -123,7 +124,13 @@ def default_objectives(
       the error-rate threshold for 99% of samples;
     * ``watermark_lag`` (``include_ingest``) — WAL lag stays at or below
       ``max_lag_events`` for 95% of samples (a looser target: brief lag
-      behind a bursty WAL is normal, sustained lag is an incident).
+      behind a bursty WAL is normal, sustained lag is an incident);
+    * ``freshness`` (``include_ingest``) — the oldest unapplied WAL
+      record waits at most ``freshness_lag_s`` seconds for 95% of
+      samples.  This is the *pending-side* freshness SLI: a stalled
+      follower applies nothing (so the event-to-queryable histogram
+      goes silent), but this gauge keeps rising until the burn-rate
+      rules fire.
     """
     rules = tuple(rules)
     objectives = [
@@ -156,6 +163,17 @@ def default_objectives(
                 target=0.95,
                 rules=rules,
                 description="WAL records applied behind the log end",
+            )
+        )
+        objectives.append(
+            SloObjective(
+                name="freshness",
+                series="ingest.freshness_lag_seconds",
+                threshold=float(freshness_lag_s),
+                comparison="le",
+                target=0.95,
+                rules=rules,
+                description="seconds the oldest unapplied WAL record has waited",
             )
         )
     return objectives

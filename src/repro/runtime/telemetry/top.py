@@ -97,6 +97,13 @@ def top_snapshot(
 
     p99 = _latest(store, "hist.span.request.p99")
     p50 = _latest(store, "hist.span.request.p50")
+    fresh_p50 = _latest(store, "hist.freshness.event_to_queryable.p50")
+    fresh_p99 = _latest(store, "hist.freshness.event_to_queryable.p99")
+    link_counts: dict[str, int] = {}
+    for event in events:
+        if event.get("kind") == "link":
+            relation = str(event.get("relation"))
+            link_counts[relation] = link_counts.get(relation, 0) + 1
     snapshot: dict[str, Any] = {
         "ts": round(ts, 6),
         "window_seconds": window,
@@ -120,6 +127,29 @@ def top_snapshot(
         },
         "pool": _prefixed_latest(store, "pool."),
         "ingest": _prefixed_latest(store, "ingest."),
+        "freshness": {
+            # Pending side: how long the oldest unapplied record has
+            # waited (the stalled-follower signal) ...
+            "lag_seconds": _round(
+                _latest(store, "ingest.freshness_lag_seconds"), 6
+            ),
+            # ... and applied side: event-appended→queryable latency of
+            # what *did* land (the sampler's histogram series).
+            "p50_ms": _round(
+                fresh_p50 * 1000.0 if fresh_p50 is not None else None
+            ),
+            "p99_ms": _round(
+                fresh_p99 * 1000.0 if fresh_p99 is not None else None
+            ),
+            "trend": _trend(
+                store, "ingest.freshness_lag_seconds", window, ts
+            ),
+            # Causal link events tell freshness volume without gauges:
+            # one wal_append per appended batch, one wal_apply per
+            # appender context applied.
+            "appends": link_counts.get("wal_append", 0),
+            "applies": link_counts.get("wal_apply", 0),
+        },
         "drift_flagged": _latest(store, "drift.flagged") or 0.0,
         "alerts": {
             "firing": sorted(
@@ -189,6 +219,17 @@ def render_top(snapshot: Mapping[str, Any]) -> str:
             f"  ingest     lag={_fmt(ingest.get('lag_events'), 0)}"
             f"  watermark={_fmt(ingest.get('watermark_seq'), 0)}"
             f"  age_s={_fmt(ingest.get('watermark_age_seconds'), 2)}"
+        )
+
+    freshness = snapshot.get("freshness") or {}
+    if freshness.get("lag_seconds") is not None or freshness.get("applies"):
+        lines.append(
+            f"  freshness  lag_s={_fmt(freshness.get('lag_seconds'), 3)}"
+            f"  p50_ms={_fmt(freshness.get('p50_ms'))}"
+            f"  p99_ms={_fmt(freshness.get('p99_ms'))}"
+            f"  applies={_fmt(freshness.get('applies'), 0)}"
+            f"  appends={_fmt(freshness.get('appends'), 0)}"
+            f"  {sparkline(freshness.get('trend') or [])}"
         )
 
     lines.append(f"  drift      flagged={_fmt(snapshot.get('drift_flagged'), 0)}")

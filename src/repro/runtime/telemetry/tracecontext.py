@@ -1,0 +1,107 @@
+"""W3C-traceparent-style trace-context serialisation.
+
+The hub's native ids (``T%08x`` traces, ``S%08x`` spans from one
+process-wide counter) are great inside a process but useless across a
+process boundary: the WAL appender and the serving follower are often
+different programs.  :class:`TraceContext` is the frozen, serialisable
+form of "where am I in the causal tree" that crosses those boundaries:
+
+* **thread handoff** — :meth:`TelemetryHub.current_context
+  <repro.runtime.telemetry.hub.TelemetryHub.current_context>` captures
+  the submitter's context; the pool worker reopens the request trace
+  with ``parent=`` so the ``trace_open`` event carries
+  ``parent_traceparent`` and the two traces stitch offline.
+* **process handoff** — :class:`~repro.stream.wal.WalWriter` stamps the
+  appender's serialised context on every WAL record (the ``tp`` field,
+  outside the CRC'd event payload); the follower's apply trace links
+  back to it, so ``repro telemetry trace`` can walk a served prediction
+  all the way to the originating append even when the two halves wrote
+  different JSONL files.
+
+The wire format is W3C trace-context *style*::
+
+    00-<32 hex trace-id>-<16 hex span-id>-01
+
+Native ids round-trip exactly (the hex payload is the native counter,
+left-zero-padded); foreign ids — anything not ``[TS][0-9a-f]+`` — are
+hashed into the field instead, which keeps the header well-formed but
+is one-way (documented, and irrelevant for logs this stack wrote
+itself).  A zero span field means "no span open", which plain W3C
+forbids but an append outside any span legitimately produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+
+_NATIVE_RE = re.compile(r"^([TS])([0-9a-f]+)$")
+_HEADER_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+#: Minimum hex width of a native id's counter part (``T%08x``).
+_NATIVE_WIDTH = 8
+
+
+def _encode_id(native: str | None, width: int) -> str:
+    """Native id -> fixed-width lowercase hex field (zero = absent)."""
+    if native is None:
+        return "0" * width
+    match = _NATIVE_RE.match(native)
+    if match is not None and len(match.group(2)) <= width:
+        return match.group(2).zfill(width)
+    # Foreign id: hash it so the header stays well-formed (one-way).
+    digest = hashlib.sha256(native.encode("utf-8")).hexdigest()[:width]
+    return digest if int(digest, 16) else "1".zfill(width)
+
+
+def _decode_id(field: str, prefix: str) -> str | None:
+    """Hex field -> native id (``None`` for the all-zero field)."""
+    if int(field, 16) == 0:
+        return None
+    return prefix + field.lstrip("0").zfill(_NATIVE_WIDTH)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in the causal tree: a trace and (optionally) a span.
+
+    ``trace_id``/``span_id`` are hub-native ids (``T…``/``S…``).  The
+    serialised form is :meth:`to_traceparent`; :meth:`from_traceparent`
+    round-trips it.  Frozen so a captured context can be handed between
+    threads without aliasing the capturing thread's mutable stacks.
+    """
+
+    trace_id: str
+    span_id: str | None = None
+
+    def to_traceparent(self) -> str:
+        """Serialise as ``00-<trace>-<span>-01``."""
+        return (
+            f"00-{_encode_id(self.trace_id, 32)}"
+            f"-{_encode_id(self.span_id, 16)}-01"
+        )
+
+    @classmethod
+    def from_traceparent(cls, header: object) -> "TraceContext | None":
+        """Parse a traceparent header; ``None`` for anything malformed.
+
+        Lenient by design: headers arrive from request payloads and
+        on-disk logs, and a bad one must degrade to "no parent", never
+        to an exception on the serving path.
+        """
+        if not isinstance(header, str):
+            return None
+        match = _HEADER_RE.match(header.strip().lower())
+        if match is None:
+            return None
+        trace_field, span_field = match.group(1), match.group(2)
+        trace_id = _decode_id(trace_field, "T")
+        if trace_id is None:
+            return None
+        return cls(trace_id=trace_id, span_id=_decode_id(span_field, "S"))
+
+    def __str__(self) -> str:
+        return self.to_traceparent()

@@ -72,7 +72,15 @@ class WalFollower(threading.Thread):
     def poll_once(self) -> int:
         """One poll cycle; returns the number of events applied."""
         result = read_wal(self.wal_path, after_seq=self.ingestor.watermark)
-        self.ingestor.note_wal_end(result.last_seq)
+        # Noted *before* taking the write gate: a follower stalled
+        # behind the gate still advances the pending-side freshness
+        # gauge, which is how a stall surfaces as an SLO breach.
+        self.ingestor.note_wal_end(
+            result.last_seq,
+            oldest_pending_at=(
+                result.records[0].appended_at if result.records else None
+            ),
+        )
         if not result.records:
             return 0
         applied = 0

@@ -18,7 +18,7 @@ service responses can stamp it.
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -32,6 +32,27 @@ from repro.stream.wal import WalRecord, read_wal
 #: Designs maintained when the caller does not choose.
 DEFAULT_DESIGNS = ("avl",)
 
+#: Histogram of event-appended→queryable latency (the freshness SLI).
+FRESHNESS_HISTOGRAM = "freshness.event_to_queryable"
+
+
+def _traceparent_runs(
+    records: Sequence[WalRecord],
+) -> list[tuple[str | None, int, int]]:
+    """Consecutive records sharing one appender context → one link each.
+
+    A follower batch may span several appended batches (each with its
+    own ``tp``); grouping keeps every append trace reachable from the
+    apply trace without emitting one link per record.
+    """
+    runs: list[tuple[str | None, int, int]] = []
+    for record in records:
+        if runs and runs[-1][0] == record.traceparent:
+            runs[-1] = (record.traceparent, runs[-1][1], record.seq)
+        else:
+            runs.append((record.traceparent, record.seq, record.seq))
+    return runs
+
 
 class StreamIngestor:
     """Applies WAL batches to a store and its live index adapters."""
@@ -43,6 +64,7 @@ class StreamIngestor:
         rebuild_threshold: int | None = None,
         context: ExecutionContext | None = None,
         watermark: int = 0,
+        clock: Callable[[], float] = time.time,
     ):
         if not designs:
             raise ConfigurationError("ingestor needs at least one index design")
@@ -53,6 +75,7 @@ class StreamIngestor:
             )
         self.store = store
         self.context = context if context is not None else ExecutionContext()
+        self._clock = clock
         starts, ends, slots = store.logical_triples()
         self.adapters: dict[str, MutableIndexAdapter] = {
             design: MutableIndexAdapter(
@@ -66,6 +89,11 @@ class StreamIngestor:
         self.skipped_duplicates = 0
         self._wal_end_seq = self.watermark
         self._watermark_wall_time: float | None = None
+        #: Append time of the oldest WAL record known but not yet applied
+        #: — the anchor of ``freshness_lag_seconds``.  A stalled follower
+        #: applies nothing (so the freshness *histogram* goes silent);
+        #: this pending-side gauge is what keeps rising instead.
+        self._oldest_pending_at: float | None = None
         for adapter in self.adapters.values():
             adapter.watermark = self.watermark or None
 
@@ -77,7 +105,36 @@ class StreamIngestor:
 
         Records with ``seq <= watermark`` are skipped (idempotent
         replay); the first fresh record must continue the sequence.
+
+        Each batch with fresh records runs inside one ``ingest.apply``
+        trace holding one ``ingest.apply_batch`` span — batch
+        granularity deliberately, so tracing cost stays per-batch, not
+        per-event.  The batch emits one ``wal_apply`` link per distinct
+        appender context (``tp``), stitching apply back to append, and
+        observes the freshness histogram for every applied record that
+        carries an append timestamp.
         """
+        fresh = [record for record in records if record.seq > self.watermark]
+        self.skipped_duplicates += len(records) - len(fresh)
+        if not fresh:
+            return {
+                "applied": 0,
+                "skipped": len(records),
+                "watermark": self.watermark,
+            }
+        hub = self.context.telemetry
+        with hub.trace(
+            "ingest.apply", first_seq=fresh[0].seq, batch=len(fresh)
+        ):
+            applied = self._apply_fresh(fresh)
+        return {
+            "applied": applied,
+            "skipped": len(records) - applied,
+            "watermark": self.watermark,
+        }
+
+    def _apply_fresh(self, fresh: Sequence[WalRecord]) -> int:
+        """Apply pre-filtered fresh records; assumes a trace is open."""
         applied = 0
         # Consecutive inserts across records coalesce into one batched
         # index maintenance call; any update flushes first so its target
@@ -85,45 +142,65 @@ class StreamIngestor:
         # those of the per-event path.
         pending_inserts: list[tuple[int, float, float]] = []
         try:
-            for record in records:
-                if record.seq <= self.watermark:
-                    self.skipped_duplicates += 1
-                    continue
-                if record.seq != self.watermark + 1:
-                    raise StreamStateError(
-                        f"WAL gap: watermark is {self.watermark} but next "
-                        f"record has seq {record.seq}"
-                    )
-                result = self.store.apply(record.event)
-                pending_inserts.extend(result.inserts)
-                if result.updates:
-                    self._flush_inserts(pending_inserts)
-                    for slot, old_ts, _old_te, t_start, t_end in result.updates:
-                        for adapter in self.adapters.values():
-                            if t_start == old_ts:
-                                adapter.settle(slot, t_end)
-                            else:
-                                adapter.update_interval(slot, t_start, t_end)
-                self.watermark = record.seq
-                applied += 1
+            with self.context.span("ingest.apply_batch"):
+                for record in fresh:
+                    if record.seq != self.watermark + 1:
+                        raise StreamStateError(
+                            f"WAL gap: watermark is {self.watermark} but next "
+                            f"record has seq {record.seq}"
+                        )
+                    result = self.store.apply(record.event)
+                    pending_inserts.extend(result.inserts)
+                    if result.updates:
+                        self._flush_inserts(pending_inserts)
+                        for slot, old_ts, _old_te, t_start, t_end in result.updates:
+                            for adapter in self.adapters.values():
+                                if t_start == old_ts:
+                                    adapter.settle(slot, t_end)
+                                else:
+                                    adapter.update_interval(slot, t_start, t_end)
+                    self.watermark = record.seq
+                    applied += 1
         finally:
             # keep adapters consistent with the watermark even when a
             # later record raises (gap / corrupt event)
             self._flush_inserts(pending_inserts)
         if applied:
+            now = self._clock()
             self.applied_batches += 1
             self.applied_events += applied
-            self._watermark_wall_time = time.time()
+            self._watermark_wall_time = now
             self._wal_end_seq = max(self._wal_end_seq, self.watermark)
+            if self.watermark >= self._wal_end_seq:
+                self._oldest_pending_at = None
             for adapter in self.adapters.values():
                 adapter.watermark = self.watermark
             self.context.counter("ingest.batches")
             self.context.counter("ingest.events", applied)
-        return {
-            "applied": applied,
-            "skipped": len(records) - applied,
-            "watermark": self.watermark,
-        }
+            self._note_applied(fresh[:applied], now)
+        return applied
+
+    def _note_applied(
+        self, records: Sequence[WalRecord], now: float
+    ) -> None:
+        """Freshness observations + ``wal_apply`` links for one batch."""
+        hub = self.context.telemetry
+        for record in records:
+            if record.appended_at is not None:
+                hub.observe(
+                    FRESHNESS_HISTOGRAM, max(now - record.appended_at, 0.0)
+                )
+        status = self.status()
+        for traceparent, first_seq, last_seq in _traceparent_runs(records):
+            hub.link(
+                "wal_apply",
+                traceparent,
+                first_seq=first_seq,
+                last_seq=last_seq,
+                watermark=self.watermark,
+                rebuilds=dict(status["rebuilds"]),
+                staged=dict(status["staged"]),
+            )
 
     def _flush_inserts(
         self, pending: list[tuple[int, float, float]]
@@ -143,7 +220,12 @@ class StreamIngestor:
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         result = read_wal(wal_path, after_seq=self.watermark)
-        self.note_wal_end(result.last_seq)
+        self.note_wal_end(
+            result.last_seq,
+            oldest_pending_at=(
+                result.records[0].appended_at if result.records else None
+            ),
+        )
         applied = 0
         for lo in range(0, len(result.records), batch_size):
             summary = self.apply_batch(result.records[lo : lo + batch_size])
@@ -166,9 +248,26 @@ class StreamIngestor:
         ]
         return self.apply_batch(records)
 
-    def note_wal_end(self, seq: int) -> None:
-        """Record the WAL's end seq (for lag reporting)."""
+    def note_wal_end(
+        self, seq: int, oldest_pending_at: float | None = None
+    ) -> None:
+        """Record the WAL's end seq (for lag reporting).
+
+        ``oldest_pending_at`` is the append time of the oldest record
+        past the watermark (when the caller read the WAL and knows it);
+        it anchors ``freshness_lag_seconds``.  The follower notes it
+        *before* blocking on the snapshot gate, so the pending-side
+        freshness gauge keeps rising even while apply is stalled.
+        """
         self._wal_end_seq = max(self._wal_end_seq, int(seq))
+        if self._wal_end_seq <= self.watermark:
+            self._oldest_pending_at = None
+        elif oldest_pending_at is not None:
+            if (
+                self._oldest_pending_at is None
+                or oldest_pending_at < self._oldest_pending_at
+            ):
+                self._oldest_pending_at = float(oldest_pending_at)
 
     # ------------------------------------------------------------------
     # consumption
@@ -201,16 +300,28 @@ class StreamIngestor:
 
     def status(self) -> dict[str, Any]:
         """Gauge snapshot for health/metrics expositions."""
+        now = self._clock()
         lag = max(self._wal_end_seq - self.watermark, 0)
         age = (
             None
             if self._watermark_wall_time is None
-            else max(time.time() - self._watermark_wall_time, 0.0)
+            else max(now - self._watermark_wall_time, 0.0)
         )
+        # Freshness lag: how long the oldest unapplied record has been
+        # waiting.  0.0 when caught up; falls back to the watermark age
+        # when behind but the pending append time is unknown (pre-`at`
+        # WALs) — "time since we last made progress" is the best proxy.
+        if lag == 0:
+            freshness_lag = 0.0
+        elif self._oldest_pending_at is not None:
+            freshness_lag = max(now - self._oldest_pending_at, 0.0)
+        else:
+            freshness_lag = age if age is not None else 0.0
         return {
             "watermark_seq": self.watermark,
             "wal_end_seq": self._wal_end_seq,
             "lag_events": lag,
+            "freshness_lag_seconds": freshness_lag,
             "watermark_age_seconds": age,
             "applied_batches": self.applied_batches,
             "applied_events": self.applied_events,

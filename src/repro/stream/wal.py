@@ -2,13 +2,25 @@
 
 Record format — one JSON object per line::
 
-    {"seq": 17, "crc": 2996459622, "event": {"kind": "rcc_created", ...}}
+    {"seq": 17, "crc": 2996459622, "event": {"kind": "rcc_created", ...},
+     "at": 1754650000.123456, "tp": "00-...-01"}
 
 * ``seq`` is a strictly consecutive sequence number (the watermark
   currency of the whole streaming subsystem).
 * ``crc`` is the CRC-32 of the canonical JSON encoding of ``event``
   (sorted keys, compact separators), so a bit-flipped or torn record is
   detected without trusting line boundaries.
+* ``at`` (optional) is the append wall time — the anchor of the
+  event-appended→queryable **freshness SLI** the ingestor observes when
+  it applies the record.
+* ``tp`` (optional) is the appender's serialised
+  :class:`~repro.runtime.telemetry.tracecontext.TraceContext`
+  (W3C-traceparent style), letting the follower's apply trace link back
+  to the append trace across process boundaries.
+
+``at``/``tp`` live *outside* the CRC'd event payload, so logs written
+before this format read back unchanged and old readers skip the new
+fields without tripping integrity checks.
 
 **Durability contract.**  :meth:`WalWriter.append_batch` buffers then
 ``flush``\\ es every batch; an ``fsync`` is issued every
@@ -32,10 +44,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError, WalCorruptionError
 from repro.stream.events import Event, event_to_dict
@@ -52,10 +65,17 @@ def event_crc(event: dict[str, Any]) -> int:
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One parsed, integrity-checked WAL record."""
+    """One parsed, integrity-checked WAL record.
+
+    ``appended_at``/``traceparent`` mirror the optional ``at``/``tp``
+    record fields; fabricated records (``apply_events`` bootstrap paths)
+    leave them ``None``.
+    """
 
     seq: int
     event: dict[str, Any]
+    appended_at: float | None = None
+    traceparent: str | None = None
 
 
 @dataclass(frozen=True)
@@ -100,7 +120,18 @@ def _parse_record(line: str, expected_seq: int | None) -> WalRecord:
         raise WalCorruptionError(
             f"WAL sequence break: expected seq={expected_seq}, found {seq}"
         )
-    return WalRecord(seq=seq, event=event)
+    appended_at = payload.get("at")
+    if not isinstance(appended_at, (int, float)) or isinstance(appended_at, bool):
+        appended_at = None
+    traceparent = payload.get("tp")
+    if not isinstance(traceparent, str):
+        traceparent = None
+    return WalRecord(
+        seq=seq,
+        event=event,
+        appended_at=float(appended_at) if appended_at is not None else None,
+        traceparent=traceparent,
+    )
 
 
 def read_wal(path: str | Path, after_seq: int = 0) -> WalReadResult:
@@ -162,15 +193,32 @@ class WalWriter:
         Issue ``fsync`` every N batches.  1 (default) acknowledges every
         batch at the platter; larger values trade durability of the most
         recent N-1 batches for throughput.
+    telemetry:
+        Optional :class:`~repro.runtime.telemetry.hub.TelemetryHub`.
+        When set, every record is stamped with the appender's trace
+        context (``tp``) and each appended batch emits a ``wal_append``
+        ``link`` event, making the append side of the causal chain
+        reconstructable from the event log.
+    clock:
+        Wall-clock override for tests; stamps each record's append time
+        (``at``), the anchor of the freshness SLI.
     """
 
-    def __init__(self, path: str | Path, fsync_batches: int = 1):
+    def __init__(
+        self,
+        path: str | Path,
+        fsync_batches: int = 1,
+        telemetry: Any | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
         if fsync_batches < 1:
             raise ConfigurationError(
                 f"fsync_batches must be >= 1, got {fsync_batches}"
             )
         self.path = Path(path)
         self.fsync_batches = fsync_batches
+        self.telemetry = telemetry
+        self._clock = clock
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing = read_wal(self.path)
         if existing.dropped_tail and self.path.exists():
@@ -201,6 +249,12 @@ class WalWriter:
         if self._closed:
             raise ConfigurationError("WAL writer is closed")
         first_seq = self._next_seq
+        appended_at = round(self._clock(), 6)
+        traceparent = (
+            self.telemetry.current_context().to_traceparent()
+            if self.telemetry is not None
+            else None
+        )
         lines: list[bytes] = []
         for event in events:
             payload = event if isinstance(event, dict) else event_to_dict(event)
@@ -208,7 +262,10 @@ class WalWriter:
                 "seq": self._next_seq,
                 "crc": event_crc(payload),
                 "event": payload,
+                "at": appended_at,
             }
+            if traceparent is not None:
+                record["tp"] = traceparent
             lines.append(
                 (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode(
                     "utf-8"
@@ -224,6 +281,14 @@ class WalWriter:
         if self._unsynced_batches >= self.fsync_batches:
             self.sync()
             synced = True
+        if self.telemetry is not None:
+            self.telemetry.link(
+                "wal_append",
+                first_seq=first_seq,
+                last_seq=self._next_seq - 1,
+                wal=str(self.path),
+                synced=synced,
+            )
         return WalAppendResult(first_seq, self._next_seq - 1, synced=synced)
 
     def sync(self) -> None:

@@ -45,7 +45,7 @@ class InstrumentedService(DomdService):
     ambient per-worker RNG stream.
     """
 
-    def handle(self, request):
+    def handle(self, request, parent=None):
         if isinstance(request, dict) and request.get("type") == "sleep":
             try:
                 for _ in range(int(request.get("steps", 5))):
@@ -58,7 +58,7 @@ class InstrumentedService(DomdService):
             rng = current_rng()
             assert rng is not None, "pool must install the ambient worker stream"
             return {"ok": True, "result": float(rng.random())}
-        return super().handle(request)
+        return super().handle(request, parent=parent)
 
 
 @pytest.fixture()
@@ -189,6 +189,63 @@ class TestDeadlines:
         assert not response["ok"]
         assert response["error"]["code"] == "deadline_exceeded"
         assert set(response["error"]) == {"code", "message", "retryable"}
+
+
+class TestErrorTraceCorrelation:
+    def test_rejection_envelope_trace_id_matches_an_error_event(self, fitted):
+        from repro.runtime import ExecutionContext
+
+        # fresh context: the module-scoped fixtures share the estimator's
+        # hub, whose ambient thread trace would collect other tests' events
+        slow_service = InstrumentedService(fitted, context=ExecutionContext(seed=0))
+        pool = ServicePool(slow_service, workers=1, queue_depth=2)
+        try:
+            held = [
+                pool.submit({"type": "sleep", "steps": 30}, block=True)
+                for _ in range(3)
+            ]
+            deadline = time.monotonic() + 5.0
+            while not pool.status()["saturated"]:
+                assert time.monotonic() < deadline, "queue never saturated"
+                time.sleep(0.005)
+            response = pool.submit({"type": "health"}).result()
+            assert response["error"]["code"] == "overloaded"
+            trace_id = response["trace_id"]
+            matching = [
+                e
+                for e in slow_service.context.telemetry.events()
+                if e["kind"] == "error"
+                and e["trace_id"] == trace_id
+                and e["code"] == "overloaded"
+            ]
+            assert len(matching) == 1
+            for future in held:
+                assert future.result(timeout=30)["ok"]
+        finally:
+            pool.close()
+
+    def test_queued_expiry_envelope_carries_a_trace_id(self, slow_service):
+        pool = ServicePool(slow_service, workers=1, queue_depth=4)
+        try:
+            blocker = pool.submit({"type": "sleep", "steps": 20})
+            doomed = pool.submit(
+                {"type": "domd_query", "avail_ids": [0], "t_star": 60.0},
+                deadline_ms=1,
+            )
+            response = doomed.result(timeout=30)
+            assert response["error"]["code"] == "deadline_exceeded"
+            assert response["trace_id"].startswith("T")
+            assert blocker.result(timeout=30)["ok"]
+        finally:
+            pool.close()
+
+    def test_mid_execution_deadline_envelope_carries_a_trace_id(self, service):
+        with ServicePool(service, workers=1, deadline_ms=0.01) as pool:
+            response = pool.submit(
+                {"type": "domd_query", "avail_ids": list(range(20)), "t_star": 60.0}
+            ).result(timeout=30)
+        assert response["error"]["code"] == "deadline_exceeded"
+        assert response["trace_id"].startswith("T")
 
 
 class TestShutdown:

@@ -168,3 +168,96 @@ class TestErrorEnvelopeSchema:
         assert response["error"]["code"] == "internal"
         assert "secret traceback detail" not in response["error"]["message"]
         assert "RuntimeError" in response["error"]["message"]
+
+
+class TestRetryableTraceIds:
+    """Only retryable envelopes carry a top-level ``trace_id`` — the
+    correlation handle a client quotes when reporting an overloaded or
+    deadline-exceeded response.  Deterministic (non-retryable) error
+    envelopes stay byte-identical to the pre-tracing schema."""
+
+    def test_retryable_helper_attaches_the_trace_id(self):
+        envelope = error_envelope("overloaded", "queue full", trace_id="T0000002a")
+        assert envelope["trace_id"] == "T0000002a"
+        assert envelope["error"]["retryable"] is True
+        envelope = error_envelope("deadline_exceeded", "late", trace_id="T0000002b")
+        assert envelope["trace_id"] == "T0000002b"
+
+    def test_non_retryable_never_carries_a_trace_id(self):
+        for code in set(ERROR_CODES) - RETRYABLE_CODES:
+            envelope = error_envelope(code, "nope", trace_id="T0000002a")
+            assert set(envelope) == {"ok", "error"}, code
+
+    def test_trace_id_none_is_omitted(self):
+        assert "trace_id" not in error_envelope("overloaded", "queue full")
+
+
+class TestProvenanceStamp:
+    """Every ok envelope is provenance-stamped: what model/config/feature
+    state produced this answer, reproducibly — only ``trace_id`` may
+    differ between identical requests."""
+
+    REQUIRED = {"model_hash", "config_hash", "feature_key", "trace_id"}
+    OPTIONAL = {"watermark", "designs", "planner_design"}
+
+    def test_ok_envelope_key_set_is_pinned(self, service):
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0], "t_star": 60.0}
+        )
+        assert response["ok"]
+        stamp = response["provenance"]
+        assert self.REQUIRED <= set(stamp)
+        assert set(stamp) <= self.REQUIRED | self.OPTIONAL
+        assert all(
+            isinstance(stamp[key], str) and stamp[key]
+            for key in ("model_hash", "config_hash", "feature_key", "trace_id")
+        )
+        json.dumps(response)  # fully serialisable
+
+    def test_stamp_is_deterministic_except_trace_id(self, service):
+        request = {"type": "domd_query", "avail_ids": [0], "t_star": 60.0}
+        first = service.handle(request)["provenance"]
+        second = service.handle(request)["provenance"]
+        assert first["trace_id"] != second["trace_id"]
+        strip = lambda stamp: {  # noqa: E731
+            key: value for key, value in stamp.items() if key != "trace_id"
+        }
+        assert strip(first) == strip(second)
+
+    def test_all_ok_request_types_are_stamped(self, service, small_dataset):
+        from repro.data.dates import day_to_iso
+
+        some_day = int(small_dataset.avails["act_start"][0]) + 10
+        for request in (
+            {"type": "explain", "avail_id": 0, "t_star": 50.0},
+            {"type": "fleet_status", "date": day_to_iso(some_day)},
+            {"type": "health"},
+        ):
+            response = service.handle(request)
+            assert response["ok"]
+            assert self.REQUIRED <= set(response["provenance"]), request
+
+    def test_error_envelopes_are_not_stamped(self, service):
+        response = service.handle({"type": "teleport"})
+        assert "provenance" not in response
+
+    def test_trace_id_points_into_the_event_log(self, service):
+        response = service.handle(
+            {"type": "domd_query", "avail_ids": [0], "t_star": 60.0}
+        )
+        trace_id = response["provenance"]["trace_id"]
+        events = service.context.telemetry.events()
+        opens = [
+            e
+            for e in events
+            if e["kind"] == "trace_open" and e["trace_id"] == trace_id
+        ]
+        assert len(opens) == 1 and opens[0]["name"] == "request"
+        stamps = [
+            e
+            for e in events
+            if e["kind"] == "provenance" and e["trace_id"] == trace_id
+        ]
+        assert len(stamps) == 1
+        assert stamps[0]["model_hash"] == response["provenance"]["model_hash"]
+        assert stamps[0]["config_hash"] == response["provenance"]["config_hash"]

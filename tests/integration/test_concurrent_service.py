@@ -26,7 +26,13 @@ from repro.core.server import ServicePool
 from repro.core.service import DomdService
 from repro.data.dates import day_to_iso
 from repro.ml import GbmParams
-from repro.runtime import ExecutionContext, JsonlEventLog, MemoryEventLog, TelemetryHub
+from repro.runtime import (
+    ExecutionContext,
+    JsonlEventLog,
+    MemoryEventLog,
+    TelemetryHub,
+    TraceContext,
+)
 
 N_SUBMITTERS = 8
 N_WORKERS = 4
@@ -107,14 +113,29 @@ def fresh_context() -> ExecutionContext:
     )
 
 
+def canonical_bytes(response: dict) -> bytes:
+    """Encode a response with its only nondeterministic field removed.
+
+    ``provenance.trace_id`` is fresh per served request by design; every
+    *other* provenance field (content hashes, feature key, planner
+    choice) is a deterministic function of the served state and must
+    still match byte-for-byte between pooled and sequential serving.
+    """
+    if isinstance(response.get("provenance"), dict):
+        response = dict(response)
+        provenance = dict(response["provenance"])
+        provenance.pop("trace_id", None)
+        response["provenance"] = provenance
+    return json.dumps(response, sort_keys=True).encode()
+
+
 class TestDifferentialStress:
     @pytest.fixture(scope="class")
     def stress_run(self, fitted, workload, tmp_path_factory):
         """One pooled stress run shared by the assertions below."""
         reference_service = DomdService(fitted, context=fresh_context())
         reference = [
-            json.dumps(reference_service.handle(request), sort_keys=True).encode()
-            for request in workload
+            canonical_bytes(reference_service.handle(request)) for request in workload
         ]
 
         pooled_context = fresh_context()
@@ -134,9 +155,7 @@ class TestDifferentialStress:
             try:
                 for index in range(offset, len(workload), N_SUBMITTERS):
                     future = pool.submit(workload[index], block=True)
-                    responses[index] = json.dumps(
-                        future.result(timeout=120), sort_keys=True
-                    ).encode()
+                    responses[index] = canonical_bytes(future.result(timeout=120))
             except BaseException as exc:  # noqa: BLE001 — surfaced below
                 submit_errors.append(exc)
 
@@ -203,6 +222,98 @@ class TestDifferentialStress:
         assert os.path.getsize(artifact) > 0
 
 
+class TestTraceContextHandoff:
+    """Trace context survives the submitter -> worker thread handoff.
+
+    Each submitter opens its *own* explicit trace and hammers the pool;
+    every pooled request's ``trace_open`` must carry a
+    ``parent_traceparent`` that decodes back to exactly the trace of the
+    thread that submitted it — zero cross-request leakage even though
+    the hub's trace stacks are thread-local and the request is served on
+    a different (worker) thread.
+    """
+
+    def test_submitter_parent_propagates_with_zero_leakage(self, fitted, workload):
+        context = fresh_context()
+        hub = context.telemetry
+        service = DomdService(fitted, context=context)
+        barrier = threading.Barrier(N_SUBMITTERS)
+        lock = threading.Lock()
+        submitter_traces: dict[int, str] = {}
+        #: request trace id -> the submitter trace that must be its parent
+        expected_parent: dict[str, str] = {}
+        dispatched_by: dict[str, int] = {}
+        errors: list[BaseException] = []
+
+        with ServicePool(service, workers=N_WORKERS, queue_depth=32) as pool:
+
+            def submitter(offset: int) -> None:
+                barrier.wait()
+                try:
+                    with hub.trace("stress.submitter", slot=offset) as own_trace:
+                        with lock:
+                            submitter_traces[offset] = own_trace
+                        dispatched = 0
+                        served: list[str] = []
+                        for index in range(offset, len(workload), N_SUBMITTERS):
+                            request = workload[index]
+                            response = pool.submit(request, block=True).result(
+                                timeout=120
+                            )
+                            if request["type"] in KNOWN_TYPES:
+                                dispatched += 1
+                            provenance = response.get("provenance")
+                            if isinstance(provenance, dict):
+                                served.append(provenance["trace_id"])
+                        with lock:
+                            dispatched_by[own_trace] = dispatched
+                            for request_trace in served:
+                                expected_parent[request_trace] = own_trace
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=submitter, args=(i,))
+                for i in range(N_SUBMITTERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+
+        opens = {
+            event["trace_id"]: event
+            for event in hub.events()
+            if event["kind"] == "trace_open" and event.get("name") == "request"
+        }
+        assert opens, "no pooled request traces recorded"
+        assert expected_parent, "no ok envelopes carried a provenance trace id"
+
+        # every ok response maps back to exactly its own submitter
+        for request_trace, submitter_trace in expected_parent.items():
+            parent = TraceContext.from_traceparent(
+                opens[request_trace].get("parent_traceparent")
+            )
+            assert parent is not None, f"{request_trace} lost its parent context"
+            assert parent.trace_id == submitter_trace, (
+                f"request {request_trace} parented by {parent.trace_id}, "
+                f"expected submitter {submitter_trace}"
+            )
+
+        # every dispatched request (ok *and* error envelopes) is parented
+        # by some submitter trace, and per-submitter counts line up
+        submitter_ids = set(submitter_traces.values())
+        counts: dict[str, int] = {}
+        for event in opens.values():
+            parent = TraceContext.from_traceparent(event.get("parent_traceparent"))
+            assert parent is not None
+            assert parent.trace_id in submitter_ids
+            counts[parent.trace_id] = counts.get(parent.trace_id, 0) + 1
+        assert counts == {k: v for k, v in dispatched_by.items() if v}
+
+
 class TestRepeatedPooledRuns:
     def test_two_pooled_runs_agree_with_each_other(self, fitted, workload):
         """Pool nondeterminism (scheduling) must not leak into responses."""
@@ -214,9 +325,6 @@ class TestRepeatedPooledRuns:
                     pool.submit(request, block=True) for request in workload[:24]
                 ]
                 outputs.append(
-                    [
-                        json.dumps(f.result(timeout=120), sort_keys=True).encode()
-                        for f in futures
-                    ]
+                    [canonical_bytes(f.result(timeout=120)) for f in futures]
                 )
         assert outputs[0] == outputs[1]

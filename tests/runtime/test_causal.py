@@ -1,0 +1,171 @@
+"""Causal-chain reconstruction and critical paths, against a golden log.
+
+``golden/causal_events.jsonl`` is a committed event log covering the
+full cross-process chain: an appender run (``ingest.append`` trace with
+its ``wal_append`` link), a follower apply (``ingest.apply`` trace whose
+``wal_apply`` link carries the appender's traceparent), a submitter
+trace, and a pooled request trace (``parent_traceparent`` back to the
+submitter) that logged a provenance stamp at watermark 3 — plus one
+static-snapshot request with no watermark.  The reconstruction must be
+byte-stable against ``golden/causal_chain.txt``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.telemetry.causal import (
+    causal_chain,
+    critical_path,
+    critical_path_summaries,
+    render_causal_chain,
+)
+from repro.runtime.telemetry.events import load_events
+from repro.runtime.telemetry.exporters import reconstruct_traces, render_report
+
+GOLDEN = Path(__file__).parent / "golden"
+LOG = GOLDEN / "causal_events.jsonl"
+
+REQUEST = "T00000006"  # the pooled domd_query request trace
+SUBMITTER = "T00000005"
+APPLY = "T00000003"
+APPEND = "T00000001"
+SNAPSHOT = "T0000000a"  # served without a stream upstream
+
+
+@pytest.fixture(scope="module")
+def events():
+    return load_events(LOG)
+
+
+class TestCausalChain:
+    def test_chain_reaches_the_originating_wal_append(self, events):
+        chain = causal_chain(events, REQUEST)
+        assert chain["found"]
+        assert chain["parents"] == [SUBMITTER]
+        assert chain["watermark"] == 3
+        assert chain["complete"]
+        (entry,) = chain["ingest"]
+        assert entry["trace_id"] == APPLY
+        assert (entry["first_seq"], entry["last_seq"]) == (1, 3)
+        assert entry["spans"]["name"] == "ingest.apply"
+        append = entry["append"]
+        assert append["trace_id"] == APPEND
+        assert (append["first_seq"], append["last_seq"]) == (1, 3)
+        assert append["wal"] == "wal.jsonl"
+        assert append["synced"] is True
+
+    def test_provenance_stamp_survives_reconstruction(self, events):
+        stamp = causal_chain(events, REQUEST)["provenance"]
+        assert stamp["model_hash"] == "m" * 12
+        assert stamp["config_hash"] == "c" * 12
+        assert stamp["feature_key"] == "ds01/cfg02/t03"
+        assert stamp["planner_design"] == "avl"
+
+    def test_rendered_chain_matches_golden(self, events):
+        rendered = render_causal_chain(causal_chain(events, REQUEST)) + "\n"
+        assert rendered == (GOLDEN / "causal_chain.txt").read_text()
+
+    def test_static_snapshot_is_complete_without_a_watermark(self, events):
+        chain = causal_chain(events, SNAPSHOT)
+        assert chain["found"]
+        assert chain["watermark"] is None
+        assert chain["ingest"] == []
+        assert chain["complete"]
+        assert "static snapshot" in render_causal_chain(chain)
+
+    def test_unknown_trace_reports_not_found(self, events):
+        chain = causal_chain(events, "Tdeadbeef")
+        assert not chain["found"]
+        assert not chain["complete"]
+        assert "not found" in render_causal_chain(chain)
+
+    def test_apply_trace_alone_is_an_incomplete_chain(self, events):
+        # the apply trace has no provenance of its own: walkable, but it
+        # is not a served response and must not claim completeness
+        chain = causal_chain(events, APPLY)
+        assert chain["found"]
+        assert not chain["complete"]
+
+    def test_live_equals_offline(self, events):
+        # reconstruction is a pure function of the event stream: feeding
+        # the same dicts a hub would buffer live yields the same chain
+        live = [dict(event) for event in events]
+        assert causal_chain(live, REQUEST) == causal_chain(events, REQUEST)
+
+
+class TestCriticalPath:
+    def test_descends_into_the_slowest_child(self, events):
+        trace = {
+            t["trace_id"]: t for t in reconstruct_traces(events)
+        }[REQUEST]
+        summary = critical_path(trace)
+        assert [step["name"] for step in summary["path"]] == [
+            "service.domd_query",
+            "query.sweep",
+        ]
+        assert summary["seconds"] == pytest.approx(0.05)
+
+    def test_self_time_attribution_by_component(self, events):
+        trace = {
+            t["trace_id"]: t for t in reconstruct_traces(events)
+        }[REQUEST]
+        components = critical_path(trace)["components"]
+        # 50 ms total - (30 + 10) ms children = 10 ms of service self-time
+        assert components["service"] == pytest.approx(0.01)
+        assert components["query"] == pytest.approx(0.03)
+        assert components["features"] == pytest.approx(0.01)
+
+    def test_summaries_sorted_slowest_first(self, events):
+        summaries = critical_path_summaries(events)
+        assert [s["trace_id"] for s in summaries] == [
+            REQUEST,
+            SNAPSHOT,
+            APPLY,
+            APPEND,
+        ]
+        assert critical_path_summaries(events, min_seconds=0.01) == summaries[:2]
+
+    def test_report_includes_the_critical_path_table(self, events):
+        report = render_report(events)
+        assert "Critical paths" in report
+        assert "service.domd_query > query.sweep" in report
+
+
+class TestCliTelemetryTrace:
+    def run(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_text_output_reaches_the_append(self):
+        code, text = self.run("telemetry", "trace", REQUEST, "--events", str(LOG))
+        assert code == 0
+        assert "chain complete" in text
+        assert f"append {APPEND}" in text
+
+    def test_json_output_is_the_chain_dict(self):
+        code, text = self.run(
+            "telemetry", "trace", REQUEST, "--events", str(LOG),
+            "--format", "json",
+        )
+        assert code == 0
+        chain = json.loads(text)
+        assert chain["complete"] and chain["watermark"] == 3
+
+    def test_unknown_trace_exits_nonzero(self):
+        code, text = self.run(
+            "telemetry", "trace", "Tdeadbeef", "--events", str(LOG)
+        )
+        assert code == 1
+        assert "not found" in text
+
+    def test_missing_trace_id_is_a_domain_error(self):
+        code, text = self.run("telemetry", "trace", "--events", str(LOG))
+        assert code == 1
+        assert json.loads(text)["error"]["code"] == "domain_error"

@@ -142,9 +142,16 @@ class TestDefaultObjectives:
         assert [o.name for o in objectives] == ["request_latency", "error_rate"]
         assert objectives[0].series == "hist.span.request.p99"
         objectives = default_objectives(include_ingest=True)
-        assert objectives[-1].name == "watermark_lag"
-        assert objectives[-1].series == "ingest.lag_events"
+        assert [o.name for o in objectives[-2:]] == ["watermark_lag", "freshness"]
+        assert objectives[-2].series == "ingest.lag_events"
+        assert objectives[-2].target == pytest.approx(0.95)
+        assert objectives[-1].series == "ingest.freshness_lag_seconds"
+        assert objectives[-1].threshold == pytest.approx(5.0)
         assert objectives[-1].target == pytest.approx(0.95)
+
+    def test_freshness_threshold_knob(self):
+        objectives = default_objectives(include_ingest=True, freshness_lag_s=0.25)
+        assert objectives[-1].threshold == pytest.approx(0.25)
 
     def test_latency_threshold_knob(self):
         [latency, _err] = default_objectives(latency_threshold_s=0.123)

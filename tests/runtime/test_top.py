@@ -44,6 +44,34 @@ def synthetic_events() -> list[dict]:
     return events
 
 
+def freshness_events() -> list[dict]:
+    """Samples carrying the freshness series plus causal link events."""
+    events = []
+    for t in range(4):
+        events.append(
+            {
+                "ts": 200.0 + t,
+                "kind": "sample",
+                "metrics": {
+                    "ingest.freshness_lag_seconds": 0.5 * t,
+                    "hist.freshness.event_to_queryable.p50": 0.004,
+                    "hist.freshness.event_to_queryable.p99": 0.020 + 0.001 * t,
+                },
+            }
+        )
+    events.append(
+        {"ts": 200.1, "kind": "link", "relation": "wal_append",
+         "trace_id": "T00000001", "first_seq": 1, "last_seq": 6}
+    )
+    for t in range(2):
+        events.append(
+            {"ts": 200.5 + t, "kind": "link", "relation": "wal_apply",
+             "trace_id": f"T0000000{t + 2}", "first_seq": 1 + 3 * t,
+             "last_seq": 3 + 3 * t, "watermark": 3 + 3 * t}
+        )
+    return events
+
+
 class TestSparkline:
     def test_shape(self):
         assert sparkline([]) == ""
@@ -75,6 +103,33 @@ class TestSnapshot:
     def test_window_clips_trends(self):
         snapshot = top_snapshot(synthetic_events(), window=2.0)
         assert snapshot["qps"]["trend"] == [12.0, 13.0, 14.0]
+
+
+class TestFreshnessPanel:
+    def test_snapshot_freshness_block(self):
+        freshness = top_snapshot(freshness_events())["freshness"]
+        assert freshness["lag_seconds"] == 1.5  # newest sample
+        assert freshness["p50_ms"] == 4.0
+        assert freshness["p99_ms"] == 23.0
+        assert freshness["trend"] == [0.0, 0.5, 1.0, 1.5]
+        assert freshness["appends"] == 1
+        assert freshness["applies"] == 2
+
+    def test_no_ingest_means_empty_panel(self):
+        freshness = top_snapshot(synthetic_events())["freshness"]
+        assert freshness["lag_seconds"] is None
+        assert freshness["applies"] == 0
+
+    def test_render_shows_the_freshness_row(self):
+        text = render_top(top_snapshot(freshness_events()))
+        assert "freshness" in text
+        assert "lag_s=1.500" in text
+        assert "p99_ms=23.00" in text
+        assert "applies=2" in text and "appends=1" in text
+
+    def test_render_omits_the_row_without_data(self):
+        text = render_top(top_snapshot(synthetic_events()))
+        assert "freshness" not in text
 
 
 class TestRender:

@@ -1,0 +1,81 @@
+"""``TraceContext``: W3C-style serialisation of hub-native ids.
+
+Native ids (``T%08x``/``S%08x``) must round-trip exactly through the
+``00-<trace>-<span>-01`` wire form; anything else must degrade safely —
+foreign ids hash one-way into a well-formed header, malformed headers
+parse to ``None`` (never raise on the serving path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.telemetry.tracecontext import TraceContext
+
+
+class TestRoundTrip:
+    def test_native_ids_round_trip_exactly(self):
+        context = TraceContext(trace_id="T0000002a", span_id="S000000ff")
+        header = context.to_traceparent()
+        assert header == (
+            "00-0000000000000000000000000000002a-00000000000000ff-01"
+        )
+        assert TraceContext.from_traceparent(header) == context
+
+    def test_no_span_serialises_to_zero_field(self):
+        header = TraceContext(trace_id="T00000001").to_traceparent()
+        assert header.split("-")[2] == "0" * 16
+        assert TraceContext.from_traceparent(header) == TraceContext(
+            trace_id="T00000001", span_id=None
+        )
+
+    def test_wide_native_counters_round_trip(self):
+        # ids past 8 hex digits (very long runs) still fit the fields
+        context = TraceContext(trace_id="T123456789ab", span_id="S123456789")
+        assert TraceContext.from_traceparent(context.to_traceparent()) == context
+
+    def test_str_is_the_header(self):
+        context = TraceContext(trace_id="T00000001")
+        assert str(context) == context.to_traceparent()
+
+
+class TestForeignIds:
+    def test_foreign_id_hashes_into_a_wellformed_header(self):
+        context = TraceContext(trace_id="req-7f3a")
+        header = context.to_traceparent()
+        assert TraceContext.from_traceparent(header) is not None
+        # deterministic but one-way: the original string is not recoverable
+        assert header == TraceContext(trace_id="req-7f3a").to_traceparent()
+        assert TraceContext.from_traceparent(header).trace_id != "req-7f3a"
+
+    def test_uppercase_payload_is_not_native(self):
+        # native format is strictly lowercase hex; near-misses are hashed
+        upper = TraceContext(trace_id="TDEADBEEF").to_traceparent()
+        lower = TraceContext(trace_id="Tdeadbeef").to_traceparent()
+        assert upper != lower
+        parsed = TraceContext.from_traceparent(lower)
+        assert parsed is not None and parsed.trace_id == "Tdeadbeef"
+
+
+class TestLenientParsing:
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            42,
+            "",
+            "garbage",
+            "00-xyz-span-01",
+            "00-" + "0" * 32 + "-" + "0" * 16 + "-01",  # all-zero trace id
+            "00-" + "1" * 31 + "-" + "0" * 16 + "-01",  # short trace field
+            "ff-" + "1" * 32 + "-" + "0" * 16,  # missing flags field
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_whitespace_and_case_are_tolerated(self):
+        header = "  00-" + "0" * 24 + "0000002A" + "-" + "0" * 16 + "-01  "
+        assert TraceContext.from_traceparent(header) == TraceContext(
+            trace_id="T0000002a"
+        )
