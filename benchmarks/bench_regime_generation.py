@@ -1,0 +1,67 @@
+"""Regime generation throughput: lifecycle simulator vs direct sampler.
+
+The lifecycle layer walks every avail through the degradation state
+machine instead of sampling RCC streams directly, so it carries real
+per-avail Python work.  This bench pins (a) paper-scale lifecycle
+generation staying within an order of magnitude of the direct sampler
+and (b) the per-regime cost of the test-scale sweep the property suite
+pays in tier-1/nightly CI.
+"""
+
+from repro.bench import emit_report, format_table
+from repro.data import SyntheticNmdConfig, generate_dataset
+from repro.data.regimes import REGIMES, generate_regime_dataset
+
+TEST_BASE = SyntheticNmdConfig(
+    n_ships=8,
+    n_closed_avails=26,
+    n_ongoing_avails=2,
+    target_n_rccs=1_600,
+    seed=29,
+)
+
+
+def test_lifecycle_generation_paper_scale(benchmark):
+    result = benchmark.pedantic(
+        generate_regime_dataset, args=("baseline",), rounds=3, iterations=1
+    )
+    assert result.n_rccs == SyntheticNmdConfig().target_n_rccs
+
+
+def test_regime_sweep_test_scale(benchmark):
+    def sweep():
+        return [
+            generate_regime_dataset(name, base=TEST_BASE) for name in REGIMES
+        ]
+
+    datasets = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(datasets) == len(REGIMES)
+
+
+def test_regime_generation_report(benchmark):
+    import time
+
+    start = time.perf_counter()
+    direct = generate_dataset(SyntheticNmdConfig())
+    direct_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lifecycle = generate_regime_dataset("baseline")
+    lifecycle_s = time.perf_counter() - start
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        ["direct sampler (paper scale)", f"{direct_s * 1e3:.0f} ms",
+         direct.n_rccs],
+        ["lifecycle simulator (paper scale)", f"{lifecycle_s * 1e3:.0f} ms",
+         lifecycle.n_rccs],
+    ]
+    table = format_table(["generator", "wall time", "# RCCs"], rows)
+    emit_report(
+        "regime_generation",
+        "Regime generation: lifecycle simulator vs direct sampler",
+        table,
+    )
+    assert lifecycle.n_rccs == direct.n_rccs
+    # the state machine must stay within ~20x of the direct sampler
+    assert lifecycle_s < max(direct_s * 20.0, 5.0)

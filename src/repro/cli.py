@@ -55,6 +55,7 @@ log to the run (the input of ``telemetry report``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -68,6 +69,7 @@ from repro.core.pipeline import PipelineOptimizer
 from repro.core.server import PoolFuture, ServicePool
 from repro.core.service import DomdService, error_envelope
 from repro.data.generator import SyntheticNmdConfig, generate_dataset
+from repro.data.regimes import REGIMES, generate_regime_dataset, get_regime
 from repro.data.loader import load_dataset, save_dataset
 from repro.data.scaling import scale_rccs
 from repro.data.splits import split_dataset
@@ -121,10 +123,21 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=7)
     gen.add_argument("--scale", type=int, default=1, help="x-fold RCC scaling")
     gen.add_argument(
+        "--regime",
+        choices=sorted(REGIMES),
+        help="generate through the lifecycle simulator under a named "
+        "stress regime instead of the direct sampler",
+    )
+    gen.add_argument("--ships", type=int, help="override fleet size")
+    gen.add_argument("--avails", type=int, help="override closed-avail count")
+    gen.add_argument("--ongoing", type=int, help="override ongoing-avail count")
+    gen.add_argument("--rccs", type=int, help="override total RCC count")
+    gen.add_argument(
         "--events-out",
         metavar="PATH",
         help="additionally write the dataset as a time-ordered RCC event "
-        "stream (JSONL; header line + rcc_created/rcc_settled events)",
+        "stream (JSONL; header line + rcc_created/rcc_settled events; "
+        "stream-perturbing regimes write their delivery order)",
     )
 
     fit = sub.add_parser("fit", help="fit the pipeline and save the model")
@@ -413,15 +426,43 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args, out: IO[str]) -> int:
-    dataset = generate_dataset(SyntheticNmdConfig(seed=args.seed))
+    config = SyntheticNmdConfig(seed=args.seed)
+    overrides = {
+        name: value
+        for name, value in (
+            ("n_ships", getattr(args, "ships", None)),
+            ("n_closed_avails", getattr(args, "avails", None)),
+            ("n_ongoing_avails", getattr(args, "ongoing", None)),
+            ("target_n_rccs", getattr(args, "rccs", None)),
+        )
+        if value is not None
+    }
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    regime = getattr(args, "regime", None)
+    if regime:
+        spec = get_regime(regime)
+        dataset = generate_regime_dataset(spec, base=config)
+    else:
+        spec = None
+        dataset = generate_dataset(config)
     if args.scale > 1:
         dataset = scale_rccs(dataset, args.scale)
     save_dataset(dataset, args.out)
     stats = dataset.statistics()
+    if spec is not None:
+        stats["regime"] = spec.name
     if getattr(args, "events_out", None):
-        from repro.stream import write_event_stream
+        if spec is not None:
+            from repro.data.regimes import write_regime_stream
 
-        stats["events_written"] = write_event_stream(dataset, args.events_out)
+            stats["events_written"] = write_regime_stream(
+                spec, dataset, args.events_out
+            )
+        else:
+            from repro.stream import write_event_stream
+
+            stats["events_written"] = write_event_stream(dataset, args.events_out)
         stats["events_path"] = args.events_out
     print(json.dumps(stats), file=out)
     return 0

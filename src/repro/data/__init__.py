@@ -18,6 +18,15 @@ from repro.data.dates import (
 )
 from repro.data.continuation import generate_continuation
 from repro.data.generator import SHIP_CLASSES, SyntheticNmdConfig, generate_dataset
+from repro.data.lifecycle import LifecycleConfig, simulate_lifecycle
+from repro.data.regimes import (
+    REGIMES,
+    RegimeSpec,
+    generate_regime_dataset,
+    get_regime,
+    regime_events,
+    write_regime_stream,
+)
 from repro.data.loader import load_dataset, save_dataset
 from repro.data.obfuscation import (
     ObfuscationKey,
@@ -45,6 +54,14 @@ __all__ = [
     "SHIP_CLASSES",
     "SyntheticNmdConfig",
     "generate_dataset",
+    "LifecycleConfig",
+    "simulate_lifecycle",
+    "REGIMES",
+    "RegimeSpec",
+    "generate_regime_dataset",
+    "get_regime",
+    "regime_events",
+    "write_regime_stream",
     "generate_continuation",
     "load_dataset",
     "save_dataset",

@@ -94,10 +94,22 @@ class SyntheticNmdConfig:
     last_plan_start: str = "2022-06-30"
 
     def __post_init__(self) -> None:
-        if self.n_ships <= 0 or self.n_closed_avails <= 0:
-            raise DataGenerationError("ship and avail counts must be positive")
-        if self.target_n_rccs < self.n_closed_avails:
-            raise DataGenerationError("need at least one RCC per closed avail")
+        for name in ("n_ships", "n_closed_avails", "target_n_rccs"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise DataGenerationError(
+                    f"{name} must be a positive integer, got {value}"
+                )
+        if self.n_ongoing_avails < 0:
+            raise DataGenerationError(
+                f"n_ongoing_avails must be >= 0, got {self.n_ongoing_avails}"
+            )
+        if self.target_n_rccs < self.n_closed_avails + self.n_ongoing_avails:
+            raise DataGenerationError(
+                f"need at least one RCC per avail: target_n_rccs="
+                f"{self.target_n_rccs} < {self.n_closed_avails} closed + "
+                f"{self.n_ongoing_avails} ongoing avails"
+            )
 
 
 def generate_dataset(config: SyntheticNmdConfig | None = None) -> NavyMaintenanceDataset:
@@ -155,9 +167,41 @@ def _generate_ships(config: SyntheticNmdConfig, rng: np.random.Generator) -> Col
 # ----------------------------------------------------------------------
 # avails
 # ----------------------------------------------------------------------
-def _generate_avails(
+@dataclass(frozen=True)
+class AvailSchedule:
+    """Planned avail frames + static attributes, before any outcome.
+
+    Everything here is knowable *before* execution starts: ship
+    assignment, plan dates, avail type, planned scope and the static
+    modeling attributes.  Both generation paths — the trouble-factor
+    sampler below and the lifecycle simulator in
+    :mod:`repro.data.lifecycle` — consume the same schedule and differ
+    only in how they produce outcomes (delay, actual dates, RCCs).
+    Rows are sorted by ``plan_start``.
+    """
+
+    ship_rows: np.ndarray
+    ship_class: np.ndarray
+    displacement: np.ndarray
+    rmc_id: np.ndarray
+    commission_year: np.ndarray
+    plan_start: np.ndarray
+    plan_end: np.ndarray
+    planned_duration: np.ndarray
+    avail_type: np.ndarray
+    ship_age: np.ndarray
+    start_quarter: np.ndarray
+    n_prior: np.ndarray
+
+    @property
+    def n_total(self) -> int:
+        return len(self.ship_rows)
+
+
+def schedule_avails(
     config: SyntheticNmdConfig, rng: np.random.Generator, ships: ColumnTable
-) -> tuple[ColumnTable, np.ndarray]:
+) -> AvailSchedule:
+    """Draw the outcome-free part of the avail table (plans + statics)."""
     n_total = config.n_closed_avails + config.n_ongoing_avails
     # Each ship gets at least one avail; the rest are spread randomly so
     # some ships accumulate a maintenance history (n_prior_avails > 0).
@@ -199,6 +243,83 @@ def _generate_avails(
         n_prior[i] = seen.get(int(ship), 0)
         seen[int(ship)] = n_prior[i] + 1
 
+    return AvailSchedule(
+        ship_rows=ship_rows,
+        ship_class=ship_class,
+        displacement=displacement,
+        rmc_id=rmc_id,
+        commission_year=commission_year,
+        plan_start=plan_start,
+        plan_end=plan_end,
+        planned_duration=planned_duration,
+        avail_type=avail_type,
+        ship_age=ship_age,
+        start_quarter=start_quarter,
+        n_prior=n_prior,
+    )
+
+
+def finalize_avails(
+    config: SyntheticNmdConfig,
+    schedule: AvailSchedule,
+    ships: ColumnTable,
+    delay: np.ndarray,
+    late_start: np.ndarray,
+) -> ColumnTable:
+    """Assemble the avail table from a schedule + per-avail outcomes.
+
+    ``delay`` is the duration overrun in days (already clipped/rounded);
+    ``late_start`` the days each avail starts after its plan.  Ongoing
+    avails (the last ``n_ongoing_avails`` rows) get a missing actual end
+    and a NaN delay.
+    """
+    n_total = schedule.n_total
+    act_start = schedule.plan_start + late_start
+    act_end = act_start + schedule.planned_duration + delay
+
+    status = np.array(["closed"] * n_total, dtype=object)
+    if config.n_ongoing_avails:
+        ongoing_rows = np.arange(n_total - config.n_ongoing_avails, n_total)
+        status[ongoing_rows] = "ongoing"
+        act_end[ongoing_rows] = MISSING_DATE
+
+    delay_column = delay.astype(np.float64)
+    delay_column[status == "ongoing"] = np.nan
+
+    return ColumnTable(
+        {
+            "avail_id": np.arange(n_total, dtype=np.int64),
+            "ship_id": ships["ship_id"][schedule.ship_rows],
+            "status": status,
+            "plan_start": schedule.plan_start.astype(np.int64),
+            "plan_end": schedule.plan_end.astype(np.int64),
+            "act_start": act_start.astype(np.int64),
+            "act_end": act_end.astype(np.int64),
+            "delay": delay_column,
+            "ship_class": schedule.ship_class.astype(object),
+            "rmc_id": schedule.rmc_id.astype(np.int64),
+            "ship_age": schedule.ship_age.astype(np.int64),
+            "planned_duration": schedule.planned_duration,
+            "n_prior_avails": schedule.n_prior,
+            "avail_type": schedule.avail_type.astype(object),
+            "start_quarter": schedule.start_quarter.astype(np.int64),
+            "displacement": schedule.displacement,
+        }
+    )
+
+
+def _generate_avails(
+    config: SyntheticNmdConfig, rng: np.random.Generator, ships: ColumnTable
+) -> tuple[ColumnTable, np.ndarray]:
+    schedule = schedule_avails(config, rng, ships)
+    n_total = schedule.n_total
+    ship_class = schedule.ship_class
+    planned_duration = schedule.planned_duration
+    rmc_id = schedule.rmc_id
+    ship_age = schedule.ship_age
+    avail_type = schedule.avail_type
+    n_prior = schedule.n_prior
+
     # ---- trouble factor -------------------------------------------------
     # Deterministic severity from static attributes (class risk, age,
     # planned scope, maintenance-center efficiency) times a latent
@@ -234,38 +355,7 @@ def _generate_avails(
 
     # ---- actual dates ---------------------------------------------------
     late_start = (rng.random(n_total) < 0.12) * rng.integers(3, 30, n_total)
-    act_start = plan_start + late_start
-    act_end = act_start + planned_duration + delay
-
-    status = np.array(["closed"] * n_total, dtype=object)
-    if config.n_ongoing_avails:
-        ongoing_rows = np.arange(n_total - config.n_ongoing_avails, n_total)
-        status[ongoing_rows] = "ongoing"
-        act_end[ongoing_rows] = MISSING_DATE
-
-    delay_column = delay.astype(np.float64)
-    delay_column[status == "ongoing"] = np.nan
-
-    avails = ColumnTable(
-        {
-            "avail_id": np.arange(n_total, dtype=np.int64),
-            "ship_id": ships["ship_id"][ship_rows],
-            "status": status,
-            "plan_start": plan_start.astype(np.int64),
-            "plan_end": plan_end.astype(np.int64),
-            "act_start": act_start.astype(np.int64),
-            "act_end": act_end.astype(np.int64),
-            "delay": delay_column,
-            "ship_class": ship_class.astype(object),
-            "rmc_id": rmc_id.astype(np.int64),
-            "ship_age": ship_age.astype(np.int64),
-            "planned_duration": planned_duration,
-            "n_prior_avails": n_prior,
-            "avail_type": avail_type.astype(object),
-            "start_quarter": start_quarter.astype(np.int64),
-            "displacement": displacement,
-        }
-    )
+    avails = finalize_avails(config, schedule, ships, delay, late_start)
     return avails, trouble
 
 

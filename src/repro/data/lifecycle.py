@@ -1,0 +1,502 @@
+"""Maintenance-lifecycle synthetic NMD generation.
+
+The default generator (:mod:`repro.data.generator`) samples RCC streams
+*directly* from a latent per-avail trouble factor.  This module replaces
+that sampling step with a **process**: every ship carries a latent wear
+level per subsystem (the nine SWLIN top-level groups), wear accumulates
+while the ship is in service, and each availability runs the
+inspect → repair → return-to-service loop of a maintenance lifecycle:
+
+* **degradation** — between avails, each subsystem's wear grows by a
+  gamma-distributed increment scaled by elapsed service time, ship-class
+  risk and ship age.  Wear maps to stages: *healthy*, *degraded*
+  (``wear >= degraded_threshold``) and *critical*
+  (``wear >= critical_threshold``).
+* **inspection** — when an avail opens, each degraded/critical subsystem
+  is *detected* with a stage-dependent probability (critical faults are
+  much harder to miss).  Detected faults emit RCCs early in the window —
+  the open-and-inspect burst that makes DoMD predictable soon after work
+  starts.
+* **execution** — faults missed at inspection can still surface
+  mid-execution (lower, stage-dependent probabilities), emitting RCCs
+  later on the logical timeline.
+* **repair / return-to-service** — detected subsystems have most of
+  their wear removed; undetected faults persist, keep growing, and make
+  the ship's *next* avail worse.  Maintenance history therefore matters
+  mechanically, not by construction.
+
+The emitted RCC stream (creation times, settle lags, amounts, SWLIN
+mix) and the avail delay are both driven by the same latent workload, so
+RCC-derived features genuinely predict delay — increasingly so as
+logical time advances — which is exactly the learnability contract the
+cross-regime quality gate (``tests/regimes/``) enforces.
+
+All randomness flows from ``SyntheticNmdConfig.seed``: the same seed and
+configuration produce a byte-identical dataset and event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.generator import (
+    SHIP_CLASSES,
+    _RMC_EFFICIENCY,
+    _SWLIN_FIRST_DIGIT_WEIGHTS,
+    SyntheticNmdConfig,
+    _generate_ships,
+    finalize_avails,
+    schedule_avails,
+)
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import DataGenerationError
+from repro.table.table import ColumnTable
+
+#: Subsystems = SWLIN leading digits 1..9.
+N_SUBSYSTEMS = 9
+
+#: Detection stages of a fault, in lifecycle order.
+STAGE_INSPECTION = 0
+STAGE_EXECUTION = 1
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Knobs of the degradation / detection / repair state machine.
+
+    Stress regimes (:mod:`repro.data.regimes`) are expressed as
+    overrides of these fields composed with a
+    :class:`~repro.data.generator.SyntheticNmdConfig`.
+    """
+
+    # ---- degradation ---------------------------------------------------
+    #: Mean wear added per subsystem per year in service.
+    wear_rate: float = 0.22
+    #: Gamma shape of wear increments (higher = less dispersed).
+    wear_shape: float = 3.0
+    #: Service years assumed before a ship's first recorded avail.
+    initial_service_years: float = 1.5
+    #: Wear stage thresholds.
+    degraded_threshold: float = 0.65
+    critical_threshold: float = 1.60
+    # ---- stage-dependent detection (inspect / repair / return) ---------
+    #: P(detect degraded subsystem) during the opening inspection.
+    detect_degraded_inspection: float = 0.55
+    #: P(detect critical subsystem) during the opening inspection.
+    detect_critical_inspection: float = 0.92
+    #: P(a missed degraded fault surfaces mid-execution).
+    detect_degraded_execution: float = 0.35
+    #: P(a missed critical fault surfaces mid-execution).
+    detect_critical_execution: float = 0.80
+    #: Fraction of wear removed when a detected subsystem is repaired.
+    repair_effect: float = 0.92
+    # ---- workload -> delay ---------------------------------------------
+    #: Routine (always-planned) work per avail, in wear units — keeps
+    #: quiet avails from free-falling to the early-finish clip.
+    base_workload: float = 1.1
+    #: Days of delay per unit of repaired-wear workload.
+    delay_per_workload: float = 26.0
+    #: Irreducible delay noise (days, std dev).
+    delay_noise_sd: float = 12.0
+    #: Constant subtracted so light avails finish on time or early.
+    early_shift_days: float = 50.0
+    # ---- RCC emission --------------------------------------------------
+    #: Inspection findings land in the first this-fraction of the
+    #: *planned* window.
+    inspection_window_frac: float = 0.15
+    #: Gamma shape/scale of settle lags (days).
+    settle_shape: float = 2.0
+    settle_scale: float = 25.0
+    #: Lognormal parameters of settled amounts.
+    amount_mu: float = 9.10498  # log(9_000)
+    amount_sigma: float = 0.9
+    #: Heavy-tail amount shocks: probability and Pareto tail index of a
+    #: multiplicative shock (0 disables; the ``heavy_tail`` regime's
+    #: lever).
+    amount_shock_prob: float = 0.0
+    amount_shock_alpha: float = 1.2
+    # ---- surge bursts ---------------------------------------------------
+    #: Fraction of avails hit by an RCC surge (0 disables; the ``surge``
+    #: regime's lever) and the emission multiplier a surge applies.
+    surge_prob: float = 0.0
+    surge_multiplier: float = 1.0
+    #: Logical window (fractions of the execution window) a surge's
+    #: burst of RCCs is compressed into.
+    surge_burst: tuple[float, float] = (0.35, 0.50)
+    #: Workload multiplier on surged avails: a burst of change requests
+    #: reflects genuinely discovered extra work, so surged avails also
+    #: carry more delay — keeping RCC volume an informative feature.
+    surge_workload_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "detect_degraded_inspection",
+            "detect_critical_inspection",
+            "detect_degraded_execution",
+            "detect_critical_execution",
+            "repair_effect",
+            "amount_shock_prob",
+            "surge_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DataGenerationError(
+                    f"{name} must be a probability in [0, 1], got {value}"
+                )
+        if self.critical_threshold <= self.degraded_threshold:
+            raise DataGenerationError(
+                "critical_threshold must exceed degraded_threshold "
+                f"({self.critical_threshold} <= {self.degraded_threshold})"
+            )
+        if self.surge_multiplier < 1.0:
+            raise DataGenerationError(
+                f"surge_multiplier must be >= 1, got {self.surge_multiplier}"
+            )
+        if self.surge_workload_factor < 1.0:
+            raise DataGenerationError(
+                "surge_workload_factor must be >= 1, got "
+                f"{self.surge_workload_factor}"
+            )
+
+
+@dataclass
+class _FaultLog:
+    """Per-detected-fault records, accumulated in avail order."""
+
+    avail: list[int]
+    subsystem: list[int]
+    stage: list[int]
+    severity: list[float]
+
+    def add(self, avail: int, subsystem: int, stage: int, severity: float) -> None:
+        self.avail.append(avail)
+        self.subsystem.append(subsystem)
+        self.stage.append(stage)
+        self.severity.append(severity)
+
+
+def simulate_lifecycle(
+    config: SyntheticNmdConfig | None = None,
+    lifecycle: LifecycleConfig | None = None,
+) -> NavyMaintenanceDataset:
+    """Run the fleet lifecycle and return the emitted NMD snapshot.
+
+    The dataset satisfies the same schema/cardinality contract as
+    :func:`~repro.data.generator.generate_dataset` (``target_n_rccs`` is
+    hit exactly, every avail emits at least one RCC), but creation
+    times, settle lags, amounts and the SWLIN mix are all produced by
+    the degradation process.  Diagnostics land in ``dataset.notes``:
+    per-avail ``workload``, the fault log, and surge membership.
+    """
+    config = config or SyntheticNmdConfig()
+    lifecycle = lifecycle or LifecycleConfig()
+    rng = np.random.default_rng(config.seed)
+
+    ships = _generate_ships(config, rng)
+    schedule = schedule_avails(config, rng, ships)
+    n_total = schedule.n_total
+
+    late_start = (rng.random(n_total) < 0.12) * rng.integers(3, 30, n_total)
+    # Surge membership is a quota, not per-avail coin flips: at small
+    # fleet sizes independent Bernoulli draws can produce zero surges
+    # (making the regime vacuous), so the `round(prob * n)` lowest
+    # uniforms are hit — at least one whenever surge_prob > 0.
+    surge_score = rng.random(n_total)
+    surge_hit = np.zeros(n_total, dtype=bool)
+    if lifecycle.surge_prob > 0.0:
+        n_surge = max(1, int(round(lifecycle.surge_prob * n_total)))
+        surge_hit[np.argsort(surge_score, kind="stable")[:n_surge]] = True
+
+    faults, workload = _run_state_machine(config, lifecycle, rng, schedule)
+    if lifecycle.surge_workload_factor > 1.0:
+        workload = workload * np.where(
+            surge_hit, lifecycle.surge_workload_factor, 1.0
+        )
+
+    # ---- workload -> delay ----------------------------------------------
+    type_amplifier = np.where(schedule.avail_type == "docking", 1.2, 0.85)
+    rmc_factor = _RMC_EFFICIENCY[schedule.rmc_id]
+    noise = rng.normal(0.0, lifecycle.delay_noise_sd, n_total)
+    loaded = workload * rmc_factor
+    # Yard saturation: past a critical load every extra unit costs more.
+    saturation = loaded + 0.6 * np.maximum(loaded - 2.0, 0.0)
+    delay = (
+        lifecycle.delay_per_workload * saturation * type_amplifier
+        - lifecycle.early_shift_days
+        + noise
+    )
+    delay = np.clip(np.round(delay), -45, 1100).astype(np.int64)
+
+    avails = finalize_avails(config, schedule, ships, delay, late_start)
+    rccs = _emit_rccs(config, lifecycle, rng, avails, faults, surge_hit)
+
+    return NavyMaintenanceDataset(
+        ships=ships,
+        avails=avails,
+        rccs=rccs,
+        seed=config.seed,
+        notes={
+            "workload": workload,
+            "config": config,
+            "lifecycle": lifecycle,
+            "n_faults": len(faults.avail),
+            "surge_hits": int(surge_hit.sum()),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# the state machine
+# ----------------------------------------------------------------------
+def _run_state_machine(
+    config: SyntheticNmdConfig,
+    lifecycle: LifecycleConfig,
+    rng: np.random.Generator,
+    schedule,
+) -> tuple[_FaultLog, np.ndarray]:
+    """Walk avails chronologically, evolving per-ship subsystem wear.
+
+    Returns the detected-fault log and the per-avail repair workload
+    (sum of repaired wear, scaled by planned scope).
+    """
+    class_risk = np.array(
+        [SHIP_CLASSES[c][2] for c in schedule.ship_class], dtype=np.float64
+    )
+    age_factor = np.clip(1.0 + 0.03 * (schedule.ship_age - 15), 0.55, 2.4)
+    duration_factor = 0.45 + schedule.planned_duration / 420.0
+
+    wear = np.zeros((config.n_ships, N_SUBSYSTEMS), dtype=np.float64)
+    last_service_day = np.full(config.n_ships, -1, dtype=np.int64)
+
+    faults = _FaultLog([], [], [], [])
+    workload = np.zeros(schedule.n_total, dtype=np.float64)
+
+    # Rows are already in plan_start order (the schedule sorts them).
+    for row in range(schedule.n_total):
+        ship = int(schedule.ship_rows[row])
+        start_day = int(schedule.plan_start[row])
+        if last_service_day[ship] < 0:
+            elapsed_years = lifecycle.initial_service_years + 0.08 * float(
+                schedule.ship_age[row]
+            )
+        else:
+            elapsed_years = max((start_day - last_service_day[ship]) / 365.25, 0.2)
+
+        # degradation while in service
+        mean_wear = (
+            lifecycle.wear_rate * elapsed_years * class_risk[row] * age_factor[row]
+        )
+        wear[ship] += rng.gamma(
+            lifecycle.wear_shape,
+            mean_wear / lifecycle.wear_shape,
+            N_SUBSYSTEMS,
+        )
+
+        degraded = wear[ship] >= lifecycle.degraded_threshold
+        critical = wear[ship] >= lifecycle.critical_threshold
+
+        # stage-dependent detection: inspection first, then execution
+        coin_inspection = rng.random(N_SUBSYSTEMS)
+        p_inspection = np.where(
+            critical,
+            lifecycle.detect_critical_inspection,
+            np.where(degraded, lifecycle.detect_degraded_inspection, 0.0),
+        )
+        found_inspection = coin_inspection < p_inspection
+
+        coin_execution = rng.random(N_SUBSYSTEMS)
+        p_execution = np.where(
+            critical,
+            lifecycle.detect_critical_execution,
+            np.where(degraded, lifecycle.detect_degraded_execution, 0.0),
+        )
+        found_execution = ~found_inspection & (coin_execution < p_execution)
+
+        detected = found_inspection | found_execution
+        for subsystem in np.flatnonzero(detected):
+            stage = (
+                STAGE_INSPECTION
+                if found_inspection[subsystem]
+                else STAGE_EXECUTION
+            )
+            faults.add(row, int(subsystem), stage, float(wear[ship, subsystem]))
+
+        # repair + return-to-service: detected wear is (mostly) removed;
+        # undetected faults persist into the ship's next cycle.
+        repaired_wear = float(wear[ship, detected].sum())
+        workload[row] = (
+            lifecycle.base_workload + repaired_wear
+        ) * duration_factor[row]
+        wear[ship, detected] *= 1.0 - lifecycle.repair_effect
+        last_service_day[ship] = start_day + int(schedule.planned_duration[row])
+
+    return faults, workload
+
+
+# ----------------------------------------------------------------------
+# RCC emission
+# ----------------------------------------------------------------------
+def _emit_rccs(
+    config: SyntheticNmdConfig,
+    lifecycle: LifecycleConfig,
+    rng: np.random.Generator,
+    avails: ColumnTable,
+    faults: _FaultLog,
+    surge_hit: np.ndarray,
+) -> ColumnTable:
+    """Expand the fault log into the RCC table (exactly target_n_rccs rows)."""
+    n_avails = avails.n_rows
+    ship_class = avails["ship_class"]
+
+    fault_avail = np.asarray(faults.avail, dtype=np.int64)
+    fault_subsystem = np.asarray(faults.subsystem, dtype=np.int64)
+    fault_stage = np.asarray(faults.stage, dtype=np.int64)
+    fault_severity = np.asarray(faults.severity, dtype=np.float64)
+
+    # Every avail emits at least a routine inspection finding, even when
+    # the lifecycle detected nothing (brand-new ship, light period).
+    quiet = np.setdiff1d(
+        np.arange(n_avails, dtype=np.int64), np.unique(fault_avail)
+    )
+    if len(quiet):
+        routine_subsystem = np.empty(len(quiet), dtype=np.int64)
+        for index, row in enumerate(quiet):
+            weights = _SWLIN_FIRST_DIGIT_WEIGHTS[str(ship_class[row])]
+            routine_subsystem[index] = rng.choice(N_SUBSYSTEMS, p=weights)
+        fault_avail = np.concatenate([fault_avail, quiet])
+        fault_subsystem = np.concatenate([fault_subsystem, routine_subsystem])
+        fault_stage = np.concatenate(
+            [fault_stage, np.full(len(quiet), STAGE_INSPECTION, dtype=np.int64)]
+        )
+        fault_severity = np.concatenate(
+            [fault_severity, np.full(len(quiet), 0.25)]
+        )
+
+    # Keep the table grouped by avail (ascending), faults in detection order.
+    order = np.argsort(fault_avail, kind="stable")
+    fault_avail = fault_avail[order]
+    fault_subsystem = fault_subsystem[order]
+    fault_stage = fault_stage[order]
+    fault_severity = fault_severity[order]
+    n_faults = len(fault_avail)
+
+    # ---- apportion target_n_rccs across faults --------------------------
+    # Emission weight grows with severity; surge avails burst 10x (or
+    # whatever the regime sets).  Largest-remainder keeps the total
+    # exact; the first fault of every avail is guaranteed one RCC.
+    weight = (0.35 + fault_severity) * np.where(
+        surge_hit[fault_avail], lifecycle.surge_multiplier, 1.0
+    )
+    first_of_avail = np.ones(n_faults, dtype=bool)
+    first_of_avail[1:] = fault_avail[1:] != fault_avail[:-1]
+    remaining = config.target_n_rccs - int(first_of_avail.sum())
+    if remaining < 0:  # pragma: no cover - config validation forbids this
+        raise DataGenerationError("need at least one RCC per avail")
+    shares = weight / weight.sum() * remaining
+    extra = np.floor(shares).astype(np.int64)
+    leftovers = np.argsort(shares - extra)[::-1][: remaining - int(extra.sum())]
+    extra[leftovers] += 1
+    counts = first_of_avail.astype(np.int64) + extra
+    assert int(counts.sum()) == config.target_n_rccs
+
+    act_start = np.asarray(avails["act_start"], dtype=np.int64)
+    act_end = np.asarray(avails["act_end"], dtype=np.int64)
+    plan_duration = np.asarray(avails["planned_duration"], dtype=np.int64)
+    status = avails["status"]
+    window_end = np.where(status == "ongoing", act_start + plan_duration, act_end)
+    window_days = np.maximum(window_end - act_start, 30)
+
+    total = int(counts.sum())
+    rcc_avail = np.repeat(fault_avail, counts)
+    rcc_stage = np.repeat(fault_stage, counts)
+    rcc_subsystem = np.repeat(fault_subsystem, counts)
+    rcc_severity = np.repeat(fault_severity, counts)
+    rcc_surge = surge_hit[rcc_avail]
+    rcc_start_day = act_start[rcc_avail]
+    rcc_window = window_days[rcc_avail]
+    rcc_planned = plan_duration[rcc_avail]
+
+    # ---- creation times --------------------------------------------------
+    # Inspection findings land early (first ~15% of the planned window);
+    # execution surprises are spread over the full window; on surged
+    # avails the whole burst is compressed into a narrow mid-window
+    # slice (inspection-stage detections included — a surge is a
+    # delivery event, not a per-stage one).
+    inspection_offset = (
+        rng.beta(1.2, 4.0, total) * lifecycle.inspection_window_frac * rcc_planned
+    )
+    execution_offset = rng.beta(1.4, 1.6, total) * rcc_window
+    burst_lo, burst_hi = lifecycle.surge_burst
+    burst_offset = (
+        burst_lo + rng.beta(2.0, 2.0, total) * (burst_hi - burst_lo)
+    ) * rcc_window
+    create_offset = np.where(
+        rcc_stage == STAGE_INSPECTION, inspection_offset, execution_offset
+    )
+    create_offset = np.where(rcc_surge, burst_offset, create_offset)
+    create_date = (rcc_start_day + np.round(create_offset)).astype(np.int64)
+
+    # ---- settlement ------------------------------------------------------
+    # Resolution lag grows with severity (critical repairs take longer),
+    # truncated at the window end plus a closeout slack.
+    lag_scale = lifecycle.settle_scale * (0.6 + 0.5 * rcc_severity)
+    settle_lag = np.maximum(
+        np.round(rng.gamma(lifecycle.settle_shape, lag_scale)), 1
+    ).astype(np.int64)
+    settle_date = np.minimum(
+        create_date + settle_lag, rcc_start_day + rcc_window + 30
+    )
+    settle_date = np.maximum(settle_date, create_date + 1)
+
+    # ---- type mix --------------------------------------------------------
+    # Inspection findings skew toward growth work; execution surprises
+    # toward new/new-growth.
+    u = rng.random(total)
+    p_growth = np.where(rcc_stage == STAGE_INSPECTION, 0.58, 0.40)
+    p_new = np.where(rcc_stage == STAGE_INSPECTION, 0.25, 0.38)
+    rcc_type = np.where(
+        u < p_growth, "G", np.where(u < p_growth + p_new, "N", "NG")
+    ).astype(object)
+
+    # ---- SWLIN codes -----------------------------------------------------
+    # The leading digit IS the faulted subsystem — the mix emerges from
+    # which subsystems degrade, not from a per-class lookup table.
+    first_digit = rcc_subsystem + 1
+    mid = rng.integers(0, 100, total)
+    sub = rng.integers(0, 100, total)
+    item = rng.integers(0, 1000, total)
+    swlin = np.array(
+        [
+            f"{d}{m:02d}-{s:02d}-{i:03d}"
+            for d, m, s, i in zip(first_digit, mid, sub, item)
+        ],
+        dtype=object,
+    )
+
+    # ---- amounts ---------------------------------------------------------
+    type_scale = np.where(rcc_type == "G", 1.0, np.where(rcc_type == "N", 1.6, 1.3))
+    amount = (
+        rng.lognormal(mean=lifecycle.amount_mu, sigma=lifecycle.amount_sigma, size=total)
+        * type_scale
+        * (1.0 + 0.5 * np.sqrt(rcc_severity))
+    )
+    if lifecycle.amount_shock_prob > 0.0:
+        shocked = rng.random(total) < lifecycle.amount_shock_prob
+        shock = 1.0 + rng.pareto(lifecycle.amount_shock_alpha, total)
+        amount = np.where(shocked, amount * shock, amount)
+    amount = amount.round(2)
+
+    return ColumnTable(
+        {
+            "rcc_id": np.arange(total, dtype=np.int64),
+            "avail_id": rcc_avail,
+            "rcc_type": rcc_type,
+            "swlin": swlin,
+            "create_date": create_date,
+            "settle_date": settle_date.astype(np.int64),
+            "status": np.array(["settled"] * total, dtype=object),
+            "amount": amount,
+        }
+    )

@@ -1,0 +1,200 @@
+"""Named stress regimes over the lifecycle generator.
+
+A :class:`RegimeSpec` is a *declarative* description of one corner of
+the scenario space: overrides of the dataset shape
+(:class:`~repro.data.generator.SyntheticNmdConfig`), of the lifecycle
+state machine (:class:`~repro.data.lifecycle.LifecycleConfig`) and of
+the event-stream delivery order.  The registry below names the six
+stress regimes the cross-regime property suite (``tests/regimes/``)
+drives through dataset invariants, four-design index agreement,
+live==batch streaming replay and the Table-7-style quality gate.
+
+Regimes compose: a spec's overrides are applied on top of whatever base
+``SyntheticNmdConfig`` the caller supplies, so the same regime runs at
+paper scale from the CLI (``repro generate --regime surge``) and at
+miniature scale inside the test suite.
+
+Adding a regime = adding a ``RegimeSpec`` here.  The property suite
+parametrizes over this registry, so a new entry is automatically swept;
+see ``docs/regimes.md`` for the checklist (including when a
+``quality_waiver`` is acceptable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.data.generator import SyntheticNmdConfig
+from repro.data.lifecycle import LifecycleConfig, simulate_lifecycle
+from repro.data.schema import NavyMaintenanceDataset
+from repro.errors import DataGenerationError
+
+
+@dataclass(frozen=True)
+class RegimeSpec:
+    """One named stress regime, fully declarative.
+
+    ``base`` overrides :class:`SyntheticNmdConfig` fields, ``lifecycle``
+    overrides :class:`LifecycleConfig` fields, and ``stream`` perturbs
+    event *delivery* (``late_fraction`` / ``max_displacement``, see
+    :func:`repro.stream.events.perturb_event_order`) without touching
+    the dataset itself.  ``quality_waiver``, when set, records why the
+    learnability quality gate is not asserted for this regime — the
+    property suite skips the gate with this exact reason.
+    """
+
+    name: str
+    description: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    lifecycle: Mapping[str, Any] = field(default_factory=dict)
+    stream: Mapping[str, Any] = field(default_factory=dict)
+    quality_waiver: str | None = None
+
+
+#: The named stress-regime registry, in documentation order.
+REGIMES: dict[str, RegimeSpec] = {
+    spec.name: spec
+    for spec in (
+        RegimeSpec(
+            name="baseline",
+            description="Lifecycle-driven analogue of the paper's Table-5 "
+            "distribution: default degradation, detection and emission.",
+        ),
+        RegimeSpec(
+            name="surge",
+            description="10x RCC bursts: a subset of avails is hit by an "
+            "emission surge whose RCCs arrive compressed into a narrow "
+            "mid-window burst.",
+            lifecycle={
+                "surge_prob": 0.18,
+                "surge_multiplier": 10.0,
+                "surge_workload_factor": 1.8,
+            },
+        ),
+        RegimeSpec(
+            name="sparse_fleet",
+            description="Tiny fleet, few avails, minimal RCC volume — "
+            "probes the small-count edges of generation, splitting and "
+            "indexing.",
+            base={
+                "n_ships": 3,
+                "n_closed_avails": 7,
+                "n_ongoing_avails": 1,
+                "target_n_rccs": 90,
+            },
+            quality_waiver="fewer than 10 closed avails: split_dataset "
+            "cannot carve a train/validation/test split, so the "
+            "learnability gate has no evaluation protocol at this scale",
+        ),
+        RegimeSpec(
+            name="heavy_tail",
+            description="Amount shocks: a Pareto-tailed multiplicative "
+            "shock on ~5% of settled amounts plus a wider lognormal body.",
+            lifecycle={
+                "amount_shock_prob": 0.05,
+                "amount_shock_alpha": 1.2,
+                "amount_sigma": 1.3,
+            },
+        ),
+        RegimeSpec(
+            name="late_arrival",
+            description="Out-of-order delivery: the dataset matches "
+            "baseline, but ~30% of stream events arrive late (settles "
+            "before their creates included), exercising the orphan "
+            "buffer and watermark semantics.",
+            stream={"late_fraction": 0.30, "max_displacement": 400},
+            quality_waiver="stream-order regime: the materialized dataset "
+            "is byte-identical to baseline, whose quality gate already "
+            "covers it",
+        ),
+        RegimeSpec(
+            name="early_finish",
+            description="Negative-delay clusters: a larger early-finish "
+            "shift and softer workload coupling push a substantial share "
+            "of avails to finish ahead of plan.",
+            lifecycle={
+                "early_shift_days": 100.0,
+                "delay_per_workload": 22.0,
+            },
+        ),
+    )
+}
+
+
+def get_regime(name: str) -> RegimeSpec:
+    """Look up a regime by name; unknown names list the registry."""
+    spec = REGIMES.get(name)
+    if spec is None:
+        raise DataGenerationError(
+            f"unknown regime {name!r}; expected one of {sorted(REGIMES)}"
+        )
+    return spec
+
+
+def regime_nmd_config(
+    spec: RegimeSpec,
+    base: SyntheticNmdConfig | None = None,
+    seed: int | None = None,
+) -> SyntheticNmdConfig:
+    """Compose the spec's dataset-shape overrides with a base config."""
+    config = base or SyntheticNmdConfig()
+    if spec.base:
+        config = replace(config, **dict(spec.base))
+    if seed is not None:
+        config = replace(config, seed=seed)
+    return config
+
+
+def regime_lifecycle_config(spec: RegimeSpec) -> LifecycleConfig:
+    """The spec's lifecycle state-machine configuration."""
+    return LifecycleConfig(**dict(spec.lifecycle))
+
+
+def generate_regime_dataset(
+    regime: RegimeSpec | str,
+    base: SyntheticNmdConfig | None = None,
+    seed: int | None = None,
+) -> NavyMaintenanceDataset:
+    """Generate one regime's dataset via the lifecycle simulator."""
+    spec = get_regime(regime) if isinstance(regime, str) else regime
+    config = regime_nmd_config(spec, base=base, seed=seed)
+    dataset = simulate_lifecycle(config, regime_lifecycle_config(spec))
+    dataset.notes["regime"] = spec.name
+    return dataset
+
+
+def regime_events(
+    spec: RegimeSpec, dataset: NavyMaintenanceDataset
+) -> tuple[dict[str, Any], list]:
+    """(header, events) for a regime — delivery order included.
+
+    For stream-perturbing regimes (``late_arrival``) the returned events
+    are deterministically re-ordered with
+    :func:`~repro.stream.events.perturb_event_order`, seeded from the
+    dataset seed, so the same seed + regime yields a byte-identical
+    stream file.  The event *multiset* is unchanged: a full replay
+    reconstructs the exact dataset.
+    """
+    from repro.stream.events import dataset_to_events, perturb_event_order
+
+    header, events = dataset_to_events(dataset)
+    if spec.stream:
+        events = perturb_event_order(
+            events,
+            seed=(dataset.seed or 0) + 1,
+            late_fraction=float(spec.stream.get("late_fraction", 0.25)),
+            max_displacement=int(spec.stream.get("max_displacement", 200)),
+        )
+    return header, events
+
+
+def write_regime_stream(
+    spec: RegimeSpec, dataset: NavyMaintenanceDataset, path: str | Path
+) -> int:
+    """Write the regime's (possibly out-of-order) stream file."""
+    from repro.stream.events import write_event_stream
+
+    header, events = regime_events(spec, dataset)
+    return write_event_stream(dataset, path, header=header, events=events)

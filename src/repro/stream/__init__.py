@@ -28,6 +28,7 @@ from repro.stream.events import (
     dataset_to_events,
     event_from_dict,
     event_to_dict,
+    perturb_event_order,
     read_event_stream,
     write_event_stream,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "event_crc",
     "event_from_dict",
     "event_to_dict",
+    "perturb_event_order",
     "read_event_stream",
     "read_wal",
     "write_event_stream",

@@ -257,9 +257,64 @@ def dataset_to_events(
     return header, [event for *_, event in keyed]
 
 
-def write_event_stream(dataset: "NavyMaintenanceDataset", path: str | Path) -> int:
-    """Write a dataset as a stream file; returns the event count."""
-    header, events = dataset_to_events(dataset)
+def perturb_event_order(
+    events: list[Event],
+    *,
+    seed: int,
+    late_fraction: float = 0.25,
+    max_displacement: int = 200,
+) -> list[Event]:
+    """Deterministically deliver a fraction of events *late*.
+
+    Operational feeds are not time-ordered: a settle can arrive before
+    its create, a create can straggle in hundreds of records after its
+    emission time.  This helper models that by pushing a seeded random
+    ``late_fraction`` of events up to ``max_displacement`` positions
+    later in the delivery order (a stable sort keeps everything else in
+    its original relative order).  The event *multiset* is untouched, so
+    a full replay through the order-tolerant
+    :class:`~repro.stream.store.StreamingRccStore` reconstructs the
+    identical dataset — the property the ``late_arrival`` regime suite
+    pins.
+    """
+    if not 0.0 <= late_fraction <= 1.0:
+        raise SchemaError(
+            f"late_fraction must be in [0, 1], got {late_fraction}"
+        )
+    if max_displacement < 1:
+        raise SchemaError(
+            f"max_displacement must be >= 1, got {max_displacement}"
+        )
+    if not events or late_fraction == 0.0:
+        return list(events)
+    rng = np.random.default_rng(seed)
+    keys = np.arange(len(events), dtype=np.float64)
+    late = rng.random(len(events)) < late_fraction
+    if late.any():
+        keys[late] += rng.integers(
+            1, max_displacement + 1, int(late.sum())
+        ).astype(np.float64)
+    order = np.argsort(keys, kind="stable")
+    return [events[index] for index in order]
+
+
+def write_event_stream(
+    dataset: "NavyMaintenanceDataset",
+    path: str | Path,
+    *,
+    header: dict[str, Any] | None = None,
+    events: list[Event] | None = None,
+) -> int:
+    """Write a dataset as a stream file; returns the event count.
+
+    ``header``/``events`` override the default time-ordered
+    decomposition — regime streams use this to export perturbed
+    (out-of-order) delivery orders while keeping the header contract.
+    """
+    if header is None or events is None:
+        default_header, default_events = dataset_to_events(dataset)
+        header = default_header if header is None else header
+        events = default_events if events is None else events
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:

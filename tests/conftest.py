@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,24 @@ from repro.data import SyntheticNmdConfig, generate_dataset, split_dataset
 from repro.data.dates import iso_to_day
 from repro.data.schema import NavyMaintenanceDataset
 from repro.table import ColumnTable
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (full regime matrix, full-scale sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if config.getoption("--runslow") or os.environ.get("REPRO_RUN_SLOW"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow or set REPRO_RUN_SLOW=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,7 +1,10 @@
 """Tests for date handling and logical time (Equation 1)."""
 
+import datetime as dt
+
 import numpy as np
 import pytest
+from hypothesis import example, given, strategies as st
 
 from repro.data.dates import (
     MISSING_DATE,
@@ -27,6 +30,46 @@ class TestConversions:
 
     def test_days_between(self):
         assert days_between(iso_to_day("2020-01-11"), iso_to_day("2020-01-01")) == 10
+
+
+class TestConversionProperties:
+    """Property tests: iso<->day is a bijection over the date domain."""
+
+    @given(date=st.dates())
+    @example(date=dt.date(2020, 2, 29))  # leap day
+    @example(date=dt.date(2000, 2, 29))  # 400-year-rule leap day
+    @example(date=dt.date(1900, 3, 1))   # day after the 100-year non-leap
+    @example(date=dt.date(1969, 12, 31))  # pre-Unix-epoch
+    @example(date=dt.date(1, 1, 1))      # smallest representable ordinal
+    @example(date=dt.date(9999, 12, 31))
+    def test_iso_day_roundtrip(self, date):
+        iso = date.isoformat()
+        day = iso_to_day(iso)
+        assert day == date.toordinal()
+        assert day_to_iso(day) == iso
+        # a real date never collides with the missing sentinel
+        assert day != MISSING_DATE
+
+    @given(date=st.dates())
+    def test_day_iso_roundtrip(self, date):
+        day = date.toordinal()
+        assert iso_to_day(day_to_iso(day)) == day
+
+    @given(a=st.dates(), b=st.dates())
+    def test_ordering_preserved(self, a, b):
+        assert (iso_to_day(a.isoformat()) < iso_to_day(b.isoformat())) == (a < b)
+
+    @given(a=st.dates(), b=st.dates())
+    def test_days_between_matches_timedelta(self, a, b):
+        assert days_between(
+            iso_to_day(a.isoformat()), iso_to_day(b.isoformat())
+        ) == (a - b).days
+
+    def test_missing_sentinel_is_stable(self):
+        # Both directions of the sentinel mapping, fixed forever.
+        assert iso_to_day("") == MISSING_DATE
+        assert day_to_iso(MISSING_DATE) == ""
+        assert iso_to_day(day_to_iso(MISSING_DATE)) == MISSING_DATE
 
 
 class TestLogicalTime:

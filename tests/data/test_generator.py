@@ -123,10 +123,48 @@ class TestRccValidity:
 
 
 class TestConfigValidation:
-    def test_nonpositive_counts_rejected(self):
-        with pytest.raises(DataGenerationError):
-            SyntheticNmdConfig(n_ships=0)
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_ships", 0),
+            ("n_ships", -1),
+            ("n_closed_avails", 0),
+            ("n_closed_avails", -3),
+            ("target_n_rccs", 0),
+            ("target_n_rccs", -50),
+        ],
+    )
+    def test_nonpositive_counts_rejected(self, field, value):
+        with pytest.raises(DataGenerationError, match=field):
+            SyntheticNmdConfig(**{field: value})
+
+    def test_negative_ongoing_rejected(self):
+        with pytest.raises(DataGenerationError, match="n_ongoing_avails"):
+            SyntheticNmdConfig(n_ongoing_avails=-1)
+
+    def test_zero_ongoing_allowed(self):
+        config = SyntheticNmdConfig(
+            n_ships=3, n_closed_avails=11, n_ongoing_avails=0, target_n_rccs=60
+        )
+        dataset = generate_dataset(config)
+        assert (dataset.avails["status"] == "closed").all()
 
     def test_too_few_rccs_rejected(self):
-        with pytest.raises(DataGenerationError):
+        with pytest.raises(DataGenerationError, match="at least one RCC"):
             SyntheticNmdConfig(n_closed_avails=100, target_n_rccs=50)
+
+    def test_rcc_floor_counts_ongoing_avails(self):
+        # 12 avails in total need at least 12 RCCs, not 10.
+        with pytest.raises(DataGenerationError, match="at least one RCC"):
+            SyntheticNmdConfig(
+                n_closed_avails=10, n_ongoing_avails=2, target_n_rccs=11
+            )
+
+    def test_boundary_one_rcc_per_avail_generates(self):
+        config = SyntheticNmdConfig(
+            n_ships=2, n_closed_avails=10, n_ongoing_avails=1, target_n_rccs=11
+        )
+        dataset = generate_dataset(config)
+        assert dataset.n_rccs == 11
+        counts = dataset.rccs.group_by("avail_id").sizes()
+        assert (counts["count"] == 1).all()
