@@ -59,14 +59,13 @@ import dataclasses
 import json
 import os
 import sys
-from collections import deque
 from pathlib import Path
 from typing import IO
 
 from repro.core.config import PipelineConfig, paper_final_config
 from repro.core.estimator import DomdEstimator
 from repro.core.pipeline import PipelineOptimizer
-from repro.core.server import PoolFuture, ServicePool
+from repro.core.server import ServicePool
 from repro.core.service import DomdService, error_envelope
 from repro.data.generator import SyntheticNmdConfig, generate_dataset
 from repro.data.regimes import REGIMES, generate_regime_dataset, get_regime
@@ -219,9 +218,64 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verification timestamps (default: 0,10,...,100)",
     )
 
-    serve = sub.add_parser("serve", help="answer JSON-lines requests on stdin")
+    serve = sub.add_parser(
+        "serve",
+        help="answer JSON-lines requests on stdin, or serve a sharded "
+        "fleet over TCP with --listen",
+    )
     serve.add_argument("--model", required=True)
     serve.add_argument("--data", required=True)
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="serve the length-prefixed JSON protocol on a TCP socket "
+        "instead of stdin, sharding the fleet across worker processes "
+        "(PORT 0 picks an ephemeral port; the bound address is printed "
+        "as a JSON ready line)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker processes partitioning the fleet by ship "
+        "(--listen mode only, default 2)",
+    )
+    serve.add_argument(
+        "--vnodes",
+        type=int,
+        default=256,
+        help="virtual nodes per shard on the consistent-hash ring "
+        "(default 256)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        help="per-shard write-ahead logs under DIR, enabling the "
+        "'ingest' request type with fsync-then-ack durability "
+        "(--listen mode only)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="front-end dispatch slots before requests bounce with a "
+        "retryable 'overloaded' envelope (--listen mode, default 64)",
+    )
+    serve.add_argument(
+        "--scatter-timeout-ms",
+        type=float,
+        default=5000.0,
+        help="per-shard budget for scatter-gather requests; shards "
+        "missing it are reported in the 'degraded' block "
+        "(--listen mode, default 5000)",
+    )
+    serve.add_argument(
+        "--lag-alert-events",
+        type=int,
+        default=500,
+        help="ingest lag (events) past which a shard's "
+        "'shard:<id>:lagging' alert fires (--listen mode, default 500)",
+    )
     serve.add_argument(
         "--follow",
         metavar="WAL",
@@ -640,6 +694,8 @@ def _cmd_evaluate(args, out: IO[str], context: ExecutionContext) -> int:
 
 
 def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) -> int:
+    if getattr(args, "listen", None):
+        return _cmd_serve_fleet(args, out, context)
     dataset = load_dataset(args.data)
     estimator = load_estimator(args.model, dataset, context=context)
     service = DomdService(estimator)
@@ -717,29 +773,14 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
         sampler.start()
 
     try:
-        if workers <= 1 and deadline_ms is None:
-            import contextlib
+        from repro.serve.handler import RequestHandler, serve_stdin
 
-            for line in stdin:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    request = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    print(
-                        json.dumps(
-                            error_envelope("bad_json", f"malformed JSON: {exc}")
-                        ),
-                        file=out,
-                        flush=True,
-                    )
-                    continue
-                scope = gate.read() if gate is not None else contextlib.nullcontext()
-                with scope:
-                    response = service.handle(request)
-                print(json.dumps(response), file=out, flush=True)
-            return 0
+        if workers <= 1 and deadline_ms is None:
+            # Unpooled: dispatch resolves inline, so serve_stdin prints
+            # each response immediately — byte-identical to the
+            # historical inline loop (pinned by the stdin regression
+            # test).
+            return serve_stdin(RequestHandler(service, gate=gate), stdin, out)
 
         # Pooled serving: requests fan out across worker threads, responses
         # are printed in submission order.  Submits block on a full queue —
@@ -754,32 +795,10 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
         )
         if sampler is not None:
             sampler.add_source("pool", pool.sample_gauges)
-        pending: deque[PoolFuture] = deque()
-
-        def flush(block: bool) -> None:
-            while pending and (block or pending[0].done()):
-                print(json.dumps(pending.popleft().result()), file=out, flush=True)
-
         try:
-            for line in stdin:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    request = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    pending.append(
-                        PoolFuture.resolved(
-                            error_envelope("bad_json", f"malformed JSON: {exc}")
-                        )
-                    )
-                else:
-                    pending.append(pool.submit(request, block=True))
-                flush(block=False)
-            flush(block=True)
+            return serve_stdin(RequestHandler(service, pool=pool), stdin, out)
         finally:
             pool.close(drain=True)
-        return 0
     finally:
         if sampler is not None:
             sampler.stop()
@@ -790,6 +809,106 @@ def _cmd_serve(args, out: IO[str], stdin: IO[str], context: ExecutionContext) ->
             )
         if follower is not None:
             follower.stop()
+
+
+def _cmd_serve_fleet(args, out: IO[str], context: ExecutionContext) -> int:
+    """``repro serve --listen HOST:PORT``: the sharded TCP fleet service."""
+    import signal
+    import threading
+
+    from repro.serve import FleetService
+
+    listen = args.listen
+    host, sep, port_text = listen.rpartition(":")
+    if not sep or not host:
+        print(
+            json.dumps(
+                error_envelope(
+                    "bad_request", f"--listen must be HOST:PORT, got {listen!r}"
+                )
+            ),
+            file=out,
+            flush=True,
+        )
+        return 2
+    fleet = FleetService(
+        model=args.model,
+        data=args.data,
+        shards=max(getattr(args, "shards", 2), 1),
+        vnodes=getattr(args, "vnodes", 256),
+        wal_dir=getattr(args, "wal_dir", None),
+        workers_per_shard=max(getattr(args, "workers", 1), 1),
+        queue_depth=getattr(args, "queue_depth", 16),
+        deadline_ms=getattr(args, "deadline_ms", None),
+        host=host,
+        port=int(port_text),
+        max_inflight=getattr(args, "max_inflight", 64),
+        scatter_timeout=max(getattr(args, "scatter_timeout_ms", 5000.0), 1.0)
+        / 1000.0,
+        lag_alert_events=getattr(args, "lag_alert_events", 500),
+        context=context,
+    )
+
+    sampler = None
+    sample_interval_ms = getattr(args, "sample_interval_ms", 1000.0)
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        stop.set()
+
+    previous_term = signal.signal(signal.SIGTERM, _on_signal)
+    try:
+        bound_port = fleet.start()
+        assert fleet.router is not None
+        if sample_interval_ms and sample_interval_ms > 0:
+            from repro.runtime.telemetry import (
+                SloEngine,
+                TelemetrySampler,
+                TimeSeriesStore,
+                default_objectives,
+            )
+
+            store = TimeSeriesStore()
+            objectives = default_objectives(
+                latency_threshold_s=getattr(args, "slo_latency_ms", 500.0)
+                / 1000.0,
+                include_ingest=False,
+            )
+            sampler = TelemetrySampler(
+                context.metrics,
+                store=store,
+                interval=sample_interval_ms / 1000.0,
+                slo=SloEngine(objectives, store),
+            )
+            # Every tick scatters shard_status across the fleet: the
+            # shard.<id>.* series feed `repro top`'s shard panel and
+            # the repro_shard_* exposition, and the same poll evaluates
+            # the shard:<id>:lagging alert conditions.
+            sampler.add_source("shard", fleet.router.sample_gauges)
+            sampler.start()
+        print(
+            json.dumps(
+                {
+                    "ok": True,
+                    "listening": {"host": host, "port": bound_port},
+                    "shards": list(fleet.ring.shard_ids),
+                    "ingest": bool(fleet.wal_dir),
+                }
+            ),
+            file=out,
+            flush=True,
+        )
+        try:
+            while not stop.is_set():
+                stop.wait(0.5)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        if sampler is not None:
+            sampler.stop()
+        fleet.stop(drain=True)
 
 
 def _cmd_explain(args, out: IO[str], context: ExecutionContext) -> int:

@@ -79,6 +79,7 @@ class DomdEstimator:
         self._X_static = None
         self._avail_ids: np.ndarray | None = None
         self._dataset: NavyMaintenanceDataset | None = None
+        self._static_vocab: dict[str, dict[str, int]] | None = None
         self._features_pending = False
         self._bind_lock = threading.Lock()
         self._provenance: dict[str, str] | None = None
@@ -129,7 +130,7 @@ class DomdEstimator:
                 self._dataset, self.timeline.t_stars, context=self.context
             ).extract()
             X_static, self._static_names, self._avail_ids = static_features_for(
-                self._dataset
+                self._dataset, vocab=self._static_vocab
             )
             self._X_static_data = X_static
             self._features_pending = False
@@ -156,7 +157,12 @@ class DomdEstimator:
         self._tensor = StatusFeatureExtractor(
             dataset, self.timeline.t_stars, context=self.context
         ).extract()
-        X_static, self._static_names, static_ids = static_features_for(dataset)
+        from repro.features.static import static_vocab
+
+        self._static_vocab = static_vocab(dataset.avails)
+        X_static, self._static_names, static_ids = static_features_for(
+            dataset, vocab=self._static_vocab
+        )
         self._X_static = X_static
         self._avail_ids = static_ids
 
@@ -251,6 +257,9 @@ class DomdEstimator:
         served = DomdEstimator(self.config, context=self.context)
         served._dataset = dataset
         served._model_set = self._model_set
+        # The fit-time categorical vocabulary travels with the models so
+        # a rebind (or a shard slice) encodes exactly like the fit set.
+        served._static_vocab = self._static_vocab
         served._features_pending = True
         return served
 

@@ -36,7 +36,12 @@ from repro.features.selection import (
     select_features,
     spearman_scores,
 )
-from repro.features.static import encode_categorical, static_feature_matrix, static_features_for
+from repro.features.static import (
+    encode_categorical,
+    static_feature_matrix,
+    static_features_for,
+    static_vocab,
+)
 from repro.features.tensor import FeatureTensor
 from repro.features.transform import StatusFeatureExtractor, default_timeline
 
@@ -46,6 +51,7 @@ __all__ = [
     "default_timeline",
     "static_feature_matrix",
     "static_features_for",
+    "static_vocab",
     "encode_categorical",
     "STATIC_FEATURES",
     "select_features",

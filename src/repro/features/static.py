@@ -14,16 +14,43 @@ from repro.data.schema import NavyMaintenanceDataset, STATIC_FEATURES
 from repro.table.table import ColumnTable
 
 
-def encode_categorical(values: np.ndarray) -> tuple[np.ndarray, dict[str, int]]:
-    """Stable integer encoding of a string column (sorted label order)."""
-    labels = sorted(set(values))
-    mapping = {label: i for i, label in enumerate(labels)}
-    codes = np.array([mapping[v] for v in values], dtype=np.float64)
+def encode_categorical(
+    values: np.ndarray, mapping: dict[str, int] | None = None
+) -> tuple[np.ndarray, dict[str, int]]:
+    """Stable integer encoding of a string column.
+
+    Without ``mapping`` the vocabulary is derived from ``values`` (sorted
+    label order).  With ``mapping`` — the fit-time vocabulary carried by
+    a model artefact — codes are looked up so that *any subset* of the
+    fit dataset (e.g. one shard's ship slice) encodes identically to the
+    full dataset; labels unseen at fit time collapse into one
+    deterministic overflow bucket at ``len(mapping)``.
+    """
+    if mapping is None:
+        labels = sorted(set(values))
+        mapping = {label: i for i, label in enumerate(labels)}
+    unknown = len(mapping)
+    codes = np.array(
+        [float(mapping.get(v, unknown)) for v in values], dtype=np.float64
+    )
     return codes, mapping
+
+
+def static_vocab(avails: ColumnTable) -> dict[str, dict[str, int]]:
+    """The categorical vocabularies of a set of avails.
+
+    This is what a model artefact persists so that feature re-extraction
+    on a *slice* of the fit dataset stays bitwise-consistent with the
+    monolith (the sharded fleet service depends on this).
+    """
+    _, class_map = encode_categorical(avails["ship_class"])
+    _, type_map = encode_categorical(avails["avail_type"])
+    return {"ship_class": class_map, "avail_type": type_map}
 
 
 def static_feature_matrix(
     avails: ColumnTable,
+    vocab: dict[str, dict[str, int]] | None = None,
 ) -> tuple[np.ndarray, list[str], np.ndarray]:
     """Static design matrix for a set of avails.
 
@@ -31,10 +58,16 @@ def static_feature_matrix(
     -------
     (X, names, avail_ids):
         ``X`` is (n_avails, 8) float64 in :data:`STATIC_FEATURES` order;
-        categorical attributes are label-encoded.
+        categorical attributes are label-encoded (against ``vocab`` when
+        given, else against the labels present in ``avails``).
     """
-    class_codes, _ = encode_categorical(avails["ship_class"])
-    type_codes, _ = encode_categorical(avails["avail_type"])
+    vocab = vocab or {}
+    class_codes, _ = encode_categorical(
+        avails["ship_class"], vocab.get("ship_class")
+    )
+    type_codes, _ = encode_categorical(
+        avails["avail_type"], vocab.get("avail_type")
+    )
     columns = {
         "ship_class_code": class_codes,
         "rmc_id": np.asarray(avails["rmc_id"], dtype=np.float64),
@@ -51,6 +84,9 @@ def static_feature_matrix(
     return X, names, avail_ids
 
 
-def static_features_for(dataset: NavyMaintenanceDataset) -> tuple[np.ndarray, list[str], np.ndarray]:
+def static_features_for(
+    dataset: NavyMaintenanceDataset,
+    vocab: dict[str, dict[str, int]] | None = None,
+) -> tuple[np.ndarray, list[str], np.ndarray]:
     """Static design matrix for every avail in a dataset."""
-    return static_feature_matrix(dataset.avails)
+    return static_feature_matrix(dataset.avails, vocab=vocab)

@@ -213,6 +213,14 @@ def save_estimator(estimator: DomdEstimator, path: str | Path) -> None:
         "config": _config_to_payload(estimator.config),
         "model_set": model_set_to_payload(estimator._model_set),
     }
+    if estimator._static_vocab is not None:
+        # Fit-time categorical vocabulary: loading the artefact against a
+        # subset of the fit dataset (a shard's ship slice) must encode
+        # exactly like the monolith.  Optional for old artefacts.
+        payload["static_vocab"] = {
+            column: {str(label): int(code) for label, code in mapping.items()}
+            for column, mapping in estimator._static_vocab.items()
+        }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload), encoding="utf-8")
@@ -244,7 +252,10 @@ def load_estimator(
     estimator._tensor = StatusFeatureExtractor(
         dataset, estimator.timeline.t_stars, context=estimator.context
     ).extract()
-    X_static, estimator._static_names, static_ids = static_features_for(dataset)
+    estimator._static_vocab = payload.get("static_vocab")
+    X_static, estimator._static_names, static_ids = static_features_for(
+        dataset, vocab=estimator._static_vocab
+    )
     estimator._X_static = X_static
     estimator._avail_ids = static_ids
     estimator._model_set = model_set_from_payload(payload["model_set"])

@@ -78,6 +78,7 @@ def prometheus_text(
     sink: MetricsSink,
     pool_status: dict[str, Any] | None = None,
     ingest_status: dict[str, Any] | None = None,
+    shard_status: dict[str, dict[str, Any]] | None = None,
 ) -> str:
     """Render the sink + hub state in Prometheus text format.
 
@@ -87,7 +88,11 @@ def prometheus_text(
     :meth:`StreamIngestor.status
     <repro.stream.ingest.StreamIngestor.status>` dict) adds the
     ``repro_ingest_*`` streaming gauges, including per-design rebuild
-    counts.
+    counts.  ``shard_status`` (a :meth:`ShardRouter.sample_gauges
+    <repro.serve.router.ShardRouter.sample_gauges>` dict — one flat
+    numeric map per shard id, plus an optional ``fleet`` entry) adds
+    ``repro_shard_*{shard="<id>"}`` gauges and ``repro_fleet_*``
+    fleet-wide gauges.
     """
     lines: list[str] = []
     counters = sink.counters
@@ -163,6 +168,37 @@ def prometheus_text(
                 f'repro_ingest_staged_rows{{design="{design}"}} '
                 f"{float(ingest_status['staged'][design]):g}"
             )
+    if shard_status is not None:
+        # Group samples per metric (the text format wants one TYPE line
+        # followed by every labelled sample of that metric).
+        shard_keys = sorted(
+            {
+                key
+                for shard_id, gauges in shard_status.items()
+                if shard_id != "fleet"
+                for key, value in gauges.items()
+                if isinstance(value, (int, float))
+            }
+        )
+        for key in shard_keys:
+            metric = "repro_shard_" + _NAME_RE.sub("_", key)
+            lines.append(f"# TYPE {metric} gauge")
+            for shard_id in sorted(
+                (s for s in shard_status if s != "fleet"),
+                key=lambda s: (len(s), s),
+            ):
+                value = shard_status[shard_id].get(key)
+                if isinstance(value, (int, float)):
+                    lines.append(
+                        f'{metric}{{shard="{shard_id}"}} {float(value):g}'
+                    )
+        for key in sorted(shard_status.get("fleet", {})):
+            value = shard_status["fleet"][key]
+            if not isinstance(value, (int, float)):
+                continue
+            metric = "repro_fleet_" + _NAME_RE.sub("_", key)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {float(value):g}")
     return "\n".join(lines) + "\n"
 
 
@@ -170,12 +206,14 @@ def telemetry_snapshot(
     sink: MetricsSink,
     pool_status: dict[str, Any] | None = None,
     ingest_status: dict[str, Any] | None = None,
+    shard_status: dict[str, dict[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """JSON snapshot: counters, histogram summaries, cache, drift.
 
     ``pool_status`` adds a ``pool`` block mirroring the
     ``repro_pool_*`` gauges of :func:`prometheus_text`;
-    ``ingest_status`` likewise adds an ``ingest`` block.
+    ``ingest_status`` likewise adds an ``ingest`` block, and
+    ``shard_status`` a per-shard ``shards`` block.
     """
     counters = sink.counters
     out: dict[str, Any] = {
@@ -200,6 +238,11 @@ def telemetry_snapshot(
         out["pool"] = dict(pool_status)
     if ingest_status is not None:
         out["ingest"] = dict(ingest_status)
+    if shard_status is not None:
+        out["shards"] = {
+            shard_id: dict(gauges)
+            for shard_id, gauges in shard_status.items()
+        }
     return out
 
 

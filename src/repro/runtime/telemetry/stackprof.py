@@ -24,6 +24,7 @@ renders for ``chrome://tracing``.  Sampled self time is
 
 from __future__ import annotations
 
+import gc
 import sys
 import threading
 from pathlib import Path
@@ -103,7 +104,21 @@ class StackProfiler:
         profile with ``stackprof.sample_once``.
         """
         if frames is None:
-            frames = sys._current_frames()
+            # CPython 3.11's ``_PyThread_CurrentFrames`` materialises
+            # frame objects while holding the runtime head lock; if that
+            # allocation crosses a GC threshold, the collection path can
+            # re-enter runtime locks and deadlock the whole process with
+            # the GIL held (observed deterministically on 1-CPU hosts
+            # deep into long test runs).  Keep the collector out of the
+            # snapshot window.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                frames = sys._current_frames()
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
         own_ident = threading.get_ident()
         # The ident -> name map only changes when a thread starts or
         # dies; rebuild it from ``threading.enumerate()`` only when an

@@ -76,6 +76,20 @@ def _prefixed_latest(
     }
 
 
+def _shard_gauges(store: TimeSeriesStore) -> dict[str, dict[str, float]]:
+    """Regroup ``shard.<id>.<gauge>`` series into per-shard maps.
+
+    The ``fleet`` pseudo-shard (the router's global-watermark series)
+    rides along under its own key.
+    """
+    shards: dict[str, dict[str, float]] = {}
+    for name, value in _prefixed_latest(store, "shard.").items():
+        shard_id, _, gauge = name.partition(".")
+        if gauge:
+            shards.setdefault(shard_id, {})[gauge] = value
+    return shards
+
+
 def top_snapshot(
     events: Iterable[Mapping[str, Any]],
     now: float | None = None,
@@ -150,6 +164,7 @@ def top_snapshot(
             "appends": link_counts.get("wal_append", 0),
             "applies": link_counts.get("wal_apply", 0),
         },
+        "shards": _shard_gauges(store),
         "drift_flagged": _latest(store, "drift.flagged") or 0.0,
         "alerts": {
             "firing": sorted(
@@ -231,6 +246,29 @@ def render_top(snapshot: Mapping[str, Any]) -> str:
             f"  appends={_fmt(freshness.get('appends'), 0)}"
             f"  {sparkline(freshness.get('trend') or [])}"
         )
+
+    shards = snapshot.get("shards") or {}
+    shard_rows = sorted(
+        (s for s in shards if s != "fleet"), key=lambda s: (len(s), s)
+    )
+    if shard_rows:
+        fleet = shards.get("fleet") or {}
+        lines.append(
+            f"  shards     n={len(shard_rows)}"
+            f"  fleet_watermark={_fmt(fleet.get('watermark'), 0)}"
+        )
+        for shard_id in shard_rows:
+            gauges = shards[shard_id]
+            up = gauges.get("up")
+            state = "up" if up else "DOWN"
+            lines.append(
+                f"    shard {shard_id:<4} {state:<5}"
+                f" depth={_fmt(gauges.get('queue_depth'), 0)}"
+                f" inflight={_fmt(gauges.get('in_flight'), 0)}"
+                f" done={_fmt(gauges.get('completed'), 0)}"
+                f" watermark={_fmt(gauges.get('watermark_seq'), 0)}"
+                f" lag={_fmt(gauges.get('lag_events'), 0)}"
+            )
 
     lines.append(f"  drift      flagged={_fmt(snapshot.get('drift_flagged'), 0)}")
 

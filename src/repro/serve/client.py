@@ -1,0 +1,136 @@
+"""Blocking frame client: one request/response over the fleet protocol.
+
+:class:`FrameClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.serve.framing` against any server that serves it — the
+front-end (tests, the bench harness, external callers) or an individual
+shard (the router's scatter-gather).  It keeps a small pool of idle
+connections so concurrent requests from different threads don't
+serialise on one socket: each in-flight request owns one connection for
+its full round trip (the protocol has no multiplexing — by design, it
+keeps framing trivially debuggable with ``nc``/``xxd``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.serve.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+
+
+class ShardUnavailable(Exception):
+    """The peer could not be reached, or the round trip failed."""
+
+
+class FrameClient:
+    """Pooled blocking client for one ``(host, port)`` frame server.
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    timeout:
+        Default per-request wall timeout (connect + send + receive),
+        seconds; per-call override via :meth:`request`.
+    max_idle:
+        Idle connections kept for reuse; extras close after use.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 10.0,
+        max_idle: int = 8,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.max_idle = int(max_idle)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ShardUnavailable(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.max_idle:
+                self._idle.append(sock)
+                return
+        sock.close()
+
+    # ------------------------------------------------------------------
+    def request(
+        self, obj: Any, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """One round trip; returns the response envelope.
+
+        Raises :class:`ShardUnavailable` when the peer is unreachable,
+        resets mid-request, times out, or closes without answering —
+        the caller (router / test driver) decides how that maps onto
+        the error-envelope enumeration.
+        """
+        sock = self._checkout()
+        reuse = False
+        try:
+            if timeout is not None:
+                sock.settimeout(timeout)
+            elif self.timeout is not None:
+                sock.settimeout(self.timeout)
+            send_frame(sock, obj, max_bytes=self.max_frame_bytes)
+            response = recv_frame(sock, max_bytes=self.max_frame_bytes)
+            if response is None:
+                raise ShardUnavailable(
+                    f"{self.host}:{self.port} closed the connection"
+                    " without answering"
+                )
+            reuse = True
+            return response
+        except (OSError, FrameError, ValueError) as exc:
+            if isinstance(exc, ShardUnavailable):
+                raise
+            raise ShardUnavailable(
+                f"request to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        finally:
+            if reuse:
+                self._checkin(sock)
+            else:
+                sock.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            sock.close()
+
+    def __enter__(self) -> "FrameClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"FrameClient({self.host}:{self.port}, idle={len(self._idle)})"

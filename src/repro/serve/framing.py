@@ -1,0 +1,204 @@
+"""Length-prefixed JSON framing: the fleet service's wire protocol.
+
+One frame is a 4-byte big-endian unsigned payload length followed by
+exactly that many bytes of UTF-8 JSON — the shape every layer of the
+sharded service speaks: client → front-end, front-end → shard, and the
+test/bench drivers.  Length prefixing (rather than newline delimiting)
+keeps the protocol binary-safe, makes oversize requests rejectable
+*before* buffering them, and gives torn connections an unambiguous
+failure mode: a partial frame at EOF is a mid-request disconnect, never
+a silently truncated request.
+
+Failure taxonomy (normalised into the pinned error-envelope enumeration
+by the servers, see :mod:`repro.serve.frontend`):
+
+* **oversize** — a header declaring more than ``max_bytes``: the frame
+  is rejected without reading the payload (:class:`FrameTooLarge`).
+  The declared length is still trusted for resynchronisation, so a
+  server can answer with a structured envelope instead of dropping the
+  connection mid-stream.
+* **corrupt header** — a zero-length frame (:class:`FrameProtocolError`);
+  the stream cannot be trusted past it.
+* **torn frame** — EOF inside a header or payload
+  (:class:`FrameTruncated`): the peer disconnected mid-request.
+* **malformed payload** — a complete frame whose bytes are not valid
+  JSON; surfaced by :func:`decode_payload` as ``ValueError`` so servers
+  map it to a ``bad_json`` envelope and *keep the connection open* (the
+  framing layer already resynchronised).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+#: Frames above this are rejected without buffering (4 MiB).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+
+class FrameError(Exception):
+    """Base class of every framing failure."""
+
+
+class FrameTooLarge(FrameError):
+    """A header declared a payload larger than the negotiated maximum."""
+
+    def __init__(self, declared: int, max_bytes: int):
+        super().__init__(
+            f"frame declares {declared} bytes, exceeding the "
+            f"{max_bytes}-byte frame limit"
+        )
+        self.declared = declared
+        self.max_bytes = max_bytes
+
+
+class FrameProtocolError(FrameError):
+    """The byte stream violates the framing protocol (zero-length frame)."""
+
+
+class FrameTruncated(FrameError):
+    """EOF arrived inside a frame — the peer disconnected mid-request."""
+
+
+def encode_frame(obj: Any, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialise one JSON value into a length-prefixed frame."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_bytes:
+        raise FrameTooLarge(len(payload), max_bytes)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Any:
+    """Parse one frame payload; raises ``ValueError`` on malformed JSON."""
+    return json.loads(payload.decode("utf-8"))
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary byte chunks, get payloads out.
+
+    The decoder never raises from :meth:`feed` alone — errors surface
+    from :meth:`frames` as it walks the buffered stream, after yielding
+    every complete frame before the fault.  An oversize frame is
+    consumed (its declared payload is skipped as it streams in), so the
+    caller can answer with an envelope and keep decoding.
+    """
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES):
+        self.max_bytes = int(max_bytes)
+        self._buffer = bytearray()
+        #: Bytes of an oversize payload still to be discarded.
+        self._skip = 0
+        #: Raised descriptor of the oversize frame being skipped.
+        self._oversize: FrameTooLarge | None = None
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def frames(self) -> list[Any]:
+        """Every complete, in-limit frame payload buffered so far.
+
+        Raises :class:`FrameTooLarge` once per oversize frame — *after*
+        its bytes are fully skipped — and :class:`FrameProtocolError` on
+        a zero-length frame.  Payload JSON is **not** parsed here; each
+        returned element is the raw payload ``bytes`` (callers decide
+        how to map a malformed payload to their error surface).
+        """
+        out: list[bytes] = []
+        while True:
+            if self._skip:
+                drop = min(self._skip, len(self._buffer))
+                del self._buffer[:drop]
+                self._skip -= drop
+                if self._skip:
+                    break  # need more bytes to finish skipping
+            if self._oversize is not None:
+                if out:
+                    # Deliver the good frames first; the error re-raises
+                    # on the next call with an empty prefix.
+                    break
+                oversize, self._oversize = self._oversize, None
+                raise oversize
+            if len(self._buffer) < HEADER_BYTES:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length == 0:
+                if out:
+                    break  # deliver good frames; re-raise next call
+                raise FrameProtocolError("zero-length frame")
+            if length > self.max_bytes:
+                del self._buffer[:HEADER_BYTES]
+                self._skip = length
+                self._oversize = FrameTooLarge(length, self.max_bytes)
+                continue
+            if len(self._buffer) < HEADER_BYTES + length:
+                break
+            payload = bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length])
+            del self._buffer[: HEADER_BYTES + length]
+            out.append(payload)
+        return out
+
+
+# ----------------------------------------------------------------------
+# blocking-socket helpers (shard servers, clients, tests)
+# ----------------------------------------------------------------------
+def send_frame(
+    sock: socket.socket, obj: Any, max_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    sock.sendall(encode_frame(obj, max_bytes=max_bytes))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(min(n - len(chunks), 65536))
+        if not chunk:
+            raise FrameTruncated(
+                f"connection closed after {len(chunks)} of {n} frame bytes"
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Any | None:
+    """Read one frame; returns the parsed JSON value, or ``None`` at a
+    clean EOF (the peer closed between frames).
+
+    Raises :class:`FrameTruncated` on a mid-frame EOF,
+    :class:`FrameTooLarge`/:class:`FrameProtocolError` on protocol
+    violations, and ``ValueError`` on a malformed JSON payload.
+    """
+    try:
+        header = sock.recv(HEADER_BYTES)
+    except ConnectionResetError:
+        return None
+    if not header:
+        return None
+    if len(header) < HEADER_BYTES:
+        header += _recv_exact(sock, HEADER_BYTES - len(header))
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise FrameProtocolError("zero-length frame")
+    if length > max_bytes:
+        # Drain the declared payload so the stream stays framed — the
+        # caller can answer with an envelope and keep the connection.
+        remaining = length
+        while remaining:
+            chunk = sock.recv(min(remaining, 65536))
+            if not chunk:
+                raise FrameTruncated(
+                    f"connection closed inside an oversize {length}-byte frame"
+                )
+            remaining -= len(chunk)
+        raise FrameTooLarge(length, max_bytes)
+    return decode_payload(_recv_exact(sock, length))

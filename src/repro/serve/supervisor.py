@@ -1,0 +1,240 @@
+"""Shard process supervision: spawn, handshake, drain, kill, restart.
+
+The supervisor owns the fleet's worker processes.  Each shard is
+launched with the **spawn** start method — never fork: the front-end
+runs an asyncio loop, a sampler thread, and live sockets, none of which
+may leak into a child — and announces itself over a one-shot pipe
+handshake: ``("ready", port)`` once its server is listening, or
+``("error", traceback)`` if assembly failed.  Ports are ephemeral
+(``port=0``); the front-end's router is re-pointed after every
+(re)start via :meth:`ShardRouter.reconnect`.
+
+Restart semantics are the durability story's other half: a shard killed
+hard (``kill_shard`` is SIGKILL — the CI smoke uses it mid-workload)
+replays its WAL during :func:`~repro.serve.shard.build_shard_runtime`,
+so the restarted process answers with a watermark equal to the last
+acknowledged write.  The supervisor itself holds no request state —
+losing it loses nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any
+
+from repro.errors import ReproError
+from repro.serve.client import FrameClient, ShardUnavailable
+from repro.serve.shard import shard_entry
+
+
+class ShardStartupError(ReproError):
+    """A shard process failed to come up (carries the child traceback)."""
+
+
+class _Managed:
+    """Book-keeping for one supervised shard process."""
+
+    __slots__ = ("spec", "process", "port", "restarts")
+
+    def __init__(self, spec: dict[str, Any]):
+        self.spec = spec
+        self.process: Any | None = None
+        self.port: int | None = None
+        self.restarts = 0
+
+
+class ShardSupervisor:
+    """Launches and manages one process per shard spec.
+
+    Parameters
+    ----------
+    specs:
+        ``{shard_id: spec}`` — the picklable assembly spec
+        :func:`~repro.serve.shard.build_shard_runtime` consumes.
+    start_timeout:
+        Seconds to wait for a shard's ready handshake (model loading
+        dominates; WAL replay extends it after a crash).
+    """
+
+    def __init__(
+        self, specs: dict[int, dict[str, Any]], start_timeout: float = 120.0
+    ):
+        self._ctx = multiprocessing.get_context("spawn")
+        self._managed: dict[int, _Managed] = {
+            int(shard_id): _Managed(dict(spec))
+            for shard_id, spec in specs.items()
+        }
+        self.start_timeout = float(start_timeout)
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._managed))
+
+    def port_of(self, shard_id: int) -> int:
+        port = self._managed[shard_id].port
+        if port is None:
+            raise ShardStartupError(f"shard {shard_id} is not running")
+        return port
+
+    def ports(self) -> dict[int, int]:
+        return {
+            shard_id: managed.port
+            for shard_id, managed in self._managed.items()
+            if managed.port is not None
+        }
+
+    def alive(self, shard_id: int) -> bool:
+        process = self._managed[shard_id].process
+        return process is not None and process.is_alive()
+
+    def restarts_of(self, shard_id: int) -> int:
+        return self._managed[shard_id].restarts
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_shard(self, shard_id: int) -> int:
+        """Spawn one shard and wait for its ready handshake; returns port."""
+        managed = self._managed[shard_id]
+        if managed.process is not None and managed.process.is_alive():
+            raise ShardStartupError(f"shard {shard_id} is already running")
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=shard_entry,
+            args=(managed.spec, child_conn),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the child's end lives in the child now
+        try:
+            if not parent_conn.poll(self.start_timeout):
+                process.kill()
+                process.join(5.0)
+                raise ShardStartupError(
+                    f"shard {shard_id} did not report ready within "
+                    f"{self.start_timeout:.0f}s"
+                )
+            status, detail = parent_conn.recv()
+        except EOFError:
+            process.join(5.0)
+            raise ShardStartupError(
+                f"shard {shard_id} exited before its handshake "
+                f"(exitcode {process.exitcode})"
+            ) from None
+        finally:
+            parent_conn.close()
+        if status != "ready":
+            process.join(5.0)
+            raise ShardStartupError(
+                f"shard {shard_id} failed to start:\n{detail}"
+            )
+        managed.process = process
+        managed.port = int(detail)
+        return managed.port
+
+    def start(self) -> dict[int, int]:
+        """Start every shard; returns ``{shard_id: port}``.
+
+        Sequential on purpose: spawn + model load is CPU/IO-bound and
+        the deterministic order keeps failure attribution obvious.  Any
+        failure stops the fleet and tears down what already started.
+        """
+        try:
+            for shard_id in self.shard_ids:
+                self.start_shard(shard_id)
+        except ShardStartupError:
+            self.stop_all(graceful=False)
+            raise
+        return self.ports()
+
+    def stop_shard(
+        self, shard_id: int, graceful: bool = True, timeout: float = 10.0
+    ) -> None:
+        """Drain-stop one shard (a ``shutdown`` frame), escalating to kill."""
+        managed = self._managed[shard_id]
+        process = managed.process
+        if process is None:
+            return
+        if graceful and process.is_alive() and managed.port is not None:
+            try:
+                with FrameClient(
+                    "127.0.0.1", managed.port, timeout=timeout
+                ) as client:
+                    client.request({"type": "shutdown"}, timeout=timeout)
+            except ShardUnavailable:
+                pass  # already gone or wedged; escalation below
+            process.join(timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout)
+        managed.process = None
+        managed.port = None
+
+    def kill_shard(self, shard_id: int) -> None:
+        """SIGKILL one shard — the crash the durability contract survives."""
+        managed = self._managed[shard_id]
+        process = managed.process
+        if process is None:
+            return
+        process.kill()
+        process.join(10.0)
+        managed.process = None
+        managed.port = None
+
+    def restart_shard(self, shard_id: int, graceful: bool = False) -> int:
+        """Bounce one shard; returns the new port (WAL replay included)."""
+        managed = self._managed[shard_id]
+        if managed.process is not None:
+            if graceful:
+                self.stop_shard(shard_id, graceful=True)
+            else:
+                self.kill_shard(shard_id)
+        managed.restarts += 1
+        return self.start_shard(shard_id)
+
+    def stop_all(self, graceful: bool = True, timeout: float = 10.0) -> None:
+        for shard_id in self.shard_ids:
+            self.stop_shard(shard_id, graceful=graceful, timeout=timeout)
+
+    def reap(self) -> dict[int, int]:
+        """Exit codes of shards that died without being stopped."""
+        dead: dict[int, int] = {}
+        for shard_id, managed in self._managed.items():
+            process = managed.process
+            if process is not None and not process.is_alive():
+                dead[shard_id] = process.exitcode
+                managed.process = None
+                managed.port = None
+        return dead
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop_all(graceful=True)
+
+    def __repr__(self) -> str:
+        up = sum(1 for shard_id in self.shard_ids if self.alive(shard_id))
+        return f"ShardSupervisor({up}/{len(self.shard_ids)} shards up)"
+
+
+def wait_port_open(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> bool:
+    """Poll until a TCP connect succeeds (test/smoke convenience)."""
+    import socket
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=interval * 4):
+                return True
+        except OSError:
+            time.sleep(interval)
+    return False

@@ -1,0 +1,45 @@
+"""Shared serving fixtures: one fitted model + saved artefacts on disk.
+
+Session-scoped because fitting dominates: every test in this package
+shares the same small dataset, estimator, and saved ``data``/``model``
+artefacts (shard processes load them from disk by path).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import DomdEstimator, PipelineConfig
+from repro.data import save_dataset, split_dataset
+from repro.data.dates import day_to_iso
+from repro.ml import GbmParams
+from repro.persistence import save_estimator
+
+
+@pytest.fixture(scope="session")
+def serve_env(request, tmp_path_factory):
+    dataset = request.getfixturevalue("small_dataset")
+    splits = split_dataset(dataset, seed=5)
+    config = PipelineConfig(
+        window_pct=25.0, k=8, fusion="average", gbm=GbmParams(n_estimators=15)
+    )
+    estimator = DomdEstimator(config).fit(dataset, splits.train_ids)
+    root = tmp_path_factory.mktemp("serve")
+    data_dir = root / "data"
+    save_dataset(dataset, data_dir)
+    model_path = root / "model.json"
+    save_estimator(estimator, model_path)
+    avail_ids = [int(a) for a in dataset.avails["avail_id"]]
+    starts = np.asarray(dataset.avails["act_start"])
+    return SimpleNamespace(
+        dataset=dataset,
+        estimator=estimator,
+        data_dir=str(data_dir),
+        model_path=str(model_path),
+        avail_ids=avail_ids,
+        # A date most avails straddle — fleet_status returns real rows.
+        fleet_date=day_to_iso(int(np.median(starts)) + 40),
+    )

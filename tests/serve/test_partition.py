@@ -1,0 +1,91 @@
+"""Shard-dataset partitioning: coverage, disjointness, and the
+shard/monolith differential (a shard's estimate must be bitwise
+identical to the monolith's — features are strictly per-avail)."""
+
+import numpy as np
+import pytest
+
+from repro.persistence import load_estimator
+from repro.serve.partition import fleet_assignment, shard_dataset, ships_of_shard
+from repro.serve.ring import ConsistentHashRing
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ConsistentHashRing([0, 1, 2])
+
+
+class TestPartition:
+    def test_ships_partition_disjoint_and_complete(self, serve_env, ring):
+        all_ships = {int(s) for s in serve_env.dataset.ships["ship_id"]}
+        seen: set[int] = set()
+        for shard_id in ring.shard_ids:
+            owned = {int(s) for s in ships_of_shard(serve_env.dataset, ring, shard_id)}
+            assert owned.isdisjoint(seen)
+            seen |= owned
+        assert seen == all_ships
+
+    def test_slice_keeps_only_owned_rows(self, serve_env, ring):
+        for shard_id in ring.shard_ids:
+            slice_ = shard_dataset(serve_env.dataset, ring, shard_id)
+            owned = set(
+                int(s) for s in ships_of_shard(serve_env.dataset, ring, shard_id)
+            )
+            assert {int(s) for s in slice_.ships["ship_id"]} == owned
+            assert {int(s) for s in slice_.avails["ship_id"]} <= owned
+            owned_avails = {int(a) for a in slice_.avails["avail_id"]}
+            assert {int(a) for a in slice_.rccs["avail_id"]} <= owned_avails
+
+    def test_slices_cover_every_avail_and_rcc(self, serve_env, ring):
+        total_avails = 0
+        total_rccs = 0
+        for shard_id in ring.shard_ids:
+            slice_ = shard_dataset(serve_env.dataset, ring, shard_id)
+            total_avails += len(slice_.avails)
+            total_rccs += len(slice_.rccs)
+        assert total_avails == len(serve_env.dataset.avails)
+        assert total_rccs == len(serve_env.dataset.rccs)
+
+    def test_shard_notes_record_topology(self, serve_env, ring):
+        slice_ = shard_dataset(serve_env.dataset, ring, 1)
+        note = slice_.notes["shard"]
+        assert note["shard_id"] == 1
+        assert note["shard_ids"] == [0, 1, 2]
+        assert note["vnodes"] == ring.vnodes
+
+    def test_fleet_assignment_matches_ring(self, serve_env, ring):
+        assignment = fleet_assignment(serve_env.dataset, ring)
+        for shard_id, ships in assignment.items():
+            for ship_id in ships:
+                assert ring.owner_of_ship(ship_id) == shard_id
+
+
+class TestShardMonolithDifferential:
+    def test_shard_estimates_bitwise_match_monolith(self, serve_env, ring):
+        """The property that makes ship partitioning sound at all."""
+        monolith = serve_env.estimator
+        t_stars = [10.0, 30.0, 55.0, 80.0]
+        checked = 0
+        for shard_id in ring.shard_ids:
+            slice_ = shard_dataset(serve_env.dataset, ring, shard_id)
+            if len(slice_.avails) == 0:
+                continue
+            shard_est = load_estimator(serve_env.model_path, slice_)
+            avail_ids = [int(a) for a in slice_.avails["avail_id"]][:6]
+            for t_star in t_stars:
+                ours = shard_est.query(avail_ids, t_star=t_star)
+                theirs = monolith.query(avail_ids, t_star=t_star)
+                for a, b in zip(ours, theirs):
+                    assert a.avail_id == b.avail_id
+                    assert a.current_estimate == b.current_estimate, (
+                        f"shard {shard_id} avail {a.avail_id} t*={t_star}: "
+                        f"{a.current_estimate} != {b.current_estimate}"
+                    )
+                    np.testing.assert_array_equal(
+                        a.window_estimates, b.window_estimates
+                    )
+                    np.testing.assert_array_equal(
+                        a.fused_estimates, b.fused_estimates
+                    )
+                    checked += 1
+        assert checked > 20  # non-vacuous across shards and timestamps

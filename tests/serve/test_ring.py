@@ -1,0 +1,136 @@
+"""Property tests for the consistent-hash ring (Issue 10, satellite 3).
+
+The two load-bearing properties:
+
+* **balance** — at fleet scale the keyspace splits within ±20% of fair
+  share;
+* **minimal movement** — adding/removing one shard moves at most ~K/N
+  of K keys (a modulo partition would move nearly all of them).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.ring import (
+    DEFAULT_VNODES,
+    ConsistentHashRing,
+    ship_key,
+    stable_hash,
+)
+
+
+def _owners(ring, keys):
+    return {key: ring.owner(key) for key in keys}
+
+
+class TestStableHash:
+    def test_process_independent(self):
+        # The whole point: builtin hash() is salted per process, the
+        # ring hash must not be.  Recompute in a fresh interpreter.
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.serve.ring import stable_hash;"
+                "print(stable_hash('ship:42'))",
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONHASHSEED": "99"},
+        )
+        assert int(out.stdout.strip()) == stable_hash("ship:42")
+
+    def test_distinct_keys_distinct_hashes(self):
+        hashes = {stable_hash(ship_key(i)) for i in range(10_000)}
+        assert len(hashes) == 10_000
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_within_20pct_of_fair_share(self, n_shards):
+        ring = ConsistentHashRing(range(n_shards), vnodes=DEFAULT_VNODES)
+        keys = [ship_key(i) for i in range(20_000)]
+        assignment = ring.assignment(keys)
+        fair = len(keys) / n_shards
+        for shard_id, owned in assignment.items():
+            assert len(owned) == pytest.approx(fair, rel=0.20), (
+                f"shard {shard_id} owns {len(owned)} of {len(keys)} keys "
+                f"(fair share {fair:.0f})"
+            )
+
+    def test_every_shard_owns_something_at_fleet_scale(self):
+        # 73 ships over 4 shards: the paper-scale fleet must not leave
+        # a shard empty (an empty shard would still serve, but balance
+        # at this scale is what the partitioning is for).
+        ring = ConsistentHashRing(range(4))
+        assignment = ring.assignment([ship_key(i) for i in range(73)])
+        assert all(len(owned) > 0 for owned in assignment.values())
+
+
+class TestMinimalMovement:
+    K = 20_000
+
+    def test_add_moves_at_most_k_over_n(self):
+        keys = [ship_key(i) for i in range(self.K)]
+        ring = ConsistentHashRing(range(4))
+        before = _owners(ring, keys)
+        ring.add(4)
+        after = _owners(ring, keys)
+        moved = [k for k in keys if before[k] != after[k]]
+        # The new shard claims ~1/5 of the keyspace; 1.5x slack covers
+        # vnode variance.  A modulo partition would move ~80%.
+        assert len(moved) <= 1.5 * self.K / 5
+        # Everything that moved, moved *to* the new shard.
+        assert all(after[k] == 4 for k in moved)
+
+    def test_remove_moves_only_the_removed_shards_keys(self):
+        keys = [ship_key(i) for i in range(self.K)]
+        ring = ConsistentHashRing(range(5))
+        before = _owners(ring, keys)
+        ring.remove(2)
+        after = _owners(ring, keys)
+        moved = [k for k in keys if before[k] != after[k]]
+        assert len(moved) <= 1.5 * self.K / 5
+        # Only keys the departed shard owned were reassigned.
+        assert all(before[k] == 2 for k in moved)
+        assert all(owner != 2 for owner in after.values())
+
+    def test_add_then_remove_is_identity(self):
+        keys = [ship_key(i) for i in range(2_000)]
+        ring = ConsistentHashRing(range(3))
+        before = _owners(ring, keys)
+        ring.add(7)
+        ring.remove(7)
+        assert _owners(ring, keys) == before
+
+
+class TestRingSemantics:
+    def test_pure_function_of_membership(self):
+        a = ConsistentHashRing([0, 1, 2])
+        b = ConsistentHashRing([2, 0, 1])  # order must not matter
+        keys = [ship_key(i) for i in range(500)]
+        assert _owners(a, keys) == _owners(b, keys)
+
+    def test_idempotent_add(self):
+        ring = ConsistentHashRing([0, 1])
+        points_before = len(ring._points)
+        ring.add(1)
+        assert len(ring._points) == points_before
+
+    def test_cannot_remove_last_shard(self):
+        ring = ConsistentHashRing([0])
+        with pytest.raises(ConfigurationError):
+            ring.remove(0)
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing([])
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing([0], vnodes=0)

@@ -1,0 +1,284 @@
+"""ShardServer over real sockets: dispatch, ingest durability hooks,
+and the connection-failure normalization (Issue 10, satellite 6).
+
+Every connection-level failure mode lands in the pinned error-envelope
+enumeration — oversize payload, malformed frame, malformed JSON,
+mid-request disconnect — and the connection survives exactly when the
+stream is still framed.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.server import ServicePool
+from repro.core.service import DomdService
+from repro.data import load_dataset
+from repro.persistence import load_estimator
+from repro.runtime import ExecutionContext
+from repro.runtime.concurrency import ReadWriteGate
+from repro.serve.client import FrameClient
+from repro.serve.framing import encode_frame, recv_frame, send_frame
+from repro.serve.handler import RequestHandler
+from repro.serve.partition import shard_dataset, ships_of_shard
+from repro.serve.ring import ConsistentHashRing
+from repro.serve.shard import ShardServer, build_shard_runtime
+
+
+RING = ConsistentHashRing([0, 1])
+
+
+def _owned_avails(dataset, shard_id: int) -> list[int]:
+    owned_ships = {int(s) for s in ships_of_shard(dataset, RING, shard_id)}
+    return [
+        int(a)
+        for a, s in zip(dataset.avails["avail_id"], dataset.avails["ship_id"])
+        if int(s) in owned_ships
+    ]
+
+
+@pytest.fixture(scope="module")
+def static_shard(serve_env):
+    """Shard 0 of a 2-shard ring, static snapshot (no WAL), started."""
+    context = ExecutionContext()
+    slice_ = shard_dataset(load_dataset(serve_env.data_dir), RING, 0)
+    service = DomdService(load_estimator(serve_env.model_path, slice_, context=context))
+    pool = ServicePool(service, workers=1, queue_depth=8, gate=ReadWriteGate())
+    server = ShardServer(
+        shard_id=0,
+        handler=RequestHandler(service, pool=pool),
+        gate=pool.gate,
+        max_frame_bytes=64 * 1024,
+    )
+    server.start()
+    yield server
+    server.stop(drain=False)
+    pool.close(drain=False)
+
+
+@pytest.fixture(scope="module")
+def wal_shard(serve_env, tmp_path_factory):
+    """Shard 0 with live ingestion (WAL-backed), via the spec assembly."""
+    wal_dir = tmp_path_factory.mktemp("shard-wal")
+    runtime = build_shard_runtime(
+        {
+            "shard_id": 0,
+            "shard_ids": [0, 1],
+            "model": serve_env.model_path,
+            "data": serve_env.data_dir,
+            "wal_path": str(wal_dir / "shard-0.wal"),
+            "workers": 1,
+            "queue_depth": 8,
+        }
+    )
+    runtime.server.start()
+    yield runtime
+    runtime.server.stop(drain=False)
+    runtime.pool.close(drain=False)
+    if runtime.wal is not None:
+        runtime.wal.close()
+
+
+def _client(server) -> FrameClient:
+    return FrameClient("127.0.0.1", server.port, timeout=10.0)
+
+
+class TestDispatch:
+    def test_query_owned_avail_matches_monolith(self, serve_env, static_shard):
+        owned = _owned_avails(serve_env.dataset, 0)[:3]
+        with _client(static_shard) as client:
+            response = client.request(
+                {"type": "domd_query", "avail_ids": owned, "t_star": 30.0}
+            )
+        assert response["ok"]
+        assert response["shard_id"] == 0
+        expected = serve_env.estimator.query(owned, t_star=30.0)
+        for item, est in zip(response["result"], expected):
+            assert item["avail_id"] == est.avail_id
+            assert item["current"] == est.current_estimate  # bitwise
+
+    def test_unowned_avail_errors_on_this_shard(self, serve_env, static_shard):
+        foreign = _owned_avails(serve_env.dataset, 1)[0]
+        with _client(static_shard) as client:
+            response = client.request(
+                {"type": "domd_query", "avail_ids": [foreign], "t_star": 30.0}
+            )
+        assert not response["ok"]
+        assert response["error"]["code"] == "domain_error"
+        assert "not in tensor" in response["error"]["message"]
+
+    def test_invalid_deadline_is_bad_request(self, static_shard):
+        with _client(static_shard) as client:
+            response = client.request(
+                {"type": "health", "deadline_ms": -5}
+            )
+        assert response["error"]["code"] == "bad_request"
+        assert "'deadline_ms' must be a positive number" in (
+            response["error"]["message"]
+        )
+
+    def test_shard_status_shape(self, static_shard):
+        with _client(static_shard) as client:
+            response = client.request({"type": "shard_status"})
+        assert response["ok"]
+        result = response["result"]
+        assert result["shard_id"] == 0 and result["up"] is True
+        assert result["watermark"] is None  # static snapshot
+        assert {"connections", "requests"} <= set(result["server"])
+        assert {"queue_depth", "workers", "completed"} <= set(result["pool"])
+
+    def test_ingest_without_wal_is_bad_request(self, static_shard):
+        with _client(static_shard) as client:
+            response = client.request({"type": "ingest", "events": []})
+        assert response["error"]["code"] == "bad_request"
+        assert "static snapshot" in response["error"]["message"]
+
+
+class TestConnectionFailureNormalization:
+    """Satellite 6: the wire-failure taxonomy, at the server."""
+
+    def test_oversize_frame_answers_and_survives(self, static_shard):
+        with socket.create_connection(
+            ("127.0.0.1", static_shard.port), timeout=10.0
+        ) as conn:
+            big = b"x" * (static_shard.max_frame_bytes + 100)
+            conn.sendall(struct.pack(">I", len(big)) + big)
+            response = recv_frame(conn)
+            assert response["error"]["code"] == "bad_request"
+            assert "frame limit" in response["error"]["message"]
+            # Stream stayed framed: the same connection still serves.
+            send_frame(conn, {"type": "health"})
+            assert recv_frame(conn)["ok"]
+
+    def test_zero_length_frame_is_bad_json_then_close(self, static_shard):
+        with socket.create_connection(
+            ("127.0.0.1", static_shard.port), timeout=10.0
+        ) as conn:
+            conn.sendall(struct.pack(">I", 0))
+            response = recv_frame(conn)
+            assert response["error"]["code"] == "bad_json"
+            assert response["error"]["message"].startswith("malformed frame: ")
+            assert recv_frame(conn) is None  # server closed the stream
+
+    def test_malformed_json_payload_survives(self, static_shard):
+        with socket.create_connection(
+            ("127.0.0.1", static_shard.port), timeout=10.0
+        ) as conn:
+            payload = b"{definitely not json"
+            conn.sendall(struct.pack(">I", len(payload)) + payload)
+            response = recv_frame(conn)
+            assert response["error"]["code"] == "bad_json"
+            assert response["error"]["message"].startswith("malformed JSON: ")
+            send_frame(conn, {"type": "health"})
+            assert recv_frame(conn)["ok"]
+
+    def test_mid_request_disconnect_is_counted(self, static_shard):
+        before = static_shard._counters["disconnects_mid_request"]
+        conn = socket.create_connection(
+            ("127.0.0.1", static_shard.port), timeout=10.0
+        )
+        # Declare 100 bytes, deliver 10, vanish.
+        conn.sendall(struct.pack(">I", 100) + b"0123456789")
+        conn.close()
+        with _client(static_shard) as client:
+            for _ in range(100):
+                status = client.request({"type": "shard_status"})
+                counted = status["result"]["server"]["disconnects_mid_request"]
+                if counted > before:
+                    break
+                import time
+
+                time.sleep(0.02)
+        assert counted > before
+
+    def test_non_object_frame_gets_envelope(self, static_shard):
+        with _client(static_shard) as client:
+            response = client.request(["a", "list"])
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad_request"
+
+
+class TestIngestDurability:
+    def test_ack_advances_watermark_and_applies(self, serve_env, wal_shard):
+        owned = _owned_avails(serve_env.dataset, 0)
+        avail_id = owned[0]
+        before = wal_shard.ingestor.watermark
+        with _client(wal_shard.server) as client:
+            response = client.request(
+                {
+                    "type": "ingest",
+                    "events": [
+                        {
+                            "kind": "rcc_created",
+                            "rcc_id": 90_000_001,
+                            "avail_id": avail_id,
+                            "rcc_type": "G",
+                            "swlin": "123-45-678",
+                            "create_date": 1000,
+                            "amount": 40.0,
+                        }
+                    ],
+                }
+            )
+        assert response["ok"], response
+        assert response["result"]["applied"] == 1
+        assert response["result"]["synced"] is True
+        assert response["watermark"] == before + 1
+        assert wal_shard.wal.last_seq == wal_shard.ingestor.watermark
+
+    def test_misrouted_event_rejected_before_wal(self, serve_env, wal_shard):
+        foreign = _owned_avails(serve_env.dataset, 1)[0]
+        seq_before = wal_shard.wal.last_seq
+        with _client(wal_shard.server) as client:
+            response = client.request(
+                {
+                    "type": "ingest",
+                    "events": [
+                        {
+                            "kind": "rcc_created",
+                            "rcc_id": 90_000_002,
+                            "avail_id": foreign,
+                            "rcc_type": "N",
+                            "swlin": "123-45-678",
+                            "create_date": 1000,
+                        }
+                    ],
+                }
+            )
+        assert response["error"]["code"] == "bad_request"
+        assert f"not owned by shard 0" in response["error"]["message"]
+        # The WAL never saw the misrouted event — nothing to poison replay.
+        assert wal_shard.wal.last_seq == seq_before
+
+    def test_empty_batch_acks_without_wal_traffic(self, wal_shard):
+        seq_before = wal_shard.wal.last_seq
+        with _client(wal_shard.server) as client:
+            response = client.request({"type": "ingest", "events": []})
+        assert response["ok"]
+        assert response["result"] == {"applied": 0, "synced": False}
+        assert wal_shard.wal.last_seq == seq_before
+
+
+class TestShutdown:
+    def test_shutdown_request_stops_server(self, serve_env):
+        context = ExecutionContext()
+        slice_ = shard_dataset(load_dataset(serve_env.data_dir), RING, 1)
+        service = DomdService(
+            load_estimator(serve_env.model_path, slice_, context=context)
+        )
+        pool = ServicePool(service, workers=1, queue_depth=4, gate=ReadWriteGate())
+        server = ShardServer(
+            shard_id=1, handler=RequestHandler(service, pool=pool), gate=pool.gate
+        )
+        server.start()
+        try:
+            with FrameClient("127.0.0.1", server.port) as client:
+                response = client.request({"type": "shutdown"})
+            assert response["ok"] and response["result"]["stopping"]
+            assert server.wait_stopped(timeout=5.0)
+        finally:
+            server.stop(drain=False)
+            pool.close(drain=False)
